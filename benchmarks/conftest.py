@@ -1,0 +1,20 @@
+"""Benchmark-harness helpers.
+
+Every bench regenerates one of the paper's evaluation artifacts, prints the
+reproduced table, and writes it under ``results/`` for inspection.  The
+timing pytest-benchmark reports is the harness runtime (compile + simulate
+for all benchmarks) — the *reproduction data* are the rendered tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n== {name} ==")
+    print(text)

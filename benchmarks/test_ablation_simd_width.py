@@ -1,0 +1,48 @@
+"""Ablation (beyond the paper): SIMD width sweep (SW in {2, 4, 8}).
+
+The paper's introduction warns that wider SIMD under-utilises unless the
+compiler finds enough parallelism: with this suite's split-join widths and
+repetition counts, SW=8 still helps compute-bound apps but pack/unpack
+chains grow linearly with SW at scalar boundaries, and split-joins narrower
+than SW lose horizontal SIMDization entirely.
+"""
+
+from repro.experiments.harness import Variants, arithmetic_mean
+from repro.experiments.tables import format_table
+from repro.simd.machine import wide_machine
+
+from .conftest import record
+
+BENCHES = ("DCT", "FFT", "FilterBank", "MP3Decoder", "BeamFormer",
+           "MatrixMult")
+WIDTHS = (2, 4, 8)
+
+
+def run_sweep():
+    rows = []
+    for name in BENCHES:
+        speedups = []
+        for sw in WIDTHS:
+            machine = wide_machine(4).with_simd_width(sw)
+            variants = Variants(name, machine)
+            speedups.append(variants.baseline_cpo() / variants.macro_cpo())
+        rows.append((name, *speedups))
+    means = [arithmetic_mean([r[i] for r in rows])
+             for i in range(1, len(WIDTHS) + 1)]
+    rows.append(("AVERAGE", *means))
+    return rows, means
+
+
+def test_simd_width_sweep(benchmark):
+    rows, means = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record("ablation_simd_width",
+           format_table(["benchmark"] + [f"SW={w}" for w in WIDTHS], rows))
+    sw2, sw4, sw8 = means
+    assert sw2 > 1.0
+    assert sw4 > sw2, "SW=4 should beat SW=2 on average"
+    by_name = {r[0]: r for r in rows}
+    # BeamFormer's split-joins are 4 wide: at SW=8 horizontal SIMDization
+    # is lost and the speedup collapses.
+    assert by_name["BeamFormer"][3] < by_name["BeamFormer"][2]
+    # Compute-bound MP3Decoder keeps scaling.
+    assert by_name["MP3Decoder"][3] > by_name["MP3Decoder"][2]

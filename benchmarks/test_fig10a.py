@@ -1,0 +1,22 @@
+"""Figure 10a: GCC auto-vectorization vs macro-SIMDization vs both.
+
+Paper's shape: GCC auto-vectorization shows unimpressive gains (~1.0-1.1x);
+macro-SIMDization averages ~2x; applying the auto-vectorizer on top of
+macro-SIMDized code adds ~1.5%.
+"""
+
+from repro.experiments import run_fig10a
+
+from .conftest import record
+
+
+def test_fig10a(benchmark):
+    result = benchmark.pedantic(run_fig10a, rounds=1, iterations=1)
+    record("fig10a", result.render())
+
+    assert result.mean_autovec < 1.25, "GCC autovec should be unimpressive"
+    assert result.mean_macro > 1.8, "macro-SIMDization should average ~2x"
+    assert result.macro_vs_autovec_percent > 40.0
+    for row in result.rows:
+        assert row.macro >= row.autovec * 0.99, row.benchmark
+        assert row.macro_autovec >= row.macro * 0.999, row.benchmark

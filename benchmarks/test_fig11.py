@@ -1,0 +1,23 @@
+"""Figure 11: percent speedup of vertical over single-actor SIMDization.
+
+Paper's shape: ~40% average; Matrix Multiply Block largest (114%);
+near-zero for FilterBank/BeamFormer (horizontal) and FMRadio/AudioBeam
+(isolated vectorizable actors).
+"""
+
+from repro.experiments import run_fig11
+
+from .conftest import record
+
+
+def test_fig11(benchmark):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    record("fig11", result.render())
+
+    by_name = {r.benchmark: r.improvement_percent for r in result.rows}
+    assert result.mean_percent > 8.0
+    assert by_name["MatrixMultBlock"] == max(by_name.values())
+    assert by_name["MatrixMultBlock"] > 30.0
+    for flat in ("FilterBank", "BeamFormer", "FMRadio", "AudioBeam"):
+        assert abs(by_name[flat]) < 1.0, flat
+    assert all(v >= -0.5 for v in by_name.values())

@@ -1,0 +1,23 @@
+"""Figure 12: performance benefit of the SAGU on macro-SIMDized code.
+
+Paper's shape: 8.1% average; Matrix Multiply (~22%) and DCT (~17%) highest
+(pack/unpack and scalar-memory heavy); BeamFormer and MP3 Decoder lowest
+(horizontal-dominated / compute-dominated).
+"""
+
+from repro.experiments import run_fig12
+
+from .conftest import record
+
+
+def test_fig12(benchmark):
+    result = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    record("fig12", result.render())
+
+    by_name = {r.benchmark: r.improvement_percent for r in result.rows}
+    assert 4.0 < result.mean_percent < 20.0, "paper: 8.1% average"
+    assert by_name["MatrixMult"] > result.mean_percent
+    assert by_name["MatrixMultBlock"] > result.mean_percent
+    assert by_name["MP3Decoder"] < result.mean_percent
+    assert by_name["BeamFormer"] < result.mean_percent
+    assert all(v >= -0.5 for v in by_name.values())

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""JPEG encoder front end: vertical SIMDization and the SAGU.
+
+A block-transform pipeline (level shift -> 8x8 row DCT -> column DCT ->
+quantize -> zig-zag reorder) is exactly the deep stateless pipeline that
+vertical SIMDization (§3.2) was built for: MacroSS fuses the whole chain
+into one coarse actor whose internal traffic moves as whole vectors.
+
+The example compares four configurations on the machine model:
+
+* scalar,
+* single-actor SIMDization only (pack/unpack at every actor boundary),
+* full MacroSS (vertical fusion),
+* full MacroSS on a SAGU-equipped machine (§3.4).
+
+Run:  python examples/jpeg_frontend.py
+"""
+
+from repro import (
+    CORE_I7,
+    CORE_I7_SAGU,
+    FilterSpec,
+    MacroSSOptions,
+    Program,
+    compile_graph,
+    execute,
+    flatten,
+    pipeline,
+)
+from repro.apps.dct import AREA, make_col_dct, make_quantizer, make_row_dct
+from repro.apps.sources import lcg_source
+from repro.ir import FLOAT, WorkBuilder
+
+
+def make_level_shift() -> FilterSpec:
+    """JPEG's -128 level shift (here: center the synthetic samples)."""
+    b = WorkBuilder()
+    with b.loop("i", 0, AREA):
+        b.push(b.pop() - 0.5)
+    return FilterSpec("LevelShift", pop=AREA, push=AREA, work_body=b.build())
+
+
+def make_zigzag() -> FilterSpec:
+    """Zig-zag scan order of the 8x8 block."""
+    order = _zigzag_order()
+    b = WorkBuilder()
+    block = b.array("blk", FLOAT, AREA)
+    with b.loop("i", 0, AREA) as i:
+        b.set(block[i], b.pop())
+    for index in order:
+        b.push(block[index])
+    return FilterSpec("ZigZag", pop=AREA, push=AREA, work_body=b.build())
+
+
+def _zigzag_order() -> list[int]:
+    order = []
+    for diag in range(15):
+        rows = range(max(0, diag - 7), min(8, diag + 1))
+        cells = [(r, diag - r) for r in rows]
+        if diag % 2 == 0:
+            cells.reverse()
+        order.extend(r * 8 + c for r, c in cells)
+    return order
+
+
+def build() -> Program:
+    return Program("jpeg_frontend", pipeline(
+        lcg_source("pixels", push=AREA),
+        make_level_shift(),
+        make_row_dct(),
+        make_col_dct(),
+        make_quantizer(),
+        make_zigzag(),
+    ))
+
+
+def main() -> None:
+    graph = flatten(build())
+    scalar = execute(graph, machine=CORE_I7, iterations=2)
+    base = scalar.cycles_per_output(CORE_I7)
+    print("JPEG front end: 5-actor stateless block pipeline")
+    print(f"scalar baseline: {base:9.1f} cycles/output\n")
+
+    configs = [
+        ("single-actor only (scalar tapes)",
+         CORE_I7, MacroSSOptions(vertical=False, tape_optimization=False)),
+        ("vertical fusion (scalar tapes)",
+         CORE_I7, MacroSSOptions(tape_optimization=False)),
+        ("full MacroSS (permute tape opt)",
+         CORE_I7, MacroSSOptions()),
+        ("full MacroSS + SAGU hardware",
+         CORE_I7_SAGU, MacroSSOptions()),
+    ]
+    reference = None
+    for label, machine, options in configs:
+        compiled = compile_graph(graph, machine, options)
+        result = execute(compiled.graph, machine=machine, iterations=1)
+        n = min(len(scalar.outputs), len(result.outputs))
+        assert result.outputs[:n] == scalar.outputs[:n]
+        cpo = result.cycles_per_output(machine)
+        print(f"{label:36s} {cpo:9.1f} cycles/output  "
+              f"{base / cpo:.2f}x")
+        if reference is None:
+            reference = compiled
+    print("\nfused coarse actor:",
+          [seg for seg in compile_graph(graph, CORE_I7)
+           .report.vertical_segments])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Comb-filter reverb: feedback loops end to end.
+
+StreamIt's third composition form is the feedback loop; MacroSS leaves the
+cyclic part scalar (vectorizing inside a loop would multiply its blocking
+factor and starve the delay line) but still SIMDizes everything around it.
+This example builds a classic comb reverb — y[n] = x[n] + g * y[n - D] —
+from a feedback loop whose loop-path is a delay line, runs it, verifies
+the impulse response, and shows the compiler's decisions.
+
+It also demonstrates the textual frontend's ``feedbackloop`` syntax for
+the same structure.
+
+Run:  python examples/reverb.py
+"""
+
+from repro import (
+    CORE_I7,
+    FilterSpec,
+    Program,
+    compile_graph,
+    execute,
+    feedbackloop,
+    flatten,
+    pipeline,
+)
+from repro.apps.dspkit import delay_line, fir_filter, lowpass_coeffs
+from repro.frontend import compile_source
+from repro.ir import WorkBuilder
+
+GAIN = 0.6
+DELAY = 3
+
+
+def make_impulse_source(period: int = 16) -> FilterSpec:
+    """A unit impulse every ``period`` samples."""
+    from repro import StateVar
+    from repro.ir import INT
+    b = WorkBuilder()
+    n = b.var("n")
+    b.push((n.eq(0)) * 1.0)
+    b.set(n, (n + 1) % period)
+    return FilterSpec("impulse", pop=0, push=1,
+                      state=(StateVar("n", INT, 0, 0),),
+                      work_body=b.build())
+
+
+def make_mixer() -> FilterSpec:
+    b = WorkBuilder()
+    b.push(b.pop() + b.pop() * GAIN)
+    return FilterSpec("comb_mix", pop=2, push=1, work_body=b.build())
+
+
+def build() -> Program:
+    comb = feedbackloop(
+        make_mixer(),
+        delay_line("comb_delay", DELAY),
+        join_weights=(1, 1),
+        duplicate_split=True,
+        enqueue=(0.0,),
+    )
+    import math
+    return Program("reverb", pipeline(
+        make_impulse_source(),
+        comb,
+        fir_filter("tone", lowpass_coeffs(8, math.pi / 2)),
+    ))
+
+
+TEXTUAL = """
+void->float filter Impulse() {
+    int n = 0;
+    work push 1 {
+        push(n == 0 ? 1.0 : 0.0);
+        n = (n + 1) % 16;
+    }
+}
+float->float filter Mix() {
+    work pop 2 push 1 { push(pop() + pop() * 0.6); }
+}
+float->float filter Delay3() {
+    float hist[3];
+    int ph = 0;
+    work pop 1 push 1 {
+        push(hist[ph]);
+        hist[ph] = pop();
+        ph = (ph + 1) % 3;
+    }
+}
+float->float filter Id() { work pop 1 push 1 { push(pop()); } }
+float->float feedbackloop Comb() {
+    join roundrobin(1, 1);
+    body Mix();
+    loop Delay3();
+    split duplicate;
+    enqueue(0.0);
+}
+float->float pipeline Main() { add Impulse(); add Comb(); add Id(); }
+"""
+
+
+def main() -> None:
+    graph = flatten(build())
+    scalar = execute(graph, machine=CORE_I7, iterations=20)
+    compiled = compile_graph(graph, CORE_I7)
+    print("comb reverb decisions:")
+    for name, decision in sorted(compiled.report.decisions.items()):
+        print(f"  {name:12s} {decision}")
+
+    simd = execute(compiled.graph, machine=CORE_I7, iterations=20)
+    n = min(len(scalar.outputs), len(simd.outputs))
+    assert simd.outputs[:n] == scalar.outputs[:n]
+    print(f"\noutputs identical ({n} samples)")
+
+    # The textual variant exposes the raw comb response: an impulse echoes
+    # at multiples of DELAY + 1 samples with gain^k amplitude.
+    text_graph = flatten(compile_source(TEXTUAL))
+    response = execute(text_graph, machine=CORE_I7, iterations=16).outputs
+    print("\ncomb impulse response (textual frontend):")
+    print("  " + "  ".join(f"{x:.3f}" for x in response[:13]))
+    echo_positions = [i for i, x in enumerate(response[:13]) if x > 1e-9]
+    print(f"  echoes at samples {echo_positions} "
+          f"(every {DELAY + 1}, decaying by {GAIN})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for environments without the ``wheel`` package: enables
+``pip install -e . --no-build-isolation`` via the legacy setup.py path."""
+from setuptools import setup
+
+setup()

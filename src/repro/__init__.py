@@ -1,0 +1,74 @@
+"""MacroSS: Macro-SIMDization of Streaming Applications — reproduction.
+
+A Python reproduction of Hormati et al., ASPLOS 2010: a StreamIt-like
+streaming-language substrate (graph + work-function IR, SDF scheduler,
+functional interpreter with a Core-i7-class cycle cost model) and the
+MacroSS compiler on top of it (single-actor, vertical, and horizontal
+SIMDization; permutation/SAGU tape optimizations; C++-with-intrinsics code
+generation), plus auto-vectorizer baselines and the paper's evaluation
+harness.
+
+Quickstart::
+
+    from repro import (FilterSpec, WorkBuilder, Program, pipeline,
+                       flatten, compile_graph, execute, CORE_I7)
+
+    b = WorkBuilder()
+    b.push(b.pop() * 2.0)
+    doubler = FilterSpec("double", pop=1, push=1, work_body=b.build())
+    ...
+    graph = flatten(Program("demo", pipeline(source, doubler)))
+    compiled = compile_graph(graph, CORE_I7)
+    result = execute(compiled.graph, machine=CORE_I7)
+"""
+
+from .graph import (
+    FeedbackLoop,
+    FilterSpec,
+    GraphError,
+    JoinerSpec,
+    Program,
+    SplitterSpec,
+    StateVar,
+    StreamGraph,
+    bind_params,
+    duplicate_splitter,
+    feedbackloop,
+    flatten,
+    pipeline,
+    roundrobin_joiner,
+    roundrobin_splitter,
+    splitjoin,
+    validate,
+)
+from .ir import FLOAT, INT, ArrayHandle, Param, WorkBuilder, call, format_body
+from .runtime import ExecutionResult, Tape, execute
+from .schedule import Schedule, build_schedule, repetition_vector
+from .simd import (
+    CORE_I7,
+    CORE_I7_SAGU,
+    NEON_LIKE,
+    CompilationReport,
+    CompiledGraph,
+    MachineDescription,
+    MacroSSOptions,
+    compile_graph,
+    wide_machine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FeedbackLoop", "FilterSpec", "GraphError", "JoinerSpec", "Program",
+    "SplitterSpec", "StateVar", "StreamGraph", "bind_params",
+    "duplicate_splitter", "feedbackloop", "flatten", "pipeline",
+    "roundrobin_joiner", "roundrobin_splitter", "splitjoin", "validate",
+    "FLOAT", "INT", "ArrayHandle", "Param", "WorkBuilder", "call",
+    "format_body",
+    "ExecutionResult", "Tape", "execute",
+    "Schedule", "build_schedule", "repetition_vector",
+    "CORE_I7", "CORE_I7_SAGU", "NEON_LIKE", "CompilationReport",
+    "CompiledGraph", "MachineDescription", "MacroSSOptions",
+    "compile_graph", "wide_machine",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Benchmark applications (StreamIt-suite equivalents) and the paper's
+running example, all written against the public DSL."""
+
+from .registry import BENCHMARKS, get_benchmark
+
+__all__ = ["BENCHMARKS", "get_benchmark"]

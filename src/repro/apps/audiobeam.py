@@ -1,0 +1,33 @@
+"""AudioBeam benchmark: delay-and-sum acoustic beamforming over a
+microphone array.
+
+Eight stateful per-microphone conditioning actors (delay line + per-mic
+gain) sit in a duplicate split-join, followed by the delay-and-sum
+combiner.  The vectorizable actors are isolated single actors rather than
+pipelines, so — as the paper notes — AudioBeam offers almost no vertical
+SIMDization opportunity; its gains come from the horizontal pass.
+"""
+
+from __future__ import annotations
+
+from ..graph.builtins import duplicate_splitter, roundrobin_joiner
+from ..graph.structure import Program, pipeline, splitjoin
+from .dspkit import adder, delay_line
+from .registry import register
+from .sources import lcg_source
+
+MICS = 8
+DELAY = 4
+
+
+@register("AudioBeam")
+def build() -> Program:
+    mics = [delay_line(f"Mic{i}", DELAY, gain_value=1.0 / (1.0 + 0.25 * i))
+            for i in range(MICS)]
+    weights = tuple(1.0 / MICS for _ in range(MICS))
+    return Program("AudioBeam", pipeline(
+        lcg_source("ab_src", push=8),
+        splitjoin(duplicate_splitter(MICS), mics,
+                  roundrobin_joiner([1] * MICS)),
+        adder("DelaySum", MICS, weights),
+    ))

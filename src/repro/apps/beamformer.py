@@ -1,0 +1,80 @@
+"""BeamFormer benchmark: multi-channel beamforming front end.
+
+Two cascaded split-joins: a duplicate split over four sensor channels, each
+running a *stateful* decimating FIR (per-channel calibration coefficients),
+then a duplicate split over four steered beams, each a stateless weighted
+combiner with per-beam weights.  Stateful channel filters block vertical
+SIMDization and pipeline collapsing, so — as the paper observes — nearly
+all of BeamFormer's speedup comes from horizontal SIMDization of the two
+isomorphic actor sets.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.actor import FilterSpec, StateVar
+from ..graph.builtins import duplicate_splitter, roundrobin_joiner
+from ..graph.structure import Program, pipeline, splitjoin
+from ..ir import FLOAT, INT, ArrayHandle, WorkBuilder
+from .dspkit import adder
+from .registry import register
+from .sources import lcg_source
+
+CHANNELS = 4
+BEAMS = 4
+HISTORY = 4
+DECIMATION = 2
+
+
+def make_channel_fir(index: int) -> FilterSpec:
+    """Stateful decimating FIR: keeps a HISTORY-deep ring of samples and
+    emits their calibrated dot product every DECIMATION inputs."""
+    coeffs = tuple(
+        math.cos(0.4 * index + 0.7 * tap) / HISTORY
+        for tap in range(HISTORY))
+    b = WorkBuilder()
+    hist = ArrayHandle("hist")
+    coeff = b.array("coeff", FLOAT, HISTORY, init=coeffs)
+    ph = b.var("ph")
+    with b.loop("j", 0, DECIMATION):
+        b.set(hist[ph], b.pop())
+        b.set(ph, (ph + 1) % HISTORY)
+    acc = b.let("acc", 0.0)
+    with b.loop("t", 0, HISTORY) as t:
+        b.set(acc, acc + hist[t] * coeff[t])
+    b.push(acc)
+    return FilterSpec(
+        f"ChannelFIR{index}", pop=DECIMATION, push=1,
+        state=(StateVar("hist", FLOAT, HISTORY, 0.0),
+               StateVar("ph", INT, 0, 0)),
+        work_body=b.build(),
+    )
+
+
+def make_beam(index: int) -> FilterSpec:
+    """Stateless steering combiner: weighted sum of the CHANNELS samples."""
+    weights = tuple(math.cos(2 * math.pi * index * ch / CHANNELS)
+                    for ch in range(CHANNELS))
+    b = WorkBuilder()
+    w = b.array("w", FLOAT, CHANNELS, init=weights)
+    acc = b.let("acc", 0.0)
+    with b.loop("c", 0, CHANNELS) as c:
+        b.set(acc, acc + b.pop() * w[c])
+    b.push(acc * acc)
+    return FilterSpec(f"Beam{index}", pop=CHANNELS, push=1,
+                      work_body=b.build())
+
+
+@register("BeamFormer")
+def build() -> Program:
+    return Program("BeamFormer", pipeline(
+        lcg_source("bf_src", push=8),
+        splitjoin(duplicate_splitter(CHANNELS),
+                  [make_channel_fir(i) for i in range(CHANNELS)],
+                  roundrobin_joiner([1] * CHANNELS)),
+        splitjoin(duplicate_splitter(BEAMS),
+                  [make_beam(i) for i in range(BEAMS)],
+                  roundrobin_joiner([1] * BEAMS)),
+        adder("Detect", BEAMS),
+    ))

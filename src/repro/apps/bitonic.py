@@ -1,0 +1,70 @@
+"""BitonicSort benchmark: the 8-key bitonic sorting network.
+
+Each network stage is one stateless actor of unrolled compare-exchange
+(min/max) pairs — exactly StreamIt's BitonicSort decomposition.  The six
+stage actors form one long vertical fusion chain, and min/max map directly
+onto SIMD instructions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..graph.actor import FilterSpec
+from ..graph.structure import Program, pipeline
+from ..ir import FLOAT, WorkBuilder, call
+from .registry import register
+from .sources import lcg_source
+
+KEYS = 8
+
+
+def _network() -> List[List[Tuple[int, int, bool]]]:
+    """Stages of (i, j, ascending) compare-exchange pairs for the bitonic
+    network over ``KEYS`` keys."""
+    stages: List[List[Tuple[int, int, bool]]] = []
+    k = 2
+    while k <= KEYS:
+        j = k // 2
+        while j >= 1:
+            stage: List[Tuple[int, int, bool]] = []
+            for i in range(KEYS):
+                partner = i ^ j
+                if partner > i:
+                    ascending = (i & k) == 0
+                    stage.append((i, partner, ascending))
+            stages.append(stage)
+            j //= 2
+        k *= 2
+    return stages
+
+
+def make_stage(index: int,
+               pairs: List[Tuple[int, int, bool]]) -> FilterSpec:
+    b = WorkBuilder()
+    a = b.array("a", FLOAT, KEYS)
+    out = b.array("out", FLOAT, KEYS)
+    with b.loop("i", 0, KEYS) as i:
+        b.set(a[i], b.pop())
+    for i, j, ascending in pairs:
+        lo = b.let(f"lo{i}_{j}", call("min", a[i], a[j]))
+        hi = b.let(f"hi{i}_{j}", call("max", a[i], a[j]))
+        if ascending:
+            b.set(out[i], lo)
+            b.set(out[j], hi)
+        else:
+            b.set(out[i], hi)
+            b.set(out[j], lo)
+    with b.loop("i", 0, KEYS) as i:
+        b.push(out[i])
+    return FilterSpec(f"CompareExchange{index}", pop=KEYS, push=KEYS,
+                      work_body=b.build())
+
+
+@register("BitonicSort")
+def build() -> Program:
+    stages = [make_stage(i, pairs) for i, pairs in enumerate(_network())]
+    return Program("BitonicSort", pipeline(
+        lcg_source("sort_src", push=KEYS),
+        *stages,
+    ))

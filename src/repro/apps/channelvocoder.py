@@ -1,0 +1,45 @@
+"""ChannelVocoder benchmark: band-split envelope follower.
+
+Four isomorphic channels (band-pass FIR -> rectifier -> decimating
+envelope FIR) inside a duplicate split-join, recombined by a weighted
+adder.  Exercises horizontal SIMDization over multi-level branches whose
+levels have *different* repetition counts (the envelope stage decimates)."""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.builtins import duplicate_splitter, roundrobin_joiner
+from ..graph.structure import Program, pipeline, splitjoin
+from .dspkit import adder, bandpass_coeffs, fir_filter, lowpass_coeffs, rectifier
+from .registry import register
+from .sources import sine_source
+
+CHANNELS = 4
+BPF_TAPS = 16
+ENV_TAPS = 8
+DECIMATION = 4
+
+
+def make_channel(index: int):
+    low = math.pi * index / CHANNELS
+    high = math.pi * (index + 1) / CHANNELS
+    return pipeline(
+        fir_filter(f"VocBand{index}", bandpass_coeffs(BPF_TAPS, low, high)),
+        rectifier(f"Rectify{index}"),
+        fir_filter(f"Envelope{index}",
+                   lowpass_coeffs(ENV_TAPS, math.pi / 8, gain=1.0 + index),
+                   decimation=DECIMATION),
+    )
+
+
+@register("ChannelVocoder")
+def build() -> Program:
+    weights = tuple(0.5 + 0.5 * c for c in range(CHANNELS))
+    return Program("ChannelVocoder", pipeline(
+        sine_source("cv_src", push=8, omega=0.21),
+        splitjoin(duplicate_splitter(CHANNELS),
+                  [make_channel(i) for i in range(CHANNELS)],
+                  roundrobin_joiner([1] * CHANNELS)),
+        adder("VocCombine", CHANNELS, weights),
+    ))

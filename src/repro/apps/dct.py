@@ -1,0 +1,87 @@
+"""DCT benchmark: 8x8 two-dimensional DCT (rows, then columns, then
+quantisation), the JPEG/MPEG kernel of the StreamIt suite.
+
+Three stateless block actors form a vertical fusion chain; the 64-element
+block boundaries make the strided gather/scatter traffic heavy, which is
+why DCT is one of the biggest SAGU winners in Figure 12 (~17%).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.actor import FilterSpec
+from ..graph.structure import Program, pipeline
+from ..ir import FLOAT, WorkBuilder
+from .registry import register
+from .sources import lcg_source
+
+BLOCK = 8
+AREA = BLOCK * BLOCK
+
+
+def _dct_table() -> tuple[float, ...]:
+    """C[r*8+k] = s(r) * cos((2k+1) r pi / 16)."""
+    values = []
+    for r in range(BLOCK):
+        scale = math.sqrt(1.0 / BLOCK) if r == 0 else math.sqrt(2.0 / BLOCK)
+        for k in range(BLOCK):
+            values.append(scale * math.cos((2 * k + 1) * r * math.pi
+                                           / (2 * BLOCK)))
+    return tuple(values)
+
+
+def make_row_dct() -> FilterSpec:
+    """1-D DCT along each of the 8 rows of the block."""
+    b = WorkBuilder()
+    table = b.array("C", FLOAT, AREA, init=_dct_table())
+    x = b.array("x", FLOAT, BLOCK)
+    with b.loop("row", 0, BLOCK):
+        with b.loop("i", 0, BLOCK) as i:
+            b.set(x[i], b.pop())
+        with b.loop("r", 0, BLOCK) as r:
+            acc = b.let("acc", 0.0)
+            with b.loop("k", 0, BLOCK) as k:
+                b.set(acc, acc + x[k] * table[r * BLOCK + k])
+            b.push(acc)
+    return FilterSpec("RowDCT", pop=AREA, push=AREA, work_body=b.build())
+
+
+def make_col_dct() -> FilterSpec:
+    """1-D DCT along each of the 8 columns, emitting row-major."""
+    b = WorkBuilder()
+    table = b.array("C", FLOAT, AREA, init=_dct_table())
+    a = b.array("a", FLOAT, AREA)
+    out = b.array("out", FLOAT, AREA)
+    with b.loop("i", 0, AREA) as i:
+        b.set(a[i], b.pop())
+    with b.loop("c", 0, BLOCK) as c:
+        with b.loop("r", 0, BLOCK) as r:
+            acc = b.let("acc", 0.0)
+            with b.loop("k", 0, BLOCK) as k:
+                b.set(acc, acc + a[k * BLOCK + c] * table[r * BLOCK + k])
+            b.set(out[r * BLOCK + c], acc)
+    with b.loop("i", 0, AREA) as i:
+        b.push(out[i])
+    return FilterSpec("ColDCT", pop=AREA, push=AREA, work_body=b.build())
+
+
+def make_quantizer() -> FilterSpec:
+    """Frequency-dependent scaling (flat luminance-style table)."""
+    quant = tuple(1.0 / (1.0 + 0.25 * (r + c))
+                  for r in range(BLOCK) for c in range(BLOCK))
+    b = WorkBuilder()
+    table = b.array("Q", FLOAT, AREA, init=quant)
+    with b.loop("i", 0, AREA) as i:
+        b.push(b.pop() * table[i])
+    return FilterSpec("Quantize", pop=AREA, push=AREA, work_body=b.build())
+
+
+@register("DCT")
+def build() -> Program:
+    return Program("DCT", pipeline(
+        lcg_source("dct_src", push=AREA),
+        make_row_dct(),
+        make_col_dct(),
+        make_quantizer(),
+    ))

@@ -1,0 +1,83 @@
+"""DES benchmark: a Feistel block cipher core (StreamIt's DES shape).
+
+Integer data, bitwise rounds (shifts, XOR, AND), a stateless pipeline of
+round actors — exercises the compiler's integer/bitwise path end-to-end.
+Each round actor consumes a (left, right) word pair and produces the next;
+an initial permutation and a final swap bracket the rounds.
+
+The F-function is a reduced DES round (rotate + key mix + S-box-ish mixing
+with multiplicative hashing) — structure over fidelity, as with the other
+suite re-implementations.
+"""
+
+from __future__ import annotations
+
+from ..graph.actor import FilterSpec, StateVar
+from ..graph.structure import Program, pipeline
+from ..ir import INT, WorkBuilder
+from .registry import register
+
+ROUNDS = 6
+MASK = 0xFFFFFFFF
+#: Per-round key constants (fixed, as StreamIt's DES bakes in the key).
+_KEYS = [0x9E3779B9, 0x7F4A7C15, 0x85EBCA6B, 0xC2B2AE35,
+         0x27D4EB2F, 0x165667B1]
+
+
+def make_int_source(name: str = "des_src", pairs: int = 4) -> FilterSpec:
+    """Stateful 32-bit word-pair source (xorshift-style)."""
+    b = WorkBuilder()
+    s = b.var("s")
+    with b.loop("i", 0, 2 * pairs):
+        b.set(s, (s * 1103515245 + 12345) % 2147483648)
+        b.push(s)
+    return FilterSpec(name, pop=0, push=2 * pairs, data_type=INT,
+                      state=(StateVar("s", INT, 0, 88172645),),
+                      work_body=b.build())
+
+
+def make_initial_permutation() -> FilterSpec:
+    """Bit-spreading initial permutation (word-level approximation)."""
+    b = WorkBuilder()
+    left = b.let("left", b.pop(), ty=INT)
+    right = b.let("right", b.pop(), ty=INT)
+    b.push(((left << 1) & MASK) ^ (right >> 1))
+    b.push(((right << 1) & MASK) ^ (left >> 1))
+    return FilterSpec("InitialPerm", pop=2, push=2, data_type=INT,
+                      work_body=b.build())
+
+
+def make_round(index: int) -> FilterSpec:
+    """One Feistel round: (L, R) -> (R, L ^ F(R, K))."""
+    key = _KEYS[index % len(_KEYS)]
+    b = WorkBuilder()
+    left = b.let("left", b.pop(), ty=INT)
+    right = b.let("right", b.pop(), ty=INT)
+    mixed = b.let("mixed", (right ^ key) & MASK, ty=INT)
+    rotated = b.let("rotated",
+                    ((mixed << 5) & MASK) | (mixed >> 27), ty=INT)
+    f_out = b.let("f_out", (rotated * 2654435761) & MASK, ty=INT)
+    b.push(right)
+    b.push(left ^ f_out)
+    return FilterSpec(f"Round{index}", pop=2, push=2, data_type=INT,
+                      work_body=b.build())
+
+
+def make_final_swap() -> FilterSpec:
+    b = WorkBuilder()
+    left = b.let("left", b.pop(), ty=INT)
+    right = b.let("right", b.pop(), ty=INT)
+    b.push(right)
+    b.push(left)
+    return FilterSpec("FinalSwap", pop=2, push=2, data_type=INT,
+                      work_body=b.build())
+
+
+@register("DES")
+def build() -> Program:
+    return Program("DES", pipeline(
+        make_int_source(),
+        make_initial_permutation(),
+        *[make_round(r) for r in range(ROUNDS)],
+        make_final_swap(),
+    ))

@@ -1,0 +1,120 @@
+"""Shared DSP building blocks for the benchmark suite.
+
+These mirror the small reusable filters of the StreamIt benchmark sources:
+peeking FIR filters, decimators, interpolators, element-wise maps — all
+written against the IR builder so the compiler sees exactly the structures
+the paper's suite exposes (sliding windows, coefficient tables, isomorphic
+instances differing only in constants).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..graph.actor import FilterSpec, StateVar
+from ..ir import FLOAT, ArrayHandle, WorkBuilder, call
+
+
+def fir_filter(name: str, coeffs: Sequence[float], *,
+               decimation: int = 1) -> FilterSpec:
+    """Peeking FIR: ``out = sum_i peek(i) * coeffs[i]``, consuming
+    ``decimation`` samples per output (StreamIt's ``FIRFilter``/
+    ``LowPassFilter`` shape)."""
+    taps = len(coeffs)
+    b = WorkBuilder()
+    coeff = b.array("coeff", FLOAT, taps, init=tuple(coeffs))
+    acc = b.let("acc", 0.0)
+    with b.loop("i", 0, taps) as i:
+        b.set(acc, acc + b.peek(i) * coeff[i])
+    b.push(acc)
+    with b.loop("j", 0, decimation):
+        b.stmt(b.pop())
+    return FilterSpec(name, pop=decimation, push=1, peek=taps,
+                      work_body=b.build())
+
+
+def lowpass_coeffs(taps: int, cutoff: float, gain: float = 1.0
+                   ) -> tuple[float, ...]:
+    """Windowed-sinc low-pass coefficients (Hamming window), the formula
+    StreamIt's LowPassFilter uses."""
+    coeffs = []
+    middle = (taps - 1) / 2.0
+    for i in range(taps):
+        x = i - middle
+        ideal = cutoff / math.pi if x == 0 else math.sin(cutoff * x) / (math.pi * x)
+        window = 0.54 - 0.46 * math.cos(2 * math.pi * i / (taps - 1))
+        coeffs.append(gain * ideal * window)
+    return tuple(coeffs)
+
+
+def bandpass_coeffs(taps: int, low: float, high: float,
+                    gain: float = 1.0) -> tuple[float, ...]:
+    hi = lowpass_coeffs(taps, high, gain)
+    lo = lowpass_coeffs(taps, low, gain)
+    return tuple(h - l for h, l in zip(hi, lo))
+
+
+def downsampler(name: str, factor: int) -> FilterSpec:
+    """Keep one sample in ``factor``."""
+    b = WorkBuilder()
+    b.push(b.pop())
+    with b.loop("i", 0, factor - 1):
+        b.stmt(b.pop())
+    return FilterSpec(name, pop=factor, push=1, work_body=b.build())
+
+
+def upsampler(name: str, factor: int) -> FilterSpec:
+    """Zero-stuff ``factor - 1`` samples after each input."""
+    b = WorkBuilder()
+    b.push(b.pop())
+    with b.loop("i", 0, factor - 1):
+        b.push(0.0)
+    return FilterSpec(name, pop=1, push=factor, work_body=b.build())
+
+
+def gain(name: str, factor: float) -> FilterSpec:
+    b = WorkBuilder()
+    b.push(b.pop() * factor)
+    return FilterSpec(name, pop=1, push=1, work_body=b.build())
+
+
+def rectifier(name: str = "rectify") -> FilterSpec:
+    b = WorkBuilder()
+    b.push(call("abs", b.pop()))
+    return FilterSpec(name, pop=1, push=1, work_body=b.build())
+
+
+def adder(name: str, n: int, weights: Sequence[float] | None = None
+          ) -> FilterSpec:
+    """Weighted sum of ``n`` consecutive samples into one output."""
+    b = WorkBuilder()
+    acc = b.let("acc", 0.0)
+    if weights is None:
+        with b.loop("i", 0, n):
+            b.set(acc, acc + b.pop())
+    else:
+        w = b.array("w", FLOAT, n, init=tuple(weights))
+        with b.loop("i", 0, n) as i:
+            b.set(acc, acc + b.pop() * w[i])
+    b.push(acc)
+    return FilterSpec(name, pop=n, push=1, work_body=b.build())
+
+
+def delay_line(name: str, depth: int, gain_value: float = 1.0) -> FilterSpec:
+    """Stateful circular delay of ``depth`` samples with an output gain —
+    the canonical horizontal-SIMDization target (cf. the C actors of the
+    running example)."""
+    b = WorkBuilder()
+    ph = b.var("ph")
+    hist = ArrayHandle("hist")
+    b.push(hist[ph] * gain_value)
+    b.set(hist[ph], b.pop())
+    b.set(ph, (ph + 1) % depth)
+    from ..ir import INT
+    return FilterSpec(
+        name, pop=1, push=1,
+        state=(StateVar("hist", FLOAT, depth, 0.0),
+               StateVar("ph", INT, 0, 0)),
+        work_body=b.build(),
+    )

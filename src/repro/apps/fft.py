@@ -1,0 +1,95 @@
+"""FFT benchmark: 16-point complex FFT as a pipeline of butterfly stages.
+
+Structure follows StreamIt's CoarseSerializedFFT: a bit-reversal reorder
+actor, log2(N) butterfly stage actors, and a magnitude tail.  Every stage is
+stateless and non-peeking, so MacroSS fuses the whole pipeline vertically
+and SIMDizes the coarse actor — the shape behind FFT's vertical gains in
+Figure 11.
+
+Samples are interleaved complex (re, im), so frames are ``2 * N`` floats.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.actor import FilterSpec
+from ..graph.structure import Program, pipeline
+from ..ir import FLOAT, WorkBuilder, call
+from .registry import register
+from .sources import lcg_source
+
+N = 16
+FRAME = 2 * N
+
+
+def _bit_reverse(value: int, bits: int) -> int:
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def make_reorder() -> FilterSpec:
+    """Bit-reversal permutation of N complex samples."""
+    bits = int(math.log2(N))
+    b = WorkBuilder()
+    a = b.array("a", FLOAT, FRAME)
+    with b.loop("i", 0, FRAME) as i:
+        b.set(a[i], b.pop())
+    for out_index in range(N):
+        src = _bit_reverse(out_index, bits)
+        b.push(a[2 * src])
+        b.push(a[2 * src + 1])
+    return FilterSpec("Reorder", pop=FRAME, push=FRAME, work_body=b.build())
+
+
+def make_stage(stage: int) -> FilterSpec:
+    """One radix-2 butterfly stage (stage in [0, log2(N)))."""
+    half = 1 << stage
+    span = half * 2
+    b = WorkBuilder()
+    a = b.array("a", FLOAT, FRAME)
+    out = b.array("out", FLOAT, FRAME)
+    with b.loop("i", 0, FRAME) as i:
+        b.set(a[i], b.pop())
+    for group in range(0, N, span):
+        for k in range(half):
+            top = group + k
+            bot = group + k + half
+            angle = -2.0 * math.pi * k / span
+            wr, wi = math.cos(angle), math.sin(angle)
+            # t = w * a[bot]; out[top] = a[top] + t; out[bot] = a[top] - t
+            tr = b.let(f"tr_{top}",
+                       a[2 * bot] * wr - a[2 * bot + 1] * wi)
+            ti = b.let(f"ti_{top}",
+                       a[2 * bot] * wi + a[2 * bot + 1] * wr)
+            b.set(out[2 * top], a[2 * top] + tr)
+            b.set(out[2 * top + 1], a[2 * top + 1] + ti)
+            b.set(out[2 * bot], a[2 * top] - tr)
+            b.set(out[2 * bot + 1], a[2 * top + 1] - ti)
+    with b.loop("i", 0, FRAME) as i:
+        b.push(out[i])
+    return FilterSpec(f"Butterfly{stage}", pop=FRAME, push=FRAME,
+                      work_body=b.build())
+
+
+def make_magnitude() -> FilterSpec:
+    """Complex magnitude tail: (re, im) -> |z|."""
+    b = WorkBuilder()
+    re = b.let("re", b.pop())
+    im = b.let("im", b.pop())
+    b.push(call("sqrt", re * re + im * im))
+    return FilterSpec("Magnitude", pop=2, push=1, work_body=b.build())
+
+
+@register("FFT")
+def build() -> Program:
+    stages = [make_stage(s) for s in range(int(math.log2(N)))]
+    return Program("FFT", pipeline(
+        lcg_source("fft_src", push=FRAME),
+        make_reorder(),
+        *stages,
+        make_magnitude(),
+    ))

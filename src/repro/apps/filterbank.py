@@ -1,0 +1,49 @@
+"""FilterBank benchmark: 8-channel multirate analysis/synthesis bank.
+
+A duplicate splitter fans the signal into eight per-band pipelines
+(band-pass FIR -> decimate -> interpolate -> synthesis FIR); the bands are
+isomorphic, differing only in their coefficient tables, so MacroSS
+horizontally SIMDizes two groups of SW = 4 bands each (the k·SW case) —
+FilterBank's speedup comes almost entirely from horizontal SIMDization
+(Figure 11's near-zero vertical bar).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.builtins import duplicate_splitter, roundrobin_joiner
+from ..graph.structure import Program, pipeline, splitjoin
+from .dspkit import adder, bandpass_coeffs, downsampler, fir_filter, upsampler
+from .registry import register
+from .sources import sine_source
+
+BANDS = 8
+TAPS = 16
+DECIMATION = 2
+
+
+def make_band(index: int):
+    low = math.pi * index / BANDS
+    high = math.pi * (index + 1) / BANDS
+    analysis = fir_filter(f"Analysis{index}",
+                          bandpass_coeffs(TAPS, low, high))
+    synthesis = fir_filter(f"Synthesis{index}",
+                           bandpass_coeffs(TAPS, low, high, gain=float(BANDS)))
+    return pipeline(
+        analysis,
+        downsampler(f"Down{index}", DECIMATION),
+        upsampler(f"Up{index}", DECIMATION),
+        synthesis,
+    )
+
+
+@register("FilterBank")
+def build() -> Program:
+    return Program("FilterBank", pipeline(
+        sine_source("fb_src", push=8, omega=0.37),
+        splitjoin(duplicate_splitter(BANDS),
+                  [make_band(i) for i in range(BANDS)],
+                  roundrobin_joiner([1] * BANDS)),
+        adder("Combine", BANDS),
+    ))

@@ -1,0 +1,57 @@
+"""FMRadio benchmark: FM demodulation plus a multi-band equalizer.
+
+A low-pass front end and a quadrature-free demodulator feed a duplicate
+split-join of eight isomorphic band filters (band-pass FIR + gain) summed
+back together — StreamIt's FMRadio shape.  The deep peeking FIRs make this
+the benchmark where a strong loop auto-vectorizer (ICC) is competitive with
+macro-SIMDization (unit-stride windows vectorize well either way), matching
+the paper's FMRadio anomaly in Figure 10b.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.actor import FilterSpec
+from ..graph.builtins import duplicate_splitter, roundrobin_joiner
+from ..graph.structure import Program, pipeline, splitjoin
+from ..ir import WorkBuilder
+from .dspkit import adder, bandpass_coeffs, fir_filter, gain, lowpass_coeffs
+from .registry import register
+from .sources import sine_source
+
+BANDS = 8
+TAPS = 32
+
+
+def make_demodulator() -> FilterSpec:
+    """FM demodulator (multiplicative approximation, as in StreamIt)."""
+    demod_gain = 0.5
+    b = WorkBuilder()
+    cur = b.let("cur", b.peek(0))
+    nxt = b.let("nxt", b.peek(1))
+    b.push(cur * nxt * demod_gain)
+    b.stmt(b.pop())
+    return FilterSpec("Demod", pop=1, push=1, peek=2, work_body=b.build())
+
+
+def make_band(index: int):
+    low = math.pi * index / BANDS
+    high = math.pi * (index + 1) / BANDS
+    return pipeline(
+        fir_filter(f"Band{index}", bandpass_coeffs(TAPS, low, high)),
+        gain(f"BandGain{index}", 1.0 / (index + 1.0)),
+    )
+
+
+@register("FMRadio")
+def build() -> Program:
+    return Program("FMRadio", pipeline(
+        sine_source("fm_src", push=8, omega=0.73),
+        fir_filter("LowPass", lowpass_coeffs(TAPS, math.pi / 2)),
+        make_demodulator(),
+        splitjoin(duplicate_splitter(BANDS),
+                  [make_band(i) for i in range(BANDS)],
+                  roundrobin_joiner([1] * BANDS)),
+        adder("EqCombine", BANDS),
+    ))

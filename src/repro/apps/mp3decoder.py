@@ -1,0 +1,106 @@
+"""MP3 Decoder benchmark (the compute-heavy back half of the decoder).
+
+Dequantisation (x^(4/3) power law), anti-aliasing butterflies, a reduced
+IMDCT, and windowing — all stateless, compute-dominated block actors.  The
+whole chain fuses vertically, and because its computation-to-communication
+ratio is very high, SAGU buys almost nothing on it (matching MP3 Decoder's
+flat bar in Figure 12).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.actor import FilterSpec
+from ..graph.structure import Program, pipeline
+from ..ir import FLOAT, WorkBuilder, call
+from .registry import register
+from .sources import lcg_source
+
+GRANULE = 32
+#: Reduced IMDCT depth (full MP3 uses 36-point; 8 keeps simulation fast
+#: while preserving the compute-heavy shape).
+IMDCT_TAPS = 8
+
+#: Anti-alias butterfly coefficients (ISO 11172-3 cs/ca pairs).
+_CS_CA = [
+    (0.857493, -0.514496), (0.881742, -0.471732), (0.949629, -0.313377),
+    (0.983315, -0.181913), (0.995518, -0.094624), (0.999161, -0.040966),
+    (0.999899, -0.014199), (0.999993, -0.003700),
+]
+
+
+def make_dequantizer() -> FilterSpec:
+    """Power-law requantisation: y = sign(x) * |x|^(4/3)."""
+    b = WorkBuilder()
+    with b.loop("i", 0, GRANULE):
+        x = b.let("x", b.pop())
+        mag = b.let("mag", call("pow", call("abs", x) + 1e-9, 4.0 / 3.0))
+        sign = b.let("sign", (x.ge(0.0)) * 2.0 - 1.0)
+        b.push(sign * mag)
+    return FilterSpec("Dequantize", pop=GRANULE, push=GRANULE,
+                      work_body=b.build())
+
+
+def make_antialias() -> FilterSpec:
+    """Butterflies across sub-band boundaries (ISO anti-alias stage)."""
+    b = WorkBuilder()
+    a = b.array("a", FLOAT, GRANULE)
+    with b.loop("i", 0, GRANULE) as i:
+        b.set(a[i], b.pop())
+    for boundary in range(1, GRANULE // 8):
+        base = boundary * 8
+        for tap, (cs, ca) in enumerate(_CS_CA[:4]):
+            lo = base - 1 - tap
+            hi = base + tap
+            x = b.let(f"x{boundary}_{tap}", a[lo] * cs - a[hi] * ca)
+            y = b.let(f"y{boundary}_{tap}", a[hi] * cs + a[lo] * ca)
+            b.set(a[lo], x)
+            b.set(a[hi], y)
+    with b.loop("i", 0, GRANULE) as i:
+        b.push(a[i])
+    return FilterSpec("Antialias", pop=GRANULE, push=GRANULE,
+                      work_body=b.build())
+
+
+def make_imdct() -> FilterSpec:
+    """Reduced inverse MDCT: each output mixes IMDCT_TAPS inputs with a
+    cosine kernel."""
+    kernel = tuple(
+        math.cos(math.pi / (2.0 * IMDCT_TAPS) * (2 * i + 1 + IMDCT_TAPS)
+                 * (2 * k + 1))
+        for i in range(GRANULE) for k in range(IMDCT_TAPS))
+    b = WorkBuilder()
+    table = b.array("K", FLOAT, GRANULE * IMDCT_TAPS, init=kernel)
+    a = b.array("a", FLOAT, GRANULE)
+    with b.loop("i", 0, GRANULE) as i:
+        b.set(a[i], b.pop())
+    with b.loop("i", 0, GRANULE) as i:
+        acc = b.let("acc", 0.0)
+        with b.loop("k", 0, IMDCT_TAPS) as k:
+            b.set(acc, acc + a[(i + k) % GRANULE]
+                  * table[i * IMDCT_TAPS + k])
+        b.push(acc)
+    return FilterSpec("IMDCT", pop=GRANULE, push=GRANULE, work_body=b.build())
+
+
+def make_window() -> FilterSpec:
+    """Synthesis window (sine window)."""
+    window = tuple(math.sin(math.pi / GRANULE * (i + 0.5))
+                   for i in range(GRANULE))
+    b = WorkBuilder()
+    table = b.array("W", FLOAT, GRANULE, init=window)
+    with b.loop("i", 0, GRANULE) as i:
+        b.push(b.pop() * table[i])
+    return FilterSpec("Window", pop=GRANULE, push=GRANULE, work_body=b.build())
+
+
+@register("MP3Decoder")
+def build() -> Program:
+    return Program("MP3Decoder", pipeline(
+        lcg_source("mp3_src", push=GRANULE),
+        make_dequantizer(),
+        make_antialias(),
+        make_imdct(),
+        make_window(),
+    ))

@@ -1,0 +1,53 @@
+"""Radar benchmark (StreamIt's RadarArray front end, reduced).
+
+A nested split-join structure: an outer round-robin split over four antenna
+channels, where each channel is itself a split-join of two isomorphic
+polyphase FIR branches.  Nested split-joins are *not* horizontal candidates
+(the paper's horizontal SIMDization targets flat isomorphic levels), so
+Radar exercises the compiler's fallback path: the outer structure stays,
+inner branches get single-actor/vertical SIMDization, and the decimating
+FIRs bring peeking windows along.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.builtins import roundrobin_joiner, roundrobin_splitter
+from ..graph.structure import Program, pipeline, splitjoin
+from .dspkit import adder, fir_filter, lowpass_coeffs
+from .registry import register
+from .sources import lcg_source
+
+CHANNELS = 4
+PHASES = 2
+TAPS = 12
+
+
+def make_channel(channel: int):
+    """One antenna channel: polyphase decomposition into two FIR branches,
+    then a beam-weight combiner."""
+    branches = []
+    for phase in range(PHASES):
+        cutoff = math.pi / (2.0 + 0.5 * channel + 0.25 * phase)
+        branches.append(fir_filter(
+            f"Poly{channel}_{phase}",
+            lowpass_coeffs(TAPS, cutoff, gain=1.0 + 0.1 * channel)))
+    return pipeline(
+        splitjoin(roundrobin_splitter([1] * PHASES), branches,
+                  roundrobin_joiner([1] * PHASES)),
+        adder(f"ChanSum{channel}", PHASES,
+              weights=tuple(math.cos(0.3 * channel + 0.7 * p)
+                            for p in range(PHASES))),
+    )
+
+
+@register("Radar")
+def build() -> Program:
+    return Program("Radar", pipeline(
+        lcg_source("radar_src", push=8),
+        splitjoin(roundrobin_splitter([2] * CHANNELS),
+                  [make_channel(c) for c in range(CHANNELS)],
+                  roundrobin_joiner([1] * CHANNELS)),
+        adder("BeamSum", CHANNELS),
+    ))

@@ -1,0 +1,51 @@
+"""Registry of benchmark programs (populated as apps are defined)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..graph.structure import Program
+
+#: name -> zero-argument factory returning a Program.
+BENCHMARKS: Dict[str, Callable[[], Program]] = {}
+
+
+def register(name: str):
+    def decorator(factory: Callable[[], Program]):
+        BENCHMARKS[name] = factory
+        return factory
+    return decorator
+
+
+def get_benchmark(name: str) -> Program:
+    try:
+        return BENCHMARKS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
+        ) from None
+
+
+def _populate() -> None:
+    """Import app modules for their registration side effects."""
+    from . import (  # noqa: F401
+        audiobeam,
+        beamformer,
+        bitonic,
+        channelvocoder,
+        dct,
+        des,
+        fft,
+        filterbank,
+        fmradio,
+        matmul,
+        matmul_block,
+        mp3decoder,
+        radar,
+        running_example,
+        vocoder,
+    )
+    BENCHMARKS.setdefault("RunningExample", running_example.build)
+
+
+_populate()

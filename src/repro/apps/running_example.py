@@ -1,0 +1,150 @@
+"""The paper's running example stream graph (Figure 2a).
+
+Ten unique actors: a stateful source A; a (4,4,4,4) round-robin split-join
+of four isomorphic stateless actors B0–B3 (Figure 6a's code, with constants
+5/6/7/8) feeding four isomorphic *stateful* delay actors C0–C3; a (1,1,1,1)
+joiner; a pipeline D (Figure 3a), E (Figure 3a), stateful F, peeking G; and
+a stateful folding tail H.
+
+MacroSS must reproduce Figure 2b on this graph at SW=4:
+
+* B and C levels horizontally SIMDized (HSplitter/HJoiner);
+* D and E vertically fused into ``3D_2E`` (pop 6, push 8) and SIMDized;
+* G single-actor SIMDized;
+* A, F, H stay scalar (stateful);
+* Equation (1) scaling factor M = 2.
+"""
+
+from __future__ import annotations
+
+from ..graph.actor import FilterSpec, StateVar
+from ..graph.builtins import roundrobin_joiner, roundrobin_splitter
+from ..graph.structure import Program, pipeline, splitjoin
+from ..ir import FLOAT, INT, ArrayHandle, WorkBuilder, call
+from .sources import lcg_source
+
+#: Delay-line depth of the C actors.
+_C_DEPTH = 8
+
+
+def make_b(index: int, divisor: float) -> FilterSpec:
+    """Figure 6a's B actor: three rounds of (a0*a1 + a2*a3) / divisor."""
+    b = WorkBuilder()
+    with b.loop("i", 0, 3):
+        a0 = b.let("a0", b.pop())
+        a1 = b.let("a1", b.pop())
+        a2 = b.let("a2", b.pop())
+        a3 = b.let("a3", b.pop())
+        b.push((a0 * a1 + a2 * a3) / divisor)
+    return FilterSpec(f"B{index}", pop=12, push=3, work_body=b.build())
+
+
+def make_c(index: int) -> FilterSpec:
+    """Figure 6a's C actor, repaired into a circular delay line: pushes the
+    ``_C_DEPTH``-old sample, stores the fresh one."""
+    b = WorkBuilder()
+    ph = b.var("place_holder")
+    delay = ArrayHandle("delay")  # state array declared on the spec
+    b.push(delay[ph])
+    b.set(delay[ph], b.pop())
+    b.set(ph, (ph + 1) % _C_DEPTH)
+    return FilterSpec(
+        f"C{index}", pop=1, push=1,
+        state=(StateVar("delay", FLOAT, _C_DEPTH, 0.0),
+               StateVar("place_holder", INT, 0, 0)),
+        work_body=b.build(),
+    )
+
+
+def make_d() -> FilterSpec:
+    """Figure 3a's D actor (pop 2, push 2)."""
+    b = WorkBuilder()
+    tmp = b.array("tmp", FLOAT, 2)
+    coeff = b.array("coeff", FLOAT, 2, init=(0.8, 1.2))
+    with b.loop("i", 0, 2) as i:
+        t = b.let("t", b.pop())
+        b.set(tmp[i], t * coeff[i])
+    b.push(call("sqrt", call("abs", tmp[0] + tmp[1])))
+    b.push(call("sqrt", call("abs", tmp[0] - tmp[1])))
+    return FilterSpec("D", pop=2, push=2, work_body=b.build())
+
+
+def make_e() -> FilterSpec:
+    """Figure 3a's E actor (pop 3, push 4)."""
+    b = WorkBuilder()
+    result = b.array("result", FLOAT, 4)
+    x0 = b.let("x0", b.pop())
+    x1 = b.let("x1", b.pop())
+    x2 = b.let("x2", b.pop())
+    b.set(result[0], x1 * call("cos", x0) + x2)
+    b.set(result[1], x0 * call("cos", x1) + x2)
+    b.set(result[2], x1 * call("sin", x0) + x2)
+    b.set(result[3], x0 * call("sin", x1) + x2)
+    with b.loop("i", 0, 4) as i:
+        b.push(result[i])
+    return FilterSpec("E", pop=3, push=4, work_body=b.build())
+
+
+def make_f() -> FilterSpec:
+    """Stateful smoother F (pop 4, push 1) — the reason D–E–F cannot all be
+    fused (shaded in Figure 2a)."""
+    b = WorkBuilder()
+    acc = b.var("acc")
+    s = b.let("s", 0.0)
+    with b.loop("i", 0, 4):
+        b.set(s, s + b.pop())
+    b.set(acc, acc * 0.9 + s * 0.1)
+    b.push(acc)
+    return FilterSpec(
+        "F", pop=4, push=1,
+        state=(StateVar("acc", FLOAT, 0, 0.0),),
+        work_body=b.build(),
+    )
+
+
+def make_g() -> FilterSpec:
+    """Peeking interpolator G (peek 4, pop 2, push 8)."""
+    b = WorkBuilder()
+    w0 = b.let("w0", b.peek(0))
+    w1 = b.let("w1", b.peek(1))
+    w2 = b.let("w2", b.peek(2))
+    w3 = b.let("w3", b.peek(3))
+    for step in range(8):
+        frac = step / 8.0
+        b.push(w0 * (1.0 - frac) + w1 * frac + (w2 - w3) * 0.25)
+    b.stmt(b.pop())
+    b.stmt(b.pop())
+    return FilterSpec("G", pop=2, push=8, peek=4, work_body=b.build())
+
+
+def make_h() -> FilterSpec:
+    """Stateful folding tail H (pop 8, push 1)."""
+    b = WorkBuilder()
+    acc = b.var("acc")
+    with b.loop("i", 0, 8):
+        b.set(acc, acc + b.pop())
+    b.push(acc)
+    return FilterSpec(
+        "H", pop=8, push=1,
+        state=(StateVar("acc", FLOAT, 0, 0.0),),
+        work_body=b.build(),
+    )
+
+
+def build(divisors: tuple = (5.0, 6.0, 7.0, 8.0)) -> Program:
+    """Assemble the Figure 2a graph."""
+    branches = [
+        pipeline(make_b(i, divisors[i]), make_c(i))
+        for i in range(4)
+    ]
+    top = pipeline(
+        lcg_source("A", push=8),
+        splitjoin(roundrobin_splitter([4, 4, 4, 4]), branches,
+                  roundrobin_joiner([1, 1, 1, 1])),
+        make_d(),
+        make_e(),
+        make_f(),
+        make_g(),
+        make_h(),
+    )
+    return Program("running_example", top)

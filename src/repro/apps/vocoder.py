@@ -1,0 +1,88 @@
+"""Vocoder benchmark: short-frame phase-vocoder pipeline.
+
+A frame DFT (compute heavy, stateless), a magnitude/phase converter that
+calls ``atan2`` — which the SSE-class machine model has no vector form of,
+so the actor correctly stays scalar — a stateful phase accumulator, and a
+resynthesis oscillator.  The mix of vectorized and scalar actors means data
+repeatedly crosses the scalar/vector boundary, exercising the permutation
+and SAGU tape optimizations on a graph the other benchmarks don't resemble.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.actor import FilterSpec, StateVar
+from ..graph.structure import Program, pipeline
+from ..ir import FLOAT, ArrayHandle, WorkBuilder, call
+from .registry import register
+from .sources import sine_source
+
+FRAME = 8
+BINS = FRAME // 2
+
+
+def make_frame_dft() -> FilterSpec:
+    """Real DFT of a FRAME-sample window: BINS (re, im) pairs out."""
+    b = WorkBuilder()
+    x = b.array("x", FLOAT, FRAME)
+    with b.loop("i", 0, FRAME) as i:
+        b.set(x[i], b.pop())
+    for k in range(BINS):
+        re = b.let(f"re{k}", 0.0)
+        im = b.let(f"im{k}", 0.0)
+        for n in range(FRAME):
+            angle = -2.0 * math.pi * k * n / FRAME
+            b.set(re, re + x[n] * math.cos(angle))
+            b.set(im, im + x[n] * math.sin(angle))
+        b.push(re)
+        b.push(im)
+    return FilterSpec("FrameDFT", pop=FRAME, push=2 * BINS,
+                      work_body=b.build())
+
+
+def make_mag_phase() -> FilterSpec:
+    """Cartesian -> polar; ``atan2`` has no SSE vector form, so this actor
+    is rejected by the SIMDizability analysis and stays scalar."""
+    b = WorkBuilder()
+    re = b.let("re", b.pop())
+    im = b.let("im", b.pop())
+    b.push(call("sqrt", re * re + im * im))
+    b.push(call("atan2", im, re + 1e-12))
+    return FilterSpec("MagPhase", pop=2, push=2, work_body=b.build())
+
+
+def make_phase_unwrap() -> FilterSpec:
+    """Stateful phase accumulator (running phase per frame stream)."""
+    b = WorkBuilder()
+    acc = b.var("acc")
+    mag = b.let("mag", b.pop())
+    phase = b.let("phase", b.pop())
+    b.set(acc, acc + phase * 0.5)
+    b.push(mag)
+    b.push(acc)
+    return FilterSpec(
+        "PhaseUnwrap", pop=2, push=2,
+        state=(StateVar("acc", FLOAT, 0, 0.0),),
+        work_body=b.build(),
+    )
+
+
+def make_resynth() -> FilterSpec:
+    """Oscillator-bank resynthesis: sample = mag * cos(phase)."""
+    b = WorkBuilder()
+    mag = b.let("mag", b.pop())
+    phase = b.let("phase", b.pop())
+    b.push(mag * call("cos", phase))
+    return FilterSpec("Resynth", pop=2, push=1, work_body=b.build())
+
+
+@register("Vocoder")
+def build() -> Program:
+    return Program("Vocoder", pipeline(
+        sine_source("voc_src", push=FRAME, omega=0.41),
+        make_frame_dft(),
+        make_mag_phase(),
+        make_phase_unwrap(),
+        make_resynth(),
+    ))

@@ -1,0 +1,11 @@
+"""Traditional auto-vectorization baselines (GCC 4.3 / ICC 11.1 models)."""
+
+from .loop_model import LoopVecStats, vectorize_inner_loops
+from .profiles import GCC43, ICC111, CompilerProfile
+from .vectorizer import AutoVecReport, auto_vectorize
+
+__all__ = [
+    "LoopVecStats", "vectorize_inner_loops",
+    "GCC43", "ICC111", "CompilerProfile",
+    "AutoVecReport", "auto_vectorize",
+]

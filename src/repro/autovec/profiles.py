@@ -1,0 +1,69 @@
+"""Capability profiles of the baseline auto-vectorizing compilers.
+
+The paper evaluates against GCC 4.3 and ICC 11.1 applied to the scalar
+intermediate C++.  We model each compiler by what loops it can vectorize —
+the axes along which the two differed in 2010:
+
+* **actor-loop (outer-loop) vectorization** — vectorizing the repetition
+  loop around a work function, the closest analogue of single-actor
+  SIMDization.  ICC 11.1's outer-loop vectorizer could; GCC 4.3's could
+  not.  Crucially, *neither* can rescale the schedule: the repetition count
+  must already be a multiple of the SIMD width (the paper's §4 argument
+  about adjusting repetition numbers).
+* **inner-loop vectorization** — classic innermost-loop vectorization of
+  reduction and streaming-map loops inside a work function.  Both have it,
+  with different restrictions.
+* **math calls** — ICC vectorizes sin/cos/pow via SVML; GCC 4.3 does not.
+* **strided access** — ICC emits shuffle sequences for power-of-two
+  interleaved accesses; GCC 4.3 gives up.
+* **peeking windows** — unaligned sliding-window loads (FIR loops):
+  ICC handles them with unaligned loads; GCC 4.3 rejects them.
+* **if-conversion** — ICC blends; GCC 4.3's vectorizer bails out.
+
+Each profile also carries a per-firing overhead (loop versioning, runtime
+alignment checks) charged to every auto-vectorized actor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompilerProfile:
+    name: str
+    vectorizes_actor_loops: bool
+    vectorizes_inner_loops: bool
+    vectorizes_math_calls: bool
+    handles_strided_pow2: bool
+    handles_peeking: bool
+    if_conversion: bool
+    #: s_alu events charged per firing of an auto-vectorized actor.
+    overhead_per_firing: int
+    #: The compiler cannot change the steady-state schedule, so the
+    #: repetition loop is vectorizable only if its trip count is already a
+    #: multiple of the SIMD width.
+    requires_rep_multiple: bool = True
+
+
+GCC43 = CompilerProfile(
+    name="gcc-4.3",
+    vectorizes_actor_loops=False,
+    vectorizes_inner_loops=True,
+    vectorizes_math_calls=False,
+    handles_strided_pow2=False,
+    handles_peeking=False,
+    if_conversion=False,
+    overhead_per_firing=4,
+)
+
+ICC111 = CompilerProfile(
+    name="icc-11.1",
+    vectorizes_actor_loops=True,
+    vectorizes_inner_loops=True,
+    vectorizes_math_calls=True,
+    handles_strided_pow2=True,
+    handles_peeking=True,
+    if_conversion=True,
+    overhead_per_firing=2,
+)

@@ -1,0 +1,145 @@
+"""Whole-graph auto-vectorization baseline (traditional SIMDization, §4/§5).
+
+Applies a compiler profile to every filter of a (scalar or partially
+macro-SIMDized) graph:
+
+1. **Actor-loop vectorization** (ICC-class only): if the actor passes the
+   same legality checks as single-actor SIMDization *and* its steady-state
+   repetition count is already a multiple of the SIMD width (auto-
+   vectorizers cannot rescale the schedule) *and* the compiler's cost model
+   predicts a win, the repetition loop is vectorized — the same transform
+   as MacroSS's single-actor pass, but with compiler-grade tape handling
+   (scalar packing, or shuffle sequences for power-of-two strides) and a
+   per-firing versioning/alignment overhead.
+2. **Inner-loop vectorization** (both compilers): the reduction / map loop
+   idioms inside remaining scalar actors (see
+   :mod:`repro.autovec.loop_model`).
+
+Vertical fusion and horizontal SIMDization have no analogue here — that is
+the structural advantage the paper claims for macro-SIMDization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List
+
+from ..graph.actor import FilterSpec
+from ..graph.stream_graph import StreamGraph
+from ..ir import stmt as S
+from ..perf import events as ev
+from ..schedule.rates import repetition_vector
+from ..simd.analysis import analyze_filter
+from ..simd.cost_model import estimate_body_events
+from ..simd.machine import MachineDescription, UnsupportedOperation
+from ..simd.single_actor import vectorize_actor
+from ..simd.tape_opt import (
+    _set_gather_strategy,
+    _set_scatter_strategy,
+    uses_gather,
+    uses_scatter,
+)
+from .loop_model import LoopVecStats, vectorize_inner_loops
+from .profiles import CompilerProfile
+
+
+def _is_pow2(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+@dataclass
+class AutoVecReport:
+    compiler: str
+    actor_vectorized: List[str] = field(default_factory=list)
+    inner_vectorized: Dict[str, int] = field(default_factory=dict)
+    rejected: Dict[str, str] = field(default_factory=dict)
+
+
+def _estimate_cycles(body: S.Body, machine: MachineDescription) -> float:
+    try:
+        return estimate_body_events(body, machine.simd_width).cycles(machine)
+    except UnsupportedOperation:
+        return float("inf")
+
+
+def _profitable(scalar: FilterSpec, vectorized: FilterSpec,
+                machine: MachineDescription) -> bool:
+    """The compiler's own cost model: vectorize only when one SIMD firing
+    beats SW scalar firings."""
+    scalar_cost = _estimate_cycles(scalar.work_body, machine)
+    vector_cost = _estimate_cycles(vectorized.work_body, machine)
+    return vector_cost < scalar_cost * machine.simd_width
+
+
+def auto_vectorize(graph: StreamGraph, profile: CompilerProfile,
+                   machine: MachineDescription) -> AutoVecReport:
+    """Auto-vectorize ``graph`` in place; returns a report."""
+    report = AutoVecReport(compiler=profile.name)
+    reps = repetition_vector(graph)
+    sw = machine.simd_width
+
+    for actor in list(graph.filters()):
+        spec = actor.spec
+        if uses_gather(spec) or uses_scatter(spec) or _already_vector(spec):
+            continue  # macro-SIMDized actors: the host compiler keeps them
+
+        if profile.vectorizes_actor_loops:
+            verdict = analyze_filter(spec, machine)
+            reasons = list(verdict.reasons)
+            if not profile.handles_peeking and spec.is_peeking:
+                reasons.append("peeking window")
+            if profile.requires_rep_multiple and reps[actor.id] % sw != 0:
+                reasons.append(
+                    f"repetition {reps[actor.id]} not a multiple of {sw} "
+                    "(auto-vectorizers cannot rescale the schedule)")
+            if not profile.handles_strided_pow2:
+                if spec.pop > 1 or spec.push > 1:
+                    reasons.append("strided (interleaved) tape access")
+            elif (spec.pop > 1 and not _is_pow2(spec.pop)) \
+                    or (spec.push > 1 and not _is_pow2(spec.push)):
+                # Non-power-of-two strides fall back to scalar packing —
+                # allowed, just costed as such.
+                pass
+            if not reasons:
+                candidate = vectorize_actor(spec, sw)
+                if profile.handles_strided_pow2:
+                    if _is_pow2(max(1, spec.pop)):
+                        candidate = _set_gather_strategy(candidate, "permute")
+                    if _is_pow2(max(1, spec.push)):
+                        candidate = _set_scatter_strategy(candidate, "permute")
+                candidate = replace(
+                    candidate,
+                    work_body=(S.CostAnnotation(
+                        ev.SCALAR_ALU, profile.overhead_per_firing),)
+                    + candidate.work_body)
+                if _profitable(spec, candidate, machine):
+                    actor.spec = candidate
+                    report.actor_vectorized.append(actor.name)
+                    continue
+                report.rejected[actor.name] = "cost model: not profitable"
+            else:
+                report.rejected[actor.name] = "; ".join(reasons)
+
+        if profile.vectorizes_inner_loops:
+            stats = LoopVecStats()
+            new_body = vectorize_inner_loops(spec.work_body, profile,
+                                             machine, stats)
+            if stats.total:
+                overhead = (S.CostAnnotation(
+                    ev.SCALAR_ALU, profile.overhead_per_firing),)
+                actor.spec = replace(spec, work_body=overhead + new_body)
+                report.inner_vectorized[actor.name] = stats.total
+    return report
+
+
+def _already_vector(spec: FilterSpec) -> bool:
+    """Horizontally SIMDized actors operate on vector tapes."""
+    from ..ir import expr as E
+    from ..ir.visitors import iter_all_exprs, iter_stmts
+    for e in iter_all_exprs(spec.work_body):
+        if isinstance(e, (E.VPop, E.VPeek)):
+            return True
+    for stmt in iter_stmts(spec.work_body):
+        if isinstance(stmt, S.VPush):
+            return True
+    return False

@@ -1,0 +1,170 @@
+"""``macross`` command-line interface.
+
+Subcommands::
+
+    macross list                      # available benchmarks
+    macross compile <bench>           # compilation report (+ --cpp for code)
+    macross run <bench>               # execute scalar vs macro-SIMDized
+    macross fig10a|fig10b|fig11|fig12|fig13   # regenerate a paper figure
+    macross all                       # every figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="macross",
+        description="MacroSS (ASPLOS 2010) reproduction driver")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available benchmarks")
+
+    p_compile = sub.add_parser("compile", help="show compilation decisions")
+    p_compile.add_argument("benchmark")
+    p_compile.add_argument("--cpp", action="store_true",
+                           help="emit the generated C++ with intrinsics")
+    p_compile.add_argument("--sagu", action="store_true",
+                           help="target the SAGU-equipped machine")
+
+    p_run = sub.add_parser("run", help="execute scalar vs macro-SIMDized")
+    p_run.add_argument("benchmark")
+    p_run.add_argument("--iterations", type=int, default=4)
+    p_run.add_argument("--sagu", action="store_true")
+
+    p_prof = sub.add_parser("profile",
+                            help="per-actor cycle breakdown, scalar vs SIMD")
+    p_prof.add_argument("benchmark")
+    p_prof.add_argument("--sagu", action="store_true")
+
+    p_dot = sub.add_parser("dot", help="emit Graphviz DOT for a benchmark")
+    p_dot.add_argument("benchmark")
+    p_dot.add_argument("--compiled", action="store_true",
+                       help="render the macro-SIMDized graph")
+    p_dot.add_argument("--sagu", action="store_true")
+
+    for fig in ("fig10a", "fig10b", "fig11", "fig12", "fig13"):
+        p_fig = sub.add_parser(fig, help=f"regenerate {fig}")
+        p_fig.add_argument("--benchmarks", nargs="*", default=None)
+    sub.add_parser("all", help="regenerate every figure")
+
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # Output piped into head/less that closed early: not an error.
+        import os
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+def _machine(sagu: bool):
+    from .simd import CORE_I7, CORE_I7_SAGU
+    return CORE_I7_SAGU if sagu else CORE_I7
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    from .apps import BENCHMARKS
+
+    if args.command == "list":
+        for name in sorted(BENCHMARKS):
+            print(name)
+        return 0
+
+    if args.command == "compile":
+        from .experiments.harness import scalar_graph
+        from .simd import compile_graph
+        machine = _machine(args.sagu)
+        compiled = compile_graph(scalar_graph(args.benchmark), machine)
+        print(compiled.report.summary())
+        print()
+        print(compiled.graph.summary())
+        if args.cpp:
+            from .codegen import emit_cpp
+            print()
+            print(emit_cpp(compiled.graph, machine))
+        return 0
+
+    if args.command == "run":
+        from .experiments.harness import scalar_graph
+        from .runtime import execute
+        from .simd import compile_graph
+        machine = _machine(args.sagu)
+        graph = scalar_graph(args.benchmark)
+        scalar = execute(graph, machine=machine, iterations=args.iterations)
+        compiled = compile_graph(graph, machine)
+        simd = execute(compiled.graph, machine=machine,
+                       iterations=args.iterations)
+        scalar_cpo = scalar.cycles_per_output(machine)
+        simd_cpo = simd.cycles_per_output(machine)
+        matches = sum(
+            1 for a, b in zip(scalar.outputs, simd.outputs) if a == b)
+        compared = min(len(scalar.outputs), len(simd.outputs))
+        print(f"{args.benchmark} on {machine.name}")
+        print(f"  scalar:  {scalar_cpo:10.1f} cycles/output")
+        print(f"  MacroSS: {simd_cpo:10.1f} cycles/output "
+              f"({scalar_cpo / simd_cpo:.2f}x)")
+        print(f"  outputs identical: {matches}/{compared}")
+        return 0
+
+    if args.command == "dot":
+        from .experiments.harness import scalar_graph
+        from .graph import to_dot
+        from .schedule import repetition_vector
+        from .simd import compile_graph
+        machine = _machine(args.sagu)
+        graph = scalar_graph(args.benchmark)
+        if args.compiled:
+            graph = compile_graph(graph, machine).graph
+        print(to_dot(graph, repetition_vector(graph)))
+        return 0
+
+    if args.command == "profile":
+        from .experiments.harness import scalar_graph
+        from .perf import event_class_table, profile_table
+        from .runtime import execute
+        from .simd import compile_graph
+        machine = _machine(args.sagu)
+        graph = scalar_graph(args.benchmark)
+        for label, g in (("scalar", graph),
+                         ("MacroSS", compile_graph(graph, machine).graph)):
+            result = execute(g, machine=machine, iterations=2)
+            print(f"--- {label} ---")
+            print(profile_table(g, result.steady_counters, machine))
+            print()
+            print(event_class_table(result.steady_counters.total(), machine))
+            print()
+        return 0
+
+    if args.command in ("fig10a", "fig10b", "fig11", "fig12", "fig13"):
+        result = _run_figure(args.command, args.benchmarks)
+        print(result.render())
+        return 0
+
+    if args.command == "all":
+        for fig in ("fig10a", "fig10b", "fig11", "fig12", "fig13"):
+            print(f"== {fig} ==")
+            print(_run_figure(fig, None).render())
+            print()
+        return 0
+
+    return 1
+
+
+def _run_figure(name: str, benchmarks):
+    from . import experiments as ex
+    runner = {"fig10a": ex.run_fig10a, "fig10b": ex.run_fig10b,
+              "fig11": ex.run_fig11, "fig12": ex.run_fig12,
+              "fig13": ex.run_fig13}[name]
+    return runner(benchmarks=benchmarks)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Target-specific intermediate code generation (C++ with SSE intrinsics)."""
+
+from .cpp import CppEmitter, emit_cpp
+
+__all__ = ["CppEmitter", "emit_cpp"]

@@ -1,0 +1,86 @@
+"""SSE intrinsic name mapping for the C++ emitter.
+
+MacroSS emits target-specific intermediate code (§3.5 "Code Generation"):
+vector types and intrinsics of the machine the graph was compiled for.
+This module centralises the SSE 4.2 mapping used for the Core-i7 target;
+transcendentals use the SVML entry points ICC links against.
+"""
+
+from __future__ import annotations
+
+#: C type of one SIMD vector of 32-bit floats.
+VECTOR_TYPE = "__m128"
+VECTOR_INT_TYPE = "__m128i"
+
+#: Arithmetic intrinsics keyed by IR operator.
+BINARY_FLOAT = {
+    "+": "_mm_add_ps",
+    "-": "_mm_sub_ps",
+    "*": "_mm_mul_ps",
+    "/": "_mm_div_ps",
+}
+
+COMPARISON_FLOAT = {
+    "==": "_mm_cmpeq_ps",
+    "!=": "_mm_cmpneq_ps",
+    "<": "_mm_cmplt_ps",
+    "<=": "_mm_cmple_ps",
+    ">": "_mm_cmpgt_ps",
+    ">=": "_mm_cmpge_ps",
+}
+
+#: Math intrinsics: SSE where native, SVML elsewhere.
+MATH = {
+    "sqrt": "_mm_sqrt_ps",
+    "min": "_mm_min_ps",
+    "max": "_mm_max_ps",
+    "abs": "_mm_andnot_ps(_SIGN_MASK, {0})",  # formatted specially
+    "sin": "_mm_sin_ps",
+    "cos": "_mm_cos_ps",
+    "tan": "_mm_tan_ps",
+    "asin": "_mm_asin_ps",
+    "acos": "_mm_acos_ps",
+    "atan": "_mm_atan_ps",
+    "exp": "_mm_exp_ps",
+    "log": "_mm_log_ps",
+    "pow": "_mm_pow_ps",
+    "floor": "_mm_floor_ps",
+    "ceil": "_mm_ceil_ps",
+    "round": "_mm_round_ps({0}, _MM_FROUND_TO_NEAREST_INT)",
+    "rint": "_mm_round_ps({0}, _MM_FROUND_TO_NEAREST_INT)",
+}
+
+#: Integer (epi32) arithmetic; shifts take an immediate count.
+BINARY_INT = {
+    "+": "_mm_add_epi32",
+    "-": "_mm_sub_epi32",
+    "*": "_mm_mullo_epi32",   # SSE4.1
+    "&": "_mm_and_si128",
+    "|": "_mm_or_si128",
+    "^": "_mm_xor_si128",
+}
+
+SHIFT_INT = {"<<": "_mm_slli_epi32", ">>": "_mm_srli_epi32"}
+
+COMPARISON_INT = {
+    "==": "_mm_cmpeq_epi32",
+    ">": "_mm_cmpgt_epi32",
+    "<": "_mm_cmplt_epi32",
+}
+
+SPLAT = "_mm_set1_ps"
+SPLAT_INT = "_mm_set1_epi32"
+SET_LANES = "_mm_set_ps"  # note: takes lanes high-to-low
+SET_LANES_INT = "_mm_set_epi32"
+LOAD_U = "_mm_loadu_ps"
+STORE_U = "_mm_storeu_ps"
+
+#: Scalar math: C library names.
+SCALAR_MATH = {
+    "sin": "sinf", "cos": "cosf", "tan": "tanf",
+    "asin": "asinf", "acos": "acosf", "atan": "atanf", "atan2": "atan2f",
+    "sqrt": "sqrtf", "exp": "expf", "log": "logf", "pow": "powf",
+    "abs": "fabsf", "min": "fminf", "max": "fmaxf",
+    "floor": "floorf", "ceil": "ceilf", "round": "roundf", "rint": "rintf",
+    "float": "(float)", "int": "(int)",
+}

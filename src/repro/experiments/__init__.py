@@ -1,0 +1,17 @@
+"""Reproduction of every figure in the paper's evaluation (§5)."""
+
+from .fig10 import Fig10Result, run_fig10, run_fig10a, run_fig10b
+from .fig11 import Fig11Result, run_fig11
+from .fig12 import Fig12Result, run_fig12
+from .fig13 import Fig13Result, run_fig13
+from .harness import DEFAULT_BENCHMARKS, Variants, resolve_benchmarks
+from .tables import format_table
+
+__all__ = [
+    "Fig10Result", "run_fig10", "run_fig10a", "run_fig10b",
+    "Fig11Result", "run_fig11",
+    "Fig12Result", "run_fig12",
+    "Fig13Result", "run_fig13",
+    "DEFAULT_BENCHMARKS", "Variants", "resolve_benchmarks",
+    "format_table",
+]

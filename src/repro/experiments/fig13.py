@@ -1,0 +1,55 @@
+"""Figure 13: multicore scheduling with and without macro-SIMDization.
+
+Speedup over scalar single-core execution for {2, 4} cores, scalar vs
+partition-first macro-SIMDized.  The paper's averages: 2 cores 1.28x ->
+2.03x with SIMD; 4 cores 1.85x -> 3.17x; macro-SIMDized 2-core execution
+comes within ~5% of (our model: beats) scalar 4-core execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..multicore.simulate import multicore_speedups
+from ..simd.machine import CORE_I7, MachineDescription
+from .harness import arithmetic_mean, resolve_benchmarks, scalar_graph
+from .tables import format_table
+
+CORE_COUNTS = (2, 4)
+COLUMNS = ("2c", "4c", "2c+simd", "4c+simd")
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    benchmark: str
+    speedups: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    rows: Tuple[Fig13Row, ...]
+
+    def mean(self, column: str) -> float:
+        return arithmetic_mean([r.speedups[column] for r in self.rows])
+
+    def render(self) -> str:
+        body = [(r.benchmark, *(r.speedups[c] for c in COLUMNS))
+                for r in self.rows]
+        body.append(("AVERAGE", *(self.mean(c) for c in COLUMNS)))
+        return format_table(["benchmark", "2 cores", "4 cores",
+                             "2 cores + MacroSS", "4 cores + MacroSS"], body)
+
+
+def run_fig13(machine: MachineDescription = CORE_I7,
+              benchmarks: Optional[Sequence[str]] = None) -> Fig13Result:
+    rows: List[Fig13Row] = []
+    for name in resolve_benchmarks(benchmarks):
+        graph = scalar_graph(name)
+        rows.append(Fig13Row(name, multicore_speedups(
+            graph, machine, list(CORE_COUNTS))))
+    return Fig13Result(tuple(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig13().render())

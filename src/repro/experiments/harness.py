@@ -1,0 +1,120 @@
+"""Shared experiment harness.
+
+Builds each benchmark's compilation variants once and measures modeled
+steady-state cycles per output item.  All speedups in the figures are
+ratios of that throughput metric (it is invariant under Equation (1)
+repetition rescaling, which changes work-per-iteration but not
+work-per-item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+from ..apps import BENCHMARKS, get_benchmark
+from ..autovec import CompilerProfile, auto_vectorize
+from ..graph.flatten import flatten
+from ..graph.stream_graph import StreamGraph
+from ..runtime.executor import execute
+from ..simd.machine import CORE_I7, MachineDescription
+from ..simd.pipeline import MacroSSOptions, compile_graph
+
+#: Benchmarks reported in the figures (paper order: suite apps first).
+DEFAULT_BENCHMARKS = (
+    "AudioBeam",
+    "BeamFormer",
+    "BitonicSort",
+    "ChannelVocoder",
+    "DCT",
+    "FFT",
+    "FMRadio",
+    "FilterBank",
+    "MP3Decoder",
+    "MatrixMult",
+    "MatrixMultBlock",
+    "Vocoder",
+)
+
+#: Steady-state iterations measured per variant (cost model is
+#: deterministic, so a couple of iterations suffice).
+MEASURE_ITERATIONS = 2
+
+
+def scalar_graph(name: str) -> StreamGraph:
+    return flatten(get_benchmark(name))
+
+
+def cycles_per_output(graph: StreamGraph, machine: MachineDescription,
+                      iterations: int = MEASURE_ITERATIONS) -> float:
+    result = execute(graph, machine=machine, iterations=iterations)
+    return result.cycles_per_output(machine)
+
+
+@dataclass
+class Variants:
+    """All compiled/measured variants of one benchmark on one machine."""
+
+    name: str
+    machine: MachineDescription
+    scalar: StreamGraph = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.scalar = scalar_graph(self.name)
+        self._cpo: Dict[str, float] = {}
+
+    def baseline_cpo(self) -> float:
+        return self._measure("scalar", self.scalar)
+
+    def autovec_cpo(self, profile: CompilerProfile) -> float:
+        key = f"autovec:{profile.name}"
+        if key not in self._cpo:
+            graph = self.scalar.clone()
+            auto_vectorize(graph, profile, self.machine)
+            self._cpo[key] = cycles_per_output(graph, self.machine)
+        return self._cpo[key]
+
+    def macro_graph(self, options: MacroSSOptions = MacroSSOptions()
+                    ) -> StreamGraph:
+        return compile_graph(self.scalar, self.machine, options).graph
+
+    def macro_cpo(self, options: MacroSSOptions = MacroSSOptions(),
+                  tag: str = "macro") -> float:
+        if tag not in self._cpo:
+            self._cpo[tag] = cycles_per_output(self.macro_graph(options),
+                                               self.machine)
+        return self._cpo[tag]
+
+    def macro_autovec_cpo(self, profile: CompilerProfile) -> float:
+        key = f"macro+autovec:{profile.name}"
+        if key not in self._cpo:
+            graph = compile_graph(self.scalar, self.machine).graph
+            auto_vectorize(graph, profile, self.machine)
+            self._cpo[key] = cycles_per_output(graph, self.machine)
+        return self._cpo[key]
+
+    def _measure(self, tag: str, graph: StreamGraph) -> float:
+        if tag not in self._cpo:
+            self._cpo[tag] = cycles_per_output(graph, self.machine)
+        return self._cpo[tag]
+
+
+def resolve_benchmarks(names: Optional[Sequence[str]] = None) -> List[str]:
+    if names:
+        unknown = sorted(set(names) - set(BENCHMARKS))
+        if unknown:
+            raise KeyError(f"unknown benchmarks: {unknown}")
+        return list(names)
+    return list(DEFAULT_BENCHMARKS)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values)) if values else 0.0
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

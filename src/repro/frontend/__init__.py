@@ -1,0 +1,13 @@
+"""Textual StreamIt-subset frontend: lexer, parser, lowering."""
+
+from .ast_nodes import CompositeDecl, FilterDecl, StreamDecl
+from .lexer import LexError, Token, tokenize
+from .lower import LoweringError, Lowerer, compile_source
+from .parser import ParseError, parse
+
+__all__ = [
+    "CompositeDecl", "FilterDecl", "StreamDecl",
+    "LexError", "Token", "tokenize",
+    "LoweringError", "Lowerer", "compile_source",
+    "ParseError", "parse",
+]

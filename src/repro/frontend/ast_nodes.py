@@ -1,0 +1,93 @@
+"""Declaration-level AST of the textual frontend.
+
+Statement/expression bodies are parsed directly into the work-function IR
+(:mod:`repro.ir`), with :class:`~repro.ir.expr.Param` placeholders for
+stream parameters; only the stream-graph level needs its own nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..ir import expr as E
+from ..ir.stmt import Body
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    type_name: str  # "int" | "float"
+    name: str
+
+
+@dataclass(frozen=True)
+class StateDecl:
+    type_name: str
+    name: str
+    size: Optional[int]          # None for scalars
+    init: Optional[E.Expr]       # scalar initialiser (constant or Param)
+    array_init: Optional[Tuple[E.Expr, ...]] = None
+
+
+@dataclass(frozen=True)
+class RateSpec:
+    pop: E.Expr
+    push: E.Expr
+    peek: Optional[E.Expr] = None
+
+
+@dataclass(frozen=True)
+class FilterDecl:
+    name: str
+    in_type: str
+    out_type: str
+    params: Tuple[ParamDecl, ...]
+    states: Tuple[StateDecl, ...]
+    rates: RateSpec
+    init_body: Body
+    work_body: Body
+
+
+@dataclass(frozen=True)
+class SplitSpec:
+    kind: str                     # "duplicate" | "roundrobin"
+    weights: Tuple[E.Expr, ...]   # empty for duplicate
+
+
+@dataclass(frozen=True)
+class AddStmt:
+    """``add Name(args);`` or an inline anonymous composite."""
+
+    name: Optional[str] = None
+    args: Tuple[E.Expr, ...] = ()
+    inline: Optional["CompositeDecl"] = None
+
+
+@dataclass(frozen=True)
+class CompositeDecl:
+    name: str
+    kind: str                     # "pipeline" | "splitjoin"
+    in_type: str
+    out_type: str
+    params: Tuple[ParamDecl, ...]
+    adds: Tuple[AddStmt, ...]
+    split: Optional[SplitSpec] = None
+    join: Optional[Tuple[E.Expr, ...]] = None
+
+
+@dataclass(frozen=True)
+class FeedbackDecl:
+    """``feedbackloop`` declaration: join, body, loop, split, enqueue."""
+
+    name: str
+    in_type: str
+    out_type: str
+    params: Tuple[ParamDecl, ...]
+    join_weights: Tuple[E.Expr, E.Expr]
+    split: SplitSpec
+    body: AddStmt
+    loop: AddStmt
+    enqueue: Tuple[E.Expr, ...]
+
+
+StreamDecl = Union[FilterDecl, CompositeDecl, FeedbackDecl]

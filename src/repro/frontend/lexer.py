@@ -1,0 +1,113 @@
+"""Lexer for the StreamIt-subset textual frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = frozenset({
+    "filter", "pipeline", "splitjoin", "feedbackloop",
+    "float", "int", "void", "boolean",
+    "work", "init", "push", "pop", "peek", "for", "if", "else", "add",
+    "split", "join", "duplicate", "roundrobin", "true", "false",
+})
+
+#: Multi-character operators, longest first.
+_OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "->",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+
+class LexError(SyntaxError):
+    """Raised on unrecognisable input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # "ident", "keyword", "int", "float", "op", "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r}, L{self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(f"line {line}: {message}")
+
+    while index < length:
+        ch = source[index]
+        if ch == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            line += source.count("\n", index, end)
+            index = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += index - start
+            continue
+        if ch.isdigit() or (ch == "." and index + 1 < length
+                            and source[index + 1].isdigit()):
+            start = index
+            is_float = False
+            while index < length and source[index].isdigit():
+                index += 1
+            if index < length and source[index] == ".":
+                is_float = True
+                index += 1
+                while index < length and source[index].isdigit():
+                    index += 1
+            if index < length and source[index] in "eE":
+                is_float = True
+                index += 1
+                if index < length and source[index] in "+-":
+                    index += 1
+                while index < length and source[index].isdigit():
+                    index += 1
+            text = source[start:index]
+            tokens.append(Token("float" if is_float else "int", text,
+                                line, column))
+            column += index - start
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, index):
+                tokens.append(Token("op", op, line, column))
+                index += len(op)
+                column += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,198 @@
+"""Lowering: textual declarations -> the graph/IR object model.
+
+Instantiates a named top-level stream (and everything it adds,
+recursively), resolving stream parameters to constants, producing the same
+:class:`~repro.graph.structure.Program` the Python DSL builds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from ..graph.actor import FilterSpec, StateVar, bind_params
+from ..graph.builtins import (
+    duplicate_splitter,
+    roundrobin_joiner,
+    roundrobin_splitter,
+)
+from ..graph.structure import Program, StreamNode, pipeline, splitjoin
+from ..ir import expr as E
+from ..ir.types import BOOL, FLOAT, INT, Scalar
+from .ast_nodes import (
+    AddStmt,
+    CompositeDecl,
+    FeedbackDecl,
+    FilterDecl,
+    StateDecl,
+    StreamDecl,
+)
+from .parser import parse
+
+_IR_TYPES: Mapping[str, Scalar] = {"float": FLOAT, "int": INT,
+                                   "boolean": BOOL}
+
+
+class LoweringError(Exception):
+    pass
+
+
+def _const_eval(expr: E.Expr, params: Mapping[str, float | int]):
+    """Evaluate a compile-time-constant expression (rates, weights, args)."""
+    if isinstance(expr, (E.IntConst, E.FloatConst, E.BoolConst)):
+        return expr.value
+    if isinstance(expr, E.Param):
+        try:
+            return params[expr.name]
+        except KeyError:
+            raise LoweringError(f"unbound parameter {expr.name!r}") from None
+    if isinstance(expr, E.UnaryOp) and expr.op == "-":
+        return -_const_eval(expr.operand, params)
+    if isinstance(expr, E.BinaryOp):
+        from ..runtime.values import apply_binary
+        return apply_binary(expr.op,
+                            _const_eval(expr.left, params),
+                            _const_eval(expr.right, params))
+    raise LoweringError(f"expression is not compile-time constant: {expr!r}")
+
+
+class Lowerer:
+    def __init__(self, decls: Sequence[StreamDecl]) -> None:
+        self.decls: Dict[str, StreamDecl] = {}
+        for decl in decls:
+            if decl.name in self.decls:
+                raise LoweringError(f"duplicate stream {decl.name!r}")
+            self.decls[decl.name] = decl
+
+    def instantiate(self, name: str,
+                    args: Sequence[float | int] = ()) -> StreamNode:
+        decl = self.decls.get(name)
+        if decl is None:
+            raise LoweringError(f"unknown stream {name!r}")
+        params = self._bind_args(decl, args)
+        if isinstance(decl, FilterDecl):
+            from ..graph.structure import FilterNode
+            return FilterNode(self._filter_spec(decl, params))
+        if isinstance(decl, FeedbackDecl):
+            return self._feedback(decl, params)
+        return self._composite(decl, params)
+
+    def _bind_args(self, decl: StreamDecl,
+                   args: Sequence[float | int]) -> Dict[str, float | int]:
+        if len(args) != len(decl.params):
+            raise LoweringError(
+                f"{decl.name}: expected {len(decl.params)} arguments, "
+                f"got {len(args)}")
+        bound: Dict[str, float | int] = {}
+        for param, value in zip(decl.params, args):
+            if param.type_name == "int":
+                bound[param.name] = int(value)
+            else:
+                bound[param.name] = float(value)
+        return bound
+
+    # -- filters ------------------------------------------------------------------
+    def _filter_spec(self, decl: FilterDecl,
+                     params: Dict[str, float | int]) -> FilterSpec:
+        pop = int(_const_eval(decl.rates.pop, params))
+        push = int(_const_eval(decl.rates.push, params))
+        peek = (int(_const_eval(decl.rates.peek, params))
+                if decl.rates.peek is not None else 0)
+        spec = FilterSpec(
+            name=decl.name,
+            pop=pop,
+            push=push,
+            peek=peek,
+            data_type=_IR_TYPES.get(decl.in_type, FLOAT),
+            output_type=_IR_TYPES.get(decl.out_type, FLOAT),
+            state=tuple(self._state_var(s, params) for s in decl.states),
+            init_body=decl.init_body,
+            work_body=decl.work_body,
+        )
+        if params:
+            spec = bind_params(spec, params)
+        return spec
+
+    def _state_var(self, state: StateDecl,
+                   params: Dict[str, float | int]) -> StateVar:
+        ir_type = _IR_TYPES[state.type_name]
+        if state.size is not None:
+            if state.array_init is not None:
+                init = tuple(_const_eval(e, params) for e in state.array_init)
+                if len(init) != state.size:
+                    raise LoweringError(
+                        f"state {state.name}: initialiser length mismatch")
+            else:
+                init = 0 if state.type_name == "int" else 0.0
+            return StateVar(state.name, ir_type, state.size, init)
+        if state.init is not None:
+            value = _const_eval(state.init, params)
+        else:
+            value = 0 if state.type_name == "int" else 0.0
+        return StateVar(state.name, ir_type, 0, value)
+
+    # -- composites ---------------------------------------------------------------
+    def _composite(self, decl: CompositeDecl,
+                   params: Dict[str, float | int]) -> StreamNode:
+        children: List[StreamNode] = []
+        for add in decl.adds:
+            children.append(self._lower_add(add, params))
+        if decl.kind == "pipeline":
+            return pipeline(*children)
+        weights = [int(_const_eval(w, params)) for w in decl.join or ()]
+        assert decl.split is not None
+        if decl.split.kind == "duplicate":
+            splitter = duplicate_splitter(len(children))
+        else:
+            split_weights = [int(_const_eval(w, params))
+                             for w in decl.split.weights]
+            if len(split_weights) != len(children):
+                raise LoweringError(
+                    f"{decl.name}: split weights do not match branches")
+            splitter = roundrobin_splitter(split_weights)
+        if len(weights) != len(children):
+            raise LoweringError(
+                f"{decl.name}: join weights do not match branches")
+        return splitjoin(splitter, children, roundrobin_joiner(weights))
+
+    def _feedback(self, decl: FeedbackDecl,
+                  params: Dict[str, float | int]) -> StreamNode:
+        from ..graph.structure import feedbackloop
+        join_weights = tuple(int(_const_eval(w, params))
+                             for w in decl.join_weights)
+        enqueue = tuple(_const_eval(e, params) for e in decl.enqueue)
+        if decl.split.kind == "duplicate":
+            duplicate, split_weights = True, (1, 1)
+        else:
+            duplicate = False
+            split_weights = tuple(int(_const_eval(w, params))
+                                  for w in decl.split.weights)
+            if len(split_weights) != 2:
+                raise LoweringError(
+                    f"{decl.name}: feedback split takes 2 weights")
+        return feedbackloop(
+            self._lower_add(decl.body, params),
+            self._lower_add(decl.loop, params),
+            join_weights=join_weights,
+            split_weights=split_weights,
+            duplicate_split=duplicate,
+            enqueue=enqueue,
+        )
+
+    def _lower_add(self, add: AddStmt,
+                   params: Dict[str, float | int]) -> StreamNode:
+        if add.inline is not None:
+            return self._composite(add.inline, params)
+        assert add.name is not None
+        args = [_const_eval(a, params) for a in add.args]
+        return self.instantiate(add.name, args)
+
+
+def compile_source(source: str, top: str = "Main",
+                   args: Sequence[float | int] = ()) -> Program:
+    """Parse and lower a textual stream program.
+
+    ``top`` names the stream to instantiate as the program root.
+    """
+    lowerer = Lowerer(parse(source))
+    node = lowerer.instantiate(top, args)
+    return Program(top, node)

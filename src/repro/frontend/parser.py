@@ -1,0 +1,523 @@
+"""Recursive-descent parser for the StreamIt-subset textual frontend.
+
+Grammar (informal)::
+
+    program    := stream+
+    stream     := type "->" type kind NAME "(" params? ")" "{" body "}"
+    kind       := "filter" | "pipeline" | "splitjoin"
+
+    # filter bodies
+    body(filter)    := state* init? work
+    state           := type NAME ("[" INT "]")? ("=" init)? ";"
+    init            := "init" block
+    work            := "work" rates block
+    rates           := ("pop" cexpr | "push" cexpr | "peek" cexpr)*
+
+    # composite bodies
+    body(pipeline)  := ("add" add ";")+
+    body(splitjoin) := "split" splitkind ";" ("add" add ";")+
+                       "join" "roundrobin" "(" cexprs ")" ";"
+    add             := NAME "(" args? ")" | anonymous-splitjoin/pipeline
+
+Statements and expressions are parsed directly into :mod:`repro.ir`;
+references to declared stream parameters become ``Param`` nodes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ir import expr as E
+from ..ir import lvalue as L
+from ..ir import stmt as S
+from ..ir.expr import MATH_FUNCS
+from ..ir.types import BOOL, FLOAT, INT, Scalar
+from .ast_nodes import (
+    AddStmt,
+    CompositeDecl,
+    FeedbackDecl,
+    FilterDecl,
+    ParamDecl,
+    RateSpec,
+    SplitSpec,
+    StateDecl,
+    StreamDecl,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(SyntaxError):
+    pass
+
+
+_TYPE_NAMES = {"float", "int", "boolean", "void"}
+_IR_TYPES = {"float": FLOAT, "int": INT, "boolean": BOOL}
+
+#: binary operator precedence (higher binds tighter)
+_BINARY_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.position = 0
+        self._params: set[str] = set()
+        self._anon_counter = 0
+
+    # -- token plumbing --------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.position + ahead, len(self.tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        self.position += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(f"line {token.line}: {message} "
+                          f"(found {token.text!r})")
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise self._error(f"expected {wanted!r}")
+        return self._next()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    # -- program ----------------------------------------------------------------
+    def parse_program(self) -> List[StreamDecl]:
+        decls: List[StreamDecl] = []
+        while self._peek().kind != "eof":
+            decls.append(self._stream_decl())
+        if not decls:
+            raise self._error("empty program")
+        return decls
+
+    def _stream_decl(self) -> StreamDecl:
+        in_type = self._type_name()
+        self._expect("op", "->")
+        out_type = self._type_name()
+        kind_token = self._next()
+        if kind_token.text not in ("filter", "pipeline", "splitjoin",
+                                   "feedbackloop"):
+            raise self._error(
+                "expected filter/pipeline/splitjoin/feedbackloop")
+        name = self._expect("ident").text
+        params = self._param_list()
+        self._params = {p.name for p in params}
+        if kind_token.text == "filter":
+            return self._filter_body(name, in_type, out_type, params)
+        if kind_token.text == "feedbackloop":
+            return self._feedback_body(name, in_type, out_type, params)
+        return self._composite_body(kind_token.text, name, in_type,
+                                    out_type, params)
+
+    def _type_name(self) -> str:
+        token = self._next()
+        if token.text not in _TYPE_NAMES:
+            raise self._error("expected a type name")
+        return token.text
+
+    def _param_list(self) -> Tuple[ParamDecl, ...]:
+        self._expect("op", "(")
+        params: List[ParamDecl] = []
+        while not self._accept("op", ")"):
+            if params:
+                self._expect("op", ",")
+            type_name = self._type_name()
+            name = self._expect("ident").text
+            params.append(ParamDecl(type_name, name))
+        return tuple(params)
+
+    # -- filters --------------------------------------------------------------
+    def _filter_body(self, name: str, in_type: str, out_type: str,
+                     params: Tuple[ParamDecl, ...]) -> FilterDecl:
+        self._expect("op", "{")
+        states: List[StateDecl] = []
+        init_body: S.Body = ()
+        rates: Optional[RateSpec] = None
+        work_body: S.Body = ()
+        while not self._accept("op", "}"):
+            if self._accept("keyword", "init"):
+                init_body = self._block()
+            elif self._accept("keyword", "work"):
+                rates = self._rates()
+                work_body = self._block()
+            elif self._peek().text in _TYPE_NAMES:
+                states.append(self._state_decl())
+            else:
+                raise self._error("expected state/init/work in filter body")
+        if rates is None:
+            raise self._error(f"filter {name} has no work block")
+        return FilterDecl(name, in_type, out_type, params, tuple(states),
+                          rates, init_body, work_body)
+
+    def _state_decl(self) -> StateDecl:
+        type_name = self._type_name()
+        name = self._expect("ident").text
+        size: Optional[int] = None
+        init: Optional[E.Expr] = None
+        array_init: Optional[Tuple[E.Expr, ...]] = None
+        if self._accept("op", "["):
+            size = int(self._expect("int").text)
+            self._expect("op", "]")
+        if self._accept("op", "="):
+            if self._accept("op", "{"):
+                items: List[E.Expr] = []
+                while not self._accept("op", "}"):
+                    if items:
+                        self._expect("op", ",")
+                    items.append(self._expr())
+                array_init = tuple(items)
+            else:
+                init = self._expr()
+        self._expect("op", ";")
+        return StateDecl(type_name, name, size, init, array_init)
+
+    def _rates(self) -> RateSpec:
+        pop: Optional[E.Expr] = None
+        push: Optional[E.Expr] = None
+        peek: Optional[E.Expr] = None
+        while self._peek().text in ("pop", "push", "peek"):
+            which = self._next().text
+            value = self._unary()
+            if which == "pop":
+                pop = value
+            elif which == "push":
+                push = value
+            else:
+                peek = value
+        return RateSpec(pop or E.IntConst(0), push or E.IntConst(0), peek)
+
+    # -- statements ---------------------------------------------------------------
+    def _block(self) -> S.Body:
+        self._expect("op", "{")
+        stmts: List[S.Stmt] = []
+        while not self._accept("op", "}"):
+            stmts.append(self._statement())
+        return tuple(stmts)
+
+    def _statement(self) -> S.Stmt:
+        token = self._peek()
+        if token.text in ("float", "int", "boolean"):
+            return self._local_decl()
+        if token.text == "for":
+            return self._for_stmt()
+        if token.text == "if":
+            return self._if_stmt()
+        if token.text == "push":
+            self._next()
+            self._expect("op", "(")
+            value = self._expr()
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return S.Push(value)
+        # assignment or expression statement
+        return self._assign_or_expr_stmt()
+
+    def _local_decl(self) -> S.Stmt:
+        type_name = self._next().text
+        ir_type = _IR_TYPES[type_name]
+        name = self._expect("ident").text
+        if self._accept("op", "["):
+            size = int(self._expect("int").text)
+            self._expect("op", "]")
+            init: Optional[Tuple[float, ...]] = None
+            if self._accept("op", "="):
+                self._expect("op", "{")
+                items: List[float] = []
+                while not self._accept("op", "}"):
+                    if items:
+                        self._expect("op", ",")
+                    items.append(self._const_number())
+                init = tuple(items)
+            self._expect("op", ";")
+            return S.DeclArray(name, ir_type, size, init)
+        init_expr: Optional[E.Expr] = None
+        if self._accept("op", "="):
+            init_expr = self._expr()
+        self._expect("op", ";")
+        return S.DeclVar(name, ir_type, init_expr)
+
+    def _const_number(self) -> float:
+        negative = bool(self._accept("op", "-"))
+        token = self._next()
+        if token.kind not in ("int", "float"):
+            raise self._error("expected a numeric literal")
+        value = float(token.text)
+        return -value if negative else value
+
+    def _assign_or_expr_stmt(self) -> S.Stmt:
+        stmt = self._assign_or_expr()
+        self._expect("op", ";")
+        return stmt
+
+    def _assign_or_expr(self) -> S.Stmt:
+        start = self.position
+        if self._peek().kind == "ident":
+            name = self._next().text
+            index: Optional[E.Expr] = None
+            if self._accept("op", "["):
+                index = self._expr()
+                self._expect("op", "]")
+            op_token = self._peek()
+            if op_token.text in ("=", "+=", "-=", "*=", "/=", "++", "--"):
+                self._next()
+                target: L.LValue = (L.ArrayLV(name, index)
+                                    if index is not None else L.VarLV(name))
+                read: E.Expr = (E.ArrayRead(name, index)
+                                if index is not None else E.Var(name))
+                if op_token.text == "=":
+                    return S.Assign(target, self._expr())
+                if op_token.text in ("++", "--"):
+                    delta = E.IntConst(1)
+                    op = "+" if op_token.text == "++" else "-"
+                    return S.Assign(target, E.BinaryOp(op, read, delta))
+                value = self._expr()
+                return S.Assign(target,
+                                E.BinaryOp(op_token.text[0], read, value))
+            self.position = start  # plain expression statement
+        return S.ExprStmt(self._expr())
+
+    def _for_stmt(self) -> S.Stmt:
+        self._expect("keyword", "for")
+        self._expect("op", "(")
+        self._expect("keyword", "int")
+        var = self._expect("ident").text
+        self._expect("op", "=")
+        start = self._expr()
+        self._expect("op", ";")
+        cond_var = self._expect("ident").text
+        if cond_var != var:
+            raise self._error("for-loop condition must test the loop variable")
+        self._expect("op", "<")
+        end = self._expr()
+        self._expect("op", ";")
+        update = self._assign_or_expr()
+        if not (isinstance(update, S.Assign)
+                and isinstance(update.lhs, L.VarLV)
+                and update.lhs.name == var):
+            raise self._error("for-loop update must assign the loop variable")
+        self._expect("op", ")")
+        body = self._block() if self._peek().text == "{" \
+            else (self._statement(),)
+        return S.For(var, start, end, body)
+
+    def _if_stmt(self) -> S.Stmt:
+        self._expect("keyword", "if")
+        self._expect("op", "(")
+        cond = self._expr()
+        self._expect("op", ")")
+        then_body = self._block()
+        else_body: S.Body = ()
+        if self._accept("keyword", "else"):
+            if self._peek().text == "if":
+                else_body = (self._if_stmt(),)
+            else:
+                else_body = self._block()
+        return S.If(cond, then_body, else_body)
+
+    # -- expressions ----------------------------------------------------------------
+    def _expr(self) -> E.Expr:
+        return self._ternary()
+
+    def _ternary(self) -> E.Expr:
+        cond = self._binary(1)
+        if self._accept("op", "?"):
+            if_true = self._expr()
+            self._expect("op", ":")
+            if_false = self._expr()
+            return E.Select(cond, if_true, if_false)
+        return cond
+
+    def _binary(self, min_precedence: int) -> E.Expr:
+        left = self._unary()
+        while True:
+            op = self._peek().text
+            precedence = _BINARY_PRECEDENCE.get(op)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._next()
+            right = self._binary(precedence + 1)
+            left = E.BinaryOp(op, left, right)
+
+    def _unary(self) -> E.Expr:
+        if self._accept("op", "-"):
+            operand = self._unary()
+            if isinstance(operand, E.IntConst):
+                return E.IntConst(-operand.value)
+            if isinstance(operand, E.FloatConst):
+                return E.FloatConst(-operand.value)
+            return E.UnaryOp("-", operand)
+        if self._accept("op", "!"):
+            return E.UnaryOp("!", self._unary())
+        if self._accept("op", "~"):
+            return E.UnaryOp("~", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> E.Expr:
+        token = self._next()
+        if token.kind == "int":
+            return E.IntConst(int(token.text))
+        if token.kind == "float":
+            return E.FloatConst(float(token.text))
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            return E.BoolConst(token.text == "true")
+        if token.kind == "op" and token.text == "(":
+            inner = self._expr()
+            self._expect("op", ")")
+            return inner
+        if token.kind == "keyword" and token.text == "pop":
+            self._expect("op", "(")
+            self._expect("op", ")")
+            return E.Pop()
+        if token.kind == "keyword" and token.text == "peek":
+            self._expect("op", "(")
+            offset = self._expr()
+            self._expect("op", ")")
+            return E.Peek(offset)
+        if token.kind == "ident":
+            name = token.text
+            if self._peek().text == "(":
+                if name not in MATH_FUNCS:
+                    raise self._error(f"unknown function {name!r}")
+                self._next()
+                args: List[E.Expr] = []
+                while not self._accept("op", ")"):
+                    if args:
+                        self._expect("op", ",")
+                    args.append(self._expr())
+                return E.Call(name, tuple(args))
+            if self._accept("op", "["):
+                index = self._expr()
+                self._expect("op", "]")
+                return E.ArrayRead(name, index)
+            if name in self._params:
+                return E.Param(name)
+            return E.Var(name)
+        raise self._error("expected an expression")
+
+    # -- composites ----------------------------------------------------------------
+    def _composite_body(self, kind: str, name: str, in_type: str,
+                        out_type: str,
+                        params: Tuple[ParamDecl, ...]) -> CompositeDecl:
+        saved_params = set(self._params)
+        self._expect("op", "{")
+        adds: List[AddStmt] = []
+        split: Optional[SplitSpec] = None
+        join: Optional[Tuple[E.Expr, ...]] = None
+        while not self._accept("op", "}"):
+            if self._accept("keyword", "split"):
+                split = self._split_spec()
+                self._expect("op", ";")
+            elif self._accept("keyword", "join"):
+                self._expect("keyword", "roundrobin")
+                join = self._weight_list()
+                self._expect("op", ";")
+            elif self._accept("keyword", "add"):
+                adds.append(self._add_stmt(in_type, out_type))
+                self._expect("op", ";")
+            else:
+                raise self._error("expected add/split/join")
+        self._params = saved_params
+        if kind == "splitjoin" and (split is None or join is None):
+            raise self._error(f"splitjoin {name} needs split and join")
+        if not adds:
+            raise self._error(f"{kind} {name} adds nothing")
+        return CompositeDecl(name, kind, in_type, out_type, params,
+                             tuple(adds), split, join)
+
+    def _feedback_body(self, name: str, in_type: str, out_type: str,
+                       params: Tuple[ParamDecl, ...]) -> FeedbackDecl:
+        """``join roundrobin(a, b); body S(); loop L(); split ...;
+        enqueue(v, ...);`` — contextual keywords (body/loop/enqueue are
+        ordinary identifiers elsewhere)."""
+        self._expect("op", "{")
+        join_weights = None
+        split = None
+        body = None
+        loop = None
+        enqueue: Tuple[E.Expr, ...] = ()
+        while not self._accept("op", "}"):
+            if self._accept("keyword", "join"):
+                self._expect("keyword", "roundrobin")
+                weights = self._weight_list()
+                if len(weights) != 2:
+                    raise self._error("feedback join takes 2 weights")
+                join_weights = (weights[0], weights[1])
+            elif self._accept("keyword", "split"):
+                split = self._split_spec()
+            elif self._peek().kind == "ident" \
+                    and self._peek().text in ("body", "loop", "enqueue"):
+                which = self._next().text
+                if which == "enqueue":
+                    enqueue = enqueue + self._weight_list()
+                else:
+                    stmt = self._add_stmt(in_type, out_type)
+                    if which == "body":
+                        body = stmt
+                    else:
+                        loop = stmt
+            else:
+                raise self._error("expected join/body/loop/split/enqueue")
+            self._expect("op", ";")
+        if None in (join_weights, split, body, loop) or not enqueue:
+            raise self._error(
+                f"feedbackloop {name} needs join, body, loop, split, enqueue")
+        return FeedbackDecl(name, in_type, out_type, params,
+                            join_weights, split, body, loop, enqueue)
+
+    def _split_spec(self) -> SplitSpec:
+        if self._accept("keyword", "duplicate"):
+            return SplitSpec("duplicate", ())
+        self._expect("keyword", "roundrobin")
+        return SplitSpec("roundrobin", self._weight_list())
+
+    def _weight_list(self) -> Tuple[E.Expr, ...]:
+        self._expect("op", "(")
+        weights: List[E.Expr] = []
+        while not self._accept("op", ")"):
+            if weights:
+                self._expect("op", ",")
+            weights.append(self._expr())
+        return tuple(weights)
+
+    def _add_stmt(self, in_type: str, out_type: str) -> AddStmt:
+        if self._peek().text == "splitjoin":
+            self._next()
+            self._anon_counter += 1
+            inline = self._composite_body(
+                "splitjoin", f"__anon{self._anon_counter}",
+                in_type, out_type, ())
+            return AddStmt(inline=inline)
+        if self._peek().text == "pipeline":
+            self._next()
+            self._anon_counter += 1
+            inline = self._composite_body(
+                "pipeline", f"__anon{self._anon_counter}",
+                in_type, out_type, ())
+            return AddStmt(inline=inline)
+        name = self._expect("ident").text
+        self._expect("op", "(")
+        args: List[E.Expr] = []
+        while not self._accept("op", ")"):
+            if args:
+                self._expect("op", ",")
+            args.append(self._expr())
+        return AddStmt(name=name, args=tuple(args))
+
+
+def parse(source: str) -> List[StreamDecl]:
+    """Parse a textual stream program into declarations."""
+    return Parser(source).parse_program()

@@ -1,0 +1,39 @@
+"""Stream graphs: actor specs, hierarchy, flattening, validation."""
+
+from .actor import FilterSpec, StateVar, bind_params
+from .builtins import (
+    HJoinerSpec,
+    HSplitterSpec,
+    JoinerSpec,
+    SplitKind,
+    SplitterSpec,
+    duplicate_splitter,
+    roundrobin_joiner,
+    roundrobin_splitter,
+)
+from .dot import to_dot
+from .flatten import flatten
+from .stream_graph import ActorInstance, GraphError, StreamGraph, TapeEdge
+from .structure import (
+    FeedbackLoop,
+    FilterNode,
+    Pipeline,
+    Program,
+    SplitJoin,
+    StreamNode,
+    feedbackloop,
+    pipeline,
+    splitjoin,
+)
+from .validate import collect_problems, count_tape_accesses, validate
+
+__all__ = [
+    "FilterSpec", "StateVar", "bind_params",
+    "HJoinerSpec", "HSplitterSpec", "JoinerSpec", "SplitKind", "SplitterSpec",
+    "duplicate_splitter", "roundrobin_joiner", "roundrobin_splitter",
+    "flatten", "to_dot",
+    "ActorInstance", "GraphError", "StreamGraph", "TapeEdge",
+    "FeedbackLoop", "FilterNode", "Pipeline", "Program", "SplitJoin",
+    "StreamNode", "feedbackloop", "pipeline", "splitjoin",
+    "collect_problems", "count_tape_accesses", "validate",
+]

@@ -1,0 +1,110 @@
+"""Actor (filter) specifications.
+
+A :class:`FilterSpec` is the StreamIt *filter*: declared I/O rates
+(``peek``/``pop``/``push``), optional persistent state variables, an ``init``
+body run once, and a ``work`` body run every firing.  Specs are immutable
+value objects; the same spec may be instantiated many times in a graph
+(that is what makes horizontal SIMDization's isomorphic sets common).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional, Tuple
+
+from ..ir import expr as ir_expr
+from ..ir.stmt import Body
+from ..ir.types import FLOAT, IRType, Scalar
+from ..ir.visitors import rewrite_body_exprs
+
+
+@dataclass(frozen=True)
+class StateVar:
+    """A persistent per-instance variable (scalar if ``size == 0``).
+
+    ``type`` becomes a :class:`~repro.ir.types.Vector` after horizontal
+    SIMDization (state is kept per lane, §3.3).  ``init`` may be a scalar
+    (splatted), a tuple of ``size`` values for arrays, or nested tuples for
+    per-lane initialisation of vector state.
+    """
+
+    name: str
+    type: IRType = FLOAT
+    size: int = 0
+    init: "float | Tuple" = 0.0
+
+    @property
+    def is_array(self) -> bool:
+        return self.size > 0
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """An actor definition: rates, state, and init/work bodies."""
+
+    name: str
+    pop: int
+    push: int
+    peek: int = 0
+    data_type: Scalar = FLOAT
+    output_type: Optional[Scalar] = None
+    state: Tuple[StateVar, ...] = ()
+    init_body: Body = ()
+    work_body: Body = ()
+
+    def __post_init__(self) -> None:
+        if self.pop < 0 or self.push < 0:
+            raise ValueError(f"{self.name}: rates must be non-negative")
+        # StreamIt convention: peek is at least pop (a filter can always
+        # inspect what it is about to consume).
+        if self.peek < self.pop:
+            object.__setattr__(self, "peek", self.pop)
+
+    @property
+    def out_type(self) -> Scalar:
+        return self.output_type if self.output_type is not None else self.data_type
+
+    @property
+    def is_source(self) -> bool:
+        return self.pop == 0
+
+    @property
+    def is_sink(self) -> bool:
+        return self.push == 0
+
+    @property
+    def is_peeking(self) -> bool:
+        """True when the filter inspects more than it consumes."""
+        return self.peek > self.pop
+
+    def with_name(self, name: str) -> "FilterSpec":
+        return replace(self, name=name)
+
+
+def bind_params(spec: FilterSpec, params: Mapping[str, float | int]) -> FilterSpec:
+    """Substitute :class:`~repro.ir.expr.Param` placeholders with literals.
+
+    Integer values become ``IntConst`` and floats ``FloatConst``; unknown
+    parameter names raise so typos do not silently survive to runtime.
+    """
+    seen: set[str] = set()
+
+    def substitute(e: ir_expr.Expr) -> ir_expr.Expr:
+        if isinstance(e, ir_expr.Param):
+            if e.name not in params:
+                raise KeyError(f"{spec.name}: unbound parameter {e.name!r}")
+            seen.add(e.name)
+            value = params[e.name]
+            if isinstance(value, bool):
+                return ir_expr.BoolConst(value)
+            if isinstance(value, int):
+                return ir_expr.IntConst(value)
+            return ir_expr.FloatConst(float(value))
+        return e
+
+    new_init = rewrite_body_exprs(spec.init_body, substitute)
+    new_work = rewrite_body_exprs(spec.work_body, substitute)
+    unused = set(params) - seen
+    if unused:
+        raise KeyError(f"{spec.name}: unknown parameters {sorted(unused)}")
+    return replace(spec, init_body=new_init, work_body=new_work)

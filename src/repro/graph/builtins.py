@@ -1,0 +1,140 @@
+"""Built-in split/join actors.
+
+Splitters and joiners are pure data movers: the paper (§3.1) excludes them
+from single-actor and vertical SIMDization and replaces them with
+*horizontal* variants (HSplitter / HJoiner, §3.3) when the split-join they
+bound is horizontally vectorized.  They are executed natively by the runtime
+rather than through the work-function interpreter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..ir.types import FLOAT, Scalar
+
+
+class SplitKind(enum.Enum):
+    DUPLICATE = "duplicate"
+    ROUNDROBIN = "roundrobin"
+
+
+@dataclass(frozen=True)
+class SplitterSpec:
+    """Distributes an input tape across ``len(weights)`` output tapes.
+
+    * ``DUPLICATE``: every popped element is copied to all outputs
+      (weights are all 1 and ignored).
+    * ``ROUNDROBIN``: per execution, ``weights[i]`` consecutive elements go
+      to output ``i``; total pop per execution is ``sum(weights)``.
+    """
+
+    kind: SplitKind
+    weights: Tuple[int, ...]
+    data_type: Scalar = FLOAT
+    name: str = "splitter"
+
+    @property
+    def pop_per_exec(self) -> int:
+        if self.kind is SplitKind.DUPLICATE:
+            return 1
+        return sum(self.weights)
+
+    def push_per_exec(self, port: int) -> int:
+        if self.kind is SplitKind.DUPLICATE:
+            return 1
+        return self.weights[port]
+
+    @property
+    def fanout(self) -> int:
+        return len(self.weights)
+
+
+@dataclass(frozen=True)
+class JoinerSpec:
+    """Round-robin merges ``len(weights)`` input tapes into one output.
+
+    Per execution, ``weights[i]`` consecutive elements are taken from input
+    ``i``; total push per execution is ``sum(weights)``.
+    """
+
+    weights: Tuple[int, ...]
+    data_type: Scalar = FLOAT
+    name: str = "joiner"
+
+    def pop_per_exec(self, port: int) -> int:
+        return self.weights[port]
+
+    @property
+    def push_per_exec(self) -> int:
+        return sum(self.weights)
+
+    @property
+    def fanin(self) -> int:
+        return len(self.weights)
+
+
+@dataclass(frozen=True)
+class HSplitterSpec:
+    """Horizontal splitter (§3.3): reads ``width * weight`` scalars per
+    execution and emits ``weight`` vectors of ``width`` lanes, lane ``k``
+    holding the element destined for the k-th original child.
+
+    For a DUPLICATE parent the packing degenerates to a splat.
+    """
+
+    kind: SplitKind
+    weight: int
+    width: int
+    data_type: Scalar = FLOAT
+    name: str = "hsplitter"
+
+    @property
+    def pop_per_exec(self) -> int:
+        if self.kind is SplitKind.DUPLICATE:
+            return self.weight
+        return self.weight * self.width
+
+    @property
+    def push_per_exec(self) -> int:
+        """Vector items pushed per execution."""
+        return self.weight
+
+
+@dataclass(frozen=True)
+class HJoinerSpec:
+    """Horizontal joiner (§3.3): reads ``weight`` vectors per execution and
+    unpacks them to ``width * weight`` scalars in round-robin order."""
+
+    weight: int
+    width: int
+    data_type: Scalar = FLOAT
+    name: str = "hjoiner"
+
+    @property
+    def pop_per_exec(self) -> int:
+        """Vector items popped per execution."""
+        return self.weight
+
+    @property
+    def push_per_exec(self) -> int:
+        return self.weight * self.width
+
+
+BuiltinSpec = SplitterSpec | JoinerSpec | HSplitterSpec | HJoinerSpec
+
+
+def roundrobin_splitter(weights: Tuple[int, ...] | list[int],
+                        data_type: Scalar = FLOAT) -> SplitterSpec:
+    return SplitterSpec(SplitKind.ROUNDROBIN, tuple(weights), data_type)
+
+
+def duplicate_splitter(fanout: int, data_type: Scalar = FLOAT) -> SplitterSpec:
+    return SplitterSpec(SplitKind.DUPLICATE, (1,) * fanout, data_type)
+
+
+def roundrobin_joiner(weights: Tuple[int, ...] | list[int],
+                      data_type: Scalar = FLOAT) -> JoinerSpec:
+    return JoinerSpec(tuple(weights), data_type)

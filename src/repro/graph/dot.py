@@ -1,0 +1,90 @@
+"""Graphviz DOT export of stream graphs.
+
+Renders the Figure-2-style pictures: one box per actor annotated with its
+rates, shaded for stateful actors, double-bordered for SIMDized ones;
+edges labelled with per-firing item counts, vector tapes drawn bold,
+feedback tapes dashed with their initial-token count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import expr as E
+from ..ir import stmt as S
+from ..ir.visitors import iter_all_exprs, iter_stmts
+from .actor import FilterSpec
+from .builtins import HJoinerSpec, HSplitterSpec, JoinerSpec, SplitterSpec
+from .stream_graph import StreamGraph
+
+
+def _is_simdized(spec: FilterSpec) -> bool:
+    for expr in iter_all_exprs(spec.work_body):
+        if isinstance(expr, (E.GatherPop, E.GatherPeek, E.VPop, E.VPeek)):
+            return True
+    for stmt in iter_stmts(spec.work_body):
+        if isinstance(stmt, (S.ScatterPush, S.VPush)):
+            return True
+    return False
+
+
+def _actor_label(graph: StreamGraph, actor_id: int) -> str:
+    actor = graph.actors[actor_id]
+    spec = actor.spec
+    if isinstance(spec, FilterSpec):
+        rates = f"peek={spec.peek}, pop={spec.pop}, push={spec.push}"
+        return f"{actor.name}\\n{rates}"
+    if isinstance(spec, SplitterSpec):
+        weights = ", ".join(str(w) for w in spec.weights)
+        return f"{actor.name}\\n{spec.kind.value}({weights})"
+    if isinstance(spec, JoinerSpec):
+        weights = ", ".join(str(w) for w in spec.weights)
+        return f"{actor.name}\\nroundrobin({weights})"
+    if isinstance(spec, (HSplitterSpec, HJoinerSpec)):
+        return f"{actor.name}\\nwidth={spec.width}, weight={spec.weight}"
+    return actor.name
+
+
+def to_dot(graph: StreamGraph,
+           reps: Optional[Dict[int, int]] = None) -> str:
+    """Render ``graph`` as a DOT digraph string."""
+    lines = [f'digraph "{graph.name}" {{',
+             "  rankdir=TB;",
+             '  node [shape=box, fontname="Helvetica"];']
+    from ..simd.analysis import is_stateful
+
+    for actor_id, actor in sorted(graph.actors.items()):
+        label = _actor_label(graph, actor_id)
+        if reps is not None and actor_id in reps:
+            label += f"\\nx{reps[actor_id]}"
+        attrs = [f'label="{label}"']
+        spec = actor.spec
+        if isinstance(spec, FilterSpec):
+            if is_stateful(spec):
+                attrs.append('style=filled, fillcolor="#d0d0d0"')
+            if _is_simdized(spec):
+                attrs.append("peripheries=2")
+        elif isinstance(spec, (HSplitterSpec, HJoinerSpec)):
+            attrs.append('style=filled, fillcolor="#cfe8ff"')
+            attrs.append("peripheries=2")
+        else:
+            attrs.append("shape=trapezium"
+                         if actor.is_splitter else "shape=invtrapezium")
+        lines.append(f"  n{actor_id} [{', '.join(attrs)}];")
+
+    for tape in sorted(graph.tapes.values(), key=lambda t: t.id):
+        attrs = []
+        label = str(graph.push_rate(tape.src, tape.src_port))
+        if tape.is_vector:
+            attrs.append("penwidth=2.5")
+            label += f" x<{tape.vector_width}>"
+        if tape.lane_ordered:
+            attrs.append('color="#b06000"')
+            label += " (lane-ordered)"
+        if tape.initial:
+            attrs.append("style=dashed")
+            label += f" [{len(tape.initial)} delay]"
+        attrs.append(f'label="{label}"')
+        lines.append(f"  n{tape.src} -> n{tape.dst} [{', '.join(attrs)}];")
+    lines.append("}")
+    return "\n".join(lines)

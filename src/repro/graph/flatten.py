@@ -1,0 +1,122 @@
+"""Flattening of the hierarchical program tree into a :class:`StreamGraph`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .builtins import (
+    duplicate_splitter,
+    roundrobin_joiner,
+    roundrobin_splitter,
+)
+from .structure import (
+    FeedbackLoop,
+    FilterNode,
+    Pipeline,
+    Program,
+    SplitJoin,
+    StreamNode,
+)
+from .stream_graph import ActorInstance, GraphError, StreamGraph
+
+
+@dataclass(frozen=True)
+class _Port:
+    """An (actor id, port index) endpoint produced while flattening."""
+
+    actor: int
+    port: int = 0
+
+
+def flatten(program: Program) -> StreamGraph:
+    """Flatten ``program`` into a fresh flat graph.
+
+    Returns the graph; the program's single entry must be a source filter
+    (``pop == 0``) and dangling outputs are allowed only for the final actor
+    (the executor collects them).
+    """
+    graph = StreamGraph(program.name)
+    inlet, outlet = _flatten_node(graph, program.top)
+    if inlet is not None:
+        raise GraphError(
+            f"{program.name}: top-level program consumes external input; "
+            "wrap it with a source filter (pop == 0)")
+    # ``outlet`` may be None (sink filter) or a dangling port the executor
+    # attaches an output-collection tape to.
+    return graph
+
+
+def _flatten_node(graph: StreamGraph, node: StreamNode
+                  ) -> Tuple[Optional[_Port], Optional[_Port]]:
+    """Recursively instantiate ``node``.
+
+    Returns ``(input_port, output_port)`` where either may be ``None`` when
+    the subgraph does not consume / produce data (source / sink).
+    """
+    if isinstance(node, FilterNode):
+        actor = graph.add_actor(node.spec)
+        inlet = _Port(actor.id) if node.spec.pop > 0 or node.spec.peek > 0 else None
+        outlet = _Port(actor.id) if node.spec.push > 0 else None
+        return inlet, outlet
+
+    if isinstance(node, Pipeline):
+        first_inlet: Optional[_Port] = None
+        prev_outlet: Optional[_Port] = None
+        for index, child in enumerate(node.children):
+            inlet, outlet = _flatten_node(graph, child)
+            if index == 0:
+                first_inlet = inlet
+            else:
+                if prev_outlet is None or inlet is None:
+                    raise GraphError(
+                        "pipeline stage boundary has no data flow: "
+                        f"stage {index} of a pipeline")
+                _connect(graph, prev_outlet, inlet)
+            prev_outlet = outlet
+        return first_inlet, prev_outlet
+
+    if isinstance(node, SplitJoin):
+        splitter = graph.add_actor(node.splitter)
+        joiner = graph.add_actor(node.joiner)
+        for port, child in enumerate(node.children):
+            inlet, outlet = _flatten_node(graph, child)
+            if inlet is None or outlet is None:
+                raise GraphError("split-join branches must consume and produce")
+            _connect(graph, _Port(splitter.id, port), inlet)
+            _connect(graph, outlet, _Port(joiner.id, port))
+        return _Port(splitter.id), _Port(joiner.id)
+
+    if isinstance(node, FeedbackLoop):
+        joiner = graph.add_actor(
+            roundrobin_joiner(list(node.join_weights)), name="fb_joiner")
+        split_spec = (duplicate_splitter(2) if node.duplicate_split
+                      else roundrobin_splitter(list(node.split_weights)))
+        splitter = graph.add_actor(split_spec, name="fb_splitter")
+        body_in, body_out = _flatten_node(graph, node.body)
+        loop_in, loop_out = _flatten_node(graph, node.loop)
+        if None in (body_in, body_out, loop_in, loop_out):
+            raise GraphError("feedback body and loop must consume and produce")
+        _connect(graph, _Port(joiner.id), body_in)
+        _connect(graph, body_out, _Port(splitter.id))
+        _connect(graph, _Port(splitter.id, 1), loop_in)
+        # The feedback edge back into joiner port 1 carries the enqueued
+        # delay items that break the scheduling cycle.
+        loop_actor = graph.actors[loop_out.actor]
+        feedback = graph.add_tape(
+            loop_out.actor, joiner.id, src_port=loop_out.port, dst_port=1,
+            data_type=getattr(loop_actor.spec, "out_type",
+                              loop_actor.spec.data_type))
+        feedback.initial = tuple(node.enqueue)
+        return _Port(joiner.id, 0), _Port(splitter.id, 0)
+
+    raise TypeError(f"unknown stream node {node!r}")
+
+
+def _connect(graph: StreamGraph, src: _Port, dst: _Port) -> None:
+    src_actor = graph.actors[src.actor]
+    data_type = (src_actor.spec.out_type
+                 if hasattr(src_actor.spec, "out_type")
+                 else src_actor.spec.data_type)
+    graph.add_tape(src.actor, dst.actor, src_port=src.port,
+                   dst_port=dst.port, data_type=data_type)

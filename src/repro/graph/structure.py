@@ -1,0 +1,129 @@
+"""Hierarchical stream-program structure (StreamIt's composition forms).
+
+Programs are trees of :class:`FilterNode`, :class:`Pipeline` (sequential
+composition) and :class:`SplitJoin` (parallel composition).  The tree is
+flattened into a :class:`~repro.graph.stream_graph.StreamGraph` before
+scheduling and SIMDization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple  # noqa: F401 (Sequence used in feedbackloop)
+
+from .actor import FilterSpec
+from .builtins import JoinerSpec, SplitterSpec
+
+
+class StreamNode:
+    """Base class for hierarchy nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class FilterNode(StreamNode):
+    spec: FilterSpec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+@dataclass(frozen=True)
+class Pipeline(StreamNode):
+    children: Tuple[StreamNode, ...]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise ValueError("pipeline must have at least one child")
+
+
+@dataclass(frozen=True)
+class SplitJoin(StreamNode):
+    splitter: SplitterSpec
+    children: Tuple[StreamNode, ...]
+    joiner: JoinerSpec
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("split-join needs at least two branches")
+        if self.splitter.fanout != len(self.children):
+            raise ValueError("splitter weight count != number of branches")
+        if self.joiner.fanin != len(self.children):
+            raise ValueError("joiner weight count != number of branches")
+
+
+@dataclass(frozen=True)
+class FeedbackLoop(StreamNode):
+    """StreamIt's cyclic composition.
+
+    External input and the feedback stream merge at a 2-way round-robin
+    joiner (weights ``join_weights``: input, feedback), flow through
+    ``body``, and split at a 2-way splitter (weights ``split_weights``:
+    output, feedback); the feedback path runs through ``loop`` back to the
+    joiner.  ``enqueue`` pre-loads the feedback channel with delay items —
+    without them a cyclic SDF graph deadlocks.
+    """
+
+    body: StreamNode
+    loop: StreamNode
+    join_weights: Tuple[int, int]
+    split_weights: Tuple[int, int]
+    enqueue: Tuple[float, ...]
+    #: duplicate split: every body output goes to both the external output
+    #: and the feedback path (StreamIt's ``split duplicate`` — the common
+    #: IIR/echo form); round-robin otherwise.
+    duplicate_split: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.join_weights) != 2 or len(self.split_weights) != 2:
+            raise ValueError("feedback loop join/split take exactly 2 weights")
+        if not self.enqueue:
+            raise ValueError(
+                "feedback loop needs enqueued initial items (delays)")
+
+
+def feedbackloop(body: "StreamNode | FilterSpec",
+                 loop: "StreamNode | FilterSpec",
+                 *,
+                 join_weights: Tuple[int, int],
+                 split_weights: Tuple[int, int] = (1, 1),
+                 duplicate_split: bool = False,
+                 enqueue: Sequence[float]) -> FeedbackLoop:
+    return FeedbackLoop(_as_node(body), _as_node(loop),
+                        tuple(join_weights), tuple(split_weights),
+                        tuple(enqueue), duplicate_split)
+
+
+def _as_node(item: "StreamNode | FilterSpec") -> StreamNode:
+    if isinstance(item, StreamNode):
+        return item
+    if isinstance(item, FilterSpec):
+        return FilterNode(item)
+    raise TypeError(f"not a stream node: {item!r}")
+
+
+def pipeline(*children: "StreamNode | FilterSpec") -> Pipeline:
+    """Sequential composition; accepts specs or nodes."""
+    return Pipeline(tuple(_as_node(c) for c in children))
+
+
+def splitjoin(splitter: SplitterSpec,
+              children: Sequence["StreamNode | FilterSpec"],
+              joiner: JoinerSpec) -> SplitJoin:
+    """Parallel composition between ``splitter`` and ``joiner``."""
+    return SplitJoin(splitter, tuple(_as_node(c) for c in children), joiner)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete stream program: a name plus the top-level node.
+
+    The first filter in topological order must be a source (``pop == 0``)
+    and the last a regular filter; the executor collects whatever the final
+    filter pushes as the program output.
+    """
+
+    name: str
+    top: StreamNode

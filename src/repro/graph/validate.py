@@ -1,0 +1,174 @@
+"""Static validation of flat stream graphs.
+
+Checks run after flattening and after every SIMDization pass; a graph that
+passes validation can be scheduled and executed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import expr as E
+from ..ir import stmt as S
+from ..ir.visitors import iter_all_exprs, iter_stmts
+from .actor import FilterSpec
+from .builtins import HJoinerSpec, HSplitterSpec, JoinerSpec, SplitterSpec
+from .stream_graph import GraphError, StreamGraph
+
+
+def validate(graph: StreamGraph) -> None:
+    """Raise :class:`GraphError` on the first structural problem found."""
+    problems = collect_problems(graph)
+    if problems:
+        raise GraphError("; ".join(problems))
+
+
+def collect_problems(graph: StreamGraph) -> List[str]:
+    problems: List[str] = []
+    problems.extend(_check_ports(graph))
+    problems.extend(_check_rates(graph))
+    problems.extend(_check_bodies(graph))
+    try:
+        # Tolerates feedback cycles whose back edges carry initial tokens;
+        # complains about token-free cycles (they deadlock).
+        graph.ordered_actors()
+    except GraphError as exc:
+        problems.append(str(exc))
+    return problems
+
+
+def _check_ports(graph: StreamGraph) -> List[str]:
+    problems: List[str] = []
+    for actor in graph.actors.values():
+        ins = graph.in_tapes(actor.id)
+        outs = graph.out_tapes(actor.id)
+        spec = actor.spec
+        if isinstance(spec, FilterSpec):
+            if spec.pop > 0 and len(ins) != 1:
+                problems.append(f"{actor.name}: consumes but has {len(ins)} inputs")
+            if spec.pop == 0 and ins:
+                problems.append(f"{actor.name}: source with inputs")
+            if len(outs) > 1:
+                problems.append(f"{actor.name}: filter with multiple outputs")
+        elif isinstance(spec, (SplitterSpec, HSplitterSpec)):
+            if len(ins) != 1:
+                problems.append(f"{actor.name}: splitter needs exactly 1 input")
+            expected = spec.fanout if isinstance(spec, SplitterSpec) else 1
+            if len(outs) != expected:
+                problems.append(
+                    f"{actor.name}: splitter has {len(outs)} outputs, "
+                    f"expected {expected}")
+            ports = sorted(t.src_port for t in outs)
+            if ports != list(range(len(outs))):
+                problems.append(f"{actor.name}: non-contiguous output ports")
+        elif isinstance(spec, (JoinerSpec, HJoinerSpec)):
+            expected = spec.fanin if isinstance(spec, JoinerSpec) else 1
+            if len(ins) != expected:
+                problems.append(
+                    f"{actor.name}: joiner has {len(ins)} inputs, "
+                    f"expected {expected}")
+            if len(outs) > 1:
+                problems.append(f"{actor.name}: joiner with multiple outputs")
+            ports = sorted(t.dst_port for t in ins)
+            if ports != list(range(len(ins))):
+                problems.append(f"{actor.name}: non-contiguous input ports")
+    return problems
+
+
+def _check_rates(graph: StreamGraph) -> List[str]:
+    problems: List[str] = []
+    for actor in graph.actors.values():
+        spec = actor.spec
+        if isinstance(spec, FilterSpec) and spec.peek < spec.pop:
+            problems.append(f"{actor.name}: peek < pop")
+    return problems
+
+
+def _check_bodies(graph: StreamGraph) -> List[str]:
+    """Verify static tape-access counts in work bodies match declared rates.
+
+    Counting unrolls constant-bound loops; filters with data-dependent tape
+    access counts are rejected (SDF requires static rates).
+    """
+    problems: List[str] = []
+    for actor in graph.actors.values():
+        spec = actor.spec
+        if not isinstance(spec, FilterSpec):
+            continue
+        try:
+            pops, pushes = count_tape_accesses(spec.work_body)
+        except ValueError as exc:
+            problems.append(f"{actor.name}: {exc}")
+            continue
+        # Vectorized bodies access tapes in vector units; the rates of a
+        # vectorized spec are stored in tape items so they still match.
+        if pops != spec.pop:
+            problems.append(
+                f"{actor.name}: work body pops {pops}, declared {spec.pop}")
+        if pushes != spec.push:
+            problems.append(
+                f"{actor.name}: work body pushes {pushes}, declared {spec.push}")
+    return problems
+
+
+def count_tape_accesses(body: S.Body) -> tuple[int, int]:
+    """Return (pop count, push count) per firing, in tape items.
+
+    Raises ``ValueError`` when a loop bound is not a compile-time constant or
+    tape accesses appear under a data-dependent ``if``.
+    """
+    return _count_body(body)
+
+
+def _count_body(body: S.Body) -> tuple[int, int]:
+    pops = 0
+    pushes = 0
+    for stmt in body:
+        if isinstance(stmt, S.For):
+            inner_pops, inner_pushes = _count_body(stmt.body)
+            if inner_pops == 0 and inner_pushes == 0:
+                continue
+            trip = _const_trip_count(stmt)
+            pops += inner_pops * trip
+            pushes += inner_pushes * trip
+        elif isinstance(stmt, S.If):
+            then_counts = _count_body(stmt.then_body)
+            else_counts = _count_body(stmt.else_body)
+            if then_counts != else_counts:
+                raise ValueError("tape accesses differ across if branches")
+            pops += then_counts[0]
+            pushes += then_counts[1]
+        elif isinstance(stmt, S.AdvanceReader):
+            pops += stmt.count
+        elif isinstance(stmt, S.AdvanceWriter):
+            pushes += stmt.count
+        else:
+            pops += _count_stmt_pops(stmt)
+            pushes += _count_stmt_pushes(stmt)
+    return pops, pushes
+
+
+def _count_stmt_pops(stmt: S.Stmt) -> int:
+    count = 0
+    for expr in iter_all_exprs((stmt,)):
+        if isinstance(expr, (E.Pop, E.VPop)):
+            count += 1
+        elif isinstance(expr, E.GatherPop):
+            count += expr.advance
+    return count
+
+
+def _count_stmt_pushes(stmt: S.Stmt) -> int:
+    if isinstance(stmt, (S.Push, S.VPush)):
+        return 1
+    if isinstance(stmt, S.ScatterPush):
+        return stmt.advance
+    return 0
+
+
+def _const_trip_count(stmt: S.For) -> int:
+    if not isinstance(stmt.start, E.IntConst) or not isinstance(stmt.end, E.IntConst):
+        raise ValueError(
+            f"loop over {stmt.var!r} containing tape accesses has "
+            "non-constant bounds")
+    return max(0, stmt.end.value - stmt.start.value)

@@ -1,0 +1,80 @@
+"""Actor work-function intermediate representation.
+
+This package defines the imperative IR in which actor ``init``/``work``
+bodies are expressed: a small typed expression/statement language with
+explicit tape operations (``pop``/``peek``/``push``/``rpush`` and their
+vector forms).  MacroSS's SIMDization passes are source-to-source rewrites
+over this IR.
+"""
+
+from .builder import ArrayHandle, WorkBuilder, call
+from .expr import (
+    ArrayRead,
+    ArrayVec,
+    BinaryOp,
+    BoolConst,
+    Broadcast,
+    Call,
+    Expr,
+    FloatConst,
+    GatherPeek,
+    GatherPop,
+    IntConst,
+    InternalPeek,
+    InternalPop,
+    Lane,
+    Param,
+    Peek,
+    Pop,
+    Select,
+    UnaryOp,
+    Var,
+    VectorConst,
+    VPeek,
+    VPop,
+    as_expr,
+    vector_const,
+)
+from .lvalue import ArrayLaneLV, ArrayLV, LaneLV, LValue, VarLV
+from .printer import format_body, format_expr
+from .stmt import (
+    AdvanceReader,
+    AdvanceWriter,
+    Assign,
+    Body,
+    CostAnnotation,
+    DeclArray,
+    DeclVar,
+    ExprStmt,
+    For,
+    If,
+    InternalPush,
+    Push,
+    RPush,
+    ScatterPush,
+    Stmt,
+    VPush,
+)
+from .structhash import CanonicalForm, canonicalize, isomorphic
+from .typecheck import TypeIssue, check_graph, check_spec
+from .types import BOOL, FLOAT, INT, IRType, Scalar, ScalarKind, Vector, vector_of
+
+__all__ = [
+    "ArrayHandle", "WorkBuilder", "call",
+    "ArrayRead", "ArrayVec", "BinaryOp", "BoolConst", "Call", "Expr",
+    "FloatConst",
+    "Broadcast", "GatherPeek",
+    "GatherPop", "IntConst", "InternalPeek", "InternalPop", "Lane",
+    "Param", "Peek", "Pop", "Select",
+    "UnaryOp", "Var", "VectorConst", "VPeek", "VPop", "as_expr",
+    "vector_const",
+    "ArrayLaneLV", "ArrayLV", "LaneLV", "LValue", "VarLV",
+    "format_body", "format_expr",
+    "AdvanceReader", "AdvanceWriter", "CostAnnotation",
+    "Assign", "Body", "DeclArray", "DeclVar", "ExprStmt", "For", "If",
+    "InternalPush", "Push", "RPush", "ScatterPush", "Stmt", "VPush",
+    "CanonicalForm", "canonicalize", "isomorphic",
+    "TypeIssue", "check_graph", "check_spec",
+    "BOOL", "FLOAT", "INT", "IRType", "Scalar", "ScalarKind", "Vector",
+    "vector_of",
+]

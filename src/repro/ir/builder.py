@@ -1,0 +1,169 @@
+"""Fluent builder for actor work/init function bodies.
+
+Work functions are written in Python using :class:`WorkBuilder`::
+
+    b = WorkBuilder()
+    tmp = b.array("tmp", FLOAT, 2)
+    coeff = b.array("coeff", FLOAT, 2, init=(0.5, 1.5))
+    with b.loop("i", 0, 2) as i:
+        t = b.let(f"t", b.pop())
+        b.set(tmp[i], t * coeff[i])
+    b.push(call("sqrt", tmp[0] + tmp[1]))
+    body = b.build()
+
+The builder produces plain immutable IR (tuples of statements), so the
+result can be hashed, compared, and rewritten by the compiler passes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from . import expr as E
+from . import lvalue as L
+from . import stmt as S
+from .expr import ExprLike, as_expr, call  # re-exported for convenience
+from .types import FLOAT, INT, IRType, Scalar
+
+__all__ = ["WorkBuilder", "ArrayHandle", "call", "as_expr"]
+
+
+class ArrayHandle:
+    """Handle returned by :meth:`WorkBuilder.array`; indexes to IR reads."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __getitem__(self, index: ExprLike) -> E.ArrayRead:
+        return E.ArrayRead(self.name, as_expr(index))
+
+
+def _as_lvalue(target: "E.Expr | L.LValue | ArrayHandle") -> L.LValue:
+    """Convert an expression-form target into its lvalue form."""
+    if isinstance(target, L.LValue):
+        return target
+    if isinstance(target, E.Var):
+        return L.VarLV(target.name)
+    if isinstance(target, E.ArrayRead):
+        return L.ArrayLV(target.name, target.index)
+    if isinstance(target, E.Lane):
+        base = target.base
+        if isinstance(base, E.Var):
+            return L.LaneLV(base.name, target.index)
+        if isinstance(base, E.ArrayRead):
+            return L.ArrayLaneLV(base.name, base.index, target.index)
+    raise TypeError(f"{target!r} is not assignable")
+
+
+class WorkBuilder:
+    """Accumulates statements; nested blocks via context managers."""
+
+    def __init__(self) -> None:
+        self._stack: list[list[S.Stmt]] = [[]]
+        self._pending_if: Optional[S.If] = None
+
+    # -- emission helpers ---------------------------------------------------
+    def _emit(self, stmt: S.Stmt) -> None:
+        self._pending_if = None
+        self._stack[-1].append(stmt)
+
+    def build(self) -> S.Body:
+        if len(self._stack) != 1:
+            raise RuntimeError("unclosed block in WorkBuilder")
+        return tuple(self._stack[0])
+
+    # -- declarations ---------------------------------------------------------
+    def let(self, name: str, init: ExprLike, ty: IRType = FLOAT) -> E.Var:
+        """Declare and initialise a variable; returns a reference to it."""
+        self._emit(S.DeclVar(name, ty, as_expr(init)))
+        return E.Var(name)
+
+    def declare(self, name: str, ty: IRType = FLOAT) -> E.Var:
+        """Declare an uninitialised variable."""
+        self._emit(S.DeclVar(name, ty, None))
+        return E.Var(name)
+
+    def array(self, name: str, elem: Scalar = FLOAT, size: int = 0,
+              init: Optional[Sequence[float]] = None) -> ArrayHandle:
+        """Declare a local array and return an indexable handle."""
+        if size <= 0:
+            raise ValueError("array size must be positive")
+        if init is not None and len(init) != size:
+            raise ValueError("array initialiser length mismatch")
+        self._emit(S.DeclArray(name, elem, size,
+                               tuple(init) if init is not None else None))
+        return ArrayHandle(name)
+
+    # -- statements ------------------------------------------------------------
+    def set(self, target: "E.Expr | L.LValue | ArrayHandle",
+            value: ExprLike) -> None:
+        self._emit(S.Assign(_as_lvalue(target), as_expr(value)))
+
+    def push(self, value: ExprLike) -> None:
+        self._emit(S.Push(as_expr(value)))
+
+    def rpush(self, value: ExprLike, offset: ExprLike) -> None:
+        self._emit(S.RPush(as_expr(value), as_expr(offset)))
+
+    def vpush(self, value: ExprLike) -> None:
+        self._emit(S.VPush(as_expr(value)))
+
+    def stmt(self, expr: ExprLike) -> None:
+        """Evaluate ``expr`` for side effects (e.g. a discarded ``pop()``)."""
+        self._emit(S.ExprStmt(as_expr(expr)))
+
+    # -- expressions -----------------------------------------------------------
+    def pop(self) -> E.Pop:
+        return E.Pop()
+
+    def peek(self, offset: ExprLike) -> E.Peek:
+        return E.Peek(as_expr(offset))
+
+    def vpop(self) -> E.VPop:
+        return E.VPop()
+
+    def param(self, name: str) -> E.Param:
+        return E.Param(name)
+
+    def var(self, name: str) -> E.Var:
+        """Reference an existing variable (e.g. a state variable)."""
+        return E.Var(name)
+
+    # -- control flow ------------------------------------------------------------
+    @contextmanager
+    def loop(self, var: str, start: ExprLike, end: ExprLike) -> Iterator[E.Var]:
+        """``for (var = start; var < end; var++)``; yields the loop variable."""
+        self._stack.append([])
+        try:
+            yield E.Var(var)
+        finally:
+            body = tuple(self._stack.pop())
+            self._emit(S.For(var, as_expr(start), as_expr(end), body))
+
+    @contextmanager
+    def if_(self, cond: ExprLike) -> Iterator[None]:
+        self._stack.append([])
+        try:
+            yield
+        finally:
+            body = tuple(self._stack.pop())
+            stmt = S.If(as_expr(cond), body, ())
+            self._stack[-1].append(stmt)
+            self._pending_if = stmt
+
+    @contextmanager
+    def orelse(self) -> Iterator[None]:
+        """Attach an else branch to the immediately preceding ``if_``."""
+        if self._pending_if is None:
+            raise RuntimeError("orelse() must directly follow if_()")
+        preceding = self._pending_if
+        self._stack.append([])
+        try:
+            yield
+        finally:
+            else_body = tuple(self._stack.pop())
+            block = self._stack[-1]
+            assert block and block[-1] is preceding
+            block[-1] = S.If(preceding.cond, preceding.then_body, else_body)
+            self._pending_if = None

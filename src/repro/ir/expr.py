@@ -1,0 +1,334 @@
+"""Expression nodes of the actor work-function IR.
+
+Expressions are immutable dataclasses.  Arithmetic operators are overloaded
+so that work functions can be written naturally in the builder DSL::
+
+    out = (a * coeff + b) / 2.0
+
+Tape accesses (:class:`Pop`, :class:`Peek`, :class:`VPop`, :class:`VPeek`)
+are expressions because StreamIt treats them as value-producing operations;
+the interpreter gives them their side effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+#: Binary operators understood by the interpreter and code generator.
+BINARY_OPS = frozenset(
+    {"+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^",
+     "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+)
+
+#: Operators whose result is a boolean.
+COMPARISON_OPS = frozenset({"==", "!=", "<", "<=", ">", ">=", "&&", "||"})
+
+UNARY_OPS = frozenset({"-", "!", "~"})
+
+#: Pure math intrinsics callable from work functions.
+MATH_FUNCS = frozenset(
+    {"sin", "cos", "tan", "asin", "acos", "atan", "atan2", "sqrt", "exp",
+     "log", "pow", "abs", "min", "max", "floor", "ceil", "round", "rint",
+     "float", "int"}
+)
+
+
+class Expr:
+    """Base class for all expressions (supports operator overloading)."""
+
+    __slots__ = ()
+
+    # -- arithmetic sugar ---------------------------------------------------
+    def __add__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("+", self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("+", as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("-", self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("-", as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("*", self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("*", as_expr(other), self)
+
+    def __truediv__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("/", self, as_expr(other))
+
+    def __rtruediv__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("/", as_expr(other), self)
+
+    def __mod__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("%", self, as_expr(other))
+
+    def __rmod__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("%", as_expr(other), self)
+
+    def __lshift__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("<<", self, as_expr(other))
+
+    def __rshift__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp(">>", self, as_expr(other))
+
+    def __and__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("&", self, as_expr(other))
+
+    def __or__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("|", self, as_expr(other))
+
+    def __xor__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("^", self, as_expr(other))
+
+    def __neg__(self) -> "UnaryOp":
+        return UnaryOp("-", self)
+
+    # Comparisons intentionally build IR instead of returning bool.  They
+    # must only be used inside work-function bodies.
+    def eq(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("==", self, as_expr(other))
+
+    def ne(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("!=", self, as_expr(other))
+
+    def lt(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("<", self, as_expr(other))
+
+    def le(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("<=", self, as_expr(other))
+
+    def gt(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp(">", self, as_expr(other))
+
+    def ge(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp(">=", self, as_expr(other))
+
+    def logical_and(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("&&", self, as_expr(other))
+
+    def logical_or(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("||", self, as_expr(other))
+
+    def lane(self, index: int) -> "Lane":
+        """Read lane ``index`` of a vector expression (``v.{i}``)."""
+        return Lane(self, index)
+
+
+ExprLike = Expr | int | float | bool
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a Python literal into an IR constant expression."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return BoolConst(value)
+    if isinstance(value, int):
+        return IntConst(value)
+    if isinstance(value, float):
+        return FloatConst(value)
+    raise TypeError(f"cannot convert {value!r} to an IR expression")
+
+
+@dataclass(frozen=True)
+class IntConst(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatConst(Expr):
+    value: float
+
+
+@dataclass(frozen=True)
+class BoolConst(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class VectorConst(Expr):
+    """A literal vector, one value per lane (horizontal SIMDization uses
+    these to merge differing constants of isomorphic actors)."""
+
+    values: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A per-instance compile-time parameter, resolved when an actor spec is
+    instantiated.  Two actors differing only in ``Param`` bindings are
+    isomorphic by construction."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Read of a local, state, or loop variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRead(Expr):
+    name: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Lane(Expr):
+    """Read lane ``index`` of vector expression ``base`` (``base.{index}``)."""
+
+    base: Expr
+    index: int
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Call of a pure math intrinsic (``sin``, ``sqrt``, ``min``, ...)."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.func not in MATH_FUNCS:
+            raise ValueError(f"unknown intrinsic {self.func!r}")
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Ternary ``cond ? if_true : if_false`` (vectorizable as a blend)."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+# --- tape access expressions -------------------------------------------------
+
+@dataclass(frozen=True)
+class Pop(Expr):
+    """Destructively read one element from the input tape."""
+
+
+@dataclass(frozen=True)
+class Peek(Expr):
+    """Non-destructively read the element ``offset`` items ahead of the read
+    pointer of the input tape."""
+
+    offset: Expr
+
+
+@dataclass(frozen=True)
+class VPop(Expr):
+    """Read one full vector from a vector tape / internal vector buffer."""
+
+
+@dataclass(frozen=True)
+class VPeek(Expr):
+    """Non-destructive vector read ``offset`` vectors ahead."""
+
+    offset: Expr
+
+
+@dataclass(frozen=True)
+class ArrayVec(Expr):
+    """Contiguous vector load of ``width``-of-SIMD elements starting at
+    ``name[index]`` (unit-stride — what a loop auto-vectorizer emits for
+    ``a[i]`` inside a vectorized loop)."""
+
+    name: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Broadcast(Expr):
+    """Splat a scalar expression across ``width`` lanes."""
+
+    value: Expr
+    width: int
+
+
+@dataclass(frozen=True)
+class GatherPeek(Expr):
+    """Strided non-destructive gather from a *scalar* tape.
+
+    Lane ``k`` receives the element at ``offset + k * stride`` ahead of the
+    read pointer; the pointer does not move.  See :class:`GatherPop` for the
+    ``strategy`` field.
+    """
+
+    offset: Expr
+    stride: int
+    strategy: str = "scalar"
+
+
+@dataclass(frozen=True)
+class GatherPop(Expr):
+    """Strided gather producing a vector from a *scalar* tape.
+
+    Lane ``k`` receives the element at offset ``k * stride`` from the current
+    read pointer; afterwards the read pointer advances by ``advance``
+    elements (1 for the paper's peek/peek/peek/pop idiom).  The ``strategy``
+    field records how the access is realised ("scalar", "permute", "sagu")
+    and drives the cost model; semantics are identical for all strategies.
+    """
+
+    stride: int
+    advance: int = 1
+    strategy: str = "scalar"
+
+
+@dataclass(frozen=True)
+class InternalPop(Expr):
+    """Pop one item from internal buffer ``buf`` of a fused coarse actor.
+
+    Items are scalars before SIMDization of the coarse actor and whole
+    vectors afterwards (§3.2: inner actors communicate through internal
+    vector buffers, eliminating pack/unpack at fused boundaries).
+    """
+
+    buf: int
+
+
+@dataclass(frozen=True)
+class InternalPeek(Expr):
+    """Non-destructive read ``offset`` items ahead in internal buffer ``buf``."""
+
+    buf: int
+    offset: Expr
+
+
+def call(func: str, *args: ExprLike) -> Call:
+    """Convenience constructor: ``call("sin", x)``."""
+    return Call(func, tuple(as_expr(a) for a in args))
+
+
+def vector_const(values: Iterable[float]) -> VectorConst:
+    return VectorConst(tuple(values))

@@ -1,0 +1,45 @@
+"""Assignable locations (lvalues) of the work-function IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .expr import Expr
+
+
+class LValue:
+    """Base class for assignable locations."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class VarLV(LValue):
+    """A scalar or vector variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayLV(LValue):
+    """An element of a declared array: ``name[index]``."""
+
+    name: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class LaneLV(LValue):
+    """Lane ``lane`` of a vector variable: ``name.{lane}`` (Figure 3b)."""
+
+    name: str
+    lane: int
+
+
+@dataclass(frozen=True)
+class ArrayLaneLV(LValue):
+    """Lane ``lane`` of a vector array element: ``name[index].{lane}``."""
+
+    name: str
+    index: Expr
+    lane: int

@@ -1,0 +1,141 @@
+"""Human-readable pretty printer for the work-function IR.
+
+The output mirrors the paper's pseudo-code (Figures 3, 4, 6): lane accesses
+print as ``v.{i}``, strided reads as ``peek(k)``/``pop()``, random-access
+writes as ``rpush(value, offset)``.
+"""
+
+from __future__ import annotations
+
+from . import expr as E
+from . import lvalue as L
+from . import stmt as S
+
+#: Precedence table for minimal parenthesisation.
+_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+
+def format_expr(e: E.Expr, parent_prec: int = 0) -> str:
+    if isinstance(e, E.IntConst):
+        return str(e.value)
+    if isinstance(e, E.FloatConst):
+        return repr(e.value)
+    if isinstance(e, E.BoolConst):
+        return "true" if e.value else "false"
+    if isinstance(e, E.VectorConst):
+        return "{" + ", ".join(repr(v) for v in e.values) + "}"
+    if isinstance(e, E.Param):
+        return f"${e.name}"
+    if isinstance(e, E.Var):
+        return e.name
+    if isinstance(e, E.ArrayRead):
+        return f"{e.name}[{format_expr(e.index)}]"
+    if isinstance(e, E.Lane):
+        return f"{format_expr(e.base, 11)}.{{{e.index}}}"
+    if isinstance(e, E.BinaryOp):
+        prec = _PREC[e.op]
+        text = (f"{format_expr(e.left, prec)} {e.op} "
+                f"{format_expr(e.right, prec + 1)}")
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(e, E.UnaryOp):
+        return f"{e.op}{format_expr(e.operand, 11)}"
+    if isinstance(e, E.Call):
+        return f"{e.func}({', '.join(format_expr(a) for a in e.args)})"
+    if isinstance(e, E.Select):
+        return (f"({format_expr(e.cond)} ? {format_expr(e.if_true)}"
+                f" : {format_expr(e.if_false)})")
+    if isinstance(e, E.Pop):
+        return "pop()"
+    if isinstance(e, E.Peek):
+        return f"peek({format_expr(e.offset)})"
+    if isinstance(e, E.VPop):
+        return "vpop()"
+    if isinstance(e, E.VPeek):
+        return f"vpeek({format_expr(e.offset)})"
+    if isinstance(e, E.GatherPop):
+        return f"gather_pop(stride={e.stride}, {e.strategy})"
+    if isinstance(e, E.GatherPeek):
+        return (f"gather_peek({format_expr(e.offset)}, stride={e.stride}, "
+                f"{e.strategy})")
+    if isinstance(e, E.Broadcast):
+        return f"splat({format_expr(e.value)})"
+    if isinstance(e, E.ArrayVec):
+        return f"vload({e.name}[{format_expr(e.index)}])"
+    if isinstance(e, E.InternalPop):
+        return f"buf{e.buf}.pop()"
+    if isinstance(e, E.InternalPeek):
+        return f"buf{e.buf}.peek({format_expr(e.offset)})"
+    raise TypeError(f"unknown expression {e!r}")
+
+
+def _format_lvalue(lv: L.LValue) -> str:
+    if isinstance(lv, L.VarLV):
+        return lv.name
+    if isinstance(lv, L.ArrayLV):
+        return f"{lv.name}[{format_expr(lv.index)}]"
+    if isinstance(lv, L.LaneLV):
+        return f"{lv.name}.{{{lv.lane}}}"
+    if isinstance(lv, L.ArrayLaneLV):
+        return f"{lv.name}[{format_expr(lv.index)}].{{{lv.lane}}}"
+    raise TypeError(f"unknown lvalue {lv!r}")
+
+
+def format_body(body: S.Body, indent: int = 0) -> str:
+    """Format a statement body as indented pseudo-code."""
+    lines: list[str] = []
+    _format_into(body, indent, lines)
+    return "\n".join(lines)
+
+
+def _format_into(body: S.Body, indent: int, lines: list[str]) -> None:
+    pad = "  " * indent
+    for stmt in body:
+        if isinstance(stmt, S.DeclVar):
+            init = f" = {format_expr(stmt.init)}" if stmt.init is not None else ""
+            lines.append(f"{pad}{stmt.type} {stmt.name}{init};")
+        elif isinstance(stmt, S.DeclArray):
+            init = ""
+            if stmt.init is not None:
+                init = " = {" + ", ".join(repr(v) for v in stmt.init) + "}"
+            lines.append(f"{pad}{stmt.elem_type} {stmt.name}[{stmt.size}]{init};")
+        elif isinstance(stmt, S.Assign):
+            lines.append(f"{pad}{_format_lvalue(stmt.lhs)} = "
+                         f"{format_expr(stmt.rhs)};")
+        elif isinstance(stmt, S.Push):
+            lines.append(f"{pad}push({format_expr(stmt.value)});")
+        elif isinstance(stmt, S.RPush):
+            lines.append(f"{pad}rpush({format_expr(stmt.value)}, "
+                         f"{format_expr(stmt.offset)});")
+        elif isinstance(stmt, S.VPush):
+            lines.append(f"{pad}vpush({format_expr(stmt.value)});")
+        elif isinstance(stmt, S.InternalPush):
+            lines.append(f"{pad}buf{stmt.buf}.push({format_expr(stmt.value)});")
+        elif isinstance(stmt, S.ScatterPush):
+            lines.append(f"{pad}scatter_push({format_expr(stmt.value)}, "
+                         f"stride={stmt.stride}, {stmt.strategy});")
+        elif isinstance(stmt, S.CostAnnotation):
+            lines.append(f"{pad}/* cost: {stmt.count} x {stmt.event} */")
+        elif isinstance(stmt, S.AdvanceReader):
+            lines.append(f"{pad}advance_reader({stmt.count});")
+        elif isinstance(stmt, S.AdvanceWriter):
+            lines.append(f"{pad}advance_writer({stmt.count});")
+        elif isinstance(stmt, S.ExprStmt):
+            lines.append(f"{pad}{format_expr(stmt.expr)};")
+        elif isinstance(stmt, S.For):
+            lines.append(f"{pad}for ({stmt.var} : {format_expr(stmt.start)}"
+                         f" to {format_expr(stmt.end)}) {{")
+            _format_into(stmt.body, indent + 1, lines)
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, S.If):
+            lines.append(f"{pad}if ({format_expr(stmt.cond)}) {{")
+            _format_into(stmt.then_body, indent + 1, lines)
+            if stmt.else_body:
+                lines.append(f"{pad}}} else {{")
+                _format_into(stmt.else_body, indent + 1, lines)
+            lines.append(f"{pad}}}")
+        else:
+            raise TypeError(f"unknown statement {stmt!r}")

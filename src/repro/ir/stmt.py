@@ -1,0 +1,149 @@
+"""Statement nodes of the actor work-function IR.
+
+Bodies are tuples of statements, so that whole work functions are hashable
+and can be structurally compared (isomorphism detection, §3.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .expr import Expr
+from .lvalue import LValue
+from .types import IRType
+
+Body = Tuple["Stmt", ...]
+
+
+class Stmt:
+    """Base class for all statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class DeclVar(Stmt):
+    """Declare a local variable, optionally with an initialiser."""
+
+    name: str
+    type: IRType
+    init: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class DeclArray(Stmt):
+    """Declare a local array of ``size`` elements of ``elem_type``."""
+
+    name: str
+    elem_type: IRType
+    size: int
+    init: Optional[Tuple[float, ...]] = None
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    lhs: LValue
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class Push(Stmt):
+    """Write one element to the output tape and advance the write pointer."""
+
+    value: Expr
+
+
+@dataclass(frozen=True)
+class RPush(Stmt):
+    """Random-access push: write ``value`` at ``offset`` elements past the
+    write pointer *without* advancing it (paper §3.1)."""
+
+    value: Expr
+    offset: Expr
+
+
+@dataclass(frozen=True)
+class VPush(Stmt):
+    """Write one full vector to a vector tape / internal vector buffer."""
+
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ScatterPush(Stmt):
+    """Strided scatter of a vector's lanes to a *scalar* output tape.
+
+    Lane ``k`` is written at offset ``k * stride`` from the write pointer;
+    afterwards the pointer advances by ``advance`` elements.  ``strategy``
+    records the realisation ("scalar", "permute", "sagu") for costing.
+    """
+
+    value: Expr
+    stride: int
+    advance: int = 1
+    strategy: str = "scalar"
+
+
+@dataclass(frozen=True)
+class CostAnnotation(Stmt):
+    """Charge ``count`` occurrences of performance event ``event`` without
+    any functional effect.  Used by baseline models (e.g. auto-vectorizer
+    loop-versioning / alignment-peeling overhead) that have a cycle cost but
+    no IR-visible behaviour."""
+
+    event: str
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class AdvanceReader(Stmt):
+    """Advance the input-tape read pointer by ``count`` items without
+    reading.  Emitted at the end of a vectorized work body: the strided
+    ``peek``/``pop`` groups of Figure 3b advance the pointer by only one item
+    per group, leaving ``(SW - 1) * pop_rate`` consumed-but-unacknowledged
+    items to skip.
+    """
+
+    count: int
+
+
+@dataclass(frozen=True)
+class AdvanceWriter(Stmt):
+    """Advance the output-tape write pointer by ``count`` items (the already
+    ``rpush``-ed lanes of the strided write groups)."""
+
+    count: int
+
+
+@dataclass(frozen=True)
+class InternalPush(Stmt):
+    """Push ``value`` (scalar, or a vector after SIMDization) onto internal
+    buffer ``buf`` of a fused coarse actor."""
+
+    buf: int
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """Evaluate an expression for its side effects (e.g. a bare ``pop()``)."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for (var = start; var < end; var++) body`` — a counted loop."""
+
+    var: str
+    start: Expr
+    end: Expr
+    body: Body
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then_body: Body
+    else_body: Body = ()

@@ -1,0 +1,75 @@
+"""Structural hashing of work functions with constants abstracted.
+
+Horizontal SIMDization (§3.3) treats two actors as *isomorphic* when their
+work and init functions are identical up to constant literals and parameter
+bindings.  We canonicalise each body by replacing every numeric constant and
+``Param`` with a positional placeholder; two bodies are isomorphic iff their
+canonical forms are equal.  The sequence of abstracted constants (one per
+actor) is exactly the data horizontal SIMDization packs into
+:class:`~repro.ir.expr.VectorConst` vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from . import expr as E
+from . import stmt as S
+from .visitors import rewrite_body_exprs, rewrite_body_stmts
+
+#: Marker name used for abstracted constant slots.
+_SLOT = "__const_slot__"
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A constant-abstracted body plus the extracted constant sequence."""
+
+    body: S.Body
+    constants: Tuple[float, ...]
+
+    @property
+    def shape_key(self) -> int:
+        """Hash identifying the structure (constants excluded)."""
+        return hash(self.body)
+
+
+def canonicalize(body: S.Body) -> CanonicalForm:
+    """Return the canonical form of ``body``.
+
+    Every ``IntConst``/``FloatConst``/``Param`` is replaced by a ``Var`` whose
+    name encodes its abstraction index, and its value is recorded.  ``Param``
+    values are recorded as ``float('nan')`` placeholders — callers instantiate
+    params before canonicalising real actor instances, so a ``Param`` here
+    simply means "template slot".
+    """
+    constants: list[float] = []
+
+    def abstract(e: E.Expr) -> E.Expr:
+        if isinstance(e, (E.IntConst, E.FloatConst)):
+            constants.append(float(e.value))
+            return E.Var(f"{_SLOT}{len(constants) - 1}")
+        if isinstance(e, E.Param):
+            constants.append(float("nan"))
+            return E.Var(f"{_SLOT}{len(constants) - 1}")
+        return e
+
+    canon = rewrite_body_exprs(body, abstract)
+
+    def abstract_array_inits(stmt: S.Stmt) -> S.Stmt:
+        # Coefficient tables (DeclArray initialisers) are data constants:
+        # two FIR filters differing only in their taps are isomorphic.
+        if isinstance(stmt, S.DeclArray) and stmt.init is not None:
+            constants.extend(float(v) for v in stmt.init)
+            return S.DeclArray(stmt.name, stmt.elem_type, stmt.size,
+                               (_SLOT,) * stmt.size)
+        return stmt
+
+    canon = rewrite_body_stmts(canon, abstract_array_inits)
+    return CanonicalForm(canon, tuple(constants))
+
+
+def isomorphic(body_a: S.Body, body_b: S.Body) -> bool:
+    """True when the two bodies are identical up to constant literals."""
+    return canonicalize(body_a).body == canonicalize(body_b).body

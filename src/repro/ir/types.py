@@ -1,0 +1,72 @@
+"""Type system for the actor work-function IR.
+
+The IR distinguishes scalar element types (32-bit conceptual int / float /
+bool, matching StreamIt's primitive types) from vector types produced by
+macro-SIMDization.  Vector widths always come from the target machine's SIMD
+width; the IR stores the width explicitly so a lowered program is
+self-describing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ScalarKind(enum.Enum):
+    """Primitive element kinds supported by actors."""
+
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+
+
+@dataclass(frozen=True)
+class Scalar:
+    """A scalar IR type (e.g. ``int`` or ``float``)."""
+
+    kind: ScalarKind
+
+    def __str__(self) -> str:
+        return self.kind.value
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind in (ScalarKind.INT, ScalarKind.FLOAT)
+
+
+@dataclass(frozen=True)
+class Vector:
+    """A SIMD vector of ``width`` elements of scalar type ``elem``."""
+
+    elem: Scalar
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width < 2:
+            raise ValueError(f"vector width must be >= 2, got {self.width}")
+
+    def __str__(self) -> str:
+        return f"vector<{self.elem}, {self.width}>"
+
+
+#: Singletons used throughout the code base.
+INT = Scalar(ScalarKind.INT)
+FLOAT = Scalar(ScalarKind.FLOAT)
+BOOL = Scalar(ScalarKind.BOOL)
+
+IRType = Scalar | Vector
+
+
+def vector_of(elem: Scalar, width: int) -> Vector:
+    """Return the vector type of ``elem`` with ``width`` lanes."""
+    return Vector(elem, width)
+
+
+def element_type(ty: IRType) -> Scalar:
+    """Return the scalar element type of ``ty`` (identity for scalars)."""
+    return ty.elem if isinstance(ty, Vector) else ty
+
+
+def is_vector(ty: IRType) -> bool:
+    return isinstance(ty, Vector)

@@ -1,0 +1,205 @@
+"""Generic traversal and rewriting utilities for the work-function IR.
+
+Two families of helpers:
+
+* ``iter_*`` — read-only generators over sub-expressions / sub-statements,
+  used by analyses (statefulness, taint, rate counting).
+* ``rewrite_*`` — bottom-up functional rewriters used by the SIMDization
+  passes; they rebuild only the nodes whose children changed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from . import expr as E
+from . import lvalue as L
+from . import stmt as S
+
+ExprFn = Callable[[E.Expr], E.Expr]
+StmtFn = Callable[[S.Stmt], "S.Stmt | tuple[S.Stmt, ...] | None"]
+
+
+# --- iteration ---------------------------------------------------------------
+
+def children_of_expr(e: E.Expr) -> tuple[E.Expr, ...]:
+    """Return the direct sub-expressions of ``e``."""
+    if isinstance(e, E.BinaryOp):
+        return (e.left, e.right)
+    if isinstance(e, E.UnaryOp):
+        return (e.operand,)
+    if isinstance(e, E.Call):
+        return e.args
+    if isinstance(e, E.Select):
+        return (e.cond, e.if_true, e.if_false)
+    if isinstance(e, E.ArrayRead):
+        return (e.index,)
+    if isinstance(e, E.Lane):
+        return (e.base,)
+    if isinstance(e, (E.Peek, E.VPeek, E.InternalPeek, E.GatherPeek)):
+        return (e.offset,)
+    if isinstance(e, E.Broadcast):
+        return (e.value,)
+    if isinstance(e, E.ArrayVec):
+        return (e.index,)
+    return ()
+
+
+def iter_expr(e: E.Expr) -> Iterator[E.Expr]:
+    """Yield ``e`` and every sub-expression, pre-order."""
+    yield e
+    for child in children_of_expr(e):
+        yield from iter_expr(child)
+
+
+def exprs_of_stmt(stmt: S.Stmt) -> tuple[E.Expr, ...]:
+    """Return the top-level expressions appearing directly in ``stmt``
+    (not descending into nested statement bodies)."""
+    if isinstance(stmt, S.DeclVar):
+        return (stmt.init,) if stmt.init is not None else ()
+    if isinstance(stmt, S.Assign):
+        lv = stmt.lhs
+        index = (lv.index,) if isinstance(lv, (L.ArrayLV, L.ArrayLaneLV)) else ()
+        return index + (stmt.rhs,)
+    if isinstance(stmt, (S.Push, S.VPush, S.InternalPush)):
+        return (stmt.value,)
+    if isinstance(stmt, S.RPush):
+        return (stmt.value, stmt.offset)
+    if isinstance(stmt, S.ScatterPush):
+        return (stmt.value,)
+    if isinstance(stmt, S.ExprStmt):
+        return (stmt.expr,)
+    if isinstance(stmt, S.For):
+        return (stmt.start, stmt.end)
+    if isinstance(stmt, S.If):
+        return (stmt.cond,)
+    return ()
+
+
+def iter_stmts(body: S.Body) -> Iterator[S.Stmt]:
+    """Yield every statement in ``body``, descending into loops and ifs."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, S.For):
+            yield from iter_stmts(stmt.body)
+        elif isinstance(stmt, S.If):
+            yield from iter_stmts(stmt.then_body)
+            yield from iter_stmts(stmt.else_body)
+
+
+def iter_all_exprs(body: S.Body) -> Iterator[E.Expr]:
+    """Yield every expression anywhere in ``body`` (all nesting levels)."""
+    for stmt in iter_stmts(body):
+        for top in exprs_of_stmt(stmt):
+            yield from iter_expr(top)
+
+
+# --- rewriting ---------------------------------------------------------------
+
+def rewrite_expr(e: E.Expr, fn: ExprFn) -> E.Expr:
+    """Rewrite ``e`` bottom-up: children first, then ``fn`` on the rebuilt
+    node.  ``fn`` must return an expression (possibly the same object)."""
+    if isinstance(e, E.BinaryOp):
+        rebuilt: E.Expr = E.BinaryOp(
+            e.op, rewrite_expr(e.left, fn), rewrite_expr(e.right, fn))
+    elif isinstance(e, E.UnaryOp):
+        rebuilt = E.UnaryOp(e.op, rewrite_expr(e.operand, fn))
+    elif isinstance(e, E.Call):
+        rebuilt = E.Call(e.func, tuple(rewrite_expr(a, fn) for a in e.args))
+    elif isinstance(e, E.Select):
+        rebuilt = E.Select(rewrite_expr(e.cond, fn),
+                           rewrite_expr(e.if_true, fn),
+                           rewrite_expr(e.if_false, fn))
+    elif isinstance(e, E.ArrayRead):
+        rebuilt = E.ArrayRead(e.name, rewrite_expr(e.index, fn))
+    elif isinstance(e, E.Lane):
+        rebuilt = E.Lane(rewrite_expr(e.base, fn), e.index)
+    elif isinstance(e, E.Peek):
+        rebuilt = E.Peek(rewrite_expr(e.offset, fn))
+    elif isinstance(e, E.VPeek):
+        rebuilt = E.VPeek(rewrite_expr(e.offset, fn))
+    elif isinstance(e, E.InternalPeek):
+        rebuilt = E.InternalPeek(e.buf, rewrite_expr(e.offset, fn))
+    elif isinstance(e, E.GatherPeek):
+        rebuilt = E.GatherPeek(rewrite_expr(e.offset, fn), e.stride, e.strategy)
+    elif isinstance(e, E.Broadcast):
+        rebuilt = E.Broadcast(rewrite_expr(e.value, fn), e.width)
+    elif isinstance(e, E.ArrayVec):
+        rebuilt = E.ArrayVec(e.name, rewrite_expr(e.index, fn))
+    else:
+        rebuilt = e
+    return fn(rebuilt)
+
+
+def _rewrite_lvalue(lv: L.LValue, fn: ExprFn) -> L.LValue:
+    if isinstance(lv, L.ArrayLV):
+        return L.ArrayLV(lv.name, rewrite_expr(lv.index, fn))
+    if isinstance(lv, L.ArrayLaneLV):
+        return L.ArrayLaneLV(lv.name, rewrite_expr(lv.index, fn), lv.lane)
+    return lv
+
+
+def rewrite_body_exprs(body: S.Body, fn: ExprFn) -> S.Body:
+    """Apply :func:`rewrite_expr` to every expression in ``body``."""
+    out: list[S.Stmt] = []
+    for stmt in body:
+        out.append(_rewrite_stmt_exprs(stmt, fn))
+    return tuple(out)
+
+
+def _rewrite_stmt_exprs(stmt: S.Stmt, fn: ExprFn) -> S.Stmt:
+    if isinstance(stmt, S.DeclVar):
+        init = rewrite_expr(stmt.init, fn) if stmt.init is not None else None
+        return S.DeclVar(stmt.name, stmt.type, init)
+    if isinstance(stmt, S.Assign):
+        return S.Assign(_rewrite_lvalue(stmt.lhs, fn),
+                        rewrite_expr(stmt.rhs, fn))
+    if isinstance(stmt, S.Push):
+        return S.Push(rewrite_expr(stmt.value, fn))
+    if isinstance(stmt, S.VPush):
+        return S.VPush(rewrite_expr(stmt.value, fn))
+    if isinstance(stmt, S.InternalPush):
+        return S.InternalPush(stmt.buf, rewrite_expr(stmt.value, fn))
+    if isinstance(stmt, S.RPush):
+        return S.RPush(rewrite_expr(stmt.value, fn),
+                       rewrite_expr(stmt.offset, fn))
+    if isinstance(stmt, S.ScatterPush):
+        return S.ScatterPush(rewrite_expr(stmt.value, fn), stmt.stride,
+                             stmt.advance, stmt.strategy)
+    if isinstance(stmt, S.ExprStmt):
+        return S.ExprStmt(rewrite_expr(stmt.expr, fn))
+    if isinstance(stmt, S.For):
+        return S.For(stmt.var, rewrite_expr(stmt.start, fn),
+                     rewrite_expr(stmt.end, fn),
+                     rewrite_body_exprs(stmt.body, fn))
+    if isinstance(stmt, S.If):
+        return S.If(rewrite_expr(stmt.cond, fn),
+                    rewrite_body_exprs(stmt.then_body, fn),
+                    rewrite_body_exprs(stmt.else_body, fn))
+    return stmt
+
+
+def rewrite_body_stmts(body: S.Body, fn: StmtFn) -> S.Body:
+    """Rewrite statements bottom-up.
+
+    ``fn`` receives each statement (with already-rewritten children) and may
+    return a replacement statement, a tuple of statements (splice), or
+    ``None`` to delete the statement.
+    """
+    out: list[S.Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, S.For):
+            stmt = S.For(stmt.var, stmt.start, stmt.end,
+                         rewrite_body_stmts(stmt.body, fn))
+        elif isinstance(stmt, S.If):
+            stmt = S.If(stmt.cond,
+                        rewrite_body_stmts(stmt.then_body, fn),
+                        rewrite_body_stmts(stmt.else_body, fn))
+        result = fn(stmt)
+        if result is None:
+            continue
+        if isinstance(result, tuple):
+            out.extend(result)
+        else:
+            out.append(result)
+    return tuple(out)

@@ -1,0 +1,15 @@
+"""Multicore partitioning and makespan simulation (Figure 13)."""
+
+from .partition import Partition, partition_contiguous, partition_lpt
+from .simulate import (
+    MulticoreResult,
+    multicore_speedups,
+    profile_actor_costs,
+    simulate_multicore,
+)
+
+__all__ = [
+    "Partition", "partition_contiguous", "partition_lpt",
+    "MulticoreResult", "multicore_speedups", "profile_actor_costs",
+    "simulate_multicore",
+]

@@ -1,0 +1,101 @@
+"""Multicore execution model (Figure 13).
+
+Steady-state makespan simulation: each core's time is the modeled cycles of
+its assigned actors plus a per-element charge for every tape element that
+crosses cores.  The macro-SIMDized variants follow the paper's scheduler:
+partition the *scalar* graph first (SIMD-oblivious), then macro-SIMDize
+within each core — which is exactly where cross-core fusion/horizontal
+opportunities are lost, making these conservative estimates (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..graph.stream_graph import StreamGraph
+from ..perf import events as ev
+from ..runtime.executor import execute
+from ..simd.machine import MachineDescription
+from ..simd.pipeline import MacroSSOptions, compile_graph
+from .partition import Partition, partition_lpt
+
+
+@dataclass
+class MulticoreResult:
+    cores: int
+    macro_simd: bool
+    #: modeled steady cycles of the busiest core, per produced output item.
+    makespan_per_output: float
+    core_loads: List[float]
+    comm_cycles: float
+
+
+def profile_actor_costs(graph: StreamGraph, machine: MachineDescription,
+                        iterations: int = 2) -> Dict[int, float]:
+    """Measured per-actor steady-state cycles (the partitioner's input)."""
+    result = execute(graph, machine=machine, iterations=iterations)
+    return result.actor_cycles(machine)
+
+
+def simulate_multicore(graph: StreamGraph, machine: MachineDescription,
+                       cores: int, *,
+                       macro_simd: bool = False,
+                       options: MacroSSOptions = MacroSSOptions(),
+                       partitioner: Callable = partition_lpt,
+                       iterations: int = 2) -> MulticoreResult:
+    """Partition, optionally SIMDize per core, and compute the makespan."""
+    costs = profile_actor_costs(graph, machine)
+    partition = partitioner(graph, costs, cores)
+
+    if macro_simd:
+        compiled = compile_graph(graph, machine, options,
+                                 partition=partition.assignment)
+        exec_graph = compiled.graph
+        core_of = compiled.core_assignment
+    else:
+        exec_graph = graph
+        core_of = partition.assignment
+
+    result = execute(exec_graph, machine=machine, iterations=iterations)
+    per_actor = result.actor_cycles(machine)
+
+    loads = [0.0] * cores
+    for actor_id, cycles in per_actor.items():
+        loads[core_of[actor_id]] += cycles
+
+    comm_price = machine.price(ev.COMM)
+    comm_total = 0.0
+    reps = result.schedule.reps
+    for tape in exec_graph.tapes.values():
+        if core_of[tape.src] == core_of[tape.dst]:
+            continue
+        items = reps[tape.src] * exec_graph.push_rate(tape.src, tape.src_port)
+        cost = items * iterations * comm_price
+        comm_total += cost
+        # The receiving core stalls on the transfer.
+        loads[core_of[tape.dst]] += cost
+
+    outputs = max(1, len(result.outputs))
+    return MulticoreResult(
+        cores=cores,
+        macro_simd=macro_simd,
+        makespan_per_output=max(loads) / outputs,
+        core_loads=[load / outputs for load in loads],
+        comm_cycles=comm_total / outputs,
+    )
+
+
+def multicore_speedups(graph: StreamGraph, machine: MachineDescription,
+                       core_counts: List[int]) -> Dict[str, float]:
+    """Figure 13 row for one benchmark: speedup over scalar single-core for
+    {N cores} x {scalar, +MacroSS}."""
+    baseline = execute(graph, machine=machine, iterations=2)
+    base_cpo = baseline.cycles_per_output(machine)
+    row: Dict[str, float] = {}
+    for cores in core_counts:
+        scalar = simulate_multicore(graph, machine, cores, macro_simd=False)
+        simd = simulate_multicore(graph, machine, cores, macro_simd=True)
+        row[f"{cores}c"] = base_cpo / scalar.makespan_per_output
+        row[f"{cores}c+simd"] = base_cpo / simd.makespan_per_output
+    return row

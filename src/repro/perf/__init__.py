@@ -1,0 +1,7 @@
+"""Performance events and counters."""
+
+from .counters import PerActorCounters, PerfCounters
+from .report import classify_cycles, event_class_table, profile_table
+
+__all__ = ["PerActorCounters", "PerfCounters",
+           "classify_cycles", "event_class_table", "profile_table"]

@@ -1,0 +1,58 @@
+"""Canonical performance-event names.
+
+The interpreter emits one event per dynamic operation; a
+:class:`~repro.simd.machine.MachineDescription` prices each event in cycles.
+Keeping events symbolic separates *what the program did* (machine
+independent) from *what it costs* (machine dependent), which is exactly the
+split the paper's cost model needs when comparing tape-access strategies.
+
+Naming scheme::
+
+    s_alu / s_mul / s_div      scalar add-like / multiply / divide
+    v_alu / v_mul / v_div      vector forms (one event covers SW lanes)
+    s_load / s_store           scalar tape or array access
+    v_load / v_store           vector access (aligned)
+    v_load_u / v_store_u       vector access (unaligned)
+    pack / unpack              insert / extract one scalar lane
+    permute                    extract_even / extract_odd style shuffle
+    splat                      broadcast scalar to all lanes
+    m_<func> / vm_<func>       math intrinsic call, scalar / vector
+    loop                       loop back-edge overhead (cmp + inc + branch)
+    fire                       per-firing overhead (call + schedule loop)
+    addr                       software lane-order address translation
+                               (Figure 8: ~6 cycles on Core i7)
+    sagu                       SAGU-assisted address generation (Figure 9)
+    comm                       inter-core transfer of one element
+"""
+
+from __future__ import annotations
+
+SCALAR_ALU = "s_alu"
+SCALAR_MUL = "s_mul"
+SCALAR_DIV = "s_div"
+VECTOR_ALU = "v_alu"
+VECTOR_MUL = "v_mul"
+VECTOR_DIV = "v_div"
+SCALAR_LOAD = "s_load"
+SCALAR_STORE = "s_store"
+VECTOR_LOAD = "v_load"
+VECTOR_STORE = "v_store"
+VECTOR_LOAD_U = "v_load_u"
+VECTOR_STORE_U = "v_store_u"
+PACK = "pack"
+UNPACK = "unpack"
+PERMUTE = "permute"
+SPLAT = "splat"
+LOOP = "loop"
+FIRE = "fire"
+ADDR = "addr"
+SAGU = "sagu"
+COMM = "comm"
+
+
+def scalar_math(func: str) -> str:
+    return f"m_{func}"
+
+
+def vector_math(func: str) -> str:
+    return f"vm_{func}"

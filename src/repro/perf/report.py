@@ -1,0 +1,80 @@
+"""Human-readable performance reports from execution results.
+
+Breaks modeled cycles down by actor and by event class — the tool used to
+understand *where* a SIMDization decision pays off (e.g. how many cycles a
+benchmark spends packing/unpacking before and after vertical fusion).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
+
+from .counters import PerActorCounters, PerfCounters
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..graph.stream_graph import StreamGraph
+    from ..simd.machine import MachineDescription
+
+#: Event-class buckets for the breakdown columns.
+EVENT_CLASSES: Mapping[str, Tuple[str, ...]] = {
+    "scalar-alu": ("s_alu", "s_mul", "s_div"),
+    "vector-alu": ("v_alu", "v_mul", "v_div"),
+    "memory": ("s_load", "s_store", "v_load", "v_store",
+               "v_load_u", "v_store_u"),
+    "pack/unpack": ("pack", "unpack", "splat"),
+    "permute": ("permute",),
+    "addressing": ("addr", "sagu"),
+    "overhead": ("loop", "fire"),
+    "comm": ("comm",),
+}
+
+
+def classify_cycles(counters: PerfCounters,
+                    machine: "MachineDescription") -> Dict[str, float]:
+    """Cycles per event class; math calls land in a 'math' bucket."""
+    buckets = {name: 0.0 for name in EVENT_CLASSES}
+    buckets["math"] = 0.0
+    lookup = {event: name
+              for name, events in EVENT_CLASSES.items()
+              for event in events}
+    for event, count in counters.events.items():
+        cycles = count * machine.price(event)
+        if event.startswith(("m_", "vm_")):
+            buckets["math"] += cycles
+        else:
+            buckets[lookup.get(event, "overhead")] += cycles
+    return buckets
+
+
+def profile_table(graph: "StreamGraph", counters: PerActorCounters,
+                  machine: "MachineDescription",
+                  top: int = 0) -> str:
+    """Per-actor cycle table, heaviest first."""
+    from ..experiments.tables import format_table
+
+    per_actor = counters.cycles_by_actor(machine)
+    total = sum(per_actor.values()) or 1.0
+    ranked = sorted(per_actor.items(), key=lambda kv: -kv[1])
+    if top:
+        ranked = ranked[:top]
+    rows: List[Sequence[object]] = []
+    for actor_id, cycles in ranked:
+        buckets = classify_cycles(counters.by_actor[actor_id], machine)
+        dominant = max(buckets.items(), key=lambda kv: kv[1])
+        rows.append((graph.actors[actor_id].name, cycles,
+                     f"{100 * cycles / total:.1f}%",
+                     f"{dominant[0]} ({dominant[1]:.0f})"))
+    rows.append(("TOTAL", total, "100.0%", ""))
+    return format_table(["actor", "cycles", "share", "dominant class"], rows)
+
+
+def event_class_table(counters: PerfCounters,
+                      machine: "MachineDescription") -> str:
+    from ..experiments.tables import format_table
+
+    buckets = classify_cycles(counters, machine)
+    total = sum(buckets.values()) or 1.0
+    rows = [(name, cycles, f"{100 * cycles / total:.1f}%")
+            for name, cycles in sorted(buckets.items(), key=lambda kv: -kv[1])
+            if cycles > 0]
+    return format_table(["event class", "cycles", "share"], rows)

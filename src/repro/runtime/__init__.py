@@ -1,0 +1,19 @@
+"""Functional execution of stream graphs with performance-event accounting."""
+
+from .errors import (
+    InterpreterError,
+    StreamRuntimeError,
+    TapeUnderflow,
+    UninitializedRead,
+)
+from .executor import ExecutionResult, execute, state_initial_value
+from .interpreter import ActorRuntime, Interpreter
+from .tape import Tape
+
+__all__ = [
+    "InterpreterError", "StreamRuntimeError", "TapeUnderflow",
+    "UninitializedRead",
+    "ExecutionResult", "execute", "state_initial_value",
+    "ActorRuntime", "Interpreter",
+    "Tape",
+]

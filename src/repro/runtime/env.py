@@ -1,0 +1,42 @@
+"""Variable environment for work-function interpretation.
+
+Each firing gets a fresh local namespace layered over the actor's persistent
+state dictionary.  Name resolution checks locals first, then state; writes
+go to whichever layer already owns the name (state variables persist across
+firings, locals do not).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .errors import InterpreterError
+
+
+class Env:
+    __slots__ = ("state", "locals")
+
+    def __init__(self, state: Dict[str, Any]) -> None:
+        self.state = state
+        self.locals: Dict[str, Any] = {}
+
+    def declare(self, name: str, value: Any) -> None:
+        self.locals[name] = value
+
+    def get(self, name: str) -> Any:
+        if name in self.locals:
+            return self.locals[name]
+        if name in self.state:
+            return self.state[name]
+        raise InterpreterError(f"undefined variable {name!r}")
+
+    def set(self, name: str, value: Any) -> None:
+        if name in self.locals:
+            self.locals[name] = value
+        elif name in self.state:
+            self.state[name] = value
+        else:
+            raise InterpreterError(f"assignment to undeclared variable {name!r}")
+
+    def reset_locals(self) -> None:
+        self.locals.clear()

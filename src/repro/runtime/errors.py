@@ -1,0 +1,22 @@
+"""Runtime error types."""
+
+from __future__ import annotations
+
+
+class StreamRuntimeError(Exception):
+    """Base class for execution errors."""
+
+
+class TapeUnderflow(StreamRuntimeError):
+    """An actor read more data than its input tape held — a scheduling or
+    rate-declaration bug, never a legal runtime condition in SDF."""
+
+
+class UninitializedRead(StreamRuntimeError):
+    """A tape slot reserved by ``rpush``/``advance_writer`` was consumed
+    before being written."""
+
+
+class InterpreterError(StreamRuntimeError):
+    """Malformed IR reached the interpreter (undeclared variable, bad lane,
+    type mismatch)."""

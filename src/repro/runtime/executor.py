@@ -1,0 +1,277 @@
+"""Steady-state execution of flat stream graphs.
+
+The executor allocates runtime tapes, initialises actor state, runs the
+init phase (priming peeking filters), then runs ``iterations`` steady-state
+cycles of the schedule (the outer while-loop of Figure 1b).  Filters run
+through the IR interpreter; splitters and joiners (plain and horizontal)
+are executed natively with equivalent event charging.
+
+Outputs pushed by the terminal actor are collected and returned, which is
+how tests establish that a SIMDized graph computes exactly what the scalar
+graph computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..graph.actor import FilterSpec, StateVar
+from ..graph.builtins import (
+    HJoinerSpec,
+    HSplitterSpec,
+    JoinerSpec,
+    SplitKind,
+    SplitterSpec,
+)
+from ..graph.stream_graph import StreamGraph
+from ..ir.types import Vector
+from ..perf import events as ev
+from ..perf.counters import PerActorCounters, PerfCounters
+from ..schedule.steady_state import Schedule, build_schedule
+from ..simd.machine import CORE_I7, MachineDescription
+from .errors import StreamRuntimeError
+from .interpreter import ActorRuntime, Interpreter
+from .tape import Tape
+from .values import splat
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs plus per-phase performance counters."""
+
+    graph_name: str
+    iterations: int
+    #: items pushed by the terminal actor during the steady iterations.
+    outputs: List[Any]
+    #: items pushed during the init (priming) phase.
+    init_outputs: List[Any]
+    init_counters: PerActorCounters
+    steady_counters: PerActorCounters
+    schedule: Schedule
+
+    def cycles_per_output(self, machine: MachineDescription) -> float:
+        """Steady-state cycles per produced item — the throughput metric all
+        speedup comparisons use (immune to Equation (1) rescaling, which
+        changes work-per-iteration)."""
+        if not self.outputs:
+            raise StreamRuntimeError("graph produced no steady-state output")
+        return self.steady_cycles(machine) / len(self.outputs)
+
+    def steady_cycles(self, machine: MachineDescription) -> float:
+        """Modeled cycles for the measured steady iterations."""
+        return self.steady_counters.cycles(machine)
+
+    def cycles_per_iteration(self, machine: MachineDescription) -> float:
+        return self.steady_cycles(machine) / max(1, self.iterations)
+
+    def actor_cycles(self, machine: MachineDescription) -> Dict[int, float]:
+        return self.steady_counters.cycles_by_actor(machine)
+
+
+def state_initial_value(var: StateVar, simd_width: int) -> Any:
+    """Materialise a state variable's initial runtime value."""
+    width = var.type.width if isinstance(var.type, Vector) else 0
+    if var.is_array:
+        if isinstance(var.init, tuple):
+            items = list(var.init)
+            if len(items) != var.size:
+                raise StreamRuntimeError(
+                    f"state {var.name}: initialiser length {len(items)} != "
+                    f"size {var.size}")
+        else:
+            items = [var.init] * var.size
+        if width:
+            return [list(item) if isinstance(item, tuple) else splat(item, width)
+                    for item in items]
+        return [float(item) for item in items]
+    if width:
+        if isinstance(var.init, tuple):
+            return list(var.init)
+        return splat(var.init, width)
+    return var.init
+
+
+class _GraphRun:
+    """All mutable state of one execution."""
+
+    def __init__(self, graph: StreamGraph, schedule: Schedule,
+                 machine: MachineDescription) -> None:
+        self.graph = graph
+        self.schedule = schedule
+        self.machine = machine
+        self.tapes: Dict[int, Tape] = {
+            tid: Tape(f"tape{tid}") for tid in graph.tapes}
+        # Feedback-loop delays: pre-load enqueued items.
+        for tid, edge in graph.tapes.items():
+            for item in edge.initial:
+                self.tapes[tid].push(item)
+        self.collector: Optional[Tape] = None
+        self.interpreters: Dict[int, Interpreter] = {}
+        self.counters = PerActorCounters()
+        self._setup_actors()
+
+    def _setup_actors(self) -> None:
+        terminal_candidates = [
+            a for a in self.graph.actors.values()
+            if not self.graph.out_tapes(a.id)
+            and isinstance(a.spec, FilterSpec) and a.spec.push > 0]
+        if len(terminal_candidates) > 1:
+            raise StreamRuntimeError("multiple dangling outputs")
+        collector_owner = terminal_candidates[0].id if terminal_candidates else None
+
+        for actor in self.graph.actors.values():
+            if not isinstance(actor.spec, FilterSpec):
+                continue
+            in_tape = self.graph.input_tape(actor.id)
+            out_tape = self.graph.output_tape(actor.id)
+            runtime = ActorRuntime(
+                actor_id=actor.id,
+                simd_width=self.machine.simd_width,
+                counters=self.counters.for_actor(actor.id),
+                state={var.name: state_initial_value(var, self.machine.simd_width)
+                       for var in actor.spec.state},
+                input=self.tapes[in_tape.id] if in_tape else None,
+                output=self.tapes[out_tape.id] if out_tape else None,
+                in_lane_ordered=bool(in_tape and in_tape.lane_ordered),
+                out_lane_ordered=bool(out_tape and out_tape.lane_ordered),
+                has_sagu=self.machine.has_sagu,
+            )
+            if actor.id == collector_owner:
+                self.collector = Tape("collector")
+                runtime.output = self.collector
+            interp = Interpreter(runtime)
+            if actor.spec.init_body:
+                interp.run_init(actor.spec.init_body)
+            self.interpreters[actor.id] = interp
+
+    # -- firing ---------------------------------------------------------------
+    def fire(self, actor_id: int) -> None:
+        actor = self.graph.actors[actor_id]
+        spec = actor.spec
+        if isinstance(spec, FilterSpec):
+            self.interpreters[actor_id].run_work(spec.work_body)
+        elif isinstance(spec, SplitterSpec):
+            self._fire_splitter(actor_id, spec)
+        elif isinstance(spec, JoinerSpec):
+            self._fire_joiner(actor_id, spec)
+        elif isinstance(spec, HSplitterSpec):
+            self._fire_hsplitter(actor_id, spec)
+        elif isinstance(spec, HJoinerSpec):
+            self._fire_hjoiner(actor_id, spec)
+        else:
+            raise StreamRuntimeError(f"cannot fire {spec!r}")
+
+    def _scalar_read(self, counters: PerfCounters, tape_id: int) -> Any:
+        counters.add(ev.SCALAR_LOAD)
+        edge = self.graph.tapes[tape_id]
+        if edge.lane_ordered:
+            counters.add(ev.SAGU if self.machine.has_sagu else ev.ADDR)
+        return self.tapes[tape_id].pop()
+
+    def _scalar_write(self, counters: PerfCounters, tape_id: int,
+                      value: Any) -> None:
+        counters.add(ev.SCALAR_STORE)
+        edge = self.graph.tapes[tape_id]
+        if edge.lane_ordered:
+            counters.add(ev.SAGU if self.machine.has_sagu else ev.ADDR)
+        self.tapes[tape_id].push(value)
+
+    def _fire_splitter(self, actor_id: int, spec: SplitterSpec) -> None:
+        counters = self.counters.for_actor(actor_id)
+        counters.add(ev.FIRE)
+        in_tape = self.graph.in_tapes(actor_id)[0]
+        outs = self.graph.out_tapes(actor_id)
+        if spec.kind is SplitKind.DUPLICATE:
+            value = self._scalar_read(counters, in_tape.id)
+            for tape in outs:
+                self._scalar_write(counters, tape.id, value)
+        else:
+            for tape in outs:
+                for _ in range(spec.weights[tape.src_port]):
+                    value = self._scalar_read(counters, in_tape.id)
+                    self._scalar_write(counters, tape.id, value)
+
+    def _fire_joiner(self, actor_id: int, spec: JoinerSpec) -> None:
+        counters = self.counters.for_actor(actor_id)
+        counters.add(ev.FIRE)
+        ins = self.graph.in_tapes(actor_id)
+        out = self.graph.out_tapes(actor_id)
+        out_tape = out[0] if out else None
+        for tape in ins:
+            for _ in range(spec.weights[tape.dst_port]):
+                value = self._scalar_read(counters, tape.id)
+                if out_tape is not None:
+                    self._scalar_write(counters, out_tape.id, value)
+
+    def _fire_hsplitter(self, actor_id: int, spec: HSplitterSpec) -> None:
+        counters = self.counters.for_actor(actor_id)
+        counters.add(ev.FIRE)
+        in_tape = self.graph.in_tapes(actor_id)[0]
+        out_tape = self.graph.out_tapes(actor_id)[0]
+        if spec.kind is SplitKind.DUPLICATE:
+            for _ in range(spec.weight):
+                value = self._scalar_read(counters, in_tape.id)
+                counters.add(ev.SPLAT)
+                counters.add(ev.VECTOR_STORE)
+                self.tapes[out_tape.id].push(splat(value, spec.width))
+        else:
+            chunk = [self._scalar_read(counters, in_tape.id)
+                     for _ in range(spec.width * spec.weight)]
+            for j in range(spec.weight):
+                counters.add(ev.PACK, spec.width)
+                counters.add(ev.VECTOR_STORE)
+                self.tapes[out_tape.id].push(
+                    [chunk[k * spec.weight + j] for k in range(spec.width)])
+
+    def _fire_hjoiner(self, actor_id: int, spec: HJoinerSpec) -> None:
+        counters = self.counters.for_actor(actor_id)
+        counters.add(ev.FIRE)
+        in_tape = self.graph.in_tapes(actor_id)[0]
+        outs = self.graph.out_tapes(actor_id)
+        vectors = []
+        for _ in range(spec.weight):
+            counters.add(ev.VECTOR_LOAD)
+            vectors.append(self.tapes[in_tape.id].pop())
+        for k in range(spec.width):
+            for j in range(spec.weight):
+                counters.add(ev.UNPACK)
+                if outs:
+                    self._scalar_write(counters, outs[0].id, vectors[j][k])
+
+    # -- phases ----------------------------------------------------------------
+    def run_phase(self, phase) -> None:
+        for actor_id, firings in phase:
+            for _ in range(firings):
+                self.fire(actor_id)
+
+
+def execute(graph: StreamGraph,
+            schedule: Optional[Schedule] = None,
+            *,
+            machine: MachineDescription = CORE_I7,
+            iterations: int = 8) -> ExecutionResult:
+    """Run ``iterations`` steady-state cycles of ``graph`` and return
+    collected outputs plus performance counters."""
+    if schedule is None:
+        schedule = build_schedule(graph)
+    run = _GraphRun(graph, schedule, machine)
+    run.run_phase(schedule.init)
+    init_counters = run.counters
+    init_outputs = run.collector.drain() if run.collector is not None else []
+    run.counters = PerActorCounters()
+    # Re-point every interpreter at the steady-phase counter bag.
+    for actor_id, interp in run.interpreters.items():
+        interp.rt.counters = run.counters.for_actor(actor_id)
+    for _ in range(iterations):
+        run.run_phase(schedule.steady)
+    outputs = run.collector.drain() if run.collector is not None else []
+    return ExecutionResult(
+        graph_name=graph.name,
+        iterations=iterations,
+        outputs=outputs,
+        init_outputs=init_outputs,
+        init_counters=init_counters,
+        steady_counters=run.counters,
+        schedule=schedule,
+    )

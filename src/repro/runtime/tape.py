@@ -1,0 +1,121 @@
+"""FIFO tape with StreamIt's extended access repertoire.
+
+Beyond ``push``/``pop``, the SIMDized code of the paper needs:
+
+* ``peek(offset)`` — non-destructive read ahead of the read pointer;
+* ``rpush(value, offset)`` — random-access write past the write pointer
+  *without* advancing it (§3.1, Figure 3b);
+* ``advance_reader`` / ``advance_writer`` — bulk pointer adjustment closing
+  out the strided access groups of a vectorized firing.
+
+The implementation keeps an explicit read head and write pointer over a
+growable list; slots between the write pointer and the furthest ``rpush``
+hold a sentinel until written.  Elements may be scalars or vectors (lists):
+the tape is agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .errors import TapeUnderflow, UninitializedRead
+
+_UNWRITTEN = object()
+
+#: Compact the backing list when the dead prefix exceeds this many items.
+_COMPACT_THRESHOLD = 8192
+
+
+class Tape:
+    """A FIFO channel between two actors."""
+
+    __slots__ = ("name", "_buf", "_head", "_wp")
+
+    def __init__(self, name: str = "tape") -> None:
+        self.name = name
+        self._buf: List[Any] = []
+        self._head = 0   # index of the next item to pop
+        self._wp = 0     # index one past the last committed item
+
+    # -- capacity -------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of committed, unconsumed items."""
+        return self._wp - self._head
+
+    def _ensure(self, index: int) -> None:
+        grow = index + 1 - len(self._buf)
+        if grow > 0:
+            self._buf.extend([_UNWRITTEN] * grow)
+
+    def _compact(self) -> None:
+        if self._head > _COMPACT_THRESHOLD and self._head * 2 > len(self._buf):
+            del self._buf[: self._head]
+            self._wp -= self._head
+            self._head = 0
+
+    # -- writing --------------------------------------------------------------
+    def push(self, value: Any) -> None:
+        self._ensure(self._wp)
+        self._buf[self._wp] = value
+        self._wp += 1
+
+    def rpush(self, value: Any, offset: int) -> None:
+        if offset < 0:
+            raise ValueError(f"{self.name}: negative rpush offset {offset}")
+        index = self._wp + offset
+        self._ensure(index)
+        self._buf[index] = value
+
+    def advance_writer(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"{self.name}: negative writer advance")
+        self._ensure(self._wp + count - 1 if count else self._wp)
+        for index in range(self._wp, self._wp + count):
+            if self._buf[index] is _UNWRITTEN:
+                raise UninitializedRead(
+                    f"{self.name}: advancing writer over unwritten slot "
+                    f"{index - self._wp}")
+        self._wp += count
+
+    # -- reading --------------------------------------------------------------
+    def pop(self) -> Any:
+        if self._head >= self._wp:
+            raise TapeUnderflow(f"{self.name}: pop from empty tape")
+        value = self._buf[self._head]
+        if value is _UNWRITTEN:
+            raise UninitializedRead(f"{self.name}: pop of unwritten slot")
+        self._head += 1
+        self._compact()
+        return value
+
+    def peek(self, offset: int) -> Any:
+        if offset < 0:
+            raise ValueError(f"{self.name}: negative peek offset {offset}")
+        index = self._head + offset
+        if index >= self._wp:
+            raise TapeUnderflow(
+                f"{self.name}: peek({offset}) with only {len(self)} items")
+        value = self._buf[index]
+        if value is _UNWRITTEN:
+            raise UninitializedRead(f"{self.name}: peek of unwritten slot")
+        return value
+
+    def advance_reader(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"{self.name}: negative reader advance")
+        if self._head + count > self._wp:
+            raise TapeUnderflow(
+                f"{self.name}: advance_reader({count}) with only "
+                f"{len(self)} items")
+        self._head += count
+        self._compact()
+
+    # -- draining (output collection) ------------------------------------------
+    def drain(self) -> List[Any]:
+        """Pop and return every committed item (executor output collection)."""
+        items = self._buf[self._head:self._wp]
+        if any(item is _UNWRITTEN for item in items):
+            raise UninitializedRead(f"{self.name}: drain hit unwritten slot")
+        self._head = self._wp
+        self._compact()
+        return items

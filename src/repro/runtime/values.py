@@ -1,0 +1,114 @@
+"""Value helpers for the interpreter.
+
+Scalars are Python ``int``/``float``/``bool``; vectors are Python lists of
+scalars (mutable so lane assignment is cheap, copied on variable assignment
+to preserve value semantics).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List
+
+ScalarValue = int | float | bool
+Value = ScalarValue | List[ScalarValue]
+
+
+def is_vector_value(value: Any) -> bool:
+    return isinstance(value, list)
+
+
+def copy_value(value: Value) -> Value:
+    """Vectors copy on assignment; scalars are immutable."""
+    return list(value) if isinstance(value, list) else value
+
+
+def splat(value: ScalarValue, width: int) -> List[ScalarValue]:
+    return [value] * width
+
+
+def _c_int_div(a: int, b: int) -> int:
+    """C semantics: truncation toward zero."""
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _c_int_mod(a: int, b: int) -> int:
+    return a - _c_int_div(a, b) * b
+
+
+def apply_binary(op: str, a: ScalarValue, b: ScalarValue) -> ScalarValue:
+    """Scalar semantics of each IR binary operator (C-like)."""
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if isinstance(a, int) and isinstance(b, int):
+            return _c_int_div(a, b)
+        return a / b
+    if op == "%":
+        if isinstance(a, int) and isinstance(b, int):
+            return _c_int_mod(a, b)
+        return math.fmod(a, b)
+    if op == "<<":
+        return int(a) << int(b)
+    if op == ">>":
+        return int(a) >> int(b)
+    if op == "&":
+        return int(a) & int(b)
+    if op == "|":
+        return int(a) | int(b)
+    if op == "^":
+        return int(a) ^ int(b)
+    if op == "==":
+        return a == b
+    if op == "!=":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    if op == "&&":
+        return bool(a) and bool(b)
+    if op == "||":
+        return bool(a) or bool(b)
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def apply_unary(op: str, a: ScalarValue) -> ScalarValue:
+    if op == "-":
+        return -a
+    if op == "!":
+        return not bool(a)
+    if op == "~":
+        return ~int(a)
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+_MATH_IMPL: dict[str, Callable[..., ScalarValue]] = {
+    "sin": math.sin, "cos": math.cos, "tan": math.tan,
+    "asin": math.asin, "acos": math.acos, "atan": math.atan,
+    "atan2": math.atan2,
+    "sqrt": math.sqrt, "exp": math.exp, "log": math.log, "pow": math.pow,
+    "abs": abs, "min": min, "max": max,
+    "floor": lambda x: float(math.floor(x)),
+    "ceil": lambda x: float(math.ceil(x)),
+    "round": lambda x: float(round(x)),
+    "rint": lambda x: float(round(x)),
+    "float": float,
+    "int": lambda x: int(x),  # C cast: truncation toward zero
+}
+
+
+def apply_math(func: str, args: List[ScalarValue]) -> ScalarValue:
+    impl = _MATH_IMPL.get(func)
+    if impl is None:
+        raise ValueError(f"unknown math intrinsic {func!r}")
+    return impl(*args)

@@ -1,0 +1,13 @@
+"""SDF scheduling: balance equations, init schedule, steady state, scaling."""
+
+from .init_schedule import init_counts, tape_residuals, verify_init_counts
+from .rates import RateError, check_balanced, repetition_vector
+from .scaling import per_actor_factor, scale_repetitions, simd_scaling_factor
+from .steady_state import Schedule, build_schedule
+
+__all__ = [
+    "init_counts", "tape_residuals", "verify_init_counts",
+    "RateError", "check_balanced", "repetition_vector",
+    "per_actor_factor", "scale_repetitions", "simd_scaling_factor",
+    "Schedule", "build_schedule",
+]

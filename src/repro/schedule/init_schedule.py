@@ -1,0 +1,76 @@
+"""Initialization schedule for peeking filters.
+
+A filter with ``peek > pop`` must find ``peek`` items on its tape at every
+steady-state firing while only ``pop`` are replenished per consumed firing.
+The classic StreamIt solution primes each such tape with a residual of
+``delta = peek - pop`` items before the steady state starts.
+
+We compute, in reverse topological order, the number of *init firings* each
+actor needs so that after running them (in topological order) every tape
+holds at least its consumer's ``delta``.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Dict
+
+from ..graph.actor import FilterSpec
+from ..graph.stream_graph import StreamGraph
+
+
+def tape_residuals(graph: StreamGraph) -> Dict[int, int]:
+    """Residual items each tape must hold entering the steady state."""
+    residuals: Dict[int, int] = {}
+    for tape in graph.tapes.values():
+        spec = graph.actors[tape.dst].spec
+        if isinstance(spec, FilterSpec) and spec.is_peeking:
+            residuals[tape.id] = spec.peek - spec.pop
+        else:
+            residuals[tape.id] = 0
+    return residuals
+
+
+def init_counts(graph: StreamGraph) -> Dict[int, int]:
+    """Number of init firings per actor (most are 0 in non-peeking graphs)."""
+    residuals = tape_residuals(graph)
+    counts: Dict[int, int] = {aid: 0 for aid in graph.actors}
+    for actor_id in reversed(graph.topological_order()):
+        needed = 0
+        for tape in graph.out_tapes(actor_id):
+            demand = (residuals[tape.id]
+                      + counts[tape.dst] * graph.pop_rate(tape.dst, tape.dst_port))
+            if demand > 0:
+                push = graph.push_rate(actor_id, tape.src_port)
+                needed = max(needed, ceil(demand / push))
+        counts[actor_id] = needed
+    return counts
+
+
+def verify_init_counts(graph: StreamGraph, counts: Dict[int, int]) -> None:
+    """Check that executing ``counts`` in topological order leaves every tape
+    with at least its residual and never underflows.  Raises ``ValueError``
+    on violation (used by tests and as a post-condition)."""
+    residuals = tape_residuals(graph)
+    buffered: Dict[int, int] = {tid: 0 for tid in graph.tapes}
+    for actor_id in graph.topological_order():
+        firings = counts[actor_id]
+        if firings == 0:
+            continue
+        for tape in graph.in_tapes(actor_id):
+            pop = graph.pop_rate(actor_id, tape.dst_port)
+            peek = graph.peek_rate(actor_id, tape.dst_port)
+            required = (firings - 1) * pop + peek
+            if buffered[tape.id] < required:
+                raise ValueError(
+                    f"init underflow on tape {tape.id} into "
+                    f"{graph.actors[actor_id].name}: "
+                    f"{buffered[tape.id]} < {required}")
+            buffered[tape.id] -= firings * pop
+        for tape in graph.out_tapes(actor_id):
+            buffered[tape.id] += firings * graph.push_rate(actor_id, tape.src_port)
+    for tape_id, residual in residuals.items():
+        if buffered[tape_id] < residual:
+            raise ValueError(
+                f"tape {tape_id} holds {buffered[tape_id]} after init, "
+                f"needs residual {residual}")

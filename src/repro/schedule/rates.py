@@ -1,0 +1,87 @@
+"""Steady-state rate matching (SDF balance equations).
+
+For every tape ``p -> c``, the repetition vector R must satisfy
+``R[p] * push(p) == R[c] * pop(c)`` (Lee & Messerschmitt, 1987).  We solve
+by propagating rational ratios across the (undirected) graph and normalising
+to the smallest positive integer vector.  An inconsistent graph (no
+solution) raises :class:`RateError`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict
+
+from ..graph.stream_graph import StreamGraph
+
+
+class RateError(Exception):
+    """Raised when the balance equations have no consistent solution."""
+
+
+def repetition_vector(graph: StreamGraph) -> Dict[int, int]:
+    """Return the minimal repetition vector {actor id: firings per steady
+    state}."""
+    if not graph.actors:
+        return {}
+
+    ratios: Dict[int, Fraction] = {}
+    adjacency: Dict[int, list] = {aid: [] for aid in graph.actors}
+    for tape in graph.tapes.values():
+        push = graph.push_rate(tape.src, tape.src_port)
+        pop = graph.pop_rate(tape.dst, tape.dst_port)
+        if push <= 0 or pop <= 0:
+            raise RateError(
+                f"tape {tape.id}: non-positive rate (push={push}, pop={pop})")
+        # R[src] * push == R[dst] * pop  =>  R[dst] = R[src] * push / pop
+        adjacency[tape.src].append((tape.dst, Fraction(push, pop)))
+        adjacency[tape.dst].append((tape.src, Fraction(pop, push)))
+
+    for seed in sorted(graph.actors):
+        if seed in ratios:
+            continue
+        ratios[seed] = Fraction(1)
+        stack = [seed]
+        while stack:
+            current = stack.pop()
+            for neighbour, factor in adjacency[current]:
+                expected = ratios[current] * factor
+                if neighbour in ratios:
+                    if ratios[neighbour] != expected:
+                        raise RateError(
+                            f"inconsistent rates at actor "
+                            f"{graph.actors[neighbour].name!r}: "
+                            f"{ratios[neighbour]} vs {expected}")
+                else:
+                    ratios[neighbour] = expected
+                    stack.append(neighbour)
+
+    # Scale to the smallest integer vector.
+    denominator_lcm = 1
+    for value in ratios.values():
+        denominator_lcm = _lcm(denominator_lcm, value.denominator)
+    scaled = {aid: int(value * denominator_lcm) for aid, value in ratios.items()}
+    divisor = 0
+    for value in scaled.values():
+        divisor = gcd(divisor, value)
+    if divisor > 1:
+        scaled = {aid: value // divisor for aid, value in scaled.items()}
+    if any(value <= 0 for value in scaled.values()):
+        raise RateError("repetition vector has non-positive entries")
+    return scaled
+
+
+def check_balanced(graph: StreamGraph, reps: Dict[int, int]) -> None:
+    """Assert that ``reps`` satisfies every balance equation."""
+    for tape in graph.tapes.values():
+        produced = reps[tape.src] * graph.push_rate(tape.src, tape.src_port)
+        consumed = reps[tape.dst] * graph.pop_rate(tape.dst, tape.dst_port)
+        if produced != consumed:
+            raise RateError(
+                f"tape {tape.id} unbalanced: {produced} produced vs "
+                f"{consumed} consumed")
+
+
+def _lcm(a: int, b: int) -> int:
+    return a * b // gcd(a, b)

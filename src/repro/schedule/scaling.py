@@ -1,0 +1,45 @@
+"""Repetition-vector scaling for SIMDization (Equation (1) of the paper).
+
+Before single-actor SIMDization, every SIMDizable actor's repetition count
+must be a multiple of the SIMD width ``SW``.  The paper scales the whole
+vector by::
+
+    M = max over SIMDizable actors A_i of  LCM(SW, R_i) / R_i
+
+Each term is the smallest factor making ``R_i`` a multiple of ``SW``; the
+max is taken so a single global factor works for every actor, and scaling
+the entire vector keeps the balance equations satisfied.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, Iterable
+
+
+def per_actor_factor(sw: int, rep: int) -> int:
+    """Smallest integer f such that ``f * rep`` is a multiple of ``sw``.
+
+    Equals ``LCM(sw, rep) / rep == sw / gcd(sw, rep)``.
+    """
+    if rep <= 0:
+        raise ValueError(f"repetition must be positive, got {rep}")
+    if sw <= 0:
+        raise ValueError(f"SIMD width must be positive, got {sw}")
+    return sw // gcd(sw, rep)
+
+
+def simd_scaling_factor(sw: int, reps: Dict[int, int],
+                        simdizable: Iterable[int]) -> int:
+    """Equation (1): the global factor M for the given SIMDizable actors."""
+    factor = 1
+    for actor_id in simdizable:
+        factor = max(factor, per_actor_factor(sw, reps[actor_id]))
+    return factor
+
+
+def scale_repetitions(reps: Dict[int, int], factor: int) -> Dict[int, int]:
+    """Multiply every repetition count by ``factor``."""
+    if factor < 1:
+        raise ValueError(f"scale factor must be >= 1, got {factor}")
+    return {aid: rep * factor for aid, rep in reps.items()}

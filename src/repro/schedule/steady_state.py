@@ -1,0 +1,164 @@
+"""Steady-state schedule construction.
+
+We build single-appearance schedules: each actor appears once, enclosed in a
+for-loop running its repetition count, actors ordered topologically — the
+template the paper shows in Figure 1b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..graph.stream_graph import StreamGraph
+from .init_schedule import init_counts, verify_init_counts
+from .rates import check_balanced, repetition_vector
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An executable schedule for a flat graph.
+
+    ``init`` and ``steady`` are (actor id, firings) phases in execution
+    order; ``reps`` is the steady-state repetition vector.
+    """
+
+    init: Tuple[Tuple[int, int], ...]
+    steady: Tuple[Tuple[int, int], ...]
+    reps: Dict[int, int]
+
+    def steady_firings(self) -> int:
+        return sum(count for _, count in self.steady)
+
+    def rep_of(self, actor_id: int) -> int:
+        return self.reps[actor_id]
+
+
+def build_schedule(graph: StreamGraph,
+                   reps: Dict[int, int] | None = None) -> Schedule:
+    """Compute init + steady schedules for ``graph``.
+
+    ``reps`` may be a pre-scaled repetition vector (macro-SIMDization scales
+    it by Equation (1) before vectorizing); it must still satisfy the balance
+    equations.
+
+    Acyclic graphs get the single-appearance topological schedule of
+    Figure 1b; graphs with feedback loops get a data-driven schedule found
+    by simulating buffer occupancies from the enqueued delay items.
+    """
+    if reps is None:
+        reps = repetition_vector(graph)
+    else:
+        check_balanced(graph, reps)
+    if graph.has_cycle():
+        return _simulated_schedule(graph, reps)
+    order = graph.topological_order()
+    init = init_counts(graph)
+    verify_init_counts(graph, init)
+    init_phase = tuple((aid, init[aid]) for aid in order if init[aid] > 0)
+    steady_phase = tuple((aid, reps[aid]) for aid in order)
+    return Schedule(init_phase, steady_phase, dict(reps))
+
+
+class DeadlockError(Exception):
+    """The cyclic graph cannot complete a steady state from its initial
+    tokens (insufficient feedback-loop delays)."""
+
+
+def _simulated_schedule(graph: StreamGraph, reps: Dict[int, int]) -> Schedule:
+    """Demand-driven steady schedule for a cyclic graph.
+
+    Repeatedly fires any actor that (a) still owes firings this period and
+    (b) has enough buffered input on every port (peek included); initial
+    tokens come from the feedback tapes' ``initial`` items.  Termination
+    with unfired actors means deadlock.  Peeking filters inside cycles are
+    not supported (their priming would interact with the delays); the check
+    lives here so the error is actionable.
+    """
+    from ..graph.actor import FilterSpec
+
+    buffered = {tid: len(tape.initial) for tid, tape in graph.tapes.items()}
+    cyclic_actors = graph.actors_on_cycles()
+    for actor_id in cyclic_actors:
+        spec = graph.actors[actor_id].spec
+        if isinstance(spec, FilterSpec) and spec.is_peeking:
+            raise DeadlockError(
+                f"{graph.actors[actor_id].name}: peeking filters inside "
+                "feedback loops are not supported")
+
+    def can_fire(actor_id: int) -> bool:
+        for tape in graph.in_tapes(actor_id):
+            need = graph.peek_rate(actor_id, tape.dst_port)
+            if buffered[tape.id] < need:
+                return False
+        return True
+
+    def fire(actor_id: int, firings: list) -> None:
+        for tape in graph.in_tapes(actor_id):
+            buffered[tape.id] -= graph.pop_rate(actor_id, tape.dst_port)
+        for tape in graph.out_tapes(actor_id):
+            buffered[tape.id] += graph.push_rate(actor_id, tape.src_port)
+        if firings and firings[-1][0] == actor_id:
+            firings[-1] = (actor_id, firings[-1][1] + 1)
+        else:
+            firings.append((actor_id, 1))
+
+    # -- init phase: prime peeking filters *outside* the cycles -----------------
+    init_firings: list[tuple[int, int]] = []
+    residual = {tid: 0 for tid in graph.tapes}
+    for tape in graph.tapes.values():
+        spec = graph.actors[tape.dst].spec
+        if isinstance(spec, FilterSpec) and spec.is_peeking:
+            residual[tape.id] = spec.peek - spec.pop
+
+    def try_fire(actor_id: int, visiting: frozenset) -> bool:
+        """Demand-driven: fire ``actor_id``, recursively firing upstream
+        producers until its inputs suffice."""
+        for _ in range(1024):
+            if can_fire(actor_id):
+                fire(actor_id, init_firings)
+                return True
+            advanced = False
+            for tape in graph.in_tapes(actor_id):
+                need = graph.peek_rate(actor_id, tape.dst_port)
+                if buffered[tape.id] >= need:
+                    continue
+                if tape.src in visiting:
+                    return False
+                if try_fire(tape.src, visiting | {actor_id}):
+                    advanced = True
+            if not advanced:
+                return False
+        return False
+
+    for _ in range(100_000):
+        deficient = next(
+            (t for t in graph.tapes.values()
+             if buffered[t.id] < residual[t.id]), None)
+        if deficient is None:
+            break
+        if not try_fire(deficient.src, frozenset({deficient.dst})):
+            raise DeadlockError(
+                f"cannot prime peeking filter "
+                f"{graph.actors[deficient.dst].name!r} (add enqueue items)")
+    else:  # pragma: no cover - runaway guard
+        raise DeadlockError("init priming did not converge")
+
+    # -- steady phase ------------------------------------------------------------
+    remaining = dict(reps)
+    firings: list[tuple[int, int]] = []
+    progress = True
+    while progress and any(count > 0 for count in remaining.values()):
+        progress = False
+        for actor_id in sorted(remaining):
+            if remaining[actor_id] == 0 or not can_fire(actor_id):
+                continue
+            remaining[actor_id] -= 1
+            fire(actor_id, firings)
+            progress = True
+    starved = [graph.actors[aid].name
+               for aid, count in remaining.items() if count > 0]
+    if starved:
+        raise DeadlockError(
+            f"feedback deadlock: {starved} cannot fire (add enqueue items)")
+    return Schedule(tuple(init_firings), tuple(firings), dict(reps))

@@ -1,0 +1,56 @@
+"""Macro-SIMDization: MacroSS's analyses, transformations, and driver."""
+
+from .analysis import Verdict, analyze_filter, is_stateful, simdizable_filters
+from .cost_model import (
+    StrategyCost,
+    best_gather_strategy,
+    estimate_body_events,
+    estimate_firing_cycles,
+    gather_strategy_costs,
+)
+from .horizontal import MergeConflict, apply_horizontal, merge_specs
+from .isomorphism import all_isomorphic, spec_signature, specs_isomorphic
+from .machine import (
+    CORE_I7,
+    CORE_I7_SAGU,
+    NEON_LIKE,
+    MachineDescription,
+    UnsupportedOperation,
+    wide_machine,
+)
+from .pipeline import (
+    SCALAR_OPTIONS,
+    SINGLE_ACTOR_ONLY,
+    CompilationReport,
+    CompiledGraph,
+    MacroSSOptions,
+    compile_graph,
+)
+from .sagu import SAGU, lane_ordered_layout, software_address
+from .segments import (
+    HorizontalCandidate,
+    find_horizontal_candidates,
+    find_vertical_segments,
+    horizontal_verdict,
+)
+from .single_actor import expr_is_vector, vectorize_actor
+from .tape_opt import optimize_tapes, uses_gather, uses_scatter
+from .vertical import FusionError, fuse_segment, fuse_specs, inner_repetitions
+
+__all__ = [
+    "Verdict", "analyze_filter", "is_stateful", "simdizable_filters",
+    "StrategyCost", "best_gather_strategy", "estimate_body_events",
+    "estimate_firing_cycles", "gather_strategy_costs",
+    "MergeConflict", "apply_horizontal", "merge_specs",
+    "all_isomorphic", "spec_signature", "specs_isomorphic",
+    "CORE_I7", "CORE_I7_SAGU", "NEON_LIKE", "MachineDescription",
+    "UnsupportedOperation", "wide_machine",
+    "SCALAR_OPTIONS", "SINGLE_ACTOR_ONLY", "CompilationReport",
+    "CompiledGraph", "MacroSSOptions", "compile_graph",
+    "SAGU", "lane_ordered_layout", "software_address",
+    "HorizontalCandidate", "find_horizontal_candidates",
+    "find_vertical_segments", "horizontal_verdict",
+    "expr_is_vector", "vectorize_actor",
+    "optimize_tapes", "uses_gather", "uses_scatter",
+    "FusionError", "fuse_segment", "fuse_specs", "inner_repetitions",
+]

@@ -1,0 +1,182 @@
+"""SIMDizability analysis (§3.1, last paragraph).
+
+An actor is excluded from single-actor / vertical SIMDization when it:
+
+* has mutable state (writes a state variable in its work body) — parallel
+  lane executions would race on it;
+* is a splitter or joiner (pure tape movement, no computation) — handled by
+  the caller, since those are not :class:`FilterSpec`;
+* calls a math function the target SIMD engine does not implement;
+* has input-tape-dependent control flow or memory accesses (an ``if``
+  condition, loop bound, or array subscript computed from popped/peeked
+  data).  The paper lets a cost model decide whether to vectorize such
+  actors with unpack/repack bridges; this reproduction conservatively
+  rejects them (documented deviation in DESIGN.md).
+
+Sources (``pop == 0``) are rejected unless stateless — a stateless source
+is a constant generator and vectorizes trivially, but real sources carry
+counters/PRNG state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Set, Tuple
+
+from ..graph.actor import FilterSpec
+from ..ir import expr as E
+from ..ir import lvalue as L
+from ..ir import stmt as S
+from ..ir.visitors import iter_expr
+from .machine import MachineDescription
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of analysing one actor."""
+
+    simdizable: bool
+    reasons: Tuple[str, ...] = ()
+
+    @staticmethod
+    def ok() -> "Verdict":
+        return Verdict(True)
+
+    @staticmethod
+    def no(*reasons: str) -> "Verdict":
+        return Verdict(False, tuple(reasons))
+
+
+def written_state_vars(spec: FilterSpec) -> Set[str]:
+    """Names of state variables assigned in the work body."""
+    state_names = {var.name for var in spec.state}
+    written: Set[str] = set()
+    for stmt in _walk_stmts(spec.work_body):
+        if isinstance(stmt, S.Assign):
+            name = getattr(stmt.lhs, "name", None)
+            if name in state_names:
+                written.add(name)
+    return written
+
+
+def is_stateful(spec: FilterSpec) -> bool:
+    """True when the work body mutates persistent state.
+
+    Read-only state (e.g. coefficient tables filled by ``init``) does not
+    make an actor stateful — every lane reads the same values.
+    """
+    return bool(written_state_vars(spec))
+
+
+def tainted_vars(body: S.Body) -> Set[str]:
+    """Variables (and arrays) whose values derive from input-tape data.
+
+    Fixpoint dataflow: seeds are targets of assignments whose right-hand
+    side reads the tape; taint propagates through assignments.
+    """
+    tainted: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for stmt in _walk_stmts(body):
+            target: str | None = None
+            sources: Tuple[E.Expr, ...] = ()
+            if isinstance(stmt, S.Assign):
+                target = getattr(stmt.lhs, "name", None)
+                sources = (stmt.rhs,)
+            elif isinstance(stmt, S.DeclVar) and stmt.init is not None:
+                target = stmt.name
+                sources = (stmt.init,)
+            if target is None or target in tainted:
+                continue
+            if any(_expr_tainted(src, tainted) for src in sources):
+                tainted.add(target)
+                changed = True
+    return tainted
+
+
+def _expr_tainted(expr: E.Expr, tainted: Set[str]) -> bool:
+    for node in iter_expr(expr):
+        if isinstance(node, (E.Pop, E.Peek, E.VPop, E.VPeek,
+                             E.GatherPop, E.GatherPeek,
+                             E.InternalPop, E.InternalPeek)):
+            return True
+        if isinstance(node, (E.Var, E.ArrayRead)) and node.name in tainted:
+            return True
+    return False
+
+
+def _control_positions(body: S.Body):
+    """Yield (description, expr) pairs for every control-sensitive
+    position: if conditions, loop bounds, array subscripts."""
+    for stmt in _walk_stmts(body):
+        if isinstance(stmt, S.If):
+            yield "if condition", stmt.cond
+        elif isinstance(stmt, S.For):
+            yield "loop bound", stmt.start
+            yield "loop bound", stmt.end
+        elif isinstance(stmt, S.Assign):
+            if isinstance(stmt.lhs, (L.ArrayLV, L.ArrayLaneLV)):
+                yield "array subscript", stmt.lhs.index
+        for top in _stmt_exprs(stmt):
+            for node in iter_expr(top):
+                if isinstance(node, E.ArrayRead):
+                    yield "array subscript", node.index
+                elif isinstance(node, (E.Peek, E.VPeek)):
+                    yield "peek offset", node.offset
+
+
+def analyze_filter(spec: FilterSpec, machine: MachineDescription) -> Verdict:
+    """Decide single-actor SIMDizability of ``spec`` on ``machine``."""
+    reasons = []
+    written = written_state_vars(spec)
+    if written:
+        reasons.append(f"stateful: writes {sorted(written)}")
+    if spec.pop == 0 and not spec.state:
+        # Stateless source: vectorizable in principle, but pointless.
+        reasons.append("source actor")
+    elif spec.pop == 0:
+        reasons.append("stateful source actor")
+
+    unsupported = sorted(
+        {node.func for stmt in _walk_stmts(spec.work_body)
+         for top in _stmt_exprs(stmt)
+         for node in iter_expr(top)
+         if isinstance(node, E.Call)
+         and not machine.supports_vector_call(node.func)})
+    if unsupported:
+        reasons.append(f"calls without SIMD support: {unsupported}")
+
+    taint = tainted_vars(spec.work_body)
+    for description, expr in _control_positions(spec.work_body):
+        if _expr_tainted(expr, taint):
+            reasons.append(f"input-tape-dependent {description}")
+            break
+
+    return Verdict(not reasons, tuple(reasons))
+
+
+def simdizable_filters(graph, machine: MachineDescription) -> dict[int, Verdict]:
+    """Analyse every filter of a flat graph; splitters/joiners are excluded
+    implicitly (they are not filters)."""
+    verdicts: dict[int, Verdict] = {}
+    for actor in graph.filters():
+        verdicts[actor.id] = analyze_filter(actor.spec, machine)
+    return verdicts
+
+
+# -- tiny local walkers (avoid importing visitors' heavier helpers) ------------
+
+def _walk_stmts(body: S.Body):
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, S.For):
+            yield from _walk_stmts(stmt.body)
+        elif isinstance(stmt, S.If):
+            yield from _walk_stmts(stmt.then_body)
+            yield from _walk_stmts(stmt.else_body)
+
+
+def _stmt_exprs(stmt: S.Stmt):
+    from ..ir.visitors import exprs_of_stmt
+    return exprs_of_stmt(stmt)

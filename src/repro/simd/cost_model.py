@@ -1,0 +1,226 @@
+"""MacroSS's internal target-specific cost model.
+
+Two jobs:
+
+1. **Tape strategy selection** (§3.4): price the three realisations of a
+   vectorized actor's strided tape boundary — scalar strided accesses,
+   permutation-based vector accesses, and plain vector accesses with the
+   scalar neighbour paying address translation (software, or SAGU).
+2. **Static per-firing cost estimation** of a work body, used to compare
+   vectorization alternatives and by the multicore partitioner when no
+   profile is available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..graph.actor import FilterSpec
+from ..ir import expr as E
+from ..ir import stmt as S
+from ..ir.visitors import children_of_expr, exprs_of_stmt
+from ..perf import events as ev
+from ..perf.counters import PerfCounters
+from .machine import MachineDescription, UnsupportedOperation
+
+
+def _is_pow2(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    """Per-group (SW elements) cost of one tape-access strategy."""
+
+    strategy: str
+    vector_side: float
+    neighbour_side: float
+
+    @property
+    def total(self) -> float:
+        return self.vector_side + self.neighbour_side
+
+
+def gather_strategy_costs(stride: int, machine: MachineDescription,
+                          *, neighbour_is_scalar: bool
+                          ) -> Dict[str, StrategyCost]:
+    """Candidate costs for one strided gather/scatter group of SW lanes.
+
+    ``neighbour_is_scalar`` gates the lane-ordered ("sagu") strategy: it
+    shifts work onto the scalar actor on the other side of the tape, which
+    must exist and be scalar.
+    """
+    sw = machine.simd_width
+    costs: Dict[str, StrategyCost] = {
+        "scalar": StrategyCost(
+            "scalar",
+            sw * (machine.price(ev.SCALAR_LOAD) + machine.price(ev.PACK)),
+            0.0),
+    }
+    if machine.has_extract_even_odd and _is_pow2(stride):
+        permutes = int(math.log2(stride)) if stride > 1 else 0
+        costs["permute"] = StrategyCost(
+            "permute",
+            machine.price(ev.VECTOR_LOAD_U)
+            + permutes * machine.price(ev.PERMUTE),
+            0.0)
+    if neighbour_is_scalar:
+        per_access = machine.price(ev.SAGU if machine.has_sagu else ev.ADDR)
+        costs["sagu"] = StrategyCost(
+            "sagu",
+            machine.price(ev.VECTOR_LOAD),
+            sw * per_access)
+    return costs
+
+
+def best_gather_strategy(stride: int, machine: MachineDescription,
+                         *, neighbour_is_scalar: bool) -> str:
+    costs = gather_strategy_costs(stride, machine,
+                                  neighbour_is_scalar=neighbour_is_scalar)
+    return min(costs.values(), key=lambda c: (c.total, c.strategy)).strategy
+
+
+# --- static body cost estimation ------------------------------------------------
+
+#: Assumed trip count for loops whose bounds are not compile-time constants.
+_DEFAULT_TRIP = 8
+
+
+def estimate_body_events(body: S.Body, simd_width: int) -> PerfCounters:
+    """Statically estimate the events of one execution of ``body``.
+
+    Mirrors the interpreter's charging rules; constant-bound loops multiply
+    their body, both branches of an ``if`` are averaged.
+    """
+    counters = PerfCounters()
+    _estimate_into(body, 1.0, counters, simd_width)
+    return counters
+
+
+def estimate_firing_cycles(spec: FilterSpec, machine: MachineDescription
+                           ) -> float:
+    counters = estimate_body_events(spec.work_body, machine.simd_width)
+    counters.add(ev.FIRE)
+    try:
+        return counters.cycles(machine)
+    except UnsupportedOperation:
+        return math.inf
+
+
+def _estimate_into(body: S.Body, weight: float, out: PerfCounters,
+                   sw: int) -> None:
+    for stmt in body:
+        if isinstance(stmt, S.For):
+            trip = _trip_count(stmt)
+            out.add(ev.LOOP, round(weight * trip))
+            _estimate_into(stmt.body, weight * trip, out, sw)
+        elif isinstance(stmt, S.If):
+            _estimate_expr(stmt.cond, weight, out, sw)
+            _estimate_into(stmt.then_body, weight * 0.5, out, sw)
+            _estimate_into(stmt.else_body, weight * 0.5, out, sw)
+        else:
+            _estimate_stmt(stmt, weight, out, sw)
+
+
+def _trip_count(stmt: S.For) -> int:
+    if isinstance(stmt.start, E.IntConst) and isinstance(stmt.end, E.IntConst):
+        return max(0, stmt.end.value - stmt.start.value)
+    return _DEFAULT_TRIP
+
+
+def _estimate_stmt(stmt: S.Stmt, weight: float, out: PerfCounters,
+                   sw: int) -> None:
+    for top in exprs_of_stmt(stmt):
+        _estimate_expr(top, weight, out, sw)
+    if isinstance(stmt, S.Push):
+        out.add(ev.SCALAR_STORE, round(weight))
+    elif isinstance(stmt, S.RPush):
+        out.add(ev.SCALAR_STORE, round(weight))
+    elif isinstance(stmt, S.VPush):
+        out.add(ev.VECTOR_STORE, round(weight))
+    elif isinstance(stmt, S.InternalPush):
+        out.add(ev.VECTOR_STORE, round(weight))
+    elif isinstance(stmt, S.ScatterPush):
+        _add_scatter(stmt.strategy, stmt.stride, weight, out, sw)
+    elif isinstance(stmt, (S.AdvanceReader, S.AdvanceWriter)):
+        out.add(ev.SCALAR_ALU, round(weight))
+    elif isinstance(stmt, S.Assign):
+        from ..ir import lvalue as L
+        if isinstance(stmt.lhs, (L.ArrayLV,)):
+            out.add(ev.SCALAR_STORE, round(weight))
+        elif isinstance(stmt.lhs, (L.LaneLV, L.ArrayLaneLV)):
+            out.add(ev.PACK, round(weight))
+
+
+def _add_scatter(strategy: str, stride: int, weight: float,
+                 out: PerfCounters, sw: int) -> None:
+    if strategy == "scalar":
+        out.add(ev.SCALAR_STORE, round(weight * sw))
+        out.add(ev.UNPACK, round(weight * sw))
+    elif strategy == "permute":
+        out.add(ev.VECTOR_STORE_U, round(weight))
+        if stride > 1:
+            out.add(ev.PERMUTE, round(weight * math.log2(stride)))
+    else:
+        out.add(ev.VECTOR_STORE, round(weight))
+
+
+def _estimate_expr(expr: E.Expr, weight: float, out: PerfCounters,
+                   sw: int) -> None:
+    count = round(weight) if weight >= 1 else 1
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        stack.extend(children_of_expr(node))
+        if isinstance(node, E.BinaryOp):
+            vec = _static_vector_guess(node)
+            if node.op == "*":
+                out.add(ev.VECTOR_MUL if vec else ev.SCALAR_MUL, count)
+            elif node.op in ("/", "%"):
+                out.add(ev.VECTOR_DIV if vec else ev.SCALAR_DIV, count)
+            else:
+                out.add(ev.VECTOR_ALU if vec else ev.SCALAR_ALU, count)
+        elif isinstance(node, E.UnaryOp):
+            out.add(ev.SCALAR_ALU, count)
+        elif isinstance(node, E.Call):
+            out.add(ev.scalar_math(node.func), count)
+        elif isinstance(node, E.ArrayRead):
+            out.add(ev.SCALAR_LOAD, count)
+        elif isinstance(node, (E.Pop, E.Peek)):
+            out.add(ev.SCALAR_LOAD, count)
+        elif isinstance(node, (E.VPop, E.VPeek, E.InternalPop, E.InternalPeek)):
+            out.add(ev.VECTOR_LOAD, count)
+        elif isinstance(node, E.Lane):
+            out.add(ev.UNPACK, count)
+        elif isinstance(node, E.Broadcast):
+            out.add(ev.SPLAT, count)
+        elif isinstance(node, E.GatherPop):
+            _add_gather(node.strategy, node.stride, count, out, sw)
+        elif isinstance(node, E.GatherPeek):
+            _add_gather(node.strategy, node.stride, count, out, sw)
+
+
+def _add_gather(strategy: str, stride: int, count: int,
+                out: PerfCounters, sw: int) -> None:
+    if strategy == "scalar":
+        out.add(ev.SCALAR_LOAD, count * sw)
+        out.add(ev.PACK, count * sw)
+    elif strategy == "permute":
+        out.add(ev.VECTOR_LOAD_U, count)
+        if stride > 1:
+            out.add(ev.PERMUTE, round(count * math.log2(stride)))
+    else:
+        out.add(ev.VECTOR_LOAD, count)
+
+
+def _static_vector_guess(node: E.BinaryOp) -> bool:
+    """Cheap local guess whether a binary op is vectorial (static estimates
+    only — the interpreter knows exactly at runtime)."""
+    for child in (node.left, node.right):
+        if isinstance(child, (E.VPop, E.VPeek, E.VectorConst, E.Broadcast,
+                              E.GatherPop, E.GatherPeek,
+                              E.InternalPop, E.InternalPeek)):
+            return True
+    return False

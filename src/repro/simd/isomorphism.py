@@ -1,0 +1,39 @@
+"""Isomorphic actor detection (§3.3).
+
+Two actors are isomorphic when their work and init functions are identical
+up to constant literals, their rates match, and their state variables have
+identical structure (names, types, sizes — initial values may differ, they
+become per-lane vector initialisers)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..graph.actor import FilterSpec
+from ..ir.structhash import canonicalize
+
+
+def state_signature(spec: FilterSpec) -> tuple:
+    return tuple((var.name, var.type, var.size) for var in spec.state)
+
+
+def spec_signature(spec: FilterSpec) -> tuple:
+    """Hashable key: equal signatures <=> isomorphic specs."""
+    return (
+        spec.pop, spec.push, spec.peek,
+        spec.data_type, spec.out_type,
+        state_signature(spec),
+        canonicalize(spec.init_body).body,
+        canonicalize(spec.work_body).body,
+    )
+
+
+def specs_isomorphic(a: FilterSpec, b: FilterSpec) -> bool:
+    return spec_signature(a) == spec_signature(b)
+
+
+def all_isomorphic(specs: Sequence[FilterSpec]) -> bool:
+    if not specs:
+        return False
+    first = spec_signature(specs[0])
+    return all(spec_signature(s) == first for s in specs[1:])

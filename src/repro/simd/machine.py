@@ -1,0 +1,133 @@
+"""Target machine descriptions (architecture description ``A`` of
+Algorithm 1).
+
+A machine fixes the SIMD width, which vector operations exist (math
+intrinsics, extract_even/extract_odd permutations, SAGU), and a price table
+mapping performance events to cycles.  Prices approximate reciprocal
+throughputs of a Core-i7-class core with SSE 4.2; absolute values matter far
+less than ratios (scalar vs vector, compute vs pack/unpack), which is what
+the paper's evaluation shapes depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Mapping
+
+from ..perf import events as ev
+
+
+class UnsupportedOperation(Exception):
+    """Raised when pricing an event the machine cannot execute."""
+
+
+#: Baseline per-event prices (cycles).  Vector events cover SW lanes.
+_CORE_I7_PRICES: Mapping[str, float] = {
+    ev.SCALAR_ALU: 1.0,
+    ev.SCALAR_MUL: 2.0,
+    ev.SCALAR_DIV: 14.0,
+    ev.VECTOR_ALU: 1.0,
+    ev.VECTOR_MUL: 2.0,
+    ev.VECTOR_DIV: 16.0,
+    ev.SCALAR_LOAD: 1.5,
+    ev.SCALAR_STORE: 1.5,
+    ev.VECTOR_LOAD: 2.0,
+    ev.VECTOR_STORE: 2.0,
+    ev.VECTOR_LOAD_U: 3.0,
+    ev.VECTOR_STORE_U: 3.0,
+    # Insert/extract of one lane: movss/insertps (or pextrd) plus the
+    # address arithmetic of the strided access it implements.
+    ev.PACK: 3.0,
+    ev.UNPACK: 3.0,
+    ev.PERMUTE: 1.0,
+    ev.SPLAT: 1.0,
+    ev.LOOP: 1.5,
+    ev.FIRE: 6.0,
+    ev.ADDR: 6.0,   # Figure 8: software lane-order address translation
+    ev.SAGU: 0.5,   # Figure 9: one extra increment instruction at most
+    ev.COMM: 24.0,  # inter-core transfer per element (cache-line ping-pong)
+    # scalar math (libm-style)
+    "m_sin": 22.0, "m_cos": 22.0, "m_tan": 28.0,
+    "m_asin": 26.0, "m_acos": 26.0, "m_atan": 26.0, "m_atan2": 32.0,
+    "m_sqrt": 12.0, "m_exp": 18.0, "m_log": 18.0, "m_pow": 36.0,
+    "m_abs": 1.0, "m_min": 1.0, "m_max": 1.0,
+    "m_floor": 1.5, "m_ceil": 1.5, "m_round": 1.5, "m_rint": 1.5,
+    "m_float": 1.0, "m_int": 1.0,
+    # vector math (SVML-style, one event covers SW lanes)
+    "vm_sin": 28.0, "vm_cos": 28.0,
+    "vm_asin": 34.0, "vm_acos": 34.0, "vm_atan": 34.0,
+    "vm_sqrt": 14.0, "vm_exp": 24.0, "vm_log": 24.0, "vm_pow": 44.0,
+    "vm_abs": 1.0, "vm_min": 1.0, "vm_max": 1.0,
+    "vm_floor": 2.0, "vm_ceil": 2.0, "vm_round": 2.0, "vm_rint": 2.0,
+    "vm_float": 1.0, "vm_int": 1.0,
+}
+
+#: Math intrinsics with a vector implementation on SSE-class hardware
+#: (everything priced above with a ``vm_`` entry).
+_SSE_VECTOR_FUNCS: FrozenSet[str] = frozenset(
+    name[3:] for name in _CORE_I7_PRICES if name.startswith("vm_"))
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """Everything MacroSS needs to know about the SIMD target."""
+
+    name: str
+    simd_width: int
+    prices: Mapping[str, float]
+    vector_math_funcs: FrozenSet[str] = _SSE_VECTOR_FUNCS
+    has_extract_even_odd: bool = True
+    has_sagu: bool = False
+
+    def price(self, event: str) -> float:
+        try:
+            return self.prices[event]
+        except KeyError:
+            raise UnsupportedOperation(
+                f"{self.name}: no price for event {event!r}") from None
+
+    def supports_vector_call(self, func: str) -> bool:
+        return func in self.vector_math_funcs
+
+    def with_sagu(self, enabled: bool = True) -> "MachineDescription":
+        suffix = "+sagu" if enabled else ""
+        base = self.name.removesuffix("+sagu")
+        return replace(self, name=base + suffix, has_sagu=enabled)
+
+    def with_simd_width(self, sw: int) -> "MachineDescription":
+        return replace(self, name=f"{self.name}@sw{sw}", simd_width=sw)
+
+
+#: 3.26 GHz Core i7 with SSE 4.2 — the paper's evaluation platform.
+CORE_I7 = MachineDescription(
+    name="core-i7-sse4",
+    simd_width=4,
+    prices=dict(_CORE_I7_PRICES),
+)
+
+#: Core i7 augmented with the streaming address generation unit (§3.4).
+CORE_I7_SAGU = CORE_I7.with_sagu()
+
+#: A Neon-like embedded target: same width, no vector transcendentals,
+#: costlier unaligned access.  Used by the ablation benches.
+NEON_LIKE = MachineDescription(
+    name="neon-like",
+    simd_width=4,
+    prices={**_CORE_I7_PRICES,
+            ev.VECTOR_LOAD_U: 4.0, ev.VECTOR_STORE_U: 4.0},
+    vector_math_funcs=frozenset(
+        {"abs", "min", "max", "sqrt", "floor", "ceil", "round", "rint",
+         "float", "int"}),
+)
+
+
+def wide_machine(sw: int) -> MachineDescription:
+    """An AVX/Larrabee-style widening of the Core i7 model (SW ∈ {8, 16}).
+
+    Wider vectors keep per-event prices but each vector event covers more
+    lanes; pack/unpack chains get proportionally longer, which is the
+    under-utilisation effect the paper's introduction warns about.
+    """
+    if sw < 4 or sw & (sw - 1):
+        raise ValueError("wide_machine expects a power-of-two width >= 4")
+    return CORE_I7.with_simd_width(sw)

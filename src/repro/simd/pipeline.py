@@ -1,0 +1,232 @@
+"""The MacroSS compilation driver (Algorithm 1).
+
+Phases, in the paper's order:
+
+1. prepass scheduling (steady-state repetition vector);
+2. identify vectorizable segments — horizontal split-join candidates first
+   (they may contain stateful actors no other technique handles), then
+   maximal vertical pipelines over the remaining actors;
+3. adjust repetition numbers (Equation (1)) and vertically fuse;
+4. single-actor SIMDize every fused/standalone SIMDizable actor;
+5. horizontally SIMDize the candidate split-joins;
+6. optimize tape boundaries (permutations / SAGU);
+7. (code generation lives in :mod:`repro.codegen`).
+
+``compile_graph`` returns the transformed graph plus a
+:class:`CompilationReport` recording every decision, which the tests pin
+against the paper's running example and the experiments dump for
+inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.stream_graph import StreamGraph
+from ..schedule.rates import repetition_vector
+from ..schedule.scaling import simd_scaling_factor
+from .analysis import Verdict, simdizable_filters
+from .horizontal import MergeConflict, apply_horizontal
+from .machine import CORE_I7, MachineDescription
+from .segments import (
+    HorizontalCandidate,
+    find_horizontal_candidates,
+    find_vertical_segments,
+)
+from .single_actor import vectorize_actor
+from .tape_opt import optimize_tapes
+from .vertical import fuse_segment
+
+
+@dataclass(frozen=True)
+class MacroSSOptions:
+    """Feature toggles for ablation experiments.
+
+    The default configuration is the full MacroSS of the paper; Figure 11
+    disables ``vertical`` (single-actor only), Figure 12 toggles the
+    machine's SAGU, the scalar baseline disables everything.
+    """
+
+    single_actor: bool = True
+    vertical: bool = True
+    horizontal: bool = True
+    tape_optimization: bool = True
+
+
+@dataclass
+class CompilationReport:
+    """What MacroSS decided, per actor and pass."""
+
+    machine: str
+    options: MacroSSOptions
+    verdicts: Dict[str, Verdict] = field(default_factory=dict)
+    #: actor name -> one of "vertical:<coarse>", "single", "horizontal",
+    #: "scalar:<reason>"
+    decisions: Dict[str, str] = field(default_factory=dict)
+    vertical_segments: List[List[str]] = field(default_factory=list)
+    horizontal_splitjoins: List[List[str]] = field(default_factory=list)
+    skipped_horizontal: List[str] = field(default_factory=list)
+    tape_strategies: Dict[str, str] = field(default_factory=dict)
+    #: Equation (1) scaling factor applied to the repetition vector.
+    scaling_factor: int = 1
+
+    def summary(self) -> str:
+        lines = [f"MacroSS report ({self.machine}):",
+                 f"  Equation (1) scaling factor M = {self.scaling_factor}"]
+        for name, decision in sorted(self.decisions.items()):
+            lines.append(f"  {name}: {decision}")
+        for boundary, strategy in sorted(self.tape_strategies.items()):
+            lines.append(f"  tape {boundary}: {strategy}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CompiledGraph:
+    graph: StreamGraph
+    report: CompilationReport
+    #: core assignment of every actor of the compiled graph, when a
+    #: multicore partition constrained the compilation (else empty).
+    core_assignment: Dict[int, int] = field(default_factory=dict)
+
+
+def compile_graph(graph: StreamGraph,
+                  machine: MachineDescription = CORE_I7,
+                  options: MacroSSOptions = MacroSSOptions(),
+                  partition: Optional[Dict[int, int]] = None
+                  ) -> CompiledGraph:
+    """Run macro-SIMDization on a flat graph (non-destructive).
+
+    ``partition`` maps actor ids to cores; when given, SIMDization is
+    restricted to same-core segments/split-joins (the partition-first
+    scheduler of §5) and the result carries the per-actor core assignment.
+    """
+    work = graph.clone()
+    report = CompilationReport(machine=machine.name, options=options)
+    sw = machine.simd_width
+    core_of: Dict[int, int] = dict(partition or {})
+
+    # Phase 1-2: prepass scheduling + segment identification.
+    verdicts = simdizable_filters(work, machine)
+    # Actors inside feedback cycles stay scalar: SIMDizing them would
+    # multiply their blocking factor by SW and starve the loop's delays.
+    for actor_id in work.actors_on_cycles():
+        if actor_id in verdicts and verdicts[actor_id].simdizable:
+            verdicts[actor_id] = Verdict.no("inside a feedback loop")
+    report.verdicts = {work.actors[aid].name: verdict
+                       for aid, verdict in verdicts.items()}
+
+    claimed_by_horizontal: set[int] = set()
+    candidates: List[HorizontalCandidate] = []
+    if options.horizontal:
+        candidates = find_horizontal_candidates(work, machine)
+        cyclic = work.actors_on_cycles()
+        if cyclic:
+            candidates = [c for c in candidates
+                          if not (c.all_actor_ids() & cyclic)]
+        if partition is not None:
+            candidates = [
+                c for c in candidates
+                if len({partition[aid] for aid in
+                        c.all_actor_ids() | {c.splitter_id, c.joiner_id}}) == 1]
+        if options.vertical:
+            # §3.5: actors in both GV and GH — the cost model decides which
+            # technique each overlapping split-join gets.
+            from .technique_choice import prefer_horizontal
+            base_reps = repetition_vector(work)
+            arbitrated = []
+            for candidate in candidates:
+                if prefer_horizontal(work, candidate, base_reps, machine):
+                    arbitrated.append(candidate)
+                else:
+                    names = [work.actors[a].name
+                             for b in candidate.branches for a in b]
+                    report.skipped_horizontal.append(
+                        f"{'/'.join(names)}: cost model chose vertical")
+            candidates = arbitrated
+        for candidate in candidates:
+            claimed_by_horizontal |= candidate.all_actor_ids()
+
+    segments: List[List[int]] = []
+    if options.single_actor:
+        segments = find_vertical_segments(work, verdicts,
+                                          exclude=claimed_by_horizontal,
+                                          same_group=partition)
+        if not options.vertical:
+            segments = [[aid] for segment in segments for aid in segment]
+
+    # Record why non-SIMDizable filters stay scalar.
+    for aid, verdict in verdicts.items():
+        if not verdict.simdizable and aid not in claimed_by_horizontal:
+            name = work.actors[aid].name
+            report.decisions[name] = "scalar:" + "; ".join(verdict.reasons)
+
+    # Phase 3: repetition adjustment + vertical fusion.
+    reps = repetition_vector(work)
+    simdized_ids: List[Tuple[int, str]] = []
+    for segment in segments:
+        names = [work.actors[aid].name for aid in segment]
+        if len(segment) >= 2:
+            coarse_id = fuse_segment(work, segment, reps)
+            if partition is not None:
+                core_of[coarse_id] = core_of[segment[0]]
+            report.vertical_segments.append(names)
+            coarse_name = work.actors[coarse_id].name
+            for name in names:
+                report.decisions[name] = f"vertical:{coarse_name}"
+            simdized_ids.append((coarse_id, "vertical"))
+        else:
+            report.decisions[names[0]] = "single"
+            simdized_ids.append((segment[0], "single"))
+
+    # Equation (1): the factor the repetition vector must be scaled by so
+    # every SIMDizable actor's repetition is a multiple of SW.  Recomputing
+    # the repetition vector after vectorization applies it implicitly (the
+    # vectorized rates force it); we record M for reporting and tests.
+    reps_after_fusion = repetition_vector(work)
+    report.scaling_factor = simd_scaling_factor(
+        sw, reps_after_fusion, [aid for aid, _ in simdized_ids])
+
+    # Phase 4: single-actor SIMDization (of standalone and coarse actors).
+    for actor_id, _kind in simdized_ids:
+        actor = work.actors[actor_id]
+        actor.spec = vectorize_actor(actor.spec, sw)
+
+    # Phase 5: horizontal SIMDization.
+    for candidate in candidates:
+        level_names = [[work.actors[aid].name for aid in branch]
+                       for branch in candidate.branches]
+        flat_names = [name for branch in level_names for name in branch]
+        before = set(work.actors)
+        try:
+            apply_horizontal(work, candidate, machine)
+        except MergeConflict as exc:
+            report.skipped_horizontal.append(
+                f"{'/'.join(flat_names)}: {exc}")
+            for name in flat_names:
+                report.decisions[name] = f"scalar:horizontal merge failed ({exc})"
+            continue
+        if partition is not None:
+            region_core = core_of[candidate.splitter_id]
+            for new_id in set(work.actors) - before:
+                core_of[new_id] = region_core
+        report.horizontal_splitjoins.append(flat_names)
+        for name in flat_names:
+            report.decisions[name] = "horizontal"
+
+    # Phase 6: tape optimization.
+    if options.tape_optimization:
+        report.tape_strategies = optimize_tapes(work, machine)
+
+    if partition is not None:
+        core_of = {aid: core for aid, core in core_of.items()
+                   if aid in work.actors}
+    return CompiledGraph(work, report, core_of)
+
+
+#: Options preset for the plain (non-SIMDized) baseline.
+SCALAR_OPTIONS = MacroSSOptions(single_actor=False, vertical=False,
+                                horizontal=False, tape_optimization=False)
+
+#: Options preset for Figure 11's single-actor-only configuration.
+SINGLE_ACTOR_ONLY = MacroSSOptions(vertical=False)

@@ -1,0 +1,110 @@
+"""Streaming Address Generation Unit (§3.4, Figures 8 and 9).
+
+When a vectorized actor replaces its strided scalar tape accesses with
+plain vector accesses, the tape's memory layout becomes *lane-ordered*:
+the producer's j-th vector group occupies addresses ``j*SW .. j*SW+SW-1``,
+lane ``k`` holding the element of the k-th merged execution.  A scalar
+neighbour that still wants elements in scalar order must translate each
+sequential index ``i`` to::
+
+    address(i) = (i mod X) * SW  +  (i div X) mod SW  +  (i div (X*SW)) * X*SW
+
+where ``X`` is the vectorized actor's push (or pop) rate.  Figure 8's
+software sequence costs ~6 cycles per access on a Core i7; the SAGU
+(Figure 9) keeps three small counters in hardware and produces the same
+stream for the cost of an address-register post-increment.
+
+This module provides both the counter-accurate hardware model and the
+closed-form software translation, so tests can prove them equivalent, and
+the code generator can emit either form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def software_address(index: int, push_count: int, simd_width: int,
+                     base: int = 0) -> int:
+    """Closed-form translation of sequential index -> lane-ordered address
+    (the effect of Figure 8's code)."""
+    if push_count <= 0 or simd_width <= 0:
+        raise ValueError("push_count and simd_width must be positive")
+    block = push_count * simd_width
+    within = index % block
+    return (base
+            + (index // block) * block
+            + (within % push_count) * simd_width
+            + within // push_count)
+
+
+@dataclass
+class SAGU:
+    """Counter-accurate model of Figure 9's hardware.
+
+    ``base_counter`` walks the rows of the current column (0..push_count-1),
+    ``stride_counter`` the columns (0..simd_width-1), ``offset_address``
+    jumps a full block when all columns are consumed.  Reading
+    :meth:`next_address` both returns the current effective address and
+    advances the unit — matching the post-increment addressing mode the
+    paper proposes.
+    """
+
+    push_count: int
+    simd_width: int
+    base_address: int = 0
+
+    def __post_init__(self) -> None:
+        if self.push_count <= 0 or self.simd_width <= 0:
+            raise ValueError("push_count and simd_width must be positive")
+        self.base_counter = 0
+        self.stride_counter = 0
+        self.offset_address = 0
+
+    def reset(self) -> None:
+        """SAGU setup opcode: zero the internal counters."""
+        self.base_counter = 0
+        self.stride_counter = 0
+        self.offset_address = 0
+
+    def peek_address(self) -> int:
+        # base_counter << LOG2_SIMD + stride_counter + offset + base (Fig. 8).
+        return (self.base_address
+                + self.offset_address
+                + self.base_counter * self.simd_width
+                + self.stride_counter)
+
+    def next_address(self) -> int:
+        address = self.peek_address()
+        # Increment logic of Figure 9: each access bumps the base counter;
+        # a full column bumps the stride counter; a full block bumps the
+        # offset address.
+        self.base_counter += 1
+        if self.base_counter == self.push_count:
+            self.base_counter = 0
+            self.stride_counter += 1
+            if self.stride_counter == self.simd_width:
+                self.stride_counter = 0
+                self.offset_address += self.push_count * self.simd_width
+        return address
+
+    def address_stream(self, count: int) -> list[int]:
+        return [self.next_address() for _ in range(count)]
+
+
+def lane_ordered_layout(items: list, push_count: int,
+                        simd_width: int) -> list:
+    """Arrange a scalar-order item sequence the way a vectorized producer's
+    plain vector pushes would lay it out in memory.
+
+    Used by tests: reading ``layout[software_address(i, ...)]`` must
+    recover ``items[i]``.
+    """
+    total = len(items)
+    block = push_count * simd_width
+    if total % block:
+        raise ValueError(f"item count {total} is not a multiple of {block}")
+    layout: list = [None] * total
+    for index, item in enumerate(items):
+        layout[software_address(index, push_count, simd_width)] = item
+    return layout

@@ -1,0 +1,188 @@
+"""Identification of vectorizable graph segments (Algorithm 1, step 3).
+
+* **Vertical segments**: maximal pipelines of SIMDizable filters.  A chain
+  grows downstream while the next actor is a SIMDizable filter whose only
+  input is the chain tail; a peeking actor (``peek > pop``) may only start
+  a chain, never extend one (fusing it inward would introduce state).
+* **Horizontal candidates**: split-joins whose branches are equal-length
+  linear chains of filters, level-wise isomorphic, with uniform splitter
+  and joiner weights and a branch count that is a multiple of the SIMD
+  width.  Stateful actors are allowed (that is horizontal SIMDization's
+  selling point), but every actor must pass the non-state SIMDizability
+  checks (supported calls, no tape-dependent control flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.actor import FilterSpec
+from ..graph.builtins import JoinerSpec, SplitKind, SplitterSpec
+from ..graph.stream_graph import StreamGraph
+from .analysis import Verdict, analyze_filter
+from .isomorphism import all_isomorphic
+from .machine import MachineDescription
+
+
+@dataclass(frozen=True)
+class HorizontalCandidate:
+    """A split-join eligible for horizontal SIMDization."""
+
+    splitter_id: int
+    joiner_id: int
+    #: branches[b] = actor ids of branch b, in pipeline order.
+    branches: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def width(self) -> int:
+        return len(self.branches)
+
+    @property
+    def depth(self) -> int:
+        return len(self.branches[0])
+
+    def level(self, index: int) -> Tuple[int, ...]:
+        return tuple(branch[index] for branch in self.branches)
+
+    def all_actor_ids(self) -> set[int]:
+        return {aid for branch in self.branches for aid in branch}
+
+
+def find_vertical_segments(graph: StreamGraph,
+                           verdicts: Dict[int, Verdict],
+                           *,
+                           exclude: Optional[set[int]] = None,
+                           same_group: Optional[Dict[int, int]] = None
+                           ) -> List[List[int]]:
+    """Maximal SIMDizable pipelines, in topological order.
+
+    Segments of length 1 degenerate to single-actor SIMDization (§3.1 is
+    the special case of §3.2 with one inner actor).  ``same_group`` (e.g. a
+    multicore partition) restricts fusion to actors in the same group —
+    the paper's partition-first, SIMDize-second scheduler (§5, Figure 13)
+    loses exactly these cross-core fusion opportunities.
+    """
+    exclude = exclude or set()
+    assigned: set[int] = set()
+    segments: List[List[int]] = []
+
+    def eligible(actor_id: int) -> bool:
+        actor = graph.actors[actor_id]
+        return (actor.is_filter
+                and actor_id not in exclude
+                and actor_id not in assigned
+                and actor_id in verdicts
+                and verdicts[actor_id].simdizable)
+
+    for actor_id in graph.ordered_actors():
+        if not eligible(actor_id):
+            continue
+        chain = [actor_id]
+        current = actor_id
+        while True:
+            outs = graph.out_tapes(current)
+            if len(outs) != 1:
+                break
+            nxt = outs[0].dst
+            if nxt in chain:
+                break  # feedback cycle: never chase a chain into itself
+            if not eligible(nxt):
+                break
+            spec = graph.actors[nxt].spec
+            if isinstance(spec, FilterSpec) and spec.is_peeking:
+                break  # peeking actors may only head a chain (DESIGN.md)
+            if len(graph.in_tapes(nxt)) != 1:
+                break
+            if same_group is not None and \
+                    same_group.get(nxt) != same_group.get(current):
+                break
+            chain.append(nxt)
+            current = nxt
+        assigned.update(chain)
+        segments.append(chain)
+    return segments
+
+
+def horizontal_verdict(spec: FilterSpec, machine: MachineDescription) -> Verdict:
+    """SIMDizability for horizontal merging: statefulness is permitted
+    (state is kept per lane), every other restriction stands."""
+    verdict = analyze_filter(spec, machine)
+    if verdict.simdizable:
+        return verdict
+    remaining = tuple(r for r in verdict.reasons
+                      if not r.startswith("stateful"))
+    return Verdict(not remaining, remaining)
+
+
+def find_horizontal_candidates(graph: StreamGraph,
+                               machine: MachineDescription
+                               ) -> List[HorizontalCandidate]:
+    candidates: List[HorizontalCandidate] = []
+    for actor in list(graph.actors.values()):
+        if not isinstance(actor.spec, SplitterSpec):
+            continue
+        candidate = _inspect_splitjoin(graph, actor.id, actor.spec, machine)
+        if candidate is not None:
+            candidates.append(candidate)
+    return candidates
+
+
+def _inspect_splitjoin(graph: StreamGraph, splitter_id: int,
+                       splitter: SplitterSpec,
+                       machine: MachineDescription
+                       ) -> Optional[HorizontalCandidate]:
+    sw = machine.simd_width
+    out_tapes = graph.out_tapes(splitter_id)
+    width = len(out_tapes)
+    if width < sw or width % sw != 0:
+        return None
+    if (splitter.kind is SplitKind.ROUNDROBIN
+            and len(set(splitter.weights)) != 1):
+        return None
+
+    branches: List[Tuple[int, ...]] = []
+    joiner_id: Optional[int] = None
+    for tape in out_tapes:
+        branch: List[int] = []
+        current = tape.dst
+        while True:
+            node = graph.actors[current]
+            if node.is_joiner:
+                break
+            if not node.is_filter:
+                return None  # nested split-join: not a linear chain
+            if len(graph.in_tapes(current)) != 1:
+                return None
+            branch.append(current)
+            outs = graph.out_tapes(current)
+            if len(outs) != 1:
+                return None
+            current = outs[0].dst
+        if not branch:
+            return None
+        if joiner_id is None:
+            joiner_id = current
+        elif joiner_id != current:
+            return None
+        branches.append(tuple(branch))
+
+    if joiner_id is None:
+        return None
+    joiner = graph.actors[joiner_id].spec
+    if not isinstance(joiner, JoinerSpec) or len(set(joiner.weights)) != 1:
+        return None
+    depth = len(branches[0])
+    if any(len(branch) != depth for branch in branches):
+        return None
+
+    candidate = HorizontalCandidate(splitter_id, joiner_id, tuple(branches))
+    for level_index in range(depth):
+        specs = [graph.actors[aid].spec for aid in candidate.level(level_index)]
+        if not all(isinstance(s, FilterSpec) for s in specs):
+            return None
+        if not all_isomorphic(specs):
+            return None
+        if not all(horizontal_verdict(s, machine).simdizable for s in specs):
+            return None
+    return candidate

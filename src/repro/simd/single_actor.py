@@ -1,0 +1,120 @@
+"""Single-actor SIMDization (§3.1).
+
+Transforms ``SW`` consecutive firings of a stateless actor into one
+data-parallel firing:
+
+* every ``pop()`` becomes a strided gather: lane ``k`` reads the element at
+  offset ``k * pop_rate`` (the peek/peek/peek/pop idiom of Figure 3b);
+* every ``peek(e)`` becomes a strided gather at ``e + k * pop_rate``;
+* every ``push(v)`` becomes a strided scatter: lane ``k`` writes at offset
+  ``k * push_rate`` (the rpush/rpush/rpush/push idiom);
+* variables fed by tape data are re-typed as vectors (the paper's marking
+  algorithm); untouched scalars are broadcast at use;
+* a trailing reader/writer advance closes out the ``(SW-1) * rate`` items
+  the strided groups covered beyond the per-group pointer bumps.
+
+The same rewriter vectorizes vertically fused coarse actors: their internal
+buffer operations (``InternalPush``/``InternalPop``) carry whole vectors
+after the transformation, which is exactly the §3.2 pack/unpack
+elimination (execution reordering makes lane ``k`` of each internal vector
+belong to the ``k``-th parallel coarse execution — Figure 5e-g).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Set
+
+from ..graph.actor import FilterSpec
+from ..ir import expr as E
+from ..ir import stmt as S
+from ..ir.types import Scalar, Vector
+from ..ir.visitors import iter_expr, rewrite_body_exprs, rewrite_body_stmts
+from .analysis import tainted_vars
+
+
+def expr_is_vector(expr: E.Expr, vector_vars: Set[str]) -> bool:
+    """True when ``expr`` evaluates to a vector value.
+
+    Scalar tape reads (``Pop``/``Peek``) produce scalars; the vector
+    producers are the gather/vector-tape/internal-buffer reads, vector
+    literals, broadcasts, and references to names in ``vector_vars``.
+    """
+    for node in iter_expr(expr):
+        if isinstance(node, (E.VPop, E.VPeek,
+                             E.GatherPop, E.GatherPeek,
+                             E.InternalPop, E.InternalPeek,
+                             E.VectorConst, E.Broadcast, E.ArrayVec)):
+            return True
+        if isinstance(node, (E.Var, E.ArrayRead)) and node.name in vector_vars:
+            return True
+    return False
+
+
+def vectorize_actor(spec: FilterSpec, sw: int) -> FilterSpec:
+    """Return the SIMDized version of ``spec`` for SIMD width ``sw``.
+
+    The caller is responsible for having established SIMDizability
+    (:func:`repro.simd.analysis.analyze_filter`).
+    """
+    if sw < 2:
+        raise ValueError(f"SIMD width must be >= 2, got {sw}")
+    pop_stride = spec.pop
+    push_stride = spec.push
+    vector_vars = tainted_vars(spec.work_body)
+
+    def rewrite(e: E.Expr) -> E.Expr:
+        if isinstance(e, E.Pop):
+            return E.GatherPop(stride=pop_stride)
+        if isinstance(e, E.Peek):
+            return E.GatherPeek(e.offset, stride=pop_stride)
+        return e
+
+    body = rewrite_body_exprs(spec.work_body, rewrite)
+
+    def vectorize_stmt(stmt: S.Stmt) -> S.Stmt:
+        if isinstance(stmt, S.Push):
+            return S.ScatterPush(_as_vector(stmt.value, vector_vars, sw),
+                                 stride=push_stride)
+        if isinstance(stmt, S.InternalPush):
+            return S.InternalPush(stmt.buf,
+                                  _as_vector(stmt.value, vector_vars, sw))
+        if isinstance(stmt, S.DeclVar) and stmt.name in vector_vars:
+            if isinstance(stmt.type, Scalar):
+                return S.DeclVar(stmt.name, Vector(stmt.type, sw), stmt.init)
+        if isinstance(stmt, S.DeclArray) and stmt.name in vector_vars:
+            if isinstance(stmt.elem_type, Scalar):
+                return S.DeclArray(stmt.name, Vector(stmt.elem_type, sw),
+                                   stmt.size, stmt.init)
+        return stmt
+
+    body = rewrite_body_stmts(body, vectorize_stmt)
+
+    trailer: list[S.Stmt] = []
+    if pop_stride > 0:
+        trailer.append(S.AdvanceReader((sw - 1) * pop_stride))
+    if push_stride > 0:
+        trailer.append(S.AdvanceWriter((sw - 1) * push_stride))
+
+    return replace(
+        spec,
+        name=f"{spec.name}_v",
+        pop=spec.pop * sw,
+        push=spec.push * sw,
+        # Availability requirement: lane SW-1 peeks up to
+        # (SW-1)*pop + peek - 1, so peek' = (SW-1)*pop + peek; the residual
+        # delta (peek' - pop') equals the scalar actor's peek - pop.
+        peek=(sw - 1) * spec.pop + spec.peek,
+        work_body=body + tuple(trailer),
+    )
+
+
+def _as_vector(value: E.Expr, vector_vars: Set[str], sw: int) -> E.Expr:
+    """Wrap scalar-valued expressions so vector stores receive vectors.
+
+    A push of a lane-invariant value (pure constant / untainted scalar) is
+    identical across the SW merged executions — a broadcast.
+    """
+    if expr_is_vector(value, vector_vars):
+        return value
+    return E.Broadcast(value, sw)

@@ -1,0 +1,138 @@
+"""Tape-access optimization (§3.4, Algorithm 1 step "Optimize-Tapes").
+
+After vectorization, a SIMDized actor's boundary tapes are accessed with
+strided scalar groups (``strategy="scalar"``).  This pass prices the
+alternatives per boundary and rewrites the gather/scatter strategies:
+
+* ``permute`` — vector loads/stores plus an ``extract_even``/``extract_odd``
+  network, available when the access stride is a power of two
+  (``X·lg2(X)`` permutations for ``X`` groups, Figure 7);
+* ``sagu`` — plain vector accesses that leave the tape lane-ordered, with
+  the *scalar* neighbour translating addresses (6-cycle software sequence,
+  or ~free with the SAGU).  Only applicable when the other endpoint is a
+  scalar (non-vectorized) actor, splitter, or joiner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.actor import FilterSpec
+from ..graph.stream_graph import StreamGraph, TapeEdge
+from ..ir import expr as E
+from ..ir import stmt as S
+from ..ir.visitors import (
+    iter_all_exprs,
+    iter_stmts,
+    rewrite_body_exprs,
+    rewrite_body_stmts,
+)
+from .cost_model import best_gather_strategy
+from .machine import MachineDescription
+
+
+def uses_gather(spec: FilterSpec) -> bool:
+    """True when the actor reads its input tape with strided vector gathers
+    (i.e. it has been single-actor/vertically SIMDized)."""
+    return any(isinstance(e, (E.GatherPop, E.GatherPeek))
+               for e in iter_all_exprs(spec.work_body))
+
+
+def uses_scatter(spec: FilterSpec) -> bool:
+    return any(isinstance(s, S.ScatterPush)
+               for s in iter_stmts(spec.work_body))
+
+
+def _gather_stride(spec: FilterSpec) -> Optional[int]:
+    for e in iter_all_exprs(spec.work_body):
+        if isinstance(e, (E.GatherPop, E.GatherPeek)):
+            return e.stride
+    return None
+
+
+def _scatter_stride(spec: FilterSpec) -> Optional[int]:
+    for s in iter_stmts(spec.work_body):
+        if isinstance(s, S.ScatterPush):
+            return s.stride
+    return None
+
+
+def _neighbour_is_scalar(graph: StreamGraph, tape: Optional[TapeEdge],
+                         endpoint: str) -> bool:
+    """True when the actor on the given end of ``tape`` accesses it with
+    plain scalar operations (so it can absorb address translation)."""
+    if tape is None:
+        return False
+    actor_id = tape.src if endpoint == "src" else tape.dst
+    actor = graph.actors[actor_id]
+    if actor.is_splitter or actor.is_joiner:
+        # H-variants move vectors; plain splitters/joiners move scalars.
+        from ..graph.builtins import HJoinerSpec, HSplitterSpec
+        return not isinstance(actor.spec, (HSplitterSpec, HJoinerSpec))
+    spec = actor.spec
+    if not isinstance(spec, FilterSpec):
+        return False
+    if endpoint == "src":
+        return not uses_scatter(spec)
+    return not uses_gather(spec)
+
+
+def _set_gather_strategy(spec: FilterSpec, strategy: str) -> FilterSpec:
+    def rewrite(e: E.Expr) -> E.Expr:
+        if isinstance(e, E.GatherPop):
+            return replace(e, strategy=strategy)
+        if isinstance(e, E.GatherPeek):
+            return replace(e, strategy=strategy)
+        return e
+
+    return replace(spec, work_body=rewrite_body_exprs(spec.work_body, rewrite))
+
+
+def _set_scatter_strategy(spec: FilterSpec, strategy: str) -> FilterSpec:
+    def rewrite(stmt: S.Stmt) -> S.Stmt:
+        if isinstance(stmt, S.ScatterPush):
+            return replace(stmt, strategy=strategy)
+        return stmt
+
+    return replace(spec, work_body=rewrite_body_stmts(spec.work_body, rewrite))
+
+
+def optimize_tapes(graph: StreamGraph, machine: MachineDescription
+                   ) -> Dict[str, str]:
+    """Choose and apply the cheapest strategy per vectorized tape boundary.
+
+    Returns {``actor_name.in`` / ``actor_name.out``: strategy} decisions for
+    the compilation report.
+    """
+    decisions: Dict[str, str] = {}
+    for actor in list(graph.filters()):
+        spec = actor.spec
+
+        if uses_gather(spec):
+            stride = _gather_stride(spec)
+            in_tape = graph.input_tape(actor.id)
+            neighbour_scalar = _neighbour_is_scalar(graph, in_tape, "src")
+            strategy = best_gather_strategy(
+                stride, machine, neighbour_is_scalar=neighbour_scalar)
+            if strategy != "scalar":
+                spec = _set_gather_strategy(spec, strategy)
+                if strategy == "sagu" and in_tape is not None:
+                    in_tape.lane_ordered = True
+            decisions[f"{actor.name}.in"] = strategy
+
+        if uses_scatter(spec):
+            stride = _scatter_stride(spec)
+            out_tape = graph.output_tape(actor.id)
+            neighbour_scalar = _neighbour_is_scalar(graph, out_tape, "dst")
+            strategy = best_gather_strategy(
+                stride, machine, neighbour_is_scalar=neighbour_scalar)
+            if strategy != "scalar":
+                spec = _set_scatter_strategy(spec, strategy)
+                if strategy == "sagu" and out_tape is not None:
+                    out_tape.lane_ordered = True
+            decisions[f"{actor.name}.out"] = strategy
+
+        if spec is not actor.spec:
+            actor.spec = spec
+    return decisions

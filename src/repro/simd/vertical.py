@@ -1,0 +1,203 @@
+"""Vertical SIMDization (§3.2): pipeline fusion into coarse actors.
+
+A pipeline of vectorizable actors is collapsed into one coarse actor whose
+work body runs each *inner* actor its per-firing repetition count,
+exchanging data through internal buffers instead of global tapes.  Fusing
+reorders execution (Figure 5e) so that, once the coarse actor is
+single-actor SIMDized, the internal buffers carry whole vectors and the
+pack/unpack operations at every fused boundary disappear.
+
+Inner repetition counts divide the segment's steady-state repetitions by
+their gcd: for D (rep 12) and E (rep 8), the coarse actor ``3D_2E`` runs
+D 3 times then E 2 times, and itself repeats 4 times per steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from math import gcd
+from typing import Dict, List, Sequence
+
+from ..graph.actor import FilterSpec, StateVar
+from ..graph.stream_graph import GraphError, StreamGraph
+from ..ir import expr as E
+from ..ir import lvalue as L
+from ..ir import stmt as S
+from ..ir.stmt import Body
+from ..ir.visitors import (
+    iter_stmts,
+    rewrite_body_exprs,
+    rewrite_body_stmts,
+)
+
+
+class FusionError(GraphError):
+    """Raised when a segment cannot legally be fused."""
+
+
+def inner_repetitions(reps: Sequence[int]) -> List[int]:
+    """Per-firing repetition of each inner actor: reps divided by their gcd."""
+    divisor = 0
+    for rep in reps:
+        divisor = gcd(divisor, rep)
+    return [rep // divisor for rep in reps]
+
+
+def declared_names(spec: FilterSpec) -> set[str]:
+    """All names an actor's bodies bind: locals, arrays, loop vars, state."""
+    names = {var.name for var in spec.state}
+    for body in (spec.init_body, spec.work_body):
+        for stmt in iter_stmts(body):
+            if isinstance(stmt, (S.DeclVar, S.DeclArray)):
+                names.add(stmt.name)
+            elif isinstance(stmt, S.For):
+                names.add(stmt.var)
+    return names
+
+
+def rename_body(body: Body, mapping: Dict[str, str]) -> Body:
+    """Alpha-rename every occurrence of the mapped names."""
+
+    def rename_expr(e: E.Expr) -> E.Expr:
+        if isinstance(e, E.Var) and e.name in mapping:
+            return E.Var(mapping[e.name])
+        if isinstance(e, E.ArrayRead) and e.name in mapping:
+            return E.ArrayRead(mapping[e.name], e.index)
+        return e
+
+    body = rewrite_body_exprs(body, rename_expr)
+
+    def rename_stmt(stmt: S.Stmt) -> S.Stmt:
+        if isinstance(stmt, S.DeclVar) and stmt.name in mapping:
+            return replace(stmt, name=mapping[stmt.name])
+        if isinstance(stmt, S.DeclArray) and stmt.name in mapping:
+            return replace(stmt, name=mapping[stmt.name])
+        if isinstance(stmt, S.For) and stmt.var in mapping:
+            return replace(stmt, var=mapping[stmt.var])
+        if isinstance(stmt, S.Assign):
+            lv = stmt.lhs
+            if isinstance(lv, L.VarLV) and lv.name in mapping:
+                return replace(stmt, lhs=L.VarLV(mapping[lv.name]))
+            if isinstance(lv, L.ArrayLV) and lv.name in mapping:
+                return replace(stmt, lhs=L.ArrayLV(mapping[lv.name], lv.index))
+            if isinstance(lv, L.LaneLV) and lv.name in mapping:
+                return replace(stmt, lhs=L.LaneLV(mapping[lv.name], lv.lane))
+            if isinstance(lv, L.ArrayLaneLV) and lv.name in mapping:
+                return replace(stmt, lhs=L.ArrayLaneLV(
+                    mapping[lv.name], lv.index, lv.lane))
+        return stmt
+
+    return rewrite_body_stmts(body, rename_stmt)
+
+
+def _remap_tapes(body: Body, in_buf: int | None, out_buf: int | None) -> Body:
+    """Redirect tape accesses of an inner actor to internal buffers.
+
+    ``in_buf is None`` keeps real input-tape reads (first inner actor);
+    ``out_buf is None`` keeps real pushes (last inner actor).
+    """
+
+    def remap_expr(e: E.Expr) -> E.Expr:
+        if in_buf is None:
+            return e
+        if isinstance(e, E.Pop):
+            return E.InternalPop(in_buf)
+        if isinstance(e, E.Peek):
+            return E.InternalPeek(in_buf, e.offset)
+        return e
+
+    body = rewrite_body_exprs(body, remap_expr)
+    if out_buf is None:
+        return body
+
+    def remap_stmt(stmt: S.Stmt) -> S.Stmt:
+        if isinstance(stmt, S.Push):
+            return S.InternalPush(out_buf, stmt.value)
+        return stmt
+
+    return rewrite_body_stmts(body, remap_stmt)
+
+
+def fuse_specs(specs: Sequence[FilterSpec],
+               reps: Sequence[int]) -> FilterSpec:
+    """Fuse a pipeline of specs (with steady-state reps) into one coarse
+    spec.  Callers must have verified vectorizability and the peek rule."""
+    if len(specs) < 2:
+        raise FusionError("fusion needs at least two actors")
+    for index, spec in enumerate(specs):
+        if index > 0 and spec.is_peeking:
+            raise FusionError(
+                f"{spec.name}: peek > pop inside a fused pipeline would "
+                "leave residual state in an internal buffer")
+    inner_reps = inner_repetitions(reps)
+
+    state: List[StateVar] = []
+    init_parts: List[S.Stmt] = []
+    work_parts: List[S.Stmt] = []
+    for index, (spec, inner_rep) in enumerate(zip(specs, inner_reps)):
+        prefix = f"f{index}_"
+        mapping = {name: prefix + name for name in declared_names(spec)}
+        state.extend(replace(var, name=mapping[var.name])
+                     for var in spec.state)
+        init_parts.extend(rename_body(spec.init_body, mapping))
+        body = rename_body(spec.work_body, mapping)
+        body = _remap_tapes(
+            body,
+            in_buf=None if index == 0 else index - 1,
+            out_buf=None if index == len(specs) - 1 else index,
+        )
+        if inner_rep == 1:
+            work_parts.extend(body)
+        else:
+            work_parts.append(
+                S.For(f"__rep{index}", E.IntConst(0), E.IntConst(inner_rep),
+                      body))
+
+    first, last = specs[0], specs[-1]
+    name = "_".join(f"{r}{spec.name}" for r, spec in zip(inner_reps, specs))
+    pop = inner_reps[0] * first.pop
+    return FilterSpec(
+        name=name,
+        pop=pop,
+        push=inner_reps[-1] * last.push,
+        peek=pop + (first.peek - first.pop),
+        data_type=first.data_type,
+        output_type=last.out_type,
+        state=tuple(state),
+        init_body=tuple(init_parts),
+        work_body=tuple(work_parts),
+    )
+
+
+def fuse_segment(graph: StreamGraph, segment: Sequence[int],
+                 reps: Dict[int, int]) -> int:
+    """Fuse the actors of ``segment`` (a pipeline, in order) in place.
+
+    Returns the new coarse actor's id.
+    """
+    specs = []
+    for actor_id in segment:
+        actor = graph.actors[actor_id]
+        if not isinstance(actor.spec, FilterSpec):
+            raise FusionError(f"{actor.name} is not a filter")
+        specs.append(actor.spec)
+    coarse = fuse_specs(specs, [reps[aid] for aid in segment])
+    coarse_actor = graph.add_actor(coarse)
+
+    in_tape = graph.input_tape(segment[0])
+    if in_tape is not None:
+        in_tape.dst = coarse_actor.id
+        in_tape.dst_port = 0
+    out_tape = graph.output_tape(segment[-1])
+    if out_tape is not None:
+        out_tape.src = coarse_actor.id
+        out_tape.src_port = 0
+    for first_id, second_id in zip(segment, segment[1:]):
+        internal = [t for t in graph.out_tapes(first_id)
+                    if t.dst == second_id]
+        if len(internal) != 1:
+            raise FusionError("segment is not a simple pipeline")
+        graph.remove_tape(internal[0].id)
+    for actor_id in segment:
+        graph.remove_actor(actor_id)
+    return coarse_actor.id

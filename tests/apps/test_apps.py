@@ -1,0 +1,114 @@
+"""Integration tests: every benchmark compiles, runs, and the SIMDized
+graph computes exactly what the scalar graph computes."""
+
+import pytest
+
+from repro.apps import BENCHMARKS, get_benchmark
+from repro.graph import flatten, validate
+from repro.runtime import execute
+from repro.simd import compile_graph
+from repro.simd.machine import CORE_I7, CORE_I7_SAGU
+
+ALL_BENCHMARKS = sorted(BENCHMARKS)
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+class TestEveryBenchmark:
+    def test_flattens_and_validates(self, name):
+        graph = flatten(get_benchmark(name))
+        validate(graph)
+
+    def test_scalar_execution_produces_output(self, name):
+        graph = flatten(get_benchmark(name))
+        result = execute(graph, iterations=2)
+        assert result.outputs
+        assert all(isinstance(x, (int, float)) for x in result.outputs)
+
+    def test_macro_simdized_outputs_identical(self, name):
+        graph = flatten(get_benchmark(name))
+        baseline = execute(graph, iterations=2).outputs
+        compiled = compile_graph(graph, CORE_I7)
+        validate(compiled.graph)
+        simdized = execute(compiled.graph, machine=CORE_I7,
+                           iterations=1).outputs
+        n = min(len(baseline), len(simdized))
+        assert n > 0
+        assert simdized[:n] == baseline[:n]
+
+    def test_sagu_machine_outputs_identical(self, name):
+        graph = flatten(get_benchmark(name))
+        baseline = execute(graph, iterations=2).outputs
+        compiled = compile_graph(graph, CORE_I7_SAGU)
+        simdized = execute(compiled.graph, machine=CORE_I7_SAGU,
+                           iterations=1).outputs
+        n = min(len(baseline), len(simdized))
+        assert simdized[:n] == baseline[:n]
+
+    def test_macro_simdization_speeds_up(self, name):
+        graph = flatten(get_benchmark(name))
+        scalar = execute(graph, iterations=2).cycles_per_output(CORE_I7)
+        compiled = compile_graph(graph, CORE_I7)
+        simd = execute(compiled.graph, machine=CORE_I7,
+                       iterations=1).cycles_per_output(CORE_I7)
+        assert scalar / simd > 1.0
+
+    def test_deterministic_across_runs(self, name):
+        a = execute(flatten(get_benchmark(name)), iterations=1).outputs
+        b = execute(flatten(get_benchmark(name)), iterations=1).outputs
+        assert a == b
+
+
+class TestRegistry:
+    def test_all_twelve_suite_benchmarks_present(self):
+        from repro.experiments.harness import DEFAULT_BENCHMARKS
+        assert set(DEFAULT_BENCHMARKS) <= set(BENCHMARKS)
+        assert len(DEFAULT_BENCHMARKS) == 12
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("NotABenchmark")
+
+    def test_factories_return_fresh_programs(self):
+        a = get_benchmark("FFT")
+        b = get_benchmark("FFT")
+        assert a is not b
+
+
+class TestExpectedDecisions:
+    """Pin each benchmark's dominant SIMDization technique (the structure
+    behind Figures 11 and 12)."""
+
+    def _decisions(self, name):
+        graph = flatten(get_benchmark(name))
+        report = compile_graph(graph, CORE_I7).report
+        kinds = {}
+        for decision in report.decisions.values():
+            kinds[decision.split(":")[0]] = \
+                kinds.get(decision.split(":")[0], 0) + 1
+        return kinds, report
+
+    def test_filterbank_is_horizontal(self):
+        kinds, report = self._decisions("FilterBank")
+        assert kinds.get("horizontal", 0) == 32  # 8 bands x 4 levels
+        assert len(report.horizontal_splitjoins) == 1
+
+    def test_beamformer_is_horizontal(self):
+        kinds, _ = self._decisions("BeamFormer")
+        assert kinds.get("horizontal", 0) == 8
+
+    def test_audiobeam_has_no_vertical(self):
+        _, report = self._decisions("AudioBeam")
+        assert report.vertical_segments == []
+
+    def test_matmulblock_is_vertical(self):
+        _, report = self._decisions("MatrixMultBlock")
+        assert any(len(seg) >= 3 for seg in report.vertical_segments)
+
+    def test_fft_pipeline_fused(self):
+        _, report = self._decisions("FFT")
+        assert any(len(seg) >= 5 for seg in report.vertical_segments)
+
+    def test_vocoder_atan2_actor_stays_scalar(self):
+        _, report = self._decisions("Vocoder")
+        assert report.decisions["MagPhase"].startswith("scalar:")
+        assert "atan2" in report.decisions["MagPhase"]

@@ -1,0 +1,101 @@
+"""Tests for the shared DSP building blocks."""
+
+import math
+
+import pytest
+
+from repro.apps.dspkit import (
+    adder,
+    bandpass_coeffs,
+    delay_line,
+    downsampler,
+    fir_filter,
+    gain,
+    lowpass_coeffs,
+    rectifier,
+    upsampler,
+)
+from repro.runtime import execute
+from repro.simd import analyze_filter, is_stateful
+from repro.simd.machine import CORE_I7
+
+from ..conftest import linear_program, make_ramp_source
+
+
+def run(spec, iterations=4, push=4):
+    g = linear_program(make_ramp_source(push), spec)
+    return execute(g, iterations=iterations).outputs
+
+
+class TestFilters:
+    def test_gain(self):
+        assert run(gain("g", 3.0))[:4] == [0.0, 3.0, 6.0, 9.0]
+
+    def test_rectifier(self):
+        spec = rectifier()
+        g = linear_program(make_ramp_source(2), gain("neg", -1.0), spec)
+        outputs = execute(g, iterations=3).outputs
+        assert outputs == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_downsampler(self):
+        assert run(downsampler("d", 2))[:4] == [0.0, 2.0, 4.0, 6.0]
+
+    def test_upsampler_zero_stuffs(self):
+        assert run(upsampler("u", 3))[:6] == [0.0, 0.0, 0.0, 1.0, 0.0, 0.0]
+
+    def test_adder_plain(self):
+        assert run(adder("a", 4))[:2] == [6.0, 22.0]
+
+    def test_adder_weighted(self):
+        spec = adder("a", 2, weights=(10.0, 1.0))
+        assert run(spec)[:2] == [1.0, 23.0]  # 0*10+1, 2*10+3
+
+    def test_fir_is_moving_dot_product(self):
+        spec = fir_filter("f", (0.5, 0.25))
+        outputs = run(spec, iterations=4)
+        # y[n] = 0.5*x[n] + 0.25*x[n+1] over the ramp
+        assert outputs[0] == pytest.approx(0.5 * 0.0 + 0.25 * 1.0)
+        assert outputs[1] == pytest.approx(0.5 * 1.0 + 0.25 * 2.0)
+
+    def test_fir_decimation(self):
+        spec = fir_filter("f", (1.0,), decimation=2)
+        outputs = run(spec, iterations=4)
+        assert outputs[:3] == [0.0, 2.0, 4.0]
+
+    def test_delay_line(self):
+        spec = delay_line("d", depth=2, gain_value=10.0)
+        outputs = run(spec, iterations=4)
+        # First two outputs are the zero-initialised history.
+        assert outputs[:5] == [0.0, 0.0, 0.0, 10.0, 20.0]
+
+    def test_delay_line_is_stateful_but_horizontal_eligible(self):
+        from repro.simd.segments import horizontal_verdict
+        spec = delay_line("d", 4)
+        assert is_stateful(spec)
+        assert not analyze_filter(spec, CORE_I7).simdizable
+        assert horizontal_verdict(spec, CORE_I7).simdizable
+
+
+class TestCoefficients:
+    def test_lowpass_dc_gain_roughly_unity(self):
+        coeffs = lowpass_coeffs(64, math.pi / 2)
+        # DC gain of a half-band low-pass ~ 1 (windowed-sinc normalisation).
+        assert sum(coeffs) == pytest.approx(1.0, abs=0.05)
+
+    def test_lowpass_symmetry(self):
+        coeffs = lowpass_coeffs(16, math.pi / 3)
+        assert coeffs == pytest.approx(tuple(reversed(coeffs)))
+
+    def test_bandpass_is_difference_of_lowpass(self):
+        taps = 16
+        low, high = math.pi / 4, math.pi / 2
+        bp = bandpass_coeffs(taps, low, high)
+        lo = lowpass_coeffs(taps, low)
+        hi = lowpass_coeffs(taps, high)
+        assert bp == pytest.approx(tuple(h - l for h, l in zip(hi, lo)))
+
+    def test_fir_spec_rates(self):
+        spec = fir_filter("f", lowpass_coeffs(32, 1.0), decimation=4)
+        assert spec.peek == 32
+        assert spec.pop == 4
+        assert spec.push == 1

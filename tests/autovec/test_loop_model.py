@@ -1,0 +1,144 @@
+"""Tests for the inner-loop auto-vectorizer model."""
+
+import pytest
+
+from repro.autovec import GCC43, ICC111
+from repro.autovec.loop_model import LoopVecStats, vectorize_inner_loops
+from repro.graph import FilterSpec
+from repro.ir import FLOAT, WorkBuilder, call
+from repro.ir import expr as E
+from repro.ir import stmt as S
+from repro.ir.visitors import iter_all_exprs, iter_stmts
+from repro.perf import PerfCounters
+from repro.runtime import ActorRuntime, Interpreter, Tape
+from repro.simd.machine import CORE_I7
+
+
+def _run(body, inputs, firings=1):
+    tape_in = Tape()
+    for item in inputs:
+        tape_in.push(item)
+    tape_out = Tape()
+    rt = ActorRuntime(0, 4, PerfCounters(), {}, tape_in, tape_out)
+    interp = Interpreter(rt)
+    for _ in range(firings):
+        interp.run_work(body)
+    return tape_out.drain(), rt.counters
+
+
+def _fir_body(taps=8):
+    b = WorkBuilder()
+    coeff = b.array("c", FLOAT, taps, init=tuple(0.1 * i for i in range(taps)))
+    acc = b.let("acc", 0.0)
+    with b.loop("i", 0, taps) as i:
+        b.set(acc, acc + b.peek(i) * coeff[i])
+    b.push(acc)
+    b.stmt(b.pop())
+    return b.build()
+
+
+def _map_body(n=8):
+    b = WorkBuilder()
+    table = b.array("t", FLOAT, n, init=tuple(float(i) for i in range(n)))
+    with b.loop("i", 0, n) as i:
+        b.push(b.pop() * table[i])
+    return b.build()
+
+
+class TestReductionPattern:
+    def test_fir_loop_vectorized_by_icc(self):
+        stats = LoopVecStats()
+        out = vectorize_inner_loops(_fir_body(), ICC111, CORE_I7, stats)
+        assert stats.reductions == 1
+        gathers = [e for e in iter_all_exprs(out)
+                   if isinstance(e, E.GatherPeek)]
+        assert gathers and gathers[0].stride == 1
+
+    def test_gcc_rejects_peeking_loops(self):
+        stats = LoopVecStats()
+        out = vectorize_inner_loops(_fir_body(), GCC43, CORE_I7, stats)
+        assert stats.total == 0
+        assert out == _fir_body()
+
+    def test_functional_equivalence_within_tolerance(self):
+        """Reassociated reduction: equal up to floating-point noise."""
+        body = _fir_body()
+        stats = LoopVecStats()
+        vec = vectorize_inner_loops(body, ICC111, CORE_I7, stats)
+        inputs = [0.37 * i - 1.5 for i in range(16)]
+        scalar_out, _ = _run(body, inputs, firings=4)
+        vector_out, _ = _run(vec, inputs, firings=4)
+        assert vector_out == pytest.approx(scalar_out, rel=1e-9)
+
+    def test_trip_count_must_be_multiple_of_sw(self):
+        stats = LoopVecStats()
+        vectorize_inner_loops(_fir_body(taps=6), ICC111, CORE_I7, stats)
+        assert stats.total == 0
+
+    def test_math_calls_gate_on_profile(self):
+        b = WorkBuilder()
+        acc = b.let("acc", 0.0)
+        with b.loop("i", 0, 8) as i:
+            b.set(acc, acc + call("sin", b.peek(i)))
+        b.push(acc)
+        b.stmt(b.pop())
+        body = b.build()
+        stats = LoopVecStats()
+        vectorize_inner_loops(body, GCC43, CORE_I7, stats)
+        assert stats.total == 0
+        stats = LoopVecStats()
+        vectorize_inner_loops(body, ICC111, CORE_I7, stats)
+        assert stats.total == 1
+
+    def test_reduction_cost_improves(self):
+        from repro.simd.machine import CORE_I7 as M
+        body = _fir_body(taps=16)
+        stats = LoopVecStats()
+        vec = vectorize_inner_loops(body, ICC111, M, stats)
+        inputs = [0.1 * i for i in range(32)]
+        _, scalar_counters = _run(body, inputs, firings=2)
+        _, vector_counters = _run(vec, inputs, firings=2)
+        assert vector_counters.cycles(M) < scalar_counters.cycles(M)
+
+
+class TestMapPattern:
+    def test_pop_map_vectorized(self):
+        stats = LoopVecStats()
+        out = vectorize_inner_loops(_map_body(), GCC43, CORE_I7, stats)
+        assert stats.maps == 1
+        assert any(isinstance(s, S.ScatterPush) for s in iter_stmts(out))
+
+    def test_map_functional_equivalence_exact(self):
+        """Maps do not reassociate: outputs are bit-identical."""
+        body = _map_body()
+        stats = LoopVecStats()
+        vec = vectorize_inner_loops(body, GCC43, CORE_I7, stats)
+        inputs = [1.0 + 0.25 * i for i in range(16)]
+        scalar_out, _ = _run(body, inputs, firings=2)
+        vector_out, _ = _run(vec, inputs, firings=2)
+        assert vector_out == scalar_out
+
+    def test_two_pops_rejected(self):
+        b = WorkBuilder()
+        with b.loop("i", 0, 8):
+            b.push(b.pop() + b.pop())
+        stats = LoopVecStats()
+        vectorize_inner_loops(b.build(), ICC111, CORE_I7, stats)
+        assert stats.total == 0
+
+    def test_non_affine_index_rejected(self):
+        b = WorkBuilder()
+        table = b.array("t", FLOAT, 8, init=tuple(range(8)))
+        with b.loop("i", 0, 8) as i:
+            b.push(b.pop() * table[(i * 2) % 8])
+        stats = LoopVecStats()
+        vectorize_inner_loops(b.build(), ICC111, CORE_I7, stats)
+        assert stats.total == 0
+
+    def test_already_vector_code_left_alone(self):
+        body = (S.For("i", E.IntConst(0), E.IntConst(8),
+                      (S.Push(E.GatherPop(stride=1, advance=4)),)),)
+        stats = LoopVecStats()
+        out = vectorize_inner_loops(body, ICC111, CORE_I7, stats)
+        assert stats.total == 0
+        assert out == body

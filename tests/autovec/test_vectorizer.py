@@ -1,0 +1,92 @@
+"""Tests for the whole-graph auto-vectorization baseline."""
+
+import pytest
+
+from repro.autovec import GCC43, ICC111, auto_vectorize
+from repro.graph import validate
+from repro.runtime import execute
+from repro.simd import compile_graph
+from repro.simd.machine import CORE_I7
+from repro.simd.tape_opt import uses_gather
+
+from ..conftest import (
+    linear_program,
+    make_accumulator,
+    make_pair_sum,
+    make_ramp_source,
+    make_scaler,
+)
+
+
+def _graph():
+    # pairsum rep = 4 per steady state (src pushes 8): ICC can vectorize it.
+    return linear_program(make_ramp_source(8), make_pair_sum())
+
+
+class TestActorLoopVectorization:
+    def test_icc_vectorizes_stateless_rep_multiple(self):
+        g = _graph()
+        report = auto_vectorize(g, ICC111, CORE_I7)
+        assert "pairsum" in report.actor_vectorized
+        validate(g)
+
+    def test_gcc_never_actor_vectorizes(self):
+        g = _graph()
+        report = auto_vectorize(g, GCC43, CORE_I7)
+        assert report.actor_vectorized == []
+
+    def test_rep_not_multiple_blocks_icc(self):
+        """Auto-vectorizers cannot rescale the schedule (§4)."""
+        g = linear_program(make_ramp_source(2), make_pair_sum())
+        report = auto_vectorize(g, ICC111, CORE_I7)
+        assert "pairsum" in report.rejected
+        assert "rescale" in report.rejected["pairsum"]
+
+    def test_stateful_rejected(self):
+        g = linear_program(make_ramp_source(4), make_accumulator())
+        report = auto_vectorize(g, ICC111, CORE_I7)
+        assert "accum" in report.rejected
+
+    def test_functional_equivalence(self):
+        g = _graph()
+        baseline = execute(g.clone(), iterations=4).outputs
+        auto_vectorize(g, ICC111, CORE_I7)
+        outputs = execute(g, iterations=4).outputs
+        assert outputs == pytest.approx(baseline)
+
+    def test_macro_simdized_actors_left_alone(self):
+        g = compile_graph(_graph(), CORE_I7).graph
+        specs_before = {a.id: a.spec for a in g.filters()
+                        if uses_gather(a.spec)}
+        auto_vectorize(g, ICC111, CORE_I7)
+        for actor_id, spec in specs_before.items():
+            assert g.actors[actor_id].spec is spec
+
+    def test_overhead_annotation_present(self):
+        from repro.ir import stmt as S
+        g = _graph()
+        auto_vectorize(g, ICC111, CORE_I7)
+        spec = g.actor_by_name("pairsum").spec
+        assert isinstance(spec.work_body[0], S.CostAnnotation)
+
+
+class TestEndToEndSpeedups:
+    def test_ordering_gcc_icc_macro(self):
+        """The paper's headline ordering: GCC-autovec < ICC-autovec <
+        MacroSS, on a benchmark with all three applicable."""
+        from repro.experiments.harness import Variants
+        variants = Variants("DCT", CORE_I7)
+        base = variants.baseline_cpo()
+        gcc = base / variants.autovec_cpo(GCC43)
+        icc = base / variants.autovec_cpo(ICC111)
+        macro = base / variants.macro_cpo()
+        assert gcc <= icc <= macro
+        assert macro > 1.5
+
+    def test_macro_plus_autovec_never_worse(self):
+        from repro.experiments.harness import Variants
+        for name in ("FFT", "BeamFormer"):
+            variants = Variants(name, CORE_I7)
+            macro = variants.macro_cpo()
+            combined = variants.macro_autovec_cpo(ICC111)
+            assert combined <= macro * 1.001

@@ -1,0 +1,85 @@
+"""Tests for the integer-vector (epi32) code generation path."""
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.codegen import emit_cpp
+from repro.graph import FilterSpec, flatten
+from repro.ir import INT, WorkBuilder
+from repro.simd import compile_graph
+from repro.simd.machine import CORE_I7
+
+from ..conftest import linear_program
+
+
+def _int_source(push=4):
+    from repro.graph import StateVar
+    b = WorkBuilder()
+    s = b.var("s")
+    with b.loop("i", 0, push):
+        b.set(s, (s * 75 + 74) % 65537)
+        b.push(s)
+    return FilterSpec("isrc", pop=0, push=push, data_type=INT,
+                      state=(StateVar("s", INT, 0, 1),), work_body=b.build())
+
+
+def _bit_mixer():
+    b = WorkBuilder()
+    x = b.let("x", b.pop(), ty=INT)
+    b.push(((x << 3) ^ (x >> 2)) & 1048575)
+    return FilterSpec("mix", pop=1, push=1, data_type=INT,
+                      work_body=b.build())
+
+
+class TestIntegerVectors:
+    def test_vectorized_int_actor_emits_epi32(self):
+        g = linear_program(_int_source(), _bit_mixer())
+        compiled = compile_graph(g, CORE_I7)
+        assert compiled.report.decisions["mix"] == "single"
+        text = emit_cpp(compiled.graph, CORE_I7)
+        assert "__m128i" in text
+        assert "_mm_xor_si128" in text
+        assert "_mm_slli_epi32" in text and "_mm_srli_epi32" in text
+        assert "_mm_and_si128" in text
+        assert "Tape<int" in text
+
+    def test_shift_uses_immediate_form(self):
+        g = linear_program(_int_source(), _bit_mixer())
+        compiled = compile_graph(g, CORE_I7)
+        text = emit_cpp(compiled.graph, CORE_I7)
+        assert "_mm_slli_epi32(" in text
+        # immediate count, not a splatted vector
+        assert "_mm_slli_epi32(_mm_set1_epi32" not in text
+
+    def test_des_benchmark_emits(self):
+        g = flatten(get_benchmark("DES"))
+        compiled = compile_graph(g, CORE_I7)
+        text = emit_cpp(compiled.graph, CORE_I7)
+        assert "int main()" in text
+        assert "_mm_mullo_epi32" in text  # the F-function hash multiply
+        assert "_lane_i(" in text         # integer lane extraction
+
+    def test_float_comparison_normalised_to_unit_mask(self):
+        """The MP3 sign trick `(x >= 0) * 2 - 1` must emit a 0/1 mask."""
+        g = flatten(get_benchmark("MP3Decoder"))
+        compiled = compile_graph(g, CORE_I7)
+        text = emit_cpp(compiled.graph, CORE_I7)
+        assert "_mm_and_ps(_mm_cmpge_ps" in text
+
+
+class TestDesBenchmark:
+    def test_fully_fused(self):
+        g = flatten(get_benchmark("DES"))
+        report = compile_graph(g, CORE_I7).report
+        assert any(len(seg) == 8 for seg in report.vertical_segments)
+
+    def test_integer_outputs_bit_exact(self):
+        from repro.runtime import execute
+        g = flatten(get_benchmark("DES"))
+        baseline = execute(g, iterations=2).outputs
+        compiled = compile_graph(g, CORE_I7)
+        outputs = execute(compiled.graph, machine=CORE_I7,
+                          iterations=1).outputs
+        n = min(len(baseline), len(outputs))
+        assert outputs[:n] == baseline[:n]
+        assert all(isinstance(x, int) for x in baseline)

@@ -1,0 +1,93 @@
+"""Tests for the textual feedbackloop syntax."""
+
+import pytest
+
+from repro.frontend import ParseError, compile_source, parse
+from repro.frontend.ast_nodes import FeedbackDecl
+from repro.graph import flatten, validate
+from repro.runtime import execute
+
+ECHO = """
+void->float filter Ramp() {
+    float t = 0.0;
+    work push 1 { push(t); t = t + 1.0; }
+}
+
+float->float filter Mix() {
+    work pop 2 push 1 { push(pop() + pop()); }
+}
+
+float->float filter Decay(float k) {
+    work pop 1 push 1 { push(pop() * k); }
+}
+
+float->float filter Id() {
+    work pop 1 push 1 { push(pop()); }
+}
+
+float->float feedbackloop Echo(float k) {
+    join roundrobin(1, 1);
+    body Mix();
+    loop Decay(k);
+    split duplicate;
+    enqueue(0.0);
+}
+
+float->float pipeline Main() {
+    add Ramp();
+    add Echo(0.5);
+    add Id();
+}
+"""
+
+
+class TestParsing:
+    def test_feedback_decl_parsed(self):
+        decls = parse(ECHO)
+        echo = next(d for d in decls if isinstance(d, FeedbackDecl))
+        assert echo.name == "Echo"
+        assert echo.split.kind == "duplicate"
+        assert len(echo.enqueue) == 1
+        assert echo.body.name == "Mix"
+        assert echo.loop.name == "Decay"
+
+    def test_missing_enqueue_rejected(self):
+        bad = ECHO.replace("    enqueue(0.0);\n", "")
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_body_loop_are_contextual_identifiers(self):
+        """'loop' outside a feedbackloop body is an ordinary name."""
+        source = """
+        void->float filter S() {
+            float loop = 1.0;
+            work push 1 { push(loop); }
+        }
+        float->float filter Id() { work pop 1 push 1 { push(pop()); } }
+        float->float pipeline Main() { add S(); add Id(); }
+        """
+        program = compile_source(source)
+        outputs = execute(flatten(program), iterations=2).outputs
+        assert outputs == [1.0, 1.0]
+
+
+class TestExecution:
+    def test_echo_semantics(self):
+        graph = flatten(compile_source(ECHO))
+        validate(graph)
+        outputs = execute(graph, iterations=5).outputs
+        expected, y = [], 0.0
+        for n in range(5):
+            y = n + 0.5 * y
+            expected.append(y)
+        assert outputs == expected
+
+    def test_roundrobin_split_variant(self):
+        source = ECHO.replace("split duplicate;", "split roundrobin(1, 1);") \
+                     .replace("work pop 2 push 1 { push(pop() + pop()); }",
+                              "work pop 2 push 2 { float s = pop() + pop();"
+                              " push(s); push(s); }")
+        graph = flatten(compile_source(source))
+        validate(graph)
+        outputs = execute(graph, iterations=4).outputs
+        assert len(outputs) == 4

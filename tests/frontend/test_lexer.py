@@ -1,0 +1,47 @@
+"""Tests for the textual frontend lexer."""
+
+import pytest
+
+from repro.frontend import LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_identifiers_and_keywords(self):
+        assert kinds("filter Foo") == [("keyword", "filter"),
+                                       ("ident", "Foo")]
+
+    def test_numbers(self):
+        assert kinds("42") == [("int", "42")]
+        assert kinds("3.25") == [("float", "3.25")]
+        assert kinds("1e3") == [("float", "1e3")]
+        assert kinds("2.5e-2") == [("float", "2.5e-2")]
+
+    def test_multichar_operators(self):
+        assert kinds("-> == <= ++ +=") == [
+            ("op", "->"), ("op", "=="), ("op", "<="),
+            ("op", "++"), ("op", "+=")]
+
+    def test_line_comments(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comments(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")

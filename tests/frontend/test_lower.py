@@ -1,0 +1,123 @@
+"""Tests for lowering textual programs to executable graphs."""
+
+import pytest
+
+from repro.frontend import LoweringError, compile_source
+from repro.graph import flatten, validate
+from repro.runtime import execute
+from repro.simd import compile_graph
+from repro.simd.machine import CORE_I7
+
+PROGRAM = """
+void->float filter Ramp(int n) {
+    float t = 0.0;
+    work push n {
+        for (int i = 0; i < n; i++) { push(t); t = t + 1.0; }
+    }
+}
+
+float->float filter Scale(float k) {
+    work pop 1 push 1 { push(pop() * k); }
+}
+
+float->float filter Sum(int n) {
+    work pop n push 1 {
+        float acc = 0.0;
+        for (int i = 0; i < n; i++) { acc += pop(); }
+        push(acc);
+    }
+}
+
+float->float pipeline Main() {
+    add Ramp(4);
+    add Scale(2.0);
+    add Sum(2);
+}
+"""
+
+
+class TestLowering:
+    def test_executes_correctly(self):
+        graph = flatten(compile_source(PROGRAM))
+        validate(graph)
+        outputs = execute(graph, iterations=2).outputs
+        # ramp 0,1,2,3.. -> x2 -> pairwise sums: (0+2), (4+6), ...
+        assert outputs == [2.0, 10.0, 18.0, 26.0]
+
+    def test_rates_from_params(self):
+        graph = flatten(compile_source(PROGRAM))
+        total = graph.actor_by_name("Sum")
+        assert total.spec.pop == 2
+
+    def test_top_with_args(self):
+        source = PROGRAM + """
+        float->float pipeline Scaled(float k) {
+            add Ramp(4);
+            add Scale(k);
+        }
+        """
+        program = compile_source(source, top="Scaled", args=(10.0,))
+        outputs = execute(flatten(program), iterations=1).outputs
+        assert outputs == [0.0, 10.0, 20.0, 30.0]
+
+    def test_unknown_stream(self):
+        with pytest.raises(LoweringError):
+            compile_source(PROGRAM, top="Nope")
+
+    def test_wrong_arity(self):
+        with pytest.raises(LoweringError):
+            compile_source(PROGRAM + """
+                float->float pipeline Bad() { add Scale(1.0, 2.0); }
+            """, top="Bad")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source(SIMPLE := """
+                float->float filter A() { work pop 1 push 1 { push(pop()); } }
+                float->float filter A() { work pop 1 push 1 { push(pop()); } }
+                float->float pipeline Main() { add A(); }
+            """)
+
+    def test_parsed_program_simdizes(self):
+        """Full path: text -> graph -> MacroSS -> identical outputs."""
+        source = PROGRAM + """
+        float->float splitjoin Bank() {
+            split roundrobin(1, 1, 1, 1);
+            add Scale(1.0);
+            add Scale(2.0);
+            add Scale(3.0);
+            add Scale(4.0);
+            join roundrobin(1, 1, 1, 1);
+        }
+        float->float pipeline Wide() {
+            add Ramp(4);
+            add Bank();
+            add Sum(4);
+        }
+        """
+        graph = flatten(compile_source(source, top="Wide"))
+        baseline = execute(graph, iterations=4).outputs
+        compiled = compile_graph(graph, CORE_I7)
+        decisions = set(compiled.report.decisions.values())
+        assert "horizontal" in decisions
+        outputs = execute(compiled.graph, machine=CORE_I7,
+                          iterations=4).outputs
+        n = min(len(baseline), len(outputs))
+        assert outputs[:n] == baseline[:n]
+
+    def test_state_array_with_param_init(self):
+        source = """
+        void->float filter Pulse(float amp) {
+            float wave[4] = {1.0, 0.5, -0.5, -1.0};
+            int idx = 0;
+            work push 1 {
+                push(wave[idx] * amp);
+                idx = (idx + 1) % 4;
+            }
+        }
+        float->float filter Id() { work pop 1 push 1 { push(pop()); } }
+        float->float pipeline Main() { add Pulse(3.0); add Id(); }
+        """
+        outputs = execute(flatten(compile_source(source)),
+                          iterations=4).outputs
+        assert outputs == [3.0, 1.5, -1.5, -3.0]

@@ -1,0 +1,195 @@
+"""Tests for the textual frontend parser."""
+
+import pytest
+
+from repro.frontend import ParseError, parse
+from repro.frontend.ast_nodes import CompositeDecl, FilterDecl
+from repro.ir import expr as E
+from repro.ir import stmt as S
+
+SIMPLE_FILTER = """
+float->float filter Scale(float k) {
+    work pop 1 push 1 {
+        push(pop() * k);
+    }
+}
+"""
+
+
+class TestFilterParsing:
+    def test_basic_filter(self):
+        (decl,) = parse(SIMPLE_FILTER)
+        assert isinstance(decl, FilterDecl)
+        assert decl.name == "Scale"
+        assert decl.in_type == decl.out_type == "float"
+        assert decl.rates.pop == E.IntConst(1)
+        assert decl.rates.push == E.IntConst(1)
+
+    def test_param_references_become_param_nodes(self):
+        (decl,) = parse(SIMPLE_FILTER)
+        push = decl.work_body[0]
+        assert isinstance(push, S.Push)
+        assert push.value == E.BinaryOp("*", E.Pop(), E.Param("k"))
+
+    def test_peek_rate(self):
+        (decl,) = parse("""
+            float->float filter W(int n) {
+                work pop 1 push 1 peek n {
+                    push(peek(0));
+                    pop();
+                }
+            }
+        """)
+        assert decl.rates.peek == E.Param("n")
+
+    def test_state_declarations(self):
+        (decl,) = parse("""
+            void->float filter Src() {
+                float t = 1.5;
+                int idx;
+                float hist[4];
+                float coeff[2] = {0.5, 0.25};
+                work push 1 { push(t); t = t + 1.0; }
+            }
+        """)
+        names = [s.name for s in decl.states]
+        assert names == ["t", "idx", "hist", "coeff"]
+        assert decl.states[0].init == E.FloatConst(1.5)
+        assert decl.states[2].size == 4
+        assert decl.states[3].array_init == (E.FloatConst(0.5),
+                                             E.FloatConst(0.25))
+
+    def test_init_block(self):
+        (decl,) = parse("""
+            float->float filter F() {
+                float c[2];
+                init { c[0] = 1.0; c[1] = 2.0; }
+                work pop 1 push 1 { push(pop() * c[0]); }
+            }
+        """)
+        assert len(decl.init_body) == 2
+
+    def test_missing_work_rejected(self):
+        with pytest.raises(ParseError):
+            parse("float->float filter F() { }")
+
+
+class TestStatements:
+    def _work_body(self, body_text):
+        (decl,) = parse(f"""
+            float->float filter F() {{
+                work pop 1 push 1 {{ {body_text} }}
+            }}
+        """)
+        return decl.work_body
+
+    def test_single_push(self):
+        (stmt,) = self._work_body("push(pop());")
+        assert isinstance(stmt, S.Push)
+
+    def test_for_loop_desugar(self):
+        body = self._work_body(
+            "float s = 0.0;"
+            "for (int i = 0; i < 4; i++) { s += 1.0; }"
+            "push(pop() + s);")
+        loop = body[1]
+        assert isinstance(loop, S.For)
+        assert loop.var == "i"
+        assert loop.end == E.IntConst(4)
+        inner = loop.body[0]
+        assert inner == S.Assign(
+            __import__("repro.ir.lvalue", fromlist=["VarLV"]).VarLV("s"),
+            E.BinaryOp("+", E.Var("s"), E.FloatConst(1.0)))
+
+    def test_for_loop_bad_condition_var(self):
+        with pytest.raises(ParseError):
+            self._work_body("for (int i = 0; j < 4; i++) { } push(pop());")
+
+    def test_if_else_chain(self):
+        body = self._work_body("""
+            float x = pop();
+            if (x > 0.0) { push(x); }
+            else if (x < -1.0) { push(-x); }
+            else { push(0.0); }
+        """)
+        if_stmt = body[1]
+        assert isinstance(if_stmt, S.If)
+        assert isinstance(if_stmt.else_body[0], S.If)
+
+    def test_compound_assignment(self):
+        body = self._work_body("float x = pop(); x *= 2.0; push(x);")
+        assert body[1].rhs == E.BinaryOp("*", E.Var("x"), E.FloatConst(2.0))
+
+    def test_array_assignment(self):
+        body = self._work_body(
+            "float a[2]; a[0] = pop(); a[1] = a[0]; push(a[1]);")
+        from repro.ir.lvalue import ArrayLV
+        assert body[1].lhs == ArrayLV("a", E.IntConst(0))
+
+    def test_ternary(self):
+        body = self._work_body("float x = pop(); push(x > 0.0 ? x : -x);")
+        assert isinstance(body[1].value, E.Select)
+
+    def test_bare_pop_statement(self):
+        body = self._work_body("push(peek(0)); pop();")
+        assert body[1] == S.ExprStmt(E.Pop())
+
+    def test_math_call(self):
+        body = self._work_body("push(sqrt(abs(pop())));")
+        assert body[0].value == E.Call("sqrt", (E.Call("abs", (E.Pop(),)),))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ParseError):
+            self._work_body("push(frobnicate(pop()));")
+
+
+class TestComposites:
+    def test_pipeline(self):
+        decls = parse(SIMPLE_FILTER + """
+            float->float pipeline Main() {
+                add Scale(2.0);
+                add Scale(3.0);
+            }
+        """)
+        main = decls[1]
+        assert isinstance(main, CompositeDecl)
+        assert main.kind == "pipeline"
+        assert [a.name for a in main.adds] == ["Scale", "Scale"]
+        assert main.adds[0].args == (E.FloatConst(2.0),)
+
+    def test_splitjoin(self):
+        decls = parse(SIMPLE_FILTER + """
+            float->float splitjoin Eq() {
+                split duplicate;
+                add Scale(1.0);
+                add Scale(2.0);
+                join roundrobin(1, 1);
+            }
+        """)
+        sj = decls[1]
+        assert sj.split.kind == "duplicate"
+        assert sj.join == (E.IntConst(1), E.IntConst(1))
+
+    def test_splitjoin_without_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse(SIMPLE_FILTER + """
+                float->float splitjoin Bad() {
+                    split duplicate;
+                    add Scale(1.0);
+                }
+            """)
+
+    def test_anonymous_splitjoin(self):
+        decls = parse(SIMPLE_FILTER + """
+            float->float pipeline Main() {
+                add splitjoin {
+                    split roundrobin(1, 1);
+                    add Scale(1.0);
+                    add Scale(2.0);
+                    join roundrobin(1, 1);
+                };
+            }
+        """)
+        main = decls[1]
+        assert main.adds[0].inline is not None
+        assert main.adds[0].inline.kind == "splitjoin"

@@ -1,0 +1,79 @@
+"""Tests for FilterSpec and parameter binding."""
+
+import pytest
+
+from repro.graph import FilterSpec, StateVar, bind_params
+from repro.ir import FLOAT, Param, WorkBuilder
+from repro.ir import expr as E
+
+
+class TestFilterSpec:
+    def test_peek_defaults_to_pop(self):
+        spec = FilterSpec("f", pop=3, push=1)
+        assert spec.peek == 3
+
+    def test_peek_kept_when_larger(self):
+        spec = FilterSpec("f", pop=2, push=1, peek=4)
+        assert spec.peek == 4
+        assert spec.is_peeking
+
+    def test_not_peeking_when_equal(self):
+        assert not FilterSpec("f", pop=2, push=1, peek=2).is_peeking
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FilterSpec("f", pop=-1, push=1)
+
+    def test_source_and_sink_flags(self):
+        assert FilterSpec("s", pop=0, push=1).is_source
+        assert FilterSpec("k", pop=1, push=0).is_sink
+
+    def test_out_type_defaults_to_data_type(self):
+        spec = FilterSpec("f", pop=1, push=1)
+        assert spec.out_type == spec.data_type
+
+    def test_with_name(self):
+        spec = FilterSpec("f", pop=1, push=1)
+        assert spec.with_name("g").name == "g"
+        assert spec.name == "f"  # immutability
+
+    def test_state_var_array_flag(self):
+        assert StateVar("a", FLOAT, 4).is_array
+        assert not StateVar("x", FLOAT, 0).is_array
+
+
+class TestBindParams:
+    def _spec_with_param(self):
+        b = WorkBuilder()
+        b.push(b.pop() * Param("gain"))
+        return FilterSpec("g", pop=1, push=1, work_body=b.build())
+
+    def test_bind_float(self):
+        bound = bind_params(self._spec_with_param(), {"gain": 2.5})
+        pushed = bound.work_body[0].value
+        assert pushed.right == E.FloatConst(2.5)
+
+    def test_bind_int(self):
+        bound = bind_params(self._spec_with_param(), {"gain": 3})
+        assert bound.work_body[0].value.right == E.IntConst(3)
+
+    def test_missing_param_raises(self):
+        with pytest.raises(KeyError):
+            bind_params(self._spec_with_param(), {})
+
+    def test_unknown_param_raises(self):
+        with pytest.raises(KeyError):
+            bind_params(self._spec_with_param(), {"gain": 1.0, "typo": 2.0})
+
+    def test_binding_reaches_init_body(self):
+        b = WorkBuilder()
+        x = b.var("x")
+        b.set(x, Param("seed"))
+        init = b.build()
+        wb = WorkBuilder()
+        wb.push(wb.pop())
+        spec = FilterSpec("f", pop=1, push=1,
+                          state=(StateVar("x", FLOAT, 0, 0.0),),
+                          init_body=init, work_body=wb.build())
+        bound = bind_params(spec, {"seed": 9.0})
+        assert bound.init_body[0].rhs == E.FloatConst(9.0)

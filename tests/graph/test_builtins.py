@@ -1,0 +1,54 @@
+"""Tests for splitter/joiner specs and their horizontal variants."""
+
+from repro.graph.builtins import (
+    HJoinerSpec,
+    HSplitterSpec,
+    SplitKind,
+    duplicate_splitter,
+    roundrobin_joiner,
+    roundrobin_splitter,
+)
+
+
+class TestSplitter:
+    def test_roundrobin_rates(self):
+        s = roundrobin_splitter([4, 4, 4, 4])
+        assert s.pop_per_exec == 16
+        assert s.push_per_exec(2) == 4
+        assert s.fanout == 4
+
+    def test_uneven_roundrobin(self):
+        s = roundrobin_splitter([1, 2, 3])
+        assert s.pop_per_exec == 6
+        assert [s.push_per_exec(i) for i in range(3)] == [1, 2, 3]
+
+    def test_duplicate_rates(self):
+        s = duplicate_splitter(4)
+        assert s.kind is SplitKind.DUPLICATE
+        assert s.pop_per_exec == 1
+        assert s.push_per_exec(3) == 1
+
+
+class TestJoiner:
+    def test_roundrobin_rates(self):
+        j = roundrobin_joiner([1, 1, 1, 1])
+        assert j.push_per_exec == 4
+        assert j.pop_per_exec(0) == 1
+        assert j.fanin == 4
+
+
+class TestHorizontalVariants:
+    def test_hsplitter_roundrobin_rates(self):
+        h = HSplitterSpec(SplitKind.ROUNDROBIN, weight=4, width=4)
+        assert h.pop_per_exec == 16   # scalars in
+        assert h.push_per_exec == 4   # vectors out
+
+    def test_hsplitter_duplicate_rates(self):
+        h = HSplitterSpec(SplitKind.DUPLICATE, weight=1, width=4)
+        assert h.pop_per_exec == 1
+        assert h.push_per_exec == 1
+
+    def test_hjoiner_rates(self):
+        h = HJoinerSpec(weight=1, width=4)
+        assert h.pop_per_exec == 1   # vectors in
+        assert h.push_per_exec == 4  # scalars out

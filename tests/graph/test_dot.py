@@ -1,0 +1,62 @@
+"""Tests for the DOT graph exporter."""
+
+from repro.apps import get_benchmark
+from repro.graph import flatten, to_dot
+from repro.schedule import repetition_vector
+from repro.simd import compile_graph
+from repro.simd.machine import CORE_I7, CORE_I7_SAGU
+
+
+class TestDotExport:
+    def test_scalar_running_example(self):
+        g = flatten(get_benchmark("RunningExample"))
+        dot = to_dot(g, repetition_vector(g))
+        assert dot.startswith('digraph "running_example"')
+        assert dot.rstrip().endswith("}")
+        assert "peek=4, pop=2, push=8" in dot  # actor G's rates
+        assert 'fillcolor="#d0d0d0"' in dot    # stateful shading
+        assert "x6" in dot                     # repetition annotation (A)
+
+    def test_compiled_graph_marks_simdized_actors(self):
+        g = flatten(get_benchmark("RunningExample"))
+        compiled = compile_graph(g, CORE_I7).graph
+        dot = to_dot(compiled)
+        assert "peripheries=2" in dot          # SIMDized actors
+        assert "penwidth=2.5" in dot           # vector tapes
+        assert 'fillcolor="#cfe8ff"' in dot    # HSplitter/HJoiner
+
+    def test_lane_ordered_tapes_annotated(self):
+        g = flatten(get_benchmark("DCT"))
+        compiled = compile_graph(g, CORE_I7_SAGU).graph
+        dot = to_dot(compiled)
+        if any(t.lane_ordered for t in compiled.tapes.values()):
+            assert "lane-ordered" in dot
+
+    def test_feedback_delay_edges_dashed(self):
+        from repro.graph import FilterSpec, Program, feedbackloop, pipeline
+        from repro.ir import WorkBuilder
+        from tests.conftest import make_ramp_source, make_scaler
+        b = WorkBuilder()
+        b.push(b.pop() + b.pop())
+        mix = FilterSpec("mix", pop=2, push=1, work_body=b.build())
+        fb = feedbackloop(mix, make_scaler(0.5, name="decay"),
+                          join_weights=(1, 1), duplicate_split=True,
+                          enqueue=(0.0, 0.0))
+        g = flatten(Program("echo", pipeline(
+            make_ramp_source(1), fb, make_scaler(1.0, name="tail"))))
+        dot = to_dot(g)
+        assert "style=dashed" in dot
+        assert "[2 delay]" in dot
+
+    def test_every_benchmark_renders(self):
+        from repro.apps import BENCHMARKS
+        for name in sorted(BENCHMARKS):
+            g = flatten(get_benchmark(name))
+            dot = to_dot(g)
+            assert dot.count("->") == len(g.tapes)
+
+    def test_cli_dot(self, capsys):
+        from repro.cli import main
+        assert main(["dot", "FFT", "--compiled"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")

@@ -1,0 +1,91 @@
+"""Tests for hierarchy flattening."""
+
+import pytest
+
+from repro.graph import (
+    GraphError,
+    Program,
+    flatten,
+    pipeline,
+    roundrobin_joiner,
+    roundrobin_splitter,
+    splitjoin,
+)
+
+from ..conftest import make_pair_sum, make_ramp_source, make_scaler
+
+
+class TestPipelineFlattening:
+    def test_linear_pipeline(self):
+        g = flatten(Program("p", pipeline(
+            make_ramp_source(4), make_scaler(), make_pair_sum())))
+        assert len(g.actors) == 3
+        assert len(g.tapes) == 2
+        order = [g.actors[a].name for a in g.topological_order()]
+        assert order == ["src", "scale", "pairsum"]
+
+    def test_specs_accepted_directly(self):
+        node = pipeline(make_ramp_source(2), make_scaler())
+        assert len(node.children) == 2
+
+    def test_top_level_consumer_rejected(self):
+        with pytest.raises(GraphError):
+            flatten(Program("bad", pipeline(make_scaler())))
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline()
+
+
+class TestSplitJoinFlattening:
+    def _program(self):
+        return Program("sj", pipeline(
+            make_ramp_source(4),
+            splitjoin(roundrobin_splitter([1, 1]),
+                      [make_scaler(2.0, name="s0"),
+                       make_scaler(3.0, name="s1")],
+                      roundrobin_joiner([1, 1])),
+            make_pair_sum(),
+        ))
+
+    def test_actor_count(self):
+        g = flatten(self._program())
+        assert len(g.actors) == 6
+        assert len(g.tapes) == 6
+
+    def test_ports_are_contiguous(self):
+        g = flatten(self._program())
+        splitter = g.actor_by_name("splitter")
+        assert sorted(t.src_port for t in g.out_tapes(splitter.id)) == [0, 1]
+        joiner = g.actor_by_name("joiner")
+        assert sorted(t.dst_port for t in g.in_tapes(joiner.id)) == [0, 1]
+
+    def test_branch_wiring_matches_order(self):
+        g = flatten(self._program())
+        splitter = g.actor_by_name("splitter")
+        targets = [g.actors[t.dst].name
+                   for t in g.out_tapes(splitter.id)]
+        assert targets == ["s0", "s1"]
+
+    def test_splitjoin_needs_two_branches(self):
+        with pytest.raises(ValueError):
+            splitjoin(roundrobin_splitter([1]), [make_scaler()],
+                      roundrobin_joiner([1]))
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            splitjoin(roundrobin_splitter([1, 1, 1]),
+                      [make_scaler(name="a"), make_scaler(name="b")],
+                      roundrobin_joiner([1, 1]))
+
+    def test_nested_splitjoin(self):
+        inner = splitjoin(roundrobin_splitter([1, 1]),
+                          [make_scaler(name="i0"), make_scaler(name="i1")],
+                          roundrobin_joiner([1, 1]))
+        outer = splitjoin(roundrobin_splitter([2, 2]),
+                          [inner, make_scaler(name="o1")],
+                          roundrobin_joiner([2, 2]))
+        g = flatten(Program("nested", pipeline(
+            make_ramp_source(4), outer, make_pair_sum())))
+        assert len([a for a in g.actors.values() if a.is_splitter]) == 2
+        assert len([a for a in g.actors.values() if a.is_joiner]) == 2

@@ -1,0 +1,128 @@
+"""Tests for static graph validation and tape-access counting."""
+
+import pytest
+
+from repro.graph import (
+    FilterSpec,
+    GraphError,
+    StreamGraph,
+    count_tape_accesses,
+    collect_problems,
+    validate,
+)
+from repro.ir import WorkBuilder
+from repro.ir import expr as E
+from repro.ir import stmt as S
+
+from ..conftest import linear_program, make_ramp_source, make_scaler
+
+
+class TestGraphValidation:
+    def test_valid_pipeline_passes(self):
+        g = linear_program(make_ramp_source(4), make_scaler())
+        validate(g)  # must not raise
+
+    def test_rate_mismatch_detected(self):
+        b = WorkBuilder()
+        b.push(b.pop())
+        b.push(b.pop())  # body pushes 2, declared 1
+        bad = FilterSpec("bad", pop=2, push=1, work_body=b.build())
+        g = linear_program(make_ramp_source(4), bad)
+        problems = collect_problems(g)
+        assert any("pushes 2, declared 1" in p for p in problems)
+        with pytest.raises(GraphError):
+            validate(g)
+
+    def test_source_with_input_detected(self):
+        g = StreamGraph()
+        a = g.add_actor(make_ramp_source(2, name="a"))
+        b = g.add_actor(make_ramp_source(2, name="b"))
+        g.add_tape(a.id, b.id)
+        assert any("source with inputs" in p for p in collect_problems(g))
+
+    def test_filter_with_two_inputs_detected(self):
+        g = StreamGraph()
+        a = g.add_actor(make_ramp_source(2, name="a"))
+        b = g.add_actor(make_ramp_source(2, name="b"))
+        c = g.add_actor(make_scaler(pop=2))
+        g.add_tape(a.id, c.id, dst_port=0)
+        g.add_tape(b.id, c.id, dst_port=1)
+        assert any("inputs" in p for p in collect_problems(g))
+
+
+class TestTapeAccessCounting:
+    def test_straight_line(self):
+        b = WorkBuilder()
+        b.push(b.pop() + b.pop())
+        assert count_tape_accesses(b.build()) == (2, 1)
+
+    def test_loop_multiplies(self):
+        b = WorkBuilder()
+        with b.loop("i", 0, 3):
+            b.push(b.pop())
+        assert count_tape_accesses(b.build()) == (3, 3)
+
+    def test_nested_loops(self):
+        b = WorkBuilder()
+        with b.loop("i", 0, 2):
+            with b.loop("j", 0, 4):
+                b.push(b.pop())
+        assert count_tape_accesses(b.build()) == (8, 8)
+
+    def test_variable_bound_loop_with_tape_access_rejected(self):
+        b = WorkBuilder()
+        n = b.let("n", 4)
+        with b.loop("i", 0, n):
+            b.push(b.pop())
+        with pytest.raises(ValueError):
+            count_tape_accesses(b.build())
+
+    def test_variable_bound_loop_without_tape_access_ok(self):
+        b = WorkBuilder()
+        n = b.let("n", 4)
+        acc = b.let("acc", 0.0)
+        with b.loop("i", 0, n):
+            b.set(acc, acc + 1.0)
+        b.push(acc)
+        b.stmt(b.pop())
+        assert count_tape_accesses(b.build()) == (1, 1)
+
+    def test_unbalanced_if_rejected(self):
+        b = WorkBuilder()
+        x = b.let("x", 1.0)
+        with b.if_(x.gt(0.0)):
+            b.push(1.0)
+        with pytest.raises(ValueError):
+            count_tape_accesses(b.build())
+
+    def test_balanced_if_allowed(self):
+        b = WorkBuilder()
+        x = b.let("x", b.pop())
+        with b.if_(x.gt(0.0)):
+            b.push(1.0)
+        with b.orelse():
+            b.push(0.0)
+        assert count_tape_accesses(b.build()) == (1, 1)
+
+    def test_rpush_does_not_advance(self):
+        body = (S.RPush(E.FloatConst(1.0), E.IntConst(2)),
+                S.Push(E.FloatConst(0.0)))
+        assert count_tape_accesses(body) == (0, 1)
+
+    def test_advances_count(self):
+        body = (S.AdvanceReader(6), S.AdvanceWriter(4))
+        assert count_tape_accesses(body) == (6, 4)
+
+    def test_gather_and_scatter_count_their_advance(self):
+        body = (S.ExprStmt(E.GatherPop(stride=2)),
+                S.ScatterPush(E.Broadcast(E.FloatConst(0.0), 4), stride=2))
+        assert count_tape_accesses(body) == (1, 1)
+
+    def test_vectorized_spec_counts_match(self):
+        """The Figure 3b pattern: 2 gathers + advance(6) == pop 8."""
+        body = (
+            S.ExprStmt(E.GatherPop(stride=2)),
+            S.ExprStmt(E.GatherPop(stride=2)),
+            S.AdvanceReader(6),
+        )
+        assert count_tape_accesses(body) == (8, 0)

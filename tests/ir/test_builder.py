@@ -1,0 +1,154 @@
+"""Tests for the WorkBuilder DSL."""
+
+import pytest
+
+from repro.ir import FLOAT, INT, WorkBuilder, call
+from repro.ir import expr as E
+from repro.ir import lvalue as L
+from repro.ir import stmt as S
+
+
+class TestDeclarations:
+    def test_let_emits_decl_and_returns_var(self):
+        b = WorkBuilder()
+        x = b.let("x", 1.5)
+        assert x == E.Var("x")
+        assert b.build() == (S.DeclVar("x", FLOAT, E.FloatConst(1.5)),)
+
+    def test_let_with_int_type(self):
+        b = WorkBuilder()
+        b.let("n", 3, ty=INT)
+        assert b.build()[0].type == INT
+
+    def test_declare_without_init(self):
+        b = WorkBuilder()
+        b.declare("y")
+        assert b.build() == (S.DeclVar("y", FLOAT, None),)
+
+    def test_array_returns_indexable_handle(self):
+        b = WorkBuilder()
+        a = b.array("a", FLOAT, 4)
+        assert a[2] == E.ArrayRead("a", E.IntConst(2))
+
+    def test_array_with_init(self):
+        b = WorkBuilder()
+        b.array("a", FLOAT, 2, init=(1.0, 2.0))
+        assert b.build()[0].init == (1.0, 2.0)
+
+    def test_array_init_length_mismatch(self):
+        b = WorkBuilder()
+        with pytest.raises(ValueError):
+            b.array("a", FLOAT, 3, init=(1.0,))
+
+    def test_array_size_must_be_positive(self):
+        b = WorkBuilder()
+        with pytest.raises(ValueError):
+            b.array("a", FLOAT, 0)
+
+
+class TestStatements:
+    def test_set_var(self):
+        b = WorkBuilder()
+        x = b.let("x", 0.0)
+        b.set(x, x + 1.0)
+        assert isinstance(b.build()[1], S.Assign)
+        assert b.build()[1].lhs == L.VarLV("x")
+
+    def test_set_array_element(self):
+        b = WorkBuilder()
+        a = b.array("a", FLOAT, 4)
+        b.set(a[1], 2.0)
+        assert b.build()[1].lhs == L.ArrayLV("a", E.IntConst(1))
+
+    def test_set_lane(self):
+        b = WorkBuilder()
+        v = b.declare("v")
+        b.set(v.lane(3), 1.0)
+        assert b.build()[1].lhs == L.LaneLV("v", 3)
+
+    def test_set_rejects_non_assignable(self):
+        b = WorkBuilder()
+        with pytest.raises(TypeError):
+            b.set(E.IntConst(1), 2)
+
+    def test_push_and_rpush(self):
+        b = WorkBuilder()
+        b.push(1.0)
+        b.rpush(2.0, 4)
+        stmts = b.build()
+        assert stmts[0] == S.Push(E.FloatConst(1.0))
+        assert stmts[1] == S.RPush(E.FloatConst(2.0), E.IntConst(4))
+
+    def test_tape_expressions(self):
+        b = WorkBuilder()
+        assert b.pop() == E.Pop()
+        assert b.peek(3) == E.Peek(E.IntConst(3))
+        assert b.vpop() == E.VPop()
+
+    def test_stmt_wraps_expression(self):
+        b = WorkBuilder()
+        b.stmt(b.pop())
+        assert b.build() == (S.ExprStmt(E.Pop()),)
+
+
+class TestControlFlow:
+    def test_loop_yields_var_and_builds_for(self):
+        b = WorkBuilder()
+        with b.loop("i", 0, 4) as i:
+            b.push(i)
+        (loop,) = b.build()
+        assert isinstance(loop, S.For)
+        assert loop.var == "i"
+        assert loop.end == E.IntConst(4)
+        assert loop.body == (S.Push(E.Var("i")),)
+
+    def test_nested_loops(self):
+        b = WorkBuilder()
+        with b.loop("i", 0, 2):
+            with b.loop("j", 0, 3) as j:
+                b.push(j)
+        (outer,) = b.build()
+        assert isinstance(outer.body[0], S.For)
+
+    def test_if_without_else(self):
+        b = WorkBuilder()
+        x = b.let("x", 1.0)
+        with b.if_(x.gt(0.0)):
+            b.push(x)
+        stmt = b.build()[1]
+        assert isinstance(stmt, S.If)
+        assert stmt.else_body == ()
+
+    def test_if_with_orelse(self):
+        b = WorkBuilder()
+        x = b.let("x", 1.0)
+        with b.if_(x.gt(0.0)):
+            b.push(x)
+        with b.orelse():
+            b.push(-x)
+        stmt = b.build()[1]
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_orelse_requires_preceding_if(self):
+        b = WorkBuilder()
+        with pytest.raises(RuntimeError):
+            with b.orelse():
+                pass
+
+    def test_orelse_not_allowed_after_other_statement(self):
+        b = WorkBuilder()
+        x = b.let("x", 1.0)
+        with b.if_(x.gt(0.0)):
+            b.push(x)
+        b.push(0.0)
+        with pytest.raises(RuntimeError):
+            with b.orelse():
+                pass
+
+    def test_unclosed_block_detected(self):
+        b = WorkBuilder()
+        ctx = b.loop("i", 0, 2)
+        ctx.__enter__()
+        with pytest.raises(RuntimeError):
+            b.build()

@@ -1,0 +1,107 @@
+"""Tests for IR expression construction and operator overloading."""
+
+import pytest
+
+from repro.ir import expr as E
+
+
+class TestConstruction:
+    def test_as_expr_coerces_literals(self):
+        assert E.as_expr(3) == E.IntConst(3)
+        assert E.as_expr(2.5) == E.FloatConst(2.5)
+        assert E.as_expr(True) == E.BoolConst(True)
+
+    def test_as_expr_passes_exprs_through(self):
+        v = E.Var("x")
+        assert E.as_expr(v) is v
+
+    def test_as_expr_rejects_strings(self):
+        with pytest.raises(TypeError):
+            E.as_expr("nope")
+
+    def test_unknown_binary_operator_rejected(self):
+        with pytest.raises(ValueError):
+            E.BinaryOp("**", E.Var("x"), E.Var("y"))
+
+    def test_unknown_unary_operator_rejected(self):
+        with pytest.raises(ValueError):
+            E.UnaryOp("+", E.Var("x"))
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(ValueError):
+            E.Call("frobnicate", (E.Var("x"),))
+
+    def test_call_helper(self):
+        c = E.call("sin", E.Var("x"))
+        assert c == E.Call("sin", (E.Var("x"),))
+
+    def test_vector_const(self):
+        vc = E.vector_const([1.0, 2.0, 3.0, 4.0])
+        assert vc.values == (1.0, 2.0, 3.0, 4.0)
+
+
+class TestOperatorSugar:
+    def test_add(self):
+        expr = E.Var("a") + E.Var("b")
+        assert expr == E.BinaryOp("+", E.Var("a"), E.Var("b"))
+
+    def test_radd_coerces(self):
+        expr = 1 + E.Var("a")
+        assert expr == E.BinaryOp("+", E.IntConst(1), E.Var("a"))
+
+    def test_sub_mul_div_mod(self):
+        a, b = E.Var("a"), E.Var("b")
+        assert (a - b).op == "-"
+        assert (a * b).op == "*"
+        assert (a / b).op == "/"
+        assert (a % b).op == "%"
+
+    def test_rsub_order(self):
+        expr = 5.0 - E.Var("a")
+        assert expr.left == E.FloatConst(5.0)
+
+    def test_shifts_and_bitops(self):
+        a = E.Var("a")
+        assert (a << 2).op == "<<"
+        assert (a >> 2).op == ">>"
+        assert (a & 3).op == "&"
+        assert (a | 3).op == "|"
+        assert (a ^ 3).op == "^"
+
+    def test_negation(self):
+        expr = -E.Var("a")
+        assert expr == E.UnaryOp("-", E.Var("a"))
+
+    def test_comparisons_build_ir(self):
+        a = E.Var("a")
+        assert a.eq(1).op == "=="
+        assert a.ne(1).op == "!="
+        assert a.lt(1).op == "<"
+        assert a.le(1).op == "<="
+        assert a.gt(1).op == ">"
+        assert a.ge(1).op == ">="
+
+    def test_logical_ops(self):
+        a, b = E.Var("a"), E.Var("b")
+        assert a.logical_and(b).op == "&&"
+        assert a.logical_or(b).op == "||"
+
+    def test_lane_access(self):
+        expr = E.Var("v").lane(2)
+        assert expr == E.Lane(E.Var("v"), 2)
+
+
+class TestValueSemantics:
+    def test_expressions_are_hashable_and_comparable(self):
+        a1 = E.Var("x") * 2.0 + E.Peek(E.IntConst(3))
+        a2 = E.Var("x") * 2.0 + E.Peek(E.IntConst(3))
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+
+    def test_pop_instances_equal(self):
+        assert E.Pop() == E.Pop()
+
+    def test_gather_defaults(self):
+        g = E.GatherPop(stride=3)
+        assert g.advance == 1
+        assert g.strategy == "scalar"

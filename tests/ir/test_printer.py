@@ -1,0 +1,82 @@
+"""Tests for the IR pretty printer (pins the paper's pseudo-code look)."""
+
+from repro.ir import FLOAT, WorkBuilder, call, format_body, format_expr
+from repro.ir import expr as E
+from repro.ir import stmt as S
+from repro.ir.lvalue import LaneLV
+
+
+class TestExpressions:
+    def test_constants(self):
+        assert format_expr(E.IntConst(3)) == "3"
+        assert format_expr(E.BoolConst(True)) == "true"
+
+    def test_lane_syntax_matches_figure_3(self):
+        assert format_expr(E.Lane(E.Var("t_v"), 3)) == "t_v.{3}"
+
+    def test_precedence_parenthesises_only_when_needed(self):
+        a, b, c = E.Var("a"), E.Var("b"), E.Var("c")
+        assert format_expr(a + b * c) == "a + b * c"
+        assert format_expr((a + b) * c) == "(a + b) * c"
+
+    def test_tape_ops(self):
+        assert format_expr(E.Pop()) == "pop()"
+        assert format_expr(E.Peek(E.IntConst(6))) == "peek(6)"
+        assert format_expr(E.VPop()) == "vpop()"
+
+    def test_call(self):
+        assert format_expr(call("sqrt", E.Var("x"))) == "sqrt(x)"
+
+    def test_vector_const(self):
+        assert format_expr(E.VectorConst((5, 6, 7, 8))) == "{5, 6, 7, 8}"
+
+    def test_gather_and_internal(self):
+        assert "stride=2" in format_expr(E.GatherPop(stride=2))
+        assert format_expr(E.InternalPop(0)) == "buf0.pop()"
+
+
+class TestStatements:
+    def test_rpush_matches_figure_3(self):
+        body = (S.RPush(E.Lane(E.Var("r0_v"), 3), E.IntConst(6)),)
+        assert format_body(body) == "rpush(r0_v.{3}, 6);"
+
+    def test_for_loop_format(self):
+        b = WorkBuilder()
+        with b.loop("i", 0, 2):
+            b.push(b.pop())
+        text = format_body(b.build())
+        assert "for (i : 0 to 2) {" in text
+        assert "push(pop());" in text
+
+    def test_if_else_format(self):
+        b = WorkBuilder()
+        x = b.let("x", 1.0)
+        with b.if_(x.gt(0.0)):
+            b.push(x)
+        with b.orelse():
+            b.push(0.0)
+        text = format_body(b.build())
+        assert "if (" in text and "} else {" in text
+
+    def test_declarations(self):
+        b = WorkBuilder()
+        b.array("coeff", FLOAT, 2, init=(0.5, 1.5))
+        assert format_body(b.build()) == "float coeff[2] = {0.5, 1.5};"
+
+    def test_lane_assignment(self):
+        body = (S.Assign(LaneLV("t_v", 0), E.Pop()),)
+        assert format_body(body) == "t_v.{0} = pop();"
+
+    def test_advances(self):
+        body = (S.AdvanceReader(6), S.AdvanceWriter(6))
+        text = format_body(body)
+        assert "advance_reader(6);" in text
+        assert "advance_writer(6);" in text
+
+    def test_indentation(self):
+        b = WorkBuilder()
+        with b.loop("i", 0, 2):
+            with b.loop("j", 0, 2):
+                b.push(0.0)
+        lines = format_body(b.build()).splitlines()
+        assert lines[2].startswith("    push")

@@ -1,0 +1,71 @@
+"""Tests for constant-abstracted structural hashing (isomorphism, §3.3)."""
+
+from repro.ir import FLOAT, WorkBuilder, canonicalize, isomorphic
+
+
+def _figure6_b(divisor: float):
+    """Figure 6a's B actor with a per-instance divisor constant."""
+    b = WorkBuilder()
+    with b.loop("i", 0, 3):
+        a0 = b.let("a0", b.pop())
+        a1 = b.let("a1", b.pop())
+        b.push((a0 * a1) / divisor)
+    return b.build()
+
+
+class TestIsomorphism:
+    def test_identical_bodies(self):
+        assert isomorphic(_figure6_b(5.0), _figure6_b(5.0))
+
+    def test_differing_constants_are_isomorphic(self):
+        """The paper's B0..B3 differ only in the divisor (5/6/7/8)."""
+        assert isomorphic(_figure6_b(5.0), _figure6_b(8.0))
+
+    def test_structural_difference_is_not_isomorphic(self):
+        b = WorkBuilder()
+        with b.loop("i", 0, 3):
+            a0 = b.let("a0", b.pop())
+            a1 = b.let("a1", b.pop())
+            b.push(a0 + a1)  # + instead of /
+        assert not isomorphic(_figure6_b(5.0), b.build())
+
+    def test_different_variable_names_not_isomorphic(self):
+        b1 = WorkBuilder()
+        b1.push(b1.let("x", b1.pop()) * 2.0)
+        b2 = WorkBuilder()
+        b2.push(b2.let("y", b2.pop()) * 2.0)
+        assert not isomorphic(b1.build(), b2.build())
+
+    def test_differing_array_initialisers_are_isomorphic(self):
+        """FIR filters that differ only in coefficient tables merge."""
+        def fir(coeffs):
+            b = WorkBuilder()
+            c = b.array("c", FLOAT, len(coeffs), init=coeffs)
+            acc = b.let("acc", 0.0)
+            with b.loop("i", 0, len(coeffs)) as i:
+                b.set(acc, acc + b.peek(i) * c[i])
+            b.push(acc)
+            b.stmt(b.pop())
+            return b.build()
+
+        assert isomorphic(fir((1.0, 2.0)), fir((3.0, 4.0)))
+        assert not isomorphic(fir((1.0, 2.0)), fir((1.0, 2.0, 3.0)))
+
+
+class TestCanonicalForm:
+    def test_constants_collected_in_order(self):
+        form = canonicalize(_figure6_b(5.0))
+        assert 5.0 in form.constants
+        assert 3.0 in form.constants  # the loop bound
+
+    def test_shape_key_stable(self):
+        assert (canonicalize(_figure6_b(5.0)).shape_key
+                == canonicalize(_figure6_b(7.0)).shape_key)
+
+    def test_param_abstracts_to_slot(self):
+        from repro.ir import Param
+        b1 = WorkBuilder()
+        b1.push(b1.pop() * Param("k"))
+        b2 = WorkBuilder()
+        b2.push(b2.pop() * 3.0)
+        assert isomorphic(b1.build(), b2.build())

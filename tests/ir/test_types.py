@@ -1,0 +1,65 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    Scalar,
+    ScalarKind,
+    Vector,
+    element_type,
+    is_vector,
+    vector_of,
+)
+
+
+class TestScalar:
+    def test_singletons_are_distinct(self):
+        assert INT != FLOAT != BOOL
+
+    def test_scalar_equality_by_kind(self):
+        assert Scalar(ScalarKind.INT) == INT
+
+    def test_str(self):
+        assert str(FLOAT) == "float"
+        assert str(INT) == "int"
+
+    def test_is_numeric(self):
+        assert INT.is_numeric and FLOAT.is_numeric
+        assert not BOOL.is_numeric
+
+    def test_hashable(self):
+        assert len({INT, FLOAT, BOOL, Scalar(ScalarKind.INT)}) == 3
+
+
+class TestVector:
+    def test_construction(self):
+        v = vector_of(FLOAT, 4)
+        assert v.elem == FLOAT
+        assert v.width == 4
+
+    def test_str(self):
+        assert str(Vector(FLOAT, 4)) == "vector<float, 4>"
+
+    def test_width_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            Vector(FLOAT, 1)
+
+    def test_equality(self):
+        assert Vector(FLOAT, 4) == Vector(FLOAT, 4)
+        assert Vector(FLOAT, 4) != Vector(FLOAT, 8)
+        assert Vector(FLOAT, 4) != Vector(INT, 4)
+
+
+class TestHelpers:
+    def test_element_type_of_scalar(self):
+        assert element_type(FLOAT) is FLOAT
+
+    def test_element_type_of_vector(self):
+        assert element_type(Vector(INT, 4)) == INT
+
+    def test_is_vector(self):
+        assert is_vector(Vector(FLOAT, 4))
+        assert not is_vector(FLOAT)

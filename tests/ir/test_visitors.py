@@ -1,0 +1,107 @@
+"""Tests for IR traversal and rewriting."""
+
+from repro.ir import expr as E
+from repro.ir import lvalue as L
+from repro.ir import stmt as S
+from repro.ir.types import FLOAT
+from repro.ir.visitors import (
+    iter_all_exprs,
+    iter_expr,
+    iter_stmts,
+    rewrite_body_exprs,
+    rewrite_body_stmts,
+    rewrite_expr,
+)
+
+
+def _sample_body() -> S.Body:
+    return (
+        S.DeclVar("x", FLOAT, E.Pop()),
+        S.For("i", E.IntConst(0), E.IntConst(3), (
+            S.Assign(L.ArrayLV("a", E.Var("i")),
+                     E.Var("x") * E.Peek(E.Var("i"))),
+        )),
+        S.If(E.Var("x").gt(0.0), (S.Push(E.Var("x")),),
+             (S.Push(E.FloatConst(0.0)),)),
+    )
+
+
+class TestIteration:
+    def test_iter_expr_preorder(self):
+        expr = E.Var("a") + E.Var("b") * E.Var("c")
+        names = [e.name for e in iter_expr(expr) if isinstance(e, E.Var)]
+        assert names == ["a", "b", "c"]
+
+    def test_iter_stmts_descends_into_loops_and_ifs(self):
+        kinds = [type(s).__name__ for s in iter_stmts(_sample_body())]
+        assert kinds == ["DeclVar", "For", "Assign", "If", "Push", "Push"]
+
+    def test_iter_all_exprs_finds_tape_reads(self):
+        pops = [e for e in iter_all_exprs(_sample_body())
+                if isinstance(e, (E.Pop, E.Peek))]
+        assert len(pops) == 2
+
+    def test_iter_all_exprs_includes_lvalue_indices(self):
+        found = [e for e in iter_all_exprs(_sample_body())
+                 if isinstance(e, E.Var) and e.name == "i"]
+        assert found  # the ArrayLV index and the Peek offset
+
+
+class TestRewriting:
+    def test_rewrite_expr_bottom_up(self):
+        expr = E.Var("a") + E.IntConst(1)
+
+        def bump(e: E.Expr) -> E.Expr:
+            if isinstance(e, E.IntConst):
+                return E.IntConst(e.value + 10)
+            return e
+
+        assert rewrite_expr(expr, bump) == E.Var("a") + E.IntConst(11)
+
+    def test_rewrite_body_exprs_rewrites_everywhere(self):
+        renamed = rewrite_body_exprs(
+            _sample_body(),
+            lambda e: E.Var("y") if e == E.Var("x") else e)
+        assert all(E.Var("x") not in list(iter_expr(top))
+                   for s in iter_stmts(renamed)
+                   for top in [*_tops(s)])
+
+    def test_rewrite_body_stmts_replace(self):
+        body = (S.Push(E.IntConst(1)), S.Push(E.IntConst(2)))
+        doubled = rewrite_body_stmts(
+            body,
+            lambda s: S.Push(E.IntConst(s.value.value * 2))
+            if isinstance(s, S.Push) else s)
+        assert doubled == (S.Push(E.IntConst(2)), S.Push(E.IntConst(4)))
+
+    def test_rewrite_body_stmts_delete(self):
+        body = (S.Push(E.IntConst(1)), S.ExprStmt(E.Pop()))
+        kept = rewrite_body_stmts(
+            body, lambda s: None if isinstance(s, S.ExprStmt) else s)
+        assert kept == (S.Push(E.IntConst(1)),)
+
+    def test_rewrite_body_stmts_splice(self):
+        body = (S.Push(E.IntConst(1)),)
+        spliced = rewrite_body_stmts(
+            body,
+            lambda s: (s, S.AdvanceWriter(3)) if isinstance(s, S.Push) else s)
+        assert spliced == (S.Push(E.IntConst(1)), S.AdvanceWriter(3))
+
+    def test_rewrite_recurses_into_nested_bodies(self):
+        body = _sample_body()
+        out = rewrite_body_stmts(
+            body,
+            lambda s: S.Push(E.FloatConst(9.0)) if isinstance(s, S.Push) else s)
+        if_stmt = out[2]
+        assert if_stmt.then_body == (S.Push(E.FloatConst(9.0)),)
+        assert if_stmt.else_body == (S.Push(E.FloatConst(9.0)),)
+
+    def test_rewrite_preserves_unchanged_structure(self):
+        body = _sample_body()
+        same = rewrite_body_exprs(body, lambda e: e)
+        assert same == body
+
+
+def _tops(stmt):
+    from repro.ir.visitors import exprs_of_stmt
+    return exprs_of_stmt(stmt)

@@ -1,0 +1,66 @@
+"""Tests for the multicore partitioners."""
+
+from repro.multicore import partition_contiguous, partition_lpt
+
+from ..conftest import linear_program, make_pair_sum, make_ramp_source, make_scaler
+
+
+def _graph():
+    return linear_program(make_ramp_source(4),
+                          make_scaler(name="a"),
+                          make_scaler(name="b"),
+                          make_pair_sum())
+
+
+class TestLPT:
+    def test_every_actor_assigned(self):
+        g = _graph()
+        part = partition_lpt(g, {aid: 1.0 for aid in g.actors}, 2)
+        assert set(part.assignment) == set(g.actors)
+        assert set(part.assignment.values()) <= {0, 1}
+
+    def test_single_core(self):
+        g = _graph()
+        part = partition_lpt(g, {aid: 1.0 for aid in g.actors}, 1)
+        assert set(part.assignment.values()) == {0}
+
+    def test_balances_loads(self):
+        g = _graph()
+        costs = {aid: float(aid + 1) for aid in g.actors}
+        part = partition_lpt(g, costs, 2)
+        loads = part.loads(costs)
+        assert max(loads) - min(loads) <= max(costs.values())
+
+    def test_heaviest_actor_first(self):
+        g = _graph()
+        heavy = g.actor_by_name("a").id
+        costs = {aid: 1.0 for aid in g.actors}
+        costs[heavy] = 100.0
+        part = partition_lpt(g, costs, 2)
+        # The heavy actor is alone-ish: its core has no other heavy work.
+        heavy_core = part.assignment[heavy]
+        others = [aid for aid, core in part.assignment.items()
+                  if core == heavy_core and aid != heavy]
+        assert len(others) <= 1
+
+    def test_deterministic(self):
+        g = _graph()
+        costs = {aid: 1.0 for aid in g.actors}
+        assert (partition_lpt(g, costs, 2).assignment
+                == partition_lpt(g, costs, 2).assignment)
+
+
+class TestContiguous:
+    def test_topological_slices(self):
+        g = _graph()
+        costs = {aid: 1.0 for aid in g.actors}
+        part = partition_contiguous(g, costs, 2)
+        order = g.topological_order()
+        cores = [part.assignment[aid] for aid in order]
+        assert cores == sorted(cores)  # non-decreasing along the pipeline
+
+    def test_uses_all_cores_when_enough_work(self):
+        g = _graph()
+        costs = {aid: 10.0 for aid in g.actors}
+        part = partition_contiguous(g, costs, 2)
+        assert set(part.assignment.values()) == {0, 1}

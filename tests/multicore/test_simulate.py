@@ -1,0 +1,82 @@
+"""Tests for the multicore makespan simulation (Figure 13's model)."""
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.graph import flatten
+from repro.multicore import (
+    multicore_speedups,
+    profile_actor_costs,
+    simulate_multicore,
+)
+from repro.runtime import execute
+from repro.simd.machine import CORE_I7
+
+from ..conftest import linear_program, make_pair_sum, make_ramp_source, make_scaler
+
+
+def _graph():
+    return linear_program(make_ramp_source(8),
+                          make_scaler(name="a", pop=4),
+                          make_scaler(name="b", pop=4),
+                          make_pair_sum())
+
+
+class TestProfile:
+    def test_costs_cover_all_actors(self):
+        g = _graph()
+        costs = profile_actor_costs(g, CORE_I7)
+        assert set(costs) == set(g.actors)
+        assert all(c >= 0 for c in costs.values())
+
+
+class TestSimulation:
+    def test_single_core_matches_total(self):
+        g = _graph()
+        result = simulate_multicore(g, CORE_I7, 1)
+        baseline = execute(g, machine=CORE_I7, iterations=2)
+        expected = (baseline.steady_cycles(CORE_I7)
+                    / len(baseline.outputs))
+        assert result.makespan_per_output == pytest.approx(expected)
+        assert result.comm_cycles == 0
+
+    def test_two_cores_split_compute_heavy_load(self):
+        g = flatten(get_benchmark("MP3Decoder"))
+        one = simulate_multicore(g, CORE_I7, 1)
+        two = simulate_multicore(g, CORE_I7, 2)
+        assert two.makespan_per_output < one.makespan_per_output
+        assert two.comm_cycles > 0
+
+    def test_comm_heavy_graph_can_lose_on_two_cores(self):
+        """Cache-line ping-pong makes fine-grained pipelines slower on two
+        cores — the slowdown case §1 of the paper mentions."""
+        g = _graph()
+        one = simulate_multicore(g, CORE_I7, 1)
+        two = simulate_multicore(g, CORE_I7, 2)
+        assert two.comm_cycles > 0
+        assert two.makespan_per_output > one.makespan_per_output
+
+    def test_macro_simd_variant_faster(self):
+        g = flatten(get_benchmark("DCT"))
+        scalar = simulate_multicore(g, CORE_I7, 2, macro_simd=False)
+        simd = simulate_multicore(g, CORE_I7, 2, macro_simd=True)
+        assert simd.makespan_per_output < scalar.makespan_per_output
+
+    def test_core_loads_length(self):
+        g = _graph()
+        result = simulate_multicore(g, CORE_I7, 4)
+        assert len(result.core_loads) == 4
+        assert max(result.core_loads) <= result.makespan_per_output + 1e-9
+
+
+class TestFigure13Claims:
+    def test_two_core_simd_beats_four_core_scalar(self):
+        """The paper's headline Figure 13 claim, on a representative app."""
+        g = flatten(get_benchmark("MP3Decoder"))
+        row = multicore_speedups(g, CORE_I7, [2, 4])
+        assert row["2c+simd"] >= row["4c"] * 0.95
+
+    def test_speedups_increase_with_simd(self):
+        g = flatten(get_benchmark("FilterBank"))
+        row = multicore_speedups(g, CORE_I7, [2])
+        assert row["2c+simd"] > row["2c"]

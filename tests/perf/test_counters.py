@@ -1,0 +1,84 @@
+"""Tests for performance counters and reports."""
+
+import pytest
+
+from repro.perf import (
+    PerActorCounters,
+    PerfCounters,
+    classify_cycles,
+    event_class_table,
+    profile_table,
+)
+from repro.simd.machine import CORE_I7
+
+
+class TestPerfCounters:
+    def test_add_and_lookup(self):
+        c = PerfCounters()
+        c.add("s_alu")
+        c.add("s_alu", 4)
+        assert c["s_alu"] == 5
+        assert c["missing"] == 0
+
+    def test_merge(self):
+        a = PerfCounters({"s_alu": 2})
+        b = PerfCounters({"s_alu": 3, "v_mul": 1})
+        a.merge(b)
+        assert a["s_alu"] == 5
+        assert a["v_mul"] == 1
+
+    def test_cycles_pricing(self):
+        c = PerfCounters({"s_alu": 10, "s_div": 2})
+        expected = 10 * CORE_I7.price("s_alu") + 2 * CORE_I7.price("s_div")
+        assert c.cycles(CORE_I7) == expected
+
+    def test_bool(self):
+        assert not PerfCounters()
+        assert PerfCounters({"s_alu": 1})
+
+    def test_scaled(self):
+        c = PerfCounters({"s_alu": 10})
+        assert c.scaled(0.5)["s_alu"] == 5
+
+
+class TestPerActorCounters:
+    def test_for_actor_creates_lazily(self):
+        pac = PerActorCounters()
+        pac.for_actor(3).add("s_alu", 7)
+        assert pac.by_actor[3]["s_alu"] == 7
+
+    def test_total_merges(self):
+        pac = PerActorCounters()
+        pac.for_actor(0).add("s_alu", 1)
+        pac.for_actor(1).add("s_alu", 2)
+        assert pac.total()["s_alu"] == 3
+
+    def test_cycles_by_actor(self):
+        pac = PerActorCounters()
+        pac.for_actor(0).add("s_alu", 4)
+        assert pac.cycles_by_actor(CORE_I7) == {0: 4.0}
+
+
+class TestReports:
+    def test_classify_covers_all_events(self):
+        c = PerfCounters({"s_alu": 1, "v_mul": 1, "pack": 1, "m_sin": 1,
+                          "addr": 1, "fire": 1, "s_load": 1})
+        buckets = classify_cycles(c, CORE_I7)
+        assert buckets["scalar-alu"] == 1.0
+        assert buckets["math"] == CORE_I7.price("m_sin")
+        assert buckets["pack/unpack"] == CORE_I7.price("pack")
+        assert sum(buckets.values()) == pytest.approx(c.cycles(CORE_I7))
+
+    def test_profile_table(self):
+        from tests.conftest import linear_program, make_ramp_source, make_scaler
+        from repro.runtime import execute
+        g = linear_program(make_ramp_source(4), make_scaler())
+        result = execute(g, iterations=1)
+        table = profile_table(g, result.steady_counters, CORE_I7)
+        assert "src" in table and "scale" in table and "TOTAL" in table
+
+    def test_event_class_table(self):
+        c = PerfCounters({"s_alu": 10, "v_load": 2})
+        table = event_class_table(c, CORE_I7)
+        assert "scalar-alu" in table
+        assert "memory" in table

@@ -1,0 +1,74 @@
+"""Differential property test: the textual frontend computes what Python
+computes.
+
+Random arithmetic expression trees are rendered both as a StreamIt-subset
+work function and as a Python lambda; executing the parsed program must
+match the Python evaluation on a shared input stream.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import compile_source
+from repro.graph import flatten
+from repro.runtime import execute
+
+_BIN_OPS = ["+", "-", "*"]
+_FUNCS = {"abs": abs, "floor": math.floor, "max": max, "min": min}
+
+
+@st.composite
+def expr_tree(draw, depth=0):
+    """Returns (source_text, python_fn) over one variable ``x``."""
+    choice = draw(st.integers(0, 3 if depth < 3 else 1))
+    if choice == 0:
+        return "x", lambda x: x
+    if choice == 1:
+        value = round(draw(st.floats(min_value=-8, max_value=8,
+                                     allow_nan=False)), 2)
+        return f"{value}", lambda x, v=value: v
+    if choice == 2:
+        op = draw(st.sampled_from(_BIN_OPS))
+        left_text, left_fn = draw(expr_tree(depth=depth + 1))
+        right_text, right_fn = draw(expr_tree(depth=depth + 1))
+        fn = {"+": lambda a, b: a + b,
+              "-": lambda a, b: a - b,
+              "*": lambda a, b: a * b}[op]
+        return (f"({left_text} {op} {right_text})",
+                lambda x, l=left_fn, r=right_fn, f=fn: f(l(x), r(x)))
+    func = draw(st.sampled_from(sorted(_FUNCS)))
+    inner_text, inner_fn = draw(expr_tree(depth=depth + 1))
+    impl = _FUNCS[func]
+    if func in ("max", "min"):
+        return (f"{func}({inner_text}, 0.5)",
+                lambda x, i=inner_fn, f=impl: f(i(x), 0.5))
+    if func == "floor":
+        return (f"floor({inner_text})",
+                lambda x, i=inner_fn: float(math.floor(i(x))))
+    return f"abs({inner_text})", lambda x, i=inner_fn: abs(i(x))
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr_tree())
+def test_parsed_expression_matches_python(tree):
+    text, fn = tree
+    source = f"""
+    void->float filter Src() {{
+        float t = 0.0;
+        work push 1 {{ push(t); t = t + 0.75; }}
+    }}
+    float->float filter F() {{
+        work pop 1 push 1 {{
+            float x = pop();
+            push({text});
+        }}
+    }}
+    float->float pipeline Main() {{ add Src(); add F(); }}
+    """
+    graph = flatten(compile_source(source))
+    outputs = execute(graph, iterations=6).outputs
+    inputs = [0.75 * i for i in range(6)]
+    expected = [fn(x) for x in inputs]
+    assert outputs == expected

@@ -1,0 +1,79 @@
+"""Property-based tests for interpreter arithmetic and vector lockstep."""
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.ir import expr as E
+from repro.ir import stmt as S
+from repro.perf import PerfCounters
+from repro.runtime import ActorRuntime, Interpreter, Tape
+from repro.runtime.values import apply_binary
+
+floats = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+small_ints = st.integers(-1000, 1000)
+
+
+def _eval(expr, inputs=(), sw=4):
+    tape_in = Tape()
+    for item in inputs:
+        tape_in.push(item)
+    tape_out = Tape()
+    rt = ActorRuntime(0, sw, PerfCounters(), {}, tape_in, tape_out)
+    Interpreter(rt).run_work((S.Push(expr),))
+    return tape_out.drain()[0]
+
+
+@given(floats, floats)
+def test_binary_ops_match_python_floats(a, b):
+    assert _eval(E.FloatConst(a) + E.FloatConst(b)) == a + b
+    assert _eval(E.FloatConst(a) * E.FloatConst(b)) == a * b
+    assert _eval(E.FloatConst(a) - E.FloatConst(b)) == a - b
+
+
+@given(small_ints, small_ints)
+def test_int_division_truncates_toward_zero(a, b):
+    assume(b != 0)
+    expected = math.trunc(a / b)
+    assert apply_binary("/", a, b) == expected
+    assert apply_binary("%", a, b) == a - expected * b
+
+
+@given(st.lists(floats, min_size=4, max_size=4),
+       st.lists(floats, min_size=4, max_size=4))
+def test_vector_ops_are_elementwise(lanes_a, lanes_b):
+    result = _eval(E.VectorConst(tuple(lanes_a))
+                   + E.VectorConst(tuple(lanes_b)))
+    assert result == [a + b for a, b in zip(lanes_a, lanes_b)]
+
+
+@given(floats, st.lists(floats, min_size=4, max_size=4))
+def test_scalar_broadcast_matches_splat(scalar, lanes):
+    mixed = _eval(E.FloatConst(scalar) * E.VectorConst(tuple(lanes)))
+    explicit = _eval(E.Broadcast(E.FloatConst(scalar), 4)
+                     * E.VectorConst(tuple(lanes)))
+    assert mixed == explicit
+
+
+@given(st.lists(floats, min_size=8, max_size=8), st.integers(1, 2))
+def test_gather_lane_k_is_strided_element(items, stride):
+    result = _eval(E.GatherPop(stride=stride), inputs=items)
+    assert result == [items[k * stride] for k in range(4)]
+
+
+@given(st.lists(floats, min_size=4, max_size=4))
+def test_vector_math_is_per_lane(lanes):
+    result = _eval(E.call("abs", E.VectorConst(tuple(lanes))))
+    assert result == [abs(x) for x in lanes]
+
+
+@given(st.lists(floats, min_size=1, max_size=16))
+def test_internal_buffer_is_fifo(values):
+    body = tuple(S.InternalPush(0, E.FloatConst(v)) for v in values) + tuple(
+        S.Push(E.InternalPop(0)) for _ in values)
+    tape_out = Tape()
+    rt = ActorRuntime(0, 4, PerfCounters(), {}, None, tape_out)
+    Interpreter(rt).run_work(body)
+    assert tape_out.drain() == list(values)

@@ -1,0 +1,79 @@
+"""Property-based tests for the balance-equation solver and Equation (1)."""
+
+from math import gcd
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import FilterSpec, Program, StreamGraph, flatten, pipeline
+from repro.ir import WorkBuilder
+from repro.schedule import (
+    check_balanced,
+    per_actor_factor,
+    repetition_vector,
+    scale_repetitions,
+    simd_scaling_factor,
+)
+
+from ..conftest import make_ramp_source
+
+rate = st.integers(1, 12)
+
+
+def _rate_changer(pop: int, push: int, name: str) -> FilterSpec:
+    b = WorkBuilder()
+    acc = b.let("acc", 0.0)
+    with b.loop("i", 0, pop):
+        b.set(acc, acc + b.pop())
+    with b.loop("j", 0, push):
+        b.push(acc)
+    return FilterSpec(name, pop=pop, push=push, work_body=b.build())
+
+
+@given(st.lists(st.tuples(rate, rate), min_size=1, max_size=5),
+       rate)
+def test_pipeline_repetition_vector_balances(rates, src_push):
+    """Any pipeline of rate changers has a consistent minimal solution."""
+    specs = [make_ramp_source(src_push)]
+    specs += [_rate_changer(pop, push, f"f{i}")
+              for i, (pop, push) in enumerate(rates)]
+    graph = flatten(Program("prop", pipeline(*specs)))
+    reps = repetition_vector(graph)
+    check_balanced(graph, reps)
+    assert all(r >= 1 for r in reps.values())
+
+
+@given(st.lists(st.tuples(rate, rate), min_size=1, max_size=4), rate)
+def test_repetition_vector_is_minimal(rates, src_push):
+    """The gcd of the solution is 1 (no smaller integer solution)."""
+    specs = [make_ramp_source(src_push)]
+    specs += [_rate_changer(pop, push, f"f{i}")
+              for i, (pop, push) in enumerate(rates)]
+    graph = flatten(Program("prop", pipeline(*specs)))
+    reps = repetition_vector(graph)
+    divisor = 0
+    for value in reps.values():
+        divisor = gcd(divisor, value)
+    assert divisor == 1
+
+
+@given(st.integers(1, 64), st.sampled_from([2, 4, 8, 16]))
+def test_per_actor_factor_properties(rep, sw):
+    factor = per_actor_factor(sw, rep)
+    assert (factor * rep) % sw == 0           # achieves the multiple
+    assert sw % factor == 0                   # divides SW
+    for smaller in range(1, factor):
+        assert (smaller * rep) % sw != 0      # and is minimal
+
+
+@given(st.dictionaries(st.integers(0, 10), st.integers(1, 40),
+                       min_size=1, max_size=8),
+       st.sampled_from([2, 4, 8]))
+def test_global_scaling_factor_makes_all_multiples(reps, sw):
+    simdizable = list(reps)
+    factor = simd_scaling_factor(sw, reps, simdizable)
+    scaled = scale_repetitions(reps, factor)
+    assert all(scaled[aid] % sw == 0 for aid in simdizable)
+    # Minimality of the global factor: no smaller factor works.
+    for smaller in range(1, factor):
+        assert any((smaller * reps[aid]) % sw != 0 for aid in simdizable)

@@ -1,0 +1,51 @@
+"""Property-based tests for the SAGU address model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simd.sagu import SAGU, lane_ordered_layout, software_address
+
+push_counts = st.integers(1, 32)
+widths = st.sampled_from([2, 4, 8, 16])
+
+
+@given(push_counts, widths, st.integers(1, 4))
+def test_hardware_equals_software(push_count, width, blocks):
+    count = push_count * width * blocks
+    sagu = SAGU(push_count, width)
+    assert sagu.address_stream(count) == [
+        software_address(i, push_count, width) for i in range(count)]
+
+
+@given(push_counts, widths)
+def test_addresses_form_block_permutation(push_count, width):
+    block = push_count * width
+    addresses = [software_address(i, push_count, width) for i in range(block)]
+    assert sorted(addresses) == list(range(block))
+
+
+@given(push_counts, widths, st.integers(0, 500))
+def test_block_periodicity(push_count, width, index):
+    block = push_count * width
+    assert (software_address(index + block, push_count, width)
+            == software_address(index, push_count, width) + block)
+
+
+@given(push_counts, widths, st.integers(1, 3))
+def test_layout_roundtrip(push_count, width, blocks):
+    items = list(range(push_count * width * blocks))
+    layout = lane_ordered_layout(items, push_count, width)
+    sagu = SAGU(push_count, width)
+    assert [layout[sagu.next_address()] for _ in items] == items
+
+
+@given(push_counts, widths)
+def test_vector_groups_are_contiguous(push_count, width):
+    """Each producer group's lanes land in one aligned block of ``width``
+    addresses — the precondition for plain vector stores."""
+    items = list(range(push_count * width))
+    layout = lane_ordered_layout(items, push_count, width)
+    for group in range(push_count):
+        lanes = layout[group * width:(group + 1) * width]
+        # lane k of group j is item k*push_count + j
+        assert lanes == [k * push_count + group for k in range(width)]

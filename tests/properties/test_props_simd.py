@@ -1,0 +1,121 @@
+"""Property-based tests for the SIMDization transformations: randomly
+generated stateless actors must compute identical streams after
+single-actor SIMDization and after vertical fusion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import FilterSpec, Program, flatten, pipeline, validate
+from repro.ir import WorkBuilder, call
+from repro.runtime import execute
+from repro.schedule import repetition_vector
+from repro.simd import compile_graph, fuse_segment, vectorize_actor
+from repro.simd.machine import CORE_I7
+
+from ..conftest import make_ramp_source
+
+#: Safe unary float transforms to compose random actor bodies from.
+_FUNCS = ("abs", "floor", "sqrt_abs", "sin")
+
+
+def _apply(func: str, expr):
+    if func == "sqrt_abs":
+        return call("sqrt", call("abs", expr))
+    return call(func, expr)
+
+
+@st.composite
+def stateless_actor(draw, name="gen"):
+    """A random stateless actor: pop N, transform, push M."""
+    pop = draw(st.integers(1, 4))
+    push = draw(st.integers(1, 4))
+    funcs = draw(st.lists(st.sampled_from(_FUNCS), min_size=0, max_size=2))
+    scale = draw(st.floats(min_value=-4, max_value=4,
+                           allow_nan=False).map(lambda x: round(x, 3)))
+    b = WorkBuilder()
+    acc = b.let("acc", 0.0)
+    with b.loop("i", 0, pop):
+        b.set(acc, acc + b.pop() * scale)
+    expr = acc
+    for func in funcs:
+        expr = _apply(func, expr)
+    result = b.let("r", expr)
+    for j in range(push):
+        b.push(result + float(j))
+    return FilterSpec(name, pop=pop, push=push, work_body=b.build())
+
+
+@settings(max_examples=30, deadline=None)
+@given(stateless_actor())
+def test_single_actor_simdization_preserves_stream(spec):
+    graph = flatten(Program("prop", pipeline(
+        make_ramp_source(spec.pop * 4), spec)))
+    baseline = execute(graph, iterations=2).outputs
+
+    vec_graph = graph.clone()
+    actor = vec_graph.actor_by_name(spec.name)
+    actor.spec = vectorize_actor(spec, 4)
+    validate(vec_graph)
+    simdized = execute(vec_graph, iterations=1).outputs
+    n = min(len(baseline), len(simdized))
+    assert n > 0
+    assert simdized[:n] == baseline[:n]
+
+
+@settings(max_examples=20, deadline=None)
+@given(stateless_actor(name="up"), stateless_actor(name="down"))
+def test_vertical_fusion_preserves_stream(first, second):
+    graph = flatten(Program("prop", pipeline(
+        make_ramp_source(first.pop * 4), first, second)))
+    baseline = execute(graph, iterations=2).outputs
+
+    fused = graph.clone()
+    reps = repetition_vector(fused)
+    coarse_id = fuse_segment(
+        fused,
+        [fused.actor_by_name(first.name).id,
+         fused.actor_by_name(second.name).id],
+        reps)
+    validate(fused)
+    fused_out = execute(fused, iterations=2).outputs
+    assert fused_out == baseline
+
+    # And SIMDize the coarse actor on top.
+    actor = fused.actors[coarse_id]
+    actor.spec = vectorize_actor(actor.spec, 4)
+    validate(fused)
+    simdized = execute(fused, iterations=1).outputs
+    n = min(len(baseline), len(simdized))
+    assert n > 0
+    assert simdized[:n] == baseline[:n]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.floats(min_value=0.25, max_value=4.0, allow_nan=False)
+                .map(lambda x: round(x, 3)),
+                min_size=4, max_size=4))
+def test_horizontal_merge_preserves_stream(gains):
+    """Four isomorphic gain actors with random constants merge into one
+    SIMD actor computing the same split-join."""
+    from repro.graph import (roundrobin_joiner, roundrobin_splitter,
+                             splitjoin)
+
+    def gain_actor(g, name):
+        b = WorkBuilder()
+        b.push(b.pop() * g)
+        return FilterSpec(name, pop=1, push=1, work_body=b.build())
+
+    graph = flatten(Program("prop", pipeline(
+        make_ramp_source(4),
+        splitjoin(roundrobin_splitter([1, 1, 1, 1]),
+                  [gain_actor(g, f"g{i}") for i, g in enumerate(gains)],
+                  roundrobin_joiner([1, 1, 1, 1])),
+        gain_actor(1.0, "tail"),
+    )))
+    baseline = execute(graph, iterations=2).outputs
+    compiled = compile_graph(graph, CORE_I7)
+    assert compiled.report.horizontal_splitjoins
+    simdized = execute(compiled.graph, machine=CORE_I7,
+                       iterations=1).outputs
+    n = min(len(baseline), len(simdized))
+    assert simdized[:n] == baseline[:n]

@@ -1,0 +1,86 @@
+"""Property-based tests for tape FIFO semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Tape
+
+
+@given(st.lists(st.integers(), max_size=200))
+def test_fifo_order_preserved(items):
+    t = Tape()
+    for item in items:
+        t.push(item)
+    assert [t.pop() for _ in range(len(items))] == items
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=100),
+       st.data())
+def test_peek_matches_future_pop(items, data):
+    t = Tape()
+    for item in items:
+        t.push(item)
+    offset = data.draw(st.integers(0, len(items) - 1))
+    assert t.peek(offset) == items[offset]
+    for expected in items:
+        assert t.pop() == expected
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers()), max_size=300))
+def test_interleaved_push_pop_never_reorders(operations):
+    """Arbitrary interleavings of push and pop behave like a deque."""
+    from collections import deque
+    t = Tape()
+    model = deque()
+    for is_push, value in operations:
+        if is_push or not model:
+            t.push(value)
+            model.append(value)
+        else:
+            assert t.pop() == model.popleft()
+    assert len(t) == len(model)
+
+
+@given(st.integers(1, 8), st.integers(2, 8), st.integers(1, 4))
+def test_strided_scatter_gather_roundtrip(stride, width, groups):
+    """rpush-based strided writes followed by strided reads recover the
+    lane-major matrix, for any stride/width (generalised Figure 5)."""
+    t = Tape()
+    total = stride * width * groups
+    # Writer: 'groups * stride' write groups as the vectorized actor does.
+    for block in range(groups):
+        for j in range(stride):
+            lanes = [block * width * stride + k * stride + j
+                     for k in range(width)]
+            for k in range(width - 1, 0, -1):
+                t.rpush(lanes[k], k * stride)
+            t.push(lanes[0])
+        t.advance_writer((width - 1) * stride)
+    assert [t.pop() for _ in range(total)] == list(range(total))
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                max_size=100),
+       st.integers(0, 50))
+def test_advance_reader_equals_pops(items, skip):
+    t1, t2 = Tape(), Tape()
+    for item in items:
+        t1.push(item)
+        t2.push(item)
+    n = min(skip, len(items))
+    t1.advance_reader(n)
+    for _ in range(n):
+        t2.pop()
+    assert len(t1) == len(t2)
+    rest1 = [t1.pop() for _ in range(len(t1))]
+    rest2 = [t2.pop() for _ in range(len(t2))]
+    assert rest1 == rest2
+
+
+@given(st.lists(st.integers(), min_size=0, max_size=64))
+def test_drain_equals_pop_all(items):
+    t = Tape()
+    for item in items:
+        t.push(item)
+    assert t.drain() == items
+    assert len(t) == 0

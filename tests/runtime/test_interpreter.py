@@ -1,0 +1,300 @@
+"""Tests for the work-function interpreter (semantics + event charging)."""
+
+import pytest
+
+from repro.ir import FLOAT, INT, WorkBuilder, call
+from repro.ir import expr as E
+from repro.ir import lvalue as L
+from repro.ir import stmt as S
+from repro.ir.types import Vector
+from repro.perf import PerfCounters
+from repro.runtime import ActorRuntime, Interpreter, Tape
+from repro.runtime.errors import InterpreterError
+
+
+def run_body(body, inputs=(), state=None, sw=4, lane_ordered=False,
+             has_sagu=False):
+    """Execute one firing; returns (outputs, counters, runtime)."""
+    tape_in = Tape("in")
+    for item in inputs:
+        tape_in.push(item)
+    tape_out = Tape("out")
+    rt = ActorRuntime(
+        actor_id=0, simd_width=sw, counters=PerfCounters(),
+        state=dict(state or {}), input=tape_in, output=tape_out,
+        in_lane_ordered=lane_ordered, out_lane_ordered=lane_ordered,
+        has_sagu=has_sagu)
+    Interpreter(rt).run_work(body)
+    return tape_out.drain(), rt.counters, rt
+
+
+class TestScalarSemantics:
+    def test_arithmetic_pipeline(self):
+        b = WorkBuilder()
+        x = b.let("x", b.pop())
+        b.push(x * 2.0 + 1.0)
+        out, _, _ = run_body(b.build(), [3.0])
+        assert out == [7.0]
+
+    def test_peek_and_pop(self):
+        b = WorkBuilder()
+        b.push(b.peek(2))
+        b.push(b.pop())
+        out, _, _ = run_body(b.build(), [10.0, 20.0, 30.0])
+        assert out == [30.0, 10.0]
+
+    def test_loop_execution(self):
+        b = WorkBuilder()
+        with b.loop("i", 0, 3) as i:
+            b.push(i * 10)
+        out, _, _ = run_body(b.build())
+        assert out == [0, 10, 20]
+
+    def test_if_else(self):
+        b = WorkBuilder()
+        x = b.let("x", b.pop())
+        with b.if_(x.gt(0.0)):
+            b.push(1.0)
+        with b.orelse():
+            b.push(-1.0)
+        assert run_body(b.build(), [5.0])[0] == [1.0]
+        assert run_body(b.build(), [-5.0])[0] == [-1.0]
+
+    def test_arrays(self):
+        b = WorkBuilder()
+        a = b.array("a", FLOAT, 3, init=(1.0, 2.0, 3.0))
+        b.set(a[1], a[0] + a[2])
+        b.push(a[1])
+        assert run_body(b.build())[0] == [4.0]
+
+    def test_state_persists_across_firings(self):
+        b = WorkBuilder()
+        acc = b.var("acc")
+        b.set(acc, acc + 1.0)
+        b.push(acc)
+        body = b.build()
+        tape_out = Tape("out")
+        rt = ActorRuntime(0, 4, PerfCounters(), {"acc": 0.0},
+                          None, tape_out)
+        interp = Interpreter(rt)
+        interp.run_work(body)
+        interp.run_work(body)
+        assert tape_out.drain() == [1.0, 2.0]
+
+    def test_locals_reset_between_firings(self):
+        b = WorkBuilder()
+        x = b.let("x", 0.0)
+        b.set(x, x + 1.0)
+        b.push(x)
+        body = b.build()
+        tape_out = Tape("out")
+        rt = ActorRuntime(0, 4, PerfCounters(), {}, None, tape_out)
+        interp = Interpreter(rt)
+        interp.run_work(body)
+        interp.run_work(body)
+        assert tape_out.drain() == [1.0, 1.0]
+
+    def test_math_calls(self):
+        b = WorkBuilder()
+        b.push(call("max", b.pop(), 0.0))
+        assert run_body(b.build(), [-3.0])[0] == [0.0]
+
+    def test_select(self):
+        body = (S.Push(E.Select(E.Var("c").gt(0.0), E.FloatConst(1.0),
+                                E.FloatConst(2.0))),)
+        out, _, _ = run_body((S.DeclVar("c", FLOAT, E.Pop()),) + body, [5.0])
+        assert out == [1.0]
+
+    def test_undefined_variable_raises(self):
+        b = WorkBuilder()
+        b.push(b.var("ghost"))
+        with pytest.raises(InterpreterError):
+            run_body(b.build())
+
+
+class TestVectorSemantics:
+    def test_broadcast_and_elementwise(self):
+        body = (
+            S.DeclVar("v", Vector(FLOAT, 4), E.Broadcast(E.FloatConst(2.0), 4)),
+            S.VPush(E.Var("v") * E.VectorConst((1.0, 2.0, 3.0, 4.0))),
+        )
+        out, _, _ = run_body(body)
+        assert out == [[2.0, 4.0, 6.0, 8.0]]
+
+    def test_lane_read_write(self):
+        body = (
+            S.DeclVar("v", Vector(FLOAT, 4), None),
+            S.Assign(L.LaneLV("v", 2), E.FloatConst(9.0)),
+            S.Push(E.Lane(E.Var("v"), 2)),
+            S.Push(E.Lane(E.Var("v"), 0)),
+        )
+        out, _, _ = run_body(body)
+        assert out == [9.0, 0.0]
+
+    def test_vector_math_call(self):
+        body = (S.VPush(E.call("abs", E.VectorConst((-1.0, 2.0, -3.0, 4.0)))),)
+        out, _, _ = run_body(body)
+        assert out == [[1.0, 2.0, 3.0, 4.0]]
+
+    def test_vector_copy_semantics(self):
+        body = (
+            S.DeclVar("a", Vector(FLOAT, 4), E.Broadcast(E.FloatConst(1.0), 4)),
+            S.DeclVar("b", Vector(FLOAT, 4), E.Var("a")),
+            S.Assign(L.LaneLV("b", 0), E.FloatConst(5.0)),
+            S.Push(E.Lane(E.Var("a"), 0)),
+        )
+        out, _, _ = run_body(body)
+        assert out == [1.0]
+
+    def test_vector_branch_condition_rejected(self):
+        body = (S.If(E.VectorConst((1.0, 0.0, 1.0, 0.0)), (), ()),)
+        with pytest.raises(InterpreterError):
+            run_body(body)
+
+    def test_vpush_of_scalar_rejected(self):
+        body = (S.VPush(E.FloatConst(1.0)),)
+        with pytest.raises(InterpreterError):
+            run_body(body)
+
+
+class TestGatherScatter:
+    def test_gather_pop_lane_order(self):
+        """Figure 3b: lane k reads offset k*stride; pointer advances 1."""
+        body = (S.DeclVar("v", Vector(FLOAT, 4), E.GatherPop(stride=2)),
+                S.VPush(E.Var("v")))
+        inputs = list(range(8))
+        out, _, rt = run_body(body, inputs)
+        assert out == [[0, 2, 4, 6]]
+        assert len(rt.input) == 7  # advanced by exactly one
+
+    def test_gather_peek_with_offset(self):
+        body = (S.VPush(E.GatherPeek(E.IntConst(1), stride=2)),)
+        out, _, rt = run_body(body, list(range(8)))
+        assert out == [[1, 3, 5, 7]]
+        assert len(rt.input) == 8  # non-destructive
+
+    def test_scatter_push_strided_layout(self):
+        body = (S.ScatterPush(E.VectorConst((100, 101, 102, 103)), stride=2),
+                S.ScatterPush(E.VectorConst((200, 201, 202, 203)), stride=2),
+                S.AdvanceWriter(6))
+        out, _, _ = run_body(body)
+        assert out == [100, 200, 101, 201, 102, 202, 103, 203]
+
+    def test_full_figure5_roundtrip(self):
+        """Scatter then gather with the same stride is the identity over a
+        full SW x stride block."""
+        scatter = (S.ScatterPush(E.VectorConst((0, 4, 8, 12)), stride=4),
+                   S.ScatterPush(E.VectorConst((1, 5, 9, 13)), stride=4),
+                   S.ScatterPush(E.VectorConst((2, 6, 10, 14)), stride=4),
+                   S.ScatterPush(E.VectorConst((3, 7, 11, 15)), stride=4),
+                   S.AdvanceWriter(12))
+        out, _, _ = run_body(scatter)
+        assert out == list(range(16))
+
+    def test_gather_strategy_costs_differ(self):
+        scalar_body = (S.VPush(E.GatherPop(stride=4, strategy="scalar")),)
+        permute_body = (S.VPush(E.GatherPop(stride=4, strategy="permute")),)
+        _, scalar_counters, _ = run_body(scalar_body, list(range(16)))
+        _, permute_counters, _ = run_body(permute_body, list(range(16)))
+        assert scalar_counters["pack"] == 4
+        assert permute_counters["pack"] == 0
+        assert permute_counters["permute"] == 2  # lg2(4)
+
+    def test_unknown_strategy_rejected(self):
+        body = (S.VPush(E.GatherPop(stride=2, strategy="bogus")),)
+        with pytest.raises(InterpreterError):
+            run_body(body, list(range(8)))
+
+
+class TestInternalBuffers:
+    def test_push_pop_roundtrip(self):
+        body = (
+            S.InternalPush(0, E.FloatConst(1.5)),
+            S.InternalPush(0, E.FloatConst(2.5)),
+            S.Push(E.InternalPop(0)),
+            S.Push(E.InternalPop(0)),
+        )
+        out, _, _ = run_body(body)
+        assert out == [1.5, 2.5]
+
+    def test_internal_peek(self):
+        body = (
+            S.InternalPush(1, E.FloatConst(7.0)),
+            S.Push(E.InternalPeek(1, E.IntConst(0))),
+            S.Push(E.InternalPop(1)),
+        )
+        out, _, _ = run_body(body)
+        assert out == [7.0, 7.0]
+
+    def test_underflow_detected(self):
+        body = (S.Push(E.InternalPop(0)),)
+        with pytest.raises(InterpreterError):
+            run_body(body)
+
+    def test_buffers_independent(self):
+        body = (
+            S.InternalPush(0, E.FloatConst(1.0)),
+            S.InternalPush(1, E.FloatConst(2.0)),
+            S.Push(E.InternalPop(1)),
+            S.Push(E.InternalPop(0)),
+        )
+        out, _, _ = run_body(body)
+        assert out == [2.0, 1.0]
+
+
+class TestEventCharging:
+    def test_fire_event_per_invocation(self):
+        b = WorkBuilder()
+        b.push(1.0)
+        _, counters, _ = run_body(b.build())
+        assert counters["fire"] == 1
+
+    def test_loop_event_per_iteration(self):
+        b = WorkBuilder()
+        with b.loop("i", 0, 5):
+            b.push(0.0)
+        _, counters, _ = run_body(b.build())
+        assert counters["loop"] == 5
+
+    def test_scalar_vs_vector_alu(self):
+        scalar = (S.Push(E.Var("x") + E.Var("x")),)
+        _, counters, _ = run_body((S.DeclVar("x", FLOAT, E.FloatConst(1.0)),)
+                                  + scalar)
+        assert counters["s_alu"] == 1
+        vector = (S.DeclVar("v", Vector(FLOAT, 4),
+                            E.Broadcast(E.FloatConst(1.0), 4)),
+                  S.VPush(E.Var("v") + E.Var("v")))
+        _, counters, _ = run_body(vector)
+        assert counters["v_alu"] == 1
+
+    def test_mul_div_classified(self):
+        body = (S.DeclVar("x", FLOAT, E.Pop()),
+                S.Push(E.Var("x") * E.Var("x") / E.Var("x")))
+        _, counters, _ = run_body(body, [2.0])
+        assert counters["s_mul"] == 1
+        assert counters["s_div"] == 1
+
+    def test_math_event_named_by_function(self):
+        b = WorkBuilder()
+        b.push(call("sin", b.pop()))
+        _, counters, _ = run_body(b.build(), [1.0])
+        assert counters["m_sin"] == 1
+
+    def test_lane_ordered_scalar_access_charges_addr(self):
+        b = WorkBuilder()
+        b.push(b.pop())
+        _, counters, _ = run_body(b.build(), [1.0], lane_ordered=True)
+        assert counters["addr"] == 2  # one pop + one push
+
+    def test_lane_ordered_with_sagu_charges_sagu(self):
+        b = WorkBuilder()
+        b.push(b.pop())
+        _, counters, _ = run_body(b.build(), [1.0], lane_ordered=True,
+                                  has_sagu=True)
+        assert counters["sagu"] == 2
+        assert counters["addr"] == 0
+
+    def test_cost_annotation(self):
+        body = (S.CostAnnotation("s_alu", 7),)
+        _, counters, _ = run_body(body)
+        assert counters["s_alu"] == 7

@@ -1,0 +1,115 @@
+"""Direct tests of the native splitter/joiner/HSplitter/HJoiner firing
+paths (usually exercised only through whole-graph runs)."""
+
+import pytest
+
+from repro.graph import StreamGraph
+from repro.graph.builtins import (
+    HJoinerSpec,
+    HSplitterSpec,
+    SplitKind,
+    duplicate_splitter,
+    roundrobin_joiner,
+    roundrobin_splitter,
+)
+from repro.runtime.executor import _GraphRun
+from repro.schedule import Schedule
+from repro.simd.machine import CORE_I7
+
+from ..conftest import make_ramp_source, make_scaler
+
+
+def _run_for(graph):
+    reps = {aid: 1 for aid in graph.actors}
+    return _GraphRun(graph, Schedule((), tuple(), reps), CORE_I7)
+
+
+class TestRoundRobinMovers:
+    def _graph(self):
+        g = StreamGraph("movers")
+        src = g.add_actor(make_ramp_source(8, name="src"))
+        split = g.add_actor(roundrobin_splitter([2, 2]))
+        a = g.add_actor(make_scaler(name="a"))
+        b = g.add_actor(make_scaler(name="b"))
+        join = g.add_actor(roundrobin_joiner([2, 2]))
+        tail = g.add_actor(make_scaler(name="tail"))
+        g.add_tape(src.id, split.id)
+        g.add_tape(split.id, a.id, src_port=0)
+        g.add_tape(split.id, b.id, src_port=1)
+        g.add_tape(a.id, join.id, dst_port=0)
+        g.add_tape(b.id, join.id, dst_port=1)
+        g.add_tape(join.id, tail.id)
+        return g, src, split, a, b, join
+
+    def test_splitter_distributes_in_weight_chunks(self):
+        g, src, split, a, b, join = self._graph()
+        run = _run_for(g)
+        run.fire(src.id)
+        run.fire(split.id)
+        tape_to_a = [t for t in g.out_tapes(split.id) if t.dst == a.id][0]
+        tape_to_b = [t for t in g.out_tapes(split.id) if t.dst == b.id][0]
+        assert run.tapes[tape_to_a.id].drain() == [0.0, 1.0]
+        assert run.tapes[tape_to_b.id].drain() == [2.0, 3.0]
+
+    def test_joiner_merges_in_weight_chunks(self):
+        g, src, split, a, b, join = self._graph()
+        run = _run_for(g)
+        in_a = [t for t in g.in_tapes(join.id) if t.dst_port == 0][0]
+        in_b = [t for t in g.in_tapes(join.id) if t.dst_port == 1][0]
+        for v in (10, 11):
+            run.tapes[in_a.id].push(v)
+        for v in (20, 21):
+            run.tapes[in_b.id].push(v)
+        run.fire(join.id)
+        out = g.out_tapes(join.id)[0]
+        assert run.tapes[out.id].drain() == [10, 11, 20, 21]
+
+
+class TestHorizontalMovers:
+    def _hgraph(self, kind=SplitKind.ROUNDROBIN, weight=2):
+        g = StreamGraph("h")
+        src = g.add_actor(make_ramp_source(8, name="src"))
+        hsplit = g.add_actor(HSplitterSpec(kind, weight, 4))
+        hjoin = g.add_actor(HJoinerSpec(weight, 4))
+        tail = g.add_actor(make_scaler(name="tail"))
+        g.add_tape(src.id, hsplit.id)
+        g.add_tape(hsplit.id, hjoin.id, vector_width=4)
+        g.add_tape(hjoin.id, tail.id)
+        return g, src, hsplit, hjoin
+
+    def test_rr_hsplitter_packs_lane_per_branch(self):
+        g, src, hsplit, hjoin = self._hgraph()
+        run = _run_for(g)
+        run.fire(src.id)
+        run.fire(hsplit.id)
+        vec_tape = g.out_tapes(hsplit.id)[0]
+        vectors = run.tapes[vec_tape.id].drain()
+        # weight=2: items [0,1] -> branch0, [2,3] -> branch1, ...
+        assert vectors == [[0.0, 2.0, 4.0, 6.0], [1.0, 3.0, 5.0, 7.0]]
+
+    def test_hsplit_hjoin_roundtrip_is_identity(self):
+        g, src, hsplit, hjoin = self._hgraph()
+        run = _run_for(g)
+        run.fire(src.id)
+        run.fire(hsplit.id)
+        run.fire(hjoin.id)
+        out = g.out_tapes(hjoin.id)[0]
+        assert run.tapes[out.id].drain() == [float(i) for i in range(8)]
+
+    def test_duplicate_hsplitter_splats(self):
+        g, src, hsplit, hjoin = self._hgraph(SplitKind.DUPLICATE, weight=1)
+        run = _run_for(g)
+        run.fire(src.id)
+        run.fire(hsplit.id)
+        vec_tape = g.out_tapes(hsplit.id)[0]
+        assert run.tapes[vec_tape.id].pop() == [0.0, 0.0, 0.0, 0.0]
+
+    def test_mover_events_charged(self):
+        g, src, hsplit, hjoin = self._hgraph()
+        run = _run_for(g)
+        run.fire(src.id)
+        run.fire(hsplit.id)
+        counters = run.counters.by_actor[hsplit.id]
+        assert counters["pack"] == 8
+        assert counters["v_store"] == 2
+        assert counters["s_load"] == 8

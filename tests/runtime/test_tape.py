@@ -1,0 +1,131 @@
+"""Tests for the FIFO tape with rpush/peek/advance semantics."""
+
+import pytest
+
+from repro.runtime import Tape, TapeUnderflow, UninitializedRead
+
+
+class TestBasicFifo:
+    def test_push_pop_order(self):
+        t = Tape()
+        for value in (1, 2, 3):
+            t.push(value)
+        assert [t.pop(), t.pop(), t.pop()] == [1, 2, 3]
+
+    def test_len_counts_committed_items(self):
+        t = Tape()
+        t.push(1)
+        t.push(2)
+        assert len(t) == 2
+        t.pop()
+        assert len(t) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(TapeUnderflow):
+            Tape().pop()
+
+    def test_peek_nondestructive(self):
+        t = Tape()
+        t.push(10)
+        t.push(20)
+        assert t.peek(1) == 20
+        assert len(t) == 2
+        assert t.pop() == 10
+
+    def test_peek_past_end_raises(self):
+        t = Tape()
+        t.push(1)
+        with pytest.raises(TapeUnderflow):
+            t.peek(1)
+
+    def test_negative_offsets_rejected(self):
+        t = Tape()
+        with pytest.raises(ValueError):
+            t.peek(-1)
+        with pytest.raises(ValueError):
+            t.rpush(0, -1)
+
+
+class TestRPush:
+    """The Figure 3b write idiom: rpush at offsets, then push + advance."""
+
+    def test_rpush_does_not_commit(self):
+        t = Tape()
+        t.rpush(99, 1)
+        assert len(t) == 0
+
+    def test_figure3b_write_group(self):
+        """Lane k written at offset k*stride; push commits lane 0."""
+        t = Tape()
+        stride = 2
+        lanes = [100, 101, 102, 103]
+        for k in (3, 2, 1):
+            t.rpush(lanes[k], k * stride)
+        t.push(lanes[0])
+        # Second group at the advanced pointer.
+        lanes2 = [200, 201, 202, 203]
+        for k in (3, 2, 1):
+            t.rpush(lanes2[k], k * stride)
+        t.push(lanes2[0])
+        t.advance_writer((4 - 1) * stride)
+        assert [t.pop() for _ in range(8)] == [
+            100, 200, 101, 201, 102, 202, 103, 203]
+
+    def test_advance_writer_over_hole_raises(self):
+        t = Tape()
+        t.rpush(1, 1)  # slot 0 never written
+        with pytest.raises(UninitializedRead):
+            t.advance_writer(2)
+
+    def test_pop_of_uncommitted_slot_never_possible(self):
+        t = Tape()
+        t.rpush(5, 0)
+        assert len(t) == 0  # not visible until push/advance
+        t.advance_writer(1)
+        assert t.pop() == 5
+
+
+class TestAdvanceReader:
+    def test_skips_items(self):
+        t = Tape()
+        for value in range(6):
+            t.push(value)
+        t.pop()
+        t.advance_reader(3)
+        assert t.pop() == 4
+
+    def test_advance_past_end_raises(self):
+        t = Tape()
+        t.push(1)
+        with pytest.raises(TapeUnderflow):
+            t.advance_reader(2)
+
+
+class TestDrain:
+    def test_drain_returns_all_and_empties(self):
+        t = Tape()
+        for value in range(4):
+            t.push(value)
+        assert t.drain() == [0, 1, 2, 3]
+        assert len(t) == 0
+
+    def test_drain_after_partial_pop(self):
+        t = Tape()
+        for value in range(4):
+            t.push(value)
+        t.pop()
+        assert t.drain() == [1, 2, 3]
+
+
+class TestCompaction:
+    def test_long_stream_stays_bounded(self):
+        t = Tape()
+        for value in range(100_000):
+            t.push(value)
+            assert t.pop() == value
+        assert len(t._buf) < 20_000  # internal buffer was compacted
+
+    def test_vector_items_supported(self):
+        t = Tape()
+        t.push([1, 2, 3, 4])
+        assert t.pop() == [1, 2, 3, 4]

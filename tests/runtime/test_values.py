@@ -1,0 +1,99 @@
+"""Tests for scalar value semantics (C-like arithmetic)."""
+
+import math
+
+import pytest
+
+from repro.runtime.values import (
+    apply_binary,
+    apply_math,
+    apply_unary,
+    copy_value,
+    is_vector_value,
+    splat,
+)
+
+
+class TestArithmetic:
+    def test_float_division(self):
+        assert apply_binary("/", 7.0, 2.0) == 3.5
+
+    def test_int_division_truncates_toward_zero(self):
+        assert apply_binary("/", 7, 2) == 3
+        assert apply_binary("/", -7, 2) == -3  # C semantics, not Python's -4
+
+    def test_int_modulo_matches_c(self):
+        assert apply_binary("%", 7, 3) == 1
+        assert apply_binary("%", -7, 3) == -1  # C: sign of dividend
+
+    def test_float_modulo(self):
+        assert apply_binary("%", 7.5, 2.0) == pytest.approx(1.5)
+
+    def test_shifts_and_bitwise(self):
+        assert apply_binary("<<", 3, 2) == 12
+        assert apply_binary(">>", 12, 2) == 3
+        assert apply_binary("&", 12, 10) == 8
+        assert apply_binary("|", 12, 10) == 14
+        assert apply_binary("^", 12, 10) == 6
+
+    def test_comparisons(self):
+        assert apply_binary("<", 1, 2) is True
+        assert apply_binary(">=", 2, 2) is True
+        assert apply_binary("==", 1.0, 1.0) is True
+        assert apply_binary("!=", 1.0, 1.0) is False
+
+    def test_logical(self):
+        assert apply_binary("&&", 1.0, 0.0) is False
+        assert apply_binary("||", 0.0, 2.0) is True
+
+    def test_unary(self):
+        assert apply_unary("-", 3.0) == -3.0
+        assert apply_unary("!", 0.0) is True
+        assert apply_unary("~", 5) == -6
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            apply_binary("**", 1, 2)
+
+
+class TestMath:
+    def test_sqrt(self):
+        assert apply_math("sqrt", [9.0]) == 3.0
+
+    def test_min_max(self):
+        assert apply_math("min", [3.0, 1.0]) == 1.0
+        assert apply_math("max", [3.0, 1.0]) == 3.0
+
+    def test_trig_matches_libm(self):
+        assert apply_math("sin", [0.5]) == math.sin(0.5)
+        assert apply_math("atan2", [1.0, 2.0]) == math.atan2(1.0, 2.0)
+
+    def test_int_cast_truncates(self):
+        assert apply_math("int", [2.9]) == 2
+        assert apply_math("int", [-2.9]) == -2
+
+    def test_floor_returns_float(self):
+        assert apply_math("floor", [2.9]) == 2.0
+        assert isinstance(apply_math("floor", [2.9]), float)
+
+    def test_unknown_intrinsic(self):
+        with pytest.raises(ValueError):
+            apply_math("mystery", [1.0])
+
+
+class TestVectorValues:
+    def test_splat(self):
+        assert splat(1.5, 4) == [1.5, 1.5, 1.5, 1.5]
+
+    def test_is_vector_value(self):
+        assert is_vector_value([1, 2])
+        assert not is_vector_value(3.0)
+
+    def test_copy_value_copies_vectors(self):
+        v = [1, 2, 3]
+        c = copy_value(v)
+        c[0] = 99
+        assert v[0] == 1
+
+    def test_copy_value_passes_scalars(self):
+        assert copy_value(2.0) == 2.0

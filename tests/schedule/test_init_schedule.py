@@ -1,0 +1,78 @@
+"""Tests for the peek-priming init schedule."""
+
+import pytest
+
+from repro.graph import FilterSpec
+from repro.ir import WorkBuilder
+from repro.schedule import init_counts, tape_residuals, verify_init_counts
+
+from ..conftest import linear_program, make_ramp_source, make_scaler
+
+
+def make_peeker(peek: int, pop: int = 1, name: str = "peeker") -> FilterSpec:
+    """FIR-style peeking filter: output = sum of the peek window."""
+    b = WorkBuilder()
+    acc = b.let("acc", 0.0)
+    with b.loop("i", 0, peek) as i:
+        b.set(acc, acc + b.peek(i))
+    b.push(acc)
+    with b.loop("j", 0, pop):
+        b.stmt(b.pop())
+    return FilterSpec(name, pop=pop, push=1, peek=peek, work_body=b.build())
+
+
+class TestResiduals:
+    def test_non_peeking_graph_has_zero_residuals(self):
+        g = linear_program(make_ramp_source(2), make_scaler())
+        assert set(tape_residuals(g).values()) == {0}
+
+    def test_peeking_consumer_residual(self):
+        g = linear_program(make_ramp_source(2), make_peeker(peek=5))
+        assert set(tape_residuals(g).values()) == {4}
+
+
+class TestInitCounts:
+    def test_no_peeking_no_init(self):
+        g = linear_program(make_ramp_source(2), make_scaler())
+        assert set(init_counts(g).values()) == {0}
+
+    def test_source_primes_peeker(self):
+        g = linear_program(make_ramp_source(2), make_peeker(peek=5))
+        counts = init_counts(g)
+        src = g.actor_by_name("src").id
+        assert counts[src] == 2  # ceil(4 / 2)
+        verify_init_counts(g, counts)
+
+    def test_chained_peekers(self):
+        g = linear_program(make_ramp_source(2),
+                           make_peeker(peek=3, name="p1"),
+                           make_peeker(peek=4, name="p2"))
+        counts = init_counts(g)
+        verify_init_counts(g, counts)
+        # p1 must fire enough to leave 3 residual items for p2.
+        p1 = g.actor_by_name("p1").id
+        assert counts[p1] >= 3
+
+    def test_verify_rejects_underflow(self):
+        g = linear_program(make_ramp_source(2), make_peeker(peek=5))
+        counts = init_counts(g)
+        src = g.actor_by_name("src").id
+        counts[src] = 0  # starve the peeker
+        peeker = g.actor_by_name("peeker").id
+        counts[peeker] = 1
+        with pytest.raises(ValueError):
+            verify_init_counts(g, counts)
+
+    def test_verify_rejects_missing_residual(self):
+        g = linear_program(make_ramp_source(2), make_peeker(peek=5))
+        counts = init_counts(g)
+        for aid in counts:
+            counts[aid] = 0
+        with pytest.raises(ValueError):
+            verify_init_counts(g, counts)
+
+    def test_deep_peek_window(self):
+        g = linear_program(make_ramp_source(4),
+                           make_peeker(peek=32, pop=2))
+        counts = init_counts(g)
+        verify_init_counts(g, counts)

@@ -1,0 +1,103 @@
+"""Tests for SDF balance-equation solving."""
+
+import pytest
+
+from repro.graph import (
+    FilterSpec,
+    Program,
+    StreamGraph,
+    flatten,
+    pipeline,
+    roundrobin_joiner,
+    roundrobin_splitter,
+    splitjoin,
+)
+from repro.schedule import RateError, check_balanced, repetition_vector
+from repro.ir import WorkBuilder
+
+from ..conftest import (
+    linear_program,
+    make_expander,
+    make_pair_sum,
+    make_ramp_source,
+    make_scaler,
+)
+
+
+def _names(graph, reps):
+    return {graph.actors[aid].name: rep for aid, rep in reps.items()}
+
+
+class TestRepetitionVector:
+    def test_matched_rates_give_ones(self):
+        g = linear_program(make_ramp_source(1), make_scaler())
+        assert set(repetition_vector(g).values()) == {1}
+
+    def test_rate_mismatch_scales(self):
+        g = linear_program(make_ramp_source(1), make_pair_sum())
+        reps = _names(g, repetition_vector(g))
+        assert reps == {"src": 2, "pairsum": 1}
+
+    def test_expander_contractor_chain(self):
+        g = linear_program(make_ramp_source(1), make_expander(),
+                           make_pair_sum())
+        reps = _names(g, repetition_vector(g))
+        assert reps == {"src": 1, "expand": 1, "pairsum": 1}
+
+    def test_minimality(self):
+        g = linear_program(make_ramp_source(3), make_pair_sum())
+        reps = _names(g, repetition_vector(g))
+        # 3 produced vs 2 consumed: minimal integers are 2 and 3.
+        assert reps == {"src": 2, "pairsum": 3}
+
+    def test_splitjoin_balance(self):
+        g = flatten(Program("sj", pipeline(
+            make_ramp_source(4),
+            splitjoin(roundrobin_splitter([1, 1]),
+                      [make_scaler(name="a"), make_expander()],
+                      roundrobin_joiner([1, 2])),
+            make_scaler(name="tail", pop=1),
+        )))
+        reps = repetition_vector(g)
+        check_balanced(g, reps)
+
+    def test_running_example_matches_paper(self):
+        """Figure 2a's published repetition numbers."""
+        from repro.apps.running_example import build
+        g = flatten(build())
+        reps = _names(g, repetition_vector(g))
+        assert reps["A"] == 6
+        assert reps["B0"] == reps["B3"] == 1
+        assert reps["C0"] == reps["C2"] == 3
+        assert reps["D"] == 6
+        assert reps["E"] == 4
+        assert reps["F"] == 4
+        assert reps["G"] == 2
+        assert reps["H"] == 2
+
+    def test_empty_graph(self):
+        assert repetition_vector(StreamGraph()) == {}
+
+    def test_scaled_vector_still_balanced(self):
+        g = linear_program(make_ramp_source(1), make_pair_sum())
+        reps = repetition_vector(g)
+        doubled = {aid: 2 * rep for aid, rep in reps.items()}
+        check_balanced(g, doubled)
+
+    def test_unbalanced_vector_detected(self):
+        g = linear_program(make_ramp_source(1), make_pair_sum())
+        reps = repetition_vector(g)
+        reps[next(iter(reps))] *= 3
+        with pytest.raises(RateError):
+            check_balanced(g, reps)
+
+    def test_zero_rate_tape_rejected(self):
+        b = WorkBuilder()
+        b.push(1.0)
+        degenerate = FilterSpec("zero", pop=0, push=1)
+        g = StreamGraph()
+        a = g.add_actor(make_ramp_source(2))
+        z = g.add_actor(FilterSpec("sink0", pop=0, push=1))
+        g.add_tape(a.id, z.id)
+        with pytest.raises(RateError):
+            repetition_vector(g)

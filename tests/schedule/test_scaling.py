@@ -1,0 +1,54 @@
+"""Tests for Equation (1) repetition scaling."""
+
+import pytest
+
+from repro.schedule import per_actor_factor, scale_repetitions, simd_scaling_factor
+
+
+class TestPerActorFactor:
+    def test_already_multiple(self):
+        assert per_actor_factor(4, 8) == 1
+        assert per_actor_factor(4, 4) == 1
+
+    def test_lcm_formula(self):
+        # LCM(4, 6)/6 = 12/6 = 2
+        assert per_actor_factor(4, 6) == 2
+        # LCM(4, 3)/3 = 12/3 = 4
+        assert per_actor_factor(4, 3) == 4
+        # LCM(4, 2)/2 = 2
+        assert per_actor_factor(4, 2) == 2
+
+    def test_factor_divides_simd_width(self):
+        for rep in range(1, 40):
+            assert 4 % per_actor_factor(4, rep) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            per_actor_factor(4, 0)
+        with pytest.raises(ValueError):
+            per_actor_factor(0, 4)
+
+
+class TestGlobalFactor:
+    def test_paper_running_example(self):
+        """§3.1: the Figure 2a graph must be scaled by M = 2 (SIMDizable
+        actors have reps 2 = coarse D/E and 2 = G after fusion)."""
+        reps = {0: 2, 1: 2}
+        assert simd_scaling_factor(4, reps, [0, 1]) == 2
+
+    def test_max_over_actors(self):
+        reps = {0: 4, 1: 6, 2: 3}
+        assert simd_scaling_factor(4, reps, [0, 1, 2]) == 4
+
+    def test_no_simdizable_actors(self):
+        assert simd_scaling_factor(4, {0: 5}, []) == 1
+
+    def test_scaled_reps_are_multiples(self):
+        reps = {0: 6, 1: 9, 2: 2}
+        factor = simd_scaling_factor(4, reps, list(reps))
+        scaled = scale_repetitions(reps, factor)
+        assert all(value % 4 == 0 for value in scaled.values())
+
+    def test_scale_repetitions_validates(self):
+        with pytest.raises(ValueError):
+            scale_repetitions({0: 1}, 0)

@@ -1,0 +1,43 @@
+"""Tests for schedule construction."""
+
+import pytest
+
+from repro.schedule import RateError, build_schedule, repetition_vector
+
+from ..conftest import linear_program, make_pair_sum, make_ramp_source
+
+
+class TestBuildSchedule:
+    def test_steady_phase_in_topological_order(self):
+        g = linear_program(make_ramp_source(1), make_pair_sum())
+        schedule = build_schedule(g)
+        order = [aid for aid, _ in schedule.steady]
+        assert order == g.topological_order()
+
+    def test_steady_counts_match_reps(self):
+        g = linear_program(make_ramp_source(1), make_pair_sum())
+        schedule = build_schedule(g)
+        assert dict(schedule.steady) == schedule.reps
+
+    def test_init_phase_empty_without_peeking(self):
+        g = linear_program(make_ramp_source(1), make_pair_sum())
+        assert build_schedule(g).init == ()
+
+    def test_prescaled_reps_accepted(self):
+        g = linear_program(make_ramp_source(1), make_pair_sum())
+        reps = {aid: rep * 4 for aid, rep in repetition_vector(g).items()}
+        schedule = build_schedule(g, reps)
+        assert schedule.steady_firings() == sum(reps.values())
+
+    def test_unbalanced_reps_rejected(self):
+        g = linear_program(make_ramp_source(1), make_pair_sum())
+        reps = repetition_vector(g)
+        reps[g.actor_by_name("src").id] += 1
+        with pytest.raises(RateError):
+            build_schedule(g, reps)
+
+    def test_rep_of(self):
+        g = linear_program(make_ramp_source(1), make_pair_sum())
+        schedule = build_schedule(g)
+        src = g.actor_by_name("src").id
+        assert schedule.rep_of(src) == 2

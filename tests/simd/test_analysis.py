@@ -1,0 +1,162 @@
+"""Tests for SIMDizability analysis (§3.1's exclusion rules)."""
+
+from repro.graph import FilterSpec, StateVar
+from repro.ir import FLOAT, ArrayHandle, WorkBuilder, call
+from repro.simd import analyze_filter, is_stateful
+from repro.simd.analysis import tainted_vars, written_state_vars
+from repro.simd.machine import CORE_I7, NEON_LIKE
+from repro.simd.segments import horizontal_verdict
+
+
+def _stateless_spec():
+    b = WorkBuilder()
+    b.push(b.pop() * 2.0)
+    return FilterSpec("ok", pop=1, push=1, work_body=b.build())
+
+
+def _stateful_spec():
+    b = WorkBuilder()
+    acc = b.var("acc")
+    b.set(acc, acc + b.pop())
+    b.push(acc)
+    return FilterSpec("st", pop=1, push=1,
+                      state=(StateVar("acc", FLOAT, 0, 0.0),),
+                      work_body=b.build())
+
+
+class TestStatefulness:
+    def test_stateless(self):
+        assert not is_stateful(_stateless_spec())
+
+    def test_state_write_detected(self):
+        spec = _stateful_spec()
+        assert is_stateful(spec)
+        assert written_state_vars(spec) == {"acc"}
+
+    def test_read_only_state_is_not_stateful(self):
+        """Coefficient tables filled in init do not block SIMDization."""
+        b = WorkBuilder()
+        coeff = ArrayHandle("coeff")
+        b.push(b.pop() * coeff[0])
+        spec = FilterSpec("ro", pop=1, push=1,
+                          state=(StateVar("coeff", FLOAT, 4, 1.0),),
+                          work_body=b.build())
+        assert not is_stateful(spec)
+        assert analyze_filter(spec, CORE_I7).simdizable
+
+    def test_init_writes_do_not_count(self):
+        init = WorkBuilder()
+        init.set(ArrayHandle("coeff")[0], 2.0)
+        b = WorkBuilder()
+        b.push(b.pop() * ArrayHandle("coeff")[0])
+        spec = FilterSpec("iw", pop=1, push=1,
+                          state=(StateVar("coeff", FLOAT, 4, 0.0),),
+                          init_body=init.build(), work_body=b.build())
+        assert not is_stateful(spec)
+
+
+class TestVerdicts:
+    def test_stateless_actor_accepted(self):
+        assert analyze_filter(_stateless_spec(), CORE_I7).simdizable
+
+    def test_stateful_rejected(self):
+        verdict = analyze_filter(_stateful_spec(), CORE_I7)
+        assert not verdict.simdizable
+        assert any("stateful" in r for r in verdict.reasons)
+
+    def test_source_rejected(self):
+        spec = FilterSpec("src", pop=0, push=1)
+        assert not analyze_filter(spec, CORE_I7).simdizable
+
+    def test_unsupported_call_rejected(self):
+        b = WorkBuilder()
+        b.push(call("atan2", b.pop(), 1.0))
+        spec = FilterSpec("at", pop=1, push=1, work_body=b.build())
+        verdict = analyze_filter(spec, CORE_I7)
+        assert not verdict.simdizable
+        assert any("atan2" in r for r in verdict.reasons)
+
+    def test_machine_dependent_call_support(self):
+        """sin vectorizes on SSE (SVML) but not on the Neon-like target."""
+        b = WorkBuilder()
+        b.push(call("sin", b.pop()))
+        spec = FilterSpec("s", pop=1, push=1, work_body=b.build())
+        assert analyze_filter(spec, CORE_I7).simdizable
+        assert not analyze_filter(spec, NEON_LIKE).simdizable
+
+    def test_tape_dependent_branch_rejected(self):
+        b = WorkBuilder()
+        x = b.let("x", b.pop())
+        with b.if_(x.gt(0.0)):
+            b.push(x)
+        with b.orelse():
+            b.push(-x)
+        spec = FilterSpec("br", pop=1, push=1, work_body=b.build())
+        verdict = analyze_filter(spec, CORE_I7)
+        assert not verdict.simdizable
+        assert any("control" in r or "if" in r for r in verdict.reasons)
+
+    def test_tape_dependent_subscript_rejected(self):
+        b = WorkBuilder()
+        a = b.array("a", FLOAT, 8)
+        idx = b.let("idx", call("int", b.pop()))
+        b.push(a[idx])
+        spec = FilterSpec("ix", pop=1, push=1, work_body=b.build())
+        assert not analyze_filter(spec, CORE_I7).simdizable
+
+    def test_untainted_branch_allowed(self):
+        b = WorkBuilder()
+        k = b.let("k", 3)
+        with b.if_(k.gt(0)):
+            b.push(b.pop())
+        with b.orelse():
+            b.push(b.pop())
+        spec = FilterSpec("cb", pop=1, push=1, work_body=b.build())
+        assert analyze_filter(spec, CORE_I7).simdizable
+
+    def test_loop_index_subscript_allowed(self):
+        b = WorkBuilder()
+        a = b.array("a", FLOAT, 4)
+        with b.loop("i", 0, 4) as i:
+            b.set(a[i], b.pop())
+        with b.loop("i", 0, 4) as i:
+            b.push(a[i])
+        spec = FilterSpec("ok", pop=4, push=4, work_body=b.build())
+        assert analyze_filter(spec, CORE_I7).simdizable
+
+
+class TestTaint:
+    def test_taint_propagates_through_assignments(self):
+        b = WorkBuilder()
+        x = b.let("x", b.pop())
+        y = b.let("y", x * 2.0)
+        z = b.let("z", y + 1.0)
+        b.push(z)
+        assert tainted_vars(b.build()) == {"x", "y", "z"}
+
+    def test_untainted_vars_stay_clean(self):
+        b = WorkBuilder()
+        k = b.let("k", 5)
+        x = b.let("x", b.pop())
+        b.push(x * k)
+        assert tainted_vars(b.build()) == {"x"}
+
+    def test_array_taint(self):
+        b = WorkBuilder()
+        a = b.array("a", FLOAT, 2)
+        b.set(a[0], b.pop())
+        derived = b.let("d", a[1])
+        b.push(derived)
+        assert "a" in tainted_vars(b.build())
+        assert "d" in tainted_vars(b.build())
+
+
+class TestHorizontalVerdict:
+    def test_stateful_allowed(self):
+        assert horizontal_verdict(_stateful_spec(), CORE_I7).simdizable
+
+    def test_other_restrictions_stand(self):
+        b = WorkBuilder()
+        b.push(call("atan2", b.pop(), 1.0))
+        spec = FilterSpec("at", pop=1, push=1, work_body=b.build())
+        assert not horizontal_verdict(spec, CORE_I7).simdizable

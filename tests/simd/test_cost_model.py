@@ -1,0 +1,91 @@
+"""Direct tests for the static cost estimator's SIMD-specific branches."""
+
+import math
+
+import pytest
+
+from repro.ir import expr as E
+from repro.ir import stmt as S
+from repro.perf import PerfCounters
+from repro.runtime import ActorRuntime, Interpreter, Tape
+from repro.simd.cost_model import (
+    StrategyCost,
+    estimate_body_events,
+    gather_strategy_costs,
+)
+from repro.simd.machine import CORE_I7
+
+SW = 4
+
+
+class TestEstimatorSimdBranches:
+    def test_gather_scalar_strategy_events(self):
+        body = (S.ExprStmt(E.GatherPop(stride=2, strategy="scalar")),)
+        events = estimate_body_events(body, SW)
+        assert events["s_load"] == SW
+        assert events["pack"] == SW
+
+    def test_gather_permute_strategy_events(self):
+        body = (S.ExprStmt(E.GatherPop(stride=8, strategy="permute")),)
+        events = estimate_body_events(body, SW)
+        assert events["v_load_u"] == 1
+        assert events["permute"] == int(math.log2(8))
+
+    def test_gather_sagu_strategy_events(self):
+        body = (S.ExprStmt(E.GatherPop(stride=3, strategy="sagu")),)
+        events = estimate_body_events(body, SW)
+        assert events["v_load"] == 1
+        assert events["pack"] == 0
+
+    def test_scatter_strategies(self):
+        vec = E.Broadcast(E.FloatConst(1.0), SW)
+        scalar = estimate_body_events(
+            (S.ScatterPush(vec, stride=2, strategy="scalar"),), SW)
+        permute = estimate_body_events(
+            (S.ScatterPush(vec, stride=4, strategy="permute"),), SW)
+        assert scalar["unpack"] == SW and scalar["s_store"] == SW
+        assert permute["v_store_u"] == 1 and permute["permute"] == 2
+
+    def test_estimate_matches_interpreter_on_simdized_body(self):
+        """The static estimator and the interpreter agree on a body using
+        gathers, scatters, and vector ops."""
+        body = (
+            S.DeclVar("v", __import__("repro.ir.types",
+                                      fromlist=["Vector", "FLOAT"]).Vector(
+                __import__("repro.ir.types", fromlist=["FLOAT"]).FLOAT, SW),
+                      E.GatherPop(stride=2, strategy="permute")),
+            S.ScatterPush(E.Var("v") * E.Broadcast(E.FloatConst(2.0), SW),
+                          stride=1, strategy="scalar"),
+            S.AdvanceReader(7),
+            S.AdvanceWriter(3),
+        )
+        static = estimate_body_events(body, SW)
+
+        tape_in = Tape()
+        for i in range(8):
+            tape_in.push(float(i))
+        rt = ActorRuntime(0, SW, PerfCounters(), {}, tape_in, Tape())
+        Interpreter(rt).run_work(body)
+        dynamic = rt.counters.events.copy()
+        dynamic.pop("fire")
+        assert dict(static.events) == dict(dynamic)
+
+
+class TestStrategyCostObjects:
+    def test_total_is_sum_of_sides(self):
+        cost = StrategyCost("sagu", 2.0, 3.0)
+        assert cost.total == 5.0
+
+    def test_cost_dict_keys_by_machine_features(self):
+        costs = gather_strategy_costs(4, CORE_I7, neighbour_is_scalar=True)
+        assert set(costs) == {"scalar", "permute", "sagu"}
+        costs = gather_strategy_costs(5, CORE_I7, neighbour_is_scalar=False)
+        assert set(costs) == {"scalar"}
+
+    def test_scalar_cost_scales_with_width(self):
+        from repro.simd.machine import wide_machine
+        narrow = gather_strategy_costs(2, CORE_I7,
+                                       neighbour_is_scalar=False)["scalar"]
+        wide = gather_strategy_costs(2, wide_machine(8),
+                                     neighbour_is_scalar=False)["scalar"]
+        assert wide.vector_side == pytest.approx(2 * narrow.vector_side)

@@ -1,0 +1,58 @@
+"""Golden test: the printed IR of the SIMDized Figure 3a actor pins the
+shape the paper's Figure 3b shows.
+
+The gather/scatter pseudo-ops are this IR's compact form of the figure's
+strided access groups; the C++ emitter expands them back into the literal
+peek/peek/peek/pop and rpush/rpush/rpush/push sequences, which the second
+test pins.
+"""
+
+import textwrap
+
+from repro.ir import format_body
+from repro.simd import vectorize_actor
+from repro.simd.machine import CORE_I7
+
+from .test_single_actor import make_figure3_d
+
+GOLDEN_IR = textwrap.dedent("""\
+    vector<float, 4> tmp[2];
+    float coeff[2] = {0.5, 1.5};
+    for (i : 0 to 2) {
+      vector<float, 4> t = gather_pop(stride=2, scalar);
+      tmp[i] = t * coeff[i];
+    }
+    scatter_push(abs(tmp[0] + tmp[1]), stride=2, scalar);
+    scatter_push(abs(tmp[0] - tmp[1]), stride=2, scalar);
+    advance_reader(6);
+    advance_writer(6);""")
+
+
+def test_vectorized_d_matches_golden_ir():
+    vec = vectorize_actor(make_figure3_d(), 4)
+    assert format_body(vec.work_body) == GOLDEN_IR
+
+
+def test_emitted_cpp_expands_figure3b_idioms():
+    """Figure 3b, literally: lanes packed from strided peeks (lane 3 from
+    offset 3*stride ... lane 0 from the pointer) and unpacked through
+    strided rpushes followed by a committing push."""
+    from repro.codegen import emit_cpp
+    from repro.graph import FilterSpec, Program, flatten, pipeline
+    from tests.conftest import make_ramp_source
+
+    vec = vectorize_actor(make_figure3_d(), 4)
+    graph = flatten(Program("fig3", pipeline(make_ramp_source(8), vec)))
+    text = emit_cpp(graph, CORE_I7)
+
+    # Read side: _mm_set_ps(peek(0+3*2), peek(0+2*2), peek(0+2), peek(0)).
+    assert "_mm_set_ps(__in.peek(0 + 3 * 2), __in.peek(0 + 2 * 2), " \
+           "__in.peek(0 + 2), __in.peek(0))" in text
+    # Write side: rpush lanes 3..1 at offsets 6/4/2, then push lane 0.
+    assert "__out.rpush(_lane(__sc1, 3), 6);" in text
+    assert "__out.rpush(_lane(__sc1, 2), 4);" in text
+    assert "__out.rpush(_lane(__sc1, 1), 2);" in text
+    assert "__out.push(_lane(__sc1, 0));" in text
+    # Pointer adjustments closing out the strided groups.
+    assert "__in.advance_reader(6);" in text
+    assert "__out.advance_writer(6);" in text

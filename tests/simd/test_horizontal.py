@@ -1,0 +1,249 @@
+"""Tests for horizontal SIMDization (§3.3, Figure 6)."""
+
+import pytest
+
+from repro.graph import (
+    FilterSpec,
+    Program,
+    StateVar,
+    duplicate_splitter,
+    flatten,
+    pipeline,
+    roundrobin_joiner,
+    roundrobin_splitter,
+    splitjoin,
+    validate,
+)
+from repro.graph.builtins import HJoinerSpec, HSplitterSpec
+from repro.ir import FLOAT, INT, ArrayHandle, WorkBuilder
+from repro.ir import expr as E
+from repro.ir import stmt as S
+from repro.ir.types import Vector
+from repro.ir.visitors import iter_all_exprs, iter_stmts
+from repro.runtime import execute
+from repro.simd import MergeConflict, merge_specs
+from repro.simd.machine import CORE_I7
+from repro.simd.pipeline import compile_graph
+from repro.simd.segments import find_horizontal_candidates
+
+from ..conftest import make_ramp_source
+
+SW = 4
+
+
+def make_figure6_b(divisor: float, name: str) -> FilterSpec:
+    """Figure 6a's B actor."""
+    b = WorkBuilder()
+    with b.loop("i", 0, 3):
+        a0 = b.let("a0", b.pop())
+        a1 = b.let("a1", b.pop())
+        a2 = b.let("a2", b.pop())
+        a3 = b.let("a3", b.pop())
+        b.push((a0 * a1 + a2 * a3) / divisor)
+    return FilterSpec(name, pop=12, push=3, work_body=b.build())
+
+
+def make_figure6_c(name: str) -> FilterSpec:
+    """Figure 6a's stateful C actor (repaired delay line)."""
+    b = WorkBuilder()
+    ph = b.var("ph")
+    state = ArrayHandle("state")
+    b.push(state[ph])
+    b.set(state[ph], b.pop())
+    b.set(ph, (ph + 1) % 8)
+    return FilterSpec(name, pop=1, push=1,
+                      state=(StateVar("state", FLOAT, 8, 0.0),
+                             StateVar("ph", INT, 0, 0)),
+                      work_body=b.build())
+
+
+class TestMergeSpecs:
+    def test_constant_divergence_becomes_vector_const(self):
+        """Figure 6b's {5, 6, 7, 8} constant vector."""
+        merged = merge_specs([make_figure6_b(float(d), f"B{d}")
+                              for d in (5, 6, 7, 8)], SW)
+        consts = [e for e in iter_all_exprs(merged.work_body)
+                  if isinstance(e, E.VectorConst)]
+        assert consts == [E.VectorConst((5.0, 6.0, 7.0, 8.0))]
+
+    def test_tape_ops_become_vector(self):
+        merged = merge_specs([make_figure6_b(float(d), f"B{d}")
+                              for d in (5, 6, 7, 8)], SW)
+        assert any(isinstance(e, E.VPop)
+                   for e in iter_all_exprs(merged.work_body))
+        assert any(isinstance(s, S.VPush)
+                   for s in iter_stmts(merged.work_body))
+        assert not any(isinstance(e, E.Pop)
+                       for e in iter_all_exprs(merged.work_body))
+
+    def test_rates_unchanged_in_vector_items(self):
+        merged = merge_specs([make_figure6_b(float(d), f"B{d}")
+                              for d in (5, 6, 7, 8)], SW)
+        assert merged.pop == 12
+        assert merged.push == 3
+
+    def test_stateful_actors_merge(self):
+        """Figure 6b: state array becomes a vector array, the scalar index
+        variable (place_holder) stays scalar."""
+        merged = merge_specs([make_figure6_c(f"C{i}") for i in range(SW)], SW)
+        state = {v.name: v for v in merged.state}
+        assert isinstance(state["state"].type, Vector)
+        assert state["ph"].type == INT  # lane-invariant, stays scalar
+
+    def test_divergent_state_init_forces_vector(self):
+        def gainer(g, name):
+            b = WorkBuilder()
+            b.push(b.pop() * b.var("g"))
+            return FilterSpec(name, pop=1, push=1,
+                              state=(StateVar("g", FLOAT, 0, g),),
+                              work_body=b.build())
+        merged = merge_specs([gainer(float(i), f"G{i}")
+                              for i in range(SW)], SW)
+        (gvar,) = merged.state
+        assert isinstance(gvar.type, Vector)
+        assert gvar.init == (0.0, 1.0, 2.0, 3.0)
+
+    def test_divergent_loop_bound_rejected(self):
+        def looper(n, name):
+            b = WorkBuilder()
+            acc = b.let("acc", 0.0)
+            with b.loop("i", 0, 4):
+                b.set(acc, acc + b.pop())
+            with b.loop("j", 0, n):
+                b.set(acc, acc * 2.0)
+            b.push(acc)
+            return FilterSpec(name, pop=4, push=1, work_body=b.build())
+        with pytest.raises(MergeConflict):
+            merge_specs([looper(n, f"L{n}") for n in (1, 2, 3, 4)], SW)
+
+    def test_structural_divergence_rejected(self):
+        plus = make_figure6_b(5.0, "B0")
+        b = WorkBuilder()
+        with b.loop("i", 0, 12):
+            b.stmt(b.pop())
+        b.push(1.0)
+        b.push(2.0)
+        b.push(3.0)
+        other = FilterSpec("B1", pop=12, push=3, work_body=b.build())
+        with pytest.raises(MergeConflict):
+            merge_specs([plus, other, plus, plus], SW)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(MergeConflict):
+            merge_specs([make_figure6_b(5.0, "B")] * 3, SW)
+
+    def test_divergent_array_inits_become_vector_arrays(self):
+        def fir(coeffs, name):
+            b = WorkBuilder()
+            c = b.array("c", FLOAT, 2, init=coeffs)
+            b.push(b.pop() * c[0] + b.pop() * c[1])
+            return FilterSpec(name, pop=2, push=1, work_body=b.build())
+        merged = merge_specs(
+            [fir((1.0 * i, 2.0 * i), f"F{i}") for i in range(SW)], SW)
+        decl = next(s for s in iter_stmts(merged.work_body)
+                    if isinstance(s, S.DeclArray))
+        assert isinstance(decl.elem_type, Vector)
+
+
+def _figure6_program():
+    branches = [pipeline(make_figure6_b(float(5 + i), f"B{i}"),
+                         make_figure6_c(f"C{i}"))
+                for i in range(SW)]
+    return Program("fig6", pipeline(
+        make_ramp_source(8, name="src"),
+        splitjoin(roundrobin_splitter([4] * SW), branches,
+                  roundrobin_joiner([1] * SW)),
+        _collector(),
+    ))
+
+
+def _collector():
+    b = WorkBuilder()
+    with b.loop("i", 0, 4):
+        b.push(b.pop())
+    return FilterSpec("tail", pop=4, push=4, work_body=b.build())
+
+
+class TestGraphTransformation:
+    def test_candidate_found(self):
+        g = flatten(_figure6_program())
+        candidates = find_horizontal_candidates(g, CORE_I7)
+        assert len(candidates) == 1
+        assert candidates[0].width == SW
+        assert candidates[0].depth == 2
+
+    def test_splitjoin_replaced_by_h_variants(self):
+        g = flatten(_figure6_program())
+        compiled = compile_graph(g, CORE_I7).graph
+        validate(compiled)
+        specs = [a.spec for a in compiled.actors.values()]
+        assert any(isinstance(s, HSplitterSpec) for s in specs)
+        assert any(isinstance(s, HJoinerSpec) for s in specs)
+        assert sum(isinstance(s, FilterSpec) and s.name.endswith("_h")
+                   for s in specs) == 2
+
+    def test_vector_tapes_created(self):
+        g = flatten(_figure6_program())
+        compiled = compile_graph(g, CORE_I7).graph
+        assert any(t.is_vector for t in compiled.tapes.values())
+
+    def test_functional_equivalence(self):
+        g = flatten(_figure6_program())
+        baseline = execute(g, iterations=4).outputs
+        compiled = compile_graph(g, CORE_I7).graph
+        horizontal = execute(compiled, iterations=4).outputs
+        n = min(len(baseline), len(horizontal))
+        assert n > 0
+        assert horizontal[:n] == baseline[:n]
+
+    def test_repetitions_not_scaled(self):
+        """§3.3: horizontal SIMDization does not change the latency (no
+        Equation (1) rescaling of the merged actors)."""
+        from repro.schedule import repetition_vector
+        from repro.simd import MacroSSOptions
+        g = flatten(_figure6_program())
+        scalar_reps = repetition_vector(g)
+        b0_rep = scalar_reps[g.actor_by_name("B0").id]
+        horizontal_only = MacroSSOptions(single_actor=False, vertical=False)
+        compiled = compile_graph(g, CORE_I7, horizontal_only).graph
+        reps = repetition_vector(compiled)
+        merged = compiled.actor_by_name("B_h")
+        assert reps[merged.id] == b0_rep
+
+    def test_tape_access_reduction(self):
+        """Figure 6 arithmetic: B pops drop by a factor of SW."""
+        g = flatten(_figure6_program())
+        scalar = execute(g, iterations=1)
+        scalar_loads = sum(
+            scalar.steady_counters.by_actor[g.actor_by_name(f"B{i}").id]
+            ["s_load"] for i in range(SW))
+        from repro.simd import MacroSSOptions
+        horizontal_only = MacroSSOptions(single_actor=False, vertical=False)
+        compiled = compile_graph(g, CORE_I7, horizontal_only).graph
+        horizontal = execute(compiled, iterations=1)
+        merged = compiled.actor_by_name("B_h")
+        vloads = horizontal.steady_counters.by_actor[merged.id]["v_load"]
+        assert vloads * SW == scalar_loads
+
+
+class TestGroupedWidths:
+    def test_eight_branches_make_two_simd_actors(self):
+        branches = [pipeline(make_figure6_b(float(i + 1), f"B{i}"))
+                    for i in range(8)]
+        program = Program("wide", pipeline(
+            make_ramp_source(8, name="src"),
+            splitjoin(roundrobin_splitter([4] * 8), branches,
+                      roundrobin_joiner([1] * 8)),
+            _collector(),
+        ))
+        g = flatten(program)
+        baseline = execute(g, iterations=4).outputs
+        compiled = compile_graph(g, CORE_I7).graph
+        validate(compiled)
+        merged = [a for a in compiled.actors.values()
+                  if isinstance(a.spec, FilterSpec)
+                  and a.spec.name.endswith("_h")]
+        assert len(merged) == 2
+        out = execute(compiled, iterations=4).outputs
+        n = min(len(baseline), len(out))
+        assert out[:n] == baseline[:n]

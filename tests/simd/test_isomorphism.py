@@ -1,0 +1,54 @@
+"""Tests for actor-level isomorphism detection."""
+
+from repro.graph import FilterSpec, StateVar
+from repro.ir import FLOAT, WorkBuilder
+from repro.simd import all_isomorphic, spec_signature, specs_isomorphic
+
+
+def _actor(gain: float, pop: int = 2, name: str = "a",
+           state_init: float = 0.0) -> FilterSpec:
+    b = WorkBuilder()
+    acc = b.let("acc", 0.0)
+    with b.loop("i", 0, pop):
+        b.set(acc, acc + b.pop() * gain)
+    b.push(acc)
+    return FilterSpec(name, pop=pop, push=1,
+                      state=(StateVar("s", FLOAT, 0, state_init),),
+                      work_body=b.build())
+
+
+class TestSpecsIsomorphic:
+    def test_identical(self):
+        assert specs_isomorphic(_actor(1.0), _actor(1.0))
+
+    def test_constants_may_differ(self):
+        assert specs_isomorphic(_actor(1.0), _actor(2.0))
+
+    def test_state_inits_may_differ(self):
+        assert specs_isomorphic(_actor(1.0, state_init=0.0),
+                                _actor(1.0, state_init=9.0))
+
+    def test_names_may_differ(self):
+        assert specs_isomorphic(_actor(1.0, name="x"), _actor(1.0, name="y"))
+
+    def test_rates_must_match(self):
+        assert not specs_isomorphic(_actor(1.0, pop=2), _actor(1.0, pop=4))
+
+    def test_state_structure_must_match(self):
+        plain = _actor(1.0)
+        b = WorkBuilder()
+        acc = b.let("acc", 0.0)
+        with b.loop("i", 0, 2):
+            b.set(acc, acc + b.pop() * 1.0)
+        b.push(acc)
+        no_state = FilterSpec("a", pop=2, push=1, work_body=b.build())
+        assert not specs_isomorphic(plain, no_state)
+
+    def test_all_isomorphic(self):
+        assert all_isomorphic([_actor(float(i)) for i in range(4)])
+        assert not all_isomorphic([_actor(1.0), _actor(1.0, pop=4)])
+        assert not all_isomorphic([])
+
+    def test_signature_is_hashable(self):
+        assert hash(spec_signature(_actor(1.0))) == hash(
+            spec_signature(_actor(5.0)))

@@ -1,0 +1,107 @@
+"""Tests for machine descriptions and the static cost estimator."""
+
+import math
+
+import pytest
+
+from repro.ir import FLOAT, WorkBuilder, call
+from repro.simd import estimate_body_events, estimate_firing_cycles
+from repro.simd.machine import (
+    CORE_I7,
+    CORE_I7_SAGU,
+    NEON_LIKE,
+    UnsupportedOperation,
+    wide_machine,
+)
+
+
+class TestMachineDescription:
+    def test_core_i7_basics(self):
+        assert CORE_I7.simd_width == 4
+        assert not CORE_I7.has_sagu
+        assert CORE_I7.has_extract_even_odd
+
+    def test_sagu_variant(self):
+        assert CORE_I7_SAGU.has_sagu
+        assert CORE_I7_SAGU.simd_width == CORE_I7.simd_width
+        assert "sagu" in CORE_I7_SAGU.name
+
+    def test_with_sagu_idempotent_name(self):
+        again = CORE_I7_SAGU.with_sagu()
+        assert again.name == CORE_I7_SAGU.name
+
+    def test_price_lookup(self):
+        assert CORE_I7.price("s_alu") == 1.0
+        assert CORE_I7.price("m_sin") > CORE_I7.price("m_abs")
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(UnsupportedOperation):
+            CORE_I7.price("bogus_event")
+
+    def test_vector_call_support(self):
+        assert CORE_I7.supports_vector_call("sin")
+        assert not CORE_I7.supports_vector_call("atan2")
+        assert not NEON_LIKE.supports_vector_call("sin")
+        assert NEON_LIKE.supports_vector_call("sqrt")
+
+    def test_wide_machine(self):
+        wide = wide_machine(8)
+        assert wide.simd_width == 8
+        with pytest.raises(ValueError):
+            wide_machine(6)
+
+    def test_vector_math_cheaper_per_element(self):
+        """SVML-style: one vector sin covers SW lanes for less than SW
+        scalar sins."""
+        assert CORE_I7.price("vm_sin") < 4 * CORE_I7.price("m_sin")
+
+
+class TestStaticEstimator:
+    def test_straight_line(self):
+        b = WorkBuilder()
+        b.push(b.pop() * 2.0)
+        events = estimate_body_events(b.build(), 4)
+        assert events["s_load"] == 1
+        assert events["s_store"] == 1
+        assert events["s_mul"] == 1
+
+    def test_loops_multiply(self):
+        b = WorkBuilder()
+        with b.loop("i", 0, 10):
+            b.push(b.pop())
+        events = estimate_body_events(b.build(), 4)
+        assert events["loop"] == 10
+        assert events["s_load"] == 10
+
+    def test_math_calls_counted(self):
+        b = WorkBuilder()
+        b.push(call("sin", b.pop()))
+        events = estimate_body_events(b.build(), 4)
+        assert events["m_sin"] == 1
+
+    def test_estimate_matches_interpreter_for_simple_body(self):
+        """For a straight-line stateless body, the static estimate equals
+        the measured event counts (minus the firing event)."""
+        from repro.perf import PerfCounters
+        from repro.runtime import ActorRuntime, Interpreter, Tape
+        b = WorkBuilder()
+        with b.loop("i", 0, 4):
+            b.push(b.pop() * 3.0 + 1.0)
+        body = b.build()
+        static = estimate_body_events(body, 4)
+
+        tape_in = Tape()
+        for i in range(4):
+            tape_in.push(float(i))
+        rt = ActorRuntime(0, 4, PerfCounters(), {}, tape_in, Tape())
+        Interpreter(rt).run_work(body)
+        dynamic = rt.counters.events.copy()
+        dynamic.pop("fire")
+        assert dict(static.events) == dict(dynamic)
+
+    def test_firing_cycles_positive(self):
+        from repro.graph import FilterSpec
+        b = WorkBuilder()
+        b.push(b.pop())
+        spec = FilterSpec("f", pop=1, push=1, work_body=b.build())
+        assert estimate_firing_cycles(spec, CORE_I7) > 0

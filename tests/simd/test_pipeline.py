@@ -1,0 +1,138 @@
+"""End-to-end MacroSS driver tests, pinned to the paper's running example
+(Figures 2a -> 2b)."""
+
+import pytest
+
+from repro.apps.running_example import build
+from repro.graph import flatten, validate
+from repro.runtime import execute
+from repro.simd import (
+    SCALAR_OPTIONS,
+    SINGLE_ACTOR_ONLY,
+    MacroSSOptions,
+    compile_graph,
+)
+from repro.simd.machine import CORE_I7
+
+
+@pytest.fixture(scope="module")
+def scalar_graph():
+    return flatten(build())
+
+
+@pytest.fixture(scope="module")
+def compiled(scalar_graph):
+    return compile_graph(scalar_graph, CORE_I7)
+
+
+class TestFigure2Decisions:
+    def test_horizontal_on_b_and_c(self, compiled):
+        for name in [f"B{i}" for i in range(4)] + [f"C{i}" for i in range(4)]:
+            assert compiled.report.decisions[name] == "horizontal"
+
+    def test_vertical_fusion_of_d_and_e(self, compiled):
+        assert compiled.report.decisions["D"] == "vertical:3D_2E"
+        assert compiled.report.decisions["E"] == "vertical:3D_2E"
+
+    def test_coarse_actor_rates_match_figure_4(self, compiled):
+        coarse = compiled.graph.actor_by_name("3D_2E")
+        assert coarse.spec.pop == 6 * 4   # x SW after vectorization
+        assert coarse.spec.push == 8 * 4
+
+    def test_single_actor_on_g(self, compiled):
+        assert compiled.report.decisions["G"] == "single"
+
+    def test_stateful_actors_stay_scalar(self, compiled):
+        for name in ("A", "F", "H"):
+            assert compiled.report.decisions[name].startswith("scalar:")
+            assert "stateful" in compiled.report.decisions[name]
+
+    def test_equation1_scaling_factor_is_two(self, compiled):
+        """§3.1: 'the repetition numbers of the graph in Figure 2a must be
+        scaled by 2 (= M)'."""
+        assert compiled.report.scaling_factor == 2
+
+    def test_hsplitter_hjoiner_present(self, compiled):
+        names = {a.name for a in compiled.graph.actors.values()}
+        assert any(n.startswith("hsplitter") for n in names)
+        assert any(n.startswith("hjoiner") for n in names)
+
+    def test_compiled_graph_validates(self, compiled):
+        validate(compiled.graph)
+
+    def test_report_summary_mentions_everything(self, compiled):
+        text = compiled.report.summary()
+        assert "M = 2" in text
+        assert "3D_2E" in text
+
+
+class TestEquivalence:
+    def test_outputs_bit_identical(self, scalar_graph, compiled):
+        baseline = execute(scalar_graph, iterations=4).outputs
+        simdized = execute(compiled.graph, machine=CORE_I7,
+                           iterations=2).outputs
+        n = min(len(baseline), len(simdized))
+        assert n > 0
+        assert simdized[:n] == baseline[:n]
+
+    def test_speedup_positive(self, scalar_graph, compiled):
+        scalar_cpo = execute(scalar_graph,
+                             iterations=2).cycles_per_output(CORE_I7)
+        simd_cpo = execute(compiled.graph, machine=CORE_I7,
+                           iterations=2).cycles_per_output(CORE_I7)
+        assert scalar_cpo / simd_cpo > 1.1
+
+
+class TestOptionPresets:
+    def test_scalar_options_change_nothing(self, scalar_graph):
+        compiled = compile_graph(scalar_graph, CORE_I7, SCALAR_OPTIONS)
+        assert not compiled.report.vertical_segments
+        assert not compiled.report.horizontal_splitjoins
+        baseline = execute(scalar_graph, iterations=2).outputs
+        unchanged = execute(compiled.graph, iterations=2).outputs
+        assert unchanged == baseline
+
+    def test_single_actor_only_still_vectorizes(self, scalar_graph):
+        compiled = compile_graph(scalar_graph, CORE_I7, SINGLE_ACTOR_ONLY)
+        assert not compiled.report.vertical_segments
+        assert compiled.report.decisions["D"] == "single"
+        assert compiled.report.decisions["E"] == "single"
+
+    def test_vertical_beats_single_actor_only(self, scalar_graph):
+        full = compile_graph(scalar_graph, CORE_I7,
+                             MacroSSOptions(tape_optimization=False))
+        single = compile_graph(scalar_graph, CORE_I7,
+                               MacroSSOptions(vertical=False,
+                                              tape_optimization=False))
+        full_cpo = execute(full.graph, machine=CORE_I7,
+                           iterations=2).cycles_per_output(CORE_I7)
+        single_cpo = execute(single.graph, machine=CORE_I7,
+                             iterations=2).cycles_per_output(CORE_I7)
+        assert full_cpo < single_cpo
+
+    def test_compilation_is_non_destructive(self, scalar_graph):
+        before = len(scalar_graph.actors)
+        compile_graph(scalar_graph, CORE_I7)
+        assert len(scalar_graph.actors) == before
+        assert scalar_graph.actor_by_name("D")  # untouched
+
+
+class TestPartitionConstrainedCompile:
+    def test_partition_limits_fusion(self, scalar_graph):
+        # Put D and E on different cores: the D-E fusion must not happen.
+        partition = {aid: 0 for aid in scalar_graph.actors}
+        partition[scalar_graph.actor_by_name("E").id] = 1
+        compiled = compile_graph(scalar_graph, CORE_I7, partition=partition)
+        assert compiled.report.decisions["D"] == "single"
+        assert compiled.report.decisions["E"] == "single"
+
+    def test_partition_limits_horizontal(self, scalar_graph):
+        partition = {aid: 0 for aid in scalar_graph.actors}
+        partition[scalar_graph.actor_by_name("B2").id] = 1
+        compiled = compile_graph(scalar_graph, CORE_I7, partition=partition)
+        assert compiled.report.decisions["B0"].startswith(("single", "scalar"))
+
+    def test_core_assignment_covers_all_new_actors(self, scalar_graph):
+        partition = {aid: aid % 2 for aid in scalar_graph.actors}
+        compiled = compile_graph(scalar_graph, CORE_I7, partition=partition)
+        assert set(compiled.core_assignment) == set(compiled.graph.actors)

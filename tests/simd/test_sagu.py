@@ -1,0 +1,91 @@
+"""Tests for the SAGU model (§3.4, Figures 8 and 9)."""
+
+import pytest
+
+from repro.simd.sagu import SAGU, lane_ordered_layout, software_address
+
+
+class TestSoftwareAddress:
+    def test_identity_when_push_count_one(self):
+        """X = 1: lane-ordered layout equals scalar order."""
+        for index in range(32):
+            assert software_address(index, 1, 4) == index
+
+    def test_transposition_within_block(self):
+        """X = 2, SW = 4: item i = k*2 + j lives at j*4 + k."""
+        expected = [0, 4, 1, 5, 2, 6, 3, 7]
+        assert [software_address(i, 2, 4) for i in range(8)] == expected
+
+    def test_block_offset(self):
+        block = 2 * 4
+        assert software_address(8, 2, 4) == block + 0
+        assert software_address(9, 2, 4) == block + 4
+
+    def test_base_address(self):
+        assert software_address(0, 2, 4, base=100) == 100
+
+    def test_addresses_are_a_permutation(self):
+        block = 6 * 4
+        addresses = {software_address(i, 6, 4) for i in range(block)}
+        assert addresses == set(range(block))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            software_address(0, 0, 4)
+
+
+class TestHardwareModel:
+    @pytest.mark.parametrize("push_count", [1, 2, 3, 4, 6, 8, 16])
+    @pytest.mark.parametrize("simd_width", [2, 4, 8])
+    def test_counters_match_software_sequence(self, push_count, simd_width):
+        """Figure 9's counter datapath produces Figure 8's address stream."""
+        sagu = SAGU(push_count, simd_width)
+        count = push_count * simd_width * 3
+        hardware = sagu.address_stream(count)
+        software = [software_address(i, push_count, simd_width)
+                    for i in range(count)]
+        assert hardware == software
+
+    def test_reset_opcode(self):
+        sagu = SAGU(4, 4)
+        sagu.address_stream(10)
+        sagu.reset()
+        assert sagu.next_address() == software_address(0, 4, 4)
+
+    def test_base_address_applied(self):
+        sagu = SAGU(2, 4, base_address=1000)
+        assert sagu.next_address() == 1000
+
+    def test_peek_does_not_advance(self):
+        sagu = SAGU(2, 4)
+        first = sagu.peek_address()
+        assert sagu.peek_address() == first
+        assert sagu.next_address() == first
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SAGU(0, 4)
+
+
+class TestLaneOrderedLayout:
+    def test_roundtrip_recovers_scalar_order(self):
+        """A scalar consumer walking a lane-ordered tape through the SAGU
+        reads the original stream."""
+        push_count, sw = 6, 4
+        items = [f"item{i}" for i in range(push_count * sw * 2)]
+        layout = lane_ordered_layout(items, push_count, sw)
+        sagu = SAGU(push_count, sw)
+        recovered = [layout[sagu.next_address()] for _ in range(len(items))]
+        assert recovered == items
+
+    def test_layout_is_what_vector_pushes_produce(self):
+        """Group j's vector occupies addresses j*SW..j*SW+3, lane k holding
+        execution k's element — i.e. layout position j*SW+k = item k*X+j."""
+        push_count, sw = 2, 4
+        items = list(range(8))
+        layout = lane_ordered_layout(items, push_count, sw)
+        assert layout == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_partial_block_rejected(self):
+        with pytest.raises(ValueError):
+            lane_ordered_layout([1, 2, 3], 2, 4)

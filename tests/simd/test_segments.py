@@ -1,0 +1,121 @@
+"""Tests for vectorizable segment identification."""
+
+from repro.apps.running_example import build
+from repro.graph import flatten
+from repro.simd import (
+    find_horizontal_candidates,
+    find_vertical_segments,
+    simdizable_filters,
+)
+from repro.simd.machine import CORE_I7
+
+from ..conftest import (
+    linear_program,
+    make_accumulator,
+    make_expander,
+    make_pair_sum,
+    make_ramp_source,
+    make_scaler,
+)
+
+
+def _segments_by_name(graph, **kwargs):
+    verdicts = simdizable_filters(graph, CORE_I7)
+    segments = find_vertical_segments(graph, verdicts, **kwargs)
+    return [[graph.actors[aid].name for aid in seg] for seg in segments]
+
+
+class TestVerticalSegments:
+    def test_maximal_chain(self):
+        g = linear_program(make_ramp_source(2),
+                           make_scaler(name="a"),
+                           make_scaler(name="b"),
+                           make_pair_sum())
+        assert _segments_by_name(g) == [["a", "b", "pairsum"]]
+
+    def test_stateful_actor_breaks_chain(self):
+        g = linear_program(make_ramp_source(2),
+                           make_scaler(name="a"),
+                           make_accumulator(),
+                           make_scaler(name="b"))
+        assert _segments_by_name(g) == [["a"], ["b"]]
+
+    def test_source_excluded(self):
+        g = linear_program(make_ramp_source(2), make_scaler())
+        names = [n for seg in _segments_by_name(g) for n in seg]
+        assert "src" not in names
+
+    def test_exclusion_set_respected(self):
+        g = linear_program(make_ramp_source(2),
+                           make_scaler(name="a"), make_scaler(name="b"))
+        excluded = {g.actor_by_name("a").id}
+        segs = _segments_by_name(g, exclude=excluded)
+        assert segs == [["b"]]
+
+    def test_same_group_constraint_breaks_chains(self):
+        g = linear_program(make_ramp_source(2),
+                           make_scaler(name="a"), make_scaler(name="b"))
+        partition = {aid: 0 for aid in g.actors}
+        partition[g.actor_by_name("b").id] = 1
+        segs = _segments_by_name(g, same_group=partition)
+        assert segs == [["a"], ["b"]]
+
+    def test_running_example_segments(self):
+        g = flatten(build())
+        verdicts = simdizable_filters(g, CORE_I7)
+        claimed = set()
+        for cand in find_horizontal_candidates(g, CORE_I7):
+            claimed |= cand.all_actor_ids()
+        segs = find_vertical_segments(g, verdicts, exclude=claimed)
+        names = [[g.actors[a].name for a in s] for s in segs]
+        assert ["D", "E"] in names
+        assert ["G"] in names
+
+
+class TestHorizontalCandidates:
+    def test_running_example_has_one_candidate(self):
+        g = flatten(build())
+        candidates = find_horizontal_candidates(g, CORE_I7)
+        assert len(candidates) == 1
+        cand = candidates[0]
+        assert cand.width == 4
+        assert cand.depth == 2
+        level0 = {g.actors[a].name for a in cand.level(0)}
+        assert level0 == {"B0", "B1", "B2", "B3"}
+
+    def test_non_isomorphic_splitjoin_rejected(self):
+        from repro.graph import (Program, pipeline, roundrobin_joiner,
+                                 roundrobin_splitter, splitjoin)
+        g = flatten(Program("mixed", pipeline(
+            make_ramp_source(4),
+            splitjoin(roundrobin_splitter([1, 1, 1, 1]),
+                      [make_scaler(name="s0"), make_scaler(name="s1"),
+                       make_expander(), make_scaler(name="s3")],
+                      roundrobin_joiner([1, 2, 1, 1])),
+            make_scaler(name="tail", pop=1),
+        )))
+        assert find_horizontal_candidates(g, CORE_I7) == []
+
+    def test_width_below_simd_rejected(self):
+        from repro.graph import (Program, pipeline, roundrobin_joiner,
+                                 roundrobin_splitter, splitjoin)
+        g = flatten(Program("narrow", pipeline(
+            make_ramp_source(4),
+            splitjoin(roundrobin_splitter([1, 1]),
+                      [make_scaler(name="s0"), make_scaler(name="s1")],
+                      roundrobin_joiner([1, 1])),
+            make_pair_sum(),
+        )))
+        assert find_horizontal_candidates(g, CORE_I7) == []
+
+    def test_uneven_splitter_weights_rejected(self):
+        from repro.graph import (Program, pipeline, roundrobin_joiner,
+                                 roundrobin_splitter, splitjoin)
+        g = flatten(Program("uneven", pipeline(
+            make_ramp_source(5),
+            splitjoin(roundrobin_splitter([2, 1, 1, 1]),
+                      [make_scaler(name=f"s{i}") for i in range(4)],
+                      roundrobin_joiner([2, 1, 1, 1])),
+            make_scaler(name="tail", pop=1),
+        )))
+        assert find_horizontal_candidates(g, CORE_I7) == []

@@ -1,0 +1,176 @@
+"""Tests for single-actor SIMDization (§3.1, Figure 3)."""
+
+import pytest
+
+from repro.graph import FilterSpec
+from repro.ir import FLOAT, WorkBuilder, call
+from repro.ir import expr as E
+from repro.ir import stmt as S
+from repro.ir.types import Vector
+from repro.ir.visitors import iter_all_exprs, iter_stmts
+from repro.perf import PerfCounters
+from repro.runtime import ActorRuntime, Interpreter, Tape
+from repro.simd import vectorize_actor
+
+SW = 4
+
+
+def make_figure3_d() -> FilterSpec:
+    """Figure 3a's D actor (pop 2, push 2)."""
+    b = WorkBuilder()
+    tmp = b.array("tmp", FLOAT, 2)
+    coeff = b.array("coeff", FLOAT, 2, init=(0.5, 1.5))
+    with b.loop("i", 0, 2) as i:
+        t = b.let("t", b.pop())
+        b.set(tmp[i], t * coeff[i])
+    b.push(call("abs", tmp[0] + tmp[1]))
+    b.push(call("abs", tmp[0] - tmp[1]))
+    return FilterSpec("D", pop=2, push=2, work_body=b.build())
+
+
+def run_spec(spec: FilterSpec, inputs, firings=1, sw=SW):
+    tape_in = Tape("in")
+    for item in inputs:
+        tape_in.push(item)
+    tape_out = Tape("out")
+    rt = ActorRuntime(0, sw, PerfCounters(), {}, tape_in, tape_out)
+    interp = Interpreter(rt)
+    for _ in range(firings):
+        interp.run_work(spec.work_body)
+    return tape_out.drain(), rt.counters
+
+
+class TestRateTransformation:
+    def test_rates_scaled_by_sw(self):
+        vec = vectorize_actor(make_figure3_d(), SW)
+        assert vec.pop == 8
+        assert vec.push == 8
+        assert vec.name == "D_v"
+
+    def test_peek_rate_of_peeking_actor(self):
+        b = WorkBuilder()
+        b.push(b.peek(3))
+        b.stmt(b.pop())
+        b.stmt(b.pop())
+        g = FilterSpec("G", pop=2, push=1, peek=4, work_body=b.build())
+        vec = vectorize_actor(g, SW)
+        # peek' = (SW-1)*pop + peek; residual delta stays peek - pop.
+        assert vec.peek == 3 * 2 + 4
+        assert vec.peek - vec.pop == g.peek - g.pop
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            vectorize_actor(make_figure3_d(), 1)
+
+
+class TestBodyTransformation:
+    def test_pops_become_strided_gathers(self):
+        vec = vectorize_actor(make_figure3_d(), SW)
+        gathers = [e for e in iter_all_exprs(vec.work_body)
+                   if isinstance(e, E.GatherPop)]
+        assert len(gathers) == 1  # the single pop inside the loop
+        assert gathers[0].stride == 2  # the original pop rate
+
+    def test_pushes_become_strided_scatters(self):
+        vec = vectorize_actor(make_figure3_d(), SW)
+        scatters = [s for s in iter_stmts(vec.work_body)
+                    if isinstance(s, S.ScatterPush)]
+        assert len(scatters) == 2
+        assert all(s.stride == 2 for s in scatters)
+
+    def test_trailing_advances(self):
+        vec = vectorize_actor(make_figure3_d(), SW)
+        assert vec.work_body[-2] == S.AdvanceReader((SW - 1) * 2)
+        assert vec.work_body[-1] == S.AdvanceWriter((SW - 1) * 2)
+
+    def test_tainted_declarations_retyped(self):
+        vec = vectorize_actor(make_figure3_d(), SW)
+        decls = {s.name: s for s in iter_stmts(vec.work_body)
+                 if isinstance(s, (S.DeclVar, S.DeclArray))}
+        assert isinstance(decls["t"].type, Vector)
+        assert isinstance(decls["tmp"].elem_type, Vector)
+        # read-only coefficients stay scalar (broadcast at use)
+        assert decls["coeff"].elem_type == FLOAT
+
+    def test_peeks_become_gather_peeks(self):
+        b = WorkBuilder()
+        with b.loop("i", 0, 3) as i:
+            b.push(b.peek(i))
+        b.stmt(b.pop())
+        spec = FilterSpec("P", pop=1, push=3, peek=3, work_body=b.build())
+        vec = vectorize_actor(spec, SW)
+        peeks = [e for e in iter_all_exprs(vec.work_body)
+                 if isinstance(e, E.GatherPeek)]
+        assert len(peeks) == 1
+        assert peeks[0].stride == 1  # pop rate
+
+    def test_lane_invariant_push_broadcast(self):
+        b = WorkBuilder()
+        b.stmt(b.pop())
+        b.push(1.0)
+        spec = FilterSpec("C1", pop=1, push=1, work_body=b.build())
+        vec = vectorize_actor(spec, SW)
+        scatters = [s for s in iter_stmts(vec.work_body)
+                    if isinstance(s, S.ScatterPush)]
+        assert isinstance(scatters[0].value, E.Broadcast)
+
+
+class TestSemanticEquivalence:
+    """One vectorized firing == SW consecutive scalar firings."""
+
+    def test_figure3_actor(self):
+        scalar = make_figure3_d()
+        vec = vectorize_actor(scalar, SW)
+        inputs = [0.5 * i - 1.0 for i in range(8)]
+        scalar_out, _ = run_spec(scalar, inputs, firings=SW)
+        vector_out, _ = run_spec(vec, inputs, firings=1)
+        assert vector_out == scalar_out
+
+    def test_multiple_vector_firings(self):
+        scalar = make_figure3_d()
+        vec = vectorize_actor(scalar, SW)
+        inputs = [0.1 * i for i in range(16)]
+        scalar_out, _ = run_spec(scalar, inputs, firings=8)
+        vector_out, _ = run_spec(vec, inputs, firings=2)
+        assert vector_out == pytest.approx(scalar_out)
+
+    def test_peeking_actor(self):
+        b = WorkBuilder()
+        b.push(b.peek(0) * 0.25 + b.peek(2))
+        b.stmt(b.pop())
+        b.stmt(b.pop())
+        scalar = FilterSpec("G", pop=2, push=1, peek=3, work_body=b.build())
+        vec = vectorize_actor(scalar, SW)
+        inputs = [float(i) for i in range(12)]
+        scalar_out, _ = run_spec(scalar, inputs, firings=SW)
+        vector_out, _ = run_spec(vec, inputs, firings=1)
+        assert vector_out == scalar_out
+
+    def test_math_heavy_actor(self):
+        b = WorkBuilder()
+        x = b.let("x", b.pop())
+        b.push(call("sin", x) * call("cos", x))
+        scalar = FilterSpec("M", pop=1, push=1, work_body=b.build())
+        vec = vectorize_actor(scalar, SW)
+        inputs = [0.3 * i for i in range(4)]
+        scalar_out, _ = run_spec(scalar, inputs, firings=SW)
+        vector_out, _ = run_spec(vec, inputs, firings=1)
+        assert vector_out == scalar_out
+
+    def test_sink_actor(self):
+        b = WorkBuilder()
+        b.stmt(b.pop())
+        scalar = FilterSpec("sink", pop=1, push=0, work_body=b.build())
+        vec = vectorize_actor(scalar, SW)
+        out, _ = run_spec(vec, [1.0] * 4, firings=1)
+        assert out == []
+
+    def test_vector_firing_uses_fewer_cycles(self):
+        from repro.simd.machine import CORE_I7
+        scalar = make_figure3_d()
+        vec = vectorize_actor(scalar, SW)
+        inputs = [0.5 * i for i in range(8)]
+        _, scalar_counters = run_spec(scalar, inputs, firings=SW)
+        _, vector_counters = run_spec(vec, inputs, firings=1)
+        assert (vector_counters.cycles(CORE_I7)
+                < scalar_counters.cycles(CORE_I7))

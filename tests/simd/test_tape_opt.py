@@ -1,0 +1,122 @@
+"""Tests for tape-access optimization (§3.4) and its cost model."""
+
+import pytest
+
+from repro.ir import expr as E
+from repro.ir import stmt as S
+from repro.ir.visitors import iter_all_exprs, iter_stmts
+from repro.runtime import execute
+from repro.simd import (
+    best_gather_strategy,
+    compile_graph,
+    gather_strategy_costs,
+    optimize_tapes,
+)
+from repro.simd.machine import CORE_I7, CORE_I7_SAGU
+from repro.simd.pipeline import MacroSSOptions
+
+from ..conftest import linear_program, make_pair_sum, make_ramp_source, make_scaler
+
+
+class TestStrategyCosts:
+    def test_scalar_always_available(self):
+        costs = gather_strategy_costs(3, CORE_I7, neighbour_is_scalar=False)
+        assert "scalar" in costs
+
+    def test_permute_requires_power_of_two(self):
+        assert "permute" in gather_strategy_costs(
+            4, CORE_I7, neighbour_is_scalar=False)
+        assert "permute" not in gather_strategy_costs(
+            3, CORE_I7, neighbour_is_scalar=False)
+
+    def test_permute_cost_formula(self):
+        """Figure 7 / §3.4: X·lg2(X) permutes for X groups -> lg2(X) per
+        group on top of one vector load."""
+        costs = gather_strategy_costs(8, CORE_I7, neighbour_is_scalar=False)
+        permute = costs["permute"]
+        expected = CORE_I7.price("v_load_u") + 3 * CORE_I7.price("permute")
+        assert permute.vector_side == expected
+
+    def test_sagu_strategy_requires_scalar_neighbour(self):
+        assert "sagu" not in gather_strategy_costs(
+            4, CORE_I7, neighbour_is_scalar=False)
+        assert "sagu" in gather_strategy_costs(
+            4, CORE_I7, neighbour_is_scalar=True)
+
+    def test_sagu_neighbour_cost_depends_on_hardware(self):
+        soft = gather_strategy_costs(4, CORE_I7, neighbour_is_scalar=True)
+        hard = gather_strategy_costs(4, CORE_I7_SAGU, neighbour_is_scalar=True)
+        assert soft["sagu"].neighbour_side > hard["sagu"].neighbour_side
+
+    def test_best_strategy_ordering(self):
+        # Without SAGU hardware, software address translation (6 cyc/access)
+        # makes the lane-ordered strategy lose to permutes for pow2 strides.
+        assert best_gather_strategy(4, CORE_I7,
+                                    neighbour_is_scalar=True) == "permute"
+        # With the SAGU it wins.
+        assert best_gather_strategy(4, CORE_I7_SAGU,
+                                    neighbour_is_scalar=True) == "sagu"
+        # Non-pow2 stride without SAGU: scalar packing is the best left.
+        assert best_gather_strategy(3, CORE_I7,
+                                    neighbour_is_scalar=True) == "scalar"
+        # Non-pow2 stride with SAGU: lane-ordered works regardless.
+        assert best_gather_strategy(3, CORE_I7_SAGU,
+                                    neighbour_is_scalar=True) == "sagu"
+
+
+class TestGraphPass:
+    def _compiled(self, machine, tape_opt=True):
+        g = linear_program(make_ramp_source(8),
+                           make_scaler(pop=4, name="sc"),
+                           make_pair_sum())
+        options = MacroSSOptions(tape_optimization=tape_opt)
+        return compile_graph(g, machine, options)
+
+    def test_strategies_recorded(self):
+        compiled = self._compiled(CORE_I7)
+        assert compiled.report.tape_strategies  # decisions made
+
+    def test_sagu_marks_lane_ordered_tapes(self):
+        compiled = self._compiled(CORE_I7_SAGU)
+        strategies = compiled.report.tape_strategies
+        if any(s == "sagu" for s in strategies.values()):
+            assert any(t.lane_ordered
+                       for t in compiled.graph.tapes.values())
+
+    def test_no_sagu_without_hardware_beyond_cost(self):
+        compiled = self._compiled(CORE_I7)
+        # software addr translation costs 6 cyc/access: never chosen
+        assert all(s != "sagu"
+                   for s in compiled.report.tape_strategies.values())
+
+    def test_functional_equivalence_across_strategies(self):
+        g = linear_program(make_ramp_source(8),
+                           make_scaler(pop=4, name="sc"),
+                           make_pair_sum())
+        baseline = execute(g, iterations=4).outputs
+        for machine in (CORE_I7, CORE_I7_SAGU):
+            compiled = compile_graph(g, machine)
+            outputs = execute(compiled.graph, machine=machine,
+                              iterations=2).outputs
+            n = min(len(baseline), len(outputs))
+            assert outputs[:n] == baseline[:n]
+
+    def test_sagu_machine_is_cheaper(self):
+        base = self._compiled(CORE_I7, tape_opt=False)
+        sagu = self._compiled(CORE_I7_SAGU)
+        base_cpo = execute(base.graph, machine=CORE_I7,
+                           iterations=2).cycles_per_output(CORE_I7)
+        sagu_cpo = execute(sagu.graph, machine=CORE_I7_SAGU,
+                           iterations=2).cycles_per_output(CORE_I7_SAGU)
+        assert sagu_cpo < base_cpo
+
+    def test_strategies_applied_to_bodies(self):
+        compiled = self._compiled(CORE_I7)
+        graph = compiled.graph
+        for actor in graph.filters():
+            for expr in iter_all_exprs(actor.spec.work_body):
+                if isinstance(expr, (E.GatherPop, E.GatherPeek)):
+                    boundary = compiled.report.tape_strategies.get(
+                        f"{actor.name}.in")
+                    if boundary is not None:
+                        assert expr.strategy == boundary

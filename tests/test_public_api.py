@@ -1,0 +1,75 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim-ish."""
+        from repro import (
+            CORE_I7,
+            FilterSpec,
+            Program,
+            StateVar,
+            WorkBuilder,
+            compile_graph,
+            execute,
+            flatten,
+            pipeline,
+        )
+        from repro.ir import FLOAT
+
+        b = WorkBuilder()
+        t = b.var("t")
+        with b.loop("i", 0, 4):
+            b.push(t)
+            b.set(t, t + 1.0)
+        source = FilterSpec("source", pop=0, push=4,
+                            state=(StateVar("t", FLOAT, 0, 0.0),),
+                            work_body=b.build())
+        b = WorkBuilder()
+        b.push(b.pop() * 2.0)
+        doubler = FilterSpec("double", pop=1, push=1, work_body=b.build())
+
+        graph = flatten(Program("demo", pipeline(source, doubler)))
+        compiled = compile_graph(graph, CORE_I7)
+        result = execute(compiled.graph, machine=CORE_I7, iterations=2)
+        assert result.outputs[:4] == [0.0, 2.0, 4.0, 6.0]
+        assert compiled.report.decisions["double"] == "single"
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "FFT" in out and "RunningExample" in out
+
+    def test_compile_report(self, capsys):
+        from repro.cli import main
+        assert main(["compile", "RunningExample"]) == 0
+        out = capsys.readouterr().out
+        assert "3D_2E" in out
+
+    def test_compile_cpp(self, capsys):
+        from repro.cli import main
+        assert main(["compile", "DCT", "--cpp"]) == 0
+        assert "int main()" in capsys.readouterr().out
+
+    def test_run(self, capsys):
+        from repro.cli import main
+        assert main(["run", "FFT", "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "MacroSS" in out and "outputs identical" in out
+
+    def test_figure_subset(self, capsys):
+        from repro.cli import main
+        assert main(["fig11", "--benchmarks", "FFT"]) == 0
+        assert "vertical improvement" in capsys.readouterr().out
