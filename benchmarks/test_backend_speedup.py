@@ -1,0 +1,91 @@
+"""Wall-clock speedup of the compiled backend over the interpreter.
+
+Runs every registry application at the default iteration count through
+both execution engines (prebuilt schedule, warmed kernel cache, best of
+``TIMING_ROUNDS`` timings) and records per-app wall-clock times, speedups,
+and the geometric mean into ``BENCH_backend.json`` at the repo root.
+
+This measures the *simulator's* speed, not modeled cycles — modeled cycle
+counts are backend-identical by construction (see the differential suite).
+The compiled backend's contract is: same numbers, several times faster.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.apps.registry import BENCHMARKS, get_benchmark
+from repro.experiments.harness import geometric_mean
+from repro.graph.flatten import flatten
+from repro.runtime import execute
+from repro.runtime.compiled import CompiledBackend
+from repro.schedule.steady_state import build_schedule
+
+from .conftest import record
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_backend.json"
+
+#: Default ``execute`` iteration count — the workload the speedup claim
+#: is made at.
+ITERATIONS = 8
+
+#: Timing repetitions per (app, backend); the minimum is reported.
+TIMING_ROUNDS = 3
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for _ in range(TIMING_ROUNDS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure() -> dict:
+    backend = CompiledBackend()
+    apps = {}
+    for name in sorted(BENCHMARKS):
+        graph = flatten(get_benchmark(name))
+        schedule = build_schedule(graph)
+        # Warm the kernel cache so the compiled timing reflects steady
+        # operation, not one-time compilation.
+        execute(graph, schedule, iterations=1, backend=backend)
+        interp_s = _time(lambda: execute(graph, schedule,
+                                         iterations=ITERATIONS))
+        compiled_s = _time(lambda: execute(graph, schedule,
+                                           iterations=ITERATIONS,
+                                           backend=backend))
+        apps[name] = {
+            "interp_s": round(interp_s, 6),
+            "compiled_s": round(compiled_s, 6),
+            "speedup": round(interp_s / compiled_s, 3),
+        }
+    speedups = [entry["speedup"] for entry in apps.values()]
+    return {
+        "iterations": ITERATIONS,
+        "timing_rounds": TIMING_ROUNDS,
+        "apps": apps,
+        "geomean_speedup": round(geometric_mean(speedups), 3),
+        "kernels_compiled": backend.cache.stats.compiled,
+        "kernel_cache_hits": backend.cache.stats.hits,
+    }
+
+
+def test_backend_speedup(benchmark):
+    data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    lines = [f"{'app':18s} {'interp':>9s} {'compiled':>9s} {'speedup':>8s}"]
+    for name, entry in data["apps"].items():
+        lines.append(f"{name:18s} {entry['interp_s']:8.3f}s "
+                     f"{entry['compiled_s']:8.3f}s {entry['speedup']:7.2f}x")
+    lines.append(f"{'geomean':18s} {'':9s} {'':9s} "
+                 f"{data['geomean_speedup']:7.2f}x")
+    record("backend_speedup", "\n".join(lines))
+
+    # Every app must benefit; the fleet must average >= 3x.
+    assert all(entry["speedup"] > 1.0 for entry in data["apps"].values())
+    assert data["geomean_speedup"] >= 3.0, data["geomean_speedup"]

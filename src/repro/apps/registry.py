@@ -18,12 +18,16 @@ def register(name: str):
 
 
 def get_benchmark(name: str) -> Program:
-    try:
-        return BENCHMARKS[name]()
-    except KeyError:
+    factory = BENCHMARKS.get(name)
+    if factory is None:
+        # Case-insensitive fallback so e.g. ``macross run fmradio`` works.
+        matches = [key for key in BENCHMARKS if key.lower() == name.lower()]
+        if len(matches) == 1:
+            factory = BENCHMARKS[matches[0]]
+    if factory is None:
         raise KeyError(
-            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
-        ) from None
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}")
+    return factory()
 
 
 def _populate() -> None:

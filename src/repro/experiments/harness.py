@@ -47,17 +47,26 @@ def scalar_graph(name: str) -> StreamGraph:
 
 
 def cycles_per_output(graph: StreamGraph, machine: MachineDescription,
-                      iterations: int = MEASURE_ITERATIONS) -> float:
-    result = execute(graph, machine=machine, iterations=iterations)
+                      iterations: int = MEASURE_ITERATIONS,
+                      backend: str = "interp") -> float:
+    result = execute(graph, machine=machine, iterations=iterations,
+                     backend=backend)
     return result.cycles_per_output(machine)
 
 
 @dataclass
 class Variants:
-    """All compiled/measured variants of one benchmark on one machine."""
+    """All compiled/measured variants of one benchmark on one machine.
+
+    ``backend`` selects the execution engine used for every measurement;
+    modeled cycle counts are backend-independent (the differential suite
+    enforces counter equality), so figures are reproducible either way —
+    ``"compiled"`` just regenerates them faster.
+    """
 
     name: str
     machine: MachineDescription
+    backend: str = "interp"
     scalar: StreamGraph = field(init=False)
 
     def __post_init__(self) -> None:
@@ -72,7 +81,8 @@ class Variants:
         if key not in self._cpo:
             graph = self.scalar.clone()
             auto_vectorize(graph, profile, self.machine)
-            self._cpo[key] = cycles_per_output(graph, self.machine)
+            self._cpo[key] = cycles_per_output(graph, self.machine,
+                                               backend=self.backend)
         return self._cpo[key]
 
     def macro_graph(self, options: MacroSSOptions = MacroSSOptions()
@@ -83,7 +93,8 @@ class Variants:
                   tag: str = "macro") -> float:
         if tag not in self._cpo:
             self._cpo[tag] = cycles_per_output(self.macro_graph(options),
-                                               self.machine)
+                                               self.machine,
+                                               backend=self.backend)
         return self._cpo[tag]
 
     def macro_autovec_cpo(self, profile: CompilerProfile) -> float:
@@ -91,12 +102,14 @@ class Variants:
         if key not in self._cpo:
             graph = compile_graph(self.scalar, self.machine).graph
             auto_vectorize(graph, profile, self.machine)
-            self._cpo[key] = cycles_per_output(graph, self.machine)
+            self._cpo[key] = cycles_per_output(graph, self.machine,
+                                               backend=self.backend)
         return self._cpo[key]
 
     def _measure(self, tag: str, graph: StreamGraph) -> float:
         if tag not in self._cpo:
-            self._cpo[tag] = cycles_per_output(graph, self.machine)
+            self._cpo[tag] = cycles_per_output(graph, self.machine,
+                                               backend=self.backend)
         return self._cpo[tag]
 
 

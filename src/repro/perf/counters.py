@@ -29,9 +29,15 @@ class PerfCounters:
                    for event, count in self.events.items())
 
     def scaled(self, factor: float) -> "PerfCounters":
+        """Counters with every count multiplied by ``factor``.
+
+        Counts are rounded to the nearest integer — truncation would
+        systematically under-count (e.g. 3 events at factor 0.5 must
+        yield 2, not 1).
+        """
         out = PerfCounters()
         for event, count in self.events.items():
-            out.events[event] = int(count * factor)
+            out.events[event] = round(count * factor)
         return out
 
     def __getitem__(self, event: str) -> int:

@@ -6,6 +6,7 @@ from .errors import (
     TapeUnderflow,
     UninitializedRead,
 )
+from .backends import InterpreterBackend, resolve_backend
 from .executor import ExecutionResult, execute, state_initial_value
 from .interpreter import ActorRuntime, Interpreter
 from .tape import Tape
@@ -15,5 +16,6 @@ __all__ = [
     "UninitializedRead",
     "ExecutionResult", "execute", "state_initial_value",
     "ActorRuntime", "Interpreter",
+    "InterpreterBackend", "resolve_backend",
     "Tape",
 ]

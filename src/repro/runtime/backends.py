@@ -1,0 +1,77 @@
+"""Execution backend selection.
+
+An execution backend decides *how* actor bodies run; the executor owns
+*when* they run (scheduling, tapes, phases) regardless of backend.  A
+backend provides two hooks:
+
+``make_filter_actor(runtime, spec, in_edge, out_edge)``
+    Return an object with ``.rt`` (the :class:`ActorRuntime`),
+    ``run_init(body)`` and ``run_work(body)`` — the interface the executor
+    fires filters through.
+
+``make_mover(run, actor)``
+    Optionally return a zero-argument firing closure for a native mover
+    (splitter/joiner); ``None`` falls back to the executor's generic path.
+
+Two backends exist: ``"interp"`` (the tree-walking
+:class:`~repro.runtime.interpreter.Interpreter`; the reference semantics)
+and ``"compiled"`` (:class:`~repro.runtime.compiled.CompiledBackend`;
+IR compiled once to Python closures with cached kernels and batched
+counter charging).  Both produce bit-identical outputs and performance
+counters — the differential test suite enforces this over every registry
+application.
+
+``resolve_backend`` maps the string names to backend objects.  The
+``"compiled"`` string resolves to a process-wide singleton so repeated
+``execute`` calls share one kernel cache; pass a fresh
+``CompiledBackend()`` instance instead when isolated cache statistics are
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..graph.actor import FilterSpec
+from ..graph.stream_graph import TapeEdge
+from .errors import StreamRuntimeError
+from .interpreter import ActorRuntime, Interpreter
+
+__all__ = ["InterpreterBackend", "resolve_backend"]
+
+
+class InterpreterBackend:
+    """Reference backend: one tree-walking interpreter per filter."""
+
+    name = "interp"
+
+    def make_filter_actor(self, runtime: ActorRuntime, spec: FilterSpec,
+                          in_edge: Optional[TapeEdge],
+                          out_edge: Optional[TapeEdge]) -> Interpreter:
+        return Interpreter(runtime)
+
+    def make_mover(self, run: Any, actor: Any) -> None:
+        return None  # executor's generic native path
+
+
+_COMPILED_SINGLETON: Any = None
+
+
+def resolve_backend(backend: Any) -> Any:
+    """Resolve ``backend`` to a backend object.
+
+    Accepts ``"interp"``, ``"compiled"``, or any object already
+    implementing the backend interface (returned unchanged).
+    """
+    if not isinstance(backend, str):
+        return backend
+    if backend == "interp":
+        return InterpreterBackend()
+    if backend == "compiled":
+        global _COMPILED_SINGLETON
+        if _COMPILED_SINGLETON is None:
+            from .compiled import CompiledBackend
+            _COMPILED_SINGLETON = CompiledBackend()
+        return _COMPILED_SINGLETON
+    raise StreamRuntimeError(
+        f"unknown backend {backend!r} (expected 'interp' or 'compiled')")

@@ -1,0 +1,46 @@
+"""Compiled execution backend: IR -> Python-closure compiler.
+
+Instead of tree-walking the work-function IR on every firing (what
+:mod:`repro.runtime.interpreter` does), this subsystem compiles each
+actor's init/work body **once** into a composition of small Python
+closures, specialised on
+
+* scalar vs. vector operand shapes (a static shape-inference pass),
+* tape access kind (scalar / vector input and output tapes),
+* lane-ordering and SAGU flags of the surrounding tapes.
+
+Two further tricks make the compiled engine fast while keeping the modeled
+cycle counts **bit-identical** to the interpreter:
+
+* **kernel caching** — kernels are keyed by the constant-abstracted
+  canonical form of the body (the same canonicalisation
+  :mod:`repro.ir.structhash` uses for horizontal-fusion isomorphism), so
+  structurally identical actors that differ only in constants share one
+  compiled kernel; per-instance constants are bound at instantiation.
+* **static event aggregation** — the :class:`~repro.perf.counters.PerfCounters`
+  delta of every straight-line block is pre-computed at compile time and
+  charged in one batched update per execution of the block, instead of one
+  ``counters.add`` call per IR operation.
+
+The public entry point is :class:`CompiledBackend`, selected through
+``execute(..., backend="compiled")`` or the ``--backend`` CLI flag.
+"""
+
+from __future__ import annotations
+
+from .backend import CompiledActor, CompiledBackend
+from .cache import CacheStats, KernelCache
+from .canon import TypedCanonical, typed_canonicalize
+from .compiler import Kernel, Specialization, compile_kernel
+
+__all__ = [
+    "CompiledActor",
+    "CompiledBackend",
+    "CacheStats",
+    "KernelCache",
+    "TypedCanonical",
+    "typed_canonicalize",
+    "Kernel",
+    "Specialization",
+    "compile_kernel",
+]

@@ -1,0 +1,62 @@
+"""Kernel cache: one compiled kernel per (canonical body, specialisation).
+
+Horizontal SIMDization thrives on isomorphic actor sets (§3.3); a graph
+with sixteen structurally identical band-pass filters should pay the
+compile cost once, not sixteen times.  The cache key is exactly the
+equivalence the structhash isomorphism check induces — the typed canonical
+body from :mod:`.canon` — crossed with the :class:`~.compiler.Specialization`
+(tape kinds, lane ordering, SIMD width, state shapes), since a kernel's
+closures and static counter deltas are only valid under the specialisation
+they were compiled for.
+
+``CacheStats`` exposes compile/hit counts so tests can assert that
+structhash-equal actors really do share one kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ...ir import stmt as S
+from .compiler import Kernel, Specialization, compile_kernel
+
+
+@dataclass
+class CacheStats:
+    """Observable cache behaviour (mutated in place by the cache)."""
+
+    lookups: int = 0
+    hits: int = 0
+
+    @property
+    def compiled(self) -> int:
+        """Number of distinct kernels actually compiled."""
+        return self.lookups - self.hits
+
+
+class KernelCache:
+    """Maps ``(canonical body, specialisation)`` to a compiled kernel."""
+
+    def __init__(self) -> None:
+        self._kernels: Dict[Tuple[S.Body, Specialization], Kernel] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def get_or_compile(self, canon_body: S.Body,
+                       spec: Specialization) -> Kernel:
+        """Return the kernel for ``canon_body`` under ``spec``, compiling it
+        on first request.  Kernels are stateless (per-instance constants are
+        bound into the :class:`~.compiler.Frame`, not the kernel), so
+        sharing across actors and executions is always sound."""
+        self.stats.lookups += 1
+        key = (canon_body, spec)
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            kernel = compile_kernel(canon_body, spec)
+            self._kernels[key] = kernel
+        else:
+            self.stats.hits += 1
+        return kernel

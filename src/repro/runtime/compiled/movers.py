@@ -1,0 +1,213 @@
+"""Compiled fast paths for native data movers (splitters / joiners).
+
+The executor runs splitters and joiners natively; its generic ``_fire_*``
+methods charge counters one ``add`` call per moved element.  For any given
+actor, though, the event multiset of one firing is *fully static* — it
+depends only on the spec's weights and the lane-ordered flags of the
+adjacent tapes.  The compiled backend therefore pre-computes one
+``Counter`` delta per mover at setup time and each firing performs a
+single batched update followed by the bare data movement.
+
+Element movement order is kept identical to the executor's generic path
+(reads and writes interleave the same way), so tape contents — and hence
+everything downstream — are bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Optional
+
+from ...graph.builtins import (
+    HJoinerSpec,
+    HSplitterSpec,
+    JoinerSpec,
+    SplitKind,
+    SplitterSpec,
+)
+from ...perf import events as ev
+
+FireFn = Callable[[], None]
+
+
+def make_mover(run: Any, actor: Any) -> Optional[FireFn]:
+    """Return a zero-argument firing closure for ``actor``, or ``None`` if
+    its spec is not a native mover (filters are handled by kernels)."""
+    spec = actor.spec
+    if isinstance(spec, SplitterSpec):
+        return _splitter(run, actor.id, spec)
+    if isinstance(spec, JoinerSpec):
+        return _joiner(run, actor.id, spec)
+    if isinstance(spec, HSplitterSpec):
+        return _hsplitter(run, actor.id, spec)
+    if isinstance(spec, HJoinerSpec):
+        return _hjoiner(run, actor.id, spec)
+    return None
+
+
+def _lane_event(run: Any) -> str:
+    return ev.SAGU if run.machine.has_sagu else ev.ADDR
+
+
+def _batcher(run: Any, actor_id: int, static: Counter):
+    """Per-firing batched charge.  ``run.counters`` is swapped between the
+    init and steady phases, so the bag is re-fetched on every firing."""
+    items = tuple((event, count) for event, count in static.items() if count)
+
+    def charge() -> None:
+        events = run.counters.for_actor(actor_id).events
+        for event, count in items:
+            events[event] += count
+    return charge
+
+
+def _splitter(run: Any, actor_id: int, spec: SplitterSpec) -> FireFn:
+    graph = run.graph
+    lane = _lane_event(run)
+    in_edge = graph.in_tapes(actor_id)[0]
+    outs = graph.out_tapes(actor_id)
+    in_tape = run.tapes[in_edge.id]
+    static = Counter({ev.FIRE: 1})
+
+    if spec.kind is SplitKind.DUPLICATE:
+        static[ev.SCALAR_LOAD] += 1
+        if in_edge.lane_ordered:
+            static[lane] += 1
+        out_tapes = []
+        for edge in outs:
+            static[ev.SCALAR_STORE] += 1
+            if edge.lane_ordered:
+                static[lane] += 1
+            out_tapes.append(run.tapes[edge.id])
+        charge = _batcher(run, actor_id, static)
+
+        def fire_dup() -> None:
+            charge()
+            value = in_tape.pop()
+            for tape in out_tapes:
+                tape.push(value)
+        return fire_dup
+
+    plan = []
+    for edge in outs:
+        weight = spec.weights[edge.src_port]
+        static[ev.SCALAR_LOAD] += weight
+        static[ev.SCALAR_STORE] += weight
+        if in_edge.lane_ordered:
+            static[lane] += weight
+        if edge.lane_ordered:
+            static[lane] += weight
+        plan.append((run.tapes[edge.id].push, weight))
+    charge = _batcher(run, actor_id, static)
+    pop = in_tape.pop
+
+    def fire_rr() -> None:
+        charge()
+        for push, weight in plan:
+            for _ in range(weight):
+                push(pop())
+    return fire_rr
+
+
+def _joiner(run: Any, actor_id: int, spec: JoinerSpec) -> FireFn:
+    graph = run.graph
+    lane = _lane_event(run)
+    ins = graph.in_tapes(actor_id)
+    outs = graph.out_tapes(actor_id)
+    out_edge = outs[0] if outs else None
+    static = Counter({ev.FIRE: 1})
+    plan = []
+    for edge in ins:
+        weight = spec.weights[edge.dst_port]
+        static[ev.SCALAR_LOAD] += weight
+        if edge.lane_ordered:
+            static[lane] += weight
+        if out_edge is not None:
+            static[ev.SCALAR_STORE] += weight
+            if out_edge.lane_ordered:
+                static[lane] += weight
+        plan.append((run.tapes[edge.id].pop, weight))
+    charge = _batcher(run, actor_id, static)
+    push = run.tapes[out_edge.id].push if out_edge is not None else None
+
+    def fire() -> None:
+        charge()
+        if push is None:
+            for pop, weight in plan:
+                for _ in range(weight):
+                    pop()
+        else:
+            for pop, weight in plan:
+                for _ in range(weight):
+                    push(pop())
+    return fire
+
+
+def _hsplitter(run: Any, actor_id: int, spec: HSplitterSpec) -> FireFn:
+    graph = run.graph
+    lane = _lane_event(run)
+    in_edge = graph.in_tapes(actor_id)[0]
+    out_edge = graph.out_tapes(actor_id)[0]
+    pop = run.tapes[in_edge.id].pop
+    push = run.tapes[out_edge.id].push
+    width = spec.width
+    weight = spec.weight
+    static = Counter({ev.FIRE: 1})
+
+    if spec.kind is SplitKind.DUPLICATE:
+        static[ev.SCALAR_LOAD] += weight
+        if in_edge.lane_ordered:
+            static[lane] += weight
+        static[ev.SPLAT] += weight
+        static[ev.VECTOR_STORE] += weight
+        charge = _batcher(run, actor_id, static)
+
+        def fire_dup() -> None:
+            charge()
+            for _ in range(weight):
+                push([pop()] * width)
+        return fire_dup
+
+    total = width * weight
+    static[ev.SCALAR_LOAD] += total
+    if in_edge.lane_ordered:
+        static[lane] += total
+    static[ev.PACK] += total
+    static[ev.VECTOR_STORE] += weight
+    charge = _batcher(run, actor_id, static)
+
+    def fire_rr() -> None:
+        charge()
+        chunk = [pop() for _ in range(total)]
+        for j in range(weight):
+            push([chunk[k * weight + j] for k in range(width)])
+    return fire_rr
+
+
+def _hjoiner(run: Any, actor_id: int, spec: HJoinerSpec) -> FireFn:
+    graph = run.graph
+    lane = _lane_event(run)
+    in_edge = graph.in_tapes(actor_id)[0]
+    outs = graph.out_tapes(actor_id)
+    pop = run.tapes[in_edge.id].pop
+    width = spec.width
+    weight = spec.weight
+    static = Counter({ev.FIRE: 1, ev.VECTOR_LOAD: weight,
+                      ev.UNPACK: width * weight})
+    if outs:
+        static[ev.SCALAR_STORE] += width * weight
+        if outs[0].lane_ordered:
+            static[lane] += width * weight
+        push = run.tapes[outs[0].id].push
+    else:
+        push = None
+    charge = _batcher(run, actor_id, static)
+
+    def fire() -> None:
+        charge()
+        vectors = [pop() for _ in range(weight)]
+        if push is not None:
+            for k in range(width):
+                for j in range(weight):
+                    push(vectors[j][k])
+    return fire

@@ -3,8 +3,12 @@
 The executor allocates runtime tapes, initialises actor state, runs the
 init phase (priming peeking filters), then runs ``iterations`` steady-state
 cycles of the schedule (the outer while-loop of Figure 1b).  Filters run
-through the IR interpreter; splitters and joiners (plain and horizontal)
-are executed natively with equivalent event charging.
+through the selected execution backend — the tree-walking IR interpreter
+(``backend="interp"``, the default) or the closure compiler
+(``backend="compiled"``, see :mod:`repro.runtime.compiled`) — while
+splitters and joiners (plain and horizontal) are executed natively with
+equivalent event charging.  Both backends produce identical outputs and
+identical performance counters.
 
 Outputs pushed by the terminal actor are collected and returned, which is
 how tests establish that a SIMDized graph computes exactly what the scalar
@@ -14,7 +18,7 @@ graph computes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..graph.actor import FilterSpec, StateVar
 from ..graph.builtins import (
@@ -30,8 +34,9 @@ from ..perf import events as ev
 from ..perf.counters import PerActorCounters, PerfCounters
 from ..schedule.steady_state import Schedule, build_schedule
 from ..simd.machine import CORE_I7, MachineDescription
+from .backends import resolve_backend
 from .errors import StreamRuntimeError
-from .interpreter import ActorRuntime, Interpreter
+from .interpreter import ActorRuntime
 from .tape import Tape
 from .values import splat
 
@@ -49,6 +54,8 @@ class ExecutionResult:
     init_counters: PerActorCounters
     steady_counters: PerActorCounters
     schedule: Schedule
+    #: name of the execution backend that produced this result.
+    backend: str = "interp"
 
     def cycles_per_output(self, machine: MachineDescription) -> float:
         """Steady-state cycles per produced item — the throughput metric all
@@ -96,10 +103,13 @@ class _GraphRun:
     """All mutable state of one execution."""
 
     def __init__(self, graph: StreamGraph, schedule: Schedule,
-                 machine: MachineDescription) -> None:
+                 machine: MachineDescription,
+                 backend: Any = "interp") -> None:
+        backend = resolve_backend(backend)
         self.graph = graph
         self.schedule = schedule
         self.machine = machine
+        self.backend = backend
         self.tapes: Dict[int, Tape] = {
             tid: Tape(f"tape{tid}") for tid in graph.tapes}
         # Feedback-loop delays: pre-load enqueued items.
@@ -107,7 +117,10 @@ class _GraphRun:
             for item in edge.initial:
                 self.tapes[tid].push(item)
         self.collector: Optional[Tape] = None
-        self.interpreters: Dict[int, Interpreter] = {}
+        #: filter actors by id (``Interpreter`` or ``CompiledActor``).
+        self.actors: Dict[int, Any] = {}
+        #: per-actor firing closures (filters and movers alike).
+        self.fire_fns: Dict[int, Callable[[], None]] = {}
         self.counters = PerActorCounters()
         self._setup_actors()
 
@@ -121,7 +134,12 @@ class _GraphRun:
         collector_owner = terminal_candidates[0].id if terminal_candidates else None
 
         for actor in self.graph.actors.values():
-            if not isinstance(actor.spec, FilterSpec):
+            spec = actor.spec
+            if not isinstance(spec, FilterSpec):
+                mover = self.backend.make_mover(self, actor)
+                if mover is None:
+                    mover = self._generic_mover(actor.id, spec)
+                self.fire_fns[actor.id] = mover
                 continue
             in_tape = self.graph.input_tape(actor.id)
             out_tape = self.graph.output_tape(actor.id)
@@ -130,7 +148,7 @@ class _GraphRun:
                 simd_width=self.machine.simd_width,
                 counters=self.counters.for_actor(actor.id),
                 state={var.name: state_initial_value(var, self.machine.simd_width)
-                       for var in actor.spec.state},
+                       for var in spec.state},
                 input=self.tapes[in_tape.id] if in_tape else None,
                 output=self.tapes[out_tape.id] if out_tape else None,
                 in_lane_ordered=bool(in_tape and in_tape.lane_ordered),
@@ -140,27 +158,34 @@ class _GraphRun:
             if actor.id == collector_owner:
                 self.collector = Tape("collector")
                 runtime.output = self.collector
-            interp = Interpreter(runtime)
-            if actor.spec.init_body:
-                interp.run_init(actor.spec.init_body)
-            self.interpreters[actor.id] = interp
+            runner = self.backend.make_filter_actor(
+                runtime, spec, in_tape, out_tape)
+            if spec.init_body:
+                runner.run_init(spec.init_body)
+            self.actors[actor.id] = runner
+            work_body = spec.work_body
+
+            def fire_filter(_runner=runner, _body=work_body) -> None:
+                _runner.run_work(_body)
+            self.fire_fns[actor.id] = fire_filter
+
+    def _generic_mover(self, actor_id: int, spec: Any) -> Callable[[], None]:
+        """Fallback mover firing through the generic ``_fire_*`` paths."""
+        if isinstance(spec, SplitterSpec):
+            method = self._fire_splitter
+        elif isinstance(spec, JoinerSpec):
+            method = self._fire_joiner
+        elif isinstance(spec, HSplitterSpec):
+            method = self._fire_hsplitter
+        elif isinstance(spec, HJoinerSpec):
+            method = self._fire_hjoiner
+        else:
+            raise StreamRuntimeError(f"cannot fire {spec!r}")
+        return lambda: method(actor_id, spec)
 
     # -- firing ---------------------------------------------------------------
     def fire(self, actor_id: int) -> None:
-        actor = self.graph.actors[actor_id]
-        spec = actor.spec
-        if isinstance(spec, FilterSpec):
-            self.interpreters[actor_id].run_work(spec.work_body)
-        elif isinstance(spec, SplitterSpec):
-            self._fire_splitter(actor_id, spec)
-        elif isinstance(spec, JoinerSpec):
-            self._fire_joiner(actor_id, spec)
-        elif isinstance(spec, HSplitterSpec):
-            self._fire_hsplitter(actor_id, spec)
-        elif isinstance(spec, HJoinerSpec):
-            self._fire_hjoiner(actor_id, spec)
-        else:
-            raise StreamRuntimeError(f"cannot fire {spec!r}")
+        self.fire_fns[actor_id]()
 
     def _scalar_read(self, counters: PerfCounters, tape_id: int) -> Any:
         counters.add(ev.SCALAR_LOAD)
@@ -241,31 +266,50 @@ class _GraphRun:
 
     # -- phases ----------------------------------------------------------------
     def run_phase(self, phase) -> None:
+        fire_fns = self.fire_fns
         for actor_id, firings in phase:
+            fn = fire_fns[actor_id]
             for _ in range(firings):
-                self.fire(actor_id)
+                fn()
+
+    def drain_collector(self) -> List[Any]:
+        """Items the terminal actor has pushed since the last drain."""
+        return self.collector.drain() if self.collector is not None else []
+
+    def reset_counters(self) -> PerActorCounters:
+        """Start a fresh counting phase: install an empty counter set,
+        re-point every filter actor at it, and return the old one.
+        (Mover closures re-fetch ``self.counters`` per firing.)"""
+        old = self.counters
+        self.counters = PerActorCounters()
+        for actor_id, runner in self.actors.items():
+            runner.rt.counters = self.counters.for_actor(actor_id)
+        return old
 
 
 def execute(graph: StreamGraph,
             schedule: Optional[Schedule] = None,
             *,
             machine: MachineDescription = CORE_I7,
-            iterations: int = 8) -> ExecutionResult:
+            iterations: int = 8,
+            backend: Any = "interp") -> ExecutionResult:
     """Run ``iterations`` steady-state cycles of ``graph`` and return
-    collected outputs plus performance counters."""
+    collected outputs plus performance counters.
+
+    ``backend`` selects the execution engine: ``"interp"`` (tree-walking
+    interpreter, the reference), ``"compiled"`` (cached closure kernels,
+    same outputs and counters, much faster), or a backend object.
+    """
     if schedule is None:
         schedule = build_schedule(graph)
-    run = _GraphRun(graph, schedule, machine)
+    be = resolve_backend(backend)
+    run = _GraphRun(graph, schedule, machine, be)
     run.run_phase(schedule.init)
-    init_counters = run.counters
-    init_outputs = run.collector.drain() if run.collector is not None else []
-    run.counters = PerActorCounters()
-    # Re-point every interpreter at the steady-phase counter bag.
-    for actor_id, interp in run.interpreters.items():
-        interp.rt.counters = run.counters.for_actor(actor_id)
+    init_outputs = run.drain_collector()
+    init_counters = run.reset_counters()
     for _ in range(iterations):
         run.run_phase(schedule.steady)
-    outputs = run.collector.drain() if run.collector is not None else []
+    outputs = run.drain_collector()
     return ExecutionResult(
         graph_name=graph.name,
         iterations=iterations,
@@ -274,4 +318,5 @@ def execute(graph: StreamGraph,
         init_counters=init_counters,
         steady_counters=run.counters,
         schedule=schedule,
+        backend=be.name,
     )

@@ -8,6 +8,7 @@ to preserve value semantics).
 from __future__ import annotations
 
 import math
+import operator
 from typing import Any, Callable, List
 
 ScalarValue = int | float | bool
@@ -37,59 +38,63 @@ def _c_int_mod(a: int, b: int) -> int:
     return a - _c_int_div(a, b) * b
 
 
+def _div(a: ScalarValue, b: ScalarValue) -> ScalarValue:
+    if isinstance(a, int) and isinstance(b, int):
+        return _c_int_div(a, b)
+    return a / b
+
+
+def _mod(a: ScalarValue, b: ScalarValue) -> ScalarValue:
+    if isinstance(a, int) and isinstance(b, int):
+        return _c_int_mod(a, b)
+    return math.fmod(a, b)
+
+
+#: Scalar semantics of each IR binary operator (C-like).  Shared by the
+#: interpreter's generic dispatch and the compiled backend's specialised
+#: closures, so both engines compute bit-identical results by construction.
+BINARY_IMPLS: dict[str, Callable[[ScalarValue, ScalarValue], ScalarValue]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": _div,
+    "%": _mod,
+    "<<": lambda a, b: int(a) << int(b),
+    ">>": lambda a, b: int(a) >> int(b),
+    "&": lambda a, b: int(a) & int(b),
+    "|": lambda a, b: int(a) | int(b),
+    "^": lambda a, b: int(a) ^ int(b),
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "&&": lambda a, b: bool(a) and bool(b),
+    "||": lambda a, b: bool(a) or bool(b),
+}
+
+#: Scalar semantics of each IR unary operator.
+UNARY_IMPLS: dict[str, Callable[[ScalarValue], ScalarValue]] = {
+    "-": operator.neg,
+    "!": lambda a: not bool(a),
+    "~": lambda a: ~int(a),
+}
+
+
 def apply_binary(op: str, a: ScalarValue, b: ScalarValue) -> ScalarValue:
     """Scalar semantics of each IR binary operator (C-like)."""
-    if op == "+":
-        return a + b
-    if op == "-":
-        return a - b
-    if op == "*":
-        return a * b
-    if op == "/":
-        if isinstance(a, int) and isinstance(b, int):
-            return _c_int_div(a, b)
-        return a / b
-    if op == "%":
-        if isinstance(a, int) and isinstance(b, int):
-            return _c_int_mod(a, b)
-        return math.fmod(a, b)
-    if op == "<<":
-        return int(a) << int(b)
-    if op == ">>":
-        return int(a) >> int(b)
-    if op == "&":
-        return int(a) & int(b)
-    if op == "|":
-        return int(a) | int(b)
-    if op == "^":
-        return int(a) ^ int(b)
-    if op == "==":
-        return a == b
-    if op == "!=":
-        return a != b
-    if op == "<":
-        return a < b
-    if op == "<=":
-        return a <= b
-    if op == ">":
-        return a > b
-    if op == ">=":
-        return a >= b
-    if op == "&&":
-        return bool(a) and bool(b)
-    if op == "||":
-        return bool(a) or bool(b)
-    raise ValueError(f"unknown binary operator {op!r}")
+    impl = BINARY_IMPLS.get(op)
+    if impl is None:
+        raise ValueError(f"unknown binary operator {op!r}")
+    return impl(a, b)
 
 
 def apply_unary(op: str, a: ScalarValue) -> ScalarValue:
-    if op == "-":
-        return -a
-    if op == "!":
-        return not bool(a)
-    if op == "~":
-        return ~int(a)
-    raise ValueError(f"unknown unary operator {op!r}")
+    impl = UNARY_IMPLS.get(op)
+    if impl is None:
+        raise ValueError(f"unknown unary operator {op!r}")
+    return impl(a)
 
 
 _MATH_IMPL: dict[str, Callable[..., ScalarValue]] = {
@@ -107,8 +112,14 @@ _MATH_IMPL: dict[str, Callable[..., ScalarValue]] = {
 }
 
 
-def apply_math(func: str, args: List[ScalarValue]) -> ScalarValue:
+def math_impl(func: str) -> Callable[..., ScalarValue]:
+    """Scalar implementation of a math intrinsic (shared with the compiled
+    backend so both engines call the exact same callable)."""
     impl = _MATH_IMPL.get(func)
     if impl is None:
         raise ValueError(f"unknown math intrinsic {func!r}")
-    return impl(*args)
+    return impl
+
+
+def apply_math(func: str, args: List[ScalarValue]) -> ScalarValue:
+    return math_impl(func)(*args)

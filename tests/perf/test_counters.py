@@ -40,6 +40,18 @@ class TestPerfCounters:
         c = PerfCounters({"s_alu": 10})
         assert c.scaled(0.5)["s_alu"] == 5
 
+    def test_scaled_rounds_instead_of_truncating(self):
+        # 3 * 0.5 = 1.5 must round to 2; int() used to truncate it to 1,
+        # systematically under-counting rescaled event bags.
+        c = PerfCounters({"s_alu": 3, "v_mul": 7})
+        scaled = c.scaled(0.5)
+        assert scaled["s_alu"] == 2
+        assert scaled["v_mul"] == 4  # 3.5 rounds half-to-even -> 4
+
+    def test_scaled_upscaling_is_exact_for_integers(self):
+        c = PerfCounters({"s_alu": 3})
+        assert c.scaled(4)["s_alu"] == 12
+
 
 class TestPerActorCounters:
     def test_for_actor_creates_lazily(self):

@@ -1,0 +1,85 @@
+"""Differential testing: interpreter vs. compiled backend.
+
+The compiled backend's contract is *bit-identical observable behaviour*:
+for every application in the registry — scalar and macro-SIMDized, with
+and without SAGU — both engines must produce
+
+* identical steady-state outputs,
+* identical init-phase outputs,
+* identical per-actor performance-event bags for both phases,
+  event-for-event (so every modeled cycle count, figure, and partitioning
+  decision is backend-independent).
+
+Any divergence here means the closure compiler mis-modeled interpreter
+semantics and is a hard failure, not a tolerance question.
+"""
+
+import pytest
+
+from repro.apps.registry import BENCHMARKS, get_benchmark
+from repro.graph.flatten import flatten
+from repro.runtime import execute
+from repro.simd.machine import CORE_I7, CORE_I7_SAGU
+from repro.simd.pipeline import compile_graph
+
+ALL_BENCHMARKS = sorted(BENCHMARKS)
+
+
+def _counter_bags(per_actor):
+    """Per-actor event dicts with zero counts dropped (Counter equality
+    already ignores zeros, but normalising keeps failure diffs readable)."""
+    return {
+        actor_id: {event: count
+                   for event, count in counters.events.items() if count}
+        for actor_id, counters in per_actor.by_actor.items()
+        if any(counters.events.values())
+    }
+
+
+def assert_backends_agree(graph, machine, iterations=2):
+    ref = execute(graph, machine=machine, iterations=iterations,
+                  backend="interp")
+    got = execute(graph, machine=machine, iterations=iterations,
+                  backend="compiled")
+    assert ref.backend == "interp"
+    assert got.backend == "compiled"
+    assert got.outputs == ref.outputs
+    assert got.init_outputs == ref.init_outputs
+    assert _counter_bags(got.init_counters) == _counter_bags(ref.init_counters)
+    assert _counter_bags(got.steady_counters) == \
+        _counter_bags(ref.steady_counters)
+    # Counter equality implies modeled-cycle equality, but assert the
+    # headline metric explicitly for good measure.
+    assert got.steady_cycles(machine) == ref.steady_cycles(machine)
+    return ref, got
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+class TestScalarGraphs:
+    def test_scalar(self, name):
+        assert_backends_agree(flatten(get_benchmark(name)), CORE_I7)
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+class TestSimdizedGraphs:
+    def test_macross_core_i7(self, name):
+        scalar = flatten(get_benchmark(name))
+        simd = compile_graph(scalar, CORE_I7).graph
+        assert_backends_agree(simd, CORE_I7)
+
+    def test_macross_sagu(self, name):
+        scalar = flatten(get_benchmark(name))
+        simd = compile_graph(scalar, CORE_I7_SAGU).graph
+        assert_backends_agree(simd, CORE_I7_SAGU)
+
+
+class TestNonEmptyComparison:
+    """Guard against the vacuous-pass failure mode: the differential
+    assertions above only mean something if the runs actually did work."""
+
+    def test_fmradio_produces_output_and_events(self):
+        simd = compile_graph(flatten(get_benchmark("FMRadio")), CORE_I7).graph
+        ref, got = assert_backends_agree(simd, CORE_I7)
+        assert ref.outputs
+        assert _counter_bags(ref.steady_counters)
+        assert got.steady_cycles(CORE_I7) > 0
