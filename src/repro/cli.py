@@ -5,6 +5,7 @@ Subcommands::
     macross list                      # available benchmarks
     macross compile <bench>           # compilation report (+ --cpp for code)
     macross run <bench>               # execute scalar vs macro-SIMDized
+    macross fuzz                      # differential fuzzing campaign
     macross fig10a|fig10b|fig11|fig12|fig13   # regenerate a paper figure
     macross all                       # every figure
 
@@ -58,6 +59,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_dot.add_argument("--compiled", action="store_true",
                        help="render the macro-SIMDized graph")
     p_dot.add_argument("--sagu", action="store_true")
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing of every SIMDization path")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default: 0)")
+    p_fuzz.add_argument("--budget", type=int, default=100,
+                        help="number of generated programs (default: 100)")
+    p_fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                        help="directory for minimized repros; also replayed "
+                             "before fuzzing (default: no persistence)")
+    p_fuzz.add_argument("--time-limit", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop the campaign after this many seconds")
+    p_fuzz.add_argument("--replay-only", action="store_true",
+                        help="only replay the corpus, no new programs")
 
     for fig in ("fig10a", "fig10b", "fig11", "fig12", "fig13"):
         p_fig = sub.add_parser(fig, help=f"regenerate {fig}")
@@ -158,6 +174,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             print()
         return 0
 
+    if args.command == "fuzz":
+        return _run_fuzz_command(args)
+
     if args.command in ("fig10a", "fig10b", "fig11", "fig12", "fig13"):
         result = _run_figure(args.command, args.benchmarks)
         print(result.render())
@@ -171,6 +190,39 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     return 1
+
+
+def _run_fuzz_command(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .fuzz import replay_corpus, run_fuzz
+
+    exit_code = 0
+    corpus_dir = Path(args.corpus) if args.corpus else None
+
+    if corpus_dir is not None:
+        replay = replay_corpus(corpus_dir)
+        print(f"corpus replay: {replay.checked} repro(s) from {corpus_dir}")
+        for path, div in replay.failures:
+            exit_code = 1
+            print(f"  REGRESSION {path.name}: {div}")
+        if replay.ok and replay.checked:
+            print("  all clean")
+    if args.replay_only:
+        return exit_code
+
+    report = run_fuzz(args.seed, args.budget, corpus_dir=corpus_dir,
+                      time_limit=args.time_limit)
+    print(report.summary())
+    for finding in report.findings:
+        exit_code = 1
+        print(f"  FINDING seed={finding.seed} index={finding.index}: "
+              f"{finding.divergence}")
+        print(f"    minimized to {finding.minimized.filter_count()} "
+              f"filter(s)"
+              + (f", saved {finding.repro_path}" if finding.repro_path
+                 else ""))
+    return exit_code
 
 
 def _run_figure(name: str, benchmarks):

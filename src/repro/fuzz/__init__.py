@@ -1,0 +1,26 @@
+"""Differential stream-graph fuzzer.
+
+Seeded, reproducible end-to-end checking of every MacroSS SIMDization
+path against the scalar reference semantics and of the compiled backend
+against the interpreter.  See :mod:`repro.fuzz.harness` for the oracle
+stack and :mod:`repro.fuzz.runner` for campaign orchestration.
+"""
+
+from .corpus import (DEFAULT_CORPUS, ReplayResult, desc_hash, load_corpus,
+                     replay_corpus, save_repro)
+from .descriptions import (FilterDesc, ProgramDesc, SplitJoinDesc,
+                           desc_from_dict, desc_to_dict, materialize)
+from .generator import generate_program
+from .harness import (CheckReport, Divergence, GraphTransform, MACHINES,
+                      OPTION_SETS, check_graph, check_program)
+from .runner import Finding, FuzzReport, run_fuzz
+from .shrink import shrink
+
+__all__ = [
+    "CheckReport", "DEFAULT_CORPUS", "Divergence", "FilterDesc", "Finding",
+    "FuzzReport", "GraphTransform", "MACHINES", "OPTION_SETS", "ProgramDesc",
+    "ReplayResult", "SplitJoinDesc", "check_graph", "check_program",
+    "desc_from_dict", "desc_hash", "desc_to_dict", "generate_program",
+    "load_corpus", "materialize", "replay_corpus", "run_fuzz", "save_repro",
+    "shrink",
+]

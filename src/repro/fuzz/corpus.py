@@ -1,0 +1,100 @@
+"""Fuzz-corpus persistence: minimized repros as deterministic regression
+tests.
+
+Every divergence the fuzzer finds is shrunk and saved into a corpus
+directory (``tests/fuzz_corpus/`` in-tree) as one JSON file per repro:
+
+* the filename is ``repro_<hash8>.json`` where the hash is over the
+  *canonical serialized description* — content-addressed, so re-finding
+  the same minimized program never creates duplicates and the files are
+  stable across machines and runs (no timestamps, no counters);
+* the payload carries the description plus the divergence that motivated
+  it (kind/config/detail) for human triage;
+* :func:`replay_corpus` re-checks every stored description through the
+  full oracle matrix — the regression suite every future transformation
+  PR runs against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .descriptions import ProgramDesc, desc_from_dict, desc_to_dict
+from .harness import CheckReport, Divergence, check_program
+
+#: Default in-tree corpus location (resolved relative to the repo root).
+DEFAULT_CORPUS = Path(__file__).resolve().parents[3] / "tests" / "fuzz_corpus"
+
+
+def desc_hash(desc: ProgramDesc) -> str:
+    """Stable 8-hex-digit content hash of a description."""
+    payload = desc_to_dict(desc)
+    payload.pop("name", None)  # names are cosmetic
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:8]
+
+
+def save_repro(desc: ProgramDesc, divergence: Optional[Divergence],
+               corpus_dir: Path) -> Path:
+    """Persist one minimized repro; returns the (content-addressed) path."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    entry: Dict = {"description": desc_to_dict(desc)}
+    if divergence is not None:
+        entry["divergence"] = {
+            "kind": divergence.kind,
+            "config": divergence.config,
+            "detail": divergence.detail,
+        }
+    path = corpus_dir / f"repro_{desc_hash(desc)}.json"
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_corpus(corpus_dir: Path) -> List[Tuple[Path, ProgramDesc]]:
+    """All stored repro descriptions, sorted by filename (deterministic)."""
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    out: List[Tuple[Path, ProgramDesc]] = []
+    for path in sorted(corpus_dir.glob("repro_*.json")):
+        data = json.loads(path.read_text(encoding="utf-8"))
+        out.append((path, desc_from_dict(data["description"])))
+    return out
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying the whole corpus."""
+
+    checked: int = 0
+    failures: List[Tuple[Path, Divergence]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.failures is None:
+            self.failures = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def replay_corpus(corpus_dir: Path = DEFAULT_CORPUS) -> ReplayResult:
+    """Re-run the oracle matrix over every stored repro.
+
+    A healthy tree replays clean: corpus entries document *fixed* bugs
+    (or deliberately injected ones from the mutation tests), so any
+    failure here is a regression of a previously-minimized case.
+    """
+    result = ReplayResult()
+    for path, desc in load_corpus(corpus_dir):
+        report: CheckReport = check_program(desc)
+        result.checked += 1
+        for div in report.divergences:
+            result.failures.append((path, div))
+    return result

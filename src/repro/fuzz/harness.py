@@ -1,0 +1,323 @@
+"""Multi-oracle differential harness.
+
+One generated program is checked through the cross-product of
+
+* **SIMDization option sets** — scalar, single-actor, vertical,
+  horizontal, and the full cost-model-arbitrated ``auto`` configuration;
+* **machines** — Core-i7, Core-i7+SAGU, and the NEON-like target;
+* **execution backends** — the tree-walking interpreter and the closure
+  compiler.
+
+Oracles, in increasing strength:
+
+1. *structural* — the transformed graph still validates;
+2. *schedule sanity* — the repetition vector balances, every actor
+   fires, and the steady phase fires each actor exactly its repetition;
+3. *tape conservation* — after the init phase, every steady-state cycle
+   returns every internal tape to the same occupancy (SDF's defining
+   invariant);
+4. *output rate* — the terminal actor produces ``iterations × reps ×
+   push`` items;
+5. *stream equivalence* — transformed outputs are a bit-identical prefix
+   extension of the scalar reference stream (SIMDized graphs produce
+   more items per steady iteration, never different ones);
+6. *backend equivalence* — interpreter and compiled backend agree on
+   outputs, init outputs, and per-actor performance-event bags,
+   event-for-event.
+
+Any violation is reported as a :class:`Divergence`; the shrinker then
+minimizes the offending program description against the same oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..graph.flatten import flatten
+from ..graph.stream_graph import StreamGraph
+from ..graph.validate import collect_problems
+from ..perf.counters import PerActorCounters
+from ..runtime.backends import resolve_backend
+from ..runtime.executor import ExecutionResult, _GraphRun, execute
+from ..schedule.rates import check_balanced
+from ..schedule.steady_state import Schedule, build_schedule
+from ..simd.machine import CORE_I7, CORE_I7_SAGU, NEON_LIKE, \
+    MachineDescription
+from ..simd.pipeline import MacroSSOptions, SCALAR_OPTIONS, compile_graph
+from .descriptions import ProgramDesc, materialize
+
+#: SIMDization paths under test (§3.1–§3.4 + the §3.5 arbitration).
+OPTION_SETS: Dict[str, MacroSSOptions] = {
+    "scalar": SCALAR_OPTIONS,
+    "single": MacroSSOptions(vertical=False, horizontal=False),
+    "vertical": MacroSSOptions(horizontal=False),
+    "horizontal": MacroSSOptions(single_actor=False, vertical=False),
+    "auto": MacroSSOptions(),
+}
+
+MACHINES: Dict[str, MachineDescription] = {
+    "core-i7": CORE_I7,
+    "core-i7+sagu": CORE_I7_SAGU,
+    "neon": NEON_LIKE,
+}
+
+#: Steady iterations for the scalar reference / each transformed run.
+BASELINE_ITERATIONS = 2
+CHECK_ITERATIONS = 1
+
+#: Optional hook type: ``(graph, config_label) -> graph`` applied to every
+#: *transformed* graph before execution.  Tests inject miscompiles here to
+#: prove the oracles catch them.
+GraphTransform = Callable[[StreamGraph, str], StreamGraph]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One oracle violation for one (options, machine, backend) config."""
+
+    kind: str       # validate | schedule | tape | rate | output | backend | crash
+    config: str     # e.g. "auto/core-i7+sagu/compiled"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.config}: {self.detail}"
+
+
+def _counter_bags(per_actor: PerActorCounters) -> Dict[int, Dict[str, int]]:
+    return {
+        actor_id: {event: count
+                   for event, count in counters.events.items() if count}
+        for actor_id, counters in per_actor.by_actor.items()
+        if any(counters.events.values())
+    }
+
+
+def _run_checked(graph: StreamGraph, schedule: Schedule,
+                 machine: MachineDescription, iterations: int,
+                 backend: str) -> Tuple[ExecutionResult, Optional[str]]:
+    """Mirror :func:`repro.runtime.executor.execute`, additionally
+    checking tape conservation after every steady cycle.
+
+    Returns ``(result, tape_violation_or_None)``."""
+    run = _GraphRun(graph, schedule, machine, resolve_backend(backend))
+    run.run_phase(schedule.init)
+    init_outputs = run.drain_collector()
+    init_counters = run.reset_counters()
+    levels = {tid: len(tape) for tid, tape in run.tapes.items()}
+    violation: Optional[str] = None
+    for cycle in range(iterations):
+        run.run_phase(schedule.steady)
+        now = {tid: len(tape) for tid, tape in run.tapes.items()}
+        if violation is None and now != levels:
+            deltas = {tid: (levels[tid], now[tid])
+                      for tid in now if now[tid] != levels[tid]}
+            violation = (f"steady cycle {cycle}: tape occupancies changed "
+                         f"{deltas}")
+    outputs = run.drain_collector()
+    result = ExecutionResult(
+        graph_name=graph.name, iterations=iterations, outputs=outputs,
+        init_outputs=init_outputs, init_counters=init_counters,
+        steady_counters=run.counters, schedule=schedule,
+        backend=resolve_backend(backend).name)
+    return result, violation
+
+
+def _schedule_problems(graph: StreamGraph, schedule: Schedule) -> List[str]:
+    problems: List[str] = []
+    try:
+        check_balanced(graph, schedule.reps)
+    except Exception as exc:  # RateError
+        problems.append(f"unbalanced repetition vector: {exc}")
+    if set(schedule.reps) != set(graph.actors):
+        problems.append("repetition vector does not cover all actors")
+    bad = {aid: rep for aid, rep in schedule.reps.items() if rep < 1}
+    if bad:
+        problems.append(f"non-positive repetitions: {bad}")
+    fired: Dict[int, int] = {}
+    for actor_id, count in schedule.steady:
+        fired[actor_id] = fired.get(actor_id, 0) + count
+    if fired != dict(schedule.reps):
+        problems.append(
+            f"steady phase firings {fired} != repetition vector "
+            f"{dict(schedule.reps)}")
+    return problems
+
+
+def _terminal_rate(graph: StreamGraph, schedule: Schedule) -> Optional[int]:
+    """Expected outputs per steady iteration (None when no terminal)."""
+    from ..graph.actor import FilterSpec
+    terminals = [a for a in graph.actors.values()
+                 if not graph.out_tapes(a.id)
+                 and isinstance(a.spec, FilterSpec) and a.spec.push > 0]
+    if len(terminals) != 1:
+        return None
+    term = terminals[0]
+    return schedule.reps[term.id] * term.spec.push
+
+
+@dataclass
+class CheckReport:
+    """Outcome of checking one program across the config matrix."""
+
+    divergences: List[Divergence] = field(default_factory=list)
+    configs_checked: int = 0
+    executions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def check_graph(graph: StreamGraph,
+                *,
+                graph_transform: Optional[GraphTransform] = None,
+                option_sets: Optional[Dict[str, MacroSSOptions]] = None,
+                machines: Optional[Dict[str, MachineDescription]] = None,
+                stop_on_first: bool = True) -> CheckReport:
+    """Run the full oracle matrix on one scalar flat graph."""
+    report = CheckReport()
+    option_sets = option_sets if option_sets is not None else OPTION_SETS
+    machines = machines if machines is not None else MACHINES
+
+    def diverge(kind: str, config: str, detail: str) -> bool:
+        report.divergences.append(Divergence(kind, config, str(detail)[:500]))
+        return stop_on_first
+
+    problems = collect_problems(graph)
+    if problems:
+        diverge("validate", "source", "; ".join(problems))
+        return report
+
+    # Scalar reference stream (interpreter, Core-i7).
+    try:
+        base_schedule = build_schedule(graph)
+        baseline, tape_bad = _run_checked(
+            graph, base_schedule, CORE_I7, BASELINE_ITERATIONS, "interp")
+        report.executions += 1
+    except Exception as exc:
+        diverge("crash", "baseline", f"{type(exc).__name__}: {exc}")
+        return report
+    if tape_bad and diverge("tape", "baseline", tape_bad):
+        return report
+    if not baseline.outputs:
+        diverge("rate", "baseline", "reference run produced no output")
+        return report
+
+    for mach_name, machine in machines.items():
+        for opt_name, options in option_sets.items():
+            if opt_name == "scalar" and mach_name != "core-i7":
+                continue  # structurally identical to core-i7/scalar
+            config = f"{opt_name}/{mach_name}"
+            try:
+                compiled = compile_graph(graph, machine, options)
+                tgraph = compiled.graph
+                if graph_transform is not None:
+                    tgraph = graph_transform(tgraph, config)
+            except Exception as exc:
+                if diverge("crash", config, f"{type(exc).__name__}: {exc}"):
+                    return report
+                continue
+            report.configs_checked += 1
+
+            problems = collect_problems(tgraph)
+            if problems:
+                if diverge("validate", config, "; ".join(problems)):
+                    return report
+                continue
+            try:
+                schedule = build_schedule(tgraph)
+            except Exception as exc:
+                if diverge("schedule", config,
+                           f"{type(exc).__name__}: {exc}"):
+                    return report
+                continue
+            sched_problems = _schedule_problems(tgraph, schedule)
+            if sched_problems:
+                if diverge("schedule", config, "; ".join(sched_problems)):
+                    return report
+                continue
+
+            try:
+                ref, tape_bad = _run_checked(
+                    tgraph, schedule, machine, CHECK_ITERATIONS, "interp")
+                report.executions += 1
+            except Exception as exc:
+                if diverge("crash", f"{config}/interp",
+                           f"{type(exc).__name__}: {exc}"):
+                    return report
+                continue
+            if tape_bad and diverge("tape", f"{config}/interp", tape_bad):
+                return report
+
+            expected = _terminal_rate(tgraph, schedule)
+            if expected is not None and \
+                    len(ref.outputs) != CHECK_ITERATIONS * expected:
+                if diverge("rate", f"{config}/interp",
+                           f"expected {CHECK_ITERATIONS * expected} outputs, "
+                           f"got {len(ref.outputs)}"):
+                    return report
+
+            n = min(len(ref.outputs), len(baseline.outputs))
+            if n == 0:
+                if diverge("rate", f"{config}/interp",
+                           "transformed run produced no output"):
+                    return report
+            elif ref.outputs[:n] != baseline.outputs[:n]:
+                first = next(i for i in range(n)
+                             if ref.outputs[i] != baseline.outputs[i])
+                if diverge("output", f"{config}/interp",
+                           f"first mismatch at item {first}: "
+                           f"{ref.outputs[first]!r} != "
+                           f"{baseline.outputs[first]!r}"):
+                    return report
+
+            try:
+                got = execute(tgraph, schedule, machine=machine,
+                              iterations=CHECK_ITERATIONS,
+                              backend="compiled")
+                report.executions += 1
+            except Exception as exc:
+                if diverge("crash", f"{config}/compiled",
+                           f"{type(exc).__name__}: {exc}"):
+                    return report
+                continue
+            backend_config = f"{config}/compiled"
+            if got.outputs != ref.outputs:
+                if diverge("backend", backend_config,
+                           "steady outputs differ from interpreter"):
+                    return report
+            if got.init_outputs != ref.init_outputs:
+                if diverge("backend", backend_config,
+                           "init outputs differ from interpreter"):
+                    return report
+            if _counter_bags(got.steady_counters) != \
+                    _counter_bags(ref.steady_counters):
+                if diverge("backend", backend_config,
+                           "per-actor steady counter bags differ"):
+                    return report
+            if _counter_bags(got.init_counters) != \
+                    _counter_bags(ref.init_counters):
+                if diverge("backend", backend_config,
+                           "per-actor init counter bags differ"):
+                    return report
+    return report
+
+
+def check_program(desc: ProgramDesc,
+                  *,
+                  graph_transform: Optional[GraphTransform] = None,
+                  option_sets: Optional[Dict[str, MacroSSOptions]] = None,
+                  machines: Optional[Dict[str, MachineDescription]] = None,
+                  stop_on_first: bool = True) -> CheckReport:
+    """Materialize ``desc`` and run the oracle matrix on it."""
+    try:
+        graph = flatten(materialize(desc))
+    except Exception as exc:
+        report = CheckReport()
+        report.divergences.append(Divergence(
+            "crash", "materialize", f"{type(exc).__name__}: {exc}"))
+        return report
+    return check_graph(graph, graph_transform=graph_transform,
+                       option_sets=option_sets, machines=machines,
+                       stop_on_first=stop_on_first)

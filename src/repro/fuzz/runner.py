@@ -1,0 +1,120 @@
+"""Fuzz campaign orchestration: generate → check → shrink → persist.
+
+:func:`run_fuzz` is the single entry point shared by the CLI
+(``python -m repro.cli fuzz``) and the pytest smoke tests.  A campaign is
+identified by ``(seed, budget)``: program *i* is drawn from
+``random.Random(seed)`` after ``i`` prior draws, so any finding can be
+reproduced with the same pair — and, once shrunk, survives independently
+of the generator in the corpus.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from .corpus import save_repro
+from .descriptions import ProgramDesc
+from .generator import generate_program
+from .harness import Divergence, GraphTransform, check_program
+from .shrink import shrink
+
+
+@dataclass
+class Finding:
+    """One divergence: the original program, its minimized form, where
+    the repro was written, and the divergence the *minimized* form hits."""
+
+    seed: int
+    index: int
+    original: ProgramDesc
+    minimized: ProgramDesc
+    divergence: Divergence
+    repro_path: Optional[Path] = None
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    seed: int
+    budget: int
+    programs: int = 0
+    executions: int = 0
+    configs_checked: int = 0
+    elapsed: float = 0.0
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.findings)} finding(s)"
+        return (f"fuzz seed={self.seed}: {self.programs} programs, "
+                f"{self.configs_checked} configs, {self.executions} "
+                f"executions in {self.elapsed:.1f}s — {status}")
+
+
+def _first_divergence(desc: ProgramDesc,
+                      graph_transform: Optional[GraphTransform]
+                      ) -> Optional[Divergence]:
+    report = check_program(desc, graph_transform=graph_transform,
+                           stop_on_first=True)
+    return report.divergences[0] if report.divergences else None
+
+
+def run_fuzz(seed: int = 0, budget: int = 100,
+             *,
+             corpus_dir: Optional[Path] = None,
+             time_limit: Optional[float] = None,
+             graph_transform: Optional[GraphTransform] = None,
+             max_findings: int = 5,
+             shrink_evals: int = 200) -> FuzzReport:
+    """Run one seeded fuzz campaign.
+
+    ``budget`` bounds the number of generated programs; ``time_limit``
+    (seconds) additionally bounds wall clock — whichever trips first ends
+    the campaign.  Each divergence is shrunk against the *same* oracle
+    configuration (including any injected ``graph_transform``) and, when
+    ``corpus_dir`` is given, persisted as a content-addressed repro.
+    The campaign stops early after ``max_findings`` divergences — a
+    broken compiler fails everything, and five minimized repros beat five
+    hundred raw ones.
+    """
+    rng = random.Random(seed)
+    report = FuzzReport(seed=seed, budget=budget)
+    start = time.monotonic()
+    for index in range(budget):
+        if time_limit is not None and \
+                time.monotonic() - start >= time_limit:
+            break
+        desc = generate_program(rng, index=index)
+        check = check_program(desc, graph_transform=graph_transform,
+                              stop_on_first=True)
+        report.programs += 1
+        report.executions += check.executions
+        report.configs_checked += check.configs_checked
+        if check.ok:
+            continue
+
+        def still_fails(cand: ProgramDesc) -> bool:
+            return _first_divergence(cand, graph_transform) is not None
+
+        minimized = shrink(desc, still_fails, max_evals=shrink_evals)
+        divergence = _first_divergence(minimized, graph_transform)
+        if divergence is None:  # shrinker over-shrunk (flaky predicate)
+            minimized, divergence = desc, check.divergences[0]
+        finding = Finding(seed=seed, index=index, original=desc,
+                          minimized=minimized, divergence=divergence)
+        if corpus_dir is not None:
+            finding.repro_path = save_repro(minimized, divergence,
+                                            Path(corpus_dir))
+        report.findings.append(finding)
+        if len(report.findings) >= max_findings:
+            break
+    report.elapsed = time.monotonic() - start
+    return report

@@ -1,0 +1,42 @@
+"""Negative-path coverage for the benchmark registry lookup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.registry import BENCHMARKS, get_benchmark
+
+
+class TestUnknownName:
+    def test_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            get_benchmark("NoSuchApp")
+
+    def test_message_names_the_request_and_lists_available(self):
+        with pytest.raises(KeyError) as info:
+            get_benchmark("NoSuchApp")
+        message = str(info.value)
+        assert "NoSuchApp" in message
+        # The message must enumerate valid choices for quick correction.
+        for name in ("FMRadio", "RunningExample"):
+            assert name in message
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_benchmark("")
+
+
+class TestCaseInsensitiveFallback:
+    @pytest.mark.parametrize("alias", ["fmradio", "FMRADIO", "FmRadio"])
+    def test_single_case_insensitive_match_resolves(self, alias):
+        assert get_benchmark(alias).name == get_benchmark("FMRadio").name
+
+    def test_exact_names_all_resolve(self):
+        for name in BENCHMARKS:
+            assert get_benchmark(name) is not None
+
+    def test_near_miss_still_rejected(self):
+        # Case folding is the only fuzziness on offer — no prefix or
+        # typo matching.
+        with pytest.raises(KeyError):
+            get_benchmark("FMRadi")

@@ -1,0 +1,76 @@
+"""Golden-file tests for C++ codegen of the SIMDized running example.
+
+The emitted intrinsics text for the Figure-3 running example (compiled
+for Core-i7 with and without SAGU) is snapshotted under
+``tests/codegen/golden/`` and diffed verbatim.  After an intentional
+codegen change, refresh the snapshots with::
+
+    pytest tests/codegen/test_golden_cpp.py --update-golden
+
+The diff output points at the first divergent line so unintentional
+drift (intrinsic renames, reordered sections, changed address
+arithmetic) is caught immediately.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.codegen import emit_cpp
+from repro.experiments.harness import scalar_graph
+from repro.simd import compile_graph
+from repro.simd.machine import CORE_I7, CORE_I7_SAGU
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = {
+    "running_example_i7": CORE_I7,
+    "running_example_sagu": CORE_I7_SAGU,
+}
+
+
+def _emit(machine) -> str:
+    compiled = compile_graph(scalar_graph("RunningExample"), machine)
+    return emit_cpp(compiled.graph, machine)
+
+
+def _first_diff(a: str, b: str) -> str:
+    a_lines, b_lines = a.splitlines(), b.splitlines()
+    for i, (la, lb) in enumerate(zip(a_lines, b_lines), start=1):
+        if la != lb:
+            return f"line {i}:\n  golden:  {la!r}\n  current: {lb!r}"
+    return (f"length mismatch: golden {len(a_lines)} lines, "
+            f"current {len(b_lines)} lines")
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_running_example_codegen_matches_golden(case, update_golden):
+    golden_path = GOLDEN_DIR / f"{case}.cpp"
+    current = _emit(CASES[case])
+    if update_golden:
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(current, encoding="utf-8")
+        pytest.skip(f"updated {golden_path}")
+    assert golden_path.is_file(), (
+        f"missing golden snapshot {golden_path}; create it with "
+        f"pytest --update-golden")
+    golden = golden_path.read_text(encoding="utf-8")
+    assert current == golden, (
+        f"codegen drift for {case} (refresh with --update-golden)\n"
+        + _first_diff(golden, current))
+
+
+def test_golden_snapshots_contain_intrinsics():
+    """Sanity: the snapshots really are SIMDized code, not scalar C++."""
+    for case in CASES:
+        path = GOLDEN_DIR / f"{case}.cpp"
+        if not path.is_file():
+            pytest.skip("snapshots not generated yet")
+        text = path.read_text(encoding="utf-8")
+        assert "_mm_" in text or "vld1q" in text, case
+
+
+def test_emission_is_deterministic():
+    assert _emit(CORE_I7) == _emit(CORE_I7)

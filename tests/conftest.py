@@ -9,6 +9,25 @@ from repro.ir import FLOAT, INT, WorkBuilder
 from repro.simd.machine import CORE_I7, CORE_I7_SAGU
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--fuzz-seed", type=int, default=0,
+        help="seed for the differential fuzz smoke campaign (default: 0)")
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite golden codegen snapshots instead of diffing them")
+
+
+@pytest.fixture
+def fuzz_seed(request: pytest.FixtureRequest) -> int:
+    return request.config.getoption("--fuzz-seed")
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def machine():
     return CORE_I7

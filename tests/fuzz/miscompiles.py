@@ -1,0 +1,92 @@
+"""Deliberate miscompile injectors for fuzz mutation tests.
+
+Each injector is a :data:`repro.fuzz.harness.GraphTransform` — a function
+``(graph, config_label) -> graph`` the harness applies to every
+*transformed* graph before execution.  They simulate the classes of
+compiler bug the oracles must catch: wrong arithmetic, dropped pushes,
+corrupted state, and mangled splitter weights.  Scalar configs are left
+untouched so the scalar reference stream stays trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.graph.actor import FilterSpec
+from repro.graph.stream_graph import StreamGraph
+from repro.ir import expr as E
+from repro.ir import stmt as S
+from repro.ir.visitors import rewrite_body_exprs
+
+
+def _is_scalar(config: str) -> bool:
+    return config.startswith("scalar")
+
+
+def break_first_mul(graph: StreamGraph, config: str) -> StreamGraph:
+    """Rewrite the first ``*`` into ``+`` in the first consuming filter —
+    the classic wrong-opcode miscompile."""
+    if _is_scalar(config):
+        return graph
+    for actor in graph.actors.values():
+        if not isinstance(actor.spec, FilterSpec) or actor.spec.pop == 0:
+            continue
+        hit = [False]
+
+        def fix(e: E.Expr) -> E.Expr:
+            if isinstance(e, E.BinaryOp) and e.op == "*" and not hit[0]:
+                hit[0] = True
+                return E.BinaryOp("+", e.left, e.right)
+            return e
+
+        new_body = rewrite_body_exprs(actor.spec.work_body, fix)
+        if hit[0]:
+            actor.spec = replace(actor.spec, work_body=new_body)
+            return graph
+    return graph
+
+
+def drop_last_push(graph: StreamGraph, config: str) -> StreamGraph:
+    """Delete the final Push statement of the terminal filter — a dropped
+    output that the rate oracle (and tape conservation) must notice."""
+    if _is_scalar(config):
+        return graph
+    terminals = [a for a in graph.actors.values()
+                 if isinstance(a.spec, FilterSpec) and not graph.out_tapes(a.id)
+                 and a.spec.push > 0]
+    if not terminals:
+        return graph
+    actor = terminals[0]
+    body = list(actor.spec.work_body)
+    for i in range(len(body) - 1, -1, -1):
+        if isinstance(body[i], (S.Push, S.VPush, S.RPush, S.ScatterPush)):
+            del body[i]
+            actor.spec = replace(actor.spec, work_body=tuple(body))
+            break
+    return graph
+
+
+def corrupt_state_init(graph: StreamGraph, config: str) -> StreamGraph:
+    """Perturb the initial value of the first scalar state variable —
+    a state-layout bug visible only through stateful filters."""
+    if _is_scalar(config):
+        return graph
+    for actor in graph.actors.values():
+        spec = actor.spec
+        if not isinstance(spec, FilterSpec) or not spec.state:
+            continue
+        for si, sv in enumerate(spec.state):
+            if sv.size == 0 and isinstance(sv.init, (int, float)):
+                bumped = replace(sv, init=sv.init + 1)
+                state = spec.state[:si] + (bumped,) + spec.state[si + 1:]
+                actor.spec = replace(spec, state=state)
+                return graph
+    return graph
+
+
+#: name -> injector, for parametrized mutation tests.
+INJECTORS = {
+    "wrong-op": break_first_mul,
+    "dropped-push": drop_last_push,
+    "bad-state-init": corrupt_state_init,
+}

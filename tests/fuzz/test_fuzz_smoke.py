@@ -1,0 +1,55 @@
+"""Budgeted fuzz smoke campaign + corpus replay.
+
+This is the test every future transformation PR runs: a small seeded
+campaign through the full oracle matrix (seed overridable with
+``pytest --fuzz-seed N``), plus a deterministic replay of every
+minimized repro stored in ``tests/fuzz_corpus/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import DEFAULT_CORPUS, load_corpus, replay_corpus, run_fuzz
+
+#: Programs per smoke campaign — small enough for the tier-1 loop,
+#: large enough to hit split-joins and horizontal merges.
+SMOKE_BUDGET = 12
+
+
+@pytest.mark.fuzz
+def test_smoke_campaign_is_divergence_free(fuzz_seed):
+    report = run_fuzz(fuzz_seed, SMOKE_BUDGET)
+    assert report.programs == SMOKE_BUDGET
+    assert report.configs_checked > 0 and report.executions > 0
+    assert report.ok, "\n".join(
+        str(f.divergence) for f in report.findings)
+
+
+@pytest.mark.fuzz
+def test_campaigns_are_reproducible(fuzz_seed):
+    a = run_fuzz(fuzz_seed, 3)
+    b = run_fuzz(fuzz_seed, 3)
+    assert (a.programs, a.configs_checked, a.executions) == \
+        (b.programs, b.configs_checked, b.executions)
+    assert [f.divergence for f in a.findings] == \
+        [f.divergence for f in b.findings]
+
+
+@pytest.mark.fuzz
+def test_corpus_is_populated():
+    """The in-tree corpus must contain at least the minimized repros the
+    mutation tests produce — an empty corpus means the regression replay
+    is vacuous."""
+    assert load_corpus(DEFAULT_CORPUS), (
+        f"no repro_*.json files in {DEFAULT_CORPUS}")
+
+
+@pytest.mark.fuzz
+def test_corpus_replays_clean():
+    """Every stored repro documents a *fixed* (or deliberately injected)
+    bug; on a healthy tree the whole corpus passes the oracle matrix."""
+    result = replay_corpus(DEFAULT_CORPUS)
+    assert result.checked == len(load_corpus(DEFAULT_CORPUS))
+    assert result.ok, "\n".join(
+        f"{path.name}: {div}" for path, div in result.failures)

@@ -8,6 +8,7 @@ match the Python evaluation on a shared input stream.
 
 import math
 
+import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -50,9 +51,10 @@ def expr_tree(draw, depth=0):
     return f"abs({inner_text})", lambda x, i=inner_fn: abs(i(x))
 
 
-@settings(max_examples=40, deadline=None)
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+@settings(max_examples=20, deadline=None)
 @given(expr_tree())
-def test_parsed_expression_matches_python(tree):
+def test_parsed_expression_matches_python(backend, tree):
     text, fn = tree
     source = f"""
     void->float filter Src() {{
@@ -68,7 +70,7 @@ def test_parsed_expression_matches_python(tree):
     float->float pipeline Main() {{ add Src(); add F(); }}
     """
     graph = flatten(compile_source(source))
-    outputs = execute(graph, iterations=6).outputs
+    outputs = execute(graph, iterations=6, backend=backend).outputs
     inputs = [0.75 * i for i in range(6)]
     expected = [fn(x) for x in inputs]
     assert outputs == expected

@@ -1,7 +1,8 @@
 """The strongest property: random stream programs, fully compiled by
 MacroSS (all techniques + tape optimization, with and without SAGU), must
-compute exactly the scalar stream."""
+compute exactly the scalar stream — under either execution backend."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -79,17 +80,18 @@ def random_program(draw):
     return Program("prop", pipeline(make_ramp_source(4), *stages))
 
 
-@settings(max_examples=25, deadline=None)
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+@settings(max_examples=13, deadline=None)
 @given(random_program())
-def test_full_macross_preserves_stream(program):
+def test_full_macross_preserves_stream(backend, program):
     graph = flatten(program)
     validate(graph)
-    baseline = execute(graph, iterations=4).outputs
+    baseline = execute(graph, iterations=4, backend=backend).outputs
     for machine in (CORE_I7, CORE_I7_SAGU):
         compiled = compile_graph(graph, machine)
         validate(compiled.graph)
         outputs = execute(compiled.graph, machine=machine,
-                          iterations=2).outputs
+                          iterations=2, backend=backend).outputs
         n = min(len(baseline), len(outputs))
         assert n > 0
         assert outputs[:n] == baseline[:n]

@@ -1,7 +1,13 @@
 """Property-based tests for the SIMDization transformations: randomly
 generated stateless actors must compute identical streams after
-single-actor SIMDization and after vertical fusion."""
+single-actor SIMDization and after vertical fusion.
 
+Every property is checked under both execution backends (``interp`` and
+``compiled``), and the horizontal-merge property additionally on the
+SAGU-equipped machine — the transformed graphs exercise both engines'
+gather/scatter paths."""
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -10,9 +16,11 @@ from repro.ir import WorkBuilder, call
 from repro.runtime import execute
 from repro.schedule import repetition_vector
 from repro.simd import compile_graph, fuse_segment, vectorize_actor
-from repro.simd.machine import CORE_I7
+from repro.simd.machine import CORE_I7, CORE_I7_SAGU
 
 from ..conftest import make_ramp_source
+
+BACKENDS = ("interp", "compiled")
 
 #: Safe unary float transforms to compose random actor bodies from.
 _FUNCS = ("abs", "floor", "sqrt_abs", "sin")
@@ -45,29 +53,31 @@ def stateless_actor(draw, name="gen"):
     return FilterSpec(name, pop=pop, push=push, work_body=b.build())
 
 
-@settings(max_examples=30, deadline=None)
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=15, deadline=None)
 @given(stateless_actor())
-def test_single_actor_simdization_preserves_stream(spec):
+def test_single_actor_simdization_preserves_stream(backend, spec):
     graph = flatten(Program("prop", pipeline(
         make_ramp_source(spec.pop * 4), spec)))
-    baseline = execute(graph, iterations=2).outputs
+    baseline = execute(graph, iterations=2, backend=backend).outputs
 
     vec_graph = graph.clone()
     actor = vec_graph.actor_by_name(spec.name)
     actor.spec = vectorize_actor(spec, 4)
     validate(vec_graph)
-    simdized = execute(vec_graph, iterations=1).outputs
+    simdized = execute(vec_graph, iterations=1, backend=backend).outputs
     n = min(len(baseline), len(simdized))
     assert n > 0
     assert simdized[:n] == baseline[:n]
 
 
-@settings(max_examples=20, deadline=None)
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=10, deadline=None)
 @given(stateless_actor(name="up"), stateless_actor(name="down"))
-def test_vertical_fusion_preserves_stream(first, second):
+def test_vertical_fusion_preserves_stream(backend, first, second):
     graph = flatten(Program("prop", pipeline(
         make_ramp_source(first.pop * 4), first, second)))
-    baseline = execute(graph, iterations=2).outputs
+    baseline = execute(graph, iterations=2, backend=backend).outputs
 
     fused = graph.clone()
     reps = repetition_vector(fused)
@@ -77,24 +87,30 @@ def test_vertical_fusion_preserves_stream(first, second):
          fused.actor_by_name(second.name).id],
         reps)
     validate(fused)
-    fused_out = execute(fused, iterations=2).outputs
+    fused_out = execute(fused, iterations=2, backend=backend).outputs
     assert fused_out == baseline
 
     # And SIMDize the coarse actor on top.
     actor = fused.actors[coarse_id]
     actor.spec = vectorize_actor(actor.spec, 4)
     validate(fused)
-    simdized = execute(fused, iterations=1).outputs
+    simdized = execute(fused, iterations=1, backend=backend).outputs
     n = min(len(baseline), len(simdized))
     assert n > 0
     assert simdized[:n] == baseline[:n]
 
 
-@settings(max_examples=15, deadline=None)
+@pytest.mark.parametrize("machine,backend", [
+    (CORE_I7, "interp"),
+    (CORE_I7, "compiled"),
+    (CORE_I7_SAGU, "interp"),
+    (CORE_I7_SAGU, "compiled"),
+], ids=["i7-interp", "i7-compiled", "sagu-interp", "sagu-compiled"])
+@settings(max_examples=8, deadline=None)
 @given(st.lists(st.floats(min_value=0.25, max_value=4.0, allow_nan=False)
                 .map(lambda x: round(x, 3)),
                 min_size=4, max_size=4))
-def test_horizontal_merge_preserves_stream(gains):
+def test_horizontal_merge_preserves_stream(machine, backend, gains):
     """Four isomorphic gain actors with random constants merge into one
     SIMD actor computing the same split-join."""
     from repro.graph import (roundrobin_joiner, roundrobin_splitter,
@@ -112,10 +128,10 @@ def test_horizontal_merge_preserves_stream(gains):
                   roundrobin_joiner([1, 1, 1, 1])),
         gain_actor(1.0, "tail"),
     )))
-    baseline = execute(graph, iterations=2).outputs
-    compiled = compile_graph(graph, CORE_I7)
+    baseline = execute(graph, iterations=2, backend=backend).outputs
+    compiled = compile_graph(graph, machine)
     assert compiled.report.horizontal_splitjoins
-    simdized = execute(compiled.graph, machine=CORE_I7,
-                       iterations=1).outputs
+    simdized = execute(compiled.graph, machine=machine,
+                       iterations=1, backend=backend).outputs
     n = min(len(baseline), len(simdized))
     assert simdized[:n] == baseline[:n]

@@ -1,0 +1,78 @@
+"""Negative-path coverage for the runtime error surface.
+
+``test_tape.py`` and ``test_failure_injection.py`` prove the errors fire
+during execution; this file pins down the *contract*: the exception
+hierarchy callers catch against, the messages they triage with, and
+``resolve_backend``'s rejection of unknown engine names."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import Tape, execute, resolve_backend
+from repro.runtime.errors import (InterpreterError, StreamRuntimeError,
+                                  TapeUnderflow, UninitializedRead)
+
+from ..conftest import linear_program, make_ramp_source, make_scaler
+
+
+class TestHierarchy:
+    """Every runtime error must be catchable as StreamRuntimeError."""
+
+    @pytest.mark.parametrize("exc_type", [
+        TapeUnderflow, UninitializedRead, InterpreterError])
+    def test_subclasses_base(self, exc_type):
+        assert issubclass(exc_type, StreamRuntimeError)
+        assert issubclass(exc_type, Exception)
+
+    def test_leaf_types_are_distinct(self):
+        # Catching TapeUnderflow must not swallow interpreter bugs.
+        assert not issubclass(InterpreterError, TapeUnderflow)
+        assert not issubclass(TapeUnderflow, UninitializedRead)
+
+    def test_catch_as_base(self):
+        tape = Tape()
+        with pytest.raises(StreamRuntimeError):
+            tape.pop()
+
+
+class TestMessages:
+    def test_underflow_mentions_counts(self):
+        tape = Tape()
+        tape.push(1.0)
+        with pytest.raises(TapeUnderflow):
+            tape.peek(3)
+
+    def test_interpreter_error_on_undeclared_variable(self):
+        from repro.graph import FilterSpec
+        from repro.ir import WorkBuilder
+        b = WorkBuilder()
+        b.push(b.var("ghost"))  # never declared, no state
+        bad = FilterSpec("ghost_user", pop=0, push=1, work_body=b.build())
+        graph = linear_program(bad)
+        with pytest.raises(InterpreterError):
+            execute(graph, iterations=1)
+
+
+class TestResolveBackend:
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(StreamRuntimeError, match="unknown backend"):
+            resolve_backend("jit")
+
+    def test_error_message_lists_valid_names(self):
+        with pytest.raises(StreamRuntimeError,
+                           match="interp.*compiled"):
+            resolve_backend("turbo")
+
+    def test_execute_propagates_unknown_backend(self):
+        graph = linear_program(make_ramp_source(2), make_scaler())
+        with pytest.raises(StreamRuntimeError):
+            execute(graph, iterations=1, backend="nope")
+
+    @pytest.mark.parametrize("name", ["interp", "compiled"])
+    def test_known_names_resolve(self, name):
+        assert resolve_backend(name).name == name
+
+    def test_backend_objects_pass_through(self):
+        obj = resolve_backend("interp")
+        assert resolve_backend(obj) is obj
