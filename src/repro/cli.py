@@ -5,15 +5,22 @@ Subcommands::
     macross list                      # available benchmarks
     macross compile <bench>           # compilation report (+ --cpp for code)
     macross run <bench>               # execute scalar vs macro-SIMDized
+    macross trace <bench>             # per-pass timing + hottest actors
     macross fuzz                      # differential fuzzing campaign
     macross fig10a|fig10b|fig11|fig12|fig13   # regenerate a paper figure
     macross all                       # every figure
 
-``run`` and ``profile`` accept ``--backend {interp,compiled}`` to select
-the execution engine: ``interp`` is the reference tree-walking IR
-interpreter, ``compiled`` compiles each actor body once to cached Python
-closures (identical outputs and performance counters, several times
-faster wall-clock).
+``run``, ``profile``, and ``trace`` accept ``--backend {interp,compiled}``
+to select the execution engine: ``interp`` is the reference tree-walking
+IR interpreter, ``compiled`` compiles each actor body once to cached
+Python closures (identical outputs and performance counters, several
+times faster wall-clock); with the compiled backend the kernel-cache
+statistics of the run are reported.
+
+``compile``, ``run``, ``trace``, and ``fuzz`` accept ``--trace FILE`` to
+capture an execution trace: ``*.jsonl`` writes JSON lines, anything else
+a Chrome ``trace_event`` file loadable in ``chrome://tracing``/Perfetto
+(see ``repro.obs``).
 """
 
 from __future__ import annotations
@@ -31,12 +38,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     sub.add_parser("list", help="list available benchmarks")
 
+    def add_trace_flag(p) -> None:
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a trace capture to FILE (*.jsonl for "
+                            "JSON lines, else Chrome trace_event JSON)")
+
     p_compile = sub.add_parser("compile", help="show compilation decisions")
     p_compile.add_argument("benchmark")
     p_compile.add_argument("--cpp", action="store_true",
                            help="emit the generated C++ with intrinsics")
     p_compile.add_argument("--sagu", action="store_true",
                            help="target the SAGU-equipped machine")
+    add_trace_flag(p_compile)
 
     p_run = sub.add_parser("run", help="execute scalar vs macro-SIMDized")
     p_run.add_argument("benchmark")
@@ -45,6 +58,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_run.add_argument("--backend", choices=("interp", "compiled"),
                        default="interp",
                        help="execution engine (default: interp)")
+    add_trace_flag(p_run)
 
     p_prof = sub.add_parser("profile",
                             help="per-actor cycle breakdown, scalar vs SIMD")
@@ -53,6 +67,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_prof.add_argument("--backend", choices=("interp", "compiled"),
                         default="interp",
                         help="execution engine (default: interp)")
+
+    p_trace = sub.add_parser(
+        "trace", help="per-pass compile trace + hottest actors at runtime")
+    p_trace.add_argument("benchmark")
+    p_trace.add_argument("--iterations", type=int, default=4)
+    p_trace.add_argument("--sagu", action="store_true")
+    p_trace.add_argument("--backend", choices=("interp", "compiled"),
+                         default="compiled",
+                         help="execution engine (default: compiled, which "
+                              "also reports kernel-cache statistics)")
+    p_trace.add_argument("--top", type=int, default=10, metavar="N",
+                         help="number of hottest actors to list "
+                              "(default: 10)")
+    add_trace_flag(p_trace)
 
     p_dot = sub.add_parser("dot", help="emit Graphviz DOT for a benchmark")
     p_dot.add_argument("benchmark")
@@ -74,6 +102,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="stop the campaign after this many seconds")
     p_fuzz.add_argument("--replay-only", action="store_true",
                         help="only replay the corpus, no new programs")
+    add_trace_flag(p_fuzz)
 
     for fig in ("fig10a", "fig10b", "fig11", "fig12", "fig13"):
         p_fig = sub.add_parser(fig, help=f"regenerate {fig}")
@@ -98,6 +127,33 @@ def _machine(sagu: bool):
     return CORE_I7_SAGU if sagu else CORE_I7
 
 
+def _tracer_for(args: argparse.Namespace):
+    """A live tracer when ``--trace FILE`` was given, else ``None``."""
+    if getattr(args, "trace", None):
+        from .obs import Tracer
+        return Tracer()
+    return None
+
+
+def _write_trace(tracer, args: argparse.Namespace) -> None:
+    if tracer is None or not getattr(args, "trace", None):
+        return
+    from .obs import write_trace
+    path = write_trace(tracer, args.trace,
+                       metadata={"command": args.command,
+                                 "benchmark": getattr(args, "benchmark",
+                                                      None)})
+    print(f"trace: {len(tracer.events)} event(s) written to {path}")
+
+
+def _cache_stats_line(result) -> Optional[str]:
+    """Kernel-cache statistics line for a compiled-backend result."""
+    if result.kernel_cache is None:
+        return None
+    from .obs import kernel_cache_summary
+    return kernel_cache_summary(result.kernel_cache)
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     from .apps import BENCHMARKS
 
@@ -110,7 +166,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         from .experiments.harness import scalar_graph
         from .simd import compile_graph
         machine = _machine(args.sagu)
-        compiled = compile_graph(scalar_graph(args.benchmark), machine)
+        tracer = _tracer_for(args)
+        compiled = compile_graph(scalar_graph(args.benchmark), machine,
+                                 tracer=tracer)
         print(compiled.report.summary())
         print()
         print(compiled.graph.summary())
@@ -118,6 +176,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             from .codegen import emit_cpp
             print()
             print(emit_cpp(compiled.graph, machine))
+        _write_trace(tracer, args)
         return 0
 
     if args.command == "run":
@@ -125,12 +184,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         from .runtime import execute
         from .simd import compile_graph
         machine = _machine(args.sagu)
+        tracer = _tracer_for(args)
         graph = scalar_graph(args.benchmark)
         scalar = execute(graph, machine=machine, iterations=args.iterations,
-                         backend=args.backend)
-        compiled = compile_graph(graph, machine)
+                         backend=args.backend, tracer=tracer)
+        compiled = compile_graph(graph, machine, tracer=tracer)
         simd = execute(compiled.graph, machine=machine,
-                       iterations=args.iterations, backend=args.backend)
+                       iterations=args.iterations, backend=args.backend,
+                       tracer=tracer)
         scalar_cpo = scalar.cycles_per_output(machine)
         simd_cpo = simd.cycles_per_output(machine)
         matches = sum(
@@ -142,7 +203,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"  MacroSS: {simd_cpo:10.1f} cycles/output "
               f"({scalar_cpo / simd_cpo:.2f}x)")
         print(f"  outputs identical: {matches}/{compared}")
+        cache_line = _cache_stats_line(simd)
+        if cache_line is not None:
+            print(f"  {cache_line}")
+        _write_trace(tracer, args)
         return 0
+
+    if args.command == "trace":
+        return _run_trace_command(args)
 
     if args.command == "dot":
         from .experiments.harness import scalar_graph
@@ -171,6 +239,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(profile_table(g, result.steady_counters, machine))
             print()
             print(event_class_table(result.steady_counters.total(), machine))
+            cache_line = _cache_stats_line(result)
+            if cache_line is not None:
+                print(cache_line)
             print()
         return 0
 
@@ -192,6 +263,39 @@ def _dispatch(args: argparse.Namespace) -> int:
     return 1
 
 
+def _run_trace_command(args: argparse.Namespace) -> int:
+    """``macross trace <bench>``: compile + run under a live tracer, then
+    print the per-pass table, the hottest actors, and cache statistics."""
+    from .experiments.harness import scalar_graph
+    from .obs import Tracer, hottest_actors_table, kernel_cache_summary, \
+        pass_table
+    from .runtime import execute
+    from .simd import compile_graph
+
+    machine = _machine(args.sagu)
+    tracer = Tracer()
+    graph = scalar_graph(args.benchmark)
+    compiled = compile_graph(graph, machine, tracer=tracer)
+    result = execute(compiled.graph, machine=machine,
+                     iterations=args.iterations, backend=args.backend,
+                     tracer=tracer)
+
+    print(f"{args.benchmark} on {machine.name} [{result.backend} backend, "
+          f"{args.iterations} steady iteration(s)]")
+    print()
+    print("Algorithm-1 passes:")
+    print(pass_table(tracer))
+    print()
+    print(f"hottest actors (top {args.top}):")
+    print(hottest_actors_table(compiled.graph, result, machine,
+                               top=args.top))
+    if result.kernel_cache is not None:
+        print()
+        print(kernel_cache_summary(result.kernel_cache))
+    _write_trace(tracer, args)
+    return 0
+
+
 def _run_fuzz_command(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -199,6 +303,7 @@ def _run_fuzz_command(args: argparse.Namespace) -> int:
 
     exit_code = 0
     corpus_dir = Path(args.corpus) if args.corpus else None
+    tracer = _tracer_for(args)
 
     if corpus_dir is not None:
         replay = replay_corpus(corpus_dir)
@@ -212,16 +317,20 @@ def _run_fuzz_command(args: argparse.Namespace) -> int:
         return exit_code
 
     report = run_fuzz(args.seed, args.budget, corpus_dir=corpus_dir,
-                      time_limit=args.time_limit)
+                      time_limit=args.time_limit, tracer=tracer)
     print(report.summary())
     for finding in report.findings:
         exit_code = 1
         print(f"  FINDING seed={finding.seed} index={finding.index}: "
               f"{finding.divergence}")
+        if finding.divergence.pass_trail:
+            print("    pass trail: "
+                  + " -> ".join(finding.divergence.pass_trail))
         print(f"    minimized to {finding.minimized.filter_count()} "
               f"filter(s)"
               + (f", saved {finding.repro_path}" if finding.repro_path
                  else ""))
+    _write_trace(tracer, args)
     return exit_code
 
 

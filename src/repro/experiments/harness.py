@@ -17,6 +17,7 @@ from ..apps import BENCHMARKS, get_benchmark
 from ..autovec import CompilerProfile, auto_vectorize
 from ..graph.flatten import flatten
 from ..graph.stream_graph import StreamGraph
+from ..obs.tracer import Tracer
 from ..runtime.executor import execute
 from ..simd.machine import CORE_I7, MachineDescription
 from ..simd.pipeline import MacroSSOptions, compile_graph
@@ -48,9 +49,10 @@ def scalar_graph(name: str) -> StreamGraph:
 
 def cycles_per_output(graph: StreamGraph, machine: MachineDescription,
                       iterations: int = MEASURE_ITERATIONS,
-                      backend: str = "interp") -> float:
+                      backend: str = "interp",
+                      tracer: Optional[Tracer] = None) -> float:
     result = execute(graph, machine=machine, iterations=iterations,
-                     backend=backend)
+                     backend=backend, tracer=tracer)
     return result.cycles_per_output(machine)
 
 
@@ -67,6 +69,9 @@ class Variants:
     name: str
     machine: MachineDescription
     backend: str = "interp"
+    #: optional tracer threaded through every compile + measurement
+    #: (span per variant; see ``repro.obs``).
+    tracer: Optional[Tracer] = None
     scalar: StreamGraph = field(init=False)
 
     def __post_init__(self) -> None:
@@ -81,35 +86,33 @@ class Variants:
         if key not in self._cpo:
             graph = self.scalar.clone()
             auto_vectorize(graph, profile, self.machine)
-            self._cpo[key] = cycles_per_output(graph, self.machine,
-                                               backend=self.backend)
+            self._measure(key, graph)
         return self._cpo[key]
 
     def macro_graph(self, options: MacroSSOptions = MacroSSOptions()
                     ) -> StreamGraph:
-        return compile_graph(self.scalar, self.machine, options).graph
+        return compile_graph(self.scalar, self.machine, options,
+                             tracer=self.tracer).graph
 
     def macro_cpo(self, options: MacroSSOptions = MacroSSOptions(),
                   tag: str = "macro") -> float:
         if tag not in self._cpo:
-            self._cpo[tag] = cycles_per_output(self.macro_graph(options),
-                                               self.machine,
-                                               backend=self.backend)
+            self._measure(tag, self.macro_graph(options))
         return self._cpo[tag]
 
     def macro_autovec_cpo(self, profile: CompilerProfile) -> float:
         key = f"macro+autovec:{profile.name}"
         if key not in self._cpo:
-            graph = compile_graph(self.scalar, self.machine).graph
+            graph = self.macro_graph()
             auto_vectorize(graph, profile, self.machine)
-            self._cpo[key] = cycles_per_output(graph, self.machine,
-                                               backend=self.backend)
+            self._measure(key, graph)
         return self._cpo[key]
 
     def _measure(self, tag: str, graph: StreamGraph) -> float:
         if tag not in self._cpo:
             self._cpo[tag] = cycles_per_output(graph, self.machine,
-                                               backend=self.backend)
+                                               backend=self.backend,
+                                               tracer=self.tracer)
         return self._cpo[tag]
 
 

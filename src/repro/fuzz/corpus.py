@@ -50,6 +50,8 @@ def save_repro(desc: ProgramDesc, divergence: Optional[Divergence],
             "config": divergence.config,
             "detail": divergence.detail,
         }
+        if divergence.pass_trail:
+            entry["divergence"]["pass_trail"] = list(divergence.pass_trail)
     path = corpus_dir / f"repro_{desc_hash(desc)}.json"
     path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")

@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..graph.flatten import flatten
 from ..graph.stream_graph import StreamGraph
 from ..graph.validate import collect_problems
+from ..obs import Tracer, pass_trail
 from ..perf.counters import PerActorCounters
 from ..runtime.backends import resolve_backend
 from ..runtime.executor import ExecutionResult, _GraphRun, execute
@@ -79,8 +80,14 @@ class Divergence:
     kind: str       # validate | schedule | tape | rate | output | backend | crash
     config: str     # e.g. "auto/core-i7+sagu/compiled"
     detail: str
+    #: Algorithm-1 pass trail of the compile that produced the diverging
+    #: graph (pass names + decision summaries, from the per-config compile
+    #: trace) — empty when the divergence predates compilation.
+    pass_trail: Tuple[str, ...] = ()
 
     def __str__(self) -> str:
+        # Single-line on purpose: callers embed this in log lines.  The
+        # pass trail is printed separately by the CLI / corpus tooling.
         return f"[{self.kind}] {self.config}: {self.detail}"
 
 
@@ -180,8 +187,10 @@ def check_graph(graph: StreamGraph,
     option_sets = option_sets if option_sets is not None else OPTION_SETS
     machines = machines if machines is not None else MACHINES
 
-    def diverge(kind: str, config: str, detail: str) -> bool:
-        report.divergences.append(Divergence(kind, config, str(detail)[:500]))
+    def diverge(kind: str, config: str, detail: str,
+                trail: Tuple[str, ...] = ()) -> bool:
+        report.divergences.append(
+            Divergence(kind, config, str(detail)[:500], trail))
         return stop_on_first
 
     problems = collect_problems(graph)
@@ -209,32 +218,39 @@ def check_graph(graph: StreamGraph,
             if opt_name == "scalar" and mach_name != "core-i7":
                 continue  # structurally identical to core-i7/scalar
             config = f"{opt_name}/{mach_name}"
+            # Per-config compile trace: a divergence below carries the
+            # Algorithm-1 pass trail that produced the diverging graph.
+            ctracer = Tracer()
             try:
-                compiled = compile_graph(graph, machine, options)
+                compiled = compile_graph(graph, machine, options,
+                                         tracer=ctracer)
                 tgraph = compiled.graph
                 if graph_transform is not None:
                     tgraph = graph_transform(tgraph, config)
             except Exception as exc:
-                if diverge("crash", config, f"{type(exc).__name__}: {exc}"):
+                if diverge("crash", config, f"{type(exc).__name__}: {exc}",
+                           pass_trail(ctracer)):
                     return report
                 continue
             report.configs_checked += 1
+            trail = pass_trail(ctracer)
 
             problems = collect_problems(tgraph)
             if problems:
-                if diverge("validate", config, "; ".join(problems)):
+                if diverge("validate", config, "; ".join(problems), trail):
                     return report
                 continue
             try:
                 schedule = build_schedule(tgraph)
             except Exception as exc:
                 if diverge("schedule", config,
-                           f"{type(exc).__name__}: {exc}"):
+                           f"{type(exc).__name__}: {exc}", trail):
                     return report
                 continue
             sched_problems = _schedule_problems(tgraph, schedule)
             if sched_problems:
-                if diverge("schedule", config, "; ".join(sched_problems)):
+                if diverge("schedule", config, "; ".join(sched_problems),
+                           trail):
                     return report
                 continue
 
@@ -244,10 +260,11 @@ def check_graph(graph: StreamGraph,
                 report.executions += 1
             except Exception as exc:
                 if diverge("crash", f"{config}/interp",
-                           f"{type(exc).__name__}: {exc}"):
+                           f"{type(exc).__name__}: {exc}", trail):
                     return report
                 continue
-            if tape_bad and diverge("tape", f"{config}/interp", tape_bad):
+            if tape_bad and diverge("tape", f"{config}/interp", tape_bad,
+                                    trail):
                 return report
 
             expected = _terminal_rate(tgraph, schedule)
@@ -255,13 +272,13 @@ def check_graph(graph: StreamGraph,
                     len(ref.outputs) != CHECK_ITERATIONS * expected:
                 if diverge("rate", f"{config}/interp",
                            f"expected {CHECK_ITERATIONS * expected} outputs, "
-                           f"got {len(ref.outputs)}"):
+                           f"got {len(ref.outputs)}", trail):
                     return report
 
             n = min(len(ref.outputs), len(baseline.outputs))
             if n == 0:
                 if diverge("rate", f"{config}/interp",
-                           "transformed run produced no output"):
+                           "transformed run produced no output", trail):
                     return report
             elif ref.outputs[:n] != baseline.outputs[:n]:
                 first = next(i for i in range(n)
@@ -269,7 +286,7 @@ def check_graph(graph: StreamGraph,
                 if diverge("output", f"{config}/interp",
                            f"first mismatch at item {first}: "
                            f"{ref.outputs[first]!r} != "
-                           f"{baseline.outputs[first]!r}"):
+                           f"{baseline.outputs[first]!r}", trail):
                     return report
 
             try:
@@ -279,27 +296,27 @@ def check_graph(graph: StreamGraph,
                 report.executions += 1
             except Exception as exc:
                 if diverge("crash", f"{config}/compiled",
-                           f"{type(exc).__name__}: {exc}"):
+                           f"{type(exc).__name__}: {exc}", trail):
                     return report
                 continue
             backend_config = f"{config}/compiled"
             if got.outputs != ref.outputs:
                 if diverge("backend", backend_config,
-                           "steady outputs differ from interpreter"):
+                           "steady outputs differ from interpreter", trail):
                     return report
             if got.init_outputs != ref.init_outputs:
                 if diverge("backend", backend_config,
-                           "init outputs differ from interpreter"):
+                           "init outputs differ from interpreter", trail):
                     return report
             if _counter_bags(got.steady_counters) != \
                     _counter_bags(ref.steady_counters):
                 if diverge("backend", backend_config,
-                           "per-actor steady counter bags differ"):
+                           "per-actor steady counter bags differ", trail):
                     return report
             if _counter_bags(got.init_counters) != \
                     _counter_bags(ref.init_counters):
                 if diverge("backend", backend_config,
-                           "per-actor init counter bags differ"):
+                           "per-actor init counter bags differ", trail):
                     return report
     return report
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Tuple
 
+from ..obs.tracer import Tracer, ensure_tracer
 from .corpus import save_repro
 from .descriptions import ProgramDesc
 from .generator import generate_program
@@ -73,7 +74,8 @@ def run_fuzz(seed: int = 0, budget: int = 100,
              time_limit: Optional[float] = None,
              graph_transform: Optional[GraphTransform] = None,
              max_findings: int = 5,
-             shrink_evals: int = 200) -> FuzzReport:
+             shrink_evals: int = 200,
+             tracer: Optional[Tracer] = None) -> FuzzReport:
     """Run one seeded fuzz campaign.
 
     ``budget`` bounds the number of generated programs; ``time_limit``
@@ -84,37 +86,55 @@ def run_fuzz(seed: int = 0, budget: int = 100,
     The campaign stops early after ``max_findings`` divergences — a
     broken compiler fails everything, and five minimized repros beat five
     hundred raw ones.
+
+    ``tracer`` (optional) records one span per checked program plus an
+    instant event per finding carrying the divergence and its Algorithm-1
+    pass trail (``macross fuzz --trace``).
     """
+    tracer = ensure_tracer(tracer)
     rng = random.Random(seed)
     report = FuzzReport(seed=seed, budget=budget)
     start = time.monotonic()
-    for index in range(budget):
-        if time_limit is not None and \
-                time.monotonic() - start >= time_limit:
-            break
-        desc = generate_program(rng, index=index)
-        check = check_program(desc, graph_transform=graph_transform,
-                              stop_on_first=True)
-        report.programs += 1
-        report.executions += check.executions
-        report.configs_checked += check.configs_checked
-        if check.ok:
-            continue
+    with tracer.span("fuzz.campaign", cat="fuzz", seed=seed,
+                     budget=budget) as campaign_span:
+        for index in range(budget):
+            if time_limit is not None and \
+                    time.monotonic() - start >= time_limit:
+                break
+            desc = generate_program(rng, index=index)
+            with tracer.span(f"fuzz.program[{index}]", cat="fuzz",
+                             filters=desc.filter_count()) as psp:
+                check = check_program(desc, graph_transform=graph_transform,
+                                      stop_on_first=True)
+                psp.add(configs=check.configs_checked,
+                        executions=check.executions, ok=check.ok)
+            report.programs += 1
+            report.executions += check.executions
+            report.configs_checked += check.configs_checked
+            if check.ok:
+                continue
 
-        def still_fails(cand: ProgramDesc) -> bool:
-            return _first_divergence(cand, graph_transform) is not None
+            def still_fails(cand: ProgramDesc) -> bool:
+                return _first_divergence(cand, graph_transform) is not None
 
-        minimized = shrink(desc, still_fails, max_evals=shrink_evals)
-        divergence = _first_divergence(minimized, graph_transform)
-        if divergence is None:  # shrinker over-shrunk (flaky predicate)
-            minimized, divergence = desc, check.divergences[0]
-        finding = Finding(seed=seed, index=index, original=desc,
-                          minimized=minimized, divergence=divergence)
-        if corpus_dir is not None:
-            finding.repro_path = save_repro(minimized, divergence,
-                                            Path(corpus_dir))
-        report.findings.append(finding)
-        if len(report.findings) >= max_findings:
-            break
-    report.elapsed = time.monotonic() - start
+            with tracer.span(f"fuzz.shrink[{index}]", cat="fuzz"):
+                minimized = shrink(desc, still_fails, max_evals=shrink_evals)
+                divergence = _first_divergence(minimized, graph_transform)
+            if divergence is None:  # shrinker over-shrunk (flaky predicate)
+                minimized, divergence = desc, check.divergences[0]
+            finding = Finding(seed=seed, index=index, original=desc,
+                              minimized=minimized, divergence=divergence)
+            if corpus_dir is not None:
+                finding.repro_path = save_repro(minimized, divergence,
+                                                Path(corpus_dir))
+            tracer.event("fuzz.finding", cat="fuzz", index=index,
+                         kind=divergence.kind, config=divergence.config,
+                         detail=divergence.detail,
+                         pass_trail=list(divergence.pass_trail))
+            report.findings.append(finding)
+            if len(report.findings) >= max_findings:
+                break
+        report.elapsed = time.monotonic() - start
+        campaign_span.add(programs=report.programs,
+                          findings=len(report.findings))
     return report

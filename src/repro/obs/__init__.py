@@ -1,0 +1,26 @@
+"""Observability: pass-level tracing and runtime profiling hooks.
+
+``repro.obs`` is the measurement substrate under every performance PR:
+the Algorithm-1 driver (:func:`repro.simd.pipeline.compile_graph`), the
+runtime executor (:func:`repro.runtime.executor.execute`), and the fuzz
+harness all accept an optional :class:`Tracer` and record spans/events
+into it; exporters turn a capture into a Chrome-loadable trace or JSON
+lines; :mod:`repro.obs.report` renders per-pass and hottest-actor tables
+(``macross trace``).
+
+Everything is zero-dependency and free when no tracer is supplied.
+"""
+
+from .export import (chrome_trace, events_of, read_jsonl, to_jsonl,
+                     write_chrome, write_jsonl, write_trace)
+from .report import (hottest_actors_table, kernel_cache_summary, pass_rows,
+                     pass_table, pass_trail)
+from .tracer import NULL_TRACER, Span, TraceEvent, Tracer, ensure_tracer
+
+__all__ = [
+    "Tracer", "Span", "TraceEvent", "NULL_TRACER", "ensure_tracer",
+    "chrome_trace", "events_of", "read_jsonl", "to_jsonl",
+    "write_chrome", "write_jsonl", "write_trace",
+    "pass_rows", "pass_table", "pass_trail",
+    "hottest_actors_table", "kernel_cache_summary",
+]

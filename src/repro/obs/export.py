@@ -1,0 +1,132 @@
+"""Trace exporters and readers: Chrome ``trace_event`` JSON and JSON-lines.
+
+Two on-disk formats, chosen by file suffix in :func:`write_trace`:
+
+* ``*.jsonl`` — one JSON object per line, schema identical to
+  :class:`~repro.obs.tracer.TraceEvent` field-for-field.  Round-trips
+  losslessly through :func:`read_jsonl`; greppable; append-friendly.
+* anything else (``*.json`` conventionally) — the Chrome trace_event
+  "JSON Object Format": ``{"traceEvents": [...], ...}``, loadable in
+  ``chrome://tracing`` / Perfetto.  Spans are complete (``"X"``) events
+  with microsecond ``ts``/``dur``; instants are ``"i"`` events.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from .tracer import PHASE_SPAN, TraceEvent, Tracer
+
+__all__ = ["chrome_trace", "events_of", "read_jsonl", "to_jsonl",
+           "write_chrome", "write_jsonl", "write_trace"]
+
+#: Single-process tracer: one pid for every event.
+_PID = 1
+
+EventSource = Union[Tracer, Sequence[TraceEvent]]
+
+
+def events_of(source: EventSource) -> List[TraceEvent]:
+    """Normalise a tracer-or-event-list argument to a list of events."""
+    if isinstance(source, Tracer):
+        return list(source.events)
+    return list(source)
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+def chrome_trace(source: EventSource,
+                 metadata: Dict[str, Any] | None = None) -> Dict[str, Any]:
+    """Build the Chrome trace_event JSON-object-format dict."""
+    trace_events: List[Dict[str, Any]] = []
+    tids = sorted({e.tid for e in events_of(source)})
+    # Compact thread ids (raw idents are huge and unstable across runs).
+    tid_of = {tid: index for index, tid in enumerate(tids)}
+    for event in events_of(source):
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.cat or "default",
+            "ph": event.ph,
+            "ts": round(event.ts, 3),
+            "pid": _PID,
+            "tid": tid_of[event.tid],
+            "args": _jsonable(event.args),
+        }
+        if event.ph == PHASE_SPAN:
+            record["dur"] = round(event.dur, 3)
+        else:
+            record["s"] = "t"  # thread-scoped instant
+        trace_events.append(record)
+    doc: Dict[str, Any] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = _jsonable(metadata)
+    return doc
+
+
+def write_chrome(source: EventSource, path: Union[str, Path],
+                 metadata: Dict[str, Any] | None = None) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(source, metadata), indent=1)
+                    + "\n", encoding="utf-8")
+    return path
+
+
+# -- JSON lines --------------------------------------------------------------
+
+def to_jsonl(source: EventSource) -> Iterable[str]:
+    """One JSON line per event (lossless TraceEvent serialisation)."""
+    for event in events_of(source):
+        yield json.dumps({
+            "name": event.name, "cat": event.cat, "ph": event.ph,
+            "ts": event.ts, "dur": event.dur, "tid": event.tid,
+            "args": _jsonable(event.args),
+        }, sort_keys=True)
+
+
+def write_jsonl(source: EventSource, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text("".join(line + "\n" for line in to_jsonl(source)),
+                    encoding="utf-8")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[TraceEvent]:
+    """Read a ``*.jsonl`` trace back into :class:`TraceEvent` records."""
+    events: List[TraceEvent] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        raw = json.loads(line)
+        events.append(TraceEvent(
+            name=raw["name"], cat=raw["cat"], ph=raw["ph"],
+            ts=float(raw["ts"]), dur=float(raw["dur"]),
+            tid=int(raw["tid"]), args=dict(raw.get("args") or {})))
+    return events
+
+
+def write_trace(source: EventSource, path: Union[str, Path],
+                metadata: Dict[str, Any] | None = None) -> Path:
+    """Write ``source`` to ``path``; ``*.jsonl`` selects the JSON-lines
+    format, everything else the Chrome trace_event format."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return write_jsonl(source, path)
+    return write_chrome(source, path, metadata)
+
+
+# -- helpers -----------------------------------------------------------------
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of span args to JSON-serialisable values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -9,14 +9,17 @@ body from :mod:`.canon` — crossed with the :class:`~.compiler.Specialization`
 closures and static counter deltas are only valid under the specialisation
 they were compiled for.
 
-``CacheStats`` exposes compile/hit counts so tests can assert that
-structhash-equal actors really do share one kernel.
+``CacheStats`` exposes lookup/hit/miss/eviction counts so tests can
+assert that structhash-equal actors really do share one kernel, and so
+``macross run/profile/trace --backend compiled`` can surface cache
+behaviour per execution (see
+:meth:`repro.runtime.executor.ExecutionResult.kernel_cache`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ...ir import stmt as S
 from .compiler import Kernel, Specialization, compile_kernel
@@ -28,18 +31,46 @@ class CacheStats:
 
     lookups: int = 0
     hits: int = 0
+    evictions: int = 0
 
     @property
     def compiled(self) -> int:
         """Number of distinct kernels actually compiled."""
         return self.lookups - self.hits
 
+    @property
+    def misses(self) -> int:
+        """Alias of :attr:`compiled` (every miss compiles exactly once)."""
+        return self.compiled
+
+    def snapshot(self) -> Dict[str, int]:
+        """Immutable copy of the counters (for before/after deltas)."""
+        return {"lookups": self.lookups, "hits": self.hits,
+                "misses": self.misses, "compiled": self.compiled,
+                "evictions": self.evictions}
+
+    def delta(self, before: Mapping[str, int]) -> Dict[str, int]:
+        """Counter changes since a previous :meth:`snapshot`."""
+        now = self.snapshot()
+        return {key: now[key] - before.get(key, 0) for key in now}
+
 
 class KernelCache:
-    """Maps ``(canonical body, specialisation)`` to a compiled kernel."""
+    """Maps ``(canonical body, specialisation)`` to a compiled kernel.
 
-    def __init__(self) -> None:
+    ``max_kernels`` optionally bounds residency: when set, inserting
+    beyond the bound evicts the least-recently-*inserted* kernel (FIFO —
+    kernels are cheap to recompile and the working set of a single graph
+    is small, so anything fancier is not worth the bookkeeping).  The
+    default is unbounded, which is correct for every in-tree workload;
+    the bound exists for long-running fuzz campaigns and services.
+    """
+
+    def __init__(self, max_kernels: Optional[int] = None) -> None:
+        if max_kernels is not None and max_kernels < 1:
+            raise ValueError("max_kernels must be >= 1 (or None)")
         self._kernels: Dict[Tuple[S.Body, Specialization], Kernel] = {}
+        self.max_kernels = max_kernels
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -56,6 +87,12 @@ class KernelCache:
         kernel = self._kernels.get(key)
         if kernel is None:
             kernel = compile_kernel(canon_body, spec)
+            if self.max_kernels is not None and \
+                    len(self._kernels) >= self.max_kernels:
+                # FIFO eviction: dicts preserve insertion order.
+                oldest = next(iter(self._kernels))
+                del self._kernels[oldest]
+                self.stats.evictions += 1
             self._kernels[key] = kernel
         else:
             self.stats.hits += 1

@@ -30,6 +30,7 @@ from ..graph.builtins import (
 )
 from ..graph.stream_graph import StreamGraph
 from ..ir.types import Vector
+from ..obs.tracer import Tracer, ensure_tracer
 from ..perf import events as ev
 from ..perf.counters import PerActorCounters, PerfCounters
 from ..schedule.steady_state import Schedule, build_schedule
@@ -56,6 +57,11 @@ class ExecutionResult:
     schedule: Schedule
     #: name of the execution backend that produced this result.
     backend: str = "interp"
+    #: kernel-cache counter deltas for this execution (compiled backend
+    #: only; ``None`` for backends without a kernel cache) — keys:
+    #: ``lookups``, ``hits``, ``misses``, ``compiled``, ``evictions``,
+    #: ``size`` (kernels resident after the run).
+    kernel_cache: Optional[Dict[str, int]] = None
 
     def cycles_per_output(self, machine: MachineDescription) -> float:
         """Steady-state cycles per produced item — the throughput metric all
@@ -74,6 +80,13 @@ class ExecutionResult:
 
     def actor_cycles(self, machine: MachineDescription) -> Dict[int, float]:
         return self.steady_counters.cycles_by_actor(machine)
+
+    def firings_by_actor(self) -> Dict[int, int]:
+        """Steady-state firing count per actor (from the ``fire`` event
+        every backend charges once per firing)."""
+        return {actor_id: counters["fire"]
+                for actor_id, counters in
+                self.steady_counters.by_actor.items()}
 
 
 def state_initial_value(var: StateVar, simd_width: int) -> Any:
@@ -292,31 +305,81 @@ def execute(graph: StreamGraph,
             *,
             machine: MachineDescription = CORE_I7,
             iterations: int = 8,
-            backend: Any = "interp") -> ExecutionResult:
+            backend: Any = "interp",
+            tracer: Optional[Tracer] = None) -> ExecutionResult:
     """Run ``iterations`` steady-state cycles of ``graph`` and return
     collected outputs plus performance counters.
 
     ``backend`` selects the execution engine: ``"interp"`` (tree-walking
     interpreter, the reference), ``"compiled"`` (cached closure kernels,
     same outputs and counters, much faster), or a backend object.
+
+    ``tracer`` (optional) records runtime spans — setup (with kernel
+    cache deltas on the compiled backend), the init phase, and the steady
+    phase — each with output counts and modeled-cycle attribution.
     """
+    tracer = ensure_tracer(tracer)
     if schedule is None:
-        schedule = build_schedule(graph)
+        with tracer.span("runtime.schedule", cat="runtime",
+                         graph=graph.name):
+            schedule = build_schedule(graph)
     be = resolve_backend(backend)
-    run = _GraphRun(graph, schedule, machine, be)
-    run.run_phase(schedule.init)
-    init_outputs = run.drain_collector()
-    init_counters = run.reset_counters()
-    for _ in range(iterations):
-        run.run_phase(schedule.steady)
-    outputs = run.drain_collector()
-    return ExecutionResult(
-        graph_name=graph.name,
-        iterations=iterations,
-        outputs=outputs,
-        init_outputs=init_outputs,
-        init_counters=init_counters,
-        steady_counters=run.counters,
-        schedule=schedule,
-        backend=be.name,
-    )
+    cache = getattr(be, "cache", None)
+    with tracer.span("execute", cat="runtime", graph=graph.name,
+                     backend=be.name, machine=machine.name,
+                     iterations=iterations) as exec_span:
+        with tracer.span("runtime.setup", cat="runtime") as sp:
+            cache_before = cache.stats.snapshot() if cache is not None \
+                else None
+            run = _GraphRun(graph, schedule, machine, be)
+            kernel_cache: Optional[Dict[str, int]] = None
+            if cache is not None:
+                kernel_cache = cache.stats.delta(cache_before)
+                kernel_cache["size"] = len(cache)
+                sp.add(kernel_cache=dict(kernel_cache))
+            sp.add(actors=len(graph.actors), tapes=len(graph.tapes))
+        with tracer.span("runtime.init", cat="runtime") as sp:
+            run.run_phase(schedule.init)
+            init_outputs = run.drain_collector()
+            init_counters = run.reset_counters()
+            if tracer.enabled:
+                sp.add(outputs=len(init_outputs),
+                       modeled_cycles=round(init_counters.cycles(machine), 1),
+                       firings=sum(c["fire"] for c in
+                                   init_counters.by_actor.values()))
+        with tracer.span("runtime.steady", cat="runtime",
+                         iterations=iterations) as sp:
+            for _ in range(iterations):
+                run.run_phase(schedule.steady)
+            outputs = run.drain_collector()
+            if tracer.enabled:
+                sp.add(outputs=len(outputs),
+                       modeled_cycles=round(run.counters.cycles(machine), 1),
+                       firings=sum(c["fire"] for c in
+                                   run.counters.by_actor.values()))
+        result = ExecutionResult(
+            graph_name=graph.name,
+            iterations=iterations,
+            outputs=outputs,
+            init_outputs=init_outputs,
+            init_counters=init_counters,
+            steady_counters=run.counters,
+            schedule=schedule,
+            backend=be.name,
+            kernel_cache=kernel_cache,
+        )
+        if tracer.enabled:
+            exec_span.add(outputs=len(outputs),
+                          modeled_cycles=round(
+                              result.steady_cycles(machine), 1))
+            # Per-actor attribution as instant events: firing counts and
+            # modeled cycles per actor, so the Chrome trace carries the
+            # hottest-actor breakdown alongside the phase spans.
+            firings = result.firings_by_actor()
+            for actor_id, cycles in result.actor_cycles(machine).items():
+                name = (graph.actors[actor_id].name
+                        if actor_id in graph.actors else f"actor{actor_id}")
+                tracer.event(f"actor.{name}", cat="actor",
+                             cycles=round(cycles, 1),
+                             firings=firings.get(actor_id, 0))
+    return result

@@ -19,6 +19,7 @@ from .machine import (
     wide_machine,
 )
 from .pipeline import (
+    PASS_NAMES,
     SCALAR_OPTIONS,
     SINGLE_ACTOR_ONLY,
     CompilationReport,
@@ -45,7 +46,7 @@ __all__ = [
     "all_isomorphic", "spec_signature", "specs_isomorphic",
     "CORE_I7", "CORE_I7_SAGU", "NEON_LIKE", "MachineDescription",
     "UnsupportedOperation", "wide_machine",
-    "SCALAR_OPTIONS", "SINGLE_ACTOR_ONLY", "CompilationReport",
+    "PASS_NAMES", "SCALAR_OPTIONS", "SINGLE_ACTOR_ONLY", "CompilationReport",
     "CompiledGraph", "MacroSSOptions", "compile_graph",
     "SAGU", "lane_ordered_layout", "software_address",
     "HorizontalCandidate", "find_horizontal_candidates",

@@ -21,9 +21,10 @@ inspection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..graph.stream_graph import StreamGraph
+from ..obs.tracer import Tracer, ensure_tracer
 from ..schedule.rates import repetition_vector
 from ..schedule.scaling import simd_scaling_factor
 from .analysis import Verdict, simdizable_filters
@@ -90,137 +91,227 @@ class CompiledGraph:
     core_assignment: Dict[int, int] = field(default_factory=dict)
 
 
+#: Algorithm-1 pass names, in driver order.  Pass spans in a compile trace
+#: use exactly these names (category ``"pass"``), and ``pass_hook`` is
+#: invoked once per name with the work graph at that pass boundary.
+PASS_NAMES: Tuple[str, ...] = (
+    "prepass.analysis",
+    "segments.horizontal",
+    "segments.vertical",
+    "vertical.fuse",
+    "repetition.adjust",
+    "single_actor.vectorize",
+    "horizontal.apply",
+    "tape.optimize",
+)
+
+#: Hook type: called as ``hook(pass_name, work_graph)`` after every
+#: Algorithm-1 pass, with the (mutable, mid-compilation) work graph.
+#: The pass-invariant tests re-validate the graph at every boundary.
+PassHook = Callable[[str, StreamGraph], None]
+
+
 def compile_graph(graph: StreamGraph,
                   machine: MachineDescription = CORE_I7,
                   options: MacroSSOptions = MacroSSOptions(),
-                  partition: Optional[Dict[int, int]] = None
+                  partition: Optional[Dict[int, int]] = None,
+                  *,
+                  tracer: Optional[Tracer] = None,
+                  pass_hook: Optional[PassHook] = None
                   ) -> CompiledGraph:
     """Run macro-SIMDization on a flat graph (non-destructive).
 
     ``partition`` maps actor ids to cores; when given, SIMDization is
     restricted to same-core segments/split-joins (the partition-first
     scheduler of §5) and the result carries the per-actor core assignment.
+
+    ``tracer`` records one span per Algorithm-1 pass (wall time,
+    before/after graph stats, decisions taken); ``pass_hook`` is called
+    after every pass with the work graph — the hook the pass-invariant
+    tests and debugging tools attach to.  Both default to no-ops.
     """
+    tracer = ensure_tracer(tracer)
     work = graph.clone()
     report = CompilationReport(machine=machine.name, options=options)
     sw = machine.simd_width
     core_of: Dict[int, int] = dict(partition or {})
 
-    # Phase 1-2: prepass scheduling + segment identification.
-    verdicts = simdizable_filters(work, machine)
-    # Actors inside feedback cycles stay scalar: SIMDizing them would
-    # multiply their blocking factor by SW and starve the loop's delays.
-    for actor_id in work.actors_on_cycles():
-        if actor_id in verdicts and verdicts[actor_id].simdizable:
-            verdicts[actor_id] = Verdict.no("inside a feedback loop")
-    report.verdicts = {work.actors[aid].name: verdict
-                       for aid, verdict in verdicts.items()}
+    def stats() -> Tuple[int, int]:
+        return len(work.actors), len(work.tapes)
 
-    claimed_by_horizontal: set[int] = set()
-    candidates: List[HorizontalCandidate] = []
-    if options.horizontal:
-        candidates = find_horizontal_candidates(work, machine)
-        cyclic = work.actors_on_cycles()
-        if cyclic:
-            candidates = [c for c in candidates
-                          if not (c.all_actor_ids() & cyclic)]
-        if partition is not None:
-            candidates = [
-                c for c in candidates
-                if len({partition[aid] for aid in
-                        c.all_actor_ids() | {c.splitter_id, c.joiner_id}}) == 1]
-        if options.vertical:
-            # §3.5: actors in both GV and GH — the cost model decides which
-            # technique each overlapping split-join gets.
-            from .technique_choice import prefer_horizontal
-            base_reps = repetition_vector(work)
-            arbitrated = []
-            for candidate in candidates:
-                if prefer_horizontal(work, candidate, base_reps, machine):
-                    arbitrated.append(candidate)
+    def span(name: str):
+        actors, tapes = stats()
+        return tracer.span(name, cat="pass", actors_before=actors,
+                           tapes_before=tapes)
+
+    def close(sp, name: str, **detail) -> None:
+        actors, tapes = stats()
+        sp.add(actors_after=actors, tapes_after=tapes, **detail)
+        if pass_hook is not None:
+            pass_hook(name, work)
+
+    with tracer.span("compile_graph", cat="driver", graph=graph.name,
+                     machine=machine.name, simd_width=sw,
+                     options={k: getattr(options, k) for k in
+                              ("single_actor", "vertical", "horizontal",
+                               "tape_optimization")}) as compile_span:
+        # Phase 1-2: prepass scheduling + segment identification.
+        with span("prepass.analysis") as sp:
+            verdicts = simdizable_filters(work, machine)
+            # Actors inside feedback cycles stay scalar: SIMDizing them
+            # would multiply their blocking factor by SW and starve the
+            # loop's delays.
+            for actor_id in work.actors_on_cycles():
+                if actor_id in verdicts and verdicts[actor_id].simdizable:
+                    verdicts[actor_id] = Verdict.no("inside a feedback loop")
+            report.verdicts = {work.actors[aid].name: verdict
+                               for aid, verdict in verdicts.items()}
+            simdizable = sum(1 for v in verdicts.values() if v.simdizable)
+            close(sp, "prepass.analysis",
+                  detail=f"{simdizable}/{len(verdicts)} filters SIMDizable")
+
+        claimed_by_horizontal: set[int] = set()
+        candidates: List[HorizontalCandidate] = []
+        with span("segments.horizontal") as sp:
+            if options.horizontal:
+                candidates = find_horizontal_candidates(work, machine)
+                cyclic = work.actors_on_cycles()
+                if cyclic:
+                    candidates = [c for c in candidates
+                                  if not (c.all_actor_ids() & cyclic)]
+                if partition is not None:
+                    candidates = [
+                        c for c in candidates
+                        if len({partition[aid] for aid in
+                                c.all_actor_ids()
+                                | {c.splitter_id, c.joiner_id}}) == 1]
+                if options.vertical:
+                    # §3.5: actors in both GV and GH — the cost model
+                    # decides which technique each overlapping split-join
+                    # gets.
+                    from .technique_choice import prefer_horizontal
+                    base_reps = repetition_vector(work)
+                    arbitrated = []
+                    for candidate in candidates:
+                        if prefer_horizontal(work, candidate, base_reps,
+                                             machine):
+                            arbitrated.append(candidate)
+                        else:
+                            names = [work.actors[a].name
+                                     for b in candidate.branches for a in b]
+                            report.skipped_horizontal.append(
+                                f"{'/'.join(names)}: cost model chose "
+                                f"vertical")
+                    candidates = arbitrated
+                for candidate in candidates:
+                    claimed_by_horizontal |= candidate.all_actor_ids()
+            close(sp, "segments.horizontal",
+                  detail=f"{len(candidates)} candidate(s), "
+                         f"{len(report.skipped_horizontal)} skipped")
+
+        with span("segments.vertical") as sp:
+            segments: List[List[int]] = []
+            if options.single_actor:
+                segments = find_vertical_segments(
+                    work, verdicts, exclude=claimed_by_horizontal,
+                    same_group=partition)
+                if not options.vertical:
+                    segments = [[aid] for segment in segments
+                                for aid in segment]
+
+            # Record why non-SIMDizable filters stay scalar.
+            for aid, verdict in verdicts.items():
+                if not verdict.simdizable and \
+                        aid not in claimed_by_horizontal:
+                    name = work.actors[aid].name
+                    report.decisions[name] = \
+                        "scalar:" + "; ".join(verdict.reasons)
+            close(sp, "segments.vertical",
+                  detail=f"{len(segments)} segment(s)")
+
+        # Phase 3: repetition adjustment + vertical fusion.
+        with span("vertical.fuse") as sp:
+            reps = repetition_vector(work)
+            simdized_ids: List[Tuple[int, str]] = []
+            for segment in segments:
+                names = [work.actors[aid].name for aid in segment]
+                if len(segment) >= 2:
+                    coarse_id = fuse_segment(work, segment, reps)
+                    if partition is not None:
+                        core_of[coarse_id] = core_of[segment[0]]
+                    report.vertical_segments.append(names)
+                    coarse_name = work.actors[coarse_id].name
+                    for name in names:
+                        report.decisions[name] = f"vertical:{coarse_name}"
+                    simdized_ids.append((coarse_id, "vertical"))
                 else:
-                    names = [work.actors[a].name
-                             for b in candidate.branches for a in b]
+                    report.decisions[names[0]] = "single"
+                    simdized_ids.append((segment[0], "single"))
+            close(sp, "vertical.fuse",
+                  detail=f"{len(report.vertical_segments)} segment(s) fused")
+
+        # Equation (1): the factor the repetition vector must be scaled by
+        # so every SIMDizable actor's repetition is a multiple of SW.
+        # Recomputing the repetition vector after vectorization applies it
+        # implicitly (the vectorized rates force it); we record M for
+        # reporting and tests.
+        with span("repetition.adjust") as sp:
+            reps_after_fusion = repetition_vector(work)
+            report.scaling_factor = simd_scaling_factor(
+                sw, reps_after_fusion, [aid for aid, _ in simdized_ids])
+            close(sp, "repetition.adjust",
+                  detail=f"M={report.scaling_factor}",
+                  scaling_factor=report.scaling_factor,
+                  steady_reps=sum(reps_after_fusion.values()))
+
+        # Phase 4: single-actor SIMDization (standalone and coarse actors).
+        with span("single_actor.vectorize") as sp:
+            for actor_id, _kind in simdized_ids:
+                actor = work.actors[actor_id]
+                actor.spec = vectorize_actor(actor.spec, sw)
+            close(sp, "single_actor.vectorize",
+                  detail=f"{len(simdized_ids)} actor(s) vectorized")
+
+        # Phase 5: horizontal SIMDization.
+        with span("horizontal.apply") as sp:
+            for candidate in candidates:
+                level_names = [[work.actors[aid].name for aid in branch]
+                               for branch in candidate.branches]
+                flat_names = [name for branch in level_names
+                              for name in branch]
+                before = set(work.actors)
+                try:
+                    apply_horizontal(work, candidate, machine)
+                except MergeConflict as exc:
                     report.skipped_horizontal.append(
-                        f"{'/'.join(names)}: cost model chose vertical")
-            candidates = arbitrated
-        for candidate in candidates:
-            claimed_by_horizontal |= candidate.all_actor_ids()
+                        f"{'/'.join(flat_names)}: {exc}")
+                    for name in flat_names:
+                        report.decisions[name] = \
+                            f"scalar:horizontal merge failed ({exc})"
+                    continue
+                if partition is not None:
+                    region_core = core_of[candidate.splitter_id]
+                    for new_id in set(work.actors) - before:
+                        core_of[new_id] = region_core
+                report.horizontal_splitjoins.append(flat_names)
+                for name in flat_names:
+                    report.decisions[name] = "horizontal"
+            close(sp, "horizontal.apply",
+                  detail=f"{len(report.horizontal_splitjoins)} "
+                         f"split-join(s) merged")
 
-    segments: List[List[int]] = []
-    if options.single_actor:
-        segments = find_vertical_segments(work, verdicts,
-                                          exclude=claimed_by_horizontal,
-                                          same_group=partition)
-        if not options.vertical:
-            segments = [[aid] for segment in segments for aid in segment]
+        # Phase 6: tape optimization.
+        with span("tape.optimize") as sp:
+            if options.tape_optimization:
+                report.tape_strategies = optimize_tapes(work, machine)
+            close(sp, "tape.optimize",
+                  detail=f"{len(report.tape_strategies)} tape(s) optimized")
 
-    # Record why non-SIMDizable filters stay scalar.
-    for aid, verdict in verdicts.items():
-        if not verdict.simdizable and aid not in claimed_by_horizontal:
-            name = work.actors[aid].name
-            report.decisions[name] = "scalar:" + "; ".join(verdict.reasons)
-
-    # Phase 3: repetition adjustment + vertical fusion.
-    reps = repetition_vector(work)
-    simdized_ids: List[Tuple[int, str]] = []
-    for segment in segments:
-        names = [work.actors[aid].name for aid in segment]
-        if len(segment) >= 2:
-            coarse_id = fuse_segment(work, segment, reps)
-            if partition is not None:
-                core_of[coarse_id] = core_of[segment[0]]
-            report.vertical_segments.append(names)
-            coarse_name = work.actors[coarse_id].name
-            for name in names:
-                report.decisions[name] = f"vertical:{coarse_name}"
-            simdized_ids.append((coarse_id, "vertical"))
-        else:
-            report.decisions[names[0]] = "single"
-            simdized_ids.append((segment[0], "single"))
-
-    # Equation (1): the factor the repetition vector must be scaled by so
-    # every SIMDizable actor's repetition is a multiple of SW.  Recomputing
-    # the repetition vector after vectorization applies it implicitly (the
-    # vectorized rates force it); we record M for reporting and tests.
-    reps_after_fusion = repetition_vector(work)
-    report.scaling_factor = simd_scaling_factor(
-        sw, reps_after_fusion, [aid for aid, _ in simdized_ids])
-
-    # Phase 4: single-actor SIMDization (of standalone and coarse actors).
-    for actor_id, _kind in simdized_ids:
-        actor = work.actors[actor_id]
-        actor.spec = vectorize_actor(actor.spec, sw)
-
-    # Phase 5: horizontal SIMDization.
-    for candidate in candidates:
-        level_names = [[work.actors[aid].name for aid in branch]
-                       for branch in candidate.branches]
-        flat_names = [name for branch in level_names for name in branch]
-        before = set(work.actors)
-        try:
-            apply_horizontal(work, candidate, machine)
-        except MergeConflict as exc:
-            report.skipped_horizontal.append(
-                f"{'/'.join(flat_names)}: {exc}")
-            for name in flat_names:
-                report.decisions[name] = f"scalar:horizontal merge failed ({exc})"
-            continue
         if partition is not None:
-            region_core = core_of[candidate.splitter_id]
-            for new_id in set(work.actors) - before:
-                core_of[new_id] = region_core
-        report.horizontal_splitjoins.append(flat_names)
-        for name in flat_names:
-            report.decisions[name] = "horizontal"
-
-    # Phase 6: tape optimization.
-    if options.tape_optimization:
-        report.tape_strategies = optimize_tapes(work, machine)
-
-    if partition is not None:
-        core_of = {aid: core for aid, core in core_of.items()
-                   if aid in work.actors}
+            core_of = {aid: core for aid, core in core_of.items()
+                       if aid in work.actors}
+        compile_span.add(decisions=len(report.decisions),
+                         scaling_factor=report.scaling_factor)
     return CompiledGraph(work, report, core_of)
 
 
