@@ -48,11 +48,16 @@ from .simd import (
     CORE_I7,
     CORE_I7_SAGU,
     NEON_LIKE,
+    SVE_LIKE,
     CompilationReport,
     CompiledGraph,
     MachineDescription,
     MacroSSOptions,
+    UnknownTargetError,
     compile_graph,
+    get_target,
+    list_targets,
+    register_target,
     wide_machine,
 )
 
@@ -67,8 +72,9 @@ __all__ = [
     "format_body",
     "ExecutionResult", "Tape", "execute",
     "Schedule", "build_schedule", "repetition_vector",
-    "CORE_I7", "CORE_I7_SAGU", "NEON_LIKE", "CompilationReport",
-    "CompiledGraph", "MachineDescription", "MacroSSOptions",
-    "compile_graph", "wide_machine",
+    "CORE_I7", "CORE_I7_SAGU", "NEON_LIKE", "SVE_LIKE",
+    "CompilationReport", "CompiledGraph", "MachineDescription",
+    "MacroSSOptions", "UnknownTargetError", "compile_graph",
+    "get_target", "list_targets", "register_target", "wide_machine",
     "__version__",
 ]

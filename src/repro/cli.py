@@ -3,12 +3,22 @@
 Subcommands::
 
     macross list                      # available benchmarks
+    macross targets                   # registered SIMD targets
     macross compile <bench>           # compilation report (+ --cpp for code)
     macross run <bench>               # execute scalar vs macro-SIMDized
     macross trace <bench>             # per-pass timing + hottest actors
     macross fuzz                      # differential fuzzing campaign
     macross fig10a|fig10b|fig11|fig12|fig13   # regenerate a paper figure
     macross all                       # every figure
+
+``compile``, ``run``, ``profile``, ``trace``, ``dot``, and ``fuzz``
+accept ``--machine NAME`` resolved through the target registry
+(``macross targets`` lists names and aliases; unknown names print the
+listing).  ``--sagu`` remains a shorthand for the SAGU-equipped Core i7
+(or, combined with ``--machine``, adds a SAGU to the named target).
+``compile`` also accepts ``--pipeline NAME`` to run one of the named
+ablation pipelines (``scalar``, ``single-only``, ``no-tape``, ``full``,
+…).
 
 ``run``, ``profile``, and ``trace`` accept ``--backend {interp,compiled}``
 to select the execution engine: ``interp`` is the reference tree-walking
@@ -37,11 +47,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available benchmarks")
+    sub.add_parser("targets",
+                   help="list registered SIMD targets (name, width, "
+                        "features, aliases)")
 
     def add_trace_flag(p) -> None:
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="write a trace capture to FILE (*.jsonl for "
                             "JSON lines, else Chrome trace_event JSON)")
+
+    def add_machine_flag(p) -> None:
+        p.add_argument("--machine", default=None, metavar="NAME",
+                       help="target machine, resolved through the "
+                            "registry (see `macross targets`; "
+                            "default: core-i7-sse4)")
 
     p_compile = sub.add_parser("compile", help="show compilation decisions")
     p_compile.add_argument("benchmark")
@@ -49,6 +68,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                            help="emit the generated C++ with intrinsics")
     p_compile.add_argument("--sagu", action="store_true",
                            help="target the SAGU-equipped machine")
+    p_compile.add_argument("--pipeline", default=None, metavar="NAME",
+                           help="named ablation pipeline (scalar, "
+                                "single-only, no-tape, full, ...)")
+    add_machine_flag(p_compile)
     add_trace_flag(p_compile)
 
     p_run = sub.add_parser("run", help="execute scalar vs macro-SIMDized")
@@ -58,6 +81,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_run.add_argument("--backend", choices=("interp", "compiled"),
                        default="interp",
                        help="execution engine (default: interp)")
+    add_machine_flag(p_run)
     add_trace_flag(p_run)
 
     p_prof = sub.add_parser("profile",
@@ -67,6 +91,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_prof.add_argument("--backend", choices=("interp", "compiled"),
                         default="interp",
                         help="execution engine (default: interp)")
+    add_machine_flag(p_prof)
 
     p_trace = sub.add_parser(
         "trace", help="per-pass compile trace + hottest actors at runtime")
@@ -80,6 +105,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_trace.add_argument("--top", type=int, default=10, metavar="N",
                          help="number of hottest actors to list "
                               "(default: 10)")
+    add_machine_flag(p_trace)
     add_trace_flag(p_trace)
 
     p_dot = sub.add_parser("dot", help="emit Graphviz DOT for a benchmark")
@@ -87,6 +113,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_dot.add_argument("--compiled", action="store_true",
                        help="render the macro-SIMDized graph")
     p_dot.add_argument("--sagu", action="store_true")
+    add_machine_flag(p_dot)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing of every SIMDization path")
@@ -102,6 +129,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="stop the campaign after this many seconds")
     p_fuzz.add_argument("--replay-only", action="store_true",
                         help="only replay the corpus, no new programs")
+    p_fuzz.add_argument("--machine", action="append", default=None,
+                        metavar="NAME", dest="machine",
+                        help="restrict the machine axis to this registered "
+                             "target (repeatable; default: every "
+                             "registered target)")
     add_trace_flag(p_fuzz)
 
     for fig in ("fig10a", "fig10b", "fig11", "fig12", "fig13"):
@@ -122,9 +154,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
 
-def _machine(sagu: bool):
+def _machine(args: argparse.Namespace):
+    """Resolve the target machine of a subcommand through the registry.
+
+    ``--machine NAME`` (name or alias, case-insensitive) picks a
+    registered target; ``--sagu`` alone is the historical shorthand for
+    the SAGU-equipped Core i7, and combined with ``--machine`` it adds a
+    SAGU to the named target.  Unknown names raise
+    :class:`repro.simd.UnknownTargetError` (rendered with the registry
+    listing by :func:`_dispatch`).
+    """
+    from .simd import get_target
+    name = getattr(args, "machine", None)
+    sagu = getattr(args, "sagu", False)
+    if name:
+        machine = get_target(name)
+        return machine.with_sagu() if sagu else machine
     from .simd import CORE_I7, CORE_I7_SAGU
     return CORE_I7_SAGU if sagu else CORE_I7
+
+
+def _targets_table() -> str:
+    """The registry listing shown by ``macross targets`` and on unknown
+    ``--machine`` names."""
+    from .simd import get_target, list_targets, target_aliases
+    header = ("target", "SW", "SAGU", "even/odd", "vector math", "aliases")
+    rows = [header]
+    for name in list_targets():
+        m = get_target(name)
+        rows.append((
+            m.name,
+            str(m.simd_width),
+            "yes" if m.has_sagu else "no",
+            "yes" if m.has_extract_even_odd else "no",
+            f"{len(m.vector_math_funcs)} funcs",
+            ", ".join(target_aliases(name)) or "-",
+        ))
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(header))]
+    lines = ["  ".join(cell.ljust(width)
+                       for cell, width in zip(row, widths)).rstrip()
+             for row in rows]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
 
 
 def _tracer_for(args: argparse.Namespace):
@@ -155,6 +227,17 @@ def _cache_stats_line(result) -> Optional[str]:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    from .simd import UnknownTargetError
+    try:
+        return _dispatch_inner(args)
+    except UnknownTargetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(file=sys.stderr)
+        print(_targets_table(), file=sys.stderr)
+        return 2
+
+
+def _dispatch_inner(args: argparse.Namespace) -> int:
     from .apps import BENCHMARKS
 
     if args.command == "list":
@@ -162,13 +245,17 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(name)
         return 0
 
+    if args.command == "targets":
+        print(_targets_table())
+        return 0
+
     if args.command == "compile":
         from .experiments.harness import scalar_graph
         from .simd import compile_graph
-        machine = _machine(args.sagu)
+        machine = _machine(args)
         tracer = _tracer_for(args)
         compiled = compile_graph(scalar_graph(args.benchmark), machine,
-                                 tracer=tracer)
+                                 tracer=tracer, pipeline=args.pipeline)
         print(compiled.report.summary())
         print()
         print(compiled.graph.summary())
@@ -183,7 +270,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         from .experiments.harness import scalar_graph
         from .runtime import execute
         from .simd import compile_graph
-        machine = _machine(args.sagu)
+        machine = _machine(args)
         tracer = _tracer_for(args)
         graph = scalar_graph(args.benchmark)
         scalar = execute(graph, machine=machine, iterations=args.iterations,
@@ -217,7 +304,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         from .graph import to_dot
         from .schedule import repetition_vector
         from .simd import compile_graph
-        machine = _machine(args.sagu)
+        machine = _machine(args)
         graph = scalar_graph(args.benchmark)
         if args.compiled:
             graph = compile_graph(graph, machine).graph
@@ -229,7 +316,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         from .perf import event_class_table, profile_table
         from .runtime import execute
         from .simd import compile_graph
-        machine = _machine(args.sagu)
+        machine = _machine(args)
         graph = scalar_graph(args.benchmark)
         for label, g in (("scalar", graph),
                          ("MacroSS", compile_graph(graph, machine).graph)):
@@ -272,7 +359,7 @@ def _run_trace_command(args: argparse.Namespace) -> int:
     from .runtime import execute
     from .simd import compile_graph
 
-    machine = _machine(args.sagu)
+    machine = _machine(args)
     tracer = Tracer()
     graph = scalar_graph(args.benchmark)
     compiled = compile_graph(graph, machine, tracer=tracer)
@@ -301,6 +388,11 @@ def _run_fuzz_command(args: argparse.Namespace) -> int:
 
     from .fuzz import replay_corpus, run_fuzz
 
+    machines = None
+    if args.machine:
+        from .simd import get_target
+        machines = {name: get_target(name) for name in args.machine}
+
     exit_code = 0
     corpus_dir = Path(args.corpus) if args.corpus else None
     tracer = _tracer_for(args)
@@ -317,7 +409,8 @@ def _run_fuzz_command(args: argparse.Namespace) -> int:
         return exit_code
 
     report = run_fuzz(args.seed, args.budget, corpus_dir=corpus_dir,
-                      time_limit=args.time_limit, tracer=tracer)
+                      time_limit=args.time_limit, tracer=tracer,
+                      machines=machines)
     print(report.summary())
     for finding in report.findings:
         exit_code = 1

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..simd.machine import CORE_I7, MachineDescription
-from ..simd.pipeline import SINGLE_ACTOR_ONLY, MacroSSOptions
+from ..simd.pipeline import get_pipeline_options
 from .harness import Variants, arithmetic_mean, resolve_benchmarks
 from .tables import format_table
 
@@ -42,10 +42,10 @@ class Fig11Result:
         return format_table(["benchmark", "vertical improvement %"], body)
 
 
-#: single-actor only, scalar tape accesses.
-_SINGLE_CONFIG = MacroSSOptions(vertical=False, tape_optimization=False)
-#: vertical enabled, scalar tape accesses.
-_VERTICAL_CONFIG = MacroSSOptions(tape_optimization=False)
+#: single-actor only, scalar tape accesses (named ablation pipeline).
+_SINGLE_CONFIG = get_pipeline_options("single-only/no-tape")
+#: vertical enabled, scalar tape accesses (named ablation pipeline).
+_VERTICAL_CONFIG = get_pipeline_options("no-tape")
 
 
 def run_fig11(machine: MachineDescription = CORE_I7,

@@ -18,12 +18,13 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..simd.machine import CORE_I7, MachineDescription
-from ..simd.pipeline import MacroSSOptions
+from ..simd.pipeline import get_pipeline_options
 from .harness import Variants, arithmetic_mean, resolve_benchmarks
 from .tables import format_table
 
-#: Baseline: macro-SIMDized, scalar strided tape accesses (§3.1).
-_BASELINE_CONFIG = MacroSSOptions(tape_optimization=False)
+#: Baseline: macro-SIMDized, scalar strided tape accesses (§3.1) — the
+#: "no-tape" named ablation pipeline.
+_BASELINE_CONFIG = get_pipeline_options("no-tape")
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..apps import BENCHMARKS, get_benchmark
 from ..autovec import CompilerProfile, auto_vectorize
@@ -19,7 +19,7 @@ from ..graph.flatten import flatten
 from ..graph.stream_graph import StreamGraph
 from ..obs.tracer import Tracer
 from ..runtime.executor import execute
-from ..simd.machine import CORE_I7, MachineDescription
+from ..simd.machine import CORE_I7, MachineDescription, get_target
 from ..simd.pipeline import MacroSSOptions, compile_graph
 
 #: Benchmarks reported in the figures (paper order: suite apps first).
@@ -64,10 +64,14 @@ class Variants:
     modeled cycle counts are backend-independent (the differential suite
     enforces counter equality), so figures are reproducible either way —
     ``"compiled"`` just regenerates them faster.
+
+    ``machine`` may be a registered target name (``"sve-like"``,
+    ``"i7+sagu"``, …) resolved through the target registry, or a
+    :class:`MachineDescription`.
     """
 
     name: str
-    machine: MachineDescription
+    machine: Union[str, MachineDescription]
     backend: str = "interp"
     #: optional tracer threaded through every compile + measurement
     #: (span per variant; see ``repro.obs``).
@@ -75,6 +79,7 @@ class Variants:
     scalar: StreamGraph = field(init=False)
 
     def __post_init__(self) -> None:
+        self.machine = get_target(self.machine)
         self.scalar = scalar_graph(self.name)
         self._cpo: Dict[str, float] = {}
 

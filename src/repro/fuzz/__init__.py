@@ -11,14 +11,15 @@ from .corpus import (DEFAULT_CORPUS, ReplayResult, desc_hash, load_corpus,
 from .descriptions import (FilterDesc, ProgramDesc, SplitJoinDesc,
                            desc_from_dict, desc_to_dict, materialize)
 from .generator import generate_program
-from .harness import (CheckReport, Divergence, GraphTransform, MACHINES,
-                      OPTION_SETS, check_graph, check_program)
+from .harness import (CheckReport, Divergence, GraphTransform, OPTION_SETS,
+                      check_graph, check_program, default_machines)
 from .runner import Finding, FuzzReport, run_fuzz
 from .shrink import shrink
 
 __all__ = [
     "CheckReport", "DEFAULT_CORPUS", "Divergence", "FilterDesc", "Finding",
-    "FuzzReport", "GraphTransform", "MACHINES", "OPTION_SETS", "ProgramDesc",
+    "FuzzReport", "GraphTransform", "OPTION_SETS", "ProgramDesc",
+    "default_machines",
     "ReplayResult", "SplitJoinDesc", "check_graph", "check_program",
     "desc_from_dict", "desc_hash", "desc_to_dict", "generate_program",
     "load_corpus", "materialize", "replay_corpus", "run_fuzz", "save_repro",

@@ -4,7 +4,10 @@ One generated program is checked through the cross-product of
 
 * **SIMDization option sets** — scalar, single-actor, vertical,
   horizontal, and the full cost-model-arbitrated ``auto`` configuration;
-* **machines** — Core-i7, Core-i7+SAGU, and the NEON-like target;
+* **machines** — every target in the registry
+  (:func:`repro.simd.machine.list_targets`): registering a new target
+  automatically puts it under fuzz.  Names are sorted, so campaigns stay
+  seed-reproducible;
 * **execution backends** — the tree-walking interpreter and the closure
   compiler.
 
@@ -43,8 +46,8 @@ from ..runtime.backends import resolve_backend
 from ..runtime.executor import ExecutionResult, _GraphRun, execute
 from ..schedule.rates import check_balanced
 from ..schedule.steady_state import Schedule, build_schedule
-from ..simd.machine import CORE_I7, CORE_I7_SAGU, NEON_LIKE, \
-    MachineDescription
+from ..simd.machine import CORE_I7, MachineDescription, get_target, \
+    list_targets
 from ..simd.pipeline import MacroSSOptions, SCALAR_OPTIONS, compile_graph
 from .descriptions import ProgramDesc, materialize
 
@@ -57,11 +60,16 @@ OPTION_SETS: Dict[str, MacroSSOptions] = {
     "auto": MacroSSOptions(),
 }
 
-MACHINES: Dict[str, MachineDescription] = {
-    "core-i7": CORE_I7,
-    "core-i7+sagu": CORE_I7_SAGU,
-    "neon": NEON_LIKE,
-}
+
+def default_machines() -> Dict[str, MachineDescription]:
+    """The fuzz machine axis: every registered target, in sorted-name
+    order (sorted ⇒ config enumeration, and therefore campaign results,
+    are reproducible for a given seed and registry state).
+
+    Computed per campaign rather than at import time so targets
+    registered later are fuzzed automatically.
+    """
+    return {name: get_target(name) for name in list_targets()}
 
 #: Steady iterations for the scalar reference / each transformed run.
 BASELINE_ITERATIONS = 2
@@ -185,7 +193,7 @@ def check_graph(graph: StreamGraph,
     """Run the full oracle matrix on one scalar flat graph."""
     report = CheckReport()
     option_sets = option_sets if option_sets is not None else OPTION_SETS
-    machines = machines if machines is not None else MACHINES
+    machines = machines if machines is not None else default_machines()
 
     def diverge(kind: str, config: str, detail: str,
                 trail: Tuple[str, ...] = ()) -> bool:
@@ -215,7 +223,7 @@ def check_graph(graph: StreamGraph,
 
     for mach_name, machine in machines.items():
         for opt_name, options in option_sets.items():
-            if opt_name == "scalar" and mach_name != "core-i7":
+            if opt_name == "scalar" and machine.name != CORE_I7.name:
                 continue  # structurally identical to core-i7/scalar
             config = f"{opt_name}/{mach_name}"
             # Per-config compile trace: a divergence below carries the

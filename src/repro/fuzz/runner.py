@@ -16,7 +16,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Tuple
 
+from typing import Dict
+
 from ..obs.tracer import Tracer, ensure_tracer
+from ..simd.machine import MachineDescription
 from .corpus import save_repro
 from .descriptions import ProgramDesc
 from .generator import generate_program
@@ -61,10 +64,11 @@ class FuzzReport:
 
 
 def _first_divergence(desc: ProgramDesc,
-                      graph_transform: Optional[GraphTransform]
-                      ) -> Optional[Divergence]:
+                      graph_transform: Optional[GraphTransform],
+                      machines: Optional[Dict[str, MachineDescription]]
+                      = None) -> Optional[Divergence]:
     report = check_program(desc, graph_transform=graph_transform,
-                           stop_on_first=True)
+                           machines=machines, stop_on_first=True)
     return report.divergences[0] if report.divergences else None
 
 
@@ -75,7 +79,9 @@ def run_fuzz(seed: int = 0, budget: int = 100,
              graph_transform: Optional[GraphTransform] = None,
              max_findings: int = 5,
              shrink_evals: int = 200,
-             tracer: Optional[Tracer] = None) -> FuzzReport:
+             tracer: Optional[Tracer] = None,
+             machines: Optional[Dict[str, MachineDescription]] = None
+             ) -> FuzzReport:
     """Run one seeded fuzz campaign.
 
     ``budget`` bounds the number of generated programs; ``time_limit``
@@ -86,6 +92,10 @@ def run_fuzz(seed: int = 0, budget: int = 100,
     The campaign stops early after ``max_findings`` divergences — a
     broken compiler fails everything, and five minimized repros beat five
     hundred raw ones.
+
+    ``machines`` restricts the machine axis (name → description); it
+    defaults to every registered target
+    (:func:`repro.fuzz.harness.default_machines`).
 
     ``tracer`` (optional) records one span per checked program plus an
     instant event per finding carrying the divergence and its Algorithm-1
@@ -105,6 +115,7 @@ def run_fuzz(seed: int = 0, budget: int = 100,
             with tracer.span(f"fuzz.program[{index}]", cat="fuzz",
                              filters=desc.filter_count()) as psp:
                 check = check_program(desc, graph_transform=graph_transform,
+                                      machines=machines,
                                       stop_on_first=True)
                 psp.add(configs=check.configs_checked,
                         executions=check.executions, ok=check.ok)
@@ -115,11 +126,13 @@ def run_fuzz(seed: int = 0, budget: int = 100,
                 continue
 
             def still_fails(cand: ProgramDesc) -> bool:
-                return _first_divergence(cand, graph_transform) is not None
+                return _first_divergence(cand, graph_transform,
+                                         machines) is not None
 
             with tracer.span(f"fuzz.shrink[{index}]", cat="fuzz"):
                 minimized = shrink(desc, still_fails, max_evals=shrink_evals)
-                divergence = _first_divergence(minimized, graph_transform)
+                divergence = _first_divergence(minimized, graph_transform,
+                                               machines)
             if divergence is None:  # shrinker over-shrunk (flaky predicate)
                 minimized, divergence = desc, check.divergences[0]
             finding = Finding(seed=seed, index=index, original=desc,

@@ -23,6 +23,51 @@ def validate(graph: StreamGraph) -> None:
         raise GraphError("; ".join(problems))
 
 
+def invariant_problems(graph: StreamGraph) -> List[str]:
+    """Full mid-compilation invariant check (structure + rates + tapes).
+
+    The superset of :func:`collect_problems` that the pass-invariant tests
+    pin after every Algorithm-1 pass, promoted here so production code can
+    run it too (``compile_graph(..., verify_each_pass=True)``):
+
+    * the graph validates structurally (ports, rates, body/rate agreement);
+    * it admits a balanced repetition vector with positive repetitions
+      covering every actor;
+    * every tape references live actors (no dangling endpoints).
+    """
+    # Tape liveness first: every later analysis (ports, rates, scheduling)
+    # dereferences tape endpoints and would crash on a dangling one.
+    dangling = [f"tape {tape.id} references a removed actor"
+                for tape in graph.tapes.values()
+                if tape.src not in graph.actors
+                or tape.dst not in graph.actors]
+    if dangling:
+        return dangling
+    problems = collect_problems(graph)
+    # Rate checks import lazily: ``repro.schedule`` depends on this package.
+    from ..schedule.rates import RateError, check_balanced, repetition_vector
+    try:
+        reps = repetition_vector(graph)
+        check_balanced(graph, reps)
+    except RateError as exc:
+        problems.append(f"inconsistent rates: {exc}")
+    else:
+        if set(reps) != set(graph.actors):
+            problems.append("repetition vector does not cover all actors")
+        bad = {aid: rep for aid, rep in reps.items() if rep < 1}
+        if bad:
+            problems.append(f"non-positive repetitions: {bad}")
+    return problems
+
+
+def verify_invariants(graph: StreamGraph, context: str = "graph") -> None:
+    """Raise :class:`GraphError` when :func:`invariant_problems` finds any,
+    prefixing ``context`` (e.g. the pass name that just ran)."""
+    problems = invariant_problems(graph)
+    if problems:
+        raise GraphError(f"{context}: " + "; ".join(problems))
+
+
 def collect_problems(graph: StreamGraph) -> List[str]:
     problems: List[str] = []
     problems.extend(_check_ports(graph))

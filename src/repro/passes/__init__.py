@@ -1,0 +1,50 @@
+"""Pass-manager architecture for the MacroSS driver (Algorithm 1).
+
+The paper's driver is an ordered sequence of graph-rewriting passes; this
+package makes that structure explicit:
+
+* :class:`Pass` — the protocol every pass implements (``name``,
+  ``applies(ctx)``, ``run(ctx)``);
+* :class:`CompilationContext` — the state one compilation threads through
+  its passes (work graph, report, machine, options, tracer, …);
+* :class:`PassManager` — ordered execution with per-pass tracing,
+  ``pass_hook`` dispatch, and optional inter-pass invariant verification;
+* :mod:`repro.passes.algorithm1` — the paper's eight stages as pass
+  classes, plus the name registry custom pipelines are built from.
+
+``repro.simd.pipeline.compile_graph`` is a thin wrapper that compiles
+:class:`MacroSSOptions` into one of these pipelines.
+"""
+
+from .algorithm1 import (
+    DEFAULT_PASS_NAMES,
+    PASS_REGISTRY,
+    HorizontalApply,
+    HorizontalSegments,
+    PrepassAnalysis,
+    RepetitionAdjust,
+    SingleActorVectorize,
+    TapeOptimize,
+    VerticalFuse,
+    VerticalSegments,
+    default_pipeline,
+)
+from .base import (
+    CompilationContext,
+    Pass,
+    PassBase,
+    PassHook,
+    PassVerificationError,
+    PipelineError,
+)
+from .manager import PassManager, PipelineSpec
+
+__all__ = [
+    "CompilationContext", "Pass", "PassBase", "PassHook",
+    "PassVerificationError", "PipelineError",
+    "PassManager", "PipelineSpec",
+    "DEFAULT_PASS_NAMES", "PASS_REGISTRY", "default_pipeline",
+    "PrepassAnalysis", "HorizontalSegments", "VerticalSegments",
+    "VerticalFuse", "RepetitionAdjust", "SingleActorVectorize",
+    "HorizontalApply", "TapeOptimize",
+]

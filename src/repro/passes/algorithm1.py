@@ -1,0 +1,254 @@
+"""The eight Algorithm-1 stages as :class:`Pass` classes.
+
+Each class is a faithful port of one phase of the former monolithic
+``compile_graph`` driver (``repro.simd.pipeline``): same transformations,
+same report entries, same trace-span details.  They communicate through
+:class:`repro.passes.base.CompilationContext` fields instead of driver
+locals, which is what makes reordering, ablating, and inserting custom
+passes possible.
+
+``PASS_REGISTRY`` maps pass names (the public, trace-stable
+``PASS_NAMES`` strings) to classes; :func:`default_pipeline` instantiates
+the standard ordered eight.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple, Type
+
+from ..schedule.rates import repetition_vector
+from ..schedule.scaling import simd_scaling_factor
+from ..simd.analysis import Verdict, simdizable_filters
+from ..simd.horizontal import MergeConflict, apply_horizontal
+from ..simd.segments import find_horizontal_candidates, find_vertical_segments
+from ..simd.single_actor import vectorize_actor
+from ..simd.tape_opt import optimize_tapes
+from ..simd.technique_choice import prefer_horizontal
+from ..simd.vertical import fuse_segment
+from .base import CompilationContext, PassBase
+
+
+class PrepassAnalysis(PassBase):
+    """Phase 1: per-filter SIMDizability verdicts (+ feedback-cycle veto)."""
+
+    name = "prepass.analysis"
+
+    def run(self, ctx: CompilationContext) -> Dict[str, Any]:
+        work = ctx.work
+        verdicts = simdizable_filters(work, ctx.machine)
+        # Actors inside feedback cycles stay scalar: SIMDizing them would
+        # multiply their blocking factor by SW and starve the loop's
+        # delays.
+        for actor_id in work.actors_on_cycles():
+            if actor_id in verdicts and verdicts[actor_id].simdizable:
+                verdicts[actor_id] = Verdict.no("inside a feedback loop")
+        ctx.verdicts = verdicts
+        ctx.report.verdicts = {work.actors[aid].name: verdict
+                               for aid, verdict in verdicts.items()}
+        simdizable = sum(1 for v in verdicts.values() if v.simdizable)
+        return {"detail":
+                f"{simdizable}/{len(verdicts)} filters SIMDizable"}
+
+
+class HorizontalSegments(PassBase):
+    """Phase 2a: find split-join candidates for horizontal SIMDization and
+    arbitrate vertical/horizontal overlaps through the cost model (§3.5)."""
+
+    name = "segments.horizontal"
+
+    def run(self, ctx: CompilationContext) -> Dict[str, Any]:
+        work, options, report = ctx.work, ctx.options, ctx.report
+        candidates = []
+        if options.horizontal:
+            candidates = find_horizontal_candidates(work, ctx.machine)
+            cyclic = work.actors_on_cycles()
+            if cyclic:
+                candidates = [c for c in candidates
+                              if not (c.all_actor_ids() & cyclic)]
+            if ctx.partition is not None:
+                candidates = [
+                    c for c in candidates
+                    if len({ctx.partition[aid] for aid in
+                            c.all_actor_ids()
+                            | {c.splitter_id, c.joiner_id}}) == 1]
+            if options.vertical:
+                # §3.5: actors in both GV and GH — the cost model decides
+                # which technique each overlapping split-join gets.
+                base_reps = repetition_vector(work)
+                arbitrated = []
+                for candidate in candidates:
+                    if prefer_horizontal(work, candidate, base_reps,
+                                         ctx.machine):
+                        arbitrated.append(candidate)
+                    else:
+                        names = [work.actors[a].name
+                                 for b in candidate.branches for a in b]
+                        report.skipped_horizontal.append(
+                            f"{'/'.join(names)}: cost model chose "
+                            f"vertical")
+                candidates = arbitrated
+            for candidate in candidates:
+                ctx.claimed_by_horizontal |= candidate.all_actor_ids()
+        ctx.candidates = candidates
+        return {"detail": f"{len(candidates)} candidate(s), "
+                          f"{len(report.skipped_horizontal)} skipped"}
+
+
+class VerticalSegments(PassBase):
+    """Phase 2b: maximal vertical pipelines over the unclaimed actors, and
+    scalar-decision bookkeeping for non-SIMDizable filters."""
+
+    name = "segments.vertical"
+
+    def run(self, ctx: CompilationContext) -> Dict[str, Any]:
+        work, options = ctx.work, ctx.options
+        segments: List[List[int]] = []
+        if options.single_actor:
+            segments = find_vertical_segments(
+                work, ctx.verdicts, exclude=ctx.claimed_by_horizontal,
+                same_group=ctx.partition)
+            if not options.vertical:
+                segments = [[aid] for segment in segments
+                            for aid in segment]
+        ctx.segments = segments
+
+        # Record why non-SIMDizable filters stay scalar.
+        for aid, verdict in ctx.verdicts.items():
+            if not verdict.simdizable and \
+                    aid not in ctx.claimed_by_horizontal:
+                name = work.actors[aid].name
+                ctx.report.decisions[name] = \
+                    "scalar:" + "; ".join(verdict.reasons)
+        return {"detail": f"{len(segments)} segment(s)"}
+
+
+class VerticalFuse(PassBase):
+    """Phase 3a: fuse multi-actor vertical segments into coarse actors."""
+
+    name = "vertical.fuse"
+
+    def run(self, ctx: CompilationContext) -> Dict[str, Any]:
+        work, report = ctx.work, ctx.report
+        reps = repetition_vector(work)
+        simdized_ids: List[Tuple[int, str]] = []
+        for segment in ctx.segments:
+            names = [work.actors[aid].name for aid in segment]
+            if len(segment) >= 2:
+                coarse_id = fuse_segment(work, segment, reps)
+                if ctx.partition is not None:
+                    ctx.core_of[coarse_id] = ctx.core_of[segment[0]]
+                report.vertical_segments.append(names)
+                coarse_name = work.actors[coarse_id].name
+                for name in names:
+                    report.decisions[name] = f"vertical:{coarse_name}"
+                simdized_ids.append((coarse_id, "vertical"))
+            else:
+                report.decisions[names[0]] = "single"
+                simdized_ids.append((segment[0], "single"))
+        ctx.simdized_ids = simdized_ids
+        return {"detail":
+                f"{len(report.vertical_segments)} segment(s) fused"}
+
+
+class RepetitionAdjust(PassBase):
+    """Phase 3b: Equation (1) — the factor M the repetition vector must be
+    scaled by so every SIMDizable actor's repetition is a multiple of SW.
+
+    Recomputing the repetition vector after vectorization applies it
+    implicitly (the vectorized rates force it); M is recorded for
+    reporting and tests.
+    """
+
+    name = "repetition.adjust"
+
+    def run(self, ctx: CompilationContext) -> Dict[str, Any]:
+        reps_after_fusion = repetition_vector(ctx.work)
+        ctx.report.scaling_factor = simd_scaling_factor(
+            ctx.sw, reps_after_fusion,
+            [aid for aid, _ in ctx.simdized_ids])
+        return {"detail": f"M={ctx.report.scaling_factor}",
+                "scaling_factor": ctx.report.scaling_factor,
+                "steady_reps": sum(reps_after_fusion.values())}
+
+
+class SingleActorVectorize(PassBase):
+    """Phase 4: single-actor SIMDization of standalone and coarse actors."""
+
+    name = "single_actor.vectorize"
+
+    def run(self, ctx: CompilationContext) -> Dict[str, Any]:
+        for actor_id, _kind in ctx.simdized_ids:
+            actor = ctx.work.actors[actor_id]
+            actor.spec = vectorize_actor(actor.spec, ctx.sw)
+        return {"detail": f"{len(ctx.simdized_ids)} actor(s) vectorized"}
+
+
+class HorizontalApply(PassBase):
+    """Phase 5: horizontally SIMDize the surviving split-join candidates."""
+
+    name = "horizontal.apply"
+
+    def run(self, ctx: CompilationContext) -> Dict[str, Any]:
+        work, report = ctx.work, ctx.report
+        for candidate in ctx.candidates:
+            level_names = [[work.actors[aid].name for aid in branch]
+                           for branch in candidate.branches]
+            flat_names = [name for branch in level_names
+                          for name in branch]
+            before = set(work.actors)
+            try:
+                apply_horizontal(work, candidate, ctx.machine)
+            except MergeConflict as exc:
+                report.skipped_horizontal.append(
+                    f"{'/'.join(flat_names)}: {exc}")
+                for name in flat_names:
+                    report.decisions[name] = \
+                        f"scalar:horizontal merge failed ({exc})"
+                continue
+            if ctx.partition is not None:
+                region_core = ctx.core_of[candidate.splitter_id]
+                for new_id in set(work.actors) - before:
+                    ctx.core_of[new_id] = region_core
+            report.horizontal_splitjoins.append(flat_names)
+            for name in flat_names:
+                report.decisions[name] = "horizontal"
+        return {"detail": f"{len(report.horizontal_splitjoins)} "
+                          f"split-join(s) merged"}
+
+
+class TapeOptimize(PassBase):
+    """Phase 6: per-boundary tape strategy selection (§3.4)."""
+
+    name = "tape.optimize"
+
+    def run(self, ctx: CompilationContext) -> Dict[str, Any]:
+        if ctx.options.tape_optimization:
+            ctx.report.tape_strategies = optimize_tapes(ctx.work,
+                                                        ctx.machine)
+        return {"detail":
+                f"{len(ctx.report.tape_strategies)} tape(s) optimized"}
+
+
+#: pass name -> class, for building pipelines from name lists.  Extend
+#: this (or pass an explicit registry to ``PassManager.from_names``) to
+#: make custom passes addressable by name.
+PASS_REGISTRY: Dict[str, Type[PassBase]] = {
+    cls.name: cls for cls in (
+        PrepassAnalysis,
+        HorizontalSegments,
+        VerticalSegments,
+        VerticalFuse,
+        RepetitionAdjust,
+        SingleActorVectorize,
+        HorizontalApply,
+        TapeOptimize,
+    )
+}
+
+#: the standard Algorithm-1 order.
+DEFAULT_PASS_NAMES: Tuple[str, ...] = tuple(PASS_REGISTRY)
+
+
+def default_pipeline() -> List[PassBase]:
+    """Fresh instances of the eight Algorithm-1 passes, in driver order."""
+    return [PASS_REGISTRY[name]() for name in DEFAULT_PASS_NAMES]

@@ -1,0 +1,143 @@
+"""Pass-pipeline building blocks: the :class:`Pass` protocol, the shared
+:class:`CompilationContext`, and the pipeline error types.
+
+Design constraints:
+
+* This package is the *mechanism* layer: it knows how to thread a context
+  through an ordered pass list with tracing, hooks, and verification.  The
+  *policy* — which passes exist, what the ablation presets are — lives in
+  :mod:`repro.passes.algorithm1` and :mod:`repro.simd.pipeline`.
+* No module here imports :mod:`repro.simd.pipeline` at runtime (the driver
+  imports us); type names from it appear only under ``TYPE_CHECKING``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..graph.stream_graph import StreamGraph
+from ..obs.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..simd.machine import MachineDescription
+    from ..simd.pipeline import CompilationReport, MacroSSOptions
+    from ..simd.analysis import Verdict
+    from ..simd.segments import HorizontalCandidate
+
+
+class PipelineError(Exception):
+    """Malformed pipeline: unknown pass name, duplicate pass, bad spec."""
+
+
+class PassVerificationError(Exception):
+    """A pass left the work graph in an invalid state
+    (``verify_each_pass=True``)."""
+
+    def __init__(self, pass_name: str, problems: List[str]) -> None:
+        self.pass_name = pass_name
+        self.problems = list(problems)
+        super().__init__(
+            f"after pass {pass_name!r}: " + "; ".join(self.problems))
+
+
+#: Hook type: called as ``hook(pass_name, work_graph)`` after every pass,
+#: with the (mutable, mid-compilation) work graph.
+PassHook = Callable[[str, StreamGraph], None]
+
+
+@dataclass
+class CompilationContext:
+    """Everything Algorithm-1 passes share.
+
+    One context lives for the duration of one :func:`compile_graph` call:
+    the immutable source graph, the mutable work graph each pass rewrites,
+    the machine/options the pipeline was compiled for, the report being
+    filled in, and the inter-pass scratch state (verdicts, candidates,
+    segments, …) that the monolithic driver used to keep in local
+    variables.
+    """
+
+    #: the caller's source graph (never mutated).
+    source: StreamGraph
+    #: the clone every pass rewrites in place.
+    work: StreamGraph
+    machine: "MachineDescription"
+    options: "MacroSSOptions"
+    report: "CompilationReport"
+    tracer: Tracer
+    #: actor id -> core, when a multicore partition constrains compilation.
+    partition: Optional[Dict[int, int]] = None
+    core_of: Dict[int, int] = field(default_factory=dict)
+    pass_hook: Optional[PassHook] = None
+
+    # --- inter-pass state (produced / consumed along the pipeline) ---
+    #: prepass.analysis: actor id -> SIMDizability verdict.
+    verdicts: Dict[int, "Verdict"] = field(default_factory=dict)
+    #: segments.horizontal: surviving split-join candidates.
+    candidates: List["HorizontalCandidate"] = field(default_factory=list)
+    #: segments.horizontal: actor ids claimed by a horizontal candidate.
+    claimed_by_horizontal: Set[int] = field(default_factory=set)
+    #: segments.vertical: maximal vertical segments (lists of actor ids).
+    segments: List[List[int]] = field(default_factory=list)
+    #: vertical.fuse: (actor id, "vertical" | "single") pending
+    #: single-actor vectorization.
+    simdized_ids: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def sw(self) -> int:
+        return self.machine.simd_width
+
+    def stats(self) -> Tuple[int, int]:
+        """(actor count, tape count) of the work graph right now."""
+        return len(self.work.actors), len(self.work.tapes)
+
+
+@runtime_checkable
+class Pass(Protocol):
+    """One Algorithm-1 (or custom) graph-rewriting pass.
+
+    ``name`` labels the trace span and the ``pass_hook`` dispatch;
+    ``applies`` lets a pass opt out for a given context (the manager still
+    emits its span and hook so trails stay uniform); ``run`` mutates
+    ``ctx.work``/``ctx.report`` and returns extra span attributes
+    (``detail=...`` by convention) or ``None``.
+
+    The eight standard passes always apply and handle disabled
+    :class:`MacroSSOptions` toggles *inside* ``run`` — that preserves the
+    pre-refactor trace schema, where every pass span appears in every
+    compile regardless of ablation.
+    """
+
+    name: str
+
+    def applies(self, ctx: CompilationContext) -> bool: ...
+
+    def run(self, ctx: CompilationContext) -> Optional[Dict[str, Any]]: ...
+
+
+class PassBase:
+    """Convenience base: ``applies`` defaults to True, ``name`` is a class
+    attribute."""
+
+    name: str = "<unnamed>"
+
+    def applies(self, ctx: CompilationContext) -> bool:
+        return True
+
+    def run(self, ctx: CompilationContext) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,140 @@
+""":class:`PassManager`: ordered pass execution with tracing, hook
+dispatch, and optional inter-pass verification.
+
+Per pass, the manager
+
+1. opens a trace span named after the pass (category ``"pass"``, with
+   before/after actor and tape counts plus whatever the pass returns from
+   ``run`` — identical to the spans the monolithic driver emitted);
+2. invokes ``run`` when ``applies(ctx)`` holds (spans and hooks fire
+   either way, so pass trails stay uniform across ablations);
+3. dispatches ``ctx.pass_hook(name, work)``;
+4. when ``verify_each_pass`` is set, re-validates the work graph with
+   :func:`repro.graph.validate.invariant_problems` and raises
+   :class:`PassVerificationError` naming the offending pass.
+"""
+
+from __future__ import annotations
+
+import difflib
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+
+from .base import CompilationContext, Pass, PassVerificationError, \
+    PipelineError
+
+#: What :meth:`PassManager.coerce` accepts: a manager, pass instances, or
+#: pass names resolved through the registry.
+PipelineSpec = Union["PassManager", Sequence[Union[str, Pass]]]
+
+
+class PassManager:
+    """An ordered, duplicate-free pipeline of passes."""
+
+    def __init__(self, passes: Sequence[Pass]) -> None:
+        passes = list(passes)
+        for p in passes:
+            if not hasattr(p, "name") or not hasattr(p, "run"):
+                raise PipelineError(
+                    f"{p!r} does not implement the Pass protocol "
+                    f"(name/applies/run)")
+        duplicates = sorted(name for name, count in
+                            Counter(p.name for p in passes).items()
+                            if count > 1)
+        if duplicates:
+            raise PipelineError(
+                f"duplicate pass(es) in pipeline: {', '.join(duplicates)}")
+        self.passes: Tuple[Pass, ...] = tuple(passes)
+
+    # --- construction -----------------------------------------------------
+
+    @classmethod
+    def from_names(cls, names: Sequence[str],
+                   registry: Optional[Dict[str, Type]] = None
+                   ) -> "PassManager":
+        """Build a pipeline from pass names.
+
+        ``registry`` defaults to the Algorithm-1 ``PASS_REGISTRY``;
+        unknown names raise :class:`PipelineError` with a did-you-mean
+        suggestion and the registered-name listing.
+        """
+        if registry is None:
+            from .algorithm1 import PASS_REGISTRY
+            registry = PASS_REGISTRY
+        passes: List[Pass] = []
+        for name in names:
+            try:
+                passes.append(registry[name]())
+            except KeyError:
+                close = difflib.get_close_matches(name, registry, n=1)
+                hint = f" — did you mean {close[0]!r}?" if close else ""
+                raise PipelineError(
+                    f"unknown pass {name!r}{hint} (registered passes: "
+                    f"{', '.join(registry)})") from None
+        return cls(passes)
+
+    @classmethod
+    def default(cls) -> "PassManager":
+        """The standard eight-pass Algorithm-1 pipeline."""
+        from .algorithm1 import default_pipeline
+        return cls(default_pipeline())
+
+    @classmethod
+    def coerce(cls, spec: PipelineSpec) -> "PassManager":
+        """Normalize a pipeline spec: an existing manager passes through,
+        a sequence may mix pass names and pass instances."""
+        if isinstance(spec, PassManager):
+            return spec
+        if isinstance(spec, str):
+            raise PipelineError(
+                f"a bare string is ambiguous; pass a sequence of pass "
+                f"names (got {spec!r})")
+        passes: List[Pass] = []
+        for item in spec:
+            if isinstance(item, str):
+                single = cls.from_names([item])
+                passes.append(single.passes[0])
+            else:
+                passes.append(item)
+        return cls(passes)
+
+    # --- introspection ----------------------------------------------------
+
+    @property
+    def pass_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.passes)
+
+    def __len__(self) -> int:
+        return len(self.passes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PassManager {' -> '.join(self.pass_names)}>"
+
+    # --- execution --------------------------------------------------------
+
+    def run(self, ctx: CompilationContext, *,
+            verify_each_pass: bool = False) -> CompilationContext:
+        """Execute every pass in order against ``ctx``; returns ``ctx``."""
+        for p in self.passes:
+            actors, tapes = ctx.stats()
+            with ctx.tracer.span(p.name, cat="pass", actors_before=actors,
+                                 tapes_before=tapes) as sp:
+                if p.applies(ctx):
+                    extra = p.run(ctx) or {}
+                else:
+                    extra = {"detail": "skipped (pass does not apply)"}
+                actors_after, tapes_after = ctx.stats()
+                sp.add(actors_after=actors_after, tapes_after=tapes_after,
+                       **extra)
+                if ctx.pass_hook is not None:
+                    ctx.pass_hook(p.name, ctx.work)
+                if verify_each_pass:
+                    self._verify(p.name, ctx)
+        return ctx
+
+    @staticmethod
+    def _verify(pass_name: str, ctx: CompilationContext) -> None:
+        from ..graph.validate import invariant_problems
+        problems = invariant_problems(ctx.work)
+        if problems:
+            raise PassVerificationError(pass_name, problems)

@@ -14,18 +14,27 @@ from .machine import (
     CORE_I7,
     CORE_I7_SAGU,
     NEON_LIKE,
+    SVE_LIKE,
     MachineDescription,
+    UnknownTargetError,
     UnsupportedOperation,
+    get_target,
+    list_targets,
+    register_target,
+    target_aliases,
     wide_machine,
 )
 from .pipeline import (
     PASS_NAMES,
+    PIPELINES,
     SCALAR_OPTIONS,
     SINGLE_ACTOR_ONLY,
     CompilationReport,
     CompiledGraph,
     MacroSSOptions,
     compile_graph,
+    get_pipeline_options,
+    list_pipelines,
 )
 from .sagu import SAGU, lane_ordered_layout, software_address
 from .segments import (
@@ -44,10 +53,13 @@ __all__ = [
     "estimate_firing_cycles", "gather_strategy_costs",
     "MergeConflict", "apply_horizontal", "merge_specs",
     "all_isomorphic", "spec_signature", "specs_isomorphic",
-    "CORE_I7", "CORE_I7_SAGU", "NEON_LIKE", "MachineDescription",
-    "UnsupportedOperation", "wide_machine",
-    "PASS_NAMES", "SCALAR_OPTIONS", "SINGLE_ACTOR_ONLY", "CompilationReport",
-    "CompiledGraph", "MacroSSOptions", "compile_graph",
+    "CORE_I7", "CORE_I7_SAGU", "NEON_LIKE", "SVE_LIKE",
+    "MachineDescription", "UnknownTargetError", "UnsupportedOperation",
+    "get_target", "list_targets", "register_target", "target_aliases",
+    "wide_machine",
+    "PASS_NAMES", "PIPELINES", "SCALAR_OPTIONS", "SINGLE_ACTOR_ONLY",
+    "CompilationReport", "CompiledGraph", "MacroSSOptions", "compile_graph",
+    "get_pipeline_options", "list_pipelines",
     "SAGU", "lane_ordered_layout", "software_address",
     "HorizontalCandidate", "find_horizontal_candidates",
     "find_vertical_segments", "horizontal_verdict",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..graph.actor import FilterSpec
 from ..ir import expr as E
@@ -23,7 +23,12 @@ from ..ir import stmt as S
 from ..ir.visitors import children_of_expr, exprs_of_stmt
 from ..perf import events as ev
 from ..perf.counters import PerfCounters
-from .machine import MachineDescription, UnsupportedOperation
+from .machine import MachineDescription, UnsupportedOperation, get_target
+
+#: Public cost-model entry points accept either a description or a
+#: registered target name ("core-i7", "sve-like", …) resolved through the
+#: target registry.
+MachineLike = Union[MachineDescription, str]
 
 
 def _is_pow2(n: int) -> bool:
@@ -43,15 +48,17 @@ class StrategyCost:
         return self.vector_side + self.neighbour_side
 
 
-def gather_strategy_costs(stride: int, machine: MachineDescription,
+def gather_strategy_costs(stride: int, machine: MachineLike,
                           *, neighbour_is_scalar: bool
                           ) -> Dict[str, StrategyCost]:
     """Candidate costs for one strided gather/scatter group of SW lanes.
 
+    ``machine`` may be a registered target name or a description.
     ``neighbour_is_scalar`` gates the lane-ordered ("sagu") strategy: it
     shifts work onto the scalar actor on the other side of the tape, which
     must exist and be scalar.
     """
+    machine = get_target(machine)
     sw = machine.simd_width
     costs: Dict[str, StrategyCost] = {
         "scalar": StrategyCost(
@@ -75,7 +82,7 @@ def gather_strategy_costs(stride: int, machine: MachineDescription,
     return costs
 
 
-def best_gather_strategy(stride: int, machine: MachineDescription,
+def best_gather_strategy(stride: int, machine: MachineLike,
                          *, neighbour_is_scalar: bool) -> str:
     costs = gather_strategy_costs(stride, machine,
                                   neighbour_is_scalar=neighbour_is_scalar)
@@ -99,8 +106,9 @@ def estimate_body_events(body: S.Body, simd_width: int) -> PerfCounters:
     return counters
 
 
-def estimate_firing_cycles(spec: FilterSpec, machine: MachineDescription
+def estimate_firing_cycles(spec: FilterSpec, machine: MachineLike
                            ) -> float:
+    machine = get_target(machine)
     counters = estimate_body_events(spec.work_body, machine.simd_width)
     counters.add(ev.FIRE)
     try:

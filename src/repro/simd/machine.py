@@ -7,18 +7,41 @@ mapping performance events to cycles.  Prices approximate reciprocal
 throughputs of a Core-i7-class core with SSE 4.2; absolute values matter far
 less than ratios (scalar vs vector, compute vs pack/unpack), which is what
 the paper's evaluation shapes depend on.
+
+The module also hosts the **target registry**: every machine the toolchain
+knows about is registered by name (with aliases) via
+:func:`register_target`, and every layer that needs a name→machine mapping
+(CLI ``--machine`` flags, the fuzz harness's machine axis, the experiment
+harness, the cost model) resolves through :func:`get_target` instead of
+keeping its own table.  Registering a new target here carries it through
+compilation, both execution backends, code generation, fuzzing, and the
+CLI with zero driver edits.
 """
 
 from __future__ import annotations
 
+import difflib
+import re
 from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Mapping
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Tuple, Union
+
 
 from ..perf import events as ev
 
 
 class UnsupportedOperation(Exception):
     """Raised when pricing an event the machine cannot execute."""
+
+
+class UnknownTargetError(KeyError):
+    """Raised by :func:`get_target` for unregistered target names.
+
+    The message carries a did-you-mean suggestion and the full list of
+    registered names, so callers can surface it verbatim.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
 
 
 #: Baseline per-event prices (cycles).  Vector events cover SW lanes.
@@ -95,7 +118,15 @@ class MachineDescription:
         return replace(self, name=base + suffix, has_sagu=enabled)
 
     def with_simd_width(self, sw: int) -> "MachineDescription":
-        return replace(self, name=f"{self.name}@sw{sw}", simd_width=sw)
+        """A copy of this machine widened (or narrowed) to ``sw`` lanes.
+
+        The name carries a single ``@sw<N>`` suffix on the *base* name:
+        repeated widening re-derives from the base instead of stacking
+        suffixes (``core-i7-sse4@sw8`` widened to 16 lanes is
+        ``core-i7-sse4@sw16``, never ``core-i7-sse4@sw8@sw16``).
+        """
+        base = re.sub(r"@sw\d+", "", self.name)
+        return replace(self, name=f"{base}@sw{sw}", simd_width=sw)
 
 
 #: 3.26 GHz Core i7 with SSE 4.2 — the paper's evaluation platform.
@@ -121,6 +152,24 @@ NEON_LIKE = MachineDescription(
 )
 
 
+#: An SVE-like scalable-vector target.  Vector-length agnostic: the base
+#: registration models a 128-bit vector length (4 × f32 lanes); widening to
+#: a 256/512-bit implementation is ``SVE_LIKE.with_simd_width(8 | 16)`` —
+#: same description, wider vectors (the "scalable" in Scalable Vector
+#: Extension).  Predicated ld1/st1 make unaligned access free relative to
+#: aligned access, uzp1/uzp2 provide extract-even/odd, and insert/extract
+#: (INSR/LASTB-style) is cheaper than SSE's memory-round-trip lane moves.
+SVE_LIKE = MachineDescription(
+    name="sve-like",
+    simd_width=4,
+    prices={**_CORE_I7_PRICES,
+            # predication absorbs alignment: unaligned == aligned
+            ev.VECTOR_LOAD_U: 2.0, ev.VECTOR_STORE_U: 2.0,
+            # INSR/LASTB lane insert/extract vs SSE insertps round-trips
+            ev.PACK: 2.0, ev.UNPACK: 2.0},
+)
+
+
 def wide_machine(sw: int) -> MachineDescription:
     """An AVX/Larrabee-style widening of the Core i7 model (SW ∈ {8, 16}).
 
@@ -131,3 +180,87 @@ def wide_machine(sw: int) -> MachineDescription:
     if sw < 4 or sw & (sw - 1):
         raise ValueError("wide_machine expects a power-of-two width >= 4")
     return CORE_I7.with_simd_width(sw)
+
+
+# --- target registry -----------------------------------------------------
+
+#: canonical lowercase name -> machine.
+_TARGETS: Dict[str, MachineDescription] = {}
+#: lowercase alias -> canonical lowercase name.
+_TARGET_ALIASES: Dict[str, str] = {}
+
+
+def register_target(machine: MachineDescription,
+                    *,
+                    aliases: Sequence[str] = (),
+                    overwrite: bool = False) -> MachineDescription:
+    """Register ``machine`` under its (case-insensitive) name + aliases.
+
+    Returns the machine so registration can wrap the constructor::
+
+        MY_TARGET = register_target(MachineDescription(...), aliases=("mt",))
+
+    Raises :class:`ValueError` on name/alias collisions unless
+    ``overwrite`` is set.
+    """
+    key = machine.name.lower()
+    if not overwrite and key in _TARGETS:
+        raise ValueError(f"target {machine.name!r} is already registered")
+    if not overwrite and key in _TARGET_ALIASES:
+        raise ValueError(
+            f"target name {machine.name!r} collides with an alias of "
+            f"{_TARGET_ALIASES[key]!r}")
+    _TARGETS[key] = machine
+    for alias in aliases:
+        akey = alias.lower()
+        if not overwrite and _TARGET_ALIASES.get(akey, key) != key:
+            raise ValueError(
+                f"alias {alias!r} is already bound to "
+                f"{_TARGET_ALIASES[akey]!r}")
+        if not overwrite and akey in _TARGETS and akey != key:
+            raise ValueError(
+                f"alias {alias!r} collides with registered target "
+                f"{_TARGETS[akey].name!r}")
+        _TARGET_ALIASES[akey] = key
+    return machine
+
+
+def get_target(name: Union[str, MachineDescription]) -> MachineDescription:
+    """Resolve a target name (case-insensitive, aliases allowed).
+
+    Passing a :class:`MachineDescription` returns it unchanged, so APIs can
+    accept either form.  Unknown names raise :class:`UnknownTargetError`
+    with a did-you-mean suggestion and the registered-name listing.
+    """
+    if isinstance(name, MachineDescription):
+        return name
+    key = name.lower()
+    key = _TARGET_ALIASES.get(key, key)
+    try:
+        return _TARGETS[key]
+    except KeyError:
+        known = list_targets()
+        candidates = known + sorted(_TARGET_ALIASES)
+        close = difflib.get_close_matches(name.lower(), candidates, n=1)
+        hint = f" — did you mean {close[0]!r}?" if close else ""
+        raise UnknownTargetError(
+            f"unknown target {name!r}{hint} (registered targets: "
+            f"{', '.join(known)})") from None
+
+
+def list_targets() -> List[str]:
+    """Sorted canonical names of every registered target."""
+    return sorted(_TARGETS)
+
+
+def target_aliases(name: Union[str, MachineDescription]) -> Tuple[str, ...]:
+    """Sorted aliases registered for one target (canonical name excluded)."""
+    canonical = get_target(name).name.lower()
+    return tuple(sorted(alias for alias, key in _TARGET_ALIASES.items()
+                        if key == canonical and alias != canonical))
+
+
+register_target(CORE_I7, aliases=("core-i7", "i7", "sse4"))
+register_target(CORE_I7_SAGU, aliases=("core-i7+sagu", "i7+sagu", "sagu"))
+register_target(NEON_LIKE, aliases=("neon",))
+register_target(SVE_LIKE, aliases=("sve",))

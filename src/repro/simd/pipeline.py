@@ -12,6 +12,16 @@ Phases, in the paper's order:
 6. optimize tape boundaries (permutations / SAGU);
 7. (code generation lives in :mod:`repro.codegen`).
 
+Since the pass-manager refactor the driver is *data*: each phase is a
+:class:`repro.passes.Pass` class (see :mod:`repro.passes.algorithm1`) and
+:func:`compile_graph` is a thin wrapper that compiles
+:class:`MacroSSOptions` into a :class:`repro.passes.PassManager` pipeline
+and runs it over a shared :class:`repro.passes.CompilationContext`.
+Ablations are named pipelines (:data:`PIPELINES`): ``"single-only"`` is
+Figure 11's configuration, ``"no-tape"`` Figure 12's baseline, and custom
+pipelines can reorder, drop, or inject passes
+(``compile_graph(..., pipeline=["prepass.analysis", "tape.optimize"])``).
+
 ``compile_graph`` returns the transformed graph plus a
 :class:`CompilationReport` recording every decision, which the tests pin
 against the paper's running example and the experiments dump for
@@ -20,24 +30,18 @@ inspection.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..graph.stream_graph import StreamGraph
 from ..obs.tracer import Tracer, ensure_tracer
-from ..schedule.rates import repetition_vector
-from ..schedule.scaling import simd_scaling_factor
-from .analysis import Verdict, simdizable_filters
-from .horizontal import MergeConflict, apply_horizontal
+from .analysis import Verdict
 from .machine import CORE_I7, MachineDescription
-from .segments import (
-    HorizontalCandidate,
-    find_horizontal_candidates,
-    find_vertical_segments,
-)
-from .single_actor import vectorize_actor
-from .tape_opt import optimize_tapes
-from .vertical import fuse_segment
+
+# Re-exported for API compatibility: the hook type predates the passes
+# package and is part of the public driver surface.
+from ..passes.base import PassHook  # noqa: F401  (re-export)
 
 
 @dataclass(frozen=True)
@@ -46,7 +50,8 @@ class MacroSSOptions:
 
     The default configuration is the full MacroSS of the paper; Figure 11
     disables ``vertical`` (single-actor only), Figure 12 toggles the
-    machine's SAGU, the scalar baseline disables everything.
+    machine's SAGU, the scalar baseline disables everything.  Each named
+    entry of :data:`PIPELINES` is one of these presets.
     """
 
     single_actor: bool = True
@@ -105,10 +110,53 @@ PASS_NAMES: Tuple[str, ...] = (
     "tape.optimize",
 )
 
-#: Hook type: called as ``hook(pass_name, work_graph)`` after every
-#: Algorithm-1 pass, with the (mutable, mid-compilation) work graph.
-#: The pass-invariant tests re-validate the graph at every boundary.
-PassHook = Callable[[str, StreamGraph], None]
+
+#: Options preset for the plain (non-SIMDized) baseline.
+SCALAR_OPTIONS = MacroSSOptions(single_actor=False, vertical=False,
+                                horizontal=False, tape_optimization=False)
+
+#: Options preset for Figure 11's single-actor-only configuration.
+SINGLE_ACTOR_ONLY = MacroSSOptions(vertical=False)
+
+
+#: Named ablation pipelines: every figure configuration that used to be
+#: boolean plumbing, addressable by name (``compile_graph(...,
+#: pipeline="single-only")``, CLI ``--pipeline``, the CI ablation smoke).
+PIPELINES: Dict[str, MacroSSOptions] = {
+    # full MacroSS (the paper's default).
+    "full": MacroSSOptions(),
+    # no SIMDization at all — the scalar baseline.
+    "scalar": SCALAR_OPTIONS,
+    # Figure 11: single-actor only (vertical fusion disabled).
+    "single-only": SINGLE_ACTOR_ONLY,
+    # Figure 12 baseline: SIMDized with §3.1 scalar strided tape accesses.
+    "no-tape": MacroSSOptions(tape_optimization=False),
+    # Figure 11's measured baseline (single-actor, raw tape accesses);
+    # its comparison side is "no-tape" with vertical fusion on.
+    "single-only/no-tape": MacroSSOptions(vertical=False,
+                                          tape_optimization=False),
+    # technique isolation, mirroring the fuzz harness's option axis.
+    "vertical-only": MacroSSOptions(horizontal=False),
+    "horizontal-only": MacroSSOptions(single_actor=False, vertical=False),
+}
+
+
+def get_pipeline_options(name: str) -> MacroSSOptions:
+    """Resolve a named pipeline to its options preset (did-you-mean on
+    unknown names)."""
+    try:
+        return PIPELINES[name]
+    except KeyError:
+        close = difflib.get_close_matches(name, PIPELINES, n=1)
+        hint = f" — did you mean {close[0]!r}?" if close else ""
+        raise KeyError(
+            f"unknown pipeline {name!r}{hint} (named pipelines: "
+            f"{', '.join(PIPELINES)})") from None
+
+
+def list_pipelines() -> List[str]:
+    """Names of the registered ablation pipelines, in definition order."""
+    return list(PIPELINES)
 
 
 def compile_graph(graph: StreamGraph,
@@ -117,7 +165,9 @@ def compile_graph(graph: StreamGraph,
                   partition: Optional[Dict[int, int]] = None,
                   *,
                   tracer: Optional[Tracer] = None,
-                  pass_hook: Optional[PassHook] = None
+                  pass_hook: Optional[PassHook] = None,
+                  pipeline=None,
+                  verify_each_pass: bool = False
                   ) -> CompiledGraph:
     """Run macro-SIMDization on a flat graph (non-destructive).
 
@@ -129,195 +179,53 @@ def compile_graph(graph: StreamGraph,
     before/after graph stats, decisions taken); ``pass_hook`` is called
     after every pass with the work graph — the hook the pass-invariant
     tests and debugging tools attach to.  Both default to no-ops.
+
+    ``pipeline`` selects what runs:
+
+    * ``None`` — the standard eight Algorithm-1 passes gated by
+      ``options`` (the pre-refactor behaviour);
+    * a **name** from :data:`PIPELINES` (``"scalar"``, ``"single-only"``,
+      ``"no-tape"``, ``"full"``, …) — the named ablation preset
+      *overrides* ``options``;
+    * a **sequence** of pass names and/or :class:`repro.passes.Pass`
+      instances — a custom pipeline, run in the given order;
+    * a :class:`repro.passes.PassManager` — used as-is.
+
+    ``verify_each_pass`` re-validates the work graph (structure, balanced
+    positive repetition vector, live tape endpoints) after every pass and
+    raises :class:`repro.passes.PassVerificationError` naming the pass
+    that broke it.
     """
+    # Lazy import: repro.passes imports this module's types for context
+    # annotations; deferring breaks the cycle for either import order.
+    from ..passes.base import CompilationContext
+    from ..passes.manager import PassManager
+
+    if isinstance(pipeline, str):
+        options = get_pipeline_options(pipeline)
+        manager = PassManager.default()
+    elif pipeline is None:
+        manager = PassManager.default()
+    else:
+        manager = PassManager.coerce(pipeline)
+
     tracer = ensure_tracer(tracer)
     work = graph.clone()
     report = CompilationReport(machine=machine.name, options=options)
-    sw = machine.simd_width
-    core_of: Dict[int, int] = dict(partition or {})
-
-    def stats() -> Tuple[int, int]:
-        return len(work.actors), len(work.tapes)
-
-    def span(name: str):
-        actors, tapes = stats()
-        return tracer.span(name, cat="pass", actors_before=actors,
-                           tapes_before=tapes)
-
-    def close(sp, name: str, **detail) -> None:
-        actors, tapes = stats()
-        sp.add(actors_after=actors, tapes_after=tapes, **detail)
-        if pass_hook is not None:
-            pass_hook(name, work)
+    ctx = CompilationContext(
+        source=graph, work=work, machine=machine, options=options,
+        report=report, tracer=tracer, partition=partition,
+        core_of=dict(partition or {}), pass_hook=pass_hook)
 
     with tracer.span("compile_graph", cat="driver", graph=graph.name,
-                     machine=machine.name, simd_width=sw,
+                     machine=machine.name, simd_width=machine.simd_width,
                      options={k: getattr(options, k) for k in
                               ("single_actor", "vertical", "horizontal",
                                "tape_optimization")}) as compile_span:
-        # Phase 1-2: prepass scheduling + segment identification.
-        with span("prepass.analysis") as sp:
-            verdicts = simdizable_filters(work, machine)
-            # Actors inside feedback cycles stay scalar: SIMDizing them
-            # would multiply their blocking factor by SW and starve the
-            # loop's delays.
-            for actor_id in work.actors_on_cycles():
-                if actor_id in verdicts and verdicts[actor_id].simdizable:
-                    verdicts[actor_id] = Verdict.no("inside a feedback loop")
-            report.verdicts = {work.actors[aid].name: verdict
-                               for aid, verdict in verdicts.items()}
-            simdizable = sum(1 for v in verdicts.values() if v.simdizable)
-            close(sp, "prepass.analysis",
-                  detail=f"{simdizable}/{len(verdicts)} filters SIMDizable")
-
-        claimed_by_horizontal: set[int] = set()
-        candidates: List[HorizontalCandidate] = []
-        with span("segments.horizontal") as sp:
-            if options.horizontal:
-                candidates = find_horizontal_candidates(work, machine)
-                cyclic = work.actors_on_cycles()
-                if cyclic:
-                    candidates = [c for c in candidates
-                                  if not (c.all_actor_ids() & cyclic)]
-                if partition is not None:
-                    candidates = [
-                        c for c in candidates
-                        if len({partition[aid] for aid in
-                                c.all_actor_ids()
-                                | {c.splitter_id, c.joiner_id}}) == 1]
-                if options.vertical:
-                    # §3.5: actors in both GV and GH — the cost model
-                    # decides which technique each overlapping split-join
-                    # gets.
-                    from .technique_choice import prefer_horizontal
-                    base_reps = repetition_vector(work)
-                    arbitrated = []
-                    for candidate in candidates:
-                        if prefer_horizontal(work, candidate, base_reps,
-                                             machine):
-                            arbitrated.append(candidate)
-                        else:
-                            names = [work.actors[a].name
-                                     for b in candidate.branches for a in b]
-                            report.skipped_horizontal.append(
-                                f"{'/'.join(names)}: cost model chose "
-                                f"vertical")
-                    candidates = arbitrated
-                for candidate in candidates:
-                    claimed_by_horizontal |= candidate.all_actor_ids()
-            close(sp, "segments.horizontal",
-                  detail=f"{len(candidates)} candidate(s), "
-                         f"{len(report.skipped_horizontal)} skipped")
-
-        with span("segments.vertical") as sp:
-            segments: List[List[int]] = []
-            if options.single_actor:
-                segments = find_vertical_segments(
-                    work, verdicts, exclude=claimed_by_horizontal,
-                    same_group=partition)
-                if not options.vertical:
-                    segments = [[aid] for segment in segments
-                                for aid in segment]
-
-            # Record why non-SIMDizable filters stay scalar.
-            for aid, verdict in verdicts.items():
-                if not verdict.simdizable and \
-                        aid not in claimed_by_horizontal:
-                    name = work.actors[aid].name
-                    report.decisions[name] = \
-                        "scalar:" + "; ".join(verdict.reasons)
-            close(sp, "segments.vertical",
-                  detail=f"{len(segments)} segment(s)")
-
-        # Phase 3: repetition adjustment + vertical fusion.
-        with span("vertical.fuse") as sp:
-            reps = repetition_vector(work)
-            simdized_ids: List[Tuple[int, str]] = []
-            for segment in segments:
-                names = [work.actors[aid].name for aid in segment]
-                if len(segment) >= 2:
-                    coarse_id = fuse_segment(work, segment, reps)
-                    if partition is not None:
-                        core_of[coarse_id] = core_of[segment[0]]
-                    report.vertical_segments.append(names)
-                    coarse_name = work.actors[coarse_id].name
-                    for name in names:
-                        report.decisions[name] = f"vertical:{coarse_name}"
-                    simdized_ids.append((coarse_id, "vertical"))
-                else:
-                    report.decisions[names[0]] = "single"
-                    simdized_ids.append((segment[0], "single"))
-            close(sp, "vertical.fuse",
-                  detail=f"{len(report.vertical_segments)} segment(s) fused")
-
-        # Equation (1): the factor the repetition vector must be scaled by
-        # so every SIMDizable actor's repetition is a multiple of SW.
-        # Recomputing the repetition vector after vectorization applies it
-        # implicitly (the vectorized rates force it); we record M for
-        # reporting and tests.
-        with span("repetition.adjust") as sp:
-            reps_after_fusion = repetition_vector(work)
-            report.scaling_factor = simd_scaling_factor(
-                sw, reps_after_fusion, [aid for aid, _ in simdized_ids])
-            close(sp, "repetition.adjust",
-                  detail=f"M={report.scaling_factor}",
-                  scaling_factor=report.scaling_factor,
-                  steady_reps=sum(reps_after_fusion.values()))
-
-        # Phase 4: single-actor SIMDization (standalone and coarse actors).
-        with span("single_actor.vectorize") as sp:
-            for actor_id, _kind in simdized_ids:
-                actor = work.actors[actor_id]
-                actor.spec = vectorize_actor(actor.spec, sw)
-            close(sp, "single_actor.vectorize",
-                  detail=f"{len(simdized_ids)} actor(s) vectorized")
-
-        # Phase 5: horizontal SIMDization.
-        with span("horizontal.apply") as sp:
-            for candidate in candidates:
-                level_names = [[work.actors[aid].name for aid in branch]
-                               for branch in candidate.branches]
-                flat_names = [name for branch in level_names
-                              for name in branch]
-                before = set(work.actors)
-                try:
-                    apply_horizontal(work, candidate, machine)
-                except MergeConflict as exc:
-                    report.skipped_horizontal.append(
-                        f"{'/'.join(flat_names)}: {exc}")
-                    for name in flat_names:
-                        report.decisions[name] = \
-                            f"scalar:horizontal merge failed ({exc})"
-                    continue
-                if partition is not None:
-                    region_core = core_of[candidate.splitter_id]
-                    for new_id in set(work.actors) - before:
-                        core_of[new_id] = region_core
-                report.horizontal_splitjoins.append(flat_names)
-                for name in flat_names:
-                    report.decisions[name] = "horizontal"
-            close(sp, "horizontal.apply",
-                  detail=f"{len(report.horizontal_splitjoins)} "
-                         f"split-join(s) merged")
-
-        # Phase 6: tape optimization.
-        with span("tape.optimize") as sp:
-            if options.tape_optimization:
-                report.tape_strategies = optimize_tapes(work, machine)
-            close(sp, "tape.optimize",
-                  detail=f"{len(report.tape_strategies)} tape(s) optimized")
-
+        manager.run(ctx, verify_each_pass=verify_each_pass)
         if partition is not None:
-            core_of = {aid: core for aid, core in core_of.items()
-                       if aid in work.actors}
+            ctx.core_of = {aid: core for aid, core in ctx.core_of.items()
+                           if aid in work.actors}
         compile_span.add(decisions=len(report.decisions),
                          scaling_factor=report.scaling_factor)
-    return CompiledGraph(work, report, core_of)
-
-
-#: Options preset for the plain (non-SIMDized) baseline.
-SCALAR_OPTIONS = MacroSSOptions(single_actor=False, vertical=False,
-                                horizontal=False, tape_optimization=False)
-
-#: Options preset for Figure 11's single-actor-only configuration.
-SINGLE_ACTOR_ONLY = MacroSSOptions(vertical=False)
+    return CompiledGraph(work, report, ctx.core_of)

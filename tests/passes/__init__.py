@@ -1,0 +1,1 @@
+"""Tests for the pass-manager architecture (repro.passes)."""

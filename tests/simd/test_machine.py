@@ -44,6 +44,20 @@ class TestMachineDescription:
         assert not NEON_LIKE.supports_vector_call("sin")
         assert NEON_LIKE.supports_vector_call("sqrt")
 
+    def test_with_simd_width_no_suffix_stacking(self):
+        """Repeated widening rewrites the @sw suffix instead of stacking
+        (regression: core-i7-sse4@sw8@sw16)."""
+        once = CORE_I7.with_simd_width(8)
+        assert once.name == "core-i7-sse4@sw8"
+        assert once.simd_width == 8
+        twice = once.with_simd_width(16)
+        assert twice.name == "core-i7-sse4@sw16"
+        assert "@sw8" not in twice.name
+        assert twice.simd_width == 16
+        # composes with +sagu without disturbing that suffix
+        assert CORE_I7_SAGU.with_simd_width(8).name == \
+            "core-i7-sse4+sagu@sw8"
+
     def test_wide_machine(self):
         wide = wide_machine(8)
         assert wide.simd_width == 8
