@@ -6,6 +6,7 @@ Subcommands::
     macross targets                   # registered SIMD targets
     macross compile <bench>           # compilation report (+ --cpp for code)
     macross run <bench>               # execute scalar vs macro-SIMDized
+    macross multicore <bench>         # modeled makespan vs parallel runtime
     macross trace <bench>             # per-pass timing + hottest actors
     macross fuzz                      # differential fuzzing campaign
     macross fig10a|fig10b|fig11|fig12|fig13   # regenerate a paper figure
@@ -26,6 +27,16 @@ IR interpreter, ``compiled`` compiles each actor body once to cached
 Python closures (identical outputs and performance counters, several
 times faster wall-clock); with the compiled backend the kernel-cache
 statistics of the run are reported.
+
+``run --cores N`` executes both variants on the thread-based parallel
+runtime (N worker threads over an LPT partition, cut tapes replaced by
+bounded channels) and reports backpressure stalls — the outputs and
+modeled cycles are identical to the sequential run by construction.
+``multicore <bench>`` prints a per-core-count table comparing the
+Figure 13 makespan *model* against the *measured* parallel runtime, for
+the scalar and macro-SIMDized variants (``--cores`` is repeatable,
+default 1/2/4; ``--partitioner {lpt,contiguous}`` selects the
+partitioning strategy).
 
 ``compile``, ``run``, ``trace``, and ``fuzz`` accept ``--trace FILE`` to
 capture an execution trace: ``*.jsonl`` writes JSON lines, anything else
@@ -81,8 +92,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_run.add_argument("--backend", choices=("interp", "compiled"),
                        default="interp",
                        help="execution engine (default: interp)")
+    p_run.add_argument("--cores", type=int, default=1, metavar="N",
+                       help="execute on N worker threads via the parallel "
+                            "runtime (default: 1 = sequential)")
     add_machine_flag(p_run)
     add_trace_flag(p_run)
+
+    p_mc = sub.add_parser(
+        "multicore",
+        help="Figure 13 makespan model vs the measured parallel runtime")
+    p_mc.add_argument("benchmark")
+    p_mc.add_argument("--cores", type=int, action="append", default=None,
+                      metavar="N",
+                      help="worker-core count to measure (repeatable; "
+                           "default: 1 2 4)")
+    p_mc.add_argument("--iterations", type=int, default=2)
+    p_mc.add_argument("--backend", choices=("interp", "compiled"),
+                      default="interp",
+                      help="execution engine (default: interp)")
+    p_mc.add_argument("--partitioner", choices=("lpt", "contiguous"),
+                      default="lpt",
+                      help="partitioning strategy (default: lpt)")
+    p_mc.add_argument("--sagu", action="store_true")
+    add_machine_flag(p_mc)
+    add_trace_flag(p_mc)
 
     p_prof = sub.add_parser("profile",
                             help="per-actor cycle breakdown, scalar vs SIMD")
@@ -272,29 +305,42 @@ def _dispatch_inner(args: argparse.Namespace) -> int:
         from .simd import compile_graph
         machine = _machine(args)
         tracer = _tracer_for(args)
+        cores = getattr(args, "cores", 1)
         graph = scalar_graph(args.benchmark)
         scalar = execute(graph, machine=machine, iterations=args.iterations,
-                         backend=args.backend, tracer=tracer)
+                         backend=args.backend, tracer=tracer, cores=cores)
         compiled = compile_graph(graph, machine, tracer=tracer)
         simd = execute(compiled.graph, machine=machine,
                        iterations=args.iterations, backend=args.backend,
-                       tracer=tracer)
+                       tracer=tracer, cores=cores)
         scalar_cpo = scalar.cycles_per_output(machine)
         simd_cpo = simd.cycles_per_output(machine)
         matches = sum(
             1 for a, b in zip(scalar.outputs, simd.outputs) if a == b)
         compared = min(len(scalar.outputs), len(simd.outputs))
-        print(f"{args.benchmark} on {machine.name} "
-              f"[{scalar.backend} backend]")
+        engine = f"{scalar.backend} backend"
+        if cores > 1:
+            engine += f", {cores} cores"
+        print(f"{args.benchmark} on {machine.name} [{engine}]")
         print(f"  scalar:  {scalar_cpo:10.1f} cycles/output")
         print(f"  MacroSS: {simd_cpo:10.1f} cycles/output "
               f"({scalar_cpo / simd_cpo:.2f}x)")
         print(f"  outputs identical: {matches}/{compared}")
+        for label, result in (("scalar", scalar), ("MacroSS", simd)):
+            stats = getattr(result, "channel_stats", None)
+            if stats is not None:
+                stalls = result.total_stalls()
+                print(f"  {label} parallel run: {len(stats)} channel(s), "
+                      f"{stalls} stall(s), "
+                      f"{result.wall_time_s * 1e3:.1f} ms wall")
         cache_line = _cache_stats_line(simd)
         if cache_line is not None:
             print(f"  {cache_line}")
         _write_trace(tracer, args)
         return 0
+
+    if args.command == "multicore":
+        return _run_multicore_command(args)
 
     if args.command == "trace":
         return _run_trace_command(args)
@@ -348,6 +394,94 @@ def _dispatch_inner(args: argparse.Namespace) -> int:
         return 0
 
     return 1
+
+
+def _run_multicore_command(args: argparse.Namespace) -> int:
+    """``macross multicore <bench>``: per core count, the Figure 13
+    *modeled* makespan per output next to a *measured* run on the
+    thread-based parallel runtime — for the scalar graph and for the
+    macro-SIMDized variant (partition-first, then per-core SIMDization,
+    the paper's §5 scheduler)."""
+    from .experiments.harness import scalar_graph
+    from .multicore import (
+        Partition,
+        parallel_execute,
+        partition_contiguous,
+        partition_lpt,
+        profile_actor_costs,
+        simulate_multicore,
+    )
+    from .runtime import execute
+    from .simd import compile_graph
+
+    machine = _machine(args)
+    tracer = _tracer_for(args)
+    graph = scalar_graph(args.benchmark)
+    core_counts = args.cores or [1, 2, 4]
+    partitioner = {"lpt": partition_lpt,
+                   "contiguous": partition_contiguous}[args.partitioner]
+    iterations = args.iterations
+
+    baseline = execute(graph, machine=machine, iterations=iterations,
+                       backend=args.backend)
+    base_cpo = baseline.cycles_per_output(machine)
+    costs = profile_actor_costs(graph, machine, iterations=iterations)
+
+    print(f"{args.benchmark} on {machine.name} [{args.backend} backend, "
+          f"{args.partitioner} partitioner, {iterations} steady "
+          f"iteration(s)]")
+    print(f"  sequential scalar baseline: {base_cpo:.1f} cycles/output")
+    header = ("cores", "variant", "model cyc/out", "speedup", "channels",
+              "stalls", "wall ms", "parity")
+    rows = [header]
+    exit_code = 0
+    for cores in core_counts:
+        part = partitioner(graph, costs, cores)
+        for variant, macro in (("scalar", False), ("+MacroSS", True)):
+            model = simulate_multicore(graph, machine, cores,
+                                       macro_simd=macro,
+                                       partitioner=partitioner,
+                                       iterations=iterations)
+            if macro:
+                compiled = compile_graph(graph, machine,
+                                         partition=part.assignment,
+                                         tracer=tracer)
+                exec_graph = compiled.graph
+                run_partition = Partition(compiled.core_assignment, cores)
+            else:
+                exec_graph = graph
+                run_partition = part
+            seq = execute(exec_graph, machine=machine,
+                          iterations=iterations, backend=args.backend)
+            par = parallel_execute(exec_graph, machine=machine,
+                                   iterations=iterations,
+                                   backend=args.backend, cores=cores,
+                                   partition=run_partition, tracer=tracer)
+            parity = (par.outputs == seq.outputs
+                      and par.init_outputs == seq.init_outputs)
+            if not parity:
+                exit_code = 1
+            rows.append((
+                str(cores), variant,
+                f"{model.makespan_per_output:.1f}",
+                f"{base_cpo / model.makespan_per_output:.2f}x",
+                str(len(par.channel_stats)),
+                str(par.total_stalls()),
+                f"{par.wall_time_s * 1e3:.1f}",
+                "ok" if parity else "MISMATCH",
+            ))
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(header))]
+    lines = ["  ".join(cell.rjust(width) if col not in (1,)
+                       else cell.ljust(width)
+                       for col, (cell, width)
+                       in enumerate(zip(row, widths))).rstrip()
+             for row in rows]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    print()
+    print("\n".join(lines))
+    _write_trace(tracer, args)
+    return exit_code
 
 
 def _run_trace_command(args: argparse.Namespace) -> int:

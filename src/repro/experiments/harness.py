@@ -94,12 +94,14 @@ class Variants:
             self._measure(key, graph)
         return self._cpo[key]
 
-    def macro_graph(self, options: MacroSSOptions = MacroSSOptions()
+    def macro_graph(self, options: Optional[MacroSSOptions] = None
                     ) -> StreamGraph:
+        if options is None:
+            options = MacroSSOptions()
         return compile_graph(self.scalar, self.machine, options,
                              tracer=self.tracer).graph
 
-    def macro_cpo(self, options: MacroSSOptions = MacroSSOptions(),
+    def macro_cpo(self, options: Optional[MacroSSOptions] = None,
                   tag: str = "macro") -> float:
         if tag not in self._cpo:
             self._measure(tag, self.macro_graph(options))

@@ -12,15 +12,19 @@ from .descriptions import (FilterDesc, ProgramDesc, SplitJoinDesc,
                            desc_from_dict, desc_to_dict, materialize)
 from .generator import generate_program
 from .harness import (CheckReport, Divergence, GraphTransform, OPTION_SETS,
-                      check_graph, check_program, default_machines)
+                      PARALLEL_CORES, PARALLEL_OPTION_SETS, check_graph,
+                      check_parallel, check_parallel_program, check_program,
+                      default_machines)
 from .runner import Finding, FuzzReport, run_fuzz
 from .shrink import shrink
 
 __all__ = [
     "CheckReport", "DEFAULT_CORPUS", "Divergence", "FilterDesc", "Finding",
-    "FuzzReport", "GraphTransform", "OPTION_SETS", "ProgramDesc",
+    "FuzzReport", "GraphTransform", "OPTION_SETS", "PARALLEL_CORES",
+    "PARALLEL_OPTION_SETS", "ProgramDesc",
     "default_machines",
-    "ReplayResult", "SplitJoinDesc", "check_graph", "check_program",
+    "ReplayResult", "SplitJoinDesc", "check_graph", "check_parallel",
+    "check_parallel_program", "check_program",
     "desc_from_dict", "desc_hash", "desc_to_dict", "generate_program",
     "load_corpus", "materialize", "replay_corpus", "run_fuzz", "save_repro",
     "shrink",

@@ -329,6 +329,121 @@ def check_graph(graph: StreamGraph,
     return report
 
 
+#: SIMDization paths exercised by the parallel-parity oracle (the full
+#: arbitration plus the scalar baseline — the two ends of the spectrum).
+PARALLEL_OPTION_SETS: Dict[str, MacroSSOptions] = {
+    "scalar": SCALAR_OPTIONS,
+    "auto": MacroSSOptions(),
+}
+
+#: Worker counts the parallel-parity oracle runs at.
+PARALLEL_CORES: Tuple[int, ...] = (1, 2, 4)
+
+
+def check_parallel(graph: StreamGraph,
+                   *,
+                   cores: Tuple[int, ...] = PARALLEL_CORES,
+                   option_sets: Optional[Dict[str, MacroSSOptions]] = None,
+                   machines: Optional[Dict[str, MachineDescription]] = None,
+                   backends: Tuple[str, ...] = ("interp", "compiled"),
+                   iterations: int = 2,
+                   stop_on_first: bool = True) -> CheckReport:
+    """Parallel-parity oracle: the thread-based multicore runtime must be
+    *event-identical* to the sequential executor.
+
+    For every (options, machine, backend) config the scalar graph is
+    compiled, executed sequentially, then executed through
+    :func:`repro.multicore.parallel.parallel_execute` at each worker
+    count — outputs, init outputs, and per-actor init/steady counter bags
+    must match exactly.  Any mismatch (or crash, deadlock, channel
+    timeout) is reported as a ``kind="parallel"`` divergence.
+    """
+    from ..multicore.parallel import parallel_execute
+
+    report = CheckReport()
+    option_sets = option_sets if option_sets is not None \
+        else PARALLEL_OPTION_SETS
+    machines = machines if machines is not None else {CORE_I7.name: CORE_I7}
+
+    def diverge(config: str, detail: str, kind: str = "parallel") -> bool:
+        report.divergences.append(Divergence(kind, config,
+                                             str(detail)[:500]))
+        return stop_on_first
+
+    problems = collect_problems(graph)
+    if problems:
+        diverge("source", "; ".join(problems), kind="validate")
+        return report
+
+    for mach_name, machine in machines.items():
+        for opt_name, options in option_sets.items():
+            config = f"{opt_name}/{mach_name}"
+            try:
+                tgraph = compile_graph(graph, machine, options).graph
+                schedule = build_schedule(tgraph)
+            except Exception as exc:
+                if diverge(config, f"{type(exc).__name__}: {exc}",
+                           kind="crash"):
+                    return report
+                continue
+            for backend in backends:
+                bconfig = f"{config}/{backend}"
+                try:
+                    seq = execute(tgraph, schedule, machine=machine,
+                                  iterations=iterations, backend=backend)
+                    report.executions += 1
+                except Exception as exc:
+                    if diverge(bconfig, f"{type(exc).__name__}: {exc}",
+                               kind="crash"):
+                        return report
+                    continue
+                seq_steady = _counter_bags(seq.steady_counters)
+                seq_init = _counter_bags(seq.init_counters)
+                for n in cores:
+                    pconfig = f"{bconfig}/{n}c"
+                    report.configs_checked += 1
+                    try:
+                        par = parallel_execute(
+                            tgraph, schedule, machine=machine,
+                            iterations=iterations, backend=backend,
+                            cores=n)
+                        report.executions += 1
+                    except Exception as exc:
+                        if diverge(pconfig,
+                                   f"{type(exc).__name__}: {exc}"):
+                            return report
+                        continue
+                    if par.outputs != seq.outputs:
+                        if diverge(pconfig, "steady outputs differ from "
+                                            "sequential execute"):
+                            return report
+                    if par.init_outputs != seq.init_outputs:
+                        if diverge(pconfig, "init outputs differ from "
+                                            "sequential execute"):
+                            return report
+                    if _counter_bags(par.steady_counters) != seq_steady:
+                        if diverge(pconfig, "per-actor steady counter bags "
+                                            "differ from sequential"):
+                            return report
+                    if _counter_bags(par.init_counters) != seq_init:
+                        if diverge(pconfig, "per-actor init counter bags "
+                                            "differ from sequential"):
+                            return report
+    return report
+
+
+def check_parallel_program(desc: ProgramDesc, **kwargs) -> CheckReport:
+    """Materialize ``desc`` and run the parallel-parity oracle on it."""
+    try:
+        graph = flatten(materialize(desc))
+    except Exception as exc:
+        report = CheckReport()
+        report.divergences.append(Divergence(
+            "crash", "materialize", f"{type(exc).__name__}: {exc}"))
+        return report
+    return check_parallel(graph, **kwargs)
+
+
 def check_program(desc: ProgramDesc,
                   *,
                   graph_transform: Optional[GraphTransform] = None,

@@ -1,5 +1,21 @@
-"""Multicore partitioning and makespan simulation (Figure 13)."""
+"""Multicore partitioning, the Figure 13 makespan model, and the
+thread-based parallel runtime that validates it."""
 
+from .channels import (
+    Channel,
+    ChannelAborted,
+    ChannelError,
+    ChannelStallTimeout,
+    ChannelStats,
+    plan_capacities,
+    sequential_max_occupancy,
+    steady_crossings,
+)
+from .parallel import (
+    ParallelExecutionResult,
+    calibrated_pace,
+    parallel_execute,
+)
 from .partition import Partition, partition_contiguous, partition_lpt
 from .simulate import (
     MulticoreResult,
@@ -12,4 +28,8 @@ __all__ = [
     "Partition", "partition_contiguous", "partition_lpt",
     "MulticoreResult", "multicore_speedups", "profile_actor_costs",
     "simulate_multicore",
+    "Channel", "ChannelAborted", "ChannelError", "ChannelStallTimeout",
+    "ChannelStats", "plan_capacities", "sequential_max_occupancy",
+    "steady_crossings",
+    "ParallelExecutionResult", "calibrated_pace", "parallel_execute",
 ]

@@ -1,0 +1,308 @@
+"""Bounded cross-core channels for the parallel runtime.
+
+When a :class:`~repro.multicore.partition.Partition` places the two
+endpoints of a tape on different cores, the tape becomes a
+:class:`Channel`: a thread-safe, *bounded* FIFO with blocking semantics on
+both sides.  A reader that needs data which has not been produced yet
+blocks until the producing core catches up, and a writer that would
+overflow the bound blocks until the consuming core drains — the paper's
+"the receiving core stalls on the transfer" (§5) made literal, plus real
+backpressure on the sending side.
+
+Capacity planning
+-----------------
+
+Bounded buffers can introduce *artificial* deadlock in an SDF graph that
+is perfectly schedulable with unbounded ones.  The planner below sizes
+every channel from the schedule itself:
+
+* :func:`sequential_max_occupancy` symbolically walks the init phase and
+  one steady iteration of the global schedule (no data, just rates) and
+  records the maximum occupancy every tape reaches.  Because the steady
+  state returns every tape to its post-init level (SDF's defining
+  invariant), this is the maximum over the whole run.
+* :func:`plan_capacities` grants each cut tape that sequential maximum
+  **plus** ``slack_iterations`` extra steady iterations' worth of items
+  (``slack_iterations=1`` is classic double buffering: the producing core
+  may run one full iteration ahead before it stalls).
+
+With capacity >= the sequential maximum the parallel execution is
+deadlock-free for any per-core interleaving that preserves each core's
+slice order of the global schedule: consider the earliest unfinished
+firing of the global schedule — all of its inputs were produced by
+earlier firings (already complete), and its output occupancy cannot
+exceed what the sequential execution reached at the same point, so it can
+always make progress.
+
+Every :class:`Channel` keeps :class:`ChannelStats` (pushes, pops, stall
+counts, high-water mark) and, when given a live tracer, emits a
+``channel.stall`` instant (category ``"channel"``) each time a side
+blocks, carrying the occupancy at stall time — the channel-occupancy
+timeline of a parallel trace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional
+
+from ..graph.stream_graph import StreamGraph
+from ..obs.tracer import Tracer
+from ..runtime.errors import StreamRuntimeError
+from ..runtime.tape import Tape
+from ..schedule.steady_state import Schedule
+
+__all__ = [
+    "Channel", "ChannelAborted", "ChannelError", "ChannelStallTimeout",
+    "ChannelStats", "RunAbort", "plan_capacities", "sequential_max_occupancy",
+    "steady_crossings",
+]
+
+
+class ChannelError(StreamRuntimeError):
+    """Base class for cross-core channel failures."""
+
+
+class ChannelStallTimeout(ChannelError):
+    """A channel side stalled longer than the configured timeout — the
+    cores have deadlocked (or the capacity plan is wrong)."""
+
+
+class ChannelAborted(ChannelError):
+    """Another core failed; this channel unblocked so its core can exit."""
+
+
+class RunAbort:
+    """Shared failure flag for one parallel run.
+
+    The first worker that raises trips the flag; every blocked channel
+    wait re-checks it and raises :class:`ChannelAborted`, so one core's
+    failure cannot leave its peers blocked forever.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.exception: Optional[BaseException] = None
+
+    @property
+    def tripped(self) -> bool:
+        return self.exception is not None
+
+    def trip(self, exc: BaseException) -> None:
+        with self._lock:
+            if self.exception is None:
+                self.exception = exc
+
+
+@dataclass
+class ChannelStats:
+    """Observable behaviour of one channel (mutated under the lock)."""
+
+    pushes: int = 0
+    pops: int = 0
+    push_stalls: int = 0
+    pop_stalls: int = 0
+    max_occupancy: int = 0
+    capacity: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"pushes": self.pushes, "pops": self.pops,
+                "push_stalls": self.push_stalls,
+                "pop_stalls": self.pop_stalls,
+                "max_occupancy": self.max_occupancy,
+                "capacity": self.capacity}
+
+
+#: Condition-wait slice so aborts propagate even without a notification.
+_WAIT_SLICE_S = 0.05
+
+
+class Channel(Tape):
+    """A :class:`~repro.runtime.tape.Tape` whose two ends live on
+    different threads.
+
+    The full tape repertoire is supported — ``push``/``pop``/``peek``,
+    the SIMDized ``rpush``/``advance_writer``/``advance_reader`` — with
+    blocking semantics:
+
+    * readers (``pop``, ``peek``, ``advance_reader``) block until enough
+      *committed* items are available;
+    * committing writers (``push``, ``advance_writer``) block while the
+      channel holds ``capacity`` committed items (backpressure);
+    * ``rpush`` only stages past the write pointer and never blocks —
+      the commit that follows (``advance_writer``) is the gated step.
+    """
+
+    __slots__ = ("capacity", "stats", "_cond", "_abort", "_tracer",
+                 "stall_timeout")
+
+    def __init__(self, name: str, capacity: int, *,
+                 abort: Optional[RunAbort] = None,
+                 tracer: Optional[Tracer] = None,
+                 stall_timeout: float = 30.0) -> None:
+        if capacity < 1:
+            raise ValueError(f"{name}: channel capacity must be >= 1")
+        super().__init__(name)
+        self.capacity = capacity
+        self.stats = ChannelStats(capacity=capacity)
+        self._cond = threading.Condition()
+        self._abort = abort
+        self._tracer = tracer
+        self.stall_timeout = stall_timeout
+
+    # -- setup ----------------------------------------------------------------
+    def preload(self, items: Iterable[Any]) -> None:
+        """Load initial (feedback-delay) items without blocking or stats."""
+        with self._cond:
+            for item in items:
+                Tape.push(self, item)
+            occupancy = Tape.__len__(self)
+            if occupancy > self.capacity:
+                raise ChannelError(
+                    f"{self.name}: {occupancy} initial items exceed "
+                    f"capacity {self.capacity}")
+            self.stats.max_occupancy = max(self.stats.max_occupancy,
+                                           occupancy)
+            self._cond.notify_all()
+
+    # -- blocking machinery ---------------------------------------------------
+    def _await(self, ready, side: str, needed: int) -> None:
+        """Block until ``ready()`` under the held condition lock."""
+        if ready():
+            return
+        if side == "push":
+            self.stats.push_stalls += 1
+        else:
+            self.stats.pop_stalls += 1
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.event("channel.stall", cat="channel",
+                               channel=self.name, side=side,
+                               occupancy=Tape.__len__(self), needed=needed,
+                               capacity=self.capacity)
+        deadline = time.monotonic() + self.stall_timeout
+        while not ready():
+            if self._abort is not None and self._abort.tripped:
+                raise ChannelAborted(
+                    f"{self.name}: unblocked by peer-core failure")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ChannelStallTimeout(
+                    f"{self.name}: {side} side stalled for more than "
+                    f"{self.stall_timeout:.1f}s (occupancy "
+                    f"{Tape.__len__(self)}/{self.capacity}, needed "
+                    f"{needed}) — cross-core deadlock")
+            self._cond.wait(min(remaining, _WAIT_SLICE_S))
+
+    def _record_high_water(self) -> None:
+        occupancy = Tape.__len__(self)
+        if occupancy > self.stats.max_occupancy:
+            self.stats.max_occupancy = occupancy
+
+    # -- writing --------------------------------------------------------------
+    def push(self, value: Any) -> None:
+        with self._cond:
+            self._await(lambda: Tape.__len__(self) < self.capacity,
+                        "push", 1)
+            Tape.push(self, value)
+            self.stats.pushes += 1
+            self._record_high_water()
+            self._cond.notify_all()
+
+    def rpush(self, value: Any, offset: int) -> None:
+        with self._cond:
+            Tape.rpush(self, value, offset)
+
+    def advance_writer(self, count: int) -> None:
+        with self._cond:
+            self._await(
+                lambda: Tape.__len__(self) + count <= self.capacity,
+                "push", count)
+            Tape.advance_writer(self, count)
+            self.stats.pushes += count
+            self._record_high_water()
+            self._cond.notify_all()
+
+    # -- reading --------------------------------------------------------------
+    def pop(self) -> Any:
+        with self._cond:
+            self._await(lambda: Tape.__len__(self) >= 1, "pop", 1)
+            value = Tape.pop(self)
+            self.stats.pops += 1
+            self._cond.notify_all()
+            return value
+
+    def peek(self, offset: int) -> Any:
+        if offset < 0:
+            raise ValueError(f"{self.name}: negative peek offset {offset}")
+        with self._cond:
+            self._await(lambda: Tape.__len__(self) >= offset + 1,
+                        "pop", offset + 1)
+            return Tape.peek(self, offset)
+
+    def advance_reader(self, count: int) -> None:
+        with self._cond:
+            self._await(lambda: Tape.__len__(self) >= count, "pop", count)
+            Tape.advance_reader(self, count)
+            self.stats.pops += count
+            self._cond.notify_all()
+
+    def drain(self):  # pragma: no cover - collectors are never channels
+        with self._cond:
+            items = Tape.drain(self)
+            self._cond.notify_all()
+            return items
+
+    def __len__(self) -> int:
+        with self._cond:
+            return Tape.__len__(self)
+
+
+# -- capacity planning --------------------------------------------------------
+
+def steady_crossings(graph: StreamGraph, schedule: Schedule) -> Dict[int, int]:
+    """Items carried by each tape during one steady iteration."""
+    return {tid: schedule.reps[edge.src] * graph.push_rate(edge.src,
+                                                           edge.src_port)
+            for tid, edge in graph.tapes.items()}
+
+
+def sequential_max_occupancy(graph: StreamGraph,
+                             schedule: Schedule) -> Dict[int, int]:
+    """Maximum occupancy each tape reaches under the *sequential*
+    execution of ``schedule`` (symbolic walk over rates; conservative in
+    that a block of ``n`` firings is charged pushes-before-pops)."""
+    occupancy = {tid: len(edge.initial)
+                 for tid, edge in graph.tapes.items()}
+    high = dict(occupancy)
+
+    def walk(phase) -> None:
+        for actor_id, firings in phase:
+            for edge in graph.out_tapes(actor_id):
+                occupancy[edge.id] += firings * graph.push_rate(
+                    actor_id, edge.src_port)
+                if occupancy[edge.id] > high[edge.id]:
+                    high[edge.id] = occupancy[edge.id]
+            for edge in graph.in_tapes(actor_id):
+                occupancy[edge.id] -= firings * graph.pop_rate(
+                    actor_id, edge.dst_port)
+
+    walk(schedule.init)
+    walk(schedule.steady)
+    return high
+
+
+def plan_capacities(graph: StreamGraph, schedule: Schedule,
+                    cut_tapes: Iterable[int], *,
+                    slack_iterations: int = 1) -> Dict[int, int]:
+    """Deadlock-free capacity for every cut tape.
+
+    ``sequential max occupancy`` guarantees liveness (see the module
+    docstring); ``slack_iterations`` extra steady iterations of headroom
+    let the producing core run ahead — ``1`` is double buffering.
+    """
+    high = sequential_max_occupancy(graph, schedule)
+    crossing = steady_crossings(graph, schedule)
+    return {tid: max(1, high[tid]) + slack_iterations * crossing[tid]
+            for tid in cut_tapes}

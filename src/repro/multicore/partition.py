@@ -50,7 +50,15 @@ def partition_contiguous(graph: StreamGraph, costs: Dict[int, float],
                          cores: int) -> Partition:
     """Alternative partitioner: contiguous topological slices balanced by
     cost (keeps pipelines together, fewer cut tapes).  Used by the ablation
-    bench to show the comm/balance trade-off."""
+    bench to show the comm/balance trade-off.
+
+    Edge cases share :func:`partition_lpt`'s contract: every actor is
+    assigned, cores stay in ``range(cores)``, and ``cores >
+    len(actors)`` (or an all-zero cost map) simply leaves trailing cores
+    empty — :meth:`Partition.loads` still reports one (zero) load per
+    core."""
+    if cores < 1:
+        raise ValueError("need at least one core")
     order = graph.ordered_actors()
     total = sum(costs.get(aid, 0.0) for aid in order)
     target = total / cores

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..graph.stream_graph import StreamGraph
 from ..perf import events as ev
+from ..runtime.errors import StreamRuntimeError
 from ..runtime.executor import execute
 from ..simd.machine import MachineDescription
 from ..simd.pipeline import MacroSSOptions, compile_graph
@@ -41,11 +42,20 @@ def profile_actor_costs(graph: StreamGraph, machine: MachineDescription,
 def simulate_multicore(graph: StreamGraph, machine: MachineDescription,
                        cores: int, *,
                        macro_simd: bool = False,
-                       options: MacroSSOptions = MacroSSOptions(),
+                       options: Optional[MacroSSOptions] = None,
                        partitioner: Callable = partition_lpt,
                        iterations: int = 2) -> MulticoreResult:
-    """Partition, optionally SIMDize per core, and compute the makespan."""
-    costs = profile_actor_costs(graph, machine)
+    """Partition, optionally SIMDize per core, and compute the makespan.
+
+    Raises :class:`~repro.runtime.errors.StreamRuntimeError` when the
+    graph produces no steady-state output — the same contract as
+    :meth:`~repro.runtime.executor.ExecutionResult.cycles_per_output`
+    (a per-output makespan is meaningless without outputs; it used to be
+    silently masked with ``max(1, ...)``).
+    """
+    if options is None:
+        options = MacroSSOptions()
+    costs = profile_actor_costs(graph, machine, iterations=iterations)
     partition = partitioner(graph, costs, cores)
 
     if macro_simd:
@@ -58,12 +68,25 @@ def simulate_multicore(graph: StreamGraph, machine: MachineDescription,
         core_of = partition.assignment
 
     result = execute(exec_graph, machine=machine, iterations=iterations)
+    if not result.outputs:
+        raise StreamRuntimeError(
+            "graph produced no steady-state output — cannot compute a "
+            "per-output makespan")
     per_actor = result.actor_cycles(machine)
 
     loads = [0.0] * cores
     for actor_id, cycles in per_actor.items():
         loads[core_of[actor_id]] += cycles
 
+    # Communication accounting (deliberate, pinned by tests):
+    #  * the transfer cost is charged to the *receiving* core only — the
+    #    paper's "the receiving core stalls on the transfer" (§5); the
+    #    sending side's store is already priced through the producer's
+    #    ordinary SCALAR_STORE/VECTOR_STORE events;
+    #  * only *steady-state* crossings are charged.  Init-phase items
+    #    crossing a cut tape are a one-time priming cost that amortises
+    #    to zero in the steady-state per-output makespan, exactly like
+    #    init-phase compute cycles (which are likewise excluded).
     comm_price = machine.price(ev.COMM)
     comm_total = 0.0
     reps = result.schedule.reps
@@ -73,10 +96,9 @@ def simulate_multicore(graph: StreamGraph, machine: MachineDescription,
         items = reps[tape.src] * exec_graph.push_rate(tape.src, tape.src_port)
         cost = items * iterations * comm_price
         comm_total += cost
-        # The receiving core stalls on the transfer.
         loads[core_of[tape.dst]] += cost
 
-    outputs = max(1, len(result.outputs))
+    outputs = len(result.outputs)
     return MulticoreResult(
         cores=cores,
         macro_simd=macro_simd,
@@ -87,15 +109,28 @@ def simulate_multicore(graph: StreamGraph, machine: MachineDescription,
 
 
 def multicore_speedups(graph: StreamGraph, machine: MachineDescription,
-                       core_counts: List[int]) -> Dict[str, float]:
+                       core_counts: List[int], *,
+                       options: Optional[MacroSSOptions] = None,
+                       partitioner: Callable = partition_lpt,
+                       iterations: int = 2) -> Dict[str, float]:
     """Figure 13 row for one benchmark: speedup over scalar single-core for
-    {N cores} x {scalar, +MacroSS}."""
-    baseline = execute(graph, machine=machine, iterations=2)
+    {N cores} x {scalar, +MacroSS}.
+
+    ``options``, ``partitioner``, and ``iterations`` are forwarded to
+    every :func:`simulate_multicore` call (they used to be silently
+    dropped, which made the partitioner ablation a no-op through this
+    entry point).
+    """
+    baseline = execute(graph, machine=machine, iterations=iterations)
     base_cpo = baseline.cycles_per_output(machine)
     row: Dict[str, float] = {}
     for cores in core_counts:
-        scalar = simulate_multicore(graph, machine, cores, macro_simd=False)
-        simd = simulate_multicore(graph, machine, cores, macro_simd=True)
+        scalar = simulate_multicore(graph, machine, cores, macro_simd=False,
+                                    partitioner=partitioner,
+                                    iterations=iterations)
+        simd = simulate_multicore(graph, machine, cores, macro_simd=True,
+                                  options=options, partitioner=partitioner,
+                                  iterations=iterations)
         row[f"{cores}c"] = base_cpo / scalar.makespan_per_output
         row[f"{cores}c+simd"] = base_cpo / simd.makespan_per_output
     return row

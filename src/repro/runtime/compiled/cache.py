@@ -18,6 +18,7 @@ behaviour per execution (see
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -72,6 +73,11 @@ class KernelCache:
         self._kernels: Dict[Tuple[S.Body, Specialization], Kernel] = {}
         self.max_kernels = max_kernels
         self.stats = CacheStats()
+        # The parallel runtime sets up per-core actors concurrently, so
+        # lookup/compile/evict must be atomic.  Setup-time only (kernels
+        # are looked up once per actor, never per firing), so the lock is
+        # off every hot path.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._kernels)
@@ -81,19 +87,21 @@ class KernelCache:
         """Return the kernel for ``canon_body`` under ``spec``, compiling it
         on first request.  Kernels are stateless (per-instance constants are
         bound into the :class:`~.compiler.Frame`, not the kernel), so
-        sharing across actors and executions is always sound."""
-        self.stats.lookups += 1
-        key = (canon_body, spec)
-        kernel = self._kernels.get(key)
-        if kernel is None:
-            kernel = compile_kernel(canon_body, spec)
-            if self.max_kernels is not None and \
-                    len(self._kernels) >= self.max_kernels:
-                # FIFO eviction: dicts preserve insertion order.
-                oldest = next(iter(self._kernels))
-                del self._kernels[oldest]
-                self.stats.evictions += 1
-            self._kernels[key] = kernel
-        else:
-            self.stats.hits += 1
-        return kernel
+        sharing across actors and executions is always sound.  Thread-safe:
+        concurrent per-core setup threads serialise here."""
+        with self._lock:
+            self.stats.lookups += 1
+            key = (canon_body, spec)
+            kernel = self._kernels.get(key)
+            if kernel is None:
+                kernel = compile_kernel(canon_body, spec)
+                if self.max_kernels is not None and \
+                        len(self._kernels) >= self.max_kernels:
+                    # FIFO eviction: dicts preserve insertion order.
+                    oldest = next(iter(self._kernels))
+                    del self._kernels[oldest]
+                    self.stats.evictions += 1
+                self._kernels[key] = kernel
+            else:
+                self.stats.hits += 1
+            return kernel

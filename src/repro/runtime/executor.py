@@ -113,22 +113,41 @@ def state_initial_value(var: StateVar, simd_width: int) -> Any:
 
 
 class _GraphRun:
-    """All mutable state of one execution."""
+    """All mutable state of one execution.
+
+    By default a run owns every actor and allocates (and preloads) every
+    tape.  The parallel runtime instead passes a *shared* ``tapes`` map —
+    local :class:`Tape` objects plus cross-core
+    :class:`~repro.multicore.channels.Channel` objects, preloaded by the
+    caller — and an ``only_actors`` subset, so each core's run sets up
+    and fires exactly its slice of the partition while reading and
+    writing the shared boundary tapes.
+    """
 
     def __init__(self, graph: StreamGraph, schedule: Schedule,
                  machine: MachineDescription,
-                 backend: Any = "interp") -> None:
+                 backend: Any = "interp",
+                 *,
+                 tapes: Optional[Dict[int, Tape]] = None,
+                 only_actors: Optional[Any] = None) -> None:
         backend = resolve_backend(backend)
         self.graph = graph
         self.schedule = schedule
         self.machine = machine
         self.backend = backend
-        self.tapes: Dict[int, Tape] = {
-            tid: Tape(f"tape{tid}") for tid in graph.tapes}
-        # Feedback-loop delays: pre-load enqueued items.
-        for tid, edge in graph.tapes.items():
-            for item in edge.initial:
-                self.tapes[tid].push(item)
+        if tapes is None:
+            self.tapes: Dict[int, Tape] = {
+                tid: Tape(f"tape{tid}") for tid in graph.tapes}
+            # Feedback-loop delays: pre-load enqueued items.
+            for tid, edge in graph.tapes.items():
+                for item in edge.initial:
+                    self.tapes[tid].push(item)
+        else:
+            # Shared (possibly cross-core) tapes: the caller preloads.
+            self.tapes = tapes
+        self.local_actors = (frozenset(graph.actors)
+                             if only_actors is None
+                             else frozenset(only_actors))
         self.collector: Optional[Tape] = None
         #: filter actors by id (``Interpreter`` or ``CompiledActor``).
         self.actors: Dict[int, Any] = {}
@@ -147,6 +166,8 @@ class _GraphRun:
         collector_owner = terminal_candidates[0].id if terminal_candidates else None
 
         for actor in self.graph.actors.values():
+            if actor.id not in self.local_actors:
+                continue
             spec = actor.spec
             if not isinstance(spec, FilterSpec):
                 mover = self.backend.make_mover(self, actor)
@@ -306,7 +327,9 @@ def execute(graph: StreamGraph,
             machine: MachineDescription = CORE_I7,
             iterations: int = 8,
             backend: Any = "interp",
-            tracer: Optional[Tracer] = None) -> ExecutionResult:
+            tracer: Optional[Tracer] = None,
+            cores: int = 1,
+            partitioner: Optional[Callable] = None) -> ExecutionResult:
     """Run ``iterations`` steady-state cycles of ``graph`` and return
     collected outputs plus performance counters.
 
@@ -317,7 +340,25 @@ def execute(graph: StreamGraph,
     ``tracer`` (optional) records runtime spans — setup (with kernel
     cache deltas on the compiled backend), the init phase, and the steady
     phase — each with output counts and modeled-cycle attribution.
+
+    ``cores`` > 1 (or an explicit ``partitioner``) routes the run through
+    the thread-based parallel executor
+    (:func:`repro.multicore.parallel.parallel_execute`): the graph is
+    partitioned across ``cores`` worker threads, cut tapes become bounded
+    blocking channels, and the returned
+    :class:`~repro.multicore.parallel.ParallelExecutionResult` carries
+    per-core counters and channel statistics on top of the (identical)
+    sequential outputs and aggregate counters.
     """
+    if cores < 1:
+        raise StreamRuntimeError(f"cores must be >= 1, got {cores}")
+    if cores > 1 or partitioner is not None:
+        # Lazy import: repro.multicore.parallel imports this module.
+        from ..multicore.parallel import parallel_execute
+        return parallel_execute(graph, schedule, machine=machine,
+                                iterations=iterations, backend=backend,
+                                tracer=tracer, cores=cores,
+                                partitioner=partitioner)
     tracer = ensure_tracer(tracer)
     if schedule is None:
         with tracer.span("runtime.schedule", cat="runtime",

@@ -161,7 +161,7 @@ def list_pipelines() -> List[str]:
 
 def compile_graph(graph: StreamGraph,
                   machine: MachineDescription = CORE_I7,
-                  options: MacroSSOptions = MacroSSOptions(),
+                  options: Optional[MacroSSOptions] = None,
                   partition: Optional[Dict[int, int]] = None,
                   *,
                   tracer: Optional[Tracer] = None,
@@ -208,6 +208,12 @@ def compile_graph(graph: StreamGraph,
         manager = PassManager.default()
     else:
         manager = PassManager.coerce(pipeline)
+    if options is None:
+        # ``MacroSSOptions`` is a frozen preset, so a shared default would
+        # be harmless today — but a ``None`` default keeps the signature
+        # honest (no instance shared across calls) and is pinned by the
+        # mutable-default regression tests.
+        options = MacroSSOptions()
 
     tracer = ensure_tracer(tracer)
     work = graph.clone()

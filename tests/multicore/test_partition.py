@@ -1,5 +1,9 @@
 """Tests for the multicore partitioners."""
 
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.multicore import partition_contiguous, partition_lpt
 
 from ..conftest import linear_program, make_pair_sum, make_ramp_source, make_scaler
@@ -64,3 +68,70 @@ class TestContiguous:
         costs = {aid: 10.0 for aid in g.actors}
         part = partition_contiguous(g, costs, 2)
         assert set(part.assignment.values()) == {0, 1}
+
+
+PARTITIONERS = [partition_lpt, partition_contiguous]
+_IDS = ["lpt", "contiguous"]
+
+
+class TestEdgeCases:
+    """Contract edge cases shared by every partitioner."""
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS, ids=_IDS)
+    def test_zero_cores_rejected(self, partitioner):
+        g = _graph()
+        costs = {aid: 1.0 for aid in g.actors}
+        with pytest.raises(ValueError):
+            partitioner(g, costs, 0)
+        with pytest.raises(ValueError):
+            partitioner(g, costs, -3)
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS, ids=_IDS)
+    def test_more_cores_than_actors(self, partitioner):
+        g = _graph()
+        costs = {aid: 1.0 for aid in g.actors}
+        cores = len(g.actors) + 5
+        part = partitioner(g, costs, cores)
+        assert set(part.assignment) == set(g.actors)
+        assert all(0 <= core < cores for core in part.assignment.values())
+        # Trailing cores stay empty but still report a (zero) load.
+        assert len(part.loads(costs)) == cores
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS, ids=_IDS)
+    def test_all_zero_costs(self, partitioner):
+        g = _graph()
+        costs = {aid: 0.0 for aid in g.actors}
+        part = partitioner(g, costs, 2)
+        assert set(part.assignment) == set(g.actors)
+        assert all(core in (0, 1) for core in part.assignment.values())
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS, ids=_IDS)
+    def test_missing_costs_treated_as_zero(self, partitioner):
+        g = _graph()
+        part = partitioner(g, {}, 2)
+        assert set(part.assignment) == set(g.actors)
+
+
+class TestProperties:
+    """Hypothesis: total assignment + in-range cores for arbitrary cost
+    maps and core counts (the invariants the parallel runtime's partition
+    normalisation relies on)."""
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS, ids=_IDS)
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data(),
+           cores=st.integers(min_value=1, max_value=6))
+    def test_total_in_range_assignment(self, partitioner, data, cores):
+        g = _graph()
+        costs = {aid: data.draw(st.floats(min_value=0.0, max_value=1e6,
+                                          allow_nan=False),
+                                label=f"cost[{aid}]")
+                 for aid in g.actors}
+        part = partitioner(g, costs, cores)
+        assert set(part.assignment) == set(g.actors)  # total
+        assert all(0 <= core < cores
+                   for core in part.assignment.values())  # in range
+        assert part.cores == cores
+        loads = part.loads(costs)
+        assert len(loads) == cores
+        assert sum(loads) == pytest.approx(sum(costs.values()))
