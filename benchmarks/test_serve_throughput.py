@@ -1,0 +1,213 @@
+"""Measured throughput scaling of the process-sharded serving runtime.
+
+Each app's sessions are driven through a :class:`repro.serve.ServePool`
+at 1/2/4 worker processes by a closed-loop client swarm (fixed
+concurrency, overloads retried), with the session service time paced the
+same way the Figure-13 multicore bench paces actor firings: the worker
+pays the session's *modeled* steady-state cycles in wall clock via a
+GIL-free ``sleep`` (``SessionSpec.seconds_per_cycle``), so paced
+sessions genuinely overlap across worker processes even on a single-CPU
+container while the executed outputs stay fully real.
+
+Every measured session's outputs are compared byte-for-byte against a
+direct in-process :func:`repro.runtime.execute` reference — the pool
+must be a transparent shard even under load.
+
+Results land in ``BENCH_serve.json`` at the repo root (per-worker-count
+p50/p99 latency and aggregate throughput, per-app latency breakdown)
+and ``results/serve_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.apps.registry import get_benchmark
+from repro.graph.flatten import flatten
+from repro.runtime import execute
+from repro.schedule.steady_state import build_schedule
+from repro.serve import ServeOverload, ServePool, SessionSpec, percentile
+from repro.simd import compile_graph
+from repro.simd.machine import CORE_I7
+
+from .conftest import record
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+pytestmark = pytest.mark.serve
+
+#: Apps served (acceptance floor: >= 3).
+APPS = ("FFT", "BitonicSort", "MatrixMult")
+
+#: Worker-process counts.
+WORKERS = (1, 2, 4)
+
+#: Steady iterations per session (kept small: the paced sleep, not the
+#: executed compute, should dominate service time on one CPU).
+ITERATIONS = 2
+
+#: Target paced service time per session, seconds.
+TARGET_SESSION_S = 0.04
+
+#: Measured requests per worker count (cycling over APPS).
+REQUESTS = 24
+
+#: Closed-loop clients per worker count: enough to saturate every pool.
+def _concurrency(workers: int) -> int:
+    return 2 * workers
+
+
+def _references():
+    """Direct in-process runs: parity baseline + pacing calibration."""
+    machine = CORE_I7
+    refs = {}
+    rates = {}
+    for name in APPS:
+        graph = compile_graph(flatten(get_benchmark(name)),
+                              machine, pipeline="full").graph
+        ref = execute(graph, build_schedule(graph), machine=machine,
+                      iterations=ITERATIONS, backend="compiled")
+        refs[name] = ref
+        rates[name] = TARGET_SESSION_S / ref.steady_cycles(machine)
+    return refs, rates
+
+
+def _specs(rates):
+    return [SessionSpec(benchmark=name, pipeline="full",
+                        machine=CORE_I7.name, backend="compiled",
+                        iterations=ITERATIONS,
+                        seconds_per_cycle=rates[name])
+            for name in APPS]
+
+
+def _closed_loop(pool, specs, concurrency: int, requests: int):
+    """Closed-loop swarm that keeps every SessionResult (the stock
+    loadgen records latency only; the bench parity-checks outputs)."""
+    lock = threading.Lock()
+    counter = iter(range(requests))
+    served = []  # (app, latency_s, SessionResult)
+
+    def client() -> None:
+        while True:
+            with lock:
+                index = next(counter, None)
+            if index is None:
+                return
+            spec = specs[index % len(specs)]
+            arrival = time.perf_counter()
+            while True:
+                ticket = pool.submit(spec)
+                if isinstance(ticket, ServeOverload):
+                    time.sleep(0.002)
+                    continue
+                break
+            result = ticket.result(timeout=120.0)
+            latency = time.perf_counter() - arrival
+            with lock:
+                served.append((spec.benchmark, latency, result))
+
+    start = time.perf_counter()
+    clients = [threading.Thread(target=client, daemon=True)
+               for _ in range(concurrency)]
+    for thread in clients:
+        thread.start()
+    for thread in clients:
+        thread.join()
+    return served, time.perf_counter() - start
+
+
+def _measure() -> dict:
+    refs, rates = _references()
+    specs = _specs(rates)
+    runs: dict = {}
+    parity_sessions = 0
+    for workers in WORKERS:
+        with ServePool(workers, policy="round-robin",
+                       max_queue_depth=8) as pool:
+            # Warm-up: every worker compiles every app once (round-robin
+            # over workers * apps sessions), excluded from timing.
+            warm = [pool.submit(spec) for spec in specs * workers]
+            for ticket in warm:
+                assert not isinstance(ticket, ServeOverload)
+                assert ticket.result(timeout=120.0).ok
+            served, duration = _closed_loop(
+                pool, specs, _concurrency(workers), REQUESTS)
+            stats = pool.shutdown()
+
+        # Parity: every measured session byte-identical to direct run.
+        for app, _latency, result in served:
+            assert result.ok, f"{app}: {result.error}"
+            ref = refs[app]
+            assert result.outputs == list(ref.outputs), \
+                f"{app}@{workers}w: served outputs diverged"
+            assert result.init_outputs == list(ref.init_outputs)
+            parity_sessions += 1
+
+        latencies = sorted(lat for _, lat, _ in served)
+        per_app = {}
+        for name in APPS:
+            app_lat = [lat for app, lat, _ in served if app == name]
+            per_app[name] = {
+                "requests": len(app_lat),
+                "p50_ms": round(percentile(app_lat, 50) * 1e3, 3),
+                "p99_ms": round(percentile(app_lat, 99) * 1e3, 3),
+            }
+        runs[workers] = {
+            "concurrency": _concurrency(workers),
+            "completed": len(served),
+            "duration_s": round(duration, 6),
+            "throughput_rps": round(len(served) / duration, 3),
+            "p50_ms": round(percentile(latencies, 50) * 1e3, 3),
+            "p99_ms": round(percentile(latencies, 99) * 1e3, 3),
+            "mean_ms": round(sum(latencies) / len(latencies) * 1e3, 3),
+            "per_app": per_app,
+            "graph_cache_hits": sum(s["graph_cache_hits"] for s in stats),
+        }
+    base = runs[WORKERS[0]]["throughput_rps"]
+    for entry in runs.values():
+        entry["throughput_speedup"] = round(
+            entry["throughput_rps"] / base, 3)
+    return {
+        "machine": CORE_I7.name,
+        "backend": "compiled",
+        "iterations": ITERATIONS,
+        "target_session_s": TARGET_SESSION_S,
+        "requests_per_worker_count": REQUESTS,
+        "apps": list(APPS),
+        "workers": list(WORKERS),
+        "parity_sessions": parity_sessions,
+        "runs": runs,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def test_serve_throughput_scaling(benchmark):
+    data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    json_data = {**data,
+                 "runs": {str(w): entry
+                          for w, entry in data["runs"].items()}}
+    RESULT_PATH.write_text(json.dumps(json_data, indent=2, sort_keys=True)
+                           + "\n")
+
+    lines = [f"{'workers':>7s} {'rps':>7s} {'speedup':>8s} {'p50':>8s} "
+             f"{'p99':>8s}"]
+    for workers, entry in data["runs"].items():
+        lines.append(
+            f"{workers:>7} {entry['throughput_rps']:7.1f} "
+            f"{entry['throughput_speedup']:7.2f}x "
+            f"{entry['p50_ms']:6.1f}ms {entry['p99_ms']:6.1f}ms")
+    record("serve_throughput", "\n".join(lines))
+
+    # Every measured session was parity-checked against direct execute.
+    assert data["parity_sessions"] == REQUESTS * len(WORKERS)
+    # Acceptance: 4 worker processes sustain >= 2x the 1-worker
+    # aggregate throughput (paced sessions overlap across processes).
+    four = data["runs"][WORKERS[-1]]["throughput_speedup"]
+    assert four >= 2.0, data["runs"]
+    # And nobody scales backwards.
+    assert data["runs"][2]["throughput_speedup"] >= 1.0, data["runs"]

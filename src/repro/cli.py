@@ -9,6 +9,8 @@ Subcommands::
     macross multicore <bench>         # modeled makespan vs parallel runtime
     macross trace <bench>             # per-pass timing + hottest actors
     macross fuzz                      # differential fuzzing campaign
+    macross serve <bench...>          # sessions through the worker pool
+    macross loadgen --apps ...        # open-/closed-loop load generation
     macross fig10a|fig10b|fig11|fig12|fig13   # regenerate a paper figure
     macross all                       # every figure
 
@@ -32,6 +34,20 @@ statistics of the run are reported.
 runtime (N worker threads over an LPT partition, cut tapes replaced by
 bounded channels) and reports backpressure stalls — the outputs and
 modeled cycles are identical to the sequential run by construction.
+``--stall-timeout SECONDS`` bounds every cross-core channel wait; on a
+stall timeout the CLI prints *which* channel stalled on which side (the
+deadlock diagnostics of the serving layer) and exits 3.
+
+``serve`` runs sessions for one or more benchmarks through the
+process-sharded worker pool (``repro.serve``) and prints the per-worker
+blame table plus a parity check against direct execution; ``loadgen``
+drives an open-loop (``--mode open --rate R``) or closed-loop
+(``--mode closed --concurrency C``) request stream over the app registry
+and reports p50/p99 latency and throughput (``--json FILE`` saves the
+machine-readable report).
+
+``list`` prints every registry benchmark with its flat-graph actor and
+tape counts, so loadgen mixes can be sized without opening the source.
 ``multicore <bench>`` prints a per-core-count table comparing the
 Figure 13 makespan *model* against the *measured* parallel runtime, for
 the scalar and macro-SIMDized variants (``--cores`` is repeatable,
@@ -95,6 +111,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_run.add_argument("--cores", type=int, default=1, metavar="N",
                        help="execute on N worker threads via the parallel "
                             "runtime (default: 1 = sequential)")
+    p_run.add_argument("--stall-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="abort a parallel run when a cross-core "
+                            "channel stalls this long, reporting which "
+                            "channel deadlocked (default: 30)")
     add_machine_flag(p_run)
     add_trace_flag(p_run)
 
@@ -168,6 +189,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "target (repeatable; default: every "
                              "registered target)")
     add_trace_flag(p_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve", help="run benchmark sessions through the process-sharded "
+                      "worker pool")
+    p_serve.add_argument("benchmarks", nargs="+",
+                         help="benchmark name(s); sessions cycle over them")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="worker processes (default: 2)")
+    p_serve.add_argument("--sessions", type=int, default=8, metavar="M",
+                         help="total sessions to submit (default: 8)")
+    p_serve.add_argument("--iterations", type=int, default=4)
+    p_serve.add_argument("--backend", choices=("interp", "compiled"),
+                         default="compiled")
+    p_serve.add_argument("--policy", default="round-robin", metavar="NAME",
+                         help="placement policy (round-robin, least-loaded;"
+                              " default: round-robin)")
+    p_serve.add_argument("--pipeline", default="full", metavar="NAME",
+                         help="compilation pipeline per session "
+                              "(default: full)")
+    p_serve.add_argument("--max-queue-depth", type=int, default=8,
+                         metavar="D",
+                         help="per-worker admission high-water (default: 8)")
+    add_machine_flag(p_serve)
+    add_trace_flag(p_serve)
+
+    p_lg = sub.add_parser(
+        "loadgen", help="drive open-/closed-loop load at the worker pool")
+    p_lg.add_argument("--apps", nargs="+", required=True, metavar="BENCH",
+                      help="benchmark mix; requests cycle over it")
+    p_lg.add_argument("--workers", type=int, default=2, metavar="N")
+    p_lg.add_argument("--mode", choices=("closed", "open"),
+                      default="closed",
+                      help="closed = fixed concurrency, open = fixed "
+                           "arrival rate (default: closed)")
+    p_lg.add_argument("--concurrency", type=int, default=2, metavar="C",
+                      help="closed-loop clients (default: 2)")
+    p_lg.add_argument("--rate", type=float, default=20.0, metavar="RPS",
+                      help="open-loop arrival rate (default: 20/s)")
+    p_lg.add_argument("--requests", type=int, default=32, metavar="R",
+                      help="total requests (default: 32)")
+    p_lg.add_argument("--iterations", type=int, default=4)
+    p_lg.add_argument("--backend", choices=("interp", "compiled"),
+                      default="compiled")
+    p_lg.add_argument("--policy", default="least-loaded", metavar="NAME",
+                      help="placement policy (default: least-loaded)")
+    p_lg.add_argument("--pipeline", default="full", metavar="NAME")
+    p_lg.add_argument("--max-queue-depth", type=int, default=8,
+                      metavar="D")
+    p_lg.add_argument("--json", default=None, metavar="FILE",
+                      help="write the machine-readable report to FILE")
+    add_machine_flag(p_lg)
+    add_trace_flag(p_lg)
 
     for fig in ("fig10a", "fig10b", "fig11", "fig12", "fig13"):
         p_fig = sub.add_parser(fig, help=f"regenerate {fig}")
@@ -260,6 +333,7 @@ def _cache_stats_line(result) -> Optional[str]:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    from .runtime.errors import StreamRuntimeError
     from .simd import UnknownTargetError
     try:
         return _dispatch_inner(args)
@@ -268,14 +342,30 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(file=sys.stderr)
         print(_targets_table(), file=sys.stderr)
         return 2
+    except StreamRuntimeError as exc:
+        # Serving-layer misuse (unknown policy, pool failures) and other
+        # runtime errors: report, don't traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _dispatch_inner(args: argparse.Namespace) -> int:
     from .apps import BENCHMARKS
 
     if args.command == "list":
+        from .graph.flatten import flatten
+        rows = []
         for name in sorted(BENCHMARKS):
-            print(name)
+            try:
+                graph = flatten(BENCHMARKS[name]())
+                rows.append((name, str(len(graph.actors)),
+                             str(len(graph.tapes))))
+            except Exception as exc:  # noqa: BLE001 - still list the name
+                rows.append((name, "?", f"({type(exc).__name__})"))
+        width = max(len(row[0]) for row in rows)
+        for name, actors, tapes in rows:
+            print(f"{name.ljust(width)}  actors={actors:>3s}  "
+                  f"tapes={tapes:>3s}")
         return 0
 
     if args.command == "targets":
@@ -301,18 +391,34 @@ def _dispatch_inner(args: argparse.Namespace) -> int:
 
     if args.command == "run":
         from .experiments.harness import scalar_graph
+        from .multicore.channels import ChannelStallTimeout
         from .runtime import execute
         from .simd import compile_graph
         machine = _machine(args)
         tracer = _tracer_for(args)
         cores = getattr(args, "cores", 1)
+        stall_timeout = getattr(args, "stall_timeout", 30.0)
         graph = scalar_graph(args.benchmark)
-        scalar = execute(graph, machine=machine, iterations=args.iterations,
-                         backend=args.backend, tracer=tracer, cores=cores)
-        compiled = compile_graph(graph, machine, tracer=tracer)
-        simd = execute(compiled.graph, machine=machine,
-                       iterations=args.iterations, backend=args.backend,
-                       tracer=tracer, cores=cores)
+        try:
+            scalar = execute(graph, machine=machine,
+                             iterations=args.iterations,
+                             backend=args.backend, tracer=tracer,
+                             cores=cores, stall_timeout=stall_timeout)
+            compiled = compile_graph(graph, machine, tracer=tracer)
+            simd = execute(compiled.graph, machine=machine,
+                           iterations=args.iterations, backend=args.backend,
+                           tracer=tracer, cores=cores,
+                           stall_timeout=stall_timeout)
+        except ChannelStallTimeout as exc:
+            print(f"error: parallel run deadlocked: {exc}", file=sys.stderr)
+            print(f"  channel:   {exc.channel} ({exc.side} side)",
+                  file=sys.stderr)
+            print(f"  occupancy: {exc.occupancy}/{exc.capacity}, needed "
+                  f"{exc.needed}", file=sys.stderr)
+            print(f"  timeout:   {exc.timeout_s:.1f}s "
+                  f"(adjust with --stall-timeout)", file=sys.stderr)
+            _write_trace(tracer, args)
+            return 3
         scalar_cpo = scalar.cycles_per_output(machine)
         simd_cpo = simd.cycles_per_output(machine)
         matches = sum(
@@ -380,6 +486,12 @@ def _dispatch_inner(args: argparse.Namespace) -> int:
 
     if args.command == "fuzz":
         return _run_fuzz_command(args)
+
+    if args.command == "serve":
+        return _run_serve_command(args)
+
+    if args.command == "loadgen":
+        return _run_loadgen_command(args)
 
     if args.command in ("fig10a", "fig10b", "fig11", "fig12", "fig13"):
         result = _run_figure(args.command, args.benchmarks)
@@ -559,6 +671,159 @@ def _run_fuzz_command(args: argparse.Namespace) -> int:
                  else ""))
     _write_trace(tracer, args)
     return exit_code
+
+
+def _build_pool(args: argparse.Namespace, tracer):
+    from .serve import ServePool
+    return ServePool(args.workers, policy=args.policy,
+                     backend=args.backend,
+                     max_queue_depth=args.max_queue_depth,
+                     tracer=tracer)
+
+
+def _serve_specs(args: argparse.Namespace, names, machine, count: int):
+    from .serve import SessionSpec
+    return [SessionSpec(benchmark=names[i % len(names)],
+                        pipeline=args.pipeline, machine=machine.name,
+                        backend=args.backend, iterations=args.iterations,
+                        tag=f"s{i}")
+            for i in range(count)]
+
+
+def _serve_references(names, machine, args: argparse.Namespace):
+    """Direct in-process executions to check served outputs against."""
+    from .apps import get_benchmark
+    from .graph.flatten import flatten
+    from .runtime import execute
+    from .schedule import build_schedule
+    from .simd import compile_graph
+    refs = {}
+    for name in names:
+        graph = flatten(get_benchmark(name))
+        if args.pipeline is not None:
+            graph = compile_graph(graph, machine,
+                                  pipeline=args.pipeline).graph
+        refs[name] = execute(graph, build_schedule(graph), machine=machine,
+                             iterations=args.iterations,
+                             backend=args.backend)
+    return refs
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
+    """``macross serve``: run sessions through a live worker pool, check
+    every served output against a direct in-process execution, and print
+    the per-worker blame table."""
+    import time as _time
+
+    from .obs import serve_table
+    from .serve import ServeOverload
+
+    machine = _machine(args)
+    tracer = _tracer_for(args)
+    names = list(dict.fromkeys(args.benchmarks))  # de-dup, keep order
+    try:
+        refs = _serve_references(names, machine, args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    specs = _serve_specs(args, args.benchmarks, machine, args.sessions)
+
+    pool = _build_pool(args, tracer)
+    tickets = []
+    overloads = 0
+    try:
+        for spec in specs:
+            while True:
+                outcome = pool.submit(spec)
+                if isinstance(outcome, ServeOverload):
+                    overloads += 1
+                    _time.sleep(0.002)
+                    continue
+                tickets.append(outcome)
+                break
+        results = [t.result(timeout=300.0) for t in tickets]
+    finally:
+        stats = pool.shutdown()
+
+    errors = [r for r in results if not r.ok]
+    mismatches = []
+    for spec, result in zip(specs, results):
+        if not result.ok:
+            continue
+        ref = refs[spec.benchmark] if spec.benchmark in refs \
+            else refs[next(iter(refs))]
+        if (result.outputs != ref.outputs
+                or result.init_outputs != ref.init_outputs):
+            mismatches.append(spec.tag)
+
+    print(f"serve: {len(results)} session(s) over {args.workers} worker(s) "
+          f"[{args.backend} backend, {args.policy} policy, "
+          f"pipeline={args.pipeline}]")
+    if overloads:
+        print(f"  {overloads} overload rejection(s) retried at submit")
+    latencies = sorted(t.latency_s for t in tickets)
+    if latencies:
+        from .serve import percentile
+        print(f"  latency p50 {percentile(latencies, 50) * 1e3:.1f} ms  "
+              f"p99 {percentile(latencies, 99) * 1e3:.1f} ms")
+    print()
+    print(serve_table(stats))
+    for result in errors:
+        print(f"  ERROR session {result.seq} ({result.tag}): "
+              f"{result.error}")
+    if mismatches:
+        print(f"  PARITY MISMATCH in session(s): {', '.join(mismatches)}")
+    else:
+        print(f"  parity: all {len(results) - len(errors)} served "
+              f"session(s) match direct execution")
+    _write_trace(tracer, args)
+    return 1 if errors or mismatches else 0
+
+
+def _run_loadgen_command(args: argparse.Namespace) -> int:
+    """``macross loadgen``: drive open-/closed-loop load at a pool and
+    print the latency/throughput report."""
+    from .obs import serve_table
+    from .serve import run_closed_loop, run_open_loop
+
+    machine = _machine(args)
+    tracer = _tracer_for(args)
+    names = list(dict.fromkeys(args.apps))
+    from .apps import BENCHMARKS
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        print(f"error: unknown benchmark(s) {unknown}; available: "
+              f"{sorted(BENCHMARKS)}", file=sys.stderr)
+        return 2
+    specs = _serve_specs(args, args.apps, machine, len(args.apps))
+
+    pool = _build_pool(args, tracer)
+    try:
+        if args.mode == "closed":
+            report = run_closed_loop(pool, specs,
+                                     concurrency=args.concurrency,
+                                     requests=args.requests)
+        else:
+            report = run_open_loop(pool, specs, rate=args.rate,
+                                   requests=args.requests)
+    finally:
+        stats = pool.shutdown()
+
+    print(report.summary())
+    print()
+    print(serve_table(stats))
+    if args.json:
+        import json as _json
+        payload = report.to_dict()
+        payload["apps"] = names
+        payload["policy"] = args.policy
+        payload["machine"] = machine.name
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"report written to {args.json}")
+    _write_trace(tracer, args)
+    return 0 if report.errors == 0 else 1
 
 
 def _run_figure(name: str, benchmarks):

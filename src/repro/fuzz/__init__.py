@@ -16,15 +16,16 @@ from .harness import (CheckReport, Divergence, GraphTransform, OPTION_SETS,
                       check_parallel, check_parallel_program, check_program,
                       default_machines)
 from .runner import Finding, FuzzReport, run_fuzz
+from .serve_oracle import SERVE_PIPELINES, check_serve_program
 from .shrink import shrink
 
 __all__ = [
     "CheckReport", "DEFAULT_CORPUS", "Divergence", "FilterDesc", "Finding",
     "FuzzReport", "GraphTransform", "OPTION_SETS", "PARALLEL_CORES",
-    "PARALLEL_OPTION_SETS", "ProgramDesc",
+    "PARALLEL_OPTION_SETS", "ProgramDesc", "SERVE_PIPELINES",
     "default_machines",
     "ReplayResult", "SplitJoinDesc", "check_graph", "check_parallel",
-    "check_parallel_program", "check_program",
+    "check_parallel_program", "check_program", "check_serve_program",
     "desc_from_dict", "desc_hash", "desc_to_dict", "generate_program",
     "load_corpus", "materialize", "replay_corpus", "run_fuzz", "save_repro",
     "shrink",

@@ -67,7 +67,26 @@ class ChannelError(StreamRuntimeError):
 
 class ChannelStallTimeout(ChannelError):
     """A channel side stalled longer than the configured timeout — the
-    cores have deadlocked (or the capacity plan is wrong)."""
+    cores have deadlocked (or the capacity plan is wrong).
+
+    Carries structured diagnostics so callers (``execute(..., cores=N)``,
+    ``macross run --cores``, the serving layer) can report *which*
+    channel stalled on *which* side without parsing the message:
+    ``channel`` (tape name), ``side`` (``"push"``/``"pop"``),
+    ``occupancy``/``needed``/``capacity`` at timeout, and the configured
+    ``timeout_s``.
+    """
+
+    def __init__(self, message: str, *, channel: str = "?",
+                 side: str = "?", occupancy: int = 0, needed: int = 0,
+                 capacity: int = 0, timeout_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.channel = channel
+        self.side = side
+        self.occupancy = occupancy
+        self.needed = needed
+        self.capacity = capacity
+        self.timeout_s = timeout_s
 
 
 class ChannelAborted(ChannelError):
@@ -192,7 +211,11 @@ class Channel(Tape):
                     f"{self.name}: {side} side stalled for more than "
                     f"{self.stall_timeout:.1f}s (occupancy "
                     f"{Tape.__len__(self)}/{self.capacity}, needed "
-                    f"{needed}) — cross-core deadlock")
+                    f"{needed}) — cross-core deadlock",
+                    channel=self.name, side=side,
+                    occupancy=Tape.__len__(self), needed=needed,
+                    capacity=self.capacity,
+                    timeout_s=self.stall_timeout)
             self._cond.wait(min(remaining, _WAIT_SLICE_S))
 
     def _record_high_water(self) -> None:

@@ -14,7 +14,7 @@ Everything is zero-dependency and free when no tracer is supplied.
 from .export import (chrome_trace, events_of, read_jsonl, to_jsonl,
                      write_chrome, write_jsonl, write_trace)
 from .report import (hottest_actors_table, kernel_cache_summary, pass_rows,
-                     pass_table, pass_trail)
+                     pass_table, pass_trail, serve_table)
 from .tracer import NULL_TRACER, Span, TraceEvent, Tracer, ensure_tracer
 
 __all__ = [
@@ -22,5 +22,5 @@ __all__ = [
     "chrome_trace", "events_of", "read_jsonl", "to_jsonl",
     "write_chrome", "write_jsonl", "write_trace",
     "pass_rows", "pass_table", "pass_trail",
-    "hottest_actors_table", "kernel_cache_summary",
+    "hottest_actors_table", "kernel_cache_summary", "serve_table",
 ]

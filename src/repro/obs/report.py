@@ -17,7 +17,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..simd.machine import MachineDescription
 
 __all__ = ["pass_rows", "pass_table", "hottest_actors_table",
-           "kernel_cache_summary", "pass_trail"]
+           "kernel_cache_summary", "pass_trail", "serve_table"]
 
 #: Span category used by the Algorithm-1 driver for its passes.
 PASS_CATEGORY = "pass"
@@ -102,6 +102,35 @@ def kernel_cache_summary(stats: Optional[Mapping[str, int]]) -> str:
                 compiled=stats.get("compiled", 0),
                 evictions=stats.get("evictions", 0),
                 size=stats.get("size", 0)))
+
+
+def serve_table(stats: Sequence[Mapping[str, object]]) -> str:
+    """Per-worker blame table for a serving pool.
+
+    ``stats`` is the list of :meth:`repro.serve.pool.WorkerStats.snapshot`
+    dicts (``ServePool.stats_snapshot()`` / ``shutdown()``) — requests,
+    rejections, errors, queue high-water, busy time, and kernel-/graph-
+    cache behaviour per worker lane, the gem5 stream-engine "per-lane
+    statistics" idiom rendered as text.
+    """
+    from ..experiments.tables import format_table
+    rows: List[Sequence[object]] = []
+    for entry in stats:
+        cache = entry.get("cache") or {}
+        rows.append((
+            f"w{entry.get('worker')}",
+            entry.get("submitted", 0),
+            entry.get("completed", 0),
+            entry.get("rejected", 0),
+            entry.get("errors", 0),
+            entry.get("max_queue_depth", 0),
+            f"{float(entry.get('busy_s', 0.0)) * 1e3:.1f}",
+            f"{cache.get('hits', 0)}/{cache.get('lookups', 0)}",
+            entry.get("graph_cache_hits", 0),
+        ))
+    return format_table(
+        ["worker", "submitted", "completed", "rejected", "errors",
+         "max depth", "busy ms", "kcache hit", "gcache hit"], rows)
 
 
 def pass_trail(source) -> tuple:

@@ -329,7 +329,9 @@ def execute(graph: StreamGraph,
             backend: Any = "interp",
             tracer: Optional[Tracer] = None,
             cores: int = 1,
-            partitioner: Optional[Callable] = None) -> ExecutionResult:
+            partitioner: Optional[Callable] = None,
+            stall_timeout: float = 30.0,
+            pace: Optional[Dict[int, float]] = None) -> ExecutionResult:
     """Run ``iterations`` steady-state cycles of ``graph`` and return
     collected outputs plus performance counters.
 
@@ -348,7 +350,13 @@ def execute(graph: StreamGraph,
     blocking channels, and the returned
     :class:`~repro.multicore.parallel.ParallelExecutionResult` carries
     per-core counters and channel statistics on top of the (identical)
-    sequential outputs and aggregate counters.
+    sequential outputs and aggregate counters.  ``stall_timeout``
+    (seconds) and ``pace`` (actor id -> wall seconds per firing) are
+    forwarded to the parallel runtime: a cross-core stall longer than the
+    timeout raises :class:`~repro.multicore.channels.ChannelStallTimeout`
+    carrying the stalled channel's name, side, and occupancy — the
+    serving layer's hang diagnostics.  Both are ignored for sequential
+    runs (``cores=1`` without a partitioner).
     """
     if cores < 1:
         raise StreamRuntimeError(f"cores must be >= 1, got {cores}")
@@ -358,7 +366,8 @@ def execute(graph: StreamGraph,
         return parallel_execute(graph, schedule, machine=machine,
                                 iterations=iterations, backend=backend,
                                 tracer=tracer, cores=cores,
-                                partitioner=partitioner)
+                                partitioner=partitioner,
+                                stall_timeout=stall_timeout, pace=pace)
     tracer = ensure_tracer(tracer)
     if schedule is None:
         with tracer.span("runtime.schedule", cat="runtime",

@@ -1,0 +1,43 @@
+"""``repro.serve`` — process-sharded stream-serving runtime.
+
+PR 5's thread runtime executes one graph across cores; this package
+serves *many independent stream-graph sessions* across long-lived worker
+processes (escaping the GIL), with:
+
+* a **session layer** (:mod:`.session`) — picklable specs/results and
+  the explicit wire-format seam the fuzz serve oracle mutation-tests;
+* a **worker environment** (:mod:`.worker`) — per-process persistent
+  compiled backend + content-addressed kernel cache + graph cache, so
+  repeated sessions for the same (app, target, pipeline) recompile
+  nothing;
+* a **pool** (:mod:`.pool`) — placement policies, admission control
+  (queue-depth high-water → typed :class:`ServeOverload`), per-lane
+  blame statistics, graceful drain/shutdown;
+* a **scheduler registry** (:mod:`.scheduler`) — ``round-robin`` and
+  ``least-loaded`` placement, extensible;
+* a **load generator** (:mod:`.loadgen`) — open-loop (fixed arrival
+  rate) and closed-loop (fixed concurrency) request streams with
+  p50/p99 latency reporting.
+
+CLI surface: ``macross serve`` and ``macross loadgen``.
+"""
+
+from .loadgen import (LoadReport, RequestRecord, percentile,
+                      run_closed_loop, run_open_loop)
+from .pool import ServePool, ServeTimeout, SessionTicket, WorkerStats
+from .scheduler import (LeastLoaded, PlacementPolicy, RoundRobin,
+                        UnknownPolicyError, get_policy, list_policies,
+                        register_policy)
+from .session import (ServeError, ServeOverload, SessionResult, SessionSpec,
+                      counter_bags, decode_result, encode_result)
+from .worker import WorkerEnv, worker_main
+
+__all__ = [
+    "LeastLoaded", "LoadReport", "PlacementPolicy", "RequestRecord",
+    "RoundRobin", "ServeError", "ServeOverload", "ServePool",
+    "ServeTimeout", "SessionResult", "SessionSpec", "SessionTicket",
+    "UnknownPolicyError", "WorkerEnv", "WorkerStats", "counter_bags",
+    "decode_result", "encode_result", "get_policy", "list_policies",
+    "percentile", "register_policy", "run_closed_loop", "run_open_loop",
+    "worker_main",
+]

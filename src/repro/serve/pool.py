@@ -1,0 +1,392 @@
+"""Process-sharded worker pool with admission control and backpressure.
+
+:class:`ServePool` owns ``workers`` long-lived processes (default start
+method ``spawn`` — the strictest, therefore portable one), one bounded
+request lane per worker, and a shared result queue drained by a
+collector thread in the parent.  The flow of one session:
+
+1. :meth:`submit` asks the placement policy for a worker.  Admission
+   control: a worker whose in-flight depth (queued + running) is at
+   ``max_queue_depth`` is not eligible; if no worker is eligible the
+   submit returns a typed :class:`~repro.serve.session.ServeOverload`
+   instead of queueing unboundedly — load-shedding at the front door is
+   the serving analogue of the multicore runtime's bounded channels.
+2. The spec crosses to the worker as plain builtins; the worker runs it
+   against its persistent caches and answers on the result queue.
+3. The collector resolves the :class:`SessionTicket`, stamps the
+   completion time, and charges the worker's
+   :class:`WorkerStats` blame bag (requests, busy time, cache hits,
+   queue-depth high-water — the gem5 stream-engine per-lane statistics
+   idiom).
+
+``drain()`` waits for in-flight work without accepting more;
+``shutdown()`` drains (optionally), sends each worker its shutdown
+sentinel, merges the workers' lifetime stats, and joins the processes.
+The pool is a context manager; exiting shuts down gracefully.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from ..obs.tracer import Tracer, ensure_tracer
+from .scheduler import PlacementPolicy, get_policy
+from .session import (ServeError, ServeOverload, SessionResult, SessionSpec,
+                      decode_result)
+from .worker import MSG_BYE, MSG_READY, MSG_RESULT, worker_main
+
+__all__ = ["ServePool", "ServeTimeout", "SessionTicket", "WorkerStats"]
+
+#: Collector poll interval; bounds shutdown latency, not throughput.
+_POLL_S = 0.05
+
+
+class ServeTimeout(ServeError):
+    """A ticket wait or pool startup/drain exceeded its deadline."""
+
+
+@dataclass
+class WorkerStats:
+    """Parent-side blame bag for one worker lane."""
+
+    worker: int
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    #: current in-flight depth (queued + running).
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+    #: accumulated in-worker service time.
+    busy_s: float = 0.0
+    #: kernel-cache counters accumulated over this lane's sessions.
+    cache: Dict[str, int] = field(default_factory=dict)
+    graph_cache_hits: int = 0
+    #: worker-reported lifetime stats, filled at shutdown (MSG_BYE).
+    env: Dict[str, Any] = field(default_factory=dict)
+
+    def charge(self, result: SessionResult) -> None:
+        self.completed += 1
+        self.queue_depth -= 1
+        self.busy_s += result.busy_s
+        if result.error is not None:
+            self.errors += 1
+        if result.graph_cache_hit:
+            self.graph_cache_hits += 1
+        if result.kernel_cache:
+            for key, value in result.kernel_cache.items():
+                if key == "size":
+                    self.cache["size"] = value  # resident count, not a delta
+                else:
+                    self.cache[key] = self.cache.get(key, 0) + value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"worker": self.worker, "submitted": self.submitted,
+                "completed": self.completed, "rejected": self.rejected,
+                "errors": self.errors, "queue_depth": self.queue_depth,
+                "max_queue_depth": self.max_queue_depth,
+                "busy_s": self.busy_s, "cache": dict(self.cache),
+                "graph_cache_hits": self.graph_cache_hits,
+                "env": dict(self.env)}
+
+
+class SessionTicket:
+    """Handle for one admitted session; resolved by the collector."""
+
+    __slots__ = ("seq", "worker", "spec", "submitted_at", "done_at",
+                 "_event", "_result")
+
+    def __init__(self, seq: int, worker: int, spec: SessionSpec) -> None:
+        self.seq = seq
+        self.worker = worker
+        self.spec = spec
+        self.submitted_at = time.perf_counter()
+        self.done_at: Optional[float] = None
+        self._event = threading.Event()
+        self._result: Optional[SessionResult] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> SessionResult:
+        """Block until the session completes (or ``timeout`` seconds)."""
+        if not self._event.wait(timeout):
+            raise ServeTimeout(
+                f"session {self.seq} (worker {self.worker}) still pending "
+                f"after {timeout}s")
+        assert self._result is not None
+        return self._result
+
+    @property
+    def latency_s(self) -> float:
+        """Submit-to-completion wall time (queueing + service)."""
+        if self.done_at is None:
+            raise ServeError(f"session {self.seq} not finished")
+        return self.done_at - self.submitted_at
+
+    def _resolve(self, result: SessionResult) -> None:
+        self._result = result
+        self.done_at = time.perf_counter()
+        self._event.set()
+
+
+class ServePool:
+    """A fixed-size pool of worker processes serving stream sessions."""
+
+    def __init__(self, workers: int = 2, *,
+                 policy: Union[str, PlacementPolicy] = "round-robin",
+                 backend: str = "compiled",
+                 max_queue_depth: int = 8,
+                 max_kernels: Optional[int] = None,
+                 max_graphs: Optional[int] = None,
+                 start_method: str = "spawn",
+                 start_timeout: float = 120.0,
+                 tracer: Optional[Tracer] = None) -> None:
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        if max_queue_depth < 1:
+            raise ServeError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self.workers = workers
+        self.backend = backend
+        self.max_queue_depth = max_queue_depth
+        self.policy = get_policy(policy) if isinstance(policy, str) \
+            else policy
+        self.tracer = ensure_tracer(tracer)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._closed = False
+        self._stopped = False
+        self._pending: Dict[int, SessionTicket] = {}
+        self.stats: List[WorkerStats] = [WorkerStats(w)
+                                         for w in range(workers)]
+        ctx = mp.get_context(start_method)
+        self._requests = [ctx.Queue() for _ in range(workers)]
+        self._results = ctx.Queue()
+        self._procs = [
+            ctx.Process(target=worker_main,
+                        args=(wid, self._requests[wid], self._results,
+                              backend, max_kernels, max_graphs),
+                        name=f"macross-serve-w{wid}", daemon=True)
+            for wid in range(workers)]
+        for proc in self._procs:
+            proc.start()
+        self._byes = 0
+        self._await_ready(start_timeout)
+        self._collector = threading.Thread(target=self._collect,
+                                           name="macross-serve-collector",
+                                           daemon=True)
+        self._collector.start()
+
+    # -- lifecycle -------------------------------------------------------------
+    def _await_ready(self, timeout: float) -> None:
+        """Consume one MSG_READY per worker before serving (keeps process
+        startup out of every latency measurement)."""
+        ready = 0
+        deadline = time.monotonic() + timeout
+        while ready < self.workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._kill()
+                raise ServeTimeout(
+                    f"only {ready}/{self.workers} workers ready after "
+                    f"{timeout:.0f}s")
+            dead = [p for p in self._procs
+                    if not p.is_alive() and p.exitcode is not None]
+            if dead:
+                self._kill()
+                raise ServeError(
+                    f"{len(dead)} worker(s) died during startup (exit "
+                    f"codes {[p.exitcode for p in dead]}) — with the "
+                    f"'spawn' start method the entry script must be "
+                    f"importable (guard it with __main__)")
+            try:
+                kind, wid, payload = self._results.get(
+                    timeout=min(remaining, 0.5))
+            except Exception:  # queue.Empty
+                continue
+            if kind == MSG_READY:
+                ready += 1
+            elif kind == MSG_BYE:  # worker died during startup
+                self._kill()
+                raise ServeError(
+                    f"worker {wid} failed to start: "
+                    f"{payload.get('error', 'unknown')}")
+
+    def __enter__(self) -> "ServePool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    def _kill(self) -> None:
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+
+    # -- collector -------------------------------------------------------------
+    def _collect(self) -> None:
+        while not self._stopped:
+            try:
+                kind, wid, payload = self._results.get(timeout=_POLL_S)
+            except Exception:  # queue.Empty
+                continue
+            if kind == MSG_RESULT:
+                try:
+                    result = decode_result(payload)
+                except Exception as exc:  # noqa: BLE001 - corrupt wire
+                    result = SessionResult(
+                        seq=payload.get("seq", -1) if isinstance(
+                            payload, dict) else -1,
+                        worker=wid,
+                        error=f"decode failed: {type(exc).__name__}: {exc}")
+                self._finish(wid, result)
+            elif kind == MSG_BYE:
+                with self._lock:
+                    self.stats[wid].env = dict(payload or {})
+                    self._byes += 1
+
+    def _finish(self, wid: int, result: SessionResult) -> None:
+        with self._lock:
+            ticket = self._pending.pop(result.seq, None)
+            self.stats[wid].charge(result)
+        if ticket is not None:
+            ticket._resolve(result)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "serve.session", cat="serve", worker=wid,
+                    seq=result.seq, graph=result.graph_name,
+                    ok=result.ok,
+                    latency_ms=round(ticket.latency_s * 1e3, 3),
+                    busy_ms=round(result.busy_s * 1e3, 3),
+                    graph_cache_hit=result.graph_cache_hit)
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, spec: SessionSpec) -> Union[SessionTicket,
+                                                 ServeOverload]:
+        """Admit and place one session, or return :class:`ServeOverload`.
+
+        Never blocks: backpressure is surfaced to the caller as data, so
+        clients (and the load generator) decide whether to retry, shed,
+        or slow down.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServeError("pool is shut down (or draining)")
+            depths = [s.queue_depth for s in self.stats]
+            wid = self.policy.choose(depths, self.max_queue_depth)
+            if wid < 0:
+                busiest = max(range(self.workers),
+                              key=lambda w: depths[w])
+                self.stats[busiest].rejected += 1
+                overload = ServeOverload(worker=-1,
+                                         queue_depth=depths[busiest],
+                                         limit=self.max_queue_depth)
+                if self.tracer.enabled:
+                    self.tracer.event("serve.overload", cat="serve",
+                                      queue_depth=overload.queue_depth,
+                                      limit=overload.limit)
+                return overload
+            self._seq += 1
+            ticket = SessionTicket(self._seq, wid, spec)
+            self._pending[ticket.seq] = ticket
+            stats = self.stats[wid]
+            stats.submitted += 1
+            stats.queue_depth += 1
+            if stats.queue_depth > stats.max_queue_depth:
+                stats.max_queue_depth = stats.queue_depth
+        self._requests[wid].put((ticket.seq, spec.to_wire()))
+        return ticket
+
+    def run(self, spec: SessionSpec, *,
+            timeout: Optional[float] = None) -> SessionResult:
+        """Synchronous convenience: submit and wait (raises
+        :class:`ServeError` on overload instead of returning it)."""
+        ticket = self.submit(spec)
+        if isinstance(ticket, ServeOverload):
+            raise ServeError(str(ticket))
+        return ticket.result(timeout)
+
+    # -- draining / shutdown ---------------------------------------------------
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Wait until every admitted session has completed.
+
+        Detects dead workers and fails their in-flight tickets instead
+        of hanging forever."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if not self._pending:
+                    return
+                pending = list(self._pending.values())
+            for wid, proc in enumerate(self._procs):
+                if not proc.is_alive():
+                    for ticket in pending:
+                        if ticket.worker == wid:
+                            self._finish(wid, SessionResult(
+                                seq=ticket.seq, worker=wid,
+                                error=f"worker {wid} died (exit code "
+                                      f"{proc.exitcode})"))
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeTimeout(
+                    f"{self.in_flight()} session(s) still in flight after "
+                    f"{timeout}s drain")
+            time.sleep(_POLL_S)
+
+    def shutdown(self, *, drain: bool = True,
+                 timeout: float = 60.0) -> List[Dict[str, Any]]:
+        """Gracefully stop: close the front door, optionally drain, send
+        each worker its sentinel, merge lifetime stats, join.  Returns
+        the final per-worker stats snapshots (idempotent)."""
+        with self._lock:
+            if self._closed and self._stopped:
+                return [s.snapshot() for s in self.stats]
+            self._closed = True
+        if drain:
+            try:
+                self.drain(timeout=timeout)
+            except ServeTimeout:
+                pass  # fall through to teardown; tickets fail below
+        for queue in self._requests:
+            queue.put(None)
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()) + 1.0)
+        # Give the collector a beat to drain the workers' MSG_BYE stats
+        # (they may still sit in the result queue after the join).
+        grace = time.monotonic() + 2.0
+        while self._byes < self.workers and time.monotonic() < grace:
+            time.sleep(_POLL_S)
+        self._stopped = True
+        if self._collector.is_alive():
+            self._collector.join(timeout=5.0)
+        self._kill()
+        with self._lock:
+            orphans = list(self._pending.values())
+            self._pending.clear()
+        for ticket in orphans:
+            ticket._resolve(SessionResult(
+                seq=ticket.seq, worker=ticket.worker,
+                error="pool shut down before completion"))
+        if self.tracer.enabled:
+            for stats in self.stats:
+                self.tracer.event(f"serve.worker{stats.worker}",
+                                  cat="serve", **{
+                                      k: v for k, v in
+                                      stats.snapshot().items()
+                                      if k not in ("cache", "env")})
+        return [s.snapshot() for s in self.stats]
+
+    def stats_snapshot(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [s.snapshot() for s in self.stats]

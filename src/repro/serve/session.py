@@ -1,0 +1,208 @@
+"""Session layer of the serving runtime: specs, results, wire format.
+
+A *session* is one complete stream-graph execution served by a worker
+process: a program (a registry benchmark name or a serialized fuzz
+:class:`~repro.fuzz.descriptions.ProgramDesc`), a compilation pipeline, a
+target machine, a backend, and an iteration count go in; the outputs,
+init outputs, per-actor performance-counter bags, and cache statistics
+come back.  Everything that crosses the process boundary is kept to
+plain picklable builtins (strings, ints, floats, lists, dicts) so the
+pool is spawn-safe and the wire format is stable regardless of how the
+dataclasses in this module evolve.
+
+The explicit :func:`encode_result` / :func:`decode_result` pair is the
+*only* path a session result takes across the boundary — the fuzz serve
+oracle mutation-tests exactly this seam (corrupt the serializer, the
+parity oracle must notice).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..perf.counters import PerActorCounters
+from ..runtime.errors import StreamRuntimeError
+from ..simd.machine import CORE_I7
+
+__all__ = [
+    "ServeError", "ServeOverload", "SessionSpec", "SessionResult",
+    "counter_bags", "decode_result", "encode_result",
+]
+
+#: Wire-format version; bumped on incompatible changes so a mixed-version
+#: pool fails loudly instead of silently misdecoding.
+WIRE_VERSION = 1
+
+
+class ServeError(StreamRuntimeError):
+    """Base class for serving-runtime failures (pool misuse, timeouts)."""
+
+
+@dataclass(frozen=True)
+class ServeOverload:
+    """Typed admission-control rejection returned by ``ServePool.submit``.
+
+    Not an exception: overload is an expected steady-state outcome under
+    load, and load generators record it rather than unwind.  ``worker``
+    is the worker the policy chose, or ``-1`` when every worker was at
+    its high-water mark.
+    """
+
+    worker: int
+    queue_depth: int
+    limit: int
+    reason: str = "queue-high-water"
+
+    def __str__(self) -> str:
+        where = f"worker {self.worker}" if self.worker >= 0 else "all workers"
+        return (f"overloaded ({self.reason}): {where} at depth "
+                f"{self.queue_depth}/{self.limit}")
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One serving request (picklable, spawn-safe).
+
+    Exactly one of ``benchmark`` (app-registry name) or ``program`` (a
+    fuzz ``ProgramDesc`` as the plain dict from
+    :func:`repro.fuzz.desc_to_dict`) must be set.  ``pipeline`` names a
+    compilation preset from :data:`repro.simd.pipeline.PIPELINES`
+    (``None`` runs the scalar graph untransformed); ``machine`` is a
+    target-registry name resolved inside the worker.
+    """
+
+    benchmark: Optional[str] = None
+    program: Optional[Dict[str, Any]] = None
+    pipeline: Optional[str] = "full"
+    machine: str = CORE_I7.name
+    backend: str = "compiled"
+    iterations: int = 4
+    #: worker-local thread cores (>1 routes through the parallel runtime
+    #: *inside* the worker process).
+    cores: int = 1
+    #: service-time emulation (the Figure-13 calibrated-pace idiom lifted
+    #: to whole sessions): when > 0, the worker pays the session's
+    #: *modeled* steady-state cycles in wall clock at this rate
+    #: (``sleep(steady_cycles * seconds_per_cycle)`` after executing).
+    #: Sleeping frees the CPU, so cross-process throughput scaling is
+    #: measurable even on a single-CPU container — this is what
+    #: ``BENCH_serve.json`` runs with.  ``0.0`` (default) disables it.
+    seconds_per_cycle: float = 0.0
+    #: client correlation label, echoed back on the result.
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.benchmark is None) == (self.program is None):
+            raise ServeError(
+                "SessionSpec needs exactly one of benchmark= or program=")
+        if self.iterations < 1:
+            raise ServeError(
+                f"iterations must be >= 1, got {self.iterations}")
+        if self.cores < 1:
+            raise ServeError(f"cores must be >= 1, got {self.cores}")
+        if self.seconds_per_cycle < 0.0:
+            raise ServeError(
+                f"seconds_per_cycle must be >= 0, "
+                f"got {self.seconds_per_cycle}")
+
+    def graph_key(self) -> str:
+        """Content-addressed identity of the *compiled graph* this spec
+        needs: (program identity, machine, pipeline).  Two specs with the
+        same key share one compiled graph + schedule in a worker's graph
+        cache (iterations/backend/cores vary per session, not per
+        graph)."""
+        if self.benchmark is not None:
+            source = f"bench:{self.benchmark}"
+        else:
+            blob = json.dumps(self.program, sort_keys=True,
+                              separators=(",", ":"))
+            source = "desc:" + hashlib.sha256(
+                blob.encode()).hexdigest()[:16]
+        return f"{source}|{self.machine}|{self.pipeline or 'scalar-asis'}"
+
+    def to_wire(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_wire(wire: Dict[str, Any]) -> "SessionSpec":
+        return SessionSpec(**wire)
+
+
+@dataclass
+class SessionResult:
+    """Everything a served session hands back to the client.
+
+    Counter state crosses the process boundary as plain *bags* —
+    ``actor id -> {event name -> count}`` with zero counts dropped, the
+    same normal form the fuzz backend oracle compares — so a served
+    result is directly comparable to a direct
+    :func:`repro.runtime.executor.execute` run.
+    """
+
+    seq: int = 0
+    worker: int = -1
+    tag: str = ""
+    graph_name: str = ""
+    backend: str = ""
+    iterations: int = 0
+    outputs: List[Any] = field(default_factory=list)
+    init_outputs: List[Any] = field(default_factory=list)
+    steady_bags: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    init_bags: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    #: kernel-cache counter deltas of this session (compiled backend).
+    kernel_cache: Optional[Dict[str, int]] = None
+    #: True when the worker reused a previously compiled graph+schedule.
+    graph_cache_hit: bool = False
+    #: in-worker service time (compile + execute), seconds.
+    busy_s: float = 0.0
+    #: ``"ExcType: message"`` when the session failed; outputs are empty.
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def counter_bags(per_actor: PerActorCounters) -> Dict[int, Dict[str, int]]:
+    """Normalize counters to comparable bags (drop zero counts and
+    actors that charged nothing)."""
+    return {
+        actor_id: {event: count
+                   for event, count in counters.events.items() if count}
+        for actor_id, counters in per_actor.by_actor.items()
+        if any(counters.events.values())
+    }
+
+
+def encode_result(result: SessionResult) -> Dict[str, Any]:
+    """Serialize a result for the cross-process result queue.
+
+    Counter-bag keys become strings (dict keys survive JSON round-trips
+    too, should a transport ever want text); :func:`decode_result`
+    restores the int keys.
+    """
+    wire = asdict(result)
+    wire["v"] = WIRE_VERSION
+    wire["steady_bags"] = {str(aid): dict(bag)
+                           for aid, bag in result.steady_bags.items()}
+    wire["init_bags"] = {str(aid): dict(bag)
+                         for aid, bag in result.init_bags.items()}
+    return wire
+
+
+def decode_result(wire: Dict[str, Any]) -> SessionResult:
+    """Inverse of :func:`encode_result` (parent-process side)."""
+    version = wire.get("v")
+    if version != WIRE_VERSION:
+        raise ServeError(
+            f"session result wire version {version!r} != {WIRE_VERSION}")
+    fields = dict(wire)
+    fields.pop("v")
+    fields["steady_bags"] = {int(aid): dict(bag)
+                             for aid, bag in wire["steady_bags"].items()}
+    fields["init_bags"] = {int(aid): dict(bag)
+                           for aid, bag in wire["init_bags"].items()}
+    return SessionResult(**fields)

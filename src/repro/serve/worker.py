@@ -1,0 +1,208 @@
+"""Worker side of the serving runtime.
+
+Each worker process owns one :class:`WorkerEnv`: a persistent
+compiled-backend environment (the content-addressed
+:class:`~repro.runtime.compiled.cache.KernelCache`, keyed by the
+structhash-induced canonical bodies) plus a *graph cache* mapping
+:meth:`SessionSpec.graph_key` to an already-SIMDized graph and schedule.
+Repeated sessions for the same (app, target, pipeline) therefore
+recompile nothing — neither the MacroSS pipeline nor the closure
+kernels — which is what makes a long-lived pool worth its processes.
+
+:func:`worker_main` is the process entry point.  It is a module-level
+function taking only picklable arguments, so the pool works under the
+``spawn`` start method (the strictest one) as well as ``fork``.
+``WorkerEnv`` is equally usable in-process — the fuzz serve oracle and
+the unit tests drive it directly for speed, through the very same
+encode/decode wire path the processes use.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from .session import (SessionResult, SessionSpec, counter_bags,
+                      encode_result)
+
+__all__ = ["WorkerEnv", "worker_main"]
+
+#: Control-message kinds on the result queue (worker -> pool).
+MSG_READY = "ready"
+MSG_RESULT = "result"
+MSG_BYE = "bye"
+
+
+@dataclass
+class _CachedGraph:
+    """One compiled session shape resident in a worker."""
+
+    graph: Any
+    schedule: Any
+    hits: int = 0
+
+
+@dataclass
+class WorkerEnvStats:
+    """Worker-side lifetime statistics (the per-lane "blame" bag)."""
+
+    sessions: int = 0
+    errors: int = 0
+    busy_s: float = 0.0
+    graph_cache_hits: int = 0
+    graph_cache_misses: int = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"sessions": self.sessions, "errors": self.errors,
+                "busy_s": self.busy_s,
+                "graph_cache_hits": self.graph_cache_hits,
+                "graph_cache_misses": self.graph_cache_misses}
+
+
+class WorkerEnv:
+    """Persistent per-worker execution environment.
+
+    ``backend="compiled"`` builds a private
+    :class:`~repro.runtime.compiled.CompiledBackend` whose kernel cache
+    (optionally bounded by ``max_kernels``) lives as long as the worker;
+    ``backend="interp"`` serves through the reference interpreter (no
+    kernel cache, still graph-cached).  ``max_graphs`` bounds the graph
+    cache the same FIFO way the kernel cache is bounded.
+    """
+
+    def __init__(self, backend: str = "compiled", *,
+                 max_kernels: Optional[int] = None,
+                 max_graphs: Optional[int] = None) -> None:
+        if max_graphs is not None and max_graphs < 1:
+            raise ValueError("max_graphs must be >= 1 (or None)")
+        self.backend_name = backend
+        if backend == "compiled":
+            from ..runtime.compiled import CompiledBackend
+            from ..runtime.compiled.cache import KernelCache
+            self.backend: Any = CompiledBackend(KernelCache(max_kernels))
+        else:
+            from ..runtime.backends import resolve_backend
+            self.backend = resolve_backend(backend)
+        self.max_graphs = max_graphs
+        self._graphs: Dict[str, _CachedGraph] = {}
+        self.stats = WorkerEnvStats()
+
+    # -- graph materialization -------------------------------------------------
+    def _build_graph(self, spec: SessionSpec) -> Tuple[Any, Any]:
+        from ..schedule.steady_state import build_schedule
+        from ..simd.machine import get_target
+        from ..simd.pipeline import compile_graph
+
+        if spec.benchmark is not None:
+            from ..apps import get_benchmark
+            from ..graph.flatten import flatten
+            graph = flatten(get_benchmark(spec.benchmark))
+        else:
+            from ..fuzz.descriptions import desc_from_dict, materialize
+            from ..graph.flatten import flatten
+            graph = flatten(materialize(desc_from_dict(spec.program)))
+        if spec.pipeline is not None:
+            machine = get_target(spec.machine)
+            graph = compile_graph(graph, machine,
+                                  pipeline=spec.pipeline).graph
+        return graph, build_schedule(graph)
+
+    def _resolve_graph(self, spec: SessionSpec) -> Tuple[_CachedGraph, bool]:
+        key = spec.graph_key()
+        entry = self._graphs.get(key)
+        if entry is not None:
+            entry.hits += 1
+            self.stats.graph_cache_hits += 1
+            return entry, True
+        graph, schedule = self._build_graph(spec)
+        if self.max_graphs is not None and \
+                len(self._graphs) >= self.max_graphs:
+            # FIFO eviction, mirroring the kernel cache's policy.
+            del self._graphs[next(iter(self._graphs))]
+        entry = _CachedGraph(graph, schedule)
+        self._graphs[key] = entry
+        self.stats.graph_cache_misses += 1
+        return entry, False
+
+    def graph_cache_size(self) -> int:
+        return len(self._graphs)
+
+    # -- serving ---------------------------------------------------------------
+    def run_session(self, spec: SessionSpec, *, seq: int = 0,
+                    worker: int = -1) -> SessionResult:
+        """Serve one session; never raises (failures come back as
+        ``result.error``, so a bad request cannot kill the worker)."""
+        from ..simd.machine import get_target
+        from ..runtime.executor import execute
+
+        start = time.perf_counter()
+        self.stats.sessions += 1
+        try:
+            machine = get_target(spec.machine)
+            entry, cache_hit = self._resolve_graph(spec)
+            result = execute(entry.graph, entry.schedule, machine=machine,
+                             iterations=spec.iterations,
+                             backend=self.backend, cores=spec.cores)
+            if spec.seconds_per_cycle > 0.0:
+                # Service-time emulation: pay the modeled compute cost in
+                # wall clock.  The sleep frees the CPU, so paced sessions
+                # overlap across worker processes even on one core.
+                time.sleep(result.steady_cycles(machine)
+                           * spec.seconds_per_cycle)
+            busy = time.perf_counter() - start
+            self.stats.busy_s += busy
+            return SessionResult(
+                seq=seq, worker=worker, tag=spec.tag,
+                graph_name=entry.graph.name,
+                backend=result.backend,
+                iterations=spec.iterations,
+                outputs=list(result.outputs),
+                init_outputs=list(result.init_outputs),
+                steady_bags=counter_bags(result.steady_counters),
+                init_bags=counter_bags(result.init_counters),
+                kernel_cache=result.kernel_cache,
+                graph_cache_hit=cache_hit,
+                busy_s=busy,
+            )
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            busy = time.perf_counter() - start
+            self.stats.busy_s += busy
+            self.stats.errors += 1
+            return SessionResult(
+                seq=seq, worker=worker, tag=spec.tag,
+                busy_s=busy,
+                error=f"{type(exc).__name__}: {exc}")
+
+
+def worker_main(worker_id: int, request_queue: Any, result_queue: Any,
+                backend: str, max_kernels: Optional[int],
+                max_graphs: Optional[int]) -> None:
+    """Process entry point: build the environment, announce readiness,
+    then serve requests until the ``None`` shutdown sentinel arrives.
+
+    Requests arrive as ``(seq, spec_wire)`` tuples; every response is a
+    ``(kind, worker_id, payload)`` tuple on the shared result queue.
+    """
+    try:
+        env = WorkerEnv(backend, max_kernels=max_kernels,
+                        max_graphs=max_graphs)
+    except Exception:  # pragma: no cover - only on broken installs
+        result_queue.put((MSG_BYE, worker_id,
+                          {"error": traceback.format_exc()}))
+        return
+    result_queue.put((MSG_READY, worker_id, None))
+    while True:
+        message = request_queue.get()
+        if message is None:
+            break
+        seq, wire = message
+        try:
+            spec = SessionSpec.from_wire(wire)
+            result = env.run_session(spec, seq=seq, worker=worker_id)
+        except Exception as exc:  # noqa: BLE001 - malformed spec
+            result = SessionResult(seq=seq, worker=worker_id,
+                                   error=f"{type(exc).__name__}: {exc}")
+        result_queue.put((MSG_RESULT, worker_id, encode_result(result)))
+    result_queue.put((MSG_BYE, worker_id, env.stats.snapshot()))

@@ -1,0 +1,131 @@
+"""The serve-parity fuzz oracle: a session through the serving runtime
+must be event-identical to direct execution — and the oracle must catch
+a corrupted result serializer (mutation tests on the wire seam)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fuzz import SERVE_PIPELINES, check_serve_program, generate_program
+from repro.serve import WorkerEnv
+
+#: Same smoke seeds as the parallel oracle; CI replays these exactly.
+SMOKE_SEEDS = (0, 1, 2)
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", SMOKE_SEEDS)
+def test_generated_programs_are_serve_clean(seed):
+    desc = generate_program(random.Random(seed))
+    report = check_serve_program(desc, stop_on_first=False)
+    assert report.executions > 0
+    assert report.ok, "\n".join(
+        f"{d.kind} @ {d.config}: {d.detail}" for d in report.divergences)
+
+
+@pytest.mark.fuzz
+def test_oracle_covers_pipeline_matrix():
+    desc = generate_program(random.Random(0))
+    report = check_serve_program(desc)
+    assert report.configs_checked == len(SERVE_PIPELINES)
+
+
+@pytest.mark.fuzz
+def test_oracle_reuses_a_persistent_environment():
+    """Passing one ``env`` across programs is the long-lived-worker
+    shape; later sessions must still check clean against fresh direct
+    references (the persistent caches leak nothing across programs)."""
+    env = WorkerEnv("compiled")
+    for seed in SMOKE_SEEDS:
+        desc = generate_program(random.Random(seed))
+        report = check_serve_program(desc, env=env, stop_on_first=False)
+        assert report.ok, "\n".join(
+            f"{d.kind} @ {d.config}: {d.detail}"
+            for d in report.divergences)
+    assert env.stats.sessions == len(SMOKE_SEEDS) * len(SERVE_PIPELINES)
+
+
+# -- mutation tests: corrupt the serializer, the oracle must notice ----------
+
+def _first_divergence(report):
+    assert not report.ok, "oracle missed an injected wire corruption"
+    return report.divergences[0]
+
+
+@pytest.mark.fuzz
+def test_oracle_catches_corrupted_outputs():
+    desc = generate_program(random.Random(0))
+
+    def corrupt(wire):
+        if wire["outputs"]:
+            wire["outputs"] = list(wire["outputs"])
+            wire["outputs"][0] = wire["outputs"][0] + 1e6
+        else:  # pragma: no cover - generated programs always emit output
+            wire["outputs"] = [1.0]
+        return wire
+
+    div = _first_divergence(
+        check_serve_program(desc, wire_filter=corrupt, stop_on_first=False))
+    assert div.kind == "serve"
+    assert "outputs differ" in div.detail
+
+
+@pytest.mark.fuzz
+def test_oracle_catches_corrupted_counter_bags():
+    desc = generate_program(random.Random(1))
+
+    def corrupt(wire):
+        bags = {aid: dict(bag) for aid, bag in wire["steady_bags"].items()}
+        aid = next(iter(bags))
+        event = next(iter(bags[aid]))
+        bags[aid][event] += 1
+        wire["steady_bags"] = bags
+        return wire
+
+    div = _first_divergence(
+        check_serve_program(desc, wire_filter=corrupt, stop_on_first=False))
+    assert div.kind == "serve"
+    assert "counter bags differ" in div.detail
+
+
+@pytest.mark.fuzz
+def test_oracle_catches_wire_version_skew():
+    desc = generate_program(random.Random(2))
+
+    def corrupt(wire):
+        wire["v"] = 999
+        return wire
+
+    report = check_serve_program(desc, wire_filter=corrupt,
+                                 stop_on_first=False)
+    assert not report.ok
+    assert any("wire version" in d.detail for d in report.divergences)
+
+
+@pytest.mark.fuzz
+def test_oracle_catches_smuggled_error(monkeypatch):
+    """A serializer that turns failures into empty-but-ok results is the
+    nastiest corruption; the parity check must still flag it."""
+    desc = generate_program(random.Random(0))
+
+    def corrupt(wire):
+        wire["error"] = None
+        wire["outputs"] = []
+        wire["init_outputs"] = []
+        wire["steady_bags"] = {}
+        wire["init_bags"] = {}
+        return wire
+
+    report = check_serve_program(desc, wire_filter=corrupt,
+                                 stop_on_first=False)
+    assert not report.ok
+    assert all(d.kind == "serve" for d in report.divergences)
+
+
+@pytest.mark.fuzz
+def test_wire_filter_refused_on_live_pool():
+    desc = generate_program(random.Random(0))
+    with pytest.raises(ValueError):
+        check_serve_program(desc, pool=object(), wire_filter=lambda w: w)

@@ -1,0 +1,122 @@
+"""Load generator: percentile math (pure) and the two canonical loop
+shapes against a real pool (marked ``serve``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    LoadReport,
+    RequestRecord,
+    ServeError,
+    ServePool,
+    SessionSpec,
+    percentile,
+    run_closed_loop,
+    run_open_loop,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 50) == 20.0
+        assert percentile(values, 75) == 30.0
+        assert percentile(values, 99) == 40.0
+        assert percentile(values, 0) == 10.0
+        assert percentile(values, 100) == 40.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(ServeError):
+            percentile([], 50)
+        with pytest.raises(ServeError):
+            percentile([1.0], 101)
+        with pytest.raises(ServeError):
+            percentile([1.0], -1)
+
+
+class TestReport:
+    def _report(self) -> LoadReport:
+        report = LoadReport(mode="closed", workers=1, requested=2,
+                            completed=2, duration_s=0.5)
+        report.records = [
+            RequestRecord(index=0, spec_tag="a", ok=True, latency_s=0.010),
+            RequestRecord(index=1, spec_tag="b", ok=True, latency_s=0.030),
+        ]
+        return report
+
+    def test_throughput_and_latency(self):
+        report = self._report()
+        assert report.throughput_rps == pytest.approx(4.0)
+        assert report.latency_ms(50) == pytest.approx(10.0)
+        assert report.latency_ms(99) == pytest.approx(30.0)
+
+    def test_to_dict_schema(self):
+        payload = self._report().to_dict()
+        for key in ("mode", "workers", "requested", "completed",
+                    "overloads", "shed", "errors", "duration_s",
+                    "throughput_rps", "p50_ms", "p99_ms", "mean_ms"):
+            assert key in payload
+
+    def test_empty_latencies_are_null_not_crash(self):
+        payload = LoadReport(mode="open", workers=1,
+                             requested=0).to_dict()
+        assert payload["p50_ms"] is None and payload["p99_ms"] is None
+
+    def test_input_validation(self):
+        pool_unused = None
+        with pytest.raises(ServeError):
+            run_closed_loop(pool_unused, [], concurrency=1, requests=1)
+        with pytest.raises(ServeError):
+            run_open_loop(pool_unused, [], rate=1.0, requests=1)
+        spec = SessionSpec(benchmark="DCT")
+        with pytest.raises(ServeError):
+            run_closed_loop(pool_unused, [spec], concurrency=0, requests=1)
+        with pytest.raises(ServeError):
+            run_open_loop(pool_unused, [spec], rate=0.0, requests=1)
+
+
+@pytest.mark.serve
+class TestAgainstRealPool:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        with ServePool(2, policy="least-loaded", max_queue_depth=4) as pool:
+            yield pool
+
+    def test_closed_loop(self, pool):
+        specs = [SessionSpec(benchmark="DCT", iterations=1),
+                 SessionSpec(benchmark="FFT", iterations=1)]
+        report = run_closed_loop(pool, specs, concurrency=2, requests=6)
+        assert report.mode == "closed"
+        assert report.completed == 6
+        assert report.errors == 0
+        assert len(report.latencies_s()) == 6
+        assert all(lat > 0.0 for lat in report.latencies_s())
+        assert report.latency_ms(99) >= report.latency_ms(50)
+        assert report.throughput_rps > 0.0
+        # Records arrive sorted by request index with worker attribution.
+        assert [r.index for r in report.records] == list(range(6))
+        assert all(r.worker >= 0 for r in report.records)
+
+    def test_open_loop(self, pool):
+        specs = [SessionSpec(benchmark="DCT", iterations=1)]
+        report = run_open_loop(pool, specs, rate=50.0, requests=5)
+        assert report.mode == "open"
+        assert report.completed + report.shed == 5
+        assert report.errors == 0
+        # Paced arrivals: the run cannot finish faster than the last
+        # intended arrival (4/50 s in).
+        assert report.duration_s >= 4 / 50.0
+
+    def test_closed_loop_errors_are_counted(self, pool):
+        specs = [SessionSpec(benchmark="NoSuchApp")]
+        report = run_closed_loop(pool, specs, concurrency=1, requests=2)
+        assert report.completed == 0
+        assert report.errors == 2

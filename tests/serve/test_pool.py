@@ -1,0 +1,124 @@
+"""The process-sharded pool: real spawn workers, admission control,
+failure isolation, and graceful shutdown.  Marked ``serve`` — these
+tests start worker processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    ServeError,
+    ServeOverload,
+    ServePool,
+    ServeTimeout,
+    SessionSpec,
+)
+
+from .test_worker_env import direct_reference
+
+pytestmark = pytest.mark.serve
+
+#: Generous per-session wait: covers worker cold-start compile on slow CI.
+WAIT_S = 120.0
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ServePool(2, max_queue_depth=8) as pool:
+        yield pool
+
+
+class TestServing:
+    def test_served_outputs_match_direct_execute(self, pool):
+        spec = SessionSpec(benchmark="DCT", iterations=2)
+        result = pool.run(spec, timeout=WAIT_S)
+        assert result.ok, result.error
+        ref = direct_reference(spec)
+        assert result.outputs == list(ref.outputs)
+        assert result.init_outputs == list(ref.init_outputs)
+
+    def test_sessions_spread_across_workers(self, pool):
+        tickets = [pool.submit(SessionSpec(benchmark="FFT", iterations=1,
+                                           tag=f"s{i}"))
+                   for i in range(4)]
+        assert not any(isinstance(t, ServeOverload) for t in tickets)
+        results = [t.result(timeout=WAIT_S) for t in tickets]
+        assert all(r.ok for r in results)
+        assert {t.worker for t in tickets} == {0, 1}  # round-robin
+        for ticket, result in zip(tickets, results):
+            assert result.worker == ticket.worker
+            assert result.tag == ticket.spec.tag
+            assert ticket.latency_s > 0.0
+
+    def test_bad_session_does_not_kill_worker(self, pool):
+        bad = pool.run(SessionSpec(benchmark="NoSuchApp"), timeout=WAIT_S)
+        assert not bad.ok
+        assert "NoSuchApp" in bad.error
+        good = pool.run(SessionSpec(benchmark="DCT", iterations=1),
+                        timeout=WAIT_S)
+        assert good.ok, good.error
+
+    def test_stats_charge_sessions_to_lanes(self, pool):
+        pool.run(SessionSpec(benchmark="DCT", iterations=1),
+                 timeout=WAIT_S)
+        snapshot = pool.stats_snapshot()
+        assert len(snapshot) == 2
+        assert sum(s["submitted"] for s in snapshot) >= 1
+        assert sum(s["completed"] for s in snapshot) == \
+            sum(s["submitted"] for s in snapshot)  # all drained
+        assert all(s["queue_depth"] == 0 for s in snapshot)
+        busy = [s for s in snapshot if s["completed"]]
+        assert all(s["busy_s"] > 0.0 for s in busy)
+        assert all("lookups" in s["cache"] for s in busy)
+
+    def test_ticket_timeout_raises(self, pool):
+        ticket = pool.submit(SessionSpec(benchmark="FMRadio",
+                                         iterations=4))
+        with pytest.raises(ServeTimeout):
+            ticket.result(timeout=0.0)
+        ticket.result(timeout=WAIT_S)  # then let it finish
+
+
+class TestAdmissionControl:
+    def test_overload_is_returned_not_queued(self):
+        with ServePool(1, max_queue_depth=1) as pool:
+            slow = SessionSpec(benchmark="FMRadio", iterations=16)
+            first = pool.submit(slow)
+            assert not isinstance(first, ServeOverload)
+            # Lane full (depth 1/1): the next submit is shed at the door.
+            second = pool.submit(slow)
+            assert isinstance(second, ServeOverload)
+            assert second.limit == 1
+            assert second.queue_depth == 1
+            with pytest.raises(ServeError):
+                pool.run(slow, timeout=WAIT_S)
+            assert first.result(timeout=WAIT_S).ok
+            snapshot = pool.stats_snapshot()
+            assert snapshot[0]["rejected"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            ServePool(0)
+        with pytest.raises(ServeError):
+            ServePool(1, max_queue_depth=0)
+
+
+class TestShutdown:
+    def test_shutdown_drains_and_merges_env_stats(self):
+        pool = ServePool(2, max_queue_depth=4)
+        tickets = [pool.submit(SessionSpec(benchmark="DCT", iterations=1))
+                   for _ in range(3)]
+        stats = pool.shutdown(timeout=WAIT_S)
+        for ticket in tickets:
+            assert ticket.result(timeout=0.1).ok
+        assert len(stats) == 2
+        # Worker-side lifetime stats arrived with MSG_BYE.
+        assert sum(s["env"].get("sessions", 0) for s in stats) == 3
+        # Idempotent.
+        assert pool.shutdown() == stats
+
+    def test_submit_after_shutdown_is_refused(self):
+        pool = ServePool(1)
+        pool.shutdown()
+        with pytest.raises(ServeError):
+            pool.submit(SessionSpec(benchmark="DCT"))

@@ -1,0 +1,81 @@
+"""Placement policies and their registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    LeastLoaded,
+    PlacementPolicy,
+    RoundRobin,
+    ServeError,
+    UnknownPolicyError,
+    get_policy,
+    list_policies,
+    register_policy,
+)
+from repro.serve.scheduler import _POLICIES
+
+
+class TestRoundRobin:
+    def test_cycles_through_workers(self):
+        policy = RoundRobin()
+        picks = [policy.choose([0, 0, 0], limit=4) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_saturated_workers(self):
+        policy = RoundRobin()
+        assert policy.choose([4, 0, 4], limit=4) == 1
+        # The cursor advanced past the saturated worker it skipped.
+        assert policy.choose([4, 0, 4], limit=4) == 1
+
+    def test_declines_when_all_full(self):
+        assert RoundRobin().choose([4, 4], limit=4) == -1
+
+
+class TestLeastLoaded:
+    def test_picks_minimum_depth(self):
+        assert LeastLoaded().choose([3, 1, 2], limit=4) == 1
+
+    def test_ties_break_to_lowest_index(self):
+        assert LeastLoaded().choose([2, 1, 1], limit=4) == 1
+
+    def test_declines_when_minimum_at_limit(self):
+        assert LeastLoaded().choose([4, 4, 4], limit=4) == -1
+
+
+class TestRegistry:
+    def test_builtin_policies_registered(self):
+        assert "round-robin" in list_policies()
+        assert "least-loaded" in list_policies()
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(get_policy("Round-Robin"), RoundRobin)
+        assert isinstance(get_policy("LEAST-LOADED"), LeastLoaded)
+
+    def test_each_lookup_is_a_fresh_instance(self):
+        # Policies may be stateful (round-robin cursor) — pools must not
+        # share instances through the registry.
+        assert get_policy("round-robin") is not get_policy("round-robin")
+
+    def test_unknown_name_suggests_closest(self):
+        with pytest.raises(UnknownPolicyError, match="round-robin"):
+            get_policy("round-robbin")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ServeError):
+            register_policy("round-robin", RoundRobin)
+
+    def test_custom_policy_registers_and_resolves(self):
+        class Sticky(PlacementPolicy):
+            name = "sticky-zero-test"
+
+            def choose(self, depths, limit):
+                return 0 if depths[0] < limit else -1
+
+        register_policy(Sticky.name, Sticky)
+        try:
+            assert isinstance(get_policy("sticky-zero-test"), Sticky)
+            assert get_policy("sticky-zero-test").choose([0, 0], 4) == 0
+        finally:
+            _POLICIES.pop("sticky-zero-test", None)

@@ -1,0 +1,67 @@
+"""CLI surface of the serving runtime: ``macross serve``, ``macross
+loadgen``, and the enriched ``macross list``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListCommand:
+    def test_list_shows_actor_and_tape_counts(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) >= 10
+        for line in lines:
+            assert "actors=" in line and "tapes=" in line
+        dct = next(line for line in lines if line.startswith("DCT"))
+        assert "actors=  4" in dct and "tapes=  3" in dct
+
+
+@pytest.mark.serve
+class TestServeCommand:
+    def test_serve_reports_parity_and_blame_table(self, capsys):
+        assert main(["serve", "DCT", "--workers", "1", "--sessions", "2",
+                     "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 session(s) over 1 worker(s)" in out
+        assert "latency p50" in out
+        assert "kcache hit" in out  # the per-worker blame table
+        assert "parity: all 2 served session(s) match" in out
+
+    def test_serve_unknown_benchmark_fails_cleanly(self, capsys):
+        assert main(["serve", "NotABench", "--workers", "1"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_serve_unknown_policy_fails_cleanly(self, capsys):
+        assert main(["serve", "DCT", "--policy", "round-robbin"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown placement policy" in err
+        assert "round-robin" in err  # did-you-mean
+
+
+@pytest.mark.serve
+class TestLoadgenCommand:
+    def test_closed_loop_writes_json_report(self, capsys, tmp_path):
+        report_path = tmp_path / "bench.json"
+        assert main(["loadgen", "--apps", "DCT", "--workers", "1",
+                     "--mode", "closed", "--concurrency", "1",
+                     "--requests", "3", "--iterations", "1",
+                     "--json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "closed loadgen: 3/3 ok" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["mode"] == "closed"
+        assert payload["completed"] == 3
+        assert payload["p50_ms"] > 0
+        assert payload["p99_ms"] >= payload["p50_ms"]
+        assert payload["throughput_rps"] > 0
+        assert payload["apps"] == ["DCT"]
+
+    def test_loadgen_rejects_unknown_app(self, capsys):
+        assert main(["loadgen", "--apps", "NotABench"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
