@@ -1,0 +1,165 @@
+"""Roofline bandwidth micro-suite for the vector data-plane backend.
+
+Runs the STREAM idiom family (copy/scale/add/triad over ``BLOCK``-wide
+tapes) and every paper application through all three execution backends,
+reporting achieved MB/s per backend and the vector-over-compiled wall
+speedup into ``BENCH_roofline.json`` at the repo root.
+
+STREAM traffic is accounted the classic way — (reads + writes) x 8 bytes
+per element through the measured kernel: 2 words/element for copy and
+scale, 3 for add and triad.  Paper-app MB/s is terminal-output
+throughput, a lower bound on tape traffic.  Every measured configuration
+is parity-checked against the interpreter at the *same* iteration count
+(the reference run doubles as the interp timing), and any actor that
+falls off the vector fast path is flagged with its recorded reason.
+
+Acceptance gates (ISSUE 7): vector >= 5x compiled on at least one STREAM
+kernel, and >= 1.5x geomean across the paper apps.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.apps.registry import BENCHMARKS, get_benchmark
+from repro.apps.stream import BLOCK, STREAM_APPS
+from repro.experiments.harness import geometric_mean
+from repro.graph.flatten import flatten
+from repro.runtime import execute
+from repro.runtime.backends import resolve_backend
+from repro.schedule.steady_state import build_schedule
+
+from .conftest import record
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_roofline.json"
+
+#: Steady iterations per timed run.  STREAM kernels get a deep run so the
+#: iteration-coalesced batch amortizes per-batch validation; the heavier
+#: paper apps get the same workload the backend-speedup bench uses.
+STREAM_ITERATIONS = 1024
+APP_ITERATIONS = 64
+
+#: Timing repetitions for the fast backends; the minimum is reported.
+#: The interpreter reference is timed once — it also serves as the
+#: parity oracle, so it must run at the full iteration count anyway.
+TIMING_ROUNDS = 3
+
+#: STREAM words moved per element through the measured kernel.
+STREAM_WORDS = {"StreamCopy": 2, "StreamScale": 2,
+                "StreamAdd": 3, "StreamTriad": 3}
+
+
+def _time(fn, rounds: int = TIMING_ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _vector_summary(result, graph):
+    statuses = result.vectorized or {}
+    hits = sum(1 for v in statuses.values() if v.startswith("vector"))
+    fallbacks = sorted(
+        f"{graph.actors[actor_id].name}: {status.split(': ', 1)[-1]}"
+        for actor_id, status in statuses.items()
+        if not status.startswith("vector"))
+    return f"{hits}/{len(statuses)}", fallbacks
+
+
+def _measure_app(name: str, iterations: int, compiled, vector) -> dict:
+    graph = flatten(get_benchmark(name))
+    schedule = build_schedule(graph)
+    # Warm kernel caches and batch-kernel builds out of the timings.
+    execute(graph, schedule, iterations=1, backend=compiled)
+    warm = execute(graph, schedule, iterations=1, backend=vector)
+
+    start = time.perf_counter()
+    ref = execute(graph, schedule, iterations=iterations)
+    interp_s = time.perf_counter() - start
+    compiled_s = _time(lambda: execute(graph, schedule,
+                                       iterations=iterations,
+                                       backend=compiled))
+    vector_s = _time(lambda: execute(graph, schedule,
+                                     iterations=iterations,
+                                     backend=vector))
+
+    # Parity at the measured configuration: interpreter-exact or bust.
+    got = execute(graph, schedule, iterations=iterations, backend=vector)
+    assert got.outputs == ref.outputs, f"{name}: steady outputs diverge"
+    assert got.init_outputs == ref.init_outputs, \
+        f"{name}: init outputs diverge"
+
+    words = STREAM_WORDS.get(name)
+    if words is not None:
+        traffic = words * BLOCK * iterations * 8
+    else:
+        traffic = len(ref.outputs) * 8
+    vectorized, fallbacks = _vector_summary(warm, graph)
+    return {
+        "interp_s": round(interp_s, 6),
+        "compiled_s": round(compiled_s, 6),
+        "vector_s": round(vector_s, 6),
+        "interp_mbps": round(traffic / interp_s / 1e6, 3),
+        "compiled_mbps": round(traffic / compiled_s / 1e6, 3),
+        "vector_mbps": round(traffic / vector_s / 1e6, 3),
+        "vector_vs_compiled": round(compiled_s / vector_s, 3),
+        "vectorized": vectorized,
+        "fallbacks": fallbacks,
+    }
+
+
+def _measure() -> dict:
+    compiled = resolve_backend("compiled")
+    vector = resolve_backend("vector")
+    stream = {name: _measure_app(name, STREAM_ITERATIONS, compiled, vector)
+              for name in STREAM_APPS}
+    apps = {name: _measure_app(name, APP_ITERATIONS, compiled, vector)
+            for name in sorted(BENCHMARKS) if name not in STREAM_APPS}
+    speedups = [entry["vector_vs_compiled"] for entry in apps.values()]
+    return {
+        "block": BLOCK,
+        "iterations": {"stream": STREAM_ITERATIONS, "apps": APP_ITERATIONS},
+        "timing_rounds": TIMING_ROUNDS,
+        "stream": stream,
+        "apps": apps,
+        "max_stream_vector_vs_compiled": max(
+            entry["vector_vs_compiled"] for entry in stream.values()),
+        "geomean_app_vector_vs_compiled": round(
+            geometric_mean(speedups), 3),
+        "parity": "every measured configuration interp-exact",
+    }
+
+
+def _render(data: dict) -> str:
+    lines = [f"{'kernel':18s} {'interp':>10s} {'compiled':>10s} "
+             f"{'vector':>10s} {'vec/comp':>9s}  vectorized"]
+    for section in ("stream", "apps"):
+        for name, e in data[section].items():
+            flag = " !" + "; ".join(e["fallbacks"]) if e["fallbacks"] else ""
+            lines.append(
+                f"{name:18s} {e['interp_mbps']:8.2f}MB/s "
+                f"{e['compiled_mbps']:8.2f}MB/s {e['vector_mbps']:8.2f}MB/s "
+                f"{e['vector_vs_compiled']:8.2f}x  {e['vectorized']}{flag}")
+    lines.append(
+        f"max STREAM vector/compiled: "
+        f"{data['max_stream_vector_vs_compiled']:.2f}x; "
+        f"paper-app geomean: {data['geomean_app_vector_vs_compiled']:.2f}x")
+    return "\n".join(lines)
+
+
+def test_roofline(benchmark):
+    data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record("roofline", _render(data))
+    assert data["max_stream_vector_vs_compiled"] >= 5.0, \
+        "vector backend lost its bandwidth edge on every STREAM kernel"
+    assert data["geomean_app_vector_vs_compiled"] >= 1.5, \
+        "vector backend no longer clears 1.5x geomean on the paper apps"

@@ -47,6 +47,7 @@ def _populate() -> None:
         mp3decoder,
         radar,
         running_example,
+        stream,
         vocoder,
     )
     BENCHMARKS.setdefault("RunningExample", running_example.build)

@@ -23,12 +23,16 @@ listing).  ``--sagu`` remains a shorthand for the SAGU-equipped Core i7
 ablation pipelines (``scalar``, ``single-only``, ``no-tape``, ``full``,
 …).
 
-``run``, ``profile``, and ``trace`` accept ``--backend {interp,compiled}``
-to select the execution engine: ``interp`` is the reference tree-walking
-IR interpreter, ``compiled`` compiles each actor body once to cached
-Python closures (identical outputs and performance counters, several
-times faster wall-clock); with the compiled backend the kernel-cache
-statistics of the run are reported.
+``run``, ``profile``, and ``trace`` accept ``--backend
+{interp,compiled,vector}`` to select the execution engine: ``interp`` is
+the reference tree-walking IR interpreter, ``compiled`` compiles each
+actor body once to cached Python closures (identical outputs and
+performance counters, several times faster wall-clock), and ``vector``
+additionally batches firings into numpy whole-array kernels where
+provably safe (requires the optional numpy extra).  With the compiled
+and vector backends the kernel-cache statistics of the run are reported;
+with ``vector``, ``run`` also prints the per-actor vectorized-vs-fallback
+summary.
 
 ``run --cores N`` executes both variants on the thread-based parallel
 runtime (N worker threads over an LPT partition, cut tapes replaced by
@@ -105,7 +109,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_run.add_argument("benchmark")
     p_run.add_argument("--iterations", type=int, default=4)
     p_run.add_argument("--sagu", action="store_true")
-    p_run.add_argument("--backend", choices=("interp", "compiled"),
+    p_run.add_argument("--backend", choices=("interp", "compiled", "vector"),
                        default="interp",
                        help="execution engine (default: interp)")
     p_run.add_argument("--cores", type=int, default=1, metavar="N",
@@ -128,7 +132,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       help="worker-core count to measure (repeatable; "
                            "default: 1 2 4)")
     p_mc.add_argument("--iterations", type=int, default=2)
-    p_mc.add_argument("--backend", choices=("interp", "compiled"),
+    p_mc.add_argument("--backend", choices=("interp", "compiled", "vector"),
                       default="interp",
                       help="execution engine (default: interp)")
     p_mc.add_argument("--partitioner", choices=("lpt", "contiguous"),
@@ -142,7 +146,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             help="per-actor cycle breakdown, scalar vs SIMD")
     p_prof.add_argument("benchmark")
     p_prof.add_argument("--sagu", action="store_true")
-    p_prof.add_argument("--backend", choices=("interp", "compiled"),
+    p_prof.add_argument("--backend", choices=("interp", "compiled", "vector"),
                         default="interp",
                         help="execution engine (default: interp)")
     add_machine_flag(p_prof)
@@ -152,7 +156,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_trace.add_argument("benchmark")
     p_trace.add_argument("--iterations", type=int, default=4)
     p_trace.add_argument("--sagu", action="store_true")
-    p_trace.add_argument("--backend", choices=("interp", "compiled"),
+    p_trace.add_argument("--backend", choices=("interp", "compiled", "vector"),
                          default="compiled",
                          help="execution engine (default: compiled, which "
                               "also reports kernel-cache statistics)")
@@ -188,6 +192,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="restrict the machine axis to this registered "
                              "target (repeatable; default: every "
                              "registered target)")
+    p_fuzz.add_argument("--backend", action="append", default=None,
+                        choices=("compiled", "vector"), dest="backend",
+                        help="restrict the differential backend axis "
+                             "(repeatable; default: compiled plus vector "
+                             "when numpy is installed)")
     add_trace_flag(p_fuzz)
 
     p_serve = sub.add_parser(
@@ -200,7 +209,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_serve.add_argument("--sessions", type=int, default=8, metavar="M",
                          help="total sessions to submit (default: 8)")
     p_serve.add_argument("--iterations", type=int, default=4)
-    p_serve.add_argument("--backend", choices=("interp", "compiled"),
+    p_serve.add_argument("--backend", choices=("interp", "compiled", "vector"),
                          default="compiled")
     p_serve.add_argument("--policy", default="round-robin", metavar="NAME",
                          help="placement policy (round-robin, least-loaded;"
@@ -230,7 +239,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_lg.add_argument("--requests", type=int, default=32, metavar="R",
                       help="total requests (default: 32)")
     p_lg.add_argument("--iterations", type=int, default=4)
-    p_lg.add_argument("--backend", choices=("interp", "compiled"),
+    p_lg.add_argument("--backend", choices=("interp", "compiled", "vector"),
                       default="compiled")
     p_lg.add_argument("--policy", default="least-loaded", metavar="NAME",
                       help="placement policy (default: least-loaded)")
@@ -442,6 +451,16 @@ def _dispatch_inner(args: argparse.Namespace) -> int:
         cache_line = _cache_stats_line(simd)
         if cache_line is not None:
             print(f"  {cache_line}")
+        if simd.vectorized is not None:
+            vec = sum(1 for v in simd.vectorized.values()
+                      if v.startswith("vector"))
+            total = len(simd.vectorized)
+            print(f"  vectorized actors: {vec}/{total}")
+            for actor_id, status in sorted(simd.vectorized.items()):
+                if not status.startswith("vector"):
+                    name = compiled.graph.actors[actor_id].name
+                    print(f"    fallback {name}: "
+                          f"{status.split(': ', 1)[-1]}")
         _write_trace(tracer, args)
         return 0
 
@@ -654,9 +673,10 @@ def _run_fuzz_command(args: argparse.Namespace) -> int:
     if args.replay_only:
         return exit_code
 
+    backends = tuple(args.backend) if args.backend else None
     report = run_fuzz(args.seed, args.budget, corpus_dir=corpus_dir,
                       time_limit=args.time_limit, tracer=tracer,
-                      machines=machines)
+                      machines=machines, backends=backends)
     print(report.summary())
     for finding in report.findings:
         exit_code = 1

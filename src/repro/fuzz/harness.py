@@ -8,8 +8,9 @@ One generated program is checked through the cross-product of
   (:func:`repro.simd.machine.list_targets`): registering a new target
   automatically puts it under fuzz.  Names are sorted, so campaigns stay
   seed-reproducible;
-* **execution backends** — the tree-walking interpreter and the closure
-  compiler.
+* **execution backends** — the tree-walking interpreter, the closure
+  compiler, and (when numpy is installed) the vectorized array backend
+  (:func:`default_backends`).
 
 Oracles, in increasing strength:
 
@@ -70,6 +71,17 @@ def default_machines() -> Dict[str, MachineDescription]:
     registered later are fuzzed automatically.
     """
     return {name: get_target(name) for name in list_targets()}
+
+
+def default_backends() -> Tuple[str, ...]:
+    """The fuzz backend axis: every non-reference execution backend
+    available in this environment.  The vector backend joins the matrix
+    automatically when numpy is installed (each backend is differentially
+    checked against the interpreter reference)."""
+    from ..runtime.vector.np_compat import HAVE_NUMPY
+    if HAVE_NUMPY:
+        return ("compiled", "vector")
+    return ("compiled",)
 
 #: Steady iterations for the scalar reference / each transformed run.
 BASELINE_ITERATIONS = 2
@@ -189,11 +201,16 @@ def check_graph(graph: StreamGraph,
                 graph_transform: Optional[GraphTransform] = None,
                 option_sets: Optional[Dict[str, MacroSSOptions]] = None,
                 machines: Optional[Dict[str, MachineDescription]] = None,
+                backends: Optional[Tuple[str, ...]] = None,
                 stop_on_first: bool = True) -> CheckReport:
-    """Run the full oracle matrix on one scalar flat graph."""
+    """Run the full oracle matrix on one scalar flat graph.
+
+    ``backends`` are the non-reference execution backends to check
+    against the interpreter (default :func:`default_backends`)."""
     report = CheckReport()
     option_sets = option_sets if option_sets is not None else OPTION_SETS
     machines = machines if machines is not None else default_machines()
+    backends = backends if backends is not None else default_backends()
 
     def diverge(kind: str, config: str, detail: str,
                 trail: Tuple[str, ...] = ()) -> bool:
@@ -297,35 +314,39 @@ def check_graph(graph: StreamGraph,
                            f"{baseline.outputs[first]!r}", trail):
                     return report
 
-            try:
-                got = execute(tgraph, schedule, machine=machine,
-                              iterations=CHECK_ITERATIONS,
-                              backend="compiled")
-                report.executions += 1
-            except Exception as exc:
-                if diverge("crash", f"{config}/compiled",
-                           f"{type(exc).__name__}: {exc}", trail):
-                    return report
-                continue
-            backend_config = f"{config}/compiled"
-            if got.outputs != ref.outputs:
-                if diverge("backend", backend_config,
-                           "steady outputs differ from interpreter", trail):
-                    return report
-            if got.init_outputs != ref.init_outputs:
-                if diverge("backend", backend_config,
-                           "init outputs differ from interpreter", trail):
-                    return report
-            if _counter_bags(got.steady_counters) != \
-                    _counter_bags(ref.steady_counters):
-                if diverge("backend", backend_config,
-                           "per-actor steady counter bags differ", trail):
-                    return report
-            if _counter_bags(got.init_counters) != \
-                    _counter_bags(ref.init_counters):
-                if diverge("backend", backend_config,
-                           "per-actor init counter bags differ", trail):
-                    return report
+            for backend in backends:
+                backend_config = f"{config}/{backend}"
+                try:
+                    got = execute(tgraph, schedule, machine=machine,
+                                  iterations=CHECK_ITERATIONS,
+                                  backend=backend)
+                    report.executions += 1
+                except Exception as exc:
+                    if diverge("crash", backend_config,
+                               f"{type(exc).__name__}: {exc}", trail):
+                        return report
+                    continue
+                if got.outputs != ref.outputs:
+                    if diverge("backend", backend_config,
+                               "steady outputs differ from interpreter",
+                               trail):
+                        return report
+                if got.init_outputs != ref.init_outputs:
+                    if diverge("backend", backend_config,
+                               "init outputs differ from interpreter",
+                               trail):
+                        return report
+                if _counter_bags(got.steady_counters) != \
+                        _counter_bags(ref.steady_counters):
+                    if diverge("backend", backend_config,
+                               "per-actor steady counter bags differ",
+                               trail):
+                        return report
+                if _counter_bags(got.init_counters) != \
+                        _counter_bags(ref.init_counters):
+                    if diverge("backend", backend_config,
+                               "per-actor init counter bags differ", trail):
+                        return report
     return report
 
 
@@ -449,6 +470,7 @@ def check_program(desc: ProgramDesc,
                   graph_transform: Optional[GraphTransform] = None,
                   option_sets: Optional[Dict[str, MacroSSOptions]] = None,
                   machines: Optional[Dict[str, MachineDescription]] = None,
+                  backends: Optional[Tuple[str, ...]] = None,
                   stop_on_first: bool = True) -> CheckReport:
     """Materialize ``desc`` and run the oracle matrix on it."""
     try:
@@ -460,4 +482,4 @@ def check_program(desc: ProgramDesc,
         return report
     return check_graph(graph, graph_transform=graph_transform,
                        option_sets=option_sets, machines=machines,
-                       stop_on_first=stop_on_first)
+                       backends=backends, stop_on_first=stop_on_first)

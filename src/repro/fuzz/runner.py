@@ -66,9 +66,12 @@ class FuzzReport:
 def _first_divergence(desc: ProgramDesc,
                       graph_transform: Optional[GraphTransform],
                       machines: Optional[Dict[str, MachineDescription]]
-                      = None) -> Optional[Divergence]:
+                      = None,
+                      backends: Optional[Tuple[str, ...]] = None
+                      ) -> Optional[Divergence]:
     report = check_program(desc, graph_transform=graph_transform,
-                           machines=machines, stop_on_first=True)
+                           machines=machines, backends=backends,
+                           stop_on_first=True)
     return report.divergences[0] if report.divergences else None
 
 
@@ -80,7 +83,8 @@ def run_fuzz(seed: int = 0, budget: int = 100,
              max_findings: int = 5,
              shrink_evals: int = 200,
              tracer: Optional[Tracer] = None,
-             machines: Optional[Dict[str, MachineDescription]] = None
+             machines: Optional[Dict[str, MachineDescription]] = None,
+             backends: Optional[Tuple[str, ...]] = None
              ) -> FuzzReport:
     """Run one seeded fuzz campaign.
 
@@ -95,7 +99,10 @@ def run_fuzz(seed: int = 0, budget: int = 100,
 
     ``machines`` restricts the machine axis (name → description); it
     defaults to every registered target
-    (:func:`repro.fuzz.harness.default_machines`).
+    (:func:`repro.fuzz.harness.default_machines`).  ``backends``
+    restricts the backend axis; it defaults to every available
+    non-reference backend (:func:`repro.fuzz.harness.default_backends` —
+    ``compiled`` plus ``vector`` when numpy is installed).
 
     ``tracer`` (optional) records one span per checked program plus an
     instant event per finding carrying the divergence and its Algorithm-1
@@ -115,7 +122,7 @@ def run_fuzz(seed: int = 0, budget: int = 100,
             with tracer.span(f"fuzz.program[{index}]", cat="fuzz",
                              filters=desc.filter_count()) as psp:
                 check = check_program(desc, graph_transform=graph_transform,
-                                      machines=machines,
+                                      machines=machines, backends=backends,
                                       stop_on_first=True)
                 psp.add(configs=check.configs_checked,
                         executions=check.executions, ok=check.ok)
@@ -127,12 +134,12 @@ def run_fuzz(seed: int = 0, budget: int = 100,
 
             def still_fails(cand: ProgramDesc) -> bool:
                 return _first_divergence(cand, graph_transform,
-                                         machines) is not None
+                                         machines, backends) is not None
 
             with tracer.span(f"fuzz.shrink[{index}]", cat="fuzz"):
                 minimized = shrink(desc, still_fails, max_evals=shrink_evals)
                 divergence = _first_divergence(minimized, graph_transform,
-                                               machines)
+                                               machines, backends)
             if divergence is None:  # shrinker over-shrunk (flaky predicate)
                 minimized, divergence = desc, check.divergences[0]
             finding = Finding(seed=seed, index=index, original=desc,

@@ -13,19 +13,22 @@ backend provides two hooks:
     Optionally return a zero-argument firing closure for a native mover
     (splitter/joiner); ``None`` falls back to the executor's generic path.
 
-Two backends exist: ``"interp"`` (the tree-walking
-:class:`~repro.runtime.interpreter.Interpreter`; the reference semantics)
-and ``"compiled"`` (:class:`~repro.runtime.compiled.CompiledBackend`;
-IR compiled once to Python closures with cached kernels and batched
-counter charging).  Both produce bit-identical outputs and performance
-counters — the differential test suite enforces this over every registry
-application.
+Three backends exist: ``"interp"`` (the tree-walking
+:class:`~repro.runtime.interpreter.Interpreter`; the reference semantics),
+``"compiled"`` (:class:`~repro.runtime.compiled.CompiledBackend`; IR
+compiled once to Python closures with cached kernels and batched counter
+charging), and ``"vector"``
+(:class:`~repro.runtime.vector.VectorBackend`; numpy whole-array batch
+kernels over many firings at once, falling back per actor to the compiled
+path when a work body is not provably vectorizable — requires the
+optional numpy dependency, ``pip install .[vector]``).  All produce
+bit-identical outputs and performance counters — the differential test
+suite enforces this over every registry application.
 
 ``resolve_backend`` maps the string names to backend objects.  The
-``"compiled"`` string resolves to a process-wide singleton so repeated
-``execute`` calls share one kernel cache; pass a fresh
-``CompiledBackend()`` instance instead when isolated cache statistics are
-needed.
+``"compiled"`` and ``"vector"`` strings resolve to process-wide
+singletons so repeated ``execute`` calls share one kernel cache; pass a
+fresh backend instance instead when isolated cache statistics are needed.
 """
 
 from __future__ import annotations
@@ -55,13 +58,14 @@ class InterpreterBackend:
 
 
 _COMPILED_SINGLETON: Any = None
+_VECTOR_SINGLETON: Any = None
 
 
 def resolve_backend(backend: Any) -> Any:
     """Resolve ``backend`` to a backend object.
 
-    Accepts ``"interp"``, ``"compiled"``, or any object already
-    implementing the backend interface (returned unchanged).
+    Accepts ``"interp"``, ``"compiled"``, ``"vector"``, or any object
+    already implementing the backend interface (returned unchanged).
     """
     if not isinstance(backend, str):
         return backend
@@ -73,5 +77,17 @@ def resolve_backend(backend: Any) -> Any:
             from .compiled import CompiledBackend
             _COMPILED_SINGLETON = CompiledBackend()
         return _COMPILED_SINGLETON
+    if backend == "vector":
+        from .vector.np_compat import HAVE_NUMPY
+        if not HAVE_NUMPY:
+            raise StreamRuntimeError(
+                "backend 'vector' requires numpy, which is not installed "
+                "(pip install .[vector])")
+        global _VECTOR_SINGLETON
+        if _VECTOR_SINGLETON is None:
+            from .vector import VectorBackend
+            _VECTOR_SINGLETON = VectorBackend()
+        return _VECTOR_SINGLETON
     raise StreamRuntimeError(
-        f"unknown backend {backend!r} (expected 'interp' or 'compiled')")
+        f"unknown backend {backend!r} (expected 'interp', 'compiled' or "
+        f"'vector')")

@@ -76,6 +76,10 @@ class CompiledBackend:
 
     name = "compiled"
 
+    #: Actor wrapper class — subclasses (the vector backend) override this
+    #: to wrap the same compiled kernels in a batching actor.
+    _actor_class = CompiledActor
+
     def __init__(self, cache: Optional[KernelCache] = None) -> None:
         self.cache = cache if cache is not None else KernelCache()
         # Canonicalisation memo: specs are immutable value objects and
@@ -121,8 +125,8 @@ class CompiledBackend:
                                    **common)
         work_kernel = self.cache.get_or_compile(work_canon.body, work_spec)
 
-        return CompiledActor(runtime, init_kernel, init_canon.consts,
-                             work_kernel, work_canon.consts)
+        return self._actor_class(runtime, init_kernel, init_canon.consts,
+                                 work_kernel, work_canon.consts)
 
     def make_mover(self, run: Any, actor: Any):
         """Native splitter/joiner fast path (see :mod:`.movers`)."""

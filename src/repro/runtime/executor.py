@@ -62,6 +62,11 @@ class ExecutionResult:
     #: ``lookups``, ``hits``, ``misses``, ``compiled``, ``evictions``,
     #: ``size`` (kernels resident after the run).
     kernel_cache: Optional[Dict[str, int]] = None
+    #: vector backend only: per-actor vectorization decision — ``"vector"``
+    #: (batch array kernel), ``"vector:mover"`` (batched native mover), or
+    #: ``"fallback: <reason>"`` (per-firing compiled path).  ``None`` for
+    #: other backends.
+    vectorized: Optional[Dict[int, str]] = None
 
     def cycles_per_output(self, machine: MachineDescription) -> float:
         """Steady-state cycles per produced item — the throughput metric all
@@ -153,6 +158,14 @@ class _GraphRun:
         self.actors: Dict[int, Any] = {}
         #: per-actor firing closures (filters and movers alike).
         self.fire_fns: Dict[int, Callable[[], None]] = {}
+        #: batched firing closures ``fn(n)`` equivalent to ``n`` single
+        #: firings (vector backend only; populated only when this run owns
+        #: its tapes — shared/cross-core tapes must pace per firing).
+        self.batch_fns: Dict[int, Callable[[int], None]] = {}
+        #: vectorization decisions for batched *movers* (filter decisions
+        #: live on the actor objects themselves).
+        self.vector_status: Dict[int, str] = {}
+        self._owns_tapes = tapes is None
         self.counters = PerActorCounters()
         self._setup_actors()
 
@@ -174,6 +187,14 @@ class _GraphRun:
                 if mover is None:
                     mover = self._generic_mover(actor.id, spec)
                 self.fire_fns[actor.id] = mover
+                if self._owns_tapes:
+                    make_batch = getattr(self.backend, "make_batch_mover",
+                                         None)
+                    if make_batch is not None:
+                        batch = make_batch(self, actor, mover)
+                        if batch is not None:
+                            self.batch_fns[actor.id] = batch
+                            self.vector_status[actor.id] = "vector:mover"
                 continue
             in_tape = self.graph.input_tape(actor.id)
             out_tape = self.graph.output_tape(actor.id)
@@ -202,6 +223,8 @@ class _GraphRun:
             def fire_filter(_runner=runner, _body=work_body) -> None:
                 _runner.run_work(_body)
             self.fire_fns[actor.id] = fire_filter
+            if self._owns_tapes and hasattr(runner, "run_work_batch"):
+                self.batch_fns[actor.id] = runner.run_work_batch
 
     def _generic_mover(self, actor_id: int, spec: Any) -> Callable[[], None]:
         """Fallback mover firing through the generic ``_fire_*`` paths."""
@@ -301,6 +324,17 @@ class _GraphRun:
     # -- phases ----------------------------------------------------------------
     def run_phase(self, phase) -> None:
         fire_fns = self.fire_fns
+        batch_fns = self.batch_fns
+        if batch_fns:
+            for actor_id, firings in phase:
+                batch = batch_fns.get(actor_id)
+                if batch is not None and firings > 1:
+                    batch(firings)
+                else:
+                    fn = fire_fns[actor_id]
+                    for _ in range(firings):
+                        fn()
+            return
         for actor_id, firings in phase:
             fn = fire_fns[actor_id]
             for _ in range(firings):
@@ -319,6 +353,63 @@ class _GraphRun:
         for actor_id, runner in self.actors.items():
             runner.rt.counters = self.counters.for_actor(actor_id)
         return old
+
+
+def _merged_phase_admissible(run: _GraphRun, phase, iterations: int) -> bool:
+    """Whether ``iterations`` steady cycles can run as ONE phase with every
+    entry's firings multiplied — i.e. whether each actor, fired all at
+    once in schedule order, still finds its full input window on its tapes.
+
+    Simulated with the *declared* rates (the same ones the scheduler
+    balances); a ``False`` answer just keeps the per-cycle loop.  Batch
+    kernels and movers re-check availability at runtime regardless, so an
+    optimistic ``True`` on a rate-lying graph degrades to per-firing
+    execution rather than to divergence.
+    """
+    graph = run.graph
+    levels = {tid: len(tape) for tid, tape in run.tapes.items()}
+    for actor_id, firings in phase:
+        n = firings * iterations
+        spec = graph.actors[actor_id].spec
+        reads: List[Any] = []
+        writes: List[Any] = []
+        if isinstance(spec, FilterSpec):
+            in_edge = graph.input_tape(actor_id)
+            if in_edge is not None:
+                reads.append((in_edge.id, spec.pop, spec.peek))
+            out_edge = graph.output_tape(actor_id)
+            if out_edge is not None:
+                writes.append((out_edge.id, spec.push))
+        elif isinstance(spec, SplitterSpec):
+            pop = spec.pop_per_exec
+            reads.append((graph.in_tapes(actor_id)[0].id, pop, pop))
+            writes.extend((e.id, spec.push_per_exec(e.src_port))
+                          for e in graph.out_tapes(actor_id))
+        elif isinstance(spec, JoinerSpec):
+            reads.extend((e.id, spec.weights[e.dst_port],
+                          spec.weights[e.dst_port])
+                         for e in graph.in_tapes(actor_id))
+            outs = graph.out_tapes(actor_id)
+            if outs:
+                writes.append((outs[0].id, spec.push_per_exec))
+        elif isinstance(spec, (HSplitterSpec, HJoinerSpec)):
+            pop = spec.pop_per_exec
+            reads.append((graph.in_tapes(actor_id)[0].id, pop, pop))
+            outs = graph.out_tapes(actor_id)
+            if outs:
+                writes.append((outs[0].id, spec.push_per_exec))
+        else:
+            return False
+        for tid, pop, window in reads:
+            if tid not in levels:
+                return False
+            if n and levels[tid] < (n - 1) * pop + window:
+                return False
+            levels[tid] -= n * pop
+        for tid, push in writes:
+            if tid in levels:
+                levels[tid] += n * push
+    return True
 
 
 def execute(graph: StreamGraph,
@@ -399,14 +490,32 @@ def execute(graph: StreamGraph,
                                    init_counters.by_actor.values()))
         with tracer.span("runtime.steady", cat="runtime",
                          iterations=iterations) as sp:
-            for _ in range(iterations):
-                run.run_phase(schedule.steady)
+            # The vector backend merges all steady cycles into one phase
+            # when tape levels admit it, so batch kernels see the maximal
+            # firing count (outputs and counters are identical either way).
+            coalesced = (iterations > 1 and run.batch_fns
+                         and getattr(be, "coalesce_iterations", False)
+                         and _merged_phase_admissible(
+                             run, schedule.steady, iterations))
+            if coalesced:
+                run.run_phase(tuple((actor_id, firings * iterations)
+                                    for actor_id, firings in schedule.steady))
+            else:
+                for _ in range(iterations):
+                    run.run_phase(schedule.steady)
             outputs = run.drain_collector()
             if tracer.enabled:
-                sp.add(outputs=len(outputs),
+                sp.add(outputs=len(outputs), coalesced=bool(coalesced),
                        modeled_cycles=round(run.counters.cycles(machine), 1),
                        firings=sum(c["fire"] for c in
                                    run.counters.by_actor.values()))
+        vectorized: Optional[Dict[int, str]] = None
+        if be.name == "vector":
+            vectorized = dict(run.vector_status)
+            for actor_id, runner in run.actors.items():
+                status = getattr(runner, "vector_status", None)
+                if status is not None:
+                    vectorized[actor_id] = status
         result = ExecutionResult(
             graph_name=graph.name,
             iterations=iterations,
@@ -417,6 +526,7 @@ def execute(graph: StreamGraph,
             schedule=schedule,
             backend=be.name,
             kernel_cache=kernel_cache,
+            vectorized=vectorized,
         )
         if tracer.enabled:
             exec_span.add(outputs=len(outputs),
@@ -429,7 +539,10 @@ def execute(graph: StreamGraph,
             for actor_id, cycles in result.actor_cycles(machine).items():
                 name = (graph.actors[actor_id].name
                         if actor_id in graph.actors else f"actor{actor_id}")
+                extra = {}
+                if vectorized is not None and actor_id in vectorized:
+                    extra["vectorized"] = vectorized[actor_id]
                 tracer.event(f"actor.{name}", cat="actor",
                              cycles=round(cycles, 1),
-                             firings=firings.get(actor_id, 0))
+                             firings=firings.get(actor_id, 0), **extra)
     return result

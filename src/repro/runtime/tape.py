@@ -70,12 +70,29 @@ class Tape:
         if count < 0:
             raise ValueError(f"{self.name}: negative writer advance")
         self._ensure(self._wp + count - 1 if count else self._wp)
-        for index in range(self._wp, self._wp + count):
-            if self._buf[index] is _UNWRITTEN:
-                raise UninitializedRead(
-                    f"{self.name}: advancing writer over unwritten slot "
-                    f"{index - self._wp}")
+        segment = self._buf[self._wp:self._wp + count]
+        if _UNWRITTEN in segment:
+            raise UninitializedRead(
+                f"{self.name}: advancing writer over unwritten slot "
+                f"{segment.index(_UNWRITTEN)}")
         self._wp += count
+
+    def write_strided(self, offset: int, stride: int,
+                      values: List[Any]) -> None:
+        """Write ``values[j]`` at ``offset + j * stride`` past the write
+        pointer without advancing it — ``len(values)`` ``rpush`` calls in
+        one slice assignment (the vector backend's batched commit)."""
+        if offset < 0:
+            raise ValueError(f"{self.name}: negative rpush offset {offset}")
+        if stride < 1:
+            raise ValueError(f"{self.name}: write stride must be >= 1")
+        count = len(values)
+        if not count:
+            return
+        base = self._wp + offset
+        last = base + (count - 1) * stride
+        self._ensure(last)
+        self._buf[base:last + 1:stride] = values
 
     # -- reading --------------------------------------------------------------
     def pop(self) -> Any:
@@ -99,6 +116,19 @@ class Tape:
         if value is _UNWRITTEN:
             raise UninitializedRead(f"{self.name}: peek of unwritten slot")
         return value
+
+    def peek_block(self, count: int) -> List[Any]:
+        """Non-destructive read of the next ``count`` committed items as one
+        list (the vector backend's batched window fetch).  Slots below the
+        write pointer are committed by construction, so no per-slot
+        sentinel check is needed."""
+        if count < 0:
+            raise ValueError(f"{self.name}: negative peek_block count")
+        if self._head + count > self._wp:
+            raise TapeUnderflow(
+                f"{self.name}: peek_block({count}) with only {len(self)} "
+                f"items")
+        return self._buf[self._head:self._head + count]
 
     def advance_reader(self, count: int) -> None:
         if count < 0:

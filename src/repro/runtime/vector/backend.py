@@ -1,0 +1,388 @@
+"""The vector execution backend: whole-array batch execution per actor.
+
+``VectorBackend`` extends :class:`~repro.runtime.compiled.CompiledBackend`
+— every actor still gets the compiled closure kernels (they run the init
+body and serve as the per-firing fallback) — and additionally attempts to
+build a :class:`~.kernel.BatchKernel` per filter once its init body has
+run.  Actors whose work body vectorizes execute ``n`` consecutive firings
+as a handful of numpy array operations through ``run_work_batch``; actors
+that do not (stateful beyond affine induction, data-dependent control
+flow, inexact intrinsics, ...) fall back to the compiled path per firing,
+and the decision — ``"vector"`` or ``"fallback: <reason>"`` — is recorded
+per actor and surfaced through ``ExecutionResult.vectorized`` and the obs
+layer.
+
+Movers (splitters/joiners) get batched fast paths too: one
+``peek_block`` + a few strided slice writes move ``n`` firings' worth of
+elements with a single batched counter charge, in the exact element order
+of the sequential path.
+
+Every batch entry point re-validates at runtime and *returns control to
+the per-firing path* when a guard fails (multicore ``Channel`` tapes,
+insufficient input, type drift, bound overflow) — so outputs and counter
+bags stay bit-identical to the interpreter in every case the batch path
+cannot prove, rather than being best-effort.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, List, Optional
+
+from ...graph.actor import FilterSpec
+from ...graph.builtins import (
+    HJoinerSpec,
+    HSplitterSpec,
+    JoinerSpec,
+    SplitKind,
+    SplitterSpec,
+)
+from ...graph.stream_graph import TapeEdge
+from ...perf import events as ev
+from ..errors import StreamRuntimeError
+from ..compiled.backend import CompiledActor, CompiledBackend
+from ..compiled.cache import KernelCache
+from ..interpreter import ActorRuntime
+from ..tape import Tape
+from .kernel import BatchKernel, Unvectorizable, build_batch_kernel
+from .np_compat import HAVE_NUMPY
+
+__all__ = ["VectorActor", "VectorBackend"]
+
+BatchFn = Callable[[int], None]
+
+
+class VectorActor(CompiledActor):
+    """Compiled actor that additionally batches its work function.
+
+    The batch kernel is built lazily *after* ``run_init`` (vectorizability
+    depends on the post-init state: types, array shapes), exactly once per
+    actor instance.  ``vector_status`` records the decision.
+    """
+
+    __slots__ = ("vector_status", "_batch_kernel", "_spec", "_in_vector",
+                 "_backend")
+
+    def __init__(self, runtime: ActorRuntime, *args: Any) -> None:
+        super().__init__(runtime, *args)
+        self.vector_status = "fallback: not built"
+        self._batch_kernel: Optional[BatchKernel] = None
+        self._spec: Optional[FilterSpec] = None
+        self._in_vector = False
+        self._backend: Optional["VectorBackend"] = None
+
+    def configure_vector(self, spec: FilterSpec, in_vector: bool,
+                         backend: "VectorBackend") -> None:
+        self._spec = spec
+        self._in_vector = in_vector
+        self._backend = backend
+        if not spec.init_body:
+            # No init body means the executor never calls run_init: the
+            # state is already final, build now.
+            self._build()
+
+    def run_init(self, body: Any = None) -> None:
+        super().run_init(body)
+        if self._spec is not None and self._batch_kernel is None \
+                and self.vector_status == "fallback: not built":
+            self._build()
+
+    def _build(self) -> None:
+        try:
+            self._batch_kernel = build_batch_kernel(
+                self.rt, self._spec, self._in_vector)
+            self.vector_status = "vector"
+        except Unvectorizable as exc:
+            self._batch_kernel = None
+            self.vector_status = f"fallback: {exc}"
+        if self._backend is not None:
+            key = "vector" if self._batch_kernel is not None else "fallback"
+            self._backend.vector_stats[key] += 1
+
+    def run_work_batch(self, n: int) -> None:
+        """Fire ``n`` times: one array batch when possible, else ``n``
+        compiled firings (bit-identical either way)."""
+        kernel = self._batch_kernel
+        if kernel is not None and kernel.run(self.rt, n):
+            return
+        run_work = self.run_work
+        for _ in range(n):
+            run_work()
+
+
+class VectorBackend(CompiledBackend):
+    """Execution backend batching actor firings into array kernels."""
+
+    name = "vector"
+    _actor_class = VectorActor
+    #: The executor may merge all steady iterations into one giant phase
+    #: (after an admissibility check) so batch kernels see maximal ``n``.
+    coalesce_iterations = True
+
+    def __init__(self, cache: Optional[KernelCache] = None) -> None:
+        if not HAVE_NUMPY:
+            raise StreamRuntimeError(
+                "backend 'vector' requires numpy (install the [vector] "
+                "extra: pip install .[vector])")
+        super().__init__(cache)
+        #: counts of per-actor vectorization decisions ("vector" /
+        #: "fallback") across every graph set up through this backend.
+        self.vector_stats: Counter = Counter()
+
+    def make_filter_actor(self, runtime: ActorRuntime, spec: FilterSpec,
+                          in_edge: Optional[TapeEdge],
+                          out_edge: Optional[TapeEdge]) -> VectorActor:
+        actor = super().make_filter_actor(runtime, spec, in_edge, out_edge)
+        in_vector = bool(in_edge is not None and in_edge.is_vector)
+        actor.configure_vector(spec, in_vector, self)
+        return actor
+
+    # -- batched movers ---------------------------------------------------------
+    def make_batch_mover(self, run: Any, actor: Any,
+                         fire: Callable[[], None]) -> Optional[BatchFn]:
+        """Return an ``n``-firing batch closure for a native mover, or
+        ``None``.  ``fire`` is the per-firing closure used as fallback
+        when a runtime guard fails."""
+        spec = actor.spec
+        if isinstance(spec, SplitterSpec):
+            return _batch_splitter(run, actor.id, spec, fire)
+        if isinstance(spec, JoinerSpec):
+            return _batch_joiner(run, actor.id, spec, fire)
+        if isinstance(spec, HSplitterSpec):
+            return _batch_hsplitter(run, actor.id, spec, fire)
+        if isinstance(spec, HJoinerSpec):
+            return _batch_hjoiner(run, actor.id, spec, fire)
+        return None
+
+
+# ==============================================================================
+# Batched movers: peek_block + strided slice writes, sequential element order
+# ==============================================================================
+
+def _lane_event(run: Any) -> str:
+    return ev.SAGU if run.machine.has_sagu else ev.ADDR
+
+
+def _charger(run: Any, actor_id: int, static: Counter):
+    items = tuple((event, count) for event, count in static.items() if count)
+
+    def charge(n: int) -> None:
+        events = run.counters.for_actor(actor_id).events
+        for event, count in items:
+            events[event] += count * n
+    return charge
+
+
+def _plain(*tapes: Any) -> bool:
+    """Batch movers require real in-process tapes (multicore ``Channel``
+    subclasses Tape but has blocking/locking semantics the batched path
+    must not bypass)."""
+    return all(type(t) is Tape for t in tapes)
+
+
+def _bulk_push(tape: Tape, values: List[Any]) -> None:
+    tape.write_strided(0, 1, values)
+    tape.advance_writer(len(values))
+
+
+def _batch_splitter(run: Any, actor_id: int, spec: SplitterSpec,
+                    fire: Callable[[], None]) -> BatchFn:
+    graph = run.graph
+    lane = _lane_event(run)
+    in_edge = graph.in_tapes(actor_id)[0]
+    outs = graph.out_tapes(actor_id)
+    in_tape = run.tapes[in_edge.id]
+    out_tapes = [run.tapes[edge.id] for edge in outs]
+    static = Counter({ev.FIRE: 1})
+
+    if spec.kind is SplitKind.DUPLICATE:
+        static[ev.SCALAR_LOAD] += 1
+        if in_edge.lane_ordered:
+            static[lane] += 1
+        for edge in outs:
+            static[ev.SCALAR_STORE] += 1
+            if edge.lane_ordered:
+                static[lane] += 1
+        charge = _charger(run, actor_id, static)
+
+        def batch_dup(n: int) -> None:
+            if not _plain(in_tape, *out_tapes) or len(in_tape) < n:
+                for _ in range(n):
+                    fire()
+                return
+            window = in_tape.peek_block(n)
+            for tape in out_tapes:
+                _bulk_push(tape, window)
+            in_tape.advance_reader(n)
+            charge(n)
+        return batch_dup
+
+    weights = [spec.weights[edge.src_port] for edge in outs]
+    total = sum(weights)
+    offsets = []
+    acc = 0
+    for w in weights:
+        offsets.append(acc)
+        acc += w
+    for edge, w in zip(outs, weights):
+        static[ev.SCALAR_LOAD] += w
+        static[ev.SCALAR_STORE] += w
+        if in_edge.lane_ordered:
+            static[lane] += w
+        if edge.lane_ordered:
+            static[lane] += w
+    charge = _charger(run, actor_id, static)
+
+    def batch_rr(n: int) -> None:
+        if not _plain(in_tape, *out_tapes) or len(in_tape) < n * total:
+            for _ in range(n):
+                fire()
+            return
+        window = in_tape.peek_block(n * total)
+        for tape, w, off in zip(out_tapes, weights, offsets):
+            for j in range(w):
+                tape.write_strided(j, w, window[off + j::total])
+            tape.advance_writer(n * w)
+        in_tape.advance_reader(n * total)
+        charge(n)
+    return batch_rr
+
+
+def _batch_joiner(run: Any, actor_id: int, spec: JoinerSpec,
+                  fire: Callable[[], None]) -> BatchFn:
+    graph = run.graph
+    lane = _lane_event(run)
+    ins = graph.in_tapes(actor_id)
+    outs = graph.out_tapes(actor_id)
+    out_tape = run.tapes[outs[0].id] if outs else None
+    in_tapes = [run.tapes[edge.id] for edge in ins]
+    weights = [spec.weights[edge.dst_port] for edge in ins]
+    total = sum(weights)
+    offsets = []
+    acc = 0
+    for w in weights:
+        offsets.append(acc)
+        acc += w
+    static = Counter({ev.FIRE: 1})
+    for edge, w in zip(ins, weights):
+        static[ev.SCALAR_LOAD] += w
+        if edge.lane_ordered:
+            static[lane] += w
+        if outs:
+            static[ev.SCALAR_STORE] += w
+            if outs[0].lane_ordered:
+                static[lane] += w
+    charge = _charger(run, actor_id, static)
+
+    def batch(n: int) -> None:
+        tapes = in_tapes if out_tape is None else in_tapes + [out_tape]
+        if not _plain(*tapes) \
+                or any(len(t) < n * w for t, w in zip(in_tapes, weights)):
+            for _ in range(n):
+                fire()
+            return
+        windows = [t.peek_block(n * w) for t, w in zip(in_tapes, weights)]
+        if out_tape is not None:
+            for win, w, off in zip(windows, weights, offsets):
+                for j in range(w):
+                    out_tape.write_strided(off + j, total, win[j::w])
+            out_tape.advance_writer(n * total)
+        for t, w in zip(in_tapes, weights):
+            t.advance_reader(n * w)
+        charge(n)
+    return batch
+
+
+def _batch_hsplitter(run: Any, actor_id: int, spec: HSplitterSpec,
+                     fire: Callable[[], None]) -> BatchFn:
+    graph = run.graph
+    lane = _lane_event(run)
+    in_edge = graph.in_tapes(actor_id)[0]
+    out_edge = graph.out_tapes(actor_id)[0]
+    in_tape = run.tapes[in_edge.id]
+    out_tape = run.tapes[out_edge.id]
+    width = spec.width
+    weight = spec.weight
+    static = Counter({ev.FIRE: 1})
+
+    if spec.kind is SplitKind.DUPLICATE:
+        static[ev.SCALAR_LOAD] += weight
+        if in_edge.lane_ordered:
+            static[lane] += weight
+        static[ev.SPLAT] += weight
+        static[ev.VECTOR_STORE] += weight
+        charge = _charger(run, actor_id, static)
+
+        def batch_dup(n: int) -> None:
+            if not _plain(in_tape, out_tape) or len(in_tape) < n * weight:
+                for _ in range(n):
+                    fire()
+                return
+            window = in_tape.peek_block(n * weight)
+            _bulk_push(out_tape, [[v] * width for v in window])
+            in_tape.advance_reader(n * weight)
+            charge(n)
+        return batch_dup
+
+    total = width * weight
+    static[ev.SCALAR_LOAD] += total
+    if in_edge.lane_ordered:
+        static[lane] += total
+    static[ev.PACK] += total
+    static[ev.VECTOR_STORE] += weight
+    charge = _charger(run, actor_id, static)
+
+    def batch_rr(n: int) -> None:
+        if not _plain(in_tape, out_tape) or len(in_tape) < n * total:
+            for _ in range(n):
+                fire()
+            return
+        window = in_tape.peek_block(n * total)
+        vectors = []
+        for f in range(n):
+            base = f * total
+            for j in range(weight):
+                vectors.append([window[base + k * weight + j]
+                                for k in range(width)])
+        _bulk_push(out_tape, vectors)
+        in_tape.advance_reader(n * total)
+        charge(n)
+    return batch_rr
+
+
+def _batch_hjoiner(run: Any, actor_id: int, spec: HJoinerSpec,
+                   fire: Callable[[], None]) -> BatchFn:
+    graph = run.graph
+    lane = _lane_event(run)
+    in_edge = graph.in_tapes(actor_id)[0]
+    outs = graph.out_tapes(actor_id)
+    in_tape = run.tapes[in_edge.id]
+    out_tape = run.tapes[outs[0].id] if outs else None
+    width = spec.width
+    weight = spec.weight
+    static = Counter({ev.FIRE: 1, ev.VECTOR_LOAD: weight,
+                      ev.UNPACK: width * weight})
+    if outs:
+        static[ev.SCALAR_STORE] += width * weight
+        if outs[0].lane_ordered:
+            static[lane] += width * weight
+    charge = _charger(run, actor_id, static)
+
+    def batch(n: int) -> None:
+        tapes = (in_tape,) if out_tape is None else (in_tape, out_tape)
+        if not _plain(*tapes) or len(in_tape) < n * weight:
+            for _ in range(n):
+                fire()
+            return
+        window = in_tape.peek_block(n * weight)
+        if out_tape is not None:
+            values = []
+            for f in range(n):
+                base = f * weight
+                for k in range(width):
+                    for j in range(weight):
+                        values.append(window[base + j][k])
+            _bulk_push(out_tape, values)
+        in_tape.advance_reader(n * weight)
+        charge(n)
+    return batch

@@ -1,0 +1,1491 @@
+"""Whole-array batch kernels for the vector backend.
+
+:func:`build_batch_kernel` abstract-interprets one actor's *work* body —
+walking the exact same IR the tree-walking interpreter executes — and, when
+the body's shape allows, emits a :class:`BatchKernel` that executes ``n``
+consecutive firings as a handful of numpy array operations:
+
+* every tape read becomes a strided **slab** view over one
+  ``peek_block`` window (``window[pos::A_in]`` is the column of values the
+  ``k``-th firing would read at relative position ``pos``);
+* every arithmetic op becomes one elementwise array op over such columns;
+* every tape write becomes one strided slice-assignment
+  (:meth:`~repro.runtime.tape.Tape.write_strided`);
+* performance events are charged statically (``count × n``), exactly the
+  totals the interpreter would have accumulated over ``n`` firings.
+
+Parity is the contract: outputs **and** counter bags must be bit-identical
+to the interpreter.  The builder therefore refuses (raises
+:class:`Unvectorizable`, triggering per-actor fallback to the compiled
+closure path) anything whose batch semantics it cannot prove exact:
+
+* data-dependent control flow (``If`` on a tape value, non-constant peek
+  offsets, vector branch conditions);
+* state that is not an *affine induction* (``s ← s + c`` with constant
+  ``c``) or a never-written array/vector read;
+* integer arithmetic it cannot bound below ``2**53`` (float64 carries
+  integers exactly only up to that limit — a *bounds* lattice tracks the
+  max magnitude of every column and emits runtime *checks*);
+* math intrinsics whose numpy implementation is not bit-identical to the
+  ``math``-module reference on this platform (:mod:`.np_compat`), and
+  ``pow`` always;
+* bitwise/shift operators, overlapping strided writes, pushes of aliased
+  vector values.
+
+Even a successfully built kernel re-validates per batch (state types may
+have drifted, windows may mix int/float, bounds may have grown):
+``BatchKernel.run`` returns ``False`` — and has changed **nothing** — when
+any guard fails, and the caller replays the batch firing-by-firing through
+the compiled path.  Runtime surprises inside array evaluation raise
+:class:`_Abort` internally and roll back the same way (nothing is
+committed to tapes, state, or counters until every array has been
+computed).
+
+Two deliberately injectable defects, ``_MUT_READ_SHIFT`` (off-by-one tail:
+shifts every slab read) and ``_MUT_SWAP_SUB`` (wrong operand order on
+subtraction), exist for the fuzz mutation tests: the differential oracle
+must catch and shrink both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ...graph.actor import FilterSpec
+from ...ir import expr as E
+from ...ir import lvalue as L
+from ...ir import stmt as S
+from ...ir.types import Vector
+from ...perf import events as ev
+from ..interpreter import ActorRuntime
+from ..tape import Tape
+from ..values import apply_binary, apply_math, apply_unary
+from .np_compat import EXACT_INTRINSICS, NP_MATH, np
+
+__all__ = ["Unvectorizable", "BatchKernel", "build_batch_kernel"]
+
+#: float64 represents every integer of magnitude below this exactly.
+_EXACT_LIMIT = float(2 ** 53)
+
+#: Affine float state need not be integral to accumulate exactly: any
+#: multiple of 2^-16 is a scaled integer, so sequential accumulation and
+#: the closed-form ``base + k*delta`` agree exactly as long as the scaled
+#: magnitude stays below 2^53 — i.e. the value stays below 2^37.
+_DYADIC_SCALE = float(2 ** 16)
+_DYADIC_LIMIT = _EXACT_LIMIT / _DYADIC_SCALE
+
+#: Abstract-walk step budget (guards against huge unrolled loops).
+_MAX_WALK_STEPS = 20000
+
+_INF = float("inf")
+
+# -- mutation seams (fuzz mutation tests monkeypatch these) --------------------
+#: When non-zero, every slab read is shifted by this many tape positions
+#: (modulo the window) — the classic off-by-one-tail defect.
+_MUT_READ_SHIFT = 0
+#: When True, ``a - b`` computes ``b - a`` — wrong operand order.
+_MUT_SWAP_SUB = False
+
+
+class Unvectorizable(Exception):
+    """Raised at build time: this actor cannot take the vector fast path.
+
+    The message is the recorded fallback reason surfaced through
+    ``ExecutionResult.vectorized`` and the obs layer.
+    """
+
+
+class _Abort(Exception):
+    """Raised at batch time, before anything is committed: replay the batch
+    firing-by-firing through the fallback path."""
+
+
+_ARANGE_CACHE: Dict[int, Any] = {}
+
+
+def _arange(n: int) -> Any:
+    cached = _ARANGE_CACHE.get(n)
+    if cached is None:
+        if len(_ARANGE_CACHE) > 64:
+            _ARANGE_CACHE.clear()
+        cached = np.arange(n, dtype=np.float64)
+        _ARANGE_CACHE[n] = cached
+    return cached
+
+
+def _tag_of_const(v: Any) -> str:
+    if type(v) is bool:
+        return "bool"
+    if type(v) is float:
+        return "float"
+    return "int"
+
+
+class _AffineVar:
+    """Build-time record of one scalar state variable used affinely."""
+
+    __slots__ = ("name", "baked_type", "delta", "sum_folds", "folds_integral",
+                 "folds_dyadic", "materialized")
+
+    def __init__(self, name: str, baked_type: type) -> None:
+        self.name = name
+        self.baked_type = baked_type
+        self.delta: Any = 0           # net per-firing increment
+        self.sum_folds: float = 0.0   # Σ|c| over every folded constant
+        self.folds_integral = True    # every folded constant is integral
+        self.folds_dyadic = True      # … a multiple of 2^-16 (exact sums)
+        self.materialized = False     # some column was generated from it
+
+
+class BatchKernel:
+    """A compiled batch program: validate, evaluate arrays, commit."""
+
+    __slots__ = ("actor_id", "a_in", "a_out", "need", "in_vector", "width",
+                 "instrs", "rtags", "bound_fns", "checks", "records",
+                 "state_reads", "sread_types", "aff_vars", "events",
+                 "internal_used", "n_regs")
+
+    def __init__(self, **kw: Any) -> None:
+        for name in self.__slots__:
+            setattr(self, name, kw[name])
+
+    # -- batch execution -------------------------------------------------------
+    def run(self, rt: ActorRuntime, n: int) -> bool:
+        """Execute ``n`` firings as one batch.  Returns ``False`` (with no
+        observable effect) when a runtime guard fails."""
+        if n <= 0:
+            return True
+        inp = rt.input
+        out = rt.output
+        if self.a_in or self.need:
+            if type(inp) is not Tape:       # excludes multicore Channel
+                return False
+        if self.a_out or self.records:
+            if type(out) is not Tape:
+                return False
+        if inp is not None and inp is out:
+            return False
+        if self.internal_used or rt.internal:
+            for buf, items in rt.internal.items():
+                if len(items) > rt.internal_head.get(buf, 0):
+                    return False
+
+        # -- window fetch + typing ---------------------------------------------
+        need = (n - 1) * self.a_in + self.need if self.need else n * self.a_in
+        if n * self.a_in > need:
+            need = n * self.a_in
+        int_mode = False
+        m_window = 0.0
+        arr = None
+        if need:
+            if len(inp) < need:
+                return False
+            window = inp.peek_block(need)
+            if self.in_vector:
+                width = self.width
+                kinds = set()
+                for row in window:
+                    if type(row) is not list or len(row) != width:
+                        return False
+                    kinds.update(map(type, row))
+                    for x in row:
+                        a = abs(x)
+                        if a > m_window:
+                            m_window = a
+                        elif a != a:
+                            m_window = _INF
+                if kinds != {float}:
+                    return False
+            else:
+                kinds = set(map(type, window))
+                if kinds == {float}:
+                    pass
+                elif kinds == {int}:
+                    int_mode = True
+                else:
+                    return False
+                try:
+                    for x in window:
+                        a = abs(x)
+                        if int_mode:
+                            a = float(a)
+                        if a > m_window:
+                            m_window = a
+                        elif a != a:
+                            m_window = _INF
+                except OverflowError:
+                    return False
+        else:
+            window = []
+
+        # -- state prefetch + affine guards ------------------------------------
+        svals: List[Any] = []
+        sv_abs: List[float] = []
+        for (name, path), expect in zip(self.state_reads, self.sread_types):
+            val = rt.state.get(name, _Abort)
+            try:
+                for idx in path:
+                    val = val[idx]
+            except (TypeError, IndexError, KeyError):
+                return False
+            if type(val) is not expect:
+                return False
+            if expect is int:
+                if not -_EXACT_LIMIT < val < _EXACT_LIMIT:
+                    return False
+                sv_abs.append(float(abs(val)))
+            elif expect is float:
+                a = abs(val)
+                sv_abs.append(_INF if a != a else a)
+            else:
+                sv_abs.append(1.0)
+            svals.append(val)
+
+        aff_base: Dict[str, Any] = {}
+        aff_bound: Dict[str, float] = {}
+        for av in self.aff_vars:
+            sv = rt.state.get(av.name, _Abort)
+            if type(sv) is not av.baked_type:
+                return False
+            delta = av.delta
+            if av.baked_type is float:
+                limit = _EXACT_LIMIT
+                if delta != 0 or av.sum_folds > 0:
+                    if sv.is_integer() and av.folds_integral:
+                        pass
+                    elif (sv * _DYADIC_SCALE).is_integer() and \
+                            av.folds_dyadic:
+                        limit = _DYADIC_LIMIT
+                    else:
+                        return False
+                bound = abs(sv) + n * abs(delta) + av.sum_folds
+                if (delta != 0 or av.sum_folds > 0) and bound >= limit:
+                    return False
+            elif av.baked_type is int:
+                try:
+                    bound = float(abs(sv)) + n * abs(delta) + av.sum_folds
+                except OverflowError:
+                    bound = _INF
+                if (delta != 0 or av.materialized) and bound >= _EXACT_LIMIT:
+                    return False
+            else:  # bool: build guaranteed delta == 0 and d == 0 reads
+                bound = 1.0
+            aff_base[av.name] = sv
+            aff_bound[av.name] = bound
+
+        # -- bounds + exactness checks -----------------------------------------
+        bvals: List[float] = []
+        for fn in self.bound_fns:
+            bvals.append(fn(bvals, m_window, aff_bound, sv_abs))
+        for idx, mode in self.checks:
+            if mode == "int" and not int_mode:
+                continue
+            if bvals[idx] >= _EXACT_LIMIT:
+                return False
+
+        # -- array evaluation --------------------------------------------------
+        if need:
+            try:
+                arr = np.asarray(window, dtype=np.float64)
+            except (ValueError, OverflowError, TypeError):
+                return False
+            if self.in_vector and arr.ndim != 2:
+                return False
+        a_in = self.a_in
+        shift = _MUT_READ_SHIFT
+        aff_delta = {av.name: av.delta for av in self.aff_vars}
+        regs: List[Any] = []
+        try:
+            with np.errstate(all="ignore"):
+                for ins in self.instrs:
+                    op = ins[0]
+                    if op == "slab":
+                        pos = ins[1]
+                        if shift:
+                            idx = (pos + shift
+                                   + np.arange(n) * a_in) % max(len(arr), 1)
+                            col = np.take(arr, idx, axis=0).astype(np.float64)
+                        elif a_in:
+                            col = arr[pos: pos + (n - 1) * a_in + 1: a_in]
+                        else:
+                            col = np.full(n, arr[pos])
+                        regs.append(col)
+                    elif op == "vslab":
+                        pos, lane = ins[1], ins[2]
+                        if a_in:
+                            col = arr[pos: pos + (n - 1) * a_in + 1: a_in,
+                                      lane]
+                        else:
+                            col = np.full(n, arr[pos, lane])
+                        regs.append(col)
+                    elif op == "aff":
+                        _, name, d, tag = ins
+                        base = aff_base[name]
+                        delta = aff_delta[name]
+                        if delta == 0:
+                            if tag == "bool":
+                                col = np.full(n, base, dtype=bool)
+                            else:
+                                col = np.full(n, float(base + d))
+                        else:
+                            col = (_arange(n) * float(delta)
+                                   + float(base + d))
+                        regs.append(col)
+                    else:
+                        regs.append(self._exec(ins, regs, svals, int_mode))
+        except _Abort:
+            return False
+
+        # -- commit ------------------------------------------------------------
+        if self.records:
+            cols = [self._materialize(src, regs, svals, bvals, int_mode, n)
+                    for _, src in self.records]
+            if self.a_out:
+                for (offset, _), col in zip(self.records, cols):
+                    out.write_strided(offset, self.a_out, col)
+                out.advance_writer(n * self.a_out)
+            else:
+                for (offset, _), col in zip(self.records, cols):
+                    out.rpush(col[-1], offset)
+        elif self.a_out:
+            out.advance_writer(n * self.a_out)
+        if n * a_in:
+            inp.advance_reader(n * a_in)
+        for av in self.aff_vars:
+            if av.delta != 0:
+                rt.state[av.name] = aff_base[av.name] + n * av.delta
+        bag = rt.counters.events
+        for event, count in self.events.items():
+            bag[event] += count * n
+        return True
+
+    # -- instruction evaluation ------------------------------------------------
+    def _exec(self, ins: Tuple[Any, ...], regs: List[Any],
+              svals: List[Any], int_mode: bool) -> Any:
+        op = ins[0]
+        if op == "bin":
+            _, code, a, b = ins
+            x = self._op(a, regs, svals)
+            y = self._op(b, regs, svals)
+            if code == "add":
+                return x + y
+            if code == "sub":
+                return (y - x) if _MUT_SWAP_SUB else (x - y)
+            return x * y
+        if op == "div":
+            _, a, b, kind, zcheck = ins
+            x = self._op(a, regs, svals)
+            y = self._op(b, regs, svals)
+            if zcheck and np.any(y == 0):
+                raise _Abort
+            q = x / y
+            if kind == "cdiv" or (kind == "mode" and int_mode):
+                return np.trunc(q)
+            return q
+        if op == "mod":
+            _, a, b, kind, zcheck, fmod_ok = ins
+            x = self._op(a, regs, svals)
+            y = self._op(b, regs, svals)
+            if zcheck and np.any(y == 0):
+                raise _Abort
+            if kind == "cmod" or (kind == "mode" and int_mode):
+                return x - np.trunc(x / y) * y
+            if not fmod_ok:
+                raise _Abort
+            return np.fmod(x, y)
+        if op == "cmp":
+            _, code, a, b = ins
+            x = self._op(a, regs, svals)
+            y = self._op(b, regs, svals)
+            if code == "==":
+                return x == y
+            if code == "!=":
+                return x != y
+            if code == "<":
+                return x < y
+            if code == "<=":
+                return x <= y
+            if code == ">":
+                return x > y
+            return x >= y
+        if op == "logic":
+            _, is_and, a, b = ins
+            x = self._op(a, regs, svals)
+            y = self._op(b, regs, svals)
+            return np.logical_and(x, y) if is_and else np.logical_or(x, y)
+        if op == "truthy":
+            return self._op(ins[1], regs, svals) != 0
+        if op == "not":
+            return np.logical_not(self._op(ins[1], regs, svals))
+        if op == "neg":
+            return -self._op(ins[1], regs, svals)
+        if op == "b2f":
+            x = self._op(ins[1], regs, svals)
+            if isinstance(x, np.ndarray):
+                return x.astype(np.float64)
+            return float(x)
+        if op == "bnot":
+            res = -np.trunc(self._op(ins[1], regs, svals)) - 1.0
+            if not np.isfinite(res).all():
+                raise _Abort
+            return res
+        if op == "trunc":
+            res = np.trunc(self._op(ins[1], regs, svals))
+            if not np.isfinite(res).all():
+                raise _Abort
+            return res
+        if op == "id":
+            return self._op(ins[1], regs, svals)
+        if op == "abs":
+            return np.abs(self._op(ins[1], regs, svals))
+        if op == "minmax":
+            _, is_min, a, b, is_bool = ins
+            x = self._op(a, regs, svals)
+            y = self._op(b, regs, svals)
+            res = np.minimum(x, y) if is_min else np.maximum(x, y)
+            if not is_bool and not np.isfinite(res).all():
+                raise _Abort
+            return res
+        if op == "call":
+            _, func, args = ins
+            fn = NP_MATH[func]
+            res = fn(*[self._op(a, regs, svals) for a in args])
+            if not np.isfinite(res).all():
+                raise _Abort
+            return res
+        if op == "where":
+            _, c, t, f, tag = ins
+            cond = self._op(c, regs, svals)
+            x = self._op(t, regs, svals)
+            y = self._op(f, regs, svals)
+            if tag != "bool":
+                if not isinstance(x, np.ndarray):
+                    x = float(x)
+                if not isinstance(y, np.ndarray):
+                    y = float(y)
+            return np.where(cond, x, y)
+        raise _Abort  # pragma: no cover - unknown instruction
+
+    @staticmethod
+    def _op(operand: Tuple[Any, ...], regs: List[Any],
+            svals: List[Any]) -> Any:
+        kind = operand[0]
+        if kind == "r":
+            return regs[operand[1]]
+        if kind == "c":
+            return operand[1]
+        return svals[operand[1]]
+
+    # -- output materialization ------------------------------------------------
+    def _materialize(self, src: Tuple[Any, ...], regs: List[Any],
+                     svals: List[Any], bvals: List[float],
+                     int_mode: bool, n: int) -> List[Any]:
+        kind = src[0]
+        if kind == "c":
+            return [src[1]] * n
+        if kind == "s":
+            return [svals[src[1]]] * n
+        if kind == "r":
+            return self._reg_to_list(src[1], regs, bvals, int_mode, n)
+        # ('vec', lane_srcs): one list-valued column per firing.
+        lane_srcs = src[1]
+        if all(s[0] == "r" and self.rtags[s[1]] == "float"
+               and isinstance(regs[s[1]], np.ndarray)
+               and regs[s[1]].ndim == 1 for s in lane_srcs):
+            stacked = np.stack([regs[s[1]] for s in lane_srcs], axis=1)
+            return stacked.tolist()
+        lanes = [self._materialize(s, regs, svals, bvals, int_mode, n)
+                 for s in lane_srcs]
+        return [list(row) for row in zip(*lanes)]
+
+    def _reg_to_list(self, idx: int, regs: List[Any], bvals: List[float],
+                     int_mode: bool, n: int) -> List[Any]:
+        tag = self.rtags[idx]
+        col = regs[idx]
+        as_int = tag == "int" or (tag == "slab" and int_mode)
+        if not (isinstance(col, np.ndarray) and col.ndim == 1):
+            # Batch-constant register (every operand was a constant or a
+            # batch-constant state read): one value, replicated.
+            if tag == "bool":
+                v: Any = bool(col)
+            elif as_int:
+                v = int(col)
+            else:
+                v = float(col)
+            return [v] * n
+        if as_int:
+            if bvals[idx] < _EXACT_LIMIT:
+                return col.astype(np.int64).tolist()
+            return [int(v) for v in col.tolist()]
+        return col.tolist()
+
+
+# ==============================================================================
+# The abstract-interpretation walk
+# ==============================================================================
+
+# Abstract values:
+#   ('c', v)              constant (exact Python value)
+#   ('r', i)              column register i (tag in self.rtags[i])
+#   ('a', name, d, hf)    affine scalar-state read: state + d (hf: a float
+#                         constant participated in the folds)
+#   ('s', j)              batch-constant read of never-written array/vector
+#                         state (j indexes state_reads)
+# Vectors are Python lists of abstract values, mirroring the interpreter's
+# list identity/aliasing semantics exactly.
+
+_FOLD_OPS = frozenset({"+", "-"})
+_BITWISE = frozenset({"<<", ">>", "&", "|", "^"})
+_CMP_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+
+
+class _Builder:
+    def __init__(self, runtime: ActorRuntime, spec: FilterSpec,
+                 in_vector: bool) -> None:
+        self.rt = runtime
+        self.spec = spec
+        self.in_vector = in_vector
+        self.steps = 0
+        self.events: Dict[str, int] = {ev.FIRE: 1}
+        self.locals: Dict[str, Any] = {}
+        self.instrs: List[Tuple[Any, ...]] = []
+        self.rtags: List[str] = []
+        self.bound_fns: List[Callable[..., float]] = []
+        self.checks: List[Tuple[int, str]] = []
+        self.records: List[Tuple[int, Tuple[Any, ...]]] = []
+        self.state_reads: List[Tuple[str, Tuple[int, ...]]] = []
+        self.sread_types: List[type] = []
+        self.aff: Dict[str, _AffineVar] = {}
+        self.rcur = 0
+        self.wcur = 0
+        self.max_read = -1
+        self.sim_internal: Dict[int, List[Any]] = {}
+        self.internal_used = False
+        # In-flight (offset, has_float) of each affine state var *within*
+        # the firing; committed to the var's per-firing delta on
+        # assignment.
+        self._cur: Dict[str, Tuple[Any, bool]] = {}
+
+    # -- small helpers ---------------------------------------------------------
+    def fail(self, reason: str) -> None:
+        raise Unvectorizable(reason)
+
+    def step(self) -> None:
+        self.steps += 1
+        if self.steps > _MAX_WALK_STEPS:
+            self.fail("body too large to batch")
+
+    def charge(self, event: str, count: int = 1) -> None:
+        self.events[event] = self.events.get(event, 0) + count
+
+    def new_reg(self, ins: Tuple[Any, ...], tag: str,
+                bound: Callable[..., float]) -> Tuple[str, int]:
+        self.instrs.append(ins)
+        self.rtags.append(tag)
+        self.bound_fns.append(bound)
+        return ("r", len(self.rtags) - 1)
+
+    def add_check(self, operand: Tuple[Any, ...], mode: str) -> None:
+        if operand[0] == "r":
+            self.checks.append((operand[1], mode))
+
+    # Bound closures: fn(bvals, m_window, aff_bound, sv_abs) -> float
+    def bound_of(self, av: Tuple[Any, ...]) -> Callable[..., float]:
+        kind = av[0]
+        if kind == "c":
+            try:
+                b = float(abs(av[1]))
+            except OverflowError:
+                b = _INF
+            return lambda bv, mw, ab, sv: b
+        if kind == "r":
+            i = av[1]
+            return lambda bv, mw, ab, sv: bv[i]
+        j = av[1]
+        return lambda bv, mw, ab, sv: sv[j]
+
+    # -- abstract value inspection ---------------------------------------------
+    def tag_of(self, av: Any) -> str:
+        kind = av[0]
+        if kind == "c":
+            return _tag_of_const(av[1])
+        if kind == "r":
+            return self.rtags[av[1]]
+        if kind == "s":
+            t = self.sread_types[av[1]]
+            return "bool" if t is bool else ("float" if t is float else "int")
+        # affine read
+        _, name, d, hf = av
+        baked = self.aff[name].baked_type
+        if hf or baked is float:
+            return "float"
+        if baked is bool and d == 0:
+            return "bool"
+        return "int"
+
+    def operand(self, av: Any) -> Tuple[Any, ...]:
+        """Lower an abstract scalar to an instruction operand, materializing
+        affine reads into columns."""
+        kind = av[0]
+        if kind == "a":
+            _, name, d, hf = av
+            var = self.aff[name]
+            var.materialized = True
+            tag = self.tag_of(av)
+            bound = (lambda nm: lambda bv, mw, ab, sv: ab[nm])(name)
+            return self.new_reg(("aff", name, d, tag), tag, bound)
+        if kind == "c":
+            v = av[1]
+            if type(v) is int and not -_EXACT_LIMIT < v < _EXACT_LIMIT:
+                self.fail("integer constant exceeds float64 exact range")
+        return av
+
+    def is_vec(self, av: Any) -> bool:
+        return isinstance(av, list)
+
+    def b2f(self, operand: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Coerce a bool operand to its 0/1 numeric value (Python bools are
+        ints under arithmetic; numpy bools are not)."""
+        if operand[0] == "c":
+            return ("c", int(operand[1])) if type(operand[1]) is bool \
+                else operand
+        tag = self.tag_of(operand)
+        if tag != "bool":
+            return operand
+        return self.new_reg(("b2f", operand), "int",
+                            lambda bv, mw, ab, sv: 1.0)
+
+    def truthify(self, operand: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        if operand[0] == "c":
+            return ("c", bool(operand[1]))
+        if self.tag_of(operand) == "bool":
+            return operand
+        return self.new_reg(("truthy", operand), "bool",
+                            lambda bv, mw, ab, sv: 1.0)
+
+    # ==========================================================================
+    # Statements
+    # ==========================================================================
+    def walk_body(self, body: S.Body) -> None:
+        for stmt in body:
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, stmt: S.Stmt) -> None:
+        self.step()
+        if isinstance(stmt, S.Assign):
+            self.assign(stmt.lhs, self.eval(stmt.rhs))
+        elif isinstance(stmt, S.DeclVar):
+            if stmt.init is not None:
+                value = self.copy_av(self.eval(stmt.init))
+            elif isinstance(stmt.type, Vector):
+                value = [("c", 0.0) for _ in range(stmt.type.width)]
+            else:
+                value = ("c", 0.0)
+            self.locals[stmt.name] = value
+        elif isinstance(stmt, S.DeclArray):
+            self.locals[stmt.name] = self.make_array(stmt)
+        elif isinstance(stmt, S.Push):
+            self.charge_scalar_out()
+            value = self.eval(stmt.value)
+            if self.is_vec(value):
+                # The interpreter pushes the list *uncopied* (aliasing).
+                self.fail("push of a vector value (aliases the tape)")
+            self.record_write(self.wcur, value)
+            self.wcur += 1
+        elif isinstance(stmt, S.RPush):
+            self.charge_scalar_out()
+            offset = self.const_int(self.eval(stmt.offset), "rpush offset")
+            value = self.eval(stmt.value)
+            if self.is_vec(value):
+                self.fail("rpush of a vector value")
+            if offset < 0:
+                self.fail("negative rpush offset")
+            self.record_write(self.wcur + offset, value)
+        elif isinstance(stmt, S.VPush):
+            self.charge(ev.VECTOR_STORE)
+            value = self.eval(stmt.value)
+            if not self.is_vec(value):
+                self.fail("vpush of a scalar value")
+            if any(self.is_vec(x) for x in value):
+                self.fail("vpush of a nested vector value")
+            lanes = tuple(self.operand(x) for x in value)
+            self.record_write(self.wcur, ("vec", lanes), raw=True)
+            self.wcur += 1
+        elif isinstance(stmt, S.ScatterPush):
+            self.scatter_push(stmt)
+        elif isinstance(stmt, S.InternalPush):
+            value = self.eval(stmt.value)
+            self.charge(ev.VECTOR_STORE if self.is_vec(value)
+                        else ev.SCALAR_STORE)
+            self.internal_used = True
+            self.sim_internal.setdefault(stmt.buf, []).append(
+                self.copy_av(value))
+        elif isinstance(stmt, S.CostAnnotation):
+            self.charge(stmt.event, stmt.count)
+        elif isinstance(stmt, S.AdvanceReader):
+            self.charge(ev.SCALAR_ALU)
+            self.require_input()
+            self.rcur += stmt.count
+        elif isinstance(stmt, S.AdvanceWriter):
+            self.charge(ev.SCALAR_ALU)
+            self.require_output()
+            self.wcur += stmt.count
+        elif isinstance(stmt, S.ExprStmt):
+            self.eval(stmt.expr)
+        elif isinstance(stmt, S.For):
+            start = self.const_int(self.eval(stmt.start), "loop start")
+            end = self.const_int(self.eval(stmt.end), "loop end")
+            self.locals[stmt.var] = ("c", start)
+            for index in range(start, end):
+                self.charge(ev.LOOP)
+                self.locals[stmt.var] = ("c", index)
+                self.walk_body(stmt.body)
+        elif isinstance(stmt, S.If):
+            cond = self.eval(stmt.cond)
+            if self.is_vec(cond):
+                self.fail("vector value used as branch condition")
+            if cond[0] != "c":
+                self.fail("data-dependent branch")
+            if bool(cond[1]):
+                self.walk_body(stmt.then_body)
+            else:
+                self.walk_body(stmt.else_body)
+        else:
+            self.fail(f"unknown statement {type(stmt).__name__}")
+
+    def make_array(self, stmt: S.DeclArray) -> List[Any]:
+        width = stmt.elem_type.width \
+            if isinstance(stmt.elem_type, Vector) else 0
+        if stmt.init is not None:
+            if width:
+                return [[("c", v) for v in item] if isinstance(item, tuple)
+                        else [("c", item)] * width for item in stmt.init]
+            return [("c", item) for item in stmt.init]
+        if width:
+            return [[("c", 0.0) for _ in range(width)]
+                    for _ in range(stmt.size)]
+        return [("c", 0.0)] * stmt.size
+
+    def scatter_push(self, stmt: S.ScatterPush) -> None:
+        value = self.eval(stmt.value)
+        if not self.is_vec(value):
+            self.fail("scatter_push of a scalar value")
+        sw = len(value)
+        if stmt.strategy == "scalar":
+            self.charge(ev.SCALAR_STORE, sw)
+            self.charge(ev.UNPACK, sw)
+        elif stmt.strategy == "permute":
+            self.charge(ev.VECTOR_STORE_U)
+            if stmt.stride > 1:
+                self.charge(ev.PERMUTE, int(math.log2(stmt.stride)))
+        elif stmt.strategy == "sagu":
+            self.charge(ev.VECTOR_STORE)
+        else:
+            self.fail(f"unknown scatter strategy {stmt.strategy!r}")
+        for lane in range(1, sw):
+            self.record_write(self.wcur + lane * stmt.stride, value[lane])
+        self.record_write(self.wcur, value[0])
+        self.wcur += 1
+
+    def record_write(self, offset: int, value: Any, raw: bool = False) -> None:
+        self.require_output()
+        if not raw and self.is_vec(value):
+            self.fail("write of a vector value through a scalar slot")
+        src = value if raw else self.operand(value)
+        self.records.append((offset, src))
+
+    def charge_scalar_out(self) -> None:
+        self.charge(ev.SCALAR_STORE)
+        if self.rt.out_lane_ordered:
+            self.charge(ev.SAGU if self.rt.has_sagu else ev.ADDR)
+
+    def charge_scalar_in(self) -> None:
+        self.charge(ev.SCALAR_LOAD)
+        if self.rt.in_lane_ordered:
+            self.charge(ev.SAGU if self.rt.has_sagu else ev.ADDR)
+
+    def require_input(self) -> None:
+        if self.rt.input is None:
+            self.fail("actor has no input tape")
+
+    def require_output(self) -> None:
+        if self.rt.output is None:
+            self.fail("actor has no output tape")
+
+    # ==========================================================================
+    # Assignment
+    # ==========================================================================
+    def copy_av(self, value: Any) -> Any:
+        return list(value) if isinstance(value, list) else value
+
+    def assign(self, lhs: L.LValue, value: Any) -> None:
+        if isinstance(lhs, L.VarLV):
+            if lhs.name in self.locals:
+                self.locals[lhs.name] = self.copy_av(value)
+                return
+            if lhs.name in self.rt.state:
+                self.assign_state(lhs.name, value)
+                return
+            self.fail(f"assignment to undeclared variable {lhs.name!r}")
+        elif isinstance(lhs, L.ArrayLV):
+            index = self.const_int(self.eval(lhs.index), "array index")
+            if lhs.name not in self.locals:
+                self.fail("stateful: assignment to state array")
+            array = self.locals[lhs.name]
+            self.charge(ev.VECTOR_STORE if self.is_vec(value)
+                        else ev.SCALAR_STORE)
+            try:
+                array[index] = self.copy_av(value)
+            except IndexError:
+                self.fail("array store out of range")
+        elif isinstance(lhs, L.LaneLV):
+            if lhs.name not in self.locals:
+                self.fail("stateful: lane store into state")
+            vec = self.locals[lhs.name]
+            if not self.is_vec(vec):
+                self.fail(f"{lhs.name} is not a vector")
+            self.charge(ev.PACK)
+            try:
+                vec[lhs.lane] = value
+            except IndexError:
+                self.fail("lane store out of range")
+        elif isinstance(lhs, L.ArrayLaneLV):
+            index = self.const_int(self.eval(lhs.index), "array index")
+            if lhs.name not in self.locals:
+                self.fail("stateful: lane store into state array")
+            try:
+                vec = self.locals[lhs.name][index]
+            except IndexError:
+                self.fail("array store out of range")
+            if not self.is_vec(vec):
+                self.fail("lane store into a scalar element")
+            self.charge(ev.PACK)
+            try:
+                vec[lhs.lane] = value
+            except IndexError:
+                self.fail("lane store out of range")
+        else:
+            self.fail(f"unknown lvalue {type(lhs).__name__}")
+
+    def assign_state(self, name: str, value: Any) -> None:
+        if self.is_vec(value) or value[0] != "a" or value[1] != name:
+            self.fail("stateful: non-affine state update")
+        _, _, d, hf = value
+        var = self.aff[name]
+        if hf and var.baked_type is not float:
+            self.fail("stateful: state type changes under float update")
+        if var.baked_type is bool and d != 0:
+            self.fail("stateful: bool state leaves {0,1} under update")
+        var.delta = d
+        self._cur[name] = (d, hf)
+
+    # ==========================================================================
+    # Expressions
+    # ==========================================================================
+    def eval(self, e: E.Expr) -> Any:
+        self.step()
+        if isinstance(e, (E.IntConst, E.FloatConst, E.BoolConst)):
+            return ("c", e.value)
+        if isinstance(e, E.VectorConst):
+            return [("c", v) for v in e.values]
+        if isinstance(e, E.Var):
+            return self.read_var(e.name)
+        if isinstance(e, E.ArrayRead):
+            return self.array_read(e)
+        if isinstance(e, E.Lane):
+            base = self.eval(e.base)
+            if not self.is_vec(base):
+                self.fail("lane access on scalar value")
+            self.charge(ev.UNPACK)
+            if not 0 <= e.index < len(base):
+                self.fail("lane index out of range")
+            return base[e.index]
+        if isinstance(e, E.BinaryOp):
+            return self.binary(e)
+        if isinstance(e, E.UnaryOp):
+            return self.unary(e)
+        if isinstance(e, E.Call):
+            return self.call(e)
+        if isinstance(e, E.Select):
+            return self.select(e)
+        if isinstance(e, E.Pop):
+            self.charge_scalar_in()
+            return self.tape_read(self.rcur, advance=1)
+        if isinstance(e, E.Peek):
+            self.charge_scalar_in()
+            offset = self.const_int(self.eval(e.offset), "peek offset")
+            if offset < 0:
+                self.fail("negative peek offset")
+            return self.tape_read(self.rcur + offset, advance=0)
+        if isinstance(e, E.VPop):
+            self.charge(ev.VECTOR_LOAD)
+            return self.vtape_read(self.rcur, advance=1)
+        if isinstance(e, E.VPeek):
+            self.charge(ev.VECTOR_LOAD)
+            offset = self.const_int(self.eval(e.offset), "vpeek offset")
+            if offset < 0:
+                self.fail("negative vpeek offset")
+            return self.vtape_read(self.rcur + offset, advance=0)
+        if isinstance(e, E.ArrayVec):
+            return self.array_vec(e)
+        if isinstance(e, E.Broadcast):
+            value = self.eval(e.value)
+            if self.is_vec(value):
+                return value
+            self.charge(ev.SPLAT)
+            return [value] * e.width
+        if isinstance(e, E.GatherPop):
+            return self.gather(e.stride, self.rcur, e.strategy,
+                               advance=e.advance)
+        if isinstance(e, E.GatherPeek):
+            offset = self.const_int(self.eval(e.offset), "gather offset")
+            if offset < 0:
+                self.fail("negative gather offset")
+            return self.gather(e.stride, self.rcur + offset, e.strategy,
+                               advance=0)
+        if isinstance(e, E.InternalPop):
+            return self.internal_pop(e.buf)
+        if isinstance(e, E.InternalPeek):
+            offset = self.const_int(self.eval(e.offset), "internal offset")
+            buf = self.sim_internal.get(e.buf, [])
+            if offset >= len(buf):
+                self.fail(f"internal buffer {e.buf} underflow")
+            value = buf[offset]
+            self.charge(ev.VECTOR_LOAD if self.is_vec(value)
+                        else ev.SCALAR_LOAD)
+            self.internal_used = True
+            return value
+        if isinstance(e, E.Param):
+            self.fail(f"unbound parameter {e.name!r}")
+        self.fail(f"unknown expression {type(e).__name__}")
+
+    def const_int(self, av: Any, what: str) -> int:
+        if self.is_vec(av) or av[0] != "c":
+            self.fail(f"data-dependent {what}")
+        try:
+            return int(av[1])
+        except (ValueError, OverflowError, TypeError):
+            self.fail(f"malformed {what}")
+
+    # -- variable / state reads ------------------------------------------------
+    def read_var(self, name: str) -> Any:
+        if name in self.locals:
+            return self.locals[name]
+        state = self.rt.state
+        if name not in state:
+            self.fail(f"undefined variable {name!r}")
+        sv = state[name]
+        if isinstance(sv, list):
+            # Never-written vector state: lanes become batch constants.
+            return [self.state_const(name, (k,), sv[k])
+                    for k in range(len(sv))]
+        return self.affine_read(name)
+
+    def affine_read(self, name: str) -> Any:
+        var = self.aff.get(name)
+        if var is None:
+            sv = self.rt.state[name]
+            baked = type(sv)
+            if baked not in (bool, int, float):
+                self.fail(f"unsupported state type for {name!r}")
+            var = _AffineVar(name, baked)
+            self.aff[name] = var
+        d, hf = self._cur.get(name, (0, False))
+        return ("a", name, d, hf)
+
+    def state_const(self, name: str, path: Tuple[int, ...],
+                    value: Any) -> Tuple[Any, ...]:
+        if type(value) not in (bool, int, float):
+            self.fail(f"unsupported state element type in {name!r}")
+        key = (name, path)
+        for j, existing in enumerate(self.state_reads):
+            if existing == key:
+                return ("s", j)
+        self.state_reads.append(key)
+        self.sread_types.append(type(value))
+        return ("s", len(self.state_reads) - 1)
+
+    def array_read(self, e: E.ArrayRead) -> Any:
+        index = self.const_int(self.eval(e.index), "array index")
+        if e.name in self.locals:
+            array = self.locals[e.name]
+        elif e.name in self.rt.state:
+            sv = self.rt.state[e.name]
+            if not isinstance(sv, list):
+                self.fail(f"indexing non-array state {e.name!r}")
+            if not 0 <= index < len(sv):
+                self.fail("state array read out of range")
+            elem = sv[index]
+            if isinstance(elem, list):
+                self.charge(ev.VECTOR_LOAD)
+                return [self.state_const(e.name, (index, k), elem[k])
+                        for k in range(len(elem))]
+            self.charge(ev.SCALAR_LOAD)
+            return self.state_const(e.name, (index,), elem)
+        else:
+            self.fail(f"undefined array {e.name!r}")
+        try:
+            value = array[index]
+        except (IndexError, TypeError):
+            self.fail("array read out of range")
+        self.charge(ev.VECTOR_LOAD if self.is_vec(value) else ev.SCALAR_LOAD)
+        return value
+
+    def array_vec(self, e: E.ArrayVec) -> Any:
+        start = self.const_int(self.eval(e.index), "vector-load index")
+        sw = self.rt.simd_width
+        if e.name in self.locals:
+            array = self.locals[e.name]
+            if not isinstance(array, list):
+                self.fail(f"{e.name!r} is not an array")
+            if start + sw > len(array):
+                self.fail(f"vector load past end of array {e.name!r}")
+            self.charge(ev.VECTOR_LOAD_U)
+            return list(array[start:start + sw])
+        if e.name in self.rt.state:
+            sv = self.rt.state[e.name]
+            if not isinstance(sv, list) or start + sw > len(sv):
+                self.fail(f"vector load past end of array {e.name!r}")
+            self.charge(ev.VECTOR_LOAD_U)
+            return [self.state_const(e.name, (start + k,), sv[start + k])
+                    for k in range(sw)]
+        self.fail(f"undefined array {e.name!r}")
+
+    # -- tape reads --------------------------------------------------------------
+    def tape_read(self, pos: int, advance: int) -> Tuple[Any, ...]:
+        self.require_input()
+        if self.in_vector:
+            self.fail("scalar pop/peek on a vector tape")
+        if pos > self.max_read:
+            self.max_read = pos
+        self.rcur += advance
+        bound = lambda bv, mw, ab, sv: mw  # noqa: E731
+        reg = self.new_reg(("slab", pos), "slab", bound)
+        self.checks.append((reg[1], "int"))
+        return reg
+
+    def vtape_read(self, pos: int, advance: int) -> List[Any]:
+        self.require_input()
+        if not self.in_vector:
+            self.fail("vpop from a scalar tape")
+        if pos > self.max_read:
+            self.max_read = pos
+        self.rcur += advance
+        lanes = []
+        for lane in range(self.rt.simd_width):
+            bound = lambda bv, mw, ab, sv: mw  # noqa: E731
+            lanes.append(self.new_reg(("vslab", pos, lane), "float", bound))
+        return lanes
+
+    def gather(self, stride: int, offset: int, strategy: str,
+               advance: int) -> List[Any]:
+        self.require_input()
+        if self.in_vector:
+            self.fail("gather on a vector tape")
+        sw = self.rt.simd_width
+        lanes = []
+        for k in range(sw):
+            pos = offset + k * stride
+            if pos > self.max_read:
+                self.max_read = pos
+            bound = lambda bv, mw, ab, sv: mw  # noqa: E731
+            reg = self.new_reg(("slab", pos), "slab", bound)
+            self.checks.append((reg[1], "int"))
+            lanes.append(reg)
+        self.rcur += advance
+        if strategy == "scalar":
+            self.charge(ev.SCALAR_LOAD, sw)
+            self.charge(ev.PACK, sw)
+        elif strategy == "permute":
+            self.charge(ev.VECTOR_LOAD_U)
+            if stride > 1:
+                self.charge(ev.PERMUTE, int(math.log2(stride)))
+        elif strategy == "sagu":
+            self.charge(ev.VECTOR_LOAD)
+        else:
+            self.fail(f"unknown gather strategy {strategy!r}")
+        return lanes
+
+    def internal_pop(self, buf_id: int) -> Any:
+        buf = self.sim_internal.get(buf_id)
+        if not buf:
+            self.fail(f"internal buffer {buf_id} underflow")
+        value = buf.pop(0)
+        self.charge(ev.VECTOR_LOAD if self.is_vec(value) else ev.SCALAR_LOAD)
+        self.internal_used = True
+        return value
+
+    # -- operators ---------------------------------------------------------------
+    def binary(self, e: E.BinaryOp) -> Any:
+        left = self.eval(e.left)
+        right = self.eval(e.right)
+        lv, rv = self.is_vec(left), self.is_vec(right)
+        if lv or rv:
+            width = len(left) if lv else len(right)
+            lt = left if lv else [left] * width
+            rt_ = right if rv else [right] * width
+            self.charge(self.vector_op_event(e.op))
+            return [self.scalar_binary(e.op, a, b)
+                    for a, b in zip(lt, rt_)]
+        self.charge(self.scalar_op_event(e.op))
+        return self.scalar_binary(e.op, left, right)
+
+    @staticmethod
+    def scalar_op_event(op: str) -> str:
+        if op == "*":
+            return ev.SCALAR_MUL
+        if op in ("/", "%"):
+            return ev.SCALAR_DIV
+        return ev.SCALAR_ALU
+
+    @staticmethod
+    def vector_op_event(op: str) -> str:
+        if op == "*":
+            return ev.VECTOR_MUL
+        if op in ("/", "%"):
+            return ev.VECTOR_DIV
+        return ev.VECTOR_ALU
+
+    def fold_const(self, op: str, a: Any, b: Any) -> Tuple[Any, ...]:
+        try:
+            return ("c", apply_binary(op, a, b))
+        except Exception as exc:
+            self.fail(f"constant fold of {op!r} failed: {exc}")
+
+    def scalar_binary(self, op: str, left: Any, right: Any) -> Any:
+        """Uncharged scalar combine (callers charge the op event once)."""
+        if left[0] == "c" and right[0] == "c":
+            return self.fold_const(op, left[1], right[1])
+        # Affine induction folds: (state + d) ± const stays affine.
+        if op in _FOLD_OPS:
+            folded = self.try_affine_fold(op, left, right)
+            if folded is not None:
+                return folded
+        if op in _BITWISE:
+            self.fail(f"bitwise operator {op!r} on non-constant operands")
+        if op in _CMP_OPS:
+            a = self.b2f(self.operand(left))
+            b = self.b2f(self.operand(right))
+            return self.new_reg(("cmp", op, a, b), "bool",
+                                lambda bv, mw, ab, sv: 1.0)
+        if op in ("&&", "||"):
+            a = self.truthify(self.operand(left))
+            b = self.truthify(self.operand(right))
+            return self.new_reg(("logic", op == "&&", a, b), "bool",
+                                lambda bv, mw, ab, sv: 1.0)
+        if op in ("+", "-", "*"):
+            return self.arith(op, left, right)
+        if op in ("/", "%"):
+            return self.divide(op, left, right)
+        self.fail(f"unknown binary operator {op!r}")
+
+    def try_affine_fold(self, op: str, left: Any,
+                        right: Any) -> Optional[Tuple[Any, ...]]:
+        if left[0] == "a" and right[0] == "c" \
+                and type(right[1]) in (bool, int, float):
+            c = right[1]
+            _, name, d, hf = left
+            new_d = d + c if op == "+" else d - c
+        elif op == "+" and right[0] == "a" and left[0] == "c" \
+                and type(left[1]) in (bool, int, float):
+            c = left[1]
+            _, name, d, hf = right
+            new_d = c + d
+        else:
+            return None
+        var = self.aff[name]
+        fc = abs(float(c)) if type(c) is not int \
+            else (abs(c) if -_EXACT_LIMIT < c < _EXACT_LIMIT else None)
+        if fc is None:
+            return None
+        var.sum_folds += fc
+        if type(c) is float and not c.is_integer():
+            var.folds_integral = False
+            if not (c * _DYADIC_SCALE).is_integer():
+                var.folds_dyadic = False
+        hf = hf or type(c) is float
+        return ("a", name, new_d, hf)
+
+    def tag_join(self, *tags: str) -> str:
+        if "float" in tags:
+            return "float"
+        if "slab" in tags:
+            return "slab"
+        return "int"
+
+    def arith(self, op: str, left: Any, right: Any) -> Tuple[Any, ...]:
+        a = self.b2f(self.operand(left))
+        b = self.b2f(self.operand(right))
+        ta, tb = self.tag_of(a), self.tag_of(b)
+        tag = self.tag_join(ta, tb)
+        ba, bb = self.bound_of(a), self.bound_of(b)
+        if op == "*":
+            code = "mul"
+            bound = lambda bv, mw, ab, sv: ba(bv, mw, ab, sv) \
+                * bb(bv, mw, ab, sv)  # noqa: E731
+        else:
+            code = "add" if op == "+" else "sub"
+            bound = lambda bv, mw, ab, sv: ba(bv, mw, ab, sv) \
+                + bb(bv, mw, ab, sv)  # noqa: E731
+        reg = self.new_reg(("bin", code, a, b), tag, bound)
+        if tag == "int":
+            self.checks.append((reg[1], "always"))
+        elif tag == "slab":
+            self.checks.append((reg[1], "int"))
+        return reg
+
+    def divide(self, op: str, left: Any, right: Any) -> Tuple[Any, ...]:
+        a = self.b2f(self.operand(left))
+        b = self.b2f(self.operand(right))
+        ta, tb = self.tag_of(a), self.tag_of(b)
+        int_like = {"int"}
+        if ta in int_like and tb in int_like:
+            kind = "cdiv" if op == "/" else "cmod"
+            tag = "int"
+            mode = "always"
+        elif ta == "float" or tb == "float":
+            kind = "true" if op == "/" else "fmod"
+            tag = "float"
+            mode = None
+        else:
+            kind = "mode"
+            tag = "slab"
+            mode = "int"
+        # Divisor validation.
+        zcheck = True
+        if b[0] == "c":
+            zcheck = False
+            if b[1] == 0 and kind != "fmod":
+                # fmod(x, 0.0) raises too — but via apply_math; treat alike.
+                self.fail("constant division by zero")
+            if kind == "fmod" and b[1] == 0:
+                self.fail("constant fmod by zero")
+        if mode is not None:
+            # Truncating division is exact only when |dividend| and
+            # |divisor| both stay below 2**53.
+            self.add_check(a, mode)
+            self.add_check(b, mode)
+            if b[0] == "c" and type(b[1]) is int \
+                    and not -_EXACT_LIMIT < b[1] < _EXACT_LIMIT:
+                self.fail("divisor constant exceeds float64 exact range")
+        fmod_ok = "fmod" in EXACT_INTRINSICS
+        if kind == "fmod" and not fmod_ok:
+            self.fail("numpy fmod is not bit-exact on this platform")
+        ba, bb = self.bound_of(a), self.bound_of(b)
+        if op == "/":
+            bound = ba  # |trunc(a/b)| <= |a| for |b| >= 1; float -> inf ok
+            if tag == "float":
+                bound = lambda bv, mw, ab, sv: _INF  # noqa: E731
+            reg = self.new_reg(("div", a, b, kind, zcheck), tag, bound)
+        else:
+            bound = bb  # |a mod b| < |b|
+            if tag == "float":
+                bound = lambda bv, mw, ab, sv: _INF  # noqa: E731
+            reg = self.new_reg(("mod", a, b, kind, zcheck, fmod_ok),
+                               tag, bound)
+        return reg
+
+    def unary(self, e: E.UnaryOp) -> Any:
+        operand = self.eval(e.operand)
+        if self.is_vec(operand):
+            self.charge(ev.VECTOR_ALU)
+            return [self.scalar_unary(e.op, x) for x in operand]
+        self.charge(ev.SCALAR_ALU)
+        return self.scalar_unary(e.op, operand)
+
+    def scalar_unary(self, op: str, operand: Any) -> Any:
+        if operand[0] == "c":
+            try:
+                return ("c", apply_unary(op, operand[1]))
+            except Exception as exc:
+                self.fail(f"constant fold of unary {op!r} failed: {exc}")
+        if op == "!":
+            t = self.truthify(self.operand(operand))
+            return self.new_reg(("not", t), "bool",
+                                lambda bv, mw, ab, sv: 1.0)
+        if op == "-":
+            a = self.b2f(self.operand(operand))
+            tag = self.tag_of(a)
+            if tag == "bool":  # b2f produced int; unreachable, keep safe
+                tag = "int"
+            return self.new_reg(("neg", a), tag, self.bound_of(a))
+        if op == "~":
+            a = self.b2f(self.operand(operand))
+            ba = self.bound_of(a)
+            bound = lambda bv, mw, ab, sv: ba(bv, mw, ab, sv) + 1.0  # noqa: E731
+            reg = self.new_reg(("bnot", a), "int", bound)
+            self.checks.append((reg[1], "always"))
+            return reg
+        self.fail(f"unknown unary operator {op!r}")
+
+    # -- intrinsic calls ----------------------------------------------------------
+    def call(self, e: E.Call) -> Any:
+        args = [self.eval(a) for a in e.args]
+        if any(self.is_vec(a) for a in args):
+            width = next(len(a) for a in args if self.is_vec(a))
+            cols = [a if self.is_vec(a) else [a] * width for a in args]
+            self.charge(ev.vector_math(e.func))
+            return [self.scalar_call(e.func, [col[i] for col in cols])
+                    for i in range(width)]
+        self.charge(ev.scalar_math(e.func))
+        return self.scalar_call(e.func, args)
+
+    def scalar_call(self, func: str, args: List[Any]) -> Any:
+        if all(a[0] == "c" for a in args):
+            try:
+                return ("c", apply_math(func, [a[1] for a in args]))
+            except Exception as exc:
+                self.fail(f"constant fold of {func!r} failed: {exc}")
+        if func == "abs":
+            a = self.b2f(self.operand(args[0]))
+            tag = self.tag_of(a)
+            if tag == "bool":
+                tag = "int"
+            return self.new_reg(("abs", a), tag, self.bound_of(a))
+        if func in ("min", "max"):
+            return self.minmax(func == "min", args)
+        if func == "float":
+            a = self.operand(args[0])
+            tag = self.tag_of(a)
+            if tag == "bool":
+                a = self.b2f(a)
+            return self.new_reg(("id", a), "float", self.bound_of(a))
+        if func == "int":
+            a = self.b2f(self.operand(args[0]))
+            tag = self.tag_of(a)
+            if tag == "int":
+                return self.new_reg(("id", a), "int", self.bound_of(a))
+            return self.new_reg(("trunc", a), "int", self.bound_of(a))
+        if func == "pow":
+            self.fail("pow is never vectorized (domain errors differ)")
+        if func not in NP_MATH or func not in EXACT_INTRINSICS:
+            self.fail(f"numpy {func!r} is not bit-exact on this platform")
+        ops = tuple(self.b2f(self.operand(a)) for a in args)
+        bound = lambda bv, mw, ab, sv: _INF  # noqa: E731
+        return self.new_reg(("call", func, ops), "float", bound)
+
+    def minmax(self, is_min: bool, args: List[Any]) -> Any:
+        if len(args) < 2:
+            self.fail("min/max with fewer than two arguments")
+        acc = args[0]
+        for nxt in args[1:]:
+            if acc[0] == "c" and nxt[0] == "c":
+                acc = ("c", min(acc[1], nxt[1]) if is_min
+                       else max(acc[1], nxt[1]))
+                continue
+            ta, tb = self.tag_of(acc), self.tag_of(nxt)
+            if ta != tb:
+                # Python min/max preserve the *argument's* type; a mixed
+                # int/float pair can surface either type data-dependently.
+                self.fail("min/max over mixed operand types")
+            a = self.operand(acc)
+            b = self.operand(nxt)
+            ba, bb = self.bound_of(a), self.bound_of(b)
+            bound = lambda bv, mw, ab, sv: max(
+                ba(bv, mw, ab, sv), bb(bv, mw, ab, sv))  # noqa: E731
+            acc = self.new_reg(("minmax", is_min, a, b, ta == "bool"),
+                               ta, bound)
+        return acc
+
+    # -- select --------------------------------------------------------------------
+    def select(self, e: E.Select) -> Any:
+        cond = self.eval(e.cond)
+        if_true = self.eval(e.if_true)
+        if_false = self.eval(e.if_false)
+        if self.is_vec(cond):
+            self.charge(ev.VECTOR_ALU)  # blend
+            width = len(cond)
+            t = if_true if self.is_vec(if_true) else [if_true] * width
+            f = if_false if self.is_vec(if_false) else [if_false] * width
+            return [self.scalar_select(cond[i], t[i], f[i])
+                    for i in range(width)]
+        self.charge(ev.SCALAR_ALU)
+        if cond[0] == "c":
+            return self.copy_pick(cond[1], if_true, if_false)
+        if self.is_vec(if_true) or self.is_vec(if_false):
+            self.fail("data-dependent select between vector values")
+        return self.scalar_select(cond, if_true, if_false)
+
+    def copy_pick(self, cond_val: Any, if_true: Any, if_false: Any) -> Any:
+        return if_true if cond_val else if_false
+
+    def scalar_select(self, cond: Any, if_true: Any, if_false: Any) -> Any:
+        if cond[0] == "c":
+            return self.copy_pick(cond[1], if_true, if_false)
+        if self.is_vec(if_true) or self.is_vec(if_false):
+            self.fail("data-dependent select between vector values")
+        tt, tf = self.tag_of(if_true), self.tag_of(if_false)
+        tag = tt if tt == tf else None
+        if tag is None:
+            if "bool" in (tt, tf):
+                self.fail("select arms of mixed bool/number type")
+            tag = self.tag_join(tt, tf)
+        c = self.truthify(self.operand(cond))
+        a = self.operand(if_true)
+        b = self.operand(if_false)
+        ba, bb = self.bound_of(a), self.bound_of(b)
+        bound = lambda bv, mw, ab, sv: max(
+            ba(bv, mw, ab, sv), bb(bv, mw, ab, sv))  # noqa: E731
+        return self.new_reg(("where", c, a, b, tag), tag, bound)
+
+    # ==========================================================================
+    # Finalization
+    # ==========================================================================
+    def build(self) -> BatchKernel:
+        self.walk_body(self.spec.work_body)
+        for buf, items in self.sim_internal.items():
+            if items:
+                self.fail(f"internal buffer {buf} not drained by firing")
+        a_in = self.rcur
+        a_out = self.wcur
+        if a_out >= 1 and self.records:
+            residues = [offset % a_out for offset, _ in self.records]
+            if len(set(residues)) != len(residues):
+                self.fail("overlapping strided writes")
+        need = self.max_read + 1 if self.max_read >= 0 else 0
+        # Build-time bound sanity: any *checked* register must have a
+        # finite symbolic bound, else the check could never pass anyway.
+        test_sv = [1.0] * len(self.state_reads)
+        test_ab = {name: 1.0 for name in self.aff}
+        bvals: List[float] = []
+        for fn in self.bound_fns:
+            try:
+                bvals.append(float(fn(bvals, 1.0, test_ab, test_sv)))
+            except (OverflowError, ValueError):
+                bvals.append(_INF)
+        for idx, _mode in self.checks:
+            if bvals[idx] == _INF:
+                self.fail("unbounded integer arithmetic")
+        return BatchKernel(
+            actor_id=self.rt.actor_id,
+            a_in=a_in,
+            a_out=a_out,
+            need=need,
+            in_vector=self.in_vector,
+            width=self.rt.simd_width,
+            instrs=tuple(self.instrs),
+            rtags=tuple(self.rtags),
+            bound_fns=tuple(self.bound_fns),
+            checks=tuple(dict.fromkeys(self.checks)),
+            records=tuple(self.records),
+            state_reads=tuple(self.state_reads),
+            sread_types=tuple(self.sread_types),
+            aff_vars=tuple(self.aff.values()),
+            events=dict(self.events),
+            internal_used=self.internal_used,
+            n_regs=len(self.rtags),
+        )
+
+
+def build_batch_kernel(runtime: ActorRuntime, spec: FilterSpec,
+                       in_vector: bool) -> BatchKernel:
+    """Abstract-interpret ``spec.work_body`` against ``runtime`` (whose
+    state must already reflect ``run_init``) and return a batch kernel.
+
+    Raises :class:`Unvectorizable` with a human-readable reason when the
+    actor must take the per-firing fallback path instead.
+    """
+    if np is None:
+        raise Unvectorizable("numpy is not installed")
+    return _Builder(runtime, spec, in_vector).build()

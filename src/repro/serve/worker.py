@@ -67,6 +67,9 @@ class WorkerEnv:
     ``backend="compiled"`` builds a private
     :class:`~repro.runtime.compiled.CompiledBackend` whose kernel cache
     (optionally bounded by ``max_kernels``) lives as long as the worker;
+    ``backend="vector"`` builds a private
+    :class:`~repro.runtime.vector.VectorBackend` the same way (numpy
+    batch kernels with per-actor fallback, same bounded kernel cache);
     ``backend="interp"`` serves through the reference interpreter (no
     kernel cache, still graph-cached).  ``max_graphs`` bounds the graph
     cache the same FIFO way the kernel cache is bounded.
@@ -82,6 +85,10 @@ class WorkerEnv:
             from ..runtime.compiled import CompiledBackend
             from ..runtime.compiled.cache import KernelCache
             self.backend: Any = CompiledBackend(KernelCache(max_kernels))
+        elif backend == "vector":
+            from ..runtime.compiled.cache import KernelCache
+            from ..runtime.vector import VectorBackend
+            self.backend = VectorBackend(KernelCache(max_kernels))
         else:
             from ..runtime.backends import resolve_backend
             self.backend = resolve_backend(backend)

@@ -1,0 +1,101 @@
+"""Mutation testing of the vector-backend oracle axis.
+
+The fuzz matrix gained a third backend (``…/vector``); these tests prove
+that axis is not vacuous.  :mod:`repro.runtime.vector.kernel` carries two
+deliberately injectable defects — ``_MUT_READ_SHIFT`` (off-by-one on
+every batched slab read) and ``_MUT_SWAP_SUB`` (swapped subtraction
+operands) — representing the two classic ways a batch kernel miscompiles:
+wrong *addressing* and wrong *arithmetic*.  With either seam armed, the
+interp-vs-vector oracle must diverge; with both disarmed, the identical
+campaign must be clean.
+
+Batch kernels only execute for actors firing more than once per checked
+iteration, so the direct oracle tests use a rate-mismatched pipeline
+(source pushes 8, worker pops 2 → 4 firings) rather than a 1:1 graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+import repro.runtime.vector.kernel as vector_kernel
+from repro.apps.sources import checksum_sink, ramp_source
+from repro.fuzz import check_program, run_fuzz
+from repro.fuzz.harness import check_graph, default_backends
+from repro.graph.actor import FilterSpec
+from repro.graph.flatten import flatten
+from repro.graph.structure import Program, pipeline
+from repro.ir import WorkBuilder
+
+MUTATION_BUDGET = 8
+
+
+def _multi_firing_graph(op: str):
+    """source(8) -> worker(pop 2, push 2; fires 4x) -> sink(8)."""
+    b = WorkBuilder()
+    x = b.let("x", b.pop())
+    y = b.let("y", b.pop())
+    b.push((x - y) if op == "sub" else (x + y))
+    b.push(x * 2.0)
+    worker = FilterSpec("worker", pop=2, push=2, work_body=b.build())
+    return flatten(Program("mut", pipeline(
+        ramp_source("src", push=8, step=0.5), worker,
+        checksum_sink("sink", pop=8))))
+
+
+def test_default_backends_includes_vector():
+    assert default_backends() == ("compiled", "vector")
+
+
+def test_three_backend_axis_is_clean_when_unmutated():
+    report = check_graph(_multi_firing_graph("sub"),
+                         backends=("compiled", "vector"))
+    assert report.ok, "\n".join(str(d) for d in report.divergences)
+    assert report.configs_checked == 17  # scalar/core-i7 + 4x4 others
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seam,value,op", [
+    ("_MUT_READ_SHIFT", 1, "add"),
+    ("_MUT_SWAP_SUB", True, "sub"),
+])
+def test_injected_kernel_defect_is_caught(monkeypatch, seam, value, op):
+    graph = _multi_firing_graph(op)
+    # Control arm first: the graph is clean before the seam is armed.
+    assert check_graph(graph, backends=("vector",)).ok
+    monkeypatch.setattr(vector_kernel, seam, value)
+    report = check_graph(graph, backends=("vector",))
+    assert not report.ok, f"oracle missed armed {seam}"
+    div = report.divergences[0]
+    assert div.kind == "backend"
+    assert div.config.endswith("/vector")
+
+
+@pytest.mark.fuzz
+def test_fuzz_campaign_catches_read_shift_and_shrinks(monkeypatch, tmp_path):
+    monkeypatch.setattr(vector_kernel, "_MUT_READ_SHIFT", 1)
+    report = run_fuzz(0, MUTATION_BUDGET, corpus_dir=tmp_path,
+                      max_findings=1, backends=("vector",))
+    assert report.findings, "campaign missed the armed read-shift defect"
+    finding = report.findings[0]
+    assert finding.divergence.kind == "backend"
+    assert finding.divergence.config.endswith("/vector")
+    assert finding.minimized.filter_count() <= 3, finding.minimized
+    # The minimized repro still provokes the divergence while armed…
+    assert not check_program(finding.minimized, backends=("vector",)).ok
+    # …and replays clean once the seam is disarmed.
+    monkeypatch.setattr(vector_kernel, "_MUT_READ_SHIFT", 0)
+    assert check_program(finding.minimized, backends=("vector",)).ok
+    assert finding.repro_path is not None and finding.repro_path.is_file()
+
+
+@pytest.mark.fuzz
+def test_clean_campaign_over_vector_axis():
+    """Control arm: same seed and budget, seams disarmed, vector-only
+    axis — zero findings, so the detections above are signal."""
+    assert vector_kernel._MUT_READ_SHIFT == 0
+    assert not vector_kernel._MUT_SWAP_SUB
+    report = run_fuzz(0, MUTATION_BUDGET, backends=("vector",))
+    assert report.ok, "\n".join(str(f.divergence) for f in report.findings)

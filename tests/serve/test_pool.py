@@ -79,6 +79,25 @@ class TestServing:
         ticket.result(timeout=WAIT_S)  # then let it finish
 
 
+class TestVectorPool:
+    def test_vector_pool_serves_interpreter_exact_sessions(self):
+        """Serve-parity oracle through real spawn workers on the vector
+        backend: the served outputs must match the in-process
+        interpreter reference bit for bit."""
+        pytest.importorskip("numpy")
+        spec = SessionSpec(benchmark="FMRadio", backend="vector",
+                           pipeline="full", iterations=2)
+        with ServePool(1, backend="vector", max_queue_depth=4) as pool:
+            result = pool.run(spec, timeout=WAIT_S)
+        assert result.ok, result.error
+        assert result.backend == "vector"
+        ref = direct_reference(SessionSpec(
+            benchmark="FMRadio", backend="interp", pipeline="full",
+            iterations=2))
+        assert result.outputs == list(ref.outputs)
+        assert result.init_outputs == list(ref.init_outputs)
+
+
 class TestAdmissionControl:
     def test_overload_is_returned_not_queued(self):
         with ServePool(1, max_queue_depth=1) as pool:

@@ -58,6 +58,57 @@ class TestParity:
         assert result.graph_name
 
 
+class TestVectorServing:
+    """The vector backend serves through the same worker path: private
+    per-worker backend, wire-preserved spec, parity with both direct
+    vector execution and the interpreter reference."""
+
+    def setup_method(self):
+        pytest.importorskip("numpy")
+
+    def test_vector_env_owns_a_private_vector_backend(self):
+        from repro.runtime.vector import VectorBackend
+        env_a, env_b = WorkerEnv("vector"), WorkerEnv("vector")
+        assert isinstance(env_a.backend, VectorBackend)
+        # Private per worker, not the resolve_backend singleton.
+        assert env_a.backend is not env_b.backend
+        from repro.runtime.backends import resolve_backend
+        assert env_a.backend is not resolve_backend("vector")
+
+    def test_backend_survives_the_wire(self):
+        spec = SessionSpec(benchmark="FMRadio", backend="vector",
+                           iterations=2)
+        assert SessionSpec.from_wire(spec.to_wire()) == spec
+
+    @pytest.mark.parametrize("app", ["FMRadio", "StreamTriad"])
+    def test_vector_session_matches_direct_and_interp(self, app):
+        spec = SessionSpec(benchmark=app, backend="vector",
+                           pipeline="full", iterations=2)
+        env = WorkerEnv("vector")
+        result = env.run_session(spec)
+        assert result.ok, result.error
+        assert result.backend == "vector"
+        ref = direct_reference(spec)
+        assert result.outputs == list(ref.outputs)
+        assert result.init_outputs == list(ref.init_outputs)
+        assert result.steady_bags == counter_bags(ref.steady_counters)
+        assert result.init_bags == counter_bags(ref.init_counters)
+        # Served vector output is also interpreter-exact.
+        interp = direct_reference(SessionSpec(
+            benchmark=app, backend="interp", pipeline="full",
+            iterations=2))
+        assert result.outputs == list(interp.outputs)
+
+    def test_vector_env_reuses_kernel_and_graph_caches(self):
+        env = WorkerEnv("vector")
+        spec = SessionSpec(benchmark="FFT", backend="vector", iterations=2)
+        first = env.run_session(spec)
+        second = env.run_session(spec)
+        assert first.ok and second.ok
+        assert not first.graph_cache_hit and second.graph_cache_hit
+        assert dict(second.kernel_cache)["compiled"] == 0
+
+
 class TestServicePacing:
     def test_paced_session_pays_modeled_cycles_in_wall_clock(self):
         env = WorkerEnv("compiled")
