@@ -13,8 +13,14 @@ is parity-checked against the interpreter at the *same* iteration count
 (the reference run doubles as the interp timing), and any actor that
 falls off the vector fast path is flagged with its recorded reason.
 
-Acceptance gates (ISSUE 7): vector >= 5x compiled on at least one STREAM
-kernel, and >= 1.5x geomean across the paper apps.
+STREAM kernels additionally run against a *list-tape-forced* vector
+backend (same batch kernels, plain list tapes) so the report carries a
+conversion-overhead column: ``nd_vs_list`` is how much the ndarray-native
+tapes buy over round-tripping every batch through ``asarray``/``tolist``.
+
+Acceptance gates (ISSUE 7 + ISSUE 8): vector >= 5x compiled on at least
+one STREAM kernel, >= 1.5x geomean across the paper apps, and nd tapes
+>= 1.5x list tapes on at least one STREAM kernel.
 """
 
 from __future__ import annotations
@@ -33,6 +39,8 @@ from repro.experiments.harness import geometric_mean
 from repro.graph.flatten import flatten
 from repro.runtime import execute
 from repro.runtime.backends import resolve_backend
+from repro.runtime.tape import Tape
+from repro.runtime.vector.backend import VectorBackend
 from repro.schedule.steady_state import build_schedule
 
 from .conftest import record
@@ -74,7 +82,16 @@ def _vector_summary(result, graph):
     return f"{hits}/{len(statuses)}", fallbacks
 
 
-def _measure_app(name: str, iterations: int, compiled, vector) -> dict:
+def _list_tape_vector_backend() -> VectorBackend:
+    """A fresh vector backend forced onto plain list tapes — the PR 7
+    data plane, kept measurable as the conversion-overhead baseline."""
+    backend = VectorBackend()
+    backend.tape_class = Tape
+    return backend
+
+
+def _measure_app(name: str, iterations: int, compiled, vector,
+                 list_vector=None) -> dict:
     graph = flatten(get_benchmark(name))
     schedule = build_schedule(graph)
     # Warm kernel caches and batch-kernel builds out of the timings.
@@ -103,7 +120,7 @@ def _measure_app(name: str, iterations: int, compiled, vector) -> dict:
     else:
         traffic = len(ref.outputs) * 8
     vectorized, fallbacks = _vector_summary(warm, graph)
-    return {
+    entry = {
         "interp_s": round(interp_s, 6),
         "compiled_s": round(compiled_s, 6),
         "vector_s": round(vector_s, 6),
@@ -114,12 +131,27 @@ def _measure_app(name: str, iterations: int, compiled, vector) -> dict:
         "vectorized": vectorized,
         "fallbacks": fallbacks,
     }
+    if list_vector is not None:
+        execute(graph, schedule, iterations=1, backend=list_vector)
+        listvec_s = _time(lambda: execute(graph, schedule,
+                                          iterations=iterations,
+                                          backend=list_vector))
+        listed = execute(graph, schedule, iterations=iterations,
+                         backend=list_vector)
+        assert listed.outputs == ref.outputs, \
+            f"{name}: list-tape vector outputs diverge"
+        entry["listvec_s"] = round(listvec_s, 6)
+        entry["listvec_mbps"] = round(traffic / listvec_s / 1e6, 3)
+        entry["nd_vs_list"] = round(listvec_s / vector_s, 3)
+    return entry
 
 
 def _measure() -> dict:
     compiled = resolve_backend("compiled")
     vector = resolve_backend("vector")
-    stream = {name: _measure_app(name, STREAM_ITERATIONS, compiled, vector)
+    list_vector = _list_tape_vector_backend()
+    stream = {name: _measure_app(name, STREAM_ITERATIONS, compiled, vector,
+                                 list_vector)
               for name in STREAM_APPS}
     apps = {name: _measure_app(name, APP_ITERATIONS, compiled, vector)
             for name in sorted(BENCHMARKS) if name not in STREAM_APPS}
@@ -132,6 +164,8 @@ def _measure() -> dict:
         "apps": apps,
         "max_stream_vector_vs_compiled": max(
             entry["vector_vs_compiled"] for entry in stream.values()),
+        "max_stream_nd_vs_list": max(
+            entry["nd_vs_list"] for entry in stream.values()),
         "geomean_app_vector_vs_compiled": round(
             geometric_mean(speedups), 3),
         "parity": "every measured configuration interp-exact",
@@ -140,17 +174,22 @@ def _measure() -> dict:
 
 def _render(data: dict) -> str:
     lines = [f"{'kernel':18s} {'interp':>10s} {'compiled':>10s} "
-             f"{'vector':>10s} {'vec/comp':>9s}  vectorized"]
+             f"{'vector':>10s} {'vec/comp':>9s} {'nd/list':>8s}  vectorized"]
     for section in ("stream", "apps"):
         for name, e in data[section].items():
             flag = " !" + "; ".join(e["fallbacks"]) if e["fallbacks"] else ""
+            conv = (f"{e['nd_vs_list']:7.2f}x" if "nd_vs_list" in e
+                    else f"{'-':>8s}")
             lines.append(
                 f"{name:18s} {e['interp_mbps']:8.2f}MB/s "
                 f"{e['compiled_mbps']:8.2f}MB/s {e['vector_mbps']:8.2f}MB/s "
-                f"{e['vector_vs_compiled']:8.2f}x  {e['vectorized']}{flag}")
+                f"{e['vector_vs_compiled']:8.2f}x {conv}  "
+                f"{e['vectorized']}{flag}")
     lines.append(
         f"max STREAM vector/compiled: "
         f"{data['max_stream_vector_vs_compiled']:.2f}x; "
+        f"nd tapes over list tapes: "
+        f"{data['max_stream_nd_vs_list']:.2f}x; "
         f"paper-app geomean: {data['geomean_app_vector_vs_compiled']:.2f}x")
     return "\n".join(lines)
 
@@ -163,3 +202,5 @@ def test_roofline(benchmark):
         "vector backend lost its bandwidth edge on every STREAM kernel"
     assert data["geomean_app_vector_vs_compiled"] >= 1.5, \
         "vector backend no longer clears 1.5x geomean on the paper apps"
+    assert data["max_stream_nd_vs_list"] >= 1.5, \
+        "ndarray tapes lost their edge over list tapes on STREAM"

@@ -32,7 +32,9 @@ additionally batches firings into numpy whole-array kernels where
 provably safe (requires the optional numpy extra).  With the compiled
 and vector backends the kernel-cache statistics of the run are reported;
 with ``vector``, ``run`` also prints the per-actor vectorized-vs-fallback
-summary.
+summary (tape fallbacks included) and the number of batched firings, and
+``multicore`` gains a ``batched`` column counting firings that ran
+through batch kernels across all cores.
 
 ``run --cores N`` executes both variants on the thread-based parallel
 runtime (N worker threads over an LPT partition, cut tapes replaced by
@@ -456,6 +458,8 @@ def _dispatch_inner(args: argparse.Namespace) -> int:
                       if v.startswith("vector"))
             total = len(simd.vectorized)
             print(f"  vectorized actors: {vec}/{total}")
+            batched = getattr(simd, "batched_firings", 0)
+            print(f"  batched firings: {batched}")
             for actor_id, status in sorted(simd.vectorized.items()):
                 if not status.startswith("vector"):
                     name = compiled.graph.actors[actor_id].name
@@ -563,7 +567,7 @@ def _run_multicore_command(args: argparse.Namespace) -> int:
           f"iteration(s)]")
     print(f"  sequential scalar baseline: {base_cpo:.1f} cycles/output")
     header = ("cores", "variant", "model cyc/out", "speedup", "channels",
-              "stalls", "wall ms", "parity")
+              "stalls", "batched", "wall ms", "parity")
     rows = [header]
     exit_code = 0
     for cores in core_counts:
@@ -598,6 +602,8 @@ def _run_multicore_command(args: argparse.Namespace) -> int:
                 f"{base_cpo / model.makespan_per_output:.2f}x",
                 str(len(par.channel_stats)),
                 str(par.total_stalls()),
+                (str(par.batched_firings)
+                 if args.backend == "vector" else "-"),
                 f"{par.wall_time_s * 1e3:.1f}",
                 "ok" if parity else "MISMATCH",
             ))

@@ -366,7 +366,7 @@ def check_parallel(graph: StreamGraph,
                    cores: Tuple[int, ...] = PARALLEL_CORES,
                    option_sets: Optional[Dict[str, MacroSSOptions]] = None,
                    machines: Optional[Dict[str, MachineDescription]] = None,
-                   backends: Tuple[str, ...] = ("interp", "compiled"),
+                   backends: Optional[Tuple[str, ...]] = None,
                    iterations: int = 2,
                    stop_on_first: bool = True) -> CheckReport:
     """Parallel-parity oracle: the thread-based multicore runtime must be
@@ -378,12 +378,19 @@ def check_parallel(graph: StreamGraph,
     count — outputs, init outputs, and per-actor init/steady counter bags
     must match exactly.  Any mismatch (or crash, deadlock, channel
     timeout) is reported as a ``kind="parallel"`` divergence.
+
+    ``backends`` defaults to the interpreter plus every installed
+    non-reference backend (:func:`default_backends`) — with numpy present
+    that includes ``"vector"``, exercising batched channel I/O and
+    ndarray tapes across cores.
     """
     from ..multicore.parallel import parallel_execute
 
     report = CheckReport()
     option_sets = option_sets if option_sets is not None \
         else PARALLEL_OPTION_SETS
+    backends = backends if backends is not None \
+        else ("interp",) + default_backends()
     machines = machines if machines is not None else {CORE_I7.name: CORE_I7}
 
     def diverge(config: str, detail: str, kind: str = "parallel") -> bool:

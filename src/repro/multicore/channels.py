@@ -146,12 +146,22 @@ class Channel(Tape):
     the SIMDized ``rpush``/``advance_writer``/``advance_reader`` — with
     blocking semantics:
 
-    * readers (``pop``, ``peek``, ``advance_reader``) block until enough
-      *committed* items are available;
+    * readers (``pop``, ``peek``, ``peek_block``, ``advance_reader``)
+      block until enough *committed* items are available;
     * committing writers (``push``, ``advance_writer``) block while the
       channel holds ``capacity`` committed items (backpressure);
-    * ``rpush`` only stages past the write pointer and never blocks —
-      the commit that follows (``advance_writer``) is the gated step.
+    * ``rpush``/``write_strided`` only stage past the write pointer and
+      never block — the commit that follows (``advance_writer``) is the
+      gated step.
+
+    Bulk operations make the vector backend's batched path work across
+    cores: ``peek_block(count)`` is the batched analogue of ``count``
+    blocking pops (it waits until the whole window is committed), and
+    ``advance_writer(count)`` commits in capacity-bounded *chunks*, each
+    released to the consuming core as soon as it lands — so a bulk
+    commit larger than the remaining free space behaves exactly like the
+    equivalent sequence of blocking pushes (and is deadlock-free under
+    the same capacity-planner argument).
     """
 
     __slots__ = ("capacity", "stats", "_cond", "_abort", "_tracer",
@@ -237,15 +247,30 @@ class Channel(Tape):
         with self._cond:
             Tape.rpush(self, value, offset)
 
-    def advance_writer(self, count: int) -> None:
+    def write_strided(self, offset: int, stride: int, values: Any) -> None:
+        # Staging only (never blocks): commit is the gated step.
         with self._cond:
-            self._await(
-                lambda: Tape.__len__(self) + count <= self.capacity,
-                "push", count)
-            Tape.advance_writer(self, count)
-            self.stats.pushes += count
-            self._record_high_water()
-            self._cond.notify_all()
+            Tape.write_strided(self, offset, stride, values)
+
+    def advance_writer(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"{self.name}: negative writer advance")
+        remaining = count
+        while True:
+            with self._cond:
+                self._await(
+                    lambda: Tape.__len__(self) + min(remaining, 1)
+                    <= self.capacity,
+                    "push", remaining)
+                chunk = min(remaining,
+                            self.capacity - Tape.__len__(self))
+                Tape.advance_writer(self, chunk)
+                self.stats.pushes += chunk
+                self._record_high_water()
+                self._cond.notify_all()
+                remaining -= chunk
+                if not remaining:
+                    return
 
     # -- reading --------------------------------------------------------------
     def pop(self) -> Any:
@@ -263,6 +288,13 @@ class Channel(Tape):
             self._await(lambda: Tape.__len__(self) >= offset + 1,
                         "pop", offset + 1)
             return Tape.peek(self, offset)
+
+    def peek_block(self, count: int) -> Any:
+        if count < 0:
+            raise ValueError(f"{self.name}: negative block size {count}")
+        with self._cond:
+            self._await(lambda: Tape.__len__(self) >= count, "pop", count)
+            return Tape.peek_block(self, count)
 
     def advance_reader(self, count: int) -> None:
         with self._cond:

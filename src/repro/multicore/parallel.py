@@ -46,7 +46,8 @@ from ..graph.stream_graph import StreamGraph
 from ..obs.tracer import Tracer, ensure_tracer
 from ..perf.counters import PerActorCounters
 from ..runtime.errors import StreamRuntimeError
-from ..runtime.executor import ExecutionResult, _GraphRun, execute
+from ..runtime.executor import ExecutionResult, _GraphRun, \
+    _annotate_tape_fallbacks, execute
 from ..runtime.backends import resolve_backend
 from ..runtime.tape import Tape
 from ..schedule.steady_state import Schedule, build_schedule
@@ -243,6 +244,9 @@ def parallel_execute(graph: StreamGraph,
 
     abort = RunAbort()
     live_tracer = tracer if tracer.enabled else None
+    # Core-local tapes use the backend's preferred implementation (the
+    # vector backend's ndarray-native NdTape); cut tapes must be Channels.
+    tape_cls = getattr(be, "tape_class", Tape)
     tapes: Dict[int, Tape] = {}
     channels: Dict[int, Channel] = {}
     for tid, edge in graph.tapes.items():
@@ -254,7 +258,7 @@ def parallel_execute(graph: StreamGraph,
             tapes[tid] = channel
             channels[tid] = channel
         else:
-            tape = Tape(f"tape{tid}")
+            tape = tape_cls(f"tape{tid}")
             for item in edge.initial:
                 tape.push(item)
             tapes[tid] = tape
@@ -356,6 +360,18 @@ def parallel_execute(graph: StreamGraph,
 
         channel_stats = {tid: channel.stats.snapshot()
                          for tid, channel in channels.items()}
+        vectorized: Optional[Dict[int, str]] = None
+        if be.name == "vector":
+            vectorized = {}
+            for run in runs.values():
+                statuses = dict(run.vector_status)
+                for actor_id, runner in run.actors.items():
+                    status = getattr(runner, "vector_status", None)
+                    if status is not None:
+                        statuses[actor_id] = status
+                _annotate_tape_fallbacks(run, statuses)
+                vectorized.update(statuses)
+        batched_firings = sum(run.batched_firings for run in runs.values())
         if tracer.enabled:
             for tid, stats in channel_stats.items():
                 tracer.event(f"channel.tape{tid}", cat="channel", **stats)
@@ -373,6 +389,8 @@ def parallel_execute(graph: StreamGraph,
             schedule=schedule,
             backend=be.name,
             kernel_cache=kernel_cache,
+            vectorized=vectorized,
+            batched_firings=batched_firings,
             cores=cores,
             partition=partition,
             per_core_init=per_core_init,

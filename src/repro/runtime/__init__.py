@@ -9,7 +9,7 @@ from .errors import (
 from .backends import InterpreterBackend, resolve_backend
 from .executor import ExecutionResult, execute, state_initial_value
 from .interpreter import ActorRuntime, Interpreter
-from .tape import Tape
+from .tape import NdTape, Tape
 
 __all__ = [
     "InterpreterError", "StreamRuntimeError", "TapeUnderflow",
@@ -17,5 +17,5 @@ __all__ = [
     "ExecutionResult", "execute", "state_initial_value",
     "ActorRuntime", "Interpreter",
     "InterpreterBackend", "resolve_backend",
-    "Tape",
+    "NdTape", "Tape",
 ]

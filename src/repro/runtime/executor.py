@@ -64,9 +64,15 @@ class ExecutionResult:
     kernel_cache: Optional[Dict[str, int]] = None
     #: vector backend only: per-actor vectorization decision — ``"vector"``
     #: (batch array kernel), ``"vector:mover"`` (batched native mover), or
-    #: ``"fallback: <reason>"`` (per-firing compiled path).  ``None`` for
-    #: other backends.
+    #: ``"fallback: <reason>"`` (per-firing compiled path).  When a
+    #: batched actor's ndarray tape degraded to list storage mid-run
+    #: (vector payloads, non-numeric elements, ints beyond exact range)
+    #: the status is suffixed ``" (tape fallback: <reason>)"``.  ``None``
+    #: for other backends.
     vectorized: Optional[Dict[int, str]] = None
+    #: steady-phase firings executed through a batched fast path (array
+    #: kernel or batched mover); 0 for non-batching backends.
+    batched_firings: int = 0
 
     def cycles_per_output(self, machine: MachineDescription) -> float:
         """Steady-state cycles per produced item — the throughput metric all
@@ -140,9 +146,12 @@ class _GraphRun:
         self.schedule = schedule
         self.machine = machine
         self.backend = backend
+        #: tape implementation the backend prefers for run-local tapes
+        #: (the vector backend substitutes ndarray-native ``NdTape``).
+        self.tape_cls = getattr(backend, "tape_class", Tape)
         if tapes is None:
             self.tapes: Dict[int, Tape] = {
-                tid: Tape(f"tape{tid}") for tid in graph.tapes}
+                tid: self.tape_cls(f"tape{tid}") for tid in graph.tapes}
             # Feedback-loop delays: pre-load enqueued items.
             for tid, edge in graph.tapes.items():
                 for item in edge.initial:
@@ -159,13 +168,16 @@ class _GraphRun:
         #: per-actor firing closures (filters and movers alike).
         self.fire_fns: Dict[int, Callable[[], None]] = {}
         #: batched firing closures ``fn(n)`` equivalent to ``n`` single
-        #: firings (vector backend only; populated only when this run owns
-        #: its tapes — shared/cross-core tapes must pace per firing).
-        self.batch_fns: Dict[int, Callable[[int], None]] = {}
+        #: firings, returning whether the batched fast path actually ran
+        #: (vector backend only; every entry point re-validates its tapes
+        #: — including cross-core ``Channel`` tapes — at runtime).
+        self.batch_fns: Dict[int, Callable[[int], bool]] = {}
         #: vectorization decisions for batched *movers* (filter decisions
         #: live on the actor objects themselves).
         self.vector_status: Dict[int, str] = {}
-        self._owns_tapes = tapes is None
+        #: firings executed through a batched fast path (array kernel or
+        #: batched mover) rather than per-firing replay.
+        self.batched_firings = 0
         self.counters = PerActorCounters()
         self._setup_actors()
 
@@ -187,14 +199,12 @@ class _GraphRun:
                 if mover is None:
                     mover = self._generic_mover(actor.id, spec)
                 self.fire_fns[actor.id] = mover
-                if self._owns_tapes:
-                    make_batch = getattr(self.backend, "make_batch_mover",
-                                         None)
-                    if make_batch is not None:
-                        batch = make_batch(self, actor, mover)
-                        if batch is not None:
-                            self.batch_fns[actor.id] = batch
-                            self.vector_status[actor.id] = "vector:mover"
+                make_batch = getattr(self.backend, "make_batch_mover", None)
+                if make_batch is not None:
+                    batch = make_batch(self, actor, mover)
+                    if batch is not None:
+                        self.batch_fns[actor.id] = batch
+                        self.vector_status[actor.id] = "vector:mover"
                 continue
             in_tape = self.graph.input_tape(actor.id)
             out_tape = self.graph.output_tape(actor.id)
@@ -211,7 +221,7 @@ class _GraphRun:
                 has_sagu=self.machine.has_sagu,
             )
             if actor.id == collector_owner:
-                self.collector = Tape("collector")
+                self.collector = self.tape_cls("collector")
                 runtime.output = self.collector
             runner = self.backend.make_filter_actor(
                 runtime, spec, in_tape, out_tape)
@@ -223,7 +233,7 @@ class _GraphRun:
             def fire_filter(_runner=runner, _body=work_body) -> None:
                 _runner.run_work(_body)
             self.fire_fns[actor.id] = fire_filter
-            if self._owns_tapes and hasattr(runner, "run_work_batch"):
+            if hasattr(runner, "run_work_batch"):
                 self.batch_fns[actor.id] = runner.run_work_batch
 
     def _generic_mover(self, actor_id: int, spec: Any) -> Callable[[], None]:
@@ -328,8 +338,13 @@ class _GraphRun:
         if batch_fns:
             for actor_id, firings in phase:
                 batch = batch_fns.get(actor_id)
-                if batch is not None and firings > 1:
-                    batch(firings)
+                # Batch even single firings: parallel slices run one steady
+                # iteration at a time, and a per-core actor often fires once
+                # per iteration — the batched path is still the one that
+                # does bulk (blocking) channel I/O.
+                if batch is not None and firings > 0:
+                    if batch(firings):
+                        self.batched_firings += firings
                 else:
                     fn = fire_fns[actor_id]
                     for _ in range(firings):
@@ -353,6 +368,32 @@ class _GraphRun:
         for actor_id, runner in self.actors.items():
             runner.rt.counters = self.counters.for_actor(actor_id)
         return old
+
+
+def _annotate_tape_fallbacks(run: _GraphRun,
+                             vectorized: Dict[int, str]) -> None:
+    """Suffix batched actors' statuses with the degrade reason of any
+    adjacent ndarray tape that fell back to list storage mid-run (vector
+    payloads, non-numeric elements, ints beyond exact range) — the
+    record the dtype-edge tests and the obs layer read."""
+    for actor_id, status in vectorized.items():
+        if not status.startswith("vector"):
+            continue
+        reasons: List[str] = []
+        for edge in (*run.graph.in_tapes(actor_id),
+                     *run.graph.out_tapes(actor_id)):
+            reason = getattr(run.tapes.get(edge.id), "degrade_reason", None)
+            if reason and reason not in reasons:
+                reasons.append(reason)
+        runner = run.actors.get(actor_id)
+        if runner is not None and run.collector is not None \
+                and runner.rt.output is run.collector:
+            reason = getattr(run.collector, "degrade_reason", None)
+            if reason and reason not in reasons:
+                reasons.append(reason)
+        if reasons:
+            vectorized[actor_id] = (
+                f"{status} (tape fallback: {'; '.join(reasons)})")
 
 
 def _merged_phase_admissible(run: _GraphRun, phase, iterations: int) -> bool:
@@ -516,6 +557,7 @@ def execute(graph: StreamGraph,
                 status = getattr(runner, "vector_status", None)
                 if status is not None:
                     vectorized[actor_id] = status
+            _annotate_tape_fallbacks(run, vectorized)
         result = ExecutionResult(
             graph_name=graph.name,
             iterations=iterations,
@@ -527,6 +569,7 @@ def execute(graph: StreamGraph,
             backend=be.name,
             kernel_cache=kernel_cache,
             vectorized=vectorized,
+            batched_firings=run.batched_firings,
         )
         if tracer.enabled:
             exec_span.add(outputs=len(outputs),

@@ -12,13 +12,29 @@ The implementation keeps an explicit read head and write pointer over a
 growable list; slots between the write pointer and the furthest ``rpush``
 hold a sentinel until written.  Elements may be scalars or vectors (lists):
 the tape is agnostic.
+
+:class:`NdTape` is the machine-native sibling used by the vector backend:
+the same repertoire and the same observable behaviour (values, lengths,
+error types *and* messages — pinned by the differential property suite),
+but backed by a dtype-tracked int64/float64 ndarray with zero-copy window
+views (``peek_block_array``) and array commits (``write_strided_array``),
+so batch kernels never round-trip Python lists.  Payloads the array cannot
+represent (vectors, bools, ints beyond the exact range) degrade the tape
+to the inherited list representation, permanently and safely.
 """
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, List, Optional
 
-from .errors import TapeUnderflow, UninitializedRead
+from .errors import StreamRuntimeError, TapeUnderflow, UninitializedRead
+
+try:  # pragma: no cover - exercised through both CI lanes
+    import numpy as np
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
 
 _UNWRITTEN = object()
 
@@ -69,7 +85,9 @@ class Tape:
     def advance_writer(self, count: int) -> None:
         if count < 0:
             raise ValueError(f"{self.name}: negative writer advance")
-        self._ensure(self._wp + count - 1 if count else self._wp)
+        if not count:
+            return  # must not grow the backing buffer (regression-pinned)
+        self._ensure(self._wp + count - 1)
         segment = self._buf[self._wp:self._wp + count]
         if _UNWRITTEN in segment:
             raise UninitializedRead(
@@ -148,4 +166,447 @@ class Tape:
             raise UninitializedRead(f"{self.name}: drain hit unwritten slot")
         self._head = self._wp
         self._compact()
+        return items
+
+
+# ==============================================================================
+# NdTape: the ndarray-native tape of the vector data plane
+# ==============================================================================
+
+#: Largest integer magnitude exactly representable in float64 — the same
+#: limit the vector kernels guard with (``2**53``).  Ints beyond it cannot
+#: share a float64 buffer with floats without silent rounding.
+_ND_EXACT_INT = 2 ** 53
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+
+#: Injectable defect (mutation tests only): rotates every ndarray window
+#: read by this many slots — the classic off-by-one ring-wrap bug.  The
+#: differential oracles must catch and shrink it.
+_MUT_ND_WINDOW_SHIFT = 0
+
+
+class NdTape(Tape):
+    """A :class:`Tape` backed by a dtype-tracked int64/float64 ndarray.
+
+    Observable behaviour is identical to the list tape — same values
+    (Python ``int`` stays ``int``, ``float`` stays ``float``), same
+    lengths, same error types and messages — which the property suite in
+    ``tests/runtime/test_tape_properties.py`` pins differentially.  What
+    changes is the representation:
+
+    * committed and staged items live in one contiguous ndarray
+      (``_arr``), so the vector backend's batch kernels read input
+      windows as **zero-copy views** (:meth:`peek_block_array`) and
+      commit output columns as **array slice assignments**
+      (:meth:`write_strided_array`) with no per-batch
+      ``asarray``/``tolist``;
+    * the dtype is adopted from the first value written (int64 for
+      ``int``, float64 for ``float``) and promoted int64→float64 when
+      floats arrive mid-stream.  A promoted ("mixed") tape keeps a
+      per-slot ``_int_mask`` so reads restore the exact Python type;
+    * payloads the array cannot hold — vector (list) elements, bools,
+      ints beyond the int64 / float64-exact range — **degrade** the tape
+      to the inherited list representation (sticky; the reason is kept in
+      ``degrade_reason`` and surfaced through
+      ``ExecutionResult.vectorized``).
+
+    A staged-write mask (``_written``) reproduces the list tape's
+    ``_UNWRITTEN`` hole semantics for ``rpush`` gaps, and the tape resets
+    to the no-dtype state whenever it empties completely, so per-phase
+    dtype changes never force a degrade.
+    """
+
+    __slots__ = ("_arr", "_written", "_int_mask", "_kind", "_tail",
+                 "degrade_reason")
+
+    def __init__(self, name: str = "tape") -> None:
+        if not HAVE_NUMPY:
+            raise StreamRuntimeError(
+                "NdTape requires numpy (install the [vector] extra: "
+                "pip install .[vector])")
+        super().__init__(name)
+        self._arr: Optional[Any] = None       # int64/float64 backing array
+        self._written: Optional[Any] = None   # bool mask: slot was staged
+        self._int_mask: Optional[Any] = None  # bool mask: slot holds an int
+        self._kind: Optional[str] = None      # None | "int" | "float" | "mixed"
+        self._tail = 0                        # one past the furthest staged slot
+        self.degrade_reason: Optional[str] = None
+
+    # -- representation state --------------------------------------------------
+    @property
+    def dtype_kind(self) -> Optional[str]:
+        """``"int"``/``"float"``/``"mixed"`` in array mode, ``"list"``
+        after a degrade, ``None`` while empty with no dtype adopted."""
+        if self.degrade_reason is not None:
+            return "list"
+        return self._kind
+
+    @staticmethod
+    def _reason_for(value: Any) -> str:
+        if type(value) is list:
+            return "vector payload"
+        return f"non-numeric payload ({type(value).__name__})"
+
+    def _degrade(self, reason: str) -> None:
+        """Switch permanently to the inherited list representation,
+        materializing committed and staged slots (holes stay holes)."""
+        buf: List[Any] = []
+        arr, written, mask = self._arr, self._written, self._int_mask
+        if arr is not None and self._tail > self._head:
+            as_int = arr.dtype.kind == "i"
+            for i in range(self._head, self._tail):
+                if not written[i]:
+                    buf.append(_UNWRITTEN)
+                elif as_int or (mask is not None and mask[i]):
+                    buf.append(int(arr[i]))
+                else:
+                    buf.append(float(arr[i]))
+        self._buf = buf
+        self._wp -= self._head
+        self._head = 0
+        self._tail = 0
+        self._arr = None
+        self._written = None
+        self._int_mask = None
+        self._kind = None
+        self.degrade_reason = reason
+
+    def _adopt(self, kind: str) -> None:
+        """Adopt a dtype while logically empty (reuses the allocation when
+        the dtype matches; stale staged-write flags are cleared)."""
+        dtype = np.int64 if kind == "int" else np.float64
+        arr = self._arr
+        if arr is None or arr.dtype != dtype:
+            cap = 16 if arr is None else len(arr)
+            self._arr = np.zeros(cap, dtype=dtype)
+            self._written = np.zeros(cap, dtype=bool)
+        else:
+            self._written[:] = False
+        self._kind = kind
+        self._int_mask = None
+
+    def _promote(self) -> bool:
+        """int64 → float64 storage (floats arrived mid-stream).  Existing
+        ints must be float64-exact; each staged slot is remembered as an
+        int so reads restore the Python type.  Returns ``False`` (after
+        degrading) when an existing int is beyond the exact range."""
+        arr, written = self._arr, self._written
+        live = written[:self._tail]
+        if self._tail and live.any():
+            staged = arr[:self._tail][live].astype(np.float64)
+            if float(np.abs(staged).max()) > float(_ND_EXACT_INT):
+                self._degrade("int beyond float64-exact range")
+                return False
+        self._arr = arr.astype(np.float64)
+        self._int_mask = written.copy()
+        self._kind = "mixed"
+        return True
+
+    def _to_mixed(self) -> None:
+        """float64 storage gains an int mask (ints arrived mid-stream)."""
+        self._int_mask = np.zeros(len(self._arr), dtype=bool)
+        self._kind = "mixed"
+
+    def _grow(self, index: int) -> None:
+        arr = self._arr
+        if index < len(arr):
+            return
+        cap = max(len(arr) * 2, index + 1)
+        new = np.zeros(cap, dtype=arr.dtype)
+        new[:len(arr)] = arr
+        self._arr = new
+        grown = np.zeros(cap, dtype=bool)
+        grown[:len(arr)] = self._written
+        self._written = grown
+        if self._int_mask is not None:
+            mask = np.zeros(cap, dtype=bool)
+            mask[:len(arr)] = self._int_mask
+            self._int_mask = mask
+
+    def _reset_empty(self) -> None:
+        """Fully empty (no committed or staged items): drop the dtype so
+        the next phase can adopt a fresh one; keep the allocation.  Stale
+        staged-write flags must go too — a later ``advance_writer`` from
+        the rebased write pointer must see holes, not ghosts."""
+        if self._written is not None and self._tail:
+            self._written[:self._tail] = False
+        self._head = self._wp = self._tail = 0
+        self._kind = None
+        self._int_mask = None
+
+    def _after_read(self) -> None:
+        if self._head == self._tail:
+            self._reset_empty()
+            return
+        head = self._head
+        if head > _COMPACT_THRESHOLD and head * 2 > len(self._arr):
+            n = self._tail - head
+            self._arr[:n] = self._arr[head:self._tail].copy()
+            self._written[:n] = self._written[head:self._tail].copy()
+            if self._int_mask is not None:
+                self._int_mask[:n] = self._int_mask[head:self._tail].copy()
+            self._written[n:self._tail] = False
+            self._wp -= head
+            self._tail = n
+            self._head = 0
+
+    def _value_at(self, i: int) -> Any:
+        if self._kind == "int":
+            return int(self._arr[i])
+        v = self._arr[i]
+        if self._int_mask is not None and self._int_mask[i]:
+            return int(v)
+        return float(v)
+
+    def _write_scalar(self, index: int, value: Any) -> bool:
+        """Stage ``value`` at absolute ``index``.  Returns ``False`` after
+        degrading (caller redoes the operation through the list path)."""
+        t = type(value)
+        if t is int:
+            vkind = "int"
+        elif t is float:
+            vkind = "float"
+        else:
+            self._degrade(self._reason_for(value))
+            return False
+        k = self._kind
+        if k is None:
+            self._adopt(vkind)
+        elif k == "int" and vkind == "float":
+            if not self._promote():
+                return False
+        elif k == "float" and vkind == "int":
+            self._to_mixed()
+        if vkind == "int":
+            if self._kind == "int":
+                if not _INT64_MIN <= value <= _INT64_MAX:
+                    self._degrade("int beyond int64 range")
+                    return False
+            elif not -_ND_EXACT_INT <= value <= _ND_EXACT_INT:
+                self._degrade("int beyond float64-exact range")
+                return False
+        self._grow(index)
+        self._arr[index] = value
+        self._written[index] = True
+        if self._int_mask is not None:
+            self._int_mask[index] = vkind == "int"
+        if index + 1 > self._tail:
+            self._tail = index + 1
+        return True
+
+    # -- writing ---------------------------------------------------------------
+    def push(self, value: Any) -> None:
+        if self.degrade_reason is not None:
+            Tape.push(self, value)
+        elif self._write_scalar(self._wp, value):
+            self._wp += 1
+        else:
+            Tape.push(self, value)
+
+    def rpush(self, value: Any, offset: int) -> None:
+        if offset < 0:
+            raise ValueError(f"{self.name}: negative rpush offset {offset}")
+        if self.degrade_reason is not None or \
+                not self._write_scalar(self._wp + offset, value):
+            Tape.rpush(self, value, offset)
+
+    def advance_writer(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"{self.name}: negative writer advance")
+        if self.degrade_reason is not None:
+            Tape.advance_writer(self, count)
+            return
+        if not count:
+            return
+        written = self._written
+        if written is None:
+            raise UninitializedRead(
+                f"{self.name}: advancing writer over unwritten slot 0")
+        end = self._wp + count
+        seg = written[self._wp:min(end, len(written))]
+        if seg.size < count or not seg.all():
+            hole = int(np.argmin(seg)) if seg.size and not seg.all() \
+                else int(seg.size)
+            raise UninitializedRead(
+                f"{self.name}: advancing writer over unwritten slot {hole}")
+        self._wp = end  # every staged slot < _tail, so end <= _tail
+
+    def write_strided(self, offset: int, stride: int,
+                      values: List[Any]) -> None:
+        if offset < 0:
+            raise ValueError(f"{self.name}: negative rpush offset {offset}")
+        if stride < 1:
+            raise ValueError(f"{self.name}: write stride must be >= 1")
+        if self.degrade_reason is not None:
+            Tape.write_strided(self, offset, stride, values)
+            return
+        count = len(values)
+        if not count:
+            return
+        kinds = set(map(type, values))
+        if not kinds <= {int, float}:
+            bad = next(v for v in values if type(v) not in (int, float))
+            self._degrade(self._reason_for(bad))
+            Tape.write_strided(self, offset, stride, values)
+            return
+        vkind = "int" if kinds == {int} else \
+            "float" if kinds == {float} else "mixed"
+        if not self._prepare_block(vkind):
+            Tape.write_strided(self, offset, stride, values)
+            return
+        if self._kind != "int" and int in kinds:
+            worst = max(abs(v) for v in values if type(v) is int)
+            if worst > _ND_EXACT_INT:
+                self._degrade("int beyond float64-exact range")
+                Tape.write_strided(self, offset, stride, values)
+                return
+        base = self._wp + offset
+        last = base + (count - 1) * stride
+        self._grow(last)
+        try:
+            self._arr[base:last + 1:stride] = values
+        except (OverflowError, ValueError):
+            self._degrade("int beyond int64 range")
+            Tape.write_strided(self, offset, stride, values)
+            return
+        self._written[base:last + 1:stride] = True
+        if self._int_mask is not None:
+            if vkind == "mixed":
+                self._int_mask[base:last + 1:stride] = \
+                    [type(v) is int for v in values]
+            else:
+                self._int_mask[base:last + 1:stride] = vkind == "int"
+        if last + 1 > self._tail:
+            self._tail = last + 1
+
+    def _prepare_block(self, vkind: str) -> bool:
+        """Adopt/promote storage for a block of kind ``vkind``; ``False``
+        after degrading."""
+        k = self._kind
+        if k is None:
+            self._adopt("int" if vkind == "int" else "float")
+            if vkind == "mixed":
+                self._to_mixed()
+        elif k == "int" and vkind != "int":
+            return self._promote()
+        elif k == "float" and vkind != "float":
+            self._to_mixed()
+        return True
+
+    def write_strided_array(self, offset: int, stride: int,
+                            values: Any) -> None:
+        """:meth:`write_strided` from a 1-d int64/float64 ndarray — the
+        vector backend's zero-conversion batched commit."""
+        if offset < 0:
+            raise ValueError(f"{self.name}: negative rpush offset {offset}")
+        if stride < 1:
+            raise ValueError(f"{self.name}: write stride must be >= 1")
+        count = len(values)
+        if not count:
+            return
+        if self.degrade_reason is None:
+            dk = values.dtype.kind
+            vkind = "int" if dk == "i" else "float" if dk == "f" else None
+            if vkind is None:
+                self._degrade(f"non-numeric payload (dtype {values.dtype})")
+            elif self._prepare_block(vkind):
+                if vkind == "int" and self._kind != "int" and \
+                        float(np.abs(values.astype(np.float64)).max()) > \
+                        float(_ND_EXACT_INT):
+                    self._degrade("int beyond float64-exact range")
+                else:
+                    base = self._wp + offset
+                    last = base + (count - 1) * stride
+                    self._grow(last)
+                    self._arr[base:last + 1:stride] = values
+                    self._written[base:last + 1:stride] = True
+                    if self._int_mask is not None:
+                        self._int_mask[base:last + 1:stride] = vkind == "int"
+                    if last + 1 > self._tail:
+                        self._tail = last + 1
+                    return
+        Tape.write_strided(self, offset, stride, values.tolist())
+
+    # -- reading ---------------------------------------------------------------
+    def pop(self) -> Any:
+        if self.degrade_reason is not None:
+            return Tape.pop(self)
+        if self._head >= self._wp:
+            raise TapeUnderflow(f"{self.name}: pop from empty tape")
+        value = self._value_at(self._head)
+        self._head += 1
+        self._after_read()
+        return value
+
+    def peek(self, offset: int) -> Any:
+        if self.degrade_reason is not None:
+            return Tape.peek(self, offset)
+        if offset < 0:
+            raise ValueError(f"{self.name}: negative peek offset {offset}")
+        index = self._head + offset
+        if index >= self._wp:
+            raise TapeUnderflow(
+                f"{self.name}: peek({offset}) with only {len(self)} items")
+        return self._value_at(index)
+
+    def peek_block(self, count: int) -> List[Any]:
+        if self.degrade_reason is not None:
+            return Tape.peek_block(self, count)
+        if count < 0:
+            raise ValueError(f"{self.name}: negative peek_block count")
+        if self._head + count > self._wp:
+            raise TapeUnderflow(
+                f"{self.name}: peek_block({count}) with only {len(self)} "
+                f"items")
+        if not count:
+            return []
+        view = self._arr[self._head:self._head + count]
+        if _MUT_ND_WINDOW_SHIFT:
+            view = np.roll(view, -_MUT_ND_WINDOW_SHIFT)
+        if self._int_mask is None:
+            return view.tolist()
+        mask = self._int_mask[self._head:self._head + count]
+        return [int(v) if m else v
+                for v, m in zip(view.tolist(), mask.tolist())]
+
+    def peek_block_array(self, count: int) -> Optional[Any]:
+        """Zero-copy read-only view of the next ``count`` committed items,
+        or ``None`` when no pure int64/float64 view exists (degraded,
+        mixed int/float content, or no dtype adopted yet)."""
+        if count < 0:
+            raise ValueError(f"{self.name}: negative peek_block count")
+        if self._head + count > self._wp:
+            raise TapeUnderflow(
+                f"{self.name}: peek_block({count}) with only {len(self)} "
+                f"items")
+        if self.degrade_reason is not None or \
+                self._kind not in ("int", "float"):
+            return None
+        view = self._arr[self._head:self._head + count]
+        if _MUT_ND_WINDOW_SHIFT:
+            view = np.roll(view, -_MUT_ND_WINDOW_SHIFT)
+        view.flags.writeable = False
+        return view
+
+    def advance_reader(self, count: int) -> None:
+        if self.degrade_reason is not None:
+            Tape.advance_reader(self, count)
+            return
+        if count < 0:
+            raise ValueError(f"{self.name}: negative reader advance")
+        if self._head + count > self._wp:
+            raise TapeUnderflow(
+                f"{self.name}: advance_reader({count}) with only "
+                f"{len(self)} items")
+        self._head += count
+        self._after_read()
+
+    # -- draining (output collection) ------------------------------------------
+    def drain(self) -> List[Any]:
+        if self.degrade_reason is not None:
+            return Tape.drain(self)
+        items = self.peek_block(self._wp - self._head)
+        self._head = self._wp
+        self._after_read()
         return items

@@ -15,13 +15,21 @@ layer.
 Movers (splitters/joiners) get batched fast paths too: one
 ``peek_block`` + a few strided slice writes move ``n`` firings' worth of
 elements with a single batched counter charge, in the exact element order
-of the sequential path.
+of the sequential path.  When the tapes are :class:`~repro.runtime.tape.
+NdTape` (the backend's ``tape_class``) the window is a zero-copy array
+view and the strided writes are slice assignments — no list round-trip.
+Multicore ``Channel`` tapes batch too: the window is a blocking bulk read
+(released before any blocking commit, so cores never wedge on each
+other), falling back per-firing only when a window exceeds the channel
+bound.
 
 Every batch entry point re-validates at runtime and *returns control to
-the per-firing path* when a guard fails (multicore ``Channel`` tapes,
+the per-firing path* when a guard fails (unknown tape subclass,
 insufficient input, type drift, bound overflow) — so outputs and counter
 bags stay bit-identical to the interpreter in every case the batch path
-cannot prove, rather than being best-effort.
+cannot prove, rather than being best-effort.  Batch closures report
+whether the batched path actually ran; the executor aggregates that into
+``ExecutionResult.batched_firings``.
 """
 
 from __future__ import annotations
@@ -43,13 +51,16 @@ from ..errors import StreamRuntimeError
 from ..compiled.backend import CompiledActor, CompiledBackend
 from ..compiled.cache import KernelCache
 from ..interpreter import ActorRuntime
-from ..tape import Tape
-from .kernel import BatchKernel, Unvectorizable, build_batch_kernel
+from ..tape import NdTape, Tape
+from .kernel import BatchKernel, Unvectorizable, build_batch_kernel, \
+    _tape_mode
 from .np_compat import HAVE_NUMPY
 
 __all__ = ["VectorActor", "VectorBackend"]
 
-BatchFn = Callable[[int], None]
+#: A batch closure fires ``n`` times and reports whether the batched fast
+#: path actually ran (``False`` means it replayed per-firing fallback).
+BatchFn = Callable[[int], bool]
 
 
 class VectorActor(CompiledActor):
@@ -99,15 +110,17 @@ class VectorActor(CompiledActor):
             key = "vector" if self._batch_kernel is not None else "fallback"
             self._backend.vector_stats[key] += 1
 
-    def run_work_batch(self, n: int) -> None:
+    def run_work_batch(self, n: int) -> bool:
         """Fire ``n`` times: one array batch when possible, else ``n``
-        compiled firings (bit-identical either way)."""
+        compiled firings (bit-identical either way).  Returns whether the
+        batched path actually ran."""
         kernel = self._batch_kernel
         if kernel is not None and kernel.run(self.rt, n):
-            return
+            return True
         run_work = self.run_work
         for _ in range(n):
             run_work()
+        return False
 
 
 class VectorBackend(CompiledBackend):
@@ -118,6 +131,11 @@ class VectorBackend(CompiledBackend):
     #: The executor may merge all steady iterations into one giant phase
     #: (after an admissibility check) so batch kernels see maximal ``n``.
     coalesce_iterations = True
+    #: Tapes owned by this backend's runs keep stream data in machine
+    #: layout (int64/float64 ndarrays with list fallback) so batch kernels
+    #: read and commit zero-copy array views instead of round-tripping
+    #: Python lists through ``asarray``/``tolist`` each batch.
+    tape_class = NdTape
 
     def __init__(self, cache: Optional[KernelCache] = None) -> None:
         if not HAVE_NUMPY:
@@ -173,16 +191,57 @@ def _charger(run: Any, actor_id: int, static: Counter):
     return charge
 
 
-def _plain(*tapes: Any) -> bool:
-    """Batch movers require real in-process tapes (multicore ``Channel``
-    subclasses Tape but has blocking/locking semantics the batched path
-    must not bypass)."""
-    return all(type(t) is Tape for t in tapes)
+def _refire(fire: Callable[[], None], n: int) -> bool:
+    for _ in range(n):
+        fire()
+    return False
 
 
-def _bulk_push(tape: Tape, values: List[Any]) -> None:
+def _window(tape: Any, mode: str, count: int) -> Optional[List[Any]]:
+    """Fetch a ``count``-element list window for a batched mover, or
+    ``None`` to fall back per-firing.  Channel windows *block* until the
+    producing core has committed them (the batched analogue of ``count``
+    blocking pops) — unless the window can never fit the channel bound."""
+    if mode == "channel":
+        if count > tape.capacity:
+            return None
+        return tape.peek_block(count)
+    if len(tape) < count:
+        return None
+    return tape.peek_block(count)
+
+
+def _nd_view(tape: Any, count: int) -> Optional[Any]:
+    """Zero-copy read view over an ndarray tape's window, or ``None``
+    (degraded / mixed-dtype representation, or not enough data)."""
+    if type(tape) is NdTape and len(tape) >= count:
+        return tape.peek_block_array(count)
+    return None
+
+
+def _bulk_push(tape: Any, values: List[Any]) -> None:
     tape.write_strided(0, 1, values)
     tape.advance_writer(len(values))
+
+
+def _bulk_push_array(tape: Any, view: Any) -> None:
+    """Commit an ndarray window contiguously: array staging when the
+    destination holds machine layout, exact Python values otherwise
+    (np scalars must never leak onto a list tape — downstream type
+    checks distinguish ``float`` from ``np.float64``)."""
+    if type(tape) is NdTape and tape.degrade_reason is None:
+        tape.write_strided_array(0, 1, view)
+    else:
+        tape.write_strided(0, 1, view.tolist())
+    tape.advance_writer(len(view))
+
+
+def _strided_commit(tape: Any, offset: int, stride: int, col: Any) -> None:
+    """Stage one strided column from an ndarray slice (no advance)."""
+    if type(tape) is NdTape and tape.degrade_reason is None:
+        tape.write_strided_array(offset, stride, col)
+    else:
+        tape.write_strided(offset, stride, col.tolist())
 
 
 def _batch_splitter(run: Any, actor_id: int, spec: SplitterSpec,
@@ -205,16 +264,31 @@ def _batch_splitter(run: Any, actor_id: int, spec: SplitterSpec,
                 static[lane] += 1
         charge = _charger(run, actor_id, static)
 
-        def batch_dup(n: int) -> None:
-            if not _plain(in_tape, *out_tapes) or len(in_tape) < n:
-                for _ in range(n):
-                    fire()
-                return
-            window = in_tape.peek_block(n)
+        def batch_dup(n: int) -> bool:
+            in_mode = _tape_mode(in_tape)
+            if in_mode is None \
+                    or any(_tape_mode(t) is None for t in out_tapes):
+                return _refire(fire, n)
+            view = _nd_view(in_tape, n) if in_mode == "nd" else None
+            if view is not None:
+                for tape in out_tapes:
+                    _bulk_push_array(tape, view)
+                in_tape.advance_reader(n)
+                charge(n)
+                return True
+            window = _window(in_tape, in_mode, n)
+            if window is None:
+                return _refire(fire, n)
+            if in_mode == "channel":
+                # A channel window is a copy: release the slots before any
+                # (possibly blocking) downstream commit.
+                in_tape.advance_reader(n)
             for tape in out_tapes:
                 _bulk_push(tape, window)
-            in_tape.advance_reader(n)
+            if in_mode != "channel":
+                in_tape.advance_reader(n)
             charge(n)
+            return True
         return batch_dup
 
     weights = [spec.weights[edge.src_port] for edge in outs]
@@ -233,18 +307,32 @@ def _batch_splitter(run: Any, actor_id: int, spec: SplitterSpec,
             static[lane] += w
     charge = _charger(run, actor_id, static)
 
-    def batch_rr(n: int) -> None:
-        if not _plain(in_tape, *out_tapes) or len(in_tape) < n * total:
-            for _ in range(n):
-                fire()
-            return
-        window = in_tape.peek_block(n * total)
+    def batch_rr(n: int) -> bool:
+        in_mode = _tape_mode(in_tape)
+        if in_mode is None or any(_tape_mode(t) is None for t in out_tapes):
+            return _refire(fire, n)
+        view = _nd_view(in_tape, n * total) if in_mode == "nd" else None
+        if view is not None:
+            for tape, w, off in zip(out_tapes, weights, offsets):
+                for j in range(w):
+                    _strided_commit(tape, j, w, view[off + j::total])
+                tape.advance_writer(n * w)
+            in_tape.advance_reader(n * total)
+            charge(n)
+            return True
+        window = _window(in_tape, in_mode, n * total)
+        if window is None:
+            return _refire(fire, n)
+        if in_mode == "channel":
+            in_tape.advance_reader(n * total)
         for tape, w, off in zip(out_tapes, weights, offsets):
             for j in range(w):
                 tape.write_strided(j, w, window[off + j::total])
             tape.advance_writer(n * w)
-        in_tape.advance_reader(n * total)
+        if in_mode != "channel":
+            in_tape.advance_reader(n * total)
         charge(n)
+        return True
     return batch_rr
 
 
@@ -274,22 +362,38 @@ def _batch_joiner(run: Any, actor_id: int, spec: JoinerSpec,
                 static[lane] += w
     charge = _charger(run, actor_id, static)
 
-    def batch(n: int) -> None:
-        tapes = in_tapes if out_tape is None else in_tapes + [out_tape]
-        if not _plain(*tapes) \
-                or any(len(t) < n * w for t, w in zip(in_tapes, weights)):
-            for _ in range(n):
-                fire()
-            return
-        windows = [t.peek_block(n * w) for t, w in zip(in_tapes, weights)]
+    def batch(n: int) -> bool:
+        in_modes = [_tape_mode(t) for t in in_tapes]
+        if any(m is None for m in in_modes) \
+                or (out_tape is not None
+                    and _tape_mode(out_tape) is None):
+            return _refire(fire, n)
+        windows: List[Any] = []
+        for t, w, m in zip(in_tapes, weights, in_modes):
+            win = _nd_view(t, n * w) if m == "nd" else None
+            if win is None:
+                win = _window(t, m, n * w)
+            if win is None:
+                # Nothing consumed yet (peeks only): per-firing is safe.
+                return _refire(fire, n)
+            windows.append(win)
+        for t, w, m in zip(in_tapes, weights, in_modes):
+            if m == "channel":
+                t.advance_reader(n * w)
         if out_tape is not None:
             for win, w, off in zip(windows, weights, offsets):
-                for j in range(w):
-                    out_tape.write_strided(off + j, total, win[j::w])
+                if isinstance(win, list):
+                    for j in range(w):
+                        out_tape.write_strided(off + j, total, win[j::w])
+                else:
+                    for j in range(w):
+                        _strided_commit(out_tape, off + j, total, win[j::w])
             out_tape.advance_writer(n * total)
-        for t, w in zip(in_tapes, weights):
-            t.advance_reader(n * w)
+        for t, w, m in zip(in_tapes, weights, in_modes):
+            if m != "channel":
+                t.advance_reader(n * w)
         charge(n)
+        return True
     return batch
 
 
@@ -313,15 +417,20 @@ def _batch_hsplitter(run: Any, actor_id: int, spec: HSplitterSpec,
         static[ev.VECTOR_STORE] += weight
         charge = _charger(run, actor_id, static)
 
-        def batch_dup(n: int) -> None:
-            if not _plain(in_tape, out_tape) or len(in_tape) < n * weight:
-                for _ in range(n):
-                    fire()
-                return
-            window = in_tape.peek_block(n * weight)
+        def batch_dup(n: int) -> bool:
+            in_mode = _tape_mode(in_tape)
+            if in_mode is None or _tape_mode(out_tape) is None:
+                return _refire(fire, n)
+            window = _window(in_tape, in_mode, n * weight)
+            if window is None:
+                return _refire(fire, n)
+            if in_mode == "channel":
+                in_tape.advance_reader(n * weight)
             _bulk_push(out_tape, [[v] * width for v in window])
-            in_tape.advance_reader(n * weight)
+            if in_mode != "channel":
+                in_tape.advance_reader(n * weight)
             charge(n)
+            return True
         return batch_dup
 
     total = width * weight
@@ -332,12 +441,15 @@ def _batch_hsplitter(run: Any, actor_id: int, spec: HSplitterSpec,
     static[ev.VECTOR_STORE] += weight
     charge = _charger(run, actor_id, static)
 
-    def batch_rr(n: int) -> None:
-        if not _plain(in_tape, out_tape) or len(in_tape) < n * total:
-            for _ in range(n):
-                fire()
-            return
-        window = in_tape.peek_block(n * total)
+    def batch_rr(n: int) -> bool:
+        in_mode = _tape_mode(in_tape)
+        if in_mode is None or _tape_mode(out_tape) is None:
+            return _refire(fire, n)
+        window = _window(in_tape, in_mode, n * total)
+        if window is None:
+            return _refire(fire, n)
+        if in_mode == "channel":
+            in_tape.advance_reader(n * total)
         vectors = []
         for f in range(n):
             base = f * total
@@ -345,8 +457,10 @@ def _batch_hsplitter(run: Any, actor_id: int, spec: HSplitterSpec,
                 vectors.append([window[base + k * weight + j]
                                 for k in range(width)])
         _bulk_push(out_tape, vectors)
-        in_tape.advance_reader(n * total)
+        if in_mode != "channel":
+            in_tape.advance_reader(n * total)
         charge(n)
+        return True
     return batch_rr
 
 
@@ -368,13 +482,16 @@ def _batch_hjoiner(run: Any, actor_id: int, spec: HJoinerSpec,
             static[lane] += width * weight
     charge = _charger(run, actor_id, static)
 
-    def batch(n: int) -> None:
-        tapes = (in_tape,) if out_tape is None else (in_tape, out_tape)
-        if not _plain(*tapes) or len(in_tape) < n * weight:
-            for _ in range(n):
-                fire()
-            return
-        window = in_tape.peek_block(n * weight)
+    def batch(n: int) -> bool:
+        in_mode = _tape_mode(in_tape)
+        if in_mode is None \
+                or (out_tape is not None and _tape_mode(out_tape) is None):
+            return _refire(fire, n)
+        window = _window(in_tape, in_mode, n * weight)
+        if window is None:
+            return _refire(fire, n)
+        if in_mode == "channel":
+            in_tape.advance_reader(n * weight)
         if out_tape is not None:
             values = []
             for f in range(n):
@@ -383,6 +500,8 @@ def _batch_hjoiner(run: Any, actor_id: int, spec: HJoinerSpec,
                     for j in range(weight):
                         values.append(window[base + j][k])
             _bulk_push(out_tape, values)
-        in_tape.advance_reader(n * weight)
+        if in_mode != "channel":
+            in_tape.advance_reader(n * weight)
         charge(n)
+        return True
     return batch

@@ -59,7 +59,7 @@ from ...ir import stmt as S
 from ...ir.types import Vector
 from ...perf import events as ev
 from ..interpreter import ActorRuntime
-from ..tape import Tape
+from ..tape import NdTape, Tape
 from ..values import apply_binary, apply_math, apply_unary
 from .np_compat import EXACT_INTRINSICS, NP_MATH, np
 
@@ -102,6 +102,29 @@ class _Abort(Exception):
 
 
 _ARANGE_CACHE: Dict[int, Any] = {}
+
+
+def _tape_mode(tape: Any) -> Optional[str]:
+    """Classify a tape for the batch path: ``"plain"`` (list tape),
+    ``"nd"`` (ndarray tape), ``"channel"`` (multicore bounded channel —
+    bulk ops block/commit under its lock), or ``None`` (unknown subclass:
+    refuse the batch)."""
+    tt = type(tape)
+    if tt is Tape:
+        return "plain"
+    if tt is NdTape:
+        return "nd"
+    # Lazy import: repro.multicore imports the runtime package.
+    global _CHANNEL_CLS
+    if _CHANNEL_CLS is None:
+        from ...multicore.channels import Channel
+        _CHANNEL_CLS = Channel
+    if isinstance(tape, _CHANNEL_CLS):
+        return "channel"
+    return None
+
+
+_CHANNEL_CLS: Optional[type] = None
 
 
 def _arange(n: int) -> Any:
@@ -158,11 +181,15 @@ class BatchKernel:
             return True
         inp = rt.input
         out = rt.output
+        in_mode = "plain"
+        out_mode = "plain"
         if self.a_in or self.need:
-            if type(inp) is not Tape:       # excludes multicore Channel
+            in_mode = _tape_mode(inp)
+            if in_mode is None:
                 return False
         if self.a_out or self.records:
-            if type(out) is not Tape:
+            out_mode = _tape_mode(out)
+            if out_mode is None:
                 return False
         if inp is not None and inp is out:
             return False
@@ -178,10 +205,35 @@ class BatchKernel:
         int_mode = False
         m_window = 0.0
         arr = None
+        nd_view = None
+        window = None
         if need:
-            if len(inp) < need:
+            if in_mode == "channel":
+                # Blocking bulk read: the producing core commits the full
+                # window within this steady iteration (schedule order), so
+                # waiting is the batched analogue of n blocking pops.  A
+                # window larger than the channel bound can never be fully
+                # resident — pace that actor per firing instead.
+                if need > inp.capacity:
+                    return False
+                window = inp.peek_block(need)
+            elif len(inp) < need:
                 return False
-            window = inp.peek_block(need)
+            elif in_mode == "nd" and not self.in_vector:
+                # Zero-copy fast path: the window IS the tape storage.
+                nd_view = inp.peek_block_array(need)
+                if nd_view is None:     # degraded / mixed representation
+                    window = inp.peek_block(need)
+            else:
+                window = inp.peek_block(need)
+        if nd_view is not None:
+            int_mode = nd_view.dtype.kind == "i"
+            absd = np.abs(nd_view.astype(np.float64)) if int_mode \
+                else np.abs(nd_view)
+            m_window = float(absd.max()) if need else 0.0
+            if m_window != m_window:    # window held a NaN
+                m_window = _INF
+        elif need:
             if self.in_vector:
                 width = self.width
                 kinds = set()
@@ -285,7 +337,10 @@ class BatchKernel:
                 return False
 
         # -- array evaluation --------------------------------------------------
-        if need:
+        if nd_view is not None:
+            # The window already lives in machine layout: no asarray pass.
+            arr = nd_view.astype(np.float64) if int_mode else nd_view
+        elif need:
             try:
                 arr = np.asarray(window, dtype=np.float64)
             except (ValueError, OverflowError, TypeError):
@@ -338,19 +393,39 @@ class BatchKernel:
             return False
 
         # -- commit ------------------------------------------------------------
+        if in_mode == "channel" and n * a_in:
+            # The channel window is a copied list: release the input slots
+            # before the (possibly blocking) output commit so downstream
+            # cores can drain while we wait for space — no transitive wedge.
+            inp.advance_reader(n * a_in)
         if self.records:
-            cols = [self._materialize(src, regs, svals, bvals, int_mode, n)
-                    for _, src in self.records]
-            if self.a_out:
-                for (offset, _), col in zip(self.records, cols):
-                    out.write_strided(offset, self.a_out, col)
+            nd_cols: Optional[List[Any]] = None
+            if self.a_out and out_mode == "nd" and out.degrade_reason is None:
+                nd_cols = [self._materialize_array(src, regs, svals, bvals,
+                                                   int_mode, n)
+                           for _, src in self.records]
+                if any(c is None for c in nd_cols):
+                    nd_cols = None
+            if nd_cols is not None:
+                for (offset, _), col in zip(self.records, nd_cols):
+                    out.write_strided_array(offset, self.a_out, col)
                 out.advance_writer(n * self.a_out)
             else:
-                for (offset, _), col in zip(self.records, cols):
-                    out.rpush(col[-1], offset)
+                cols = [self._materialize(src, regs, svals, bvals,
+                                          int_mode, n)
+                        for _, src in self.records]
+                if self.a_out:
+                    for (offset, _), col in zip(self.records, cols):
+                        out.write_strided(offset, self.a_out, col)
+                    out.advance_writer(n * self.a_out)
+                else:
+                    for (offset, _), col in zip(self.records, cols):
+                        out.rpush(col[-1], offset)
         elif self.a_out:
             out.advance_writer(n * self.a_out)
-        if n * a_in:
+        if in_mode != "channel" and n * a_in:
+            # nd inputs advance last: in-place compaction may move storage,
+            # which must not happen while `arr` views are still live.
             inp.advance_reader(n * a_in)
         for av in self.aff_vars:
             if av.delta != 0:
@@ -498,6 +573,45 @@ class BatchKernel:
         lanes = [self._materialize(s, regs, svals, bvals, int_mode, n)
                  for s in lane_srcs]
         return [list(row) for row in zip(*lanes)]
+
+    def _materialize_array(self, src: Tuple[Any, ...], regs: List[Any],
+                           svals: List[Any], bvals: List[float],
+                           int_mode: bool, n: int) -> Optional[Any]:
+        """ndarray analogue of _materialize for scalar output columns.
+
+        Returns None whenever the column cannot be represented losslessly
+        as an int64/float64 ndarray (bools, huge ints, vector payloads) —
+        the caller then falls back to the list path for the whole record
+        set so per-record ordering on the tape stays uniform.
+        """
+        kind = src[0]
+        if kind == "c" or kind == "s":
+            v = src[1] if kind == "c" else svals[src[1]]
+            if type(v) is float:
+                return np.full(n, v)
+            if type(v) is int:
+                try:
+                    return np.full(n, v, dtype=np.int64)
+                except OverflowError:
+                    return None
+            return None
+        if kind == "r":
+            idx = src[1]
+            tag = self.rtags[idx]
+            if tag == "bool":
+                return None
+            col = regs[idx]
+            as_int = tag == "int" or (tag == "slab" and int_mode)
+            if not (isinstance(col, np.ndarray) and col.ndim == 1):
+                if as_int:
+                    return np.full(n, int(col), dtype=np.int64)
+                return np.full(n, float(col))
+            if as_int:
+                if bvals[idx] < _EXACT_LIMIT:
+                    return col.astype(np.int64)
+                return None
+            return col
+        return None  # ('vec', ...) columns carry list payloads
 
     def _reg_to_list(self, idx: int, regs: List[Any], bvals: List[float],
                      int_mode: bool, n: int) -> List[Any]:

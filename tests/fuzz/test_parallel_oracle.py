@@ -15,6 +15,7 @@ from repro.fuzz import (
     check_parallel_program,
     generate_program,
 )
+from repro.fuzz.harness import default_backends
 from repro.multicore.channels import Channel
 
 from ..conftest import (
@@ -42,7 +43,8 @@ def test_generated_programs_are_parallel_clean(seed):
 def test_oracle_covers_full_matrix():
     desc = generate_program(random.Random(0))
     report = check_parallel_program(desc)
-    expected = len(PARALLEL_OPTION_SETS) * 2 * len(PARALLEL_CORES)
+    backends = 1 + len(default_backends())  # interp + installed backends
+    expected = len(PARALLEL_OPTION_SETS) * backends * len(PARALLEL_CORES)
     assert report.configs_checked == expected
 
 

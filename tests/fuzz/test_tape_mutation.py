@@ -1,0 +1,140 @@
+"""Mutation testing of the tape layer of the vector data plane.
+
+:mod:`repro.runtime.tape` carries one deliberately injectable defect —
+``_MUT_ND_WINDOW_SHIFT`` — which rotates every ndarray window read by
+that many slots: the classic off-by-one ring-wrap bug in a buffer that
+hands out zero-copy views.  Armed, it corrupts both the list windows
+(``peek_block``) and the array views (``peek_block_array``) of
+:class:`~repro.runtime.tape.NdTape`, while the plain list :class:`Tape`
+stays correct.
+
+These tests prove the two oracles that guard the tape layer are not
+vacuous: the unit-level differential replay (list tape vs nd tape) and
+the end-to-end interp-vs-vector fuzz axis must both catch the armed
+defect — and the campaign must shrink it to a small repro — while the
+identical runs are clean with the seam disarmed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+import repro.runtime.tape as tape_mod
+from repro.apps.sources import checksum_sink, ramp_source
+from repro.fuzz import check_program, run_fuzz
+from repro.fuzz.harness import check_graph
+from repro.graph.actor import FilterSpec
+from repro.graph.flatten import flatten
+from repro.graph.structure import Program, pipeline
+from repro.ir import WorkBuilder
+
+from ..runtime.test_tape_properties import random_op, replay_differential
+
+MUTATION_BUDGET = 8
+
+
+def _windowed_graph():
+    """source(8) -> worker(pop 2, push 2; fires 4x) -> sink(8).
+
+    Rate-mismatched so batched reads pull multi-element windows — a
+    window shift is invisible on length-1 reads (``np.roll`` of a single
+    element is the identity)."""
+    b = WorkBuilder()
+    x = b.let("x", b.pop())
+    y = b.let("y", b.pop())
+    b.push(x - y)
+    b.push(x * 2.0)
+    worker = FilterSpec("worker", pop=2, push=2, work_body=b.build())
+    return flatten(Program("tapemut", pipeline(
+        ramp_source("src", push=8, step=0.5), worker,
+        checksum_sink("sink", pop=8))))
+
+
+# -- the unit-level differential oracle catches the armed seam ----------------
+
+@pytest.mark.fuzz
+def test_differential_replay_catches_window_shift(monkeypatch):
+    """The property suite's replay (Tape vs NdTape) must fail fast once
+    the ring-wrap defect is armed — multi-element windows come back
+    rotated on the nd side only."""
+    ops = [("push", 1.0), ("push", 2.0), ("push", 3.0), ("peek_block", 3)]
+    replay_differential(ops)  # control arm: clean while disarmed
+    monkeypatch.setattr(tape_mod, "_MUT_ND_WINDOW_SHIFT", 1)
+    with pytest.raises(AssertionError):
+        replay_differential(ops)
+
+
+def _numeric_op(rng: random.Random):
+    """Like :func:`random_op` but drawing only nd-representable values,
+    so the tape never takes the (sticky) degrade exit where the armed
+    seam would be invisible."""
+    while True:
+        op = random_op(rng)
+        values = op[1:2] if op[0] in ("push", "rpush") else \
+            op[3] if op[0] == "write_strided" else ()
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               and abs(v) < 2 ** 40 for v in values):
+            return op
+
+
+@pytest.mark.fuzz
+def test_random_sequences_catch_window_shift(monkeypatch):
+    """Most seeded random sequences must trip over the defect — the op
+    mix reads multi-element windows often enough that the armed seam
+    cannot hide (as long as the tape stays on the nd path)."""
+    monkeypatch.setattr(tape_mod, "_MUT_ND_WINDOW_SHIFT", 1)
+    caught = 0
+    for seed in range(10):
+        rng = random.Random(seed)
+        try:
+            replay_differential([_numeric_op(rng) for _ in range(250)])
+        except AssertionError:
+            caught += 1
+    assert caught >= 5, \
+        f"only {caught}/10 sequences noticed the armed window shift"
+
+
+# -- the end-to-end interp-vs-vector oracle catches it too --------------------
+
+@pytest.mark.fuzz
+def test_vector_axis_catches_window_shift(monkeypatch):
+    graph = _windowed_graph()
+    assert check_graph(graph, backends=("vector",)).ok  # control arm
+    monkeypatch.setattr(tape_mod, "_MUT_ND_WINDOW_SHIFT", 1)
+    report = check_graph(graph, backends=("vector",))
+    assert not report.ok, "oracle missed the armed tape window shift"
+    div = report.divergences[0]
+    assert div.kind == "backend"
+    assert div.config.endswith("/vector")
+
+
+@pytest.mark.fuzz
+def test_fuzz_campaign_catches_window_shift_and_shrinks(monkeypatch,
+                                                        tmp_path):
+    monkeypatch.setattr(tape_mod, "_MUT_ND_WINDOW_SHIFT", 1)
+    report = run_fuzz(0, MUTATION_BUDGET, corpus_dir=tmp_path,
+                      max_findings=1, backends=("vector",))
+    assert report.findings, "campaign missed the armed tape defect"
+    finding = report.findings[0]
+    assert finding.divergence.kind == "backend"
+    assert finding.divergence.config.endswith("/vector")
+    assert finding.minimized.filter_count() <= 3, finding.minimized
+    # The minimized repro still provokes the divergence while armed…
+    assert not check_program(finding.minimized, backends=("vector",)).ok
+    # …and replays clean once the seam is disarmed.
+    monkeypatch.setattr(tape_mod, "_MUT_ND_WINDOW_SHIFT", 0)
+    assert check_program(finding.minimized, backends=("vector",)).ok
+    assert finding.repro_path is not None and finding.repro_path.is_file()
+
+
+@pytest.mark.fuzz
+def test_clean_campaign_with_seam_disarmed():
+    """Control arm: same seed and budget, seam at rest — zero findings,
+    so the detections above are signal, not flakiness."""
+    assert tape_mod._MUT_ND_WINDOW_SHIFT == 0
+    report = run_fuzz(0, MUTATION_BUDGET, backends=("vector",))
+    assert report.ok, "\n".join(str(f.divergence) for f in report.findings)

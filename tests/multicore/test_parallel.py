@@ -40,13 +40,15 @@ def _pipeline_graph():
 
 @pytest.mark.parametrize("app", sorted(BENCHMARKS))
 def test_app_parity(app):
-    """{scalar, auto-SIMD} x {interp, compiled} x {1, 2, 4} cores must be
-    event-identical to sequential execution."""
+    """{scalar, auto-SIMD} x {interp, compiled[, vector]} x {1, 2, 4}
+    cores must be event-identical to sequential execution."""
     from repro.experiments.harness import scalar_graph
+    from repro.fuzz.harness import default_backends
     report = check_parallel(scalar_graph(app), stop_on_first=False)
     assert report.ok, "\n".join(
         f"{d.kind} @ {d.config}: {d.detail}" for d in report.divergences)
-    assert report.configs_checked == 2 * 2 * 3  # options x backends x cores
+    backends = 1 + len(default_backends())
+    assert report.configs_checked == 2 * backends * 3
 
 
 def test_determinism_across_runs():

@@ -1,0 +1,84 @@
+"""Vector-backed multicore: ``parallel_execute(..., backend="vector")``.
+
+The nd-tape data plane must compose with the thread-based runtime: local
+(intra-core) edges become :class:`NdTape`, cut edges stay bounded
+:class:`Channel`\\ s with bulk block transfers, and per-core schedule
+slices batch-execute through the same kernels as the sequential vector
+backend — all while staying event-identical to the interpreter.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.runtime.tape import HAVE_NUMPY
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY,
+                                reason="numpy not installed ([vector] extra)")
+
+from repro.experiments.harness import scalar_graph
+from repro.multicore import parallel_execute
+from repro.runtime import execute
+from repro.simd.machine import CORE_I7
+
+APPS = ("FMRadio", "DCT", "FilterBank")
+CORES = (1, 2, 4)
+
+
+def canon(value):
+    if isinstance(value, list):
+        return tuple(canon(v) for v in value)
+    return (type(value).__name__, repr(value))
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("cores", CORES)
+def test_parallel_vector_matches_sequential_interp(app, cores):
+    graph = scalar_graph(app)
+    seq = execute(graph, machine=CORE_I7, iterations=4, backend="interp")
+    par = parallel_execute(graph, machine=CORE_I7, iterations=4,
+                           cores=cores, backend="vector")
+    assert canon(par.outputs) == canon(seq.outputs)
+    assert canon(par.init_outputs) == canon(seq.init_outputs)
+    # Vector-backed multicore must actually batch, not silently fall
+    # back to element-at-a-time interpretation.
+    assert par.batched_firings > 0, (app, cores)
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_batched_firings_stable_across_core_counts(app):
+    """Partitioning must not change *what* gets batched — every actor
+    firing flows through a batch kernel regardless of placement."""
+    graph = scalar_graph(app)
+    counts = {cores: parallel_execute(graph, machine=CORE_I7, iterations=4,
+                                      cores=cores,
+                                      backend="vector").batched_firings
+              for cores in CORES}
+    assert len(set(counts.values())) == 1, counts
+
+
+def test_vectorized_statuses_reported_from_parallel_run():
+    par = parallel_execute(scalar_graph("FMRadio"), machine=CORE_I7,
+                           iterations=2, cores=2, backend="vector")
+    assert par.vectorized, "parallel vector run reported no statuses"
+    assert all(isinstance(v, str) for v in par.vectorized.values())
+
+
+def test_parallel_vector_deterministic():
+    graph = scalar_graph("DCT")
+    runs = [parallel_execute(graph, machine=CORE_I7, iterations=3,
+                             cores=4, backend="vector") for _ in range(3)]
+    assert all(canon(r.outputs) == canon(runs[0].outputs) for r in runs)
+    assert all(r.batched_firings == runs[0].batched_firings for r in runs)
+
+
+def test_outputs_are_plain_python_floats():
+    """np scalars must never leak out of the nd data plane — sinks and
+    drains hand back plain Python numbers."""
+    par = parallel_execute(scalar_graph("FilterBank"), machine=CORE_I7,
+                           iterations=2, cores=2, backend="vector")
+    flat = [v for v in par.outputs if not isinstance(v, list)]
+    assert flat and all(type(v) in (int, float) for v in flat)
+    assert all(math.isfinite(v) for v in flat if type(v) is float)

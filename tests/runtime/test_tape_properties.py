@@ -1,0 +1,277 @@
+"""Differential property suite: NdTape vs the list Tape.
+
+The ndarray-native tape must be *observably identical* to the list tape —
+same values (and Python types), same lengths, same error types and
+messages — across the full repertoire, including rpush gaps, strided
+writes, drain, dtype transitions, degradation to list storage, and
+compaction boundaries.  Seeded random op sequences are replayed against
+both implementations and every single outcome is compared.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.runtime.errors import TapeUnderflow, UninitializedRead
+from repro.runtime import tape as tape_mod
+from repro.runtime.tape import HAVE_NUMPY, NdTape, Tape
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY,
+                                reason="numpy not installed ([vector] extra)")
+
+
+# -- canonicalization ---------------------------------------------------------
+
+def canon(value):
+    """Type-tagged canonical form: 1 and 1.0 must NOT compare equal."""
+    if isinstance(value, list):
+        return ("list", tuple(canon(v) for v in value))
+    return (type(value).__name__, repr(value))
+
+
+def apply_op(tape, op):
+    """Run one op; return a canonical (outcome) tuple incl. typed errors."""
+    name = op[0]
+    try:
+        if name == "push":
+            tape.push(op[1])
+            return ("ok",)
+        if name == "pop":
+            return ("ok", canon(tape.pop()))
+        if name == "peek":
+            return ("ok", canon(tape.peek(op[1])))
+        if name == "peek_block":
+            return ("ok", canon(tape.peek_block(op[1])))
+        if name == "rpush":
+            tape.rpush(op[1], op[2])
+            return ("ok",)
+        if name == "advance_writer":
+            tape.advance_writer(op[1])
+            return ("ok",)
+        if name == "advance_reader":
+            tape.advance_reader(op[1])
+            return ("ok",)
+        if name == "write_strided":
+            tape.write_strided(op[1], op[2], list(op[3]))
+            return ("ok",)
+        if name == "drain":
+            return ("ok", canon(tape.drain()))
+        if name == "len":
+            return ("ok", len(tape))
+        raise AssertionError(f"unknown op {name!r}")
+    except (TapeUnderflow, UninitializedRead, ValueError) as exc:
+        return ("err", type(exc).__name__, str(exc))
+
+
+# -- random op sequences ------------------------------------------------------
+
+_VALUES = [0, 1, -3, 7, 12345, 2 ** 40, 2 ** 60, 2 ** 64,
+           0.0, 2.5, -0.5, 1e300, -1e-9, float("nan"), float("inf"),
+           [1.0, 2.0], [3, 4.5]]
+
+
+def random_op(rng: random.Random):
+    roll = rng.random()
+    value = rng.choice(_VALUES)
+    if roll < 0.30:
+        return ("push", value)
+    if roll < 0.45:
+        return ("pop",)
+    if roll < 0.55:
+        return ("peek", rng.randrange(0, 6))
+    if roll < 0.62:
+        return ("peek_block", rng.randrange(0, 8))
+    if roll < 0.72:
+        return ("rpush", value, rng.randrange(0, 6))
+    if roll < 0.82:
+        return ("advance_writer", rng.randrange(0, 6))
+    if roll < 0.90:
+        return ("advance_reader", rng.randrange(0, 4))
+    if roll < 0.97:
+        count = rng.randrange(1, 5)
+        values = tuple(rng.choice(_VALUES) for _ in range(count))
+        return ("write_strided", rng.randrange(0, 4),
+                rng.randrange(1, 4), values)
+    return ("drain",)
+
+
+def replay_differential(ops):
+    """Replay ``ops`` on both tapes, asserting identical outcomes and
+    identical lengths after every op."""
+    plain = Tape("x")
+    nd = NdTape("x")
+    for step, op in enumerate(ops):
+        a = apply_op(plain, op)
+        b = apply_op(nd, op)
+        assert a == b, (f"step {step}: {op!r}\n  list tape: {a!r}\n"
+                        f"  nd tape:   {b!r}")
+        assert len(plain) == len(nd), (step, op)
+    return plain, nd
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_random_op_sequences_match(seed):
+    rng = random.Random(seed)
+    replay_differential([random_op(rng) for _ in range(250)])
+
+
+@pytest.mark.parametrize("seed", range(30, 40))
+def test_random_op_sequences_match_with_tiny_compaction(seed, monkeypatch):
+    """Same differential property with the compaction threshold pulled
+    down to 8, so sequences constantly cross the compaction boundary
+    (in-place ndarray compaction vs list prefix deletion)."""
+    monkeypatch.setattr(tape_mod, "_COMPACT_THRESHOLD", 8)
+    rng = random.Random(seed)
+    replay_differential([random_op(rng) for _ in range(400)])
+
+
+# -- pinned scenarios ---------------------------------------------------------
+
+def test_rpush_gap_then_advance_reports_first_hole():
+    ops = [("rpush", 1.0, 0), ("rpush", 2.0, 2), ("advance_writer", 3)]
+    plain, nd = replay_differential(ops)
+    with pytest.raises(UninitializedRead, match="unwritten slot 1"):
+        nd.advance_writer(3)
+    with pytest.raises(UninitializedRead, match="unwritten slot 1"):
+        plain.advance_writer(3)
+
+
+def test_rpush_gap_filled_then_committed():
+    replay_differential([
+        ("rpush", 1.0, 0), ("rpush", 3.0, 2), ("rpush", 2.0, 1),
+        ("advance_writer", 3), ("pop",), ("pop",), ("pop",), ("pop",),
+    ])
+
+
+def test_strided_writes_interleave_exactly():
+    replay_differential([
+        ("write_strided", 0, 2, (1.0, 2.0, 3.0)),
+        ("write_strided", 1, 2, (10.0, 20.0, 30.0)),
+        ("advance_writer", 6),
+        ("peek_block", 6), ("drain",),
+    ])
+
+
+def test_underflow_messages_match_exactly():
+    for op in [("pop",), ("peek", 2), ("peek_block", 3),
+               ("advance_reader", 1)]:
+        plain, nd = Tape("t"), NdTape("t")
+        assert apply_op(plain, op) == apply_op(nd, op)
+        assert apply_op(plain, op)[0] == "err"
+
+
+def test_int_stays_int_float_stays_float():
+    _, nd = replay_differential([
+        ("push", 1), ("push", 2.0), ("push", 3),
+        ("pop",), ("pop",), ("pop",)])
+    assert nd.dtype_kind is None  # fully drained -> dtype reset
+
+
+def test_compaction_boundary_exact(monkeypatch):
+    """Pin behaviour exactly at/around the compaction trigger."""
+    monkeypatch.setattr(tape_mod, "_COMPACT_THRESHOLD", 16)
+    ops = []
+    for i in range(40):
+        ops.append(("push", float(i)))
+    for _ in range(17):  # crosses head > threshold with head*2 > capacity
+        ops.append(("pop",))
+    ops += [("peek_block", 10), ("push", 99.0), ("drain",)]
+    replay_differential(ops)
+
+
+def test_nd_compaction_preserves_staged_suffix(monkeypatch):
+    """Staged (uncommitted) rpush slots past the write pointer must
+    survive an in-place compaction."""
+    monkeypatch.setattr(tape_mod, "_COMPACT_THRESHOLD", 4)
+    ops = []
+    for i in range(12):
+        ops.append(("push", float(i)))
+    ops.append(("rpush", 123.0, 1))     # staged past the write pointer
+    for _ in range(6):
+        ops.append(("pop",))            # triggers compaction
+    ops += [("rpush", 122.0, 0), ("advance_writer", 2), ("drain",)]
+    replay_differential(ops)
+
+
+# -- the advance_writer(0) regression (satellite) -----------------------------
+
+def test_advance_writer_zero_does_not_grow_buffer():
+    plain = Tape("t")
+    plain.advance_writer(0)
+    assert len(plain._buf) == 0  # was: one spurious _UNWRITTEN slot
+    assert len(plain) == 0
+    plain.push(1.0)
+    assert plain.drain() == [1.0]
+
+
+def test_advance_writer_zero_is_noop_on_nd_tape():
+    nd = NdTape("t")
+    nd.advance_writer(0)
+    assert len(nd) == 0
+    assert nd.dtype_kind is None
+    nd.push(1.0)
+    assert nd.drain() == [1.0]
+
+
+def test_advance_writer_zero_after_staging():
+    for cls in (Tape, NdTape):
+        t = cls("t")
+        t.rpush(5.0, 0)
+        t.advance_writer(0)   # stages untouched, nothing committed
+        assert len(t) == 0
+        t.advance_writer(1)
+        assert t.drain() == [5.0]
+
+
+# -- array-view API (NdTape only) ---------------------------------------------
+
+def test_peek_block_array_is_zero_copy_and_readonly():
+    import numpy as np
+    nd = NdTape("t")
+    for i in range(8):
+        nd.push(float(i))
+    view = nd.peek_block_array(5)
+    assert view.dtype == np.float64
+    assert view.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert view.base is not None          # a view, not a copy
+    assert not view.flags.writeable
+    with pytest.raises((ValueError, RuntimeError)):
+        view[0] = 99.0
+
+
+def test_peek_block_array_underflow_and_none_cases():
+    nd = NdTape("t")
+    with pytest.raises(TapeUnderflow):
+        nd.peek_block_array(1)
+    assert nd.peek_block_array(0) is None  # no dtype adopted yet
+    nd.push(1)
+    nd.push(2.5)                           # promotes to mixed
+    assert nd.peek_block_array(2) is None  # mixed: no pure view
+    assert nd.peek_block(2) == [1, 2.5]
+
+
+def test_write_strided_array_matches_list_path():
+    import numpy as np
+    for values in (np.array([1.5, 2.5, 3.5]),
+                   np.array([10, 20, 30], dtype=np.int64)):
+        nd = NdTape("t")
+        plain = Tape("t")
+        nd.write_strided_array(0, 2, values)
+        nd.write_strided_array(1, 2, values)
+        nd.advance_writer(6)
+        plain.write_strided(0, 2, values.tolist())
+        plain.write_strided(1, 2, values.tolist())
+        plain.advance_writer(6)
+        assert canon(nd.drain()) == canon(plain.drain())
+
+
+def test_write_strided_array_huge_int_degrades_exactly():
+    import numpy as np
+    nd = NdTape("t")
+    nd.push(0.5)                            # float storage
+    nd.write_strided_array(0, 1, np.array([2 ** 60], dtype=np.int64))
+    nd.advance_writer(1)
+    assert nd.degrade_reason == "int beyond float64-exact range"
+    assert nd.drain() == [0.5, 2 ** 60]     # exact value preserved
