@@ -1,0 +1,94 @@
+"""The planning subsystem's memory-vs-throughput front, per app.
+
+For every suite app on the Core i7 and the gpu-like target this bench
+prices every registered partitioner through one shared
+:class:`~repro.plan.context.PlanContext`, runs the branch-and-bound
+optimizer, sweeps the Pareto front, and records the whole-program
+vectorization choice.  The front answers the ROADMAP's memory-constrained
+scheduling question — how much channel-buffer memory each increment of
+modeled throughput costs on each target — and the i7-vs-gpu-like diff
+column shows the co-optimization actually changing its mind per target.
+
+Results land in ``BENCH_plan.json`` at the repo root (uploaded as a CI
+artifact by the ``plan`` job) and ``results/plan_pareto.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.harness import DEFAULT_BENCHMARKS
+from repro.experiments.planning import planning_report
+
+from .conftest import record
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_plan.json"
+
+CORES = 4
+POINTS = 6
+TARGETS = ("core-i7-sse4", "gpu-like")
+
+
+def _measure() -> dict:
+    rows = planning_report(DEFAULT_BENCHMARKS, targets=TARGETS,
+                           cores=CORES, points=POINTS)
+    apps: dict = {}
+    for row in rows:
+        apps.setdefault(row.benchmark, {})[row.target] = row.as_dict()
+
+    diffs = []
+    for name, per_target in apps.items():
+        i7, gpu = per_target[TARGETS[0]], per_target[TARGETS[1]]
+        part_differs = (i7["optimizer"]["memory_items"],
+                        i7["strategies"]["opt"]["cores_used"]) != \
+                       (gpu["optimizer"]["memory_items"],
+                        gpu["strategies"]["opt"]["cores_used"])
+        vec_differs = i7["vectorization"]["techniques"] != \
+            gpu["vectorization"]["techniques"]
+        if part_differs or vec_differs:
+            diffs.append(name)
+    return {"cores": CORES, "points": POINTS, "targets": list(TARGETS),
+            "apps": apps, "plans_differ_across_targets": sorted(diffs)}
+
+
+def _render(data: dict) -> str:
+    lines = [f"{'app':16s} {'target':13s} {'lpt mk':>9s} {'opt mk':>9s} "
+             f"{'lpt mem':>8s} {'opt mem':>8s} {'front':>5s}  vectorization"]
+    for name, per_target in sorted(data["apps"].items()):
+        for target, row in sorted(per_target.items()):
+            lpt = row["strategies"]["lpt"]
+            opt = row["strategies"]["opt"]
+            vec = row["vectorization"]
+            techniques = ",".join(f"{k}x{v}" for k, v
+                                  in sorted(vec["techniques"].items()))
+            lines.append(
+                f"{name:16s} {target:13s} {lpt['makespan']:9.1f} "
+                f"{opt['makespan']:9.1f} {lpt['memory_items']:8d} "
+                f"{opt['memory_items']:8d} {len(row['front']):5d}  "
+                f"{vec['mode']}({vec['speedup']:.2f}x) {techniques}")
+    lines.append("plans differ across targets: "
+                 + ", ".join(data["plans_differ_across_targets"]))
+    return "\n".join(lines)
+
+
+def test_plan_pareto(benchmark):
+    data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    record("plan_pareto", _render(data))
+
+    for name, per_target in data["apps"].items():
+        i7 = per_target["core-i7-sse4"]
+        # Acceptance: the optimizer is never worse than greedy LPT on
+        # either axis, and the i7 front offers >= 3 trade-off points.
+        assert i7["optimizer"]["makespan"] <= \
+            i7["strategies"]["lpt"]["makespan"] + 1e-6, name
+        assert i7["optimizer"]["memory_items"] <= \
+            i7["strategies"]["lpt"]["memory_items"], name
+        assert len(i7["front"]) >= 3, \
+            f"{name}: {len(i7['front'])} Pareto points on the i7"
+        for prev, cur in zip(i7["front"], i7["front"][1:]):
+            assert cur["makespan"] > prev["makespan"], name
+            assert cur["memory_items"] < prev["memory_items"], name
+    assert len(data["plans_differ_across_targets"]) >= 2, \
+        "gpu-like target no longer reshapes any plan vs the i7"

@@ -42,6 +42,23 @@ from .graph import (
     validate,
 )
 from .ir import FLOAT, INT, ArrayHandle, Param, WorkBuilder, call, format_body
+from .plan import (
+    InfeasiblePlanError,
+    ParetoPoint,
+    Partition,
+    PlanContext,
+    PlanError,
+    PlanResult,
+    UnknownPartitionerError,
+    build_plan_context,
+    evaluate_partition,
+    get_partitioner,
+    list_partitioners,
+    optimize_partition,
+    pareto_front,
+    plan_vectorization,
+    register_partitioner,
+)
 from .runtime import ExecutionResult, Tape, execute
 from .schedule import Schedule, build_schedule, repetition_vector
 from .simd import (
@@ -71,6 +88,11 @@ __all__ = [
     "FLOAT", "INT", "ArrayHandle", "Param", "WorkBuilder", "call",
     "format_body",
     "ExecutionResult", "Tape", "execute",
+    "InfeasiblePlanError", "ParetoPoint", "Partition", "PlanContext",
+    "PlanError", "PlanResult", "UnknownPartitionerError",
+    "build_plan_context", "evaluate_partition", "get_partitioner",
+    "list_partitioners", "optimize_partition", "pareto_front",
+    "plan_vectorization", "register_partitioner",
     "Schedule", "build_schedule", "repetition_vector",
     "CORE_I7", "CORE_I7_SAGU", "NEON_LIKE", "SVE_LIKE",
     "CompilationReport", "CompiledGraph", "MachineDescription",

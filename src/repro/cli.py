@@ -7,6 +7,7 @@ Subcommands::
     macross compile <bench>           # compilation report (+ --cpp for code)
     macross run <bench>               # execute scalar vs macro-SIMDized
     macross multicore <bench>         # modeled makespan vs parallel runtime
+    macross plan <bench>              # partition/buffer/SIMD co-planning
     macross trace <bench>             # per-pass timing + hottest actors
     macross fuzz                      # differential fuzzing campaign
     macross serve <bench...>          # sessions through the worker pool
@@ -57,8 +58,19 @@ tape counts, so loadgen mixes can be sized without opening the source.
 ``multicore <bench>`` prints a per-core-count table comparing the
 Figure 13 makespan *model* against the *measured* parallel runtime, for
 the scalar and macro-SIMDized variants (``--cores`` is repeatable,
-default 1/2/4; ``--partitioner {lpt,contiguous}`` selects the
-partitioning strategy).
+default 1/2/4; ``--partitioner NAME`` selects any strategy registered
+with the planning subsystem — ``lpt``, ``contiguous``, ``opt``, … —
+unknown names exit 2 with a did-you-mean suggestion).
+
+``plan <bench>`` runs the co-optimizing planner (``repro.plan``) for one
+benchmark on one target: it compares every registered partitioner's
+communication-aware makespan and planned channel-buffer memory, reports
+the branch-and-bound optimizer's plan (min memory under a makespan
+bound; ``--memory-budget`` flips to the dual), the whole-program
+vectorization choice, and the memory-vs-makespan Pareto front
+(``--points`` bounds). ``--target`` is an alias for ``--machine`` —
+``macross plan dct --cores 4 --target gpu-like`` shows how an expensive
+inter-core transfer price changes the plan versus the Core i7.
 
 ``compile``, ``run``, ``trace``, and ``fuzz`` accept ``--trace FILE`` to
 capture an execution trace: ``*.jsonl`` writes JSON lines, anything else
@@ -137,12 +149,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_mc.add_argument("--backend", choices=("interp", "compiled", "vector"),
                       default="interp",
                       help="execution engine (default: interp)")
-    p_mc.add_argument("--partitioner", choices=("lpt", "contiguous"),
-                      default="lpt",
-                      help="partitioning strategy (default: lpt)")
+    p_mc.add_argument("--partitioner", default="lpt", metavar="NAME",
+                      help="partitioning strategy registered with the "
+                           "planning subsystem (lpt, contiguous, opt, ...; "
+                           "default: lpt)")
     p_mc.add_argument("--sagu", action="store_true")
     add_machine_flag(p_mc)
     add_trace_flag(p_mc)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="co-optimize partition shape, channel buffers, and "
+             "SIMDization for one benchmark")
+    p_plan.add_argument("benchmark")
+    p_plan.add_argument("--cores", type=int, default=4, metavar="N",
+                        help="core count to plan for (default: 4)")
+    p_plan.add_argument("--target", dest="machine", metavar="NAME",
+                        help="alias for --machine")
+    p_plan.add_argument("--points", type=int, default=8, metavar="K",
+                        help="interior Pareto sweep points (default: 8)")
+    p_plan.add_argument("--memory-budget", type=int, default=None,
+                        metavar="ITEMS",
+                        help="plan min-makespan under this channel-memory "
+                             "budget instead of min-memory under the LPT "
+                             "makespan bound")
+    p_plan.add_argument("--iterations", type=int, default=2)
+    p_plan.add_argument("--sagu", action="store_true")
+    add_machine_flag(p_plan)
 
     p_prof = sub.add_parser("profile",
                             help="per-actor cycle breakdown, scalar vs SIMD")
@@ -471,6 +504,9 @@ def _dispatch_inner(args: argparse.Namespace) -> int:
     if args.command == "multicore":
         return _run_multicore_command(args)
 
+    if args.command == "plan":
+        return _run_plan_command(args)
+
     if args.command == "trace":
         return _run_trace_command(args)
 
@@ -540,9 +576,8 @@ def _run_multicore_command(args: argparse.Namespace) -> int:
     from .experiments.harness import scalar_graph
     from .multicore import (
         Partition,
+        get_partitioner,
         parallel_execute,
-        partition_contiguous,
-        partition_lpt,
         profile_actor_costs,
         simulate_multicore,
     )
@@ -553,8 +588,7 @@ def _run_multicore_command(args: argparse.Namespace) -> int:
     tracer = _tracer_for(args)
     graph = scalar_graph(args.benchmark)
     core_counts = args.cores or [1, 2, 4]
-    partitioner = {"lpt": partition_lpt,
-                   "contiguous": partition_contiguous}[args.partitioner]
+    partitioner = get_partitioner(args.partitioner, machine)
     iterations = args.iterations
 
     baseline = execute(graph, machine=machine, iterations=iterations,
@@ -619,6 +653,88 @@ def _run_multicore_command(args: argparse.Namespace) -> int:
     print("\n".join(lines))
     _write_trace(tracer, args)
     return exit_code
+
+
+def _run_plan_command(args: argparse.Namespace) -> int:
+    """``macross plan <bench>``: one planning context per benchmark/target,
+    every registered partitioner priced through it, the branch-and-bound
+    plan, the whole-program vectorization choice, and the Pareto front."""
+    from .experiments.harness import scalar_graph
+    from .plan import (
+        build_plan_context,
+        evaluate_partition,
+        get_partitioner,
+        list_partitioners,
+        optimize_partition,
+        pareto_front,
+        plan_vectorization,
+    )
+
+    machine = _machine(args)
+    graph = scalar_graph(args.benchmark)
+    cores = args.cores
+    ctx = build_plan_context(graph, machine, iterations=args.iterations)
+
+    print(f"{args.benchmark} on {machine.name} "
+          f"[{cores} cores, COMM {ctx.comm_price:g} cyc/item, "
+          f"{len(graph.actors)} actors]")
+    print()
+
+    header = ("strategy", "makespan", "memory", "cuts", "cores used")
+    rows = [header]
+    for name in list_partitioners():
+        part = get_partitioner(name, machine)(graph, ctx.costs, cores)
+        ev = evaluate_partition(ctx, part)
+        rows.append((name, f"{ev.makespan:.1f}", str(ev.memory_items),
+                     str(len(ev.cut_tapes)),
+                     str(len(set(part.assignment.values())))))
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(header))]
+    lines = ["  ".join(cell.ljust(width) if col == 0 else cell.rjust(width)
+                       for col, (cell, width)
+                       in enumerate(zip(row, widths))).rstrip()
+             for row in rows]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    print("\n".join(lines))
+
+    if args.memory_budget is not None:
+        # The dual: fastest plan that fits the channel-memory budget.
+        result = optimize_partition(ctx, cores, objective="makespan",
+                                    memory_budget=args.memory_budget)
+    else:
+        result = optimize_partition(ctx, cores)
+    print()
+    bound = (f"memory budget {result.memory_budget}"
+             if args.memory_budget is not None
+             else f"makespan bound {result.makespan_bound:.1f} (LPT)")
+    print(f"optimizer: {result.objective} objective under {bound}; "
+          f"{result.nodes} nodes"
+          + (" (budget exhausted)" if result.exhausted else ""))
+    print(f"  plan: makespan {result.evaluation.makespan:.1f}, "
+          f"memory {result.evaluation.memory_items} items, "
+          f"{len(result.evaluation.cut_tapes)} cut tape(s)")
+
+    vec = plan_vectorization(graph, machine, iterations=args.iterations)
+    counts = ", ".join(f"{technique} x{count}" for technique, count
+                       in sorted(vec.technique_counts().items()))
+    print(f"  vectorization: {vec.mode} "
+          f"({vec.speedup:.2f}x vs scalar; {counts})")
+
+    front = pareto_front(ctx, cores, points=args.points)
+    print()
+    print("Pareto front (memory vs makespan):")
+    header = ("makespan", "memory", "cuts")
+    rows = [header] + [(f"{pt.makespan:.1f}", str(pt.memory_items),
+                        str(len(pt.evaluation.cut_tapes)))
+                       for pt in front]
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(header))]
+    lines = ["  ".join(cell.rjust(width)
+                       for cell, width in zip(row, widths)).rstrip()
+             for row in rows]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    print("\n".join(lines))
+    return 0
 
 
 def _run_trace_command(args: argparse.Namespace) -> int:

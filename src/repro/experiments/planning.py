@@ -1,0 +1,121 @@
+"""Planning experiment: the co-optimizer across the app registry.
+
+One :class:`~repro.plan.context.PlanContext` per (benchmark, target)
+pair, priced once, then reused for every strategy comparison:
+
+* per-partitioner communication-aware makespan and planned channel
+  memory (LPT / contiguous / branch-and-bound);
+* the memory-vs-makespan Pareto front;
+* the whole-program vectorization choice.
+
+The report is plain dicts so the benchmark suite can serialize it
+straight into ``BENCH_plan.json`` and the README table can be generated
+from the same rows the CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..plan import (
+    PlanContext,
+    build_plan_context,
+    evaluate_partition,
+    get_partitioner,
+    list_partitioners,
+    optimize_partition,
+    pareto_front,
+    plan_vectorization,
+)
+from ..simd.machine import MachineDescription, get_target
+from .harness import MEASURE_ITERATIONS, resolve_benchmarks, scalar_graph
+
+__all__ = ["PlanningRow", "planning_report", "planning_row"]
+
+
+@dataclass
+class PlanningRow:
+    """Planning summary for one (benchmark, target, cores) cell."""
+
+    benchmark: str
+    target: str
+    cores: int
+    #: strategy name -> {"makespan", "memory_items", "cuts"}.
+    strategies: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: optimizer bookkeeping: nodes explored, bound, exhausted flag.
+    optimizer: Dict[str, float] = field(default_factory=dict)
+    #: [(makespan, memory_items), ...] — the Pareto front, makespan asc.
+    front: List[Dict[str, float]] = field(default_factory=list)
+    #: whole-program vectorization: mode + technique counts + speedup.
+    vectorization: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"benchmark": self.benchmark, "target": self.target,
+                "cores": self.cores, "strategies": self.strategies,
+                "optimizer": self.optimizer, "front": self.front,
+                "vectorization": self.vectorization}
+
+
+def planning_row(benchmark: str, target: MachineDescription, cores: int, *,
+                 ctx: Optional[PlanContext] = None,
+                 points: int = 6,
+                 iterations: int = MEASURE_ITERATIONS) -> PlanningRow:
+    """Price every registered strategy, the optimizer, and the front."""
+    machine = get_target(target)
+    graph = ctx.graph if ctx is not None else scalar_graph(benchmark)
+    if ctx is None:
+        ctx = build_plan_context(graph, machine, iterations=iterations)
+    row = PlanningRow(benchmark=benchmark, target=machine.name, cores=cores)
+
+    for name in list_partitioners():
+        part = get_partitioner(name, machine)(graph, ctx.costs, cores)
+        ev = evaluate_partition(ctx, part)
+        row.strategies[name] = {
+            "makespan": ev.makespan,
+            "memory_items": ev.memory_items,
+            "cuts": len(ev.cut_tapes),
+            "cores_used": len(set(part.assignment.values())),
+        }
+
+    result = optimize_partition(ctx, cores)
+    row.optimizer = {
+        "nodes": result.nodes,
+        "makespan_bound": result.makespan_bound,
+        "exhausted": result.exhausted,
+        "makespan": result.evaluation.makespan,
+        "memory_items": result.evaluation.memory_items,
+    }
+    row.front = [pt.as_dict() for pt in pareto_front(ctx, cores,
+                                                     points=points)]
+
+    vec = plan_vectorization(graph, machine, iterations=iterations)
+    row.vectorization = {
+        "mode": vec.mode,
+        "speedup": vec.speedup,
+        "techniques": vec.technique_counts(),
+    }
+    return row
+
+
+def planning_report(benchmarks: Optional[Sequence[str]] = None, *,
+                    targets: Sequence[str] = ("core-i7-sse4", "gpu-like"),
+                    cores: int = 4,
+                    points: int = 6,
+                    iterations: int = MEASURE_ITERATIONS
+                    ) -> List[PlanningRow]:
+    """The full planning sweep: every benchmark on every target.
+
+    One profiled context per (benchmark, target) serves the strategy
+    table, the optimizer run, and the Pareto front, so the report's
+    numbers are mutually consistent by construction.
+    """
+    rows: List[PlanningRow] = []
+    for name in resolve_benchmarks(benchmarks):
+        graph = scalar_graph(name)
+        for target in targets:
+            machine = get_target(target)
+            ctx = build_plan_context(graph, machine, iterations=iterations)
+            rows.append(planning_row(name, machine, cores, ctx=ctx,
+                                     points=points, iterations=iterations))
+    return rows

@@ -360,6 +360,12 @@ PARALLEL_OPTION_SETS: Dict[str, MacroSSOptions] = {
 #: Worker counts the parallel-parity oracle runs at.
 PARALLEL_CORES: Tuple[int, ...] = (1, 2, 4)
 
+#: Partitioning strategies the parallel-parity oracle runs at.  ``lpt``
+#: is the runtime default; ``opt`` routes every generated program through
+#: the branch-and-bound planner, so planner-produced partitions (and the
+#: capacity plans they imply) are fuzzed for output parity too.
+PARALLEL_PARTITIONERS: Tuple[str, ...] = ("lpt", "opt")
+
 
 def check_parallel(graph: StreamGraph,
                    *,
@@ -367,6 +373,7 @@ def check_parallel(graph: StreamGraph,
                    option_sets: Optional[Dict[str, MacroSSOptions]] = None,
                    machines: Optional[Dict[str, MachineDescription]] = None,
                    backends: Optional[Tuple[str, ...]] = None,
+                   partitioners: Tuple[str, ...] = PARALLEL_PARTITIONERS,
                    iterations: int = 2,
                    stop_on_first: bool = True) -> CheckReport:
     """Parallel-parity oracle: the thread-based multicore runtime must be
@@ -383,6 +390,13 @@ def check_parallel(graph: StreamGraph,
     non-reference backend (:func:`default_backends`) — with numpy present
     that includes ``"vector"``, exercising batched channel I/O and
     ndarray tapes across cores.
+
+    ``partitioners`` adds a planning axis: each registered name is
+    resolved through :func:`repro.plan.get_partitioner` per machine, so
+    the ``opt`` entry fuzzes branch-and-bound partitions (and their
+    capacity plans) for the same event-identical parity.  At one core
+    every partition collapses to the same single-core assignment, so
+    only the first partitioner runs there.
     """
     from ..multicore.parallel import parallel_execute
 
@@ -428,35 +442,41 @@ def check_parallel(graph: StreamGraph,
                 seq_steady = _counter_bags(seq.steady_counters)
                 seq_init = _counter_bags(seq.init_counters)
                 for n in cores:
-                    pconfig = f"{bconfig}/{n}c"
-                    report.configs_checked += 1
-                    try:
-                        par = parallel_execute(
-                            tgraph, schedule, machine=machine,
-                            iterations=iterations, backend=backend,
-                            cores=n)
-                        report.executions += 1
-                    except Exception as exc:
-                        if diverge(pconfig,
-                                   f"{type(exc).__name__}: {exc}"):
-                            return report
-                        continue
-                    if par.outputs != seq.outputs:
-                        if diverge(pconfig, "steady outputs differ from "
-                                            "sequential execute"):
-                            return report
-                    if par.init_outputs != seq.init_outputs:
-                        if diverge(pconfig, "init outputs differ from "
-                                            "sequential execute"):
-                            return report
-                    if _counter_bags(par.steady_counters) != seq_steady:
-                        if diverge(pconfig, "per-actor steady counter bags "
-                                            "differ from sequential"):
-                            return report
-                    if _counter_bags(par.init_counters) != seq_init:
-                        if diverge(pconfig, "per-actor init counter bags "
-                                            "differ from sequential"):
-                            return report
+                    # One core: every partitioner degenerates to the same
+                    # single-core assignment — checking one is enough.
+                    active = partitioners[:1] if n == 1 else partitioners
+                    for part_name in active:
+                        pconfig = f"{bconfig}/{n}c/{part_name}"
+                        report.configs_checked += 1
+                        try:
+                            par = parallel_execute(
+                                tgraph, schedule, machine=machine,
+                                iterations=iterations, backend=backend,
+                                cores=n, partitioner=part_name)
+                            report.executions += 1
+                        except Exception as exc:
+                            if diverge(pconfig,
+                                       f"{type(exc).__name__}: {exc}"):
+                                return report
+                            continue
+                        if par.outputs != seq.outputs:
+                            if diverge(pconfig, "steady outputs differ "
+                                                "from sequential execute"):
+                                return report
+                        if par.init_outputs != seq.init_outputs:
+                            if diverge(pconfig, "init outputs differ from "
+                                                "sequential execute"):
+                                return report
+                        if _counter_bags(par.steady_counters) != seq_steady:
+                            if diverge(pconfig,
+                                       "per-actor steady counter bags "
+                                       "differ from sequential"):
+                                return report
+                        if _counter_bags(par.init_counters) != seq_init:
+                            if diverge(pconfig,
+                                       "per-actor init counter bags "
+                                       "differ from sequential"):
+                                return report
     return report
 
 

@@ -16,7 +16,15 @@ from .parallel import (
     calibrated_pace,
     parallel_execute,
 )
-from .partition import Partition, partition_contiguous, partition_lpt
+from .partition import (
+    Partition,
+    UnknownPartitionerError,
+    get_partitioner,
+    list_partitioners,
+    partition_contiguous,
+    partition_lpt,
+    register_partitioner,
+)
 from .simulate import (
     MulticoreResult,
     multicore_speedups,
@@ -25,7 +33,9 @@ from .simulate import (
 )
 
 __all__ = [
-    "Partition", "partition_contiguous", "partition_lpt",
+    "Partition", "UnknownPartitionerError", "get_partitioner",
+    "list_partitioners", "partition_contiguous", "partition_lpt",
+    "register_partitioner",
     "MulticoreResult", "multicore_speedups", "profile_actor_costs",
     "simulate_multicore",
     "Channel", "ChannelAborted", "ChannelError", "ChannelStallTimeout",

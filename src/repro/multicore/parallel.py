@@ -52,9 +52,10 @@ from ..runtime.backends import resolve_backend
 from ..runtime.tape import Tape
 from ..schedule.steady_state import Schedule, build_schedule
 from ..simd.machine import CORE_I7, MachineDescription
+from ..plan.context import profile_actor_costs
+from ..plan.partitioners import get_partitioner
 from .channels import Channel, ChannelAborted, RunAbort, plan_capacities
 from .partition import Partition, partition_lpt
-from .simulate import profile_actor_costs
 
 __all__ = ["ParallelExecutionResult", "parallel_execute", "calibrated_pace"]
 
@@ -100,13 +101,14 @@ def _merge_per_actor(parts: Dict[int, PerActorCounters]) -> PerActorCounters:
 def _normalize_partition(graph: StreamGraph,
                          partition: Union[Partition, Dict[int, int], None],
                          cores: int,
-                         partitioner: Optional[Callable],
+                         partitioner: Union[str, Callable, None],
                          machine: MachineDescription) -> Partition:
     if partition is None:
         if cores == 1 and partitioner is None:
             return Partition({aid: 0 for aid in graph.actors}, 1)
         costs = profile_actor_costs(graph, machine)
-        chosen = partitioner if partitioner is not None else partition_lpt
+        chosen = get_partitioner(partitioner, machine) \
+            if partitioner is not None else partition_lpt
         partition = chosen(graph, costs, cores)
     if isinstance(partition, dict):
         partition = Partition(dict(partition), cores)
@@ -191,7 +193,7 @@ def parallel_execute(graph: StreamGraph,
                      tracer: Optional[Tracer] = None,
                      cores: int = 2,
                      partition: Union[Partition, Dict[int, int], None] = None,
-                     partitioner: Optional[Callable] = None,
+                     partitioner: Union[str, Callable, None] = None,
                      channel_capacities: Optional[Dict[int, int]] = None,
                      channel_slack: int = 1,
                      stall_timeout: float = 30.0,

@@ -1,73 +1,27 @@
-"""Naive multicore partitioner (§5's "simple SIMD-aware scheduler").
+"""Multicore partitioners — re-exported from the planning subsystem.
 
-Longest-processing-time greedy: actors sorted by profiled work, each
-assigned to the currently least-loaded core.  Deliberately communication-
-oblivious — the paper's point in Figure 13 is that even a *naive*
-partition-first scheduler beats wider scalar multicore once each core's
-slice is macro-SIMDized.
+The greedy partitioners (§5's "simple SIMD-aware scheduler") moved to
+:mod:`repro.plan.partitioners`, where they live alongside the
+partitioner registry and the branch-and-bound optimizer so partition
+shape, buffer sizing, and SIMD choice are priced through one
+:class:`~repro.plan.context.PlanContext`.  This module keeps the
+historical import path (``repro.multicore.partition``) working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from ..plan.partitioners import (
+    Partition,
+    UnknownPartitionerError,
+    get_partitioner,
+    list_partitioners,
+    partition_contiguous,
+    partition_lpt,
+    register_partitioner,
+)
 
-from ..graph.stream_graph import StreamGraph
-
-
-@dataclass(frozen=True)
-class Partition:
-    assignment: Dict[int, int]
-    cores: int
-
-    def core_of(self, actor_id: int) -> int:
-        return self.assignment[actor_id]
-
-    def loads(self, costs: Dict[int, float]) -> List[float]:
-        loads = [0.0] * self.cores
-        for actor_id, core in self.assignment.items():
-            loads[core] += costs.get(actor_id, 0.0)
-        return loads
-
-
-def partition_lpt(graph: StreamGraph, costs: Dict[int, float],
-                  cores: int) -> Partition:
-    """Greedy LPT multiprocessor scheduling over profiled actor costs."""
-    if cores < 1:
-        raise ValueError("need at least one core")
-    assignment: Dict[int, int] = {}
-    loads = [0.0] * cores
-    order = sorted(graph.actors,
-                   key=lambda aid: (-costs.get(aid, 0.0), aid))
-    for actor_id in order:
-        core = min(range(cores), key=lambda c: (loads[c], c))
-        assignment[actor_id] = core
-        loads[core] += costs.get(actor_id, 0.0)
-    return Partition(assignment, cores)
-
-
-def partition_contiguous(graph: StreamGraph, costs: Dict[int, float],
-                         cores: int) -> Partition:
-    """Alternative partitioner: contiguous topological slices balanced by
-    cost (keeps pipelines together, fewer cut tapes).  Used by the ablation
-    bench to show the comm/balance trade-off.
-
-    Edge cases share :func:`partition_lpt`'s contract: every actor is
-    assigned, cores stay in ``range(cores)``, and ``cores >
-    len(actors)`` (or an all-zero cost map) simply leaves trailing cores
-    empty — :meth:`Partition.loads` still reports one (zero) load per
-    core."""
-    if cores < 1:
-        raise ValueError("need at least one core")
-    order = graph.ordered_actors()
-    total = sum(costs.get(aid, 0.0) for aid in order)
-    target = total / cores
-    assignment: Dict[int, int] = {}
-    core = 0
-    acc = 0.0
-    for actor_id in order:
-        assignment[actor_id] = core
-        acc += costs.get(actor_id, 0.0)
-        if acc >= target * (core + 1) and core < cores - 1:
-            core += 1
-    return Partition(assignment, cores)
+__all__ = [
+    "Partition", "UnknownPartitionerError", "get_partitioner",
+    "list_partitioners", "partition_contiguous", "partition_lpt",
+    "register_partitioner",
+]

@@ -11,15 +11,20 @@ opportunities are lost, making these conservative estimates (§5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from ..graph.stream_graph import StreamGraph
 from ..perf import events as ev
+from ..plan.context import profile_actor_costs
+from ..plan.partitioners import get_partitioner
 from ..runtime.errors import StreamRuntimeError
 from ..runtime.executor import execute
 from ..simd.machine import MachineDescription
 from ..simd.pipeline import MacroSSOptions, compile_graph
 from .partition import Partition, partition_lpt
+
+__all__ = ["MulticoreResult", "multicore_speedups", "profile_actor_costs",
+           "simulate_multicore"]
 
 
 @dataclass
@@ -32,20 +37,18 @@ class MulticoreResult:
     comm_cycles: float
 
 
-def profile_actor_costs(graph: StreamGraph, machine: MachineDescription,
-                        iterations: int = 2) -> Dict[int, float]:
-    """Measured per-actor steady-state cycles (the partitioner's input)."""
-    result = execute(graph, machine=machine, iterations=iterations)
-    return result.actor_cycles(machine)
-
-
 def simulate_multicore(graph: StreamGraph, machine: MachineDescription,
                        cores: int, *,
                        macro_simd: bool = False,
                        options: Optional[MacroSSOptions] = None,
-                       partitioner: Callable = partition_lpt,
+                       partitioner: Union[str, Callable] = partition_lpt,
                        iterations: int = 2) -> MulticoreResult:
     """Partition, optionally SIMDize per core, and compute the makespan.
+
+    ``partitioner`` may be a callable or a registered name
+    (``"lpt"``, ``"contiguous"``, ``"opt"``, …) resolved through
+    :func:`repro.plan.get_partitioner` with ``machine`` so
+    communication-aware strategies price cut edges on the right target.
 
     Raises :class:`~repro.runtime.errors.StreamRuntimeError` when the
     graph produces no steady-state output — the same contract as
@@ -55,6 +58,7 @@ def simulate_multicore(graph: StreamGraph, machine: MachineDescription,
     """
     if options is None:
         options = MacroSSOptions()
+    partitioner = get_partitioner(partitioner, machine)
     costs = profile_actor_costs(graph, machine, iterations=iterations)
     partition = partitioner(graph, costs, cores)
 
@@ -111,7 +115,7 @@ def simulate_multicore(graph: StreamGraph, machine: MachineDescription,
 def multicore_speedups(graph: StreamGraph, machine: MachineDescription,
                        core_counts: List[int], *,
                        options: Optional[MacroSSOptions] = None,
-                       partitioner: Callable = partition_lpt,
+                       partitioner: Union[str, Callable] = partition_lpt,
                        iterations: int = 2) -> Dict[str, float]:
     """Figure 13 row for one benchmark: speedup over scalar single-core for
     {N cores} x {scalar, +MacroSS}.

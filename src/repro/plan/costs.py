@@ -1,0 +1,94 @@
+"""Shared SIMDization cost estimators (extracted from
+``repro.simd.technique_choice``).
+
+The §3.5 horizontal-vs-vertical arbitration and the planning subsystem
+price the *same* speculative candidates: a split-join level merged into
+one SIMD actor (horizontal, plus HSplitter/HJoiner packing work) versus
+each branch fused and single-actor SIMDized (vertical, plus plain
+splitter/joiner moves).  Keeping the estimators here means SIMD
+technique choice and partition/buffer planning read one price table per
+target — the co-optimization seam the gpu-like target exercises (its
+expensive lane insert/extract flips levels from horizontal to vertical
+that an i7 merges horizontally).
+
+All builds are spec-level only (no graph surgery): costs are estimated
+with the static body estimator over one steady state of the region.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict
+
+from ..graph.actor import FilterSpec
+from ..graph.stream_graph import StreamGraph
+from ..perf import events as ev
+from ..simd.cost_model import estimate_body_events
+from ..simd.horizontal import merge_specs
+from ..simd.machine import MachineDescription
+from ..simd.segments import HorizontalCandidate
+from ..simd.single_actor import vectorize_actor
+from ..simd.vertical import fuse_specs
+
+__all__ = ["firing_cost", "horizontal_cost", "mover_cost", "vertical_cost"]
+
+
+def firing_cost(spec: FilterSpec, machine: MachineDescription) -> float:
+    """Modeled cycles of one firing of ``spec`` on ``machine``."""
+    counters = estimate_body_events(spec.work_body, machine.simd_width)
+    counters.add(ev.FIRE)
+    return counters.cycles(machine)
+
+
+def mover_cost(items: int, machine: MachineDescription, *,
+               packs: bool) -> float:
+    """Per-steady-state cost of moving ``items`` elements through a
+    splitter/joiner (scalar copy) or HSplitter/HJoiner (pack/unpack)."""
+    per_item = machine.price(ev.SCALAR_LOAD) + (
+        machine.price(ev.PACK) if packs else machine.price(ev.SCALAR_STORE))
+    return items * per_item
+
+
+def horizontal_cost(graph: StreamGraph, candidate: HorizontalCandidate,
+                    reps: Dict[int, int],
+                    machine: MachineDescription) -> float:
+    """One steady state of ``candidate`` SIMDized horizontally."""
+    sw = machine.simd_width
+    groups = candidate.width // sw
+    total = 0.0
+    for level_index in range(candidate.depth):
+        level = candidate.level(level_index)
+        rep = reps[level[0]]
+        for group in range(groups):
+            ids = level[group * sw:(group + 1) * sw]
+            merged = merge_specs([graph.actors[a].spec for a in ids], sw)
+            total += firing_cost(merged, machine) * rep
+    items = (reps[candidate.splitter_id]
+             * graph.pop_rate(candidate.splitter_id))
+    total += 2 * mover_cost(items, machine, packs=True)
+    return total
+
+
+def vertical_cost(graph: StreamGraph, candidate: HorizontalCandidate,
+                  reps: Dict[int, int],
+                  machine: MachineDescription) -> float:
+    """One steady state of ``candidate`` fused + vertically SIMDized."""
+    sw = machine.simd_width
+    total = 0.0
+    for branch in candidate.branches:
+        specs = [graph.actors[a].spec for a in branch]
+        branch_reps = [reps[a] for a in branch]
+        if len(specs) == 1:
+            coarse = specs[0]
+            coarse_rep = branch_reps[0]
+        else:
+            coarse = fuse_specs(specs, branch_reps)
+            coarse_rep = 0
+            for rep in branch_reps:
+                coarse_rep = gcd(coarse_rep, rep)
+        vectorized = vectorize_actor(coarse, sw)
+        total += firing_cost(vectorized, machine) * coarse_rep / sw
+    items = (reps[candidate.splitter_id]
+             * graph.pop_rate(candidate.splitter_id))
+    total += 2 * mover_cost(items, machine, packs=False)
+    return total

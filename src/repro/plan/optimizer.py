@@ -1,0 +1,274 @@
+"""Branch-and-bound partition optimizer.
+
+The paper's Figure 13 scheduler is deliberately naive: greedy LPT over
+compute costs, blind to communication and buffer memory.  This module
+inverts that (ROADMAP item 3, after Lin/Wu/Bhattacharyya's
+memory-constrained vectorization/scheduling formulation): an exact
+ILP-style search over actor->core assignments that
+
+* **minimizes total channel buffer memory subject to a makespan bound**
+  (``objective="memory"``, the default; the bound defaults to greedy
+  LPT's own communication-aware makespan, so the result is never slower
+  than the status quo *and* never buys that speed with more memory), or
+* **minimizes makespan subject to a memory budget** (the dual,
+  ``objective="makespan"``).
+
+Both prices come from the shared :class:`~repro.plan.context.PlanContext`
+— compute cycles per steady iteration, cut-edge traffic priced at the
+target's ``COMM`` cost, and the deadlock-free channel capacity each cut
+tape would need — so a ``gpu-like`` target (wide vectors, expensive
+transfers) visibly reshapes the chosen partition versus an ``i7``.
+
+The search is plain depth-first branch and bound: actors are branched in
+descending cost order, core indices are interchangeable so at most one
+fresh core is opened per step (symmetry breaking), partial assignments
+are pruned against a makespan lower bound (max of current busiest core
+and remaining-work average) and a memory lower bound (cut capacity is
+committed the moment both endpoints are placed, and never decreases).
+The incumbent is seeded with the greedy plans (LPT, contiguous, and the
+all-on-one-core serial plan when feasible), so even when ``node_budget``
+exhausts the search on large graphs the result is proven no worse than
+every greedy baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime.errors import StreamRuntimeError
+from .context import PlanContext
+from .evaluate import PlanEvaluation, evaluate_partition
+from .partitioners import Partition, partition_contiguous, partition_lpt
+
+__all__ = ["InfeasiblePlanError", "PlanError", "PlanResult",
+           "optimize_partition"]
+
+#: Relative float tolerance for bound comparisons.
+_REL_EPS = 1e-9
+
+
+class PlanError(StreamRuntimeError):
+    """Base class for planning failures."""
+
+
+class InfeasiblePlanError(PlanError):
+    """No partition satisfies the requested bound/budget.
+
+    ``bound`` carries the violated constraint value; ``proven`` is True
+    when the search ran to completion (infeasibility is exact) and False
+    when the node budget exhausted first (no feasible point was *found*).
+    """
+
+    def __init__(self, message: str, *, bound: float,
+                 proven: bool = True) -> None:
+        super().__init__(message)
+        self.bound = bound
+        self.proven = proven
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """An optimized partition plus the search's audit trail."""
+
+    partition: Partition
+    evaluation: PlanEvaluation
+    objective: str
+    makespan_bound: Optional[float]
+    memory_budget: Optional[int]
+    #: branch-and-bound nodes expanded.
+    nodes: int
+    #: True when ``node_budget`` stopped the search early (the result is
+    #: then best-found — still no worse than the greedy incumbents).
+    exhausted: bool
+    #: greedy LPT priced on the same context (the status-quo baseline).
+    baseline: PlanEvaluation
+
+
+class _Exhausted(Exception):
+    """Internal: node budget ran out."""
+
+
+def _serial_partition(ctx: PlanContext, cores: int) -> Partition:
+    return Partition({aid: 0 for aid in ctx.graph.actors}, cores)
+
+
+def optimize_partition(ctx: PlanContext, cores: int, *,
+                       objective: str = "memory",
+                       makespan_bound: Optional[float] = None,
+                       memory_budget: Optional[int] = None,
+                       node_budget: int = 200_000) -> PlanResult:
+    """Branch-and-bound over actor->core assignments (see module doc).
+
+    ``objective="memory"`` minimizes buffer memory subject to
+    ``makespan_bound`` (default: LPT's communication-aware makespan);
+    ``objective="makespan"`` minimizes makespan subject to
+    ``memory_budget`` (default: unlimited).  Ties break toward the other
+    axis, then deterministically.  Raises :class:`InfeasiblePlanError`
+    when no assignment meets the constraint.
+    """
+    if cores < 1:
+        raise PlanError(f"need at least one core, got {cores}")
+    if objective not in ("memory", "makespan"):
+        raise PlanError(f"unknown objective {objective!r} "
+                        "(expected 'memory' or 'makespan')")
+
+    graph = ctx.graph
+    lpt = partition_lpt(graph, ctx.costs, cores)
+    lpt_eval = evaluate_partition(ctx, lpt)
+
+    if objective == "memory" and makespan_bound is None:
+        makespan_bound = lpt_eval.makespan
+    if memory_budget is not None and memory_budget < 0:
+        raise InfeasiblePlanError(
+            f"memory budget {memory_budget} is negative — even a "
+            "single-core plan needs 0 items", bound=memory_budget)
+
+    eps = _REL_EPS * max(1.0, ctx.total_work)
+    # Trivial infeasibility: no assignment beats the perfect-balance,
+    # zero-communication lower bound.
+    root_lb = ctx.total_work / cores
+    if makespan_bound is not None and makespan_bound < root_lb - eps:
+        raise InfeasiblePlanError(
+            f"makespan bound {makespan_bound:.1f} is below the "
+            f"zero-communication balance bound {root_lb:.1f} "
+            f"cycles/iteration", bound=makespan_bound)
+
+    # -- incumbent seeding -------------------------------------------------
+    candidates: List[Tuple[Partition, PlanEvaluation]] = [(lpt, lpt_eval)]
+    for seed in (partition_contiguous(graph, ctx.costs, cores),
+                 _serial_partition(ctx, cores)):
+        candidates.append((seed, evaluate_partition(ctx, seed)))
+
+    def feasible(ev: PlanEvaluation) -> bool:
+        if makespan_bound is not None and ev.makespan > makespan_bound + eps:
+            return False
+        if memory_budget is not None and ev.memory_items > memory_budget:
+            return False
+        return True
+
+    def score(ev: PlanEvaluation) -> Tuple[float, float]:
+        if objective == "memory":
+            return (ev.memory_items, ev.makespan)
+        return (ev.makespan, ev.memory_items)
+
+    best: Optional[Partition] = None
+    best_eval: Optional[PlanEvaluation] = None
+    for part, ev in candidates:
+        if feasible(ev) and (best_eval is None
+                             or score(ev) < score(best_eval)):
+            best, best_eval = part, ev
+
+    # -- search state ------------------------------------------------------
+    order = sorted(graph.actors, key=lambda aid: (-ctx.costs.get(aid, 0.0),
+                                                  aid))
+    n = len(order)
+    #: actor -> [(tape id, neighbour actor, neighbour-is-dst)]
+    edges: Dict[int, List[Tuple[int, int, bool]]] = {aid: []
+                                                    for aid in graph.actors}
+    for tid, edge in graph.tapes.items():
+        if edge.src == edge.dst:
+            continue  # self-loop: never cut
+        edges[edge.src].append((tid, edge.dst, True))
+        edges[edge.dst].append((tid, edge.src, False))
+    suffix_work = [0.0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix_work[i] = suffix_work[i + 1] + ctx.costs.get(order[i], 0.0)
+
+    assignment: Dict[int, int] = {}
+    loads = [0.0] * cores
+    state = {"mem": 0, "nodes": 0, "exhausted": False}
+
+    def consider_leaf() -> None:
+        nonlocal best, best_eval
+        part = Partition(dict(assignment), cores)
+        ev = evaluate_partition(ctx, part)
+        if feasible(ev) and (best_eval is None
+                             or score(ev) < score(best_eval)):
+            best, best_eval = part, ev
+
+    def prune(depth: int) -> bool:
+        lb_makespan = max(max(loads),
+                          (sum(loads) + suffix_work[depth]) / cores)
+        if makespan_bound is not None and lb_makespan > makespan_bound + eps:
+            return True
+        if memory_budget is not None and state["mem"] > memory_budget:
+            return True
+        if best_eval is None:
+            return False
+        if objective == "memory":
+            if state["mem"] > best_eval.memory_items:
+                return True
+            if (state["mem"] == best_eval.memory_items
+                    and lb_makespan >= best_eval.makespan - eps):
+                return True
+        else:
+            if lb_makespan > best_eval.makespan + eps:
+                return True
+            if (lb_makespan >= best_eval.makespan - eps
+                    and state["mem"] >= best_eval.memory_items):
+                return True
+        return False
+
+    def descend(depth: int, used: int) -> None:
+        if depth == n:
+            consider_leaf()
+            return
+        actor = order[depth]
+        cost = ctx.costs.get(actor, 0.0)
+        # Cores are interchangeable: open at most one fresh index.
+        for core in range(min(used + 1, cores)):
+            state["nodes"] += 1
+            if state["nodes"] > node_budget:
+                raise _Exhausted
+            assignment[actor] = core
+            loads[core] += cost
+            added_mem = 0
+            comm_charges: List[Tuple[int, float]] = []
+            for tid, other, other_is_dst in edges[actor]:
+                other_core = assignment.get(other)
+                if other_core is None or other_core == core:
+                    continue
+                added_mem += ctx.capacities[tid]
+                dst_core = other_core if other_is_dst else core
+                charge = ctx.comm_cycles(tid)
+                loads[dst_core] += charge
+                comm_charges.append((dst_core, charge))
+            state["mem"] += added_mem
+            if not prune(depth + 1):
+                descend(depth + 1, max(used, core + 1))
+            state["mem"] -= added_mem
+            for dst_core, charge in comm_charges:
+                loads[dst_core] -= charge
+            loads[core] -= cost
+            del assignment[actor]
+
+    try:
+        if not prune(0):
+            descend(0, 0)
+    except _Exhausted:
+        state["exhausted"] = True
+
+    if best is None or best_eval is None:
+        constraint = (f"makespan bound {makespan_bound:.1f}"
+                      if makespan_bound is not None
+                      else f"memory budget {memory_budget}")
+        raise InfeasiblePlanError(
+            f"no {cores}-core partition of {graph.name!r} satisfies "
+            f"{constraint}"
+            + (" (search budget exhausted before a feasible point "
+               "was found)" if state["exhausted"] else ""),
+            bound=(makespan_bound if makespan_bound is not None
+                   else float(memory_budget or 0)),
+            proven=not state["exhausted"])
+
+    return PlanResult(
+        partition=best,
+        evaluation=best_eval,
+        objective=objective,
+        makespan_bound=makespan_bound,
+        memory_budget=memory_budget,
+        nodes=state["nodes"],
+        exhausted=state["exhausted"],
+        baseline=lpt_eval,
+    )

@@ -18,7 +18,7 @@ graph computes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..graph.actor import FilterSpec, StateVar
 from ..graph.builtins import (
@@ -461,7 +461,7 @@ def execute(graph: StreamGraph,
             backend: Any = "interp",
             tracer: Optional[Tracer] = None,
             cores: int = 1,
-            partitioner: Optional[Callable] = None,
+            partitioner: Union[str, Callable, None] = None,
             stall_timeout: float = 30.0,
             pace: Optional[Dict[int, float]] = None) -> ExecutionResult:
     """Run ``iterations`` steady-state cycles of ``graph`` and return
@@ -476,7 +476,10 @@ def execute(graph: StreamGraph,
     phase — each with output counts and modeled-cycle attribution.
 
     ``cores`` > 1 (or an explicit ``partitioner``) routes the run through
-    the thread-based parallel executor
+    the thread-based parallel executor; ``partitioner`` may be a callable
+    or a name registered with the planning subsystem (``"lpt"``,
+    ``"contiguous"``, ``"opt"``, …) resolved via
+    :func:`repro.plan.get_partitioner`
     (:func:`repro.multicore.parallel.parallel_execute`): the graph is
     partitioned across ``cores`` worker threads, cut tapes become bounded
     blocking channels, and the returned

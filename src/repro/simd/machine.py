@@ -170,6 +170,30 @@ SVE_LIKE = MachineDescription(
 )
 
 
+#: A GPU-like throughput target for the planning subsystem: very wide
+#: vectors (16 f32 lanes per "warp-slice"), cheap coalesced vector
+#: memory, but *expensive* cross-core traffic and lane shuffling.  The
+#: point of this target is the planner, not codegen fidelity: COMM is
+#: priced an order of magnitude above the Core i7's cache-line
+#: ping-pong (PCIe-ish per-element cost), so the branch-and-bound
+#: optimizer visibly changes partition shape (fewer, coarser cuts) and
+#: the vectorization planner changes technique mix versus ``i7``.
+GPU_LIKE = MachineDescription(
+    name="gpu-like",
+    simd_width=16,
+    prices={**_CORE_I7_PRICES,
+            # coalesced wide loads/stores are the native access mode
+            ev.VECTOR_LOAD: 1.0, ev.VECTOR_STORE: 1.0,
+            ev.VECTOR_LOAD_U: 1.5, ev.VECTOR_STORE_U: 1.5,
+            # wide ALU throughput is the whole point of the machine
+            ev.VECTOR_ALU: 0.5, ev.VECTOR_MUL: 1.0, ev.VECTOR_DIV: 12.0,
+            # per-lane insert/extract serialises a 16-wide unit
+            ev.PACK: 8.0, ev.UNPACK: 8.0,
+            # host<->device-ish per-element transfer cost
+            ev.COMM: 160.0},
+)
+
+
 def wide_machine(sw: int) -> MachineDescription:
     """An AVX/Larrabee-style widening of the Core i7 model (SW ∈ {8, 16}).
 
@@ -264,3 +288,4 @@ register_target(CORE_I7, aliases=("core-i7", "i7", "sse4"))
 register_target(CORE_I7_SAGU, aliases=("core-i7+sagu", "i7+sagu", "sagu"))
 register_target(NEON_LIKE, aliases=("neon",))
 register_target(SVE_LIKE, aliases=("sve",))
+register_target(GPU_LIKE, aliases=("gpu",))

@@ -8,12 +8,10 @@ are in both GV and GH" — guaranteeing the two sets end up disjoint.
 
 The comparison builds both candidate forms *speculatively* (spec-level
 only, no graph surgery) and prices one steady state of the region with the
-static estimator:
-
-* horizontal: each level merged into one SIMD actor firing ``rep`` times,
-  plus the HSplitter/HJoiner packing work;
-* vertical: each branch fused into a coarse actor, single-actor SIMDized,
-  firing ``rep / SW`` times, plus the plain splitter/joiner moves.
+static estimator; the estimators themselves live in
+:mod:`repro.plan.costs` so partition/buffer planning and SIMD technique
+choice read one price table per target (``horizontal_cost`` and
+``vertical_cost`` are re-exported here for the historical import path).
 
 Horizontal is forced (no comparison) when any level is stateful or any
 branch cannot legally be fused — the cases §3.3 motivates it with.
@@ -23,77 +21,15 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..graph.actor import FilterSpec
-from ..graph.builtins import SplitKind, SplitterSpec
 from ..graph.stream_graph import StreamGraph
-from ..perf import events as ev
-from ..perf.counters import PerfCounters
+from ..plan.costs import horizontal_cost, vertical_cost
 from .analysis import is_stateful
-from .cost_model import estimate_body_events
-from .horizontal import MergeConflict, merge_specs
+from .horizontal import MergeConflict
 from .machine import MachineDescription, UnsupportedOperation
 from .segments import HorizontalCandidate
-from .single_actor import vectorize_actor
-from .vertical import FusionError, fuse_specs
+from .vertical import FusionError
 
-
-def _firing_cost(spec: FilterSpec, machine: MachineDescription) -> float:
-    counters = estimate_body_events(spec.work_body, machine.simd_width)
-    counters.add(ev.FIRE)
-    return counters.cycles(machine)
-
-
-def _mover_cost(items: int, machine: MachineDescription, *,
-                packs: bool) -> float:
-    """Per-steady-state cost of moving ``items`` elements through a
-    splitter/joiner (scalar copy) or HSplitter/HJoiner (pack/unpack)."""
-    per_item = machine.price(ev.SCALAR_LOAD) + (
-        machine.price(ev.PACK) if packs else machine.price(ev.SCALAR_STORE))
-    return items * per_item
-
-
-def horizontal_cost(graph: StreamGraph, candidate: HorizontalCandidate,
-                    reps: Dict[int, int],
-                    machine: MachineDescription) -> float:
-    sw = machine.simd_width
-    groups = candidate.width // sw
-    total = 0.0
-    for level_index in range(candidate.depth):
-        level = candidate.level(level_index)
-        rep = reps[level[0]]
-        for group in range(groups):
-            ids = level[group * sw:(group + 1) * sw]
-            merged = merge_specs([graph.actors[a].spec for a in ids], sw)
-            total += _firing_cost(merged, machine) * rep
-    items = (reps[candidate.splitter_id]
-             * graph.pop_rate(candidate.splitter_id))
-    total += 2 * _mover_cost(items, machine, packs=True)
-    return total
-
-
-def vertical_cost(graph: StreamGraph, candidate: HorizontalCandidate,
-                  reps: Dict[int, int],
-                  machine: MachineDescription) -> float:
-    sw = machine.simd_width
-    total = 0.0
-    for branch in candidate.branches:
-        specs = [graph.actors[a].spec for a in branch]
-        branch_reps = [reps[a] for a in branch]
-        if len(specs) == 1:
-            coarse = specs[0]
-            coarse_rep = branch_reps[0]
-        else:
-            coarse = fuse_specs(specs, branch_reps)
-            from math import gcd
-            coarse_rep = 0
-            for rep in branch_reps:
-                coarse_rep = gcd(coarse_rep, rep)
-        vectorized = vectorize_actor(coarse, sw)
-        total += _firing_cost(vectorized, machine) * coarse_rep / sw
-    items = (reps[candidate.splitter_id]
-             * graph.pop_rate(candidate.splitter_id))
-    total += 2 * _mover_cost(items, machine, packs=False)
-    return total
+__all__ = ["horizontal_cost", "prefer_horizontal", "vertical_cost"]
 
 
 def prefer_horizontal(graph: StreamGraph, candidate: HorizontalCandidate,

@@ -15,7 +15,7 @@ from repro.fuzz import (
     check_parallel_program,
     generate_program,
 )
-from repro.fuzz.harness import default_backends
+from repro.fuzz.harness import PARALLEL_PARTITIONERS, default_backends
 from repro.multicore.channels import Channel
 
 from ..conftest import (
@@ -44,7 +44,9 @@ def test_oracle_covers_full_matrix():
     desc = generate_program(random.Random(0))
     report = check_parallel_program(desc)
     backends = 1 + len(default_backends())  # interp + installed backends
-    expected = len(PARALLEL_OPTION_SETS) * backends * len(PARALLEL_CORES)
+    core_configs = sum(1 if n == 1 else len(PARALLEL_PARTITIONERS)
+                       for n in PARALLEL_CORES)
+    expected = len(PARALLEL_OPTION_SETS) * backends * core_configs
     assert report.configs_checked == expected
 
 

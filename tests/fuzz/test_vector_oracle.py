@@ -23,7 +23,8 @@ np = pytest.importorskip("numpy")
 import repro.runtime.vector.kernel as vector_kernel
 from repro.apps.sources import checksum_sink, ramp_source
 from repro.fuzz import check_program, run_fuzz
-from repro.fuzz.harness import check_graph, default_backends
+from repro.fuzz.harness import OPTION_SETS, check_graph, default_backends
+from repro.simd import list_targets
 from repro.graph.actor import FilterSpec
 from repro.graph.flatten import flatten
 from repro.graph.structure import Program, pipeline
@@ -53,7 +54,10 @@ def test_three_backend_axis_is_clean_when_unmutated():
     report = check_graph(_multi_firing_graph("sub"),
                          backends=("compiled", "vector"))
     assert report.ok, "\n".join(str(d) for d in report.divergences)
-    assert report.configs_checked == 17  # scalar/core-i7 + 4x4 others
+    # scalar runs on core-i7 only; every other option set runs on every
+    # registered target (targets registered later join automatically).
+    expected = 1 + (len(OPTION_SETS) - 1) * len(list_targets())
+    assert report.configs_checked == expected
 
 
 @pytest.mark.fuzz

@@ -41,14 +41,21 @@ def _pipeline_graph():
 @pytest.mark.parametrize("app", sorted(BENCHMARKS))
 def test_app_parity(app):
     """{scalar, auto-SIMD} x {interp, compiled[, vector]} x {1, 2, 4}
-    cores must be event-identical to sequential execution."""
+    cores x {lpt, opt} partitioners must be event-identical to
+    sequential execution (one partitioner at 1 core — they coincide)."""
     from repro.experiments.harness import scalar_graph
-    from repro.fuzz.harness import default_backends
+    from repro.fuzz.harness import (
+        PARALLEL_CORES,
+        PARALLEL_PARTITIONERS,
+        default_backends,
+    )
     report = check_parallel(scalar_graph(app), stop_on_first=False)
     assert report.ok, "\n".join(
         f"{d.kind} @ {d.config}: {d.detail}" for d in report.divergences)
     backends = 1 + len(default_backends())
-    assert report.configs_checked == 2 * backends * 3
+    core_configs = sum(1 if n == 1 else len(PARALLEL_PARTITIONERS)
+                       for n in PARALLEL_CORES)
+    assert report.configs_checked == 2 * backends * core_configs
 
 
 def test_determinism_across_runs():

@@ -1,0 +1,56 @@
+"""Deadlock-freedom of planner-driven parallel runs.
+
+The optimizer may produce partition shapes no greedy strategy would pick
+(it sweeps makespan bounds, so cuts land in unusual places); every such
+partition's capacity plan must still give a deadlock-free, output-
+identical parallel run — on every registered app at 1, 2, and 4 cores.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps import BENCHMARKS
+from repro.experiments.harness import scalar_graph
+from repro.multicore.parallel import parallel_execute
+from repro.plan import (
+    InfeasiblePlanError,
+    build_plan_context,
+    optimize_partition,
+)
+from repro.runtime.executor import execute
+
+_ITER = 2
+
+
+@pytest.mark.parametrize("app", sorted(BENCHMARKS))
+@pytest.mark.parametrize("cores", (1, 2, 4))
+def test_optimizer_partitions_run_deadlock_free(app, cores):
+    """Default plan + randomly bounded plans: the parallel runtime must
+    complete (no channel stall timeout) with sequential outputs."""
+    graph = scalar_graph(app)
+    ctx = build_plan_context(graph, "i7", iterations=_ITER)
+    seq = execute(graph, machine=ctx.machine, iterations=_ITER)
+
+    plans = [optimize_partition(ctx, cores).partition]
+    # Random interior makespan bounds push the optimizer off the greedy
+    # shapes; seeded per (app, cores) so failures replay.
+    rng = random.Random(hash((app, cores)) & 0xFFFFFFFF)
+    fastest = optimize_partition(ctx, cores, objective="makespan")
+    low, high = fastest.evaluation.makespan, ctx.total_work
+    for _ in range(2):
+        bound = low + (high - low) * rng.random()
+        try:
+            plans.append(optimize_partition(ctx, cores,
+                                            makespan_bound=bound).partition)
+        except InfeasiblePlanError:  # pragma: no cover - bound >= low
+            continue
+
+    for part in plans:
+        par = parallel_execute(graph, machine=ctx.machine,
+                               iterations=_ITER, cores=cores,
+                               partition=part, stall_timeout=60.0)
+        assert par.outputs == seq.outputs
+        assert par.init_outputs == seq.init_outputs

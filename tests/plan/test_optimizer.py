@@ -1,0 +1,128 @@
+"""The branch-and-bound partition optimizer: never worse than greedy,
+deterministic, and typed about infeasibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import BENCHMARKS
+from repro.experiments.harness import scalar_graph
+from repro.plan import (
+    InfeasiblePlanError,
+    PlanError,
+    build_plan_context,
+    evaluate_partition,
+    optimize_partition,
+    partition_lpt,
+)
+
+EPS = 1e-6
+
+#: One profiled context per registered app, shared across the matrix.
+_CTX_CACHE = {}
+
+
+def _ctx(app, target="i7"):
+    key = (app, target)
+    if key not in _CTX_CACHE:
+        _CTX_CACHE[key] = build_plan_context(scalar_graph(app), target)
+    return _CTX_CACHE[key]
+
+
+@pytest.mark.parametrize("app", sorted(BENCHMARKS))
+@pytest.mark.parametrize("cores", (2, 4))
+class TestNeverWorseThanGreedy:
+    """Acceptance bar: on every registered app x {2, 4} cores the planner's
+    modeled makespan is <= LPT's and its planned buffer memory under the
+    default bound is <= the LPT plan's sequential-occupancy memory."""
+
+    def test_opt_beats_or_matches_lpt(self, app, cores):
+        ctx = _ctx(app)
+        result = optimize_partition(ctx, cores)
+        lpt_eval = evaluate_partition(
+            ctx, partition_lpt(ctx.graph, ctx.costs, cores))
+        assert result.evaluation.makespan <= lpt_eval.makespan + EPS
+        assert result.evaluation.memory_items <= lpt_eval.memory_items
+        # The baseline recorded on the result is that same LPT pricing.
+        assert result.baseline.makespan == pytest.approx(lpt_eval.makespan)
+
+    def test_partition_is_total_and_in_range(self, app, cores):
+        result = optimize_partition(_ctx(app), cores)
+        part = result.partition
+        assert set(part.assignment) == set(_ctx(app).graph.actors)
+        assert all(c in range(cores) for c in part.assignment.values())
+
+
+class TestDeterminism:
+    def test_same_context_same_plan(self):
+        ctx = _ctx("DCT")
+        a = optimize_partition(ctx, 4)
+        b = optimize_partition(ctx, 4)
+        assert a.partition.assignment == b.partition.assignment
+        assert a.nodes == b.nodes
+        assert a.evaluation.makespan == b.evaluation.makespan
+
+    def test_dual_objective_minimizes_makespan(self):
+        ctx = _ctx("FFT")
+        fastest = optimize_partition(ctx, 4, objective="makespan")
+        default = optimize_partition(ctx, 4)
+        assert fastest.evaluation.makespan <= default.evaluation.makespan + EPS
+
+    def test_result_audit_fields(self):
+        ctx = _ctx("DCT")
+        result = optimize_partition(ctx, 2)
+        assert result.objective == "memory"
+        assert result.nodes > 0
+        assert result.makespan_bound == pytest.approx(
+            result.baseline.makespan)
+
+
+class TestInfeasibility:
+    def test_negative_memory_budget_is_typed(self):
+        ctx = _ctx("DCT")
+        with pytest.raises(InfeasiblePlanError) as err:
+            optimize_partition(ctx, 2, objective="makespan",
+                               memory_budget=-1)
+        assert err.value.bound == -1
+        assert err.value.proven
+
+    def test_impossible_makespan_bound_is_typed(self):
+        ctx = _ctx("DCT")
+        with pytest.raises(InfeasiblePlanError) as err:
+            optimize_partition(ctx, 4, makespan_bound=1.0)
+        assert err.value.bound == 1.0
+
+    def test_plan_error_hierarchy(self):
+        from repro.runtime.errors import StreamRuntimeError
+        assert issubclass(InfeasiblePlanError, PlanError)
+        assert issubclass(PlanError, StreamRuntimeError)
+
+    def test_bad_core_count_rejected(self):
+        with pytest.raises(PlanError, match="at least one core"):
+            optimize_partition(_ctx("DCT"), 0)
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(PlanError, match="unknown objective"):
+            optimize_partition(_ctx("DCT"), 2, objective="latency")
+
+    def test_zero_memory_budget_forces_serial_shape(self):
+        """A zero budget is feasible — it forces a plan with no cut
+        tapes (every connected component on one core)."""
+        ctx = _ctx("DCT")
+        result = optimize_partition(ctx, 4, objective="makespan",
+                                    memory_budget=0)
+        assert result.evaluation.memory_items == 0
+        assert not result.evaluation.cut_tapes
+
+
+class TestCommunicationAwareness:
+    def test_gpu_like_comm_price_reshapes_partition(self):
+        """The same graph planned for min makespan: the gpu-like target's
+        160-cycle COMM price makes cuts that are profitable on the i7
+        unprofitable, changing the chosen partition."""
+        i7 = optimize_partition(_ctx("DCT", "i7"), 4, objective="makespan")
+        gpu = optimize_partition(_ctx("DCT", "gpu-like"), 4,
+                                 objective="makespan")
+        i7_cores = len(set(i7.partition.assignment.values()))
+        gpu_cores = len(set(gpu.partition.assignment.values()))
+        assert gpu_cores < i7_cores

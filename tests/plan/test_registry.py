@@ -1,0 +1,107 @@
+"""The partitioner registry: lookup, aliases, did-you-mean, extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan import (
+    Partition,
+    UnknownPartitionerError,
+    get_partitioner,
+    list_partitioners,
+    partition_contiguous,
+    partition_lpt,
+    register_partitioner,
+)
+from repro.plan.partitioners import _PARTITIONER_ALIASES, _PARTITIONERS
+from repro.runtime.errors import StreamRuntimeError
+from repro.simd.machine import CORE_I7, GPU_LIKE
+
+from ..conftest import linear_program, make_ramp_source, make_scaler
+
+
+class TestLookup:
+    def test_builtin_names_registered(self):
+        assert list_partitioners() == ["contiguous", "lpt", "opt"]
+
+    def test_name_resolves_to_callable(self):
+        fn = get_partitioner("lpt")
+        assert fn is partition_lpt
+
+    def test_names_are_case_insensitive(self):
+        assert get_partitioner("LPT") is partition_lpt
+        assert get_partitioner("Contiguous") is partition_contiguous
+
+    def test_aliases_resolve(self):
+        assert get_partitioner("contig") is partition_contiguous
+        # optimizer aliases produce a fresh (machine-bound) closure
+        assert callable(get_partitioner("bb"))
+        assert callable(get_partitioner("ilp"))
+
+    def test_callable_passes_through_unchanged(self):
+        def custom(graph, costs, cores):  # pragma: no cover - never called
+            raise AssertionError
+        assert get_partitioner(custom) is custom
+
+    def test_opt_factory_closes_over_machine(self):
+        graph = linear_program(make_ramp_source(4), make_scaler())
+        fn_i7 = get_partitioner("opt", CORE_I7)
+        fn_gpu = get_partitioner("opt", GPU_LIKE)
+        costs = {aid: 1.0 for aid in graph.actors}
+        # Both produce valid partitions; the closures are distinct.
+        assert fn_i7 is not fn_gpu
+        for fn in (fn_i7, fn_gpu):
+            part = fn(graph, costs, 2)
+            assert isinstance(part, Partition)
+            assert set(part.assignment) == set(graph.actors)
+
+
+class TestUnknownNames:
+    def test_unknown_name_raises_typed_error(self):
+        with pytest.raises(UnknownPartitionerError):
+            get_partitioner("round-robin")
+
+    def test_error_is_a_stream_runtime_error(self):
+        # StreamRuntimeError is the CLI's exit-2 class: unknown
+        # --partitioner names exit cleanly instead of dumping a traceback.
+        assert issubclass(UnknownPartitionerError, StreamRuntimeError)
+
+    def test_did_you_mean_suggestion(self):
+        with pytest.raises(UnknownPartitionerError, match="did you mean"):
+            get_partitioner("ltp")
+        with pytest.raises(UnknownPartitionerError, match="'lpt'"):
+            get_partitioner("ltp")
+
+    def test_message_lists_registered_names(self):
+        with pytest.raises(UnknownPartitionerError,
+                           match="contiguous, lpt, opt"):
+            get_partitioner("nope")
+
+
+class TestRegistration:
+    def _cleanup(self, *names):
+        for name in names:
+            _PARTITIONERS.pop(name, None)
+        for alias in [a for a, k in _PARTITIONER_ALIASES.items()
+                      if k in names]:
+            _PARTITIONER_ALIASES.pop(alias, None)
+
+    def test_register_and_resolve(self):
+        def factory(machine):
+            return partition_lpt
+        try:
+            register_partitioner("mine", factory, aliases=("m1",))
+            assert "mine" in list_partitioners()
+            assert get_partitioner("m1") is partition_lpt
+        finally:
+            self._cleanup("mine")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_partitioner("lpt", lambda machine: partition_lpt)
+
+    def test_alias_collision_rejected(self):
+        with pytest.raises(ValueError):
+            register_partitioner("fresh", lambda machine: partition_lpt,
+                                 aliases=("contig",))
+        assert "fresh" not in list_partitioners()

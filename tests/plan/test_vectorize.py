@@ -1,0 +1,47 @@
+"""Whole-program vectorization planning and target sensitivity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import DEFAULT_BENCHMARKS, scalar_graph
+from repro.plan import plan_vectorization
+
+
+class TestVectorizationPlan:
+    def test_macross_wins_on_i7_dct(self):
+        vec = plan_vectorization(scalar_graph("DCT"), "i7")
+        assert vec.mode == "macross"
+        assert vec.speedup > 1.0
+        assert vec.machine == "core-i7-sse4"
+
+    def test_decisions_cover_techniques(self):
+        vec = plan_vectorization(scalar_graph("DCT"), "i7")
+        counts = vec.technique_counts()
+        assert sum(counts.values()) == len(vec.decisions)
+        assert counts  # at least one technique family
+
+    def test_deterministic(self):
+        a = plan_vectorization(scalar_graph("FFT"), "i7")
+        b = plan_vectorization(scalar_graph("FFT"), "i7")
+        assert a.mode == b.mode
+        assert a.scalar_cycles == b.scalar_cycles
+        assert a.macross_cycles == b.macross_cycles
+
+
+class TestTargetSensitivity:
+    def test_gpu_like_flips_plan_on_at_least_two_apps(self):
+        """Acceptance bar: gpu-like vs i7 must produce a different
+        partition or vectorization choice on >= 2 apps.  The wide vectors
+        and expensive lane moves change the horizontal/vertical technique
+        mix on several suite apps (the partition side is covered by
+        ``test_optimizer.TestCommunicationAwareness``)."""
+        flipped = []
+        for app in DEFAULT_BENCHMARKS:
+            graph = scalar_graph(app)
+            i7 = plan_vectorization(graph, "i7")
+            gpu = plan_vectorization(graph, "gpu-like")
+            if (i7.mode, sorted(i7.technique_counts().items())) != \
+                    (gpu.mode, sorted(gpu.technique_counts().items())):
+                flipped.append(app)
+        assert len(flipped) >= 2, flipped
