@@ -21,6 +21,8 @@ and ``results/serve_throughput.txt``.
 from __future__ import annotations
 
 import json
+import shutil
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -211,3 +213,108 @@ def test_serve_throughput_scaling(benchmark):
     assert four >= 2.0, data["runs"]
     # And nobody scales backwards.
     assert data["runs"][2]["throughput_speedup"] >= 1.0, data["runs"]
+
+
+def _update_results(section: str, payload: dict) -> None:
+    """Merge one bench section into ``BENCH_serve.json`` (the scaling
+    test writes the base document; these sections ride along)."""
+    data = {}
+    if RESULT_PATH.exists():
+        data = json.loads(RESULT_PATH.read_text())
+    data[section] = payload
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True)
+                           + "\n")
+
+
+def test_serve_transport_comparison(benchmark):
+    """The same paced closed-loop workload over both wire transports.
+
+    ``shm_threshold=0`` forces every result's arrays through shared
+    memory on the shm side, so the comparison exercises the full
+    segment create/attach/unlink path.  Outputs stay parity-checked on
+    both transports; the measured numbers land in BENCH_serve.json."""
+
+    def measure() -> dict:
+        refs, rates = _references()
+        specs = _specs(rates)
+        out: dict = {}
+        for transport in ("queue", "shm"):
+            with ServePool(2, policy="round-robin", max_queue_depth=8,
+                           wire_transport=transport,
+                           shm_threshold=0) as pool:
+                warm = [pool.submit(spec) for spec in specs * 2]
+                for ticket in warm:
+                    assert ticket.result(timeout=120.0).ok
+                served, duration = _closed_loop(pool, specs, 4, REQUESTS)
+            for app, _lat, result in served:
+                assert result.ok, f"{app}: {result.error}"
+                assert result.outputs == list(refs[app].outputs), \
+                    f"{app}@{transport}: served outputs diverged"
+            latencies = sorted(lat for _, lat, _ in served)
+            out[transport] = {
+                "completed": len(served),
+                "throughput_rps": round(len(served) / duration, 3),
+                "p50_ms": round(percentile(latencies, 50) * 1e3, 3),
+                "p99_ms": round(percentile(latencies, 99) * 1e3, 3),
+            }
+        return out
+
+    data = benchmark.pedantic(measure, rounds=1, iterations=1)
+    _update_results("transport_runs", data)
+    lines = [f"{'transport':>9s} {'rps':>7s} {'p50':>8s} {'p99':>8s}"]
+    for transport, entry in data.items():
+        lines.append(f"{transport:>9s} {entry['throughput_rps']:7.1f} "
+                     f"{entry['p50_ms']:6.1f}ms {entry['p99_ms']:6.1f}ms")
+    record("serve_transports", "\n".join(lines))
+    assert all(entry["completed"] == REQUESTS for entry in data.values())
+
+
+def test_serve_store_cold_vs_warm(benchmark):
+    """Cold compile vs warm kernel-store startup, per app.
+
+    Each app's first session is timed twice against the same store
+    directory: a cold pass (empty store — the worker compiles and
+    publishes) and a warm pass (fresh worker process, artifacts on
+    disk).  The worker-side ``busy_s`` of that first session is the
+    startup cost a store hit removes; acceptance requires the warm pass
+    to be at least 2x faster on at least one app."""
+
+    def measure() -> dict:
+        store = tempfile.mkdtemp(prefix="macross-bench-store-")
+        out: dict = {}
+        try:
+            for app in APPS + ("FMRadio",):
+                spec = SessionSpec(benchmark=app, pipeline="full",
+                                   machine=CORE_I7.name,
+                                   backend="compiled", iterations=1)
+                phases = {}
+                for phase in ("cold", "warm"):
+                    wall = time.perf_counter()
+                    with ServePool(1, max_queue_depth=2,
+                                   store_dir=store) as pool:
+                        result = pool.run(spec, timeout=120.0)
+                    assert result.ok, f"{app} {phase}: {result.error}"
+                    phases[phase] = {
+                        "busy_s": round(result.busy_s, 6),
+                        "wall_s": round(time.perf_counter() - wall, 6),
+                    }
+                speedup = phases["cold"]["busy_s"] \
+                    / max(phases["warm"]["busy_s"], 1e-9)
+                out[app] = {**phases,
+                            "busy_speedup": round(speedup, 3)}
+        finally:
+            shutil.rmtree(store, ignore_errors=True)
+        return out
+
+    data = benchmark.pedantic(measure, rounds=1, iterations=1)
+    _update_results("store_runs", data)
+    lines = [f"{'app':>12s} {'cold':>9s} {'warm':>9s} {'speedup':>8s}"]
+    for app, entry in data.items():
+        lines.append(f"{app:>12s} {entry['cold']['busy_s'] * 1e3:7.1f}ms "
+                     f"{entry['warm']['busy_s'] * 1e3:7.1f}ms "
+                     f"{entry['busy_speedup']:7.2f}x")
+    record("serve_store", "\n".join(lines))
+    # Acceptance: the on-disk store makes warm startup >= 2x faster
+    # than cold compile on at least one app.
+    best = max(entry["busy_speedup"] for entry in data.values())
+    assert best >= 2.0, data

@@ -107,6 +107,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             "registry (see `macross targets`; "
                             "default: core-i7-sse4)")
 
+    def _add_pool_flags(p) -> None:
+        p.add_argument("--transport", choices=("queue", "shm"),
+                       default="shm", dest="transport",
+                       help="result wire transport: 'shm' moves large "
+                            "output arrays via shared memory, 'queue' "
+                            "pickles everything (default: shm)")
+        p.add_argument("--shm-threshold", type=int, default=None,
+                       metavar="V",
+                       help="min output values before a result uses shm "
+                            "(default: 256 or $MACROSS_SHM_THRESHOLD; "
+                            "<= 0 forces shm for every packable result)")
+        p.add_argument("--store", default=None, metavar="DIR",
+                       help="on-disk kernel store directory (default: "
+                            "$MACROSS_KERNEL_STORE, unset = no store)")
+
     p_compile = sub.add_parser("compile", help="show compilation decisions")
     p_compile.add_argument("benchmark")
     p_compile.add_argument("--cpp", action="store_true",
@@ -255,6 +270,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_serve.add_argument("--max-queue-depth", type=int, default=8,
                          metavar="D",
                          help="per-worker admission high-water (default: 8)")
+    p_serve.add_argument("--admit-timeout", type=float, default=30.0,
+                         metavar="S",
+                         help="give up re-submitting an overloaded session "
+                              "after S seconds and shed it (default: 30)")
+    _add_pool_flags(p_serve)
     add_machine_flag(p_serve)
     add_trace_flag(p_serve)
 
@@ -281,8 +301,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_lg.add_argument("--pipeline", default="full", metavar="NAME")
     p_lg.add_argument("--max-queue-depth", type=int, default=8,
                       metavar="D")
+    p_lg.add_argument("--kill-worker-after", type=int, default=None,
+                      metavar="N",
+                      help="fault injection: SIGKILL one worker once N "
+                           "sessions have completed (supervision restarts "
+                           "the lane; stranded sessions re-dispatch once)")
     p_lg.add_argument("--json", default=None, metavar="FILE",
                       help="write the machine-readable report to FILE")
+    _add_pool_flags(p_lg)
     add_machine_flag(p_lg)
     add_trace_flag(p_lg)
 
@@ -820,7 +846,38 @@ def _build_pool(args: argparse.Namespace, tracer):
     return ServePool(args.workers, policy=args.policy,
                      backend=args.backend,
                      max_queue_depth=args.max_queue_depth,
+                     wire_transport=getattr(args, "transport", "shm"),
+                     shm_threshold=getattr(args, "shm_threshold", None),
+                     store_dir=getattr(args, "store", None),
                      tracer=tracer)
+
+
+def _merged_store_stats(stats) -> dict:
+    """Sum the workers' on-disk store counters (empty = no store)."""
+    merged: dict = {}
+    for entry in stats:
+        for key, value in (entry.get("env", {}).get("store") or {}).items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def _print_supervision(stats) -> None:
+    restarts = sum(e.get("restarts", 0) for e in stats)
+    requeued = sum(e.get("requeued", 0) for e in stats)
+    died = sum(e.get("worker_died", 0) for e in stats)
+    if restarts or requeued or died:
+        print(f"  supervision: {restarts} lane restart(s), {requeued} "
+              f"session(s) re-dispatched, {died} failed as worker-died")
+    store = _merged_store_stats(stats)
+    if store:
+        print("  kernel store: {hits} hit(s), {misses} miss(es), "
+              "{stores} publish(es), {quarantined} quarantined, "
+              "{errors} fs error(s)".format(
+                  hits=store.get("hits", 0),
+                  misses=store.get("misses", 0),
+                  stores=store.get("stores", 0),
+                  quarantined=store.get("quarantined", 0),
+                  errors=store.get("errors", 0)))
 
 
 def _serve_specs(args: argparse.Namespace, names, machine, count: int):
@@ -871,25 +928,30 @@ def _run_serve_command(args: argparse.Namespace) -> int:
     specs = _serve_specs(args, args.benchmarks, machine, args.sessions)
 
     pool = _build_pool(args, tracer)
-    tickets = []
+    admitted = []          # (spec, ticket) pairs, in submit order
+    shed = []              # specs rejected until --admit-timeout ran out
     overloads = 0
     try:
         for spec in specs:
+            deadline = _time.monotonic() + args.admit_timeout
             while True:
                 outcome = pool.submit(spec)
                 if isinstance(outcome, ServeOverload):
                     overloads += 1
+                    if _time.monotonic() >= deadline:
+                        shed.append(spec)
+                        break
                     _time.sleep(0.002)
                     continue
-                tickets.append(outcome)
+                admitted.append((spec, outcome))
                 break
-        results = [t.result(timeout=300.0) for t in tickets]
+        results = [t.result(timeout=300.0) for _spec, t in admitted]
     finally:
         stats = pool.shutdown()
 
     errors = [r for r in results if not r.ok]
     mismatches = []
-    for spec, result in zip(specs, results):
+    for (spec, _ticket), result in zip(admitted, results):
         if not result.ok:
             continue
         ref = refs[spec.benchmark] if spec.benchmark in refs \
@@ -900,16 +962,19 @@ def _run_serve_command(args: argparse.Namespace) -> int:
 
     print(f"serve: {len(results)} session(s) over {args.workers} worker(s) "
           f"[{args.backend} backend, {args.policy} policy, "
-          f"pipeline={args.pipeline}]")
-    if overloads:
-        print(f"  {overloads} overload rejection(s) retried at submit")
-    latencies = sorted(t.latency_s for t in tickets)
+          f"pipeline={args.pipeline}, transport={args.transport}]")
+    if overloads or shed:
+        print(f"  admission: {overloads} overload rejection(s), "
+              f"{len(shed)} session(s) shed after "
+              f"{args.admit_timeout:g}s admit timeout")
+    latencies = sorted(t.latency_s for _spec, t in admitted)
     if latencies:
         from .serve import percentile
         print(f"  latency p50 {percentile(latencies, 50) * 1e3:.1f} ms  "
               f"p99 {percentile(latencies, 99) * 1e3:.1f} ms")
     print()
     print(serve_table(stats))
+    _print_supervision(stats)
     for result in errors:
         print(f"  ERROR session {result.seq} ({result.tag}): "
               f"{result.error}")
@@ -919,6 +984,8 @@ def _run_serve_command(args: argparse.Namespace) -> int:
         print(f"  parity: all {len(results) - len(errors)} served "
               f"session(s) match direct execution")
     _write_trace(tracer, args)
+    # Shed sessions are admission control doing its job, not a failure:
+    # only real session errors or parity mismatches are non-zero.
     return 1 if errors or mismatches else 0
 
 
@@ -940,7 +1007,11 @@ def _run_loadgen_command(args: argparse.Namespace) -> int:
     specs = _serve_specs(args, args.apps, machine, len(args.apps))
 
     pool = _build_pool(args, tracer)
+    fault = None
     try:
+        if args.kill_worker_after is not None:
+            from .serve import kill_worker_after
+            fault = kill_worker_after(pool, args.kill_worker_after)
         if args.mode == "closed":
             report = run_closed_loop(pool, specs,
                                      concurrency=args.concurrency,
@@ -950,16 +1021,27 @@ def _run_loadgen_command(args: argparse.Namespace) -> int:
                                    requests=args.requests)
     finally:
         stats = pool.shutdown()
+    if fault is not None:
+        fault.join(timeout=1.0)
 
     print(report.summary())
     print()
     print(serve_table(stats))
+    _print_supervision(stats)
     if args.json:
         import json as _json
         payload = report.to_dict()
         payload["apps"] = names
         payload["policy"] = args.policy
         payload["machine"] = machine.name
+        payload["transport"] = args.transport
+        payload["restarts"] = sum(e.get("restarts", 0) for e in stats)
+        payload["requeued"] = sum(e.get("requeued", 0) for e in stats)
+        payload["worker_died"] = sum(e.get("worker_died", 0)
+                                     for e in stats)
+        store = _merged_store_stats(stats)
+        if store:
+            payload["store"] = store
         with open(args.json, "w", encoding="utf-8") as fh:
             _json.dump(payload, fh, indent=2)
             fh.write("\n")

@@ -16,13 +16,15 @@ from .harness import (CheckReport, Divergence, GraphTransform, OPTION_SETS,
                       check_parallel, check_parallel_program, check_program,
                       default_machines)
 from .runner import Finding, FuzzReport, run_fuzz
-from .serve_oracle import SERVE_PIPELINES, check_serve_program
+from .serve_oracle import (SERVE_PIPELINES, SERVE_TRANSPORTS,
+                           check_serve_program)
 from .shrink import shrink
 
 __all__ = [
     "CheckReport", "DEFAULT_CORPUS", "Divergence", "FilterDesc", "Finding",
     "FuzzReport", "GraphTransform", "OPTION_SETS", "PARALLEL_CORES",
     "PARALLEL_OPTION_SETS", "ProgramDesc", "SERVE_PIPELINES",
+    "SERVE_TRANSPORTS",
     "default_machines",
     "ReplayResult", "SplitJoinDesc", "check_graph", "check_parallel",
     "check_parallel_program", "check_program", "check_serve_program",

@@ -33,27 +33,47 @@ from ..simd.pipeline import compile_graph
 from .descriptions import ProgramDesc, desc_to_dict, materialize
 from .harness import CheckReport, Divergence, _counter_bags
 
-__all__ = ["SERVE_PIPELINES", "check_serve_program"]
+__all__ = ["SERVE_PIPELINES", "SERVE_TRANSPORTS", "check_serve_program"]
 
 #: Compilation pipelines the serve oracle exercises per program — the two
 #: ends of the spectrum, mirroring the parallel-parity oracle's option
 #: sets.
 SERVE_PIPELINES: Tuple[str, ...] = ("scalar", "full")
 
+#: Wire transports the oracle can force on the inline path: ``"queue"``
+#: is the plain pickle round trip, ``"shm"`` forces every output array
+#: through a real shared-memory segment (threshold 0) and back.
+SERVE_TRANSPORTS: Tuple[str, ...] = ("queue", "shm")
+
 #: Mutation-test hook: wire dict -> wire dict, applied between encode and
-#: decode on the inline transport.
+#: decode on the inline transport (after shm staging, so a filter can
+#: corrupt the shm envelope too).
 WireFilter = Callable[[dict], dict]
 
+#: Inline shm segments need process-unique names; one counter per import.
+_INLINE_SEQ = [0]
 
-def _serve_one_inline(env, spec, wire_filter: Optional[WireFilter]):
+
+def _serve_one_inline(env, spec, wire_filter: Optional[WireFilter],
+                      wire_transport: str = "queue"):
+    import os
+
     from ..serve.session import decode_result, encode_result
+    from ..serve.transport import load_result_shm, stage_result_shm
 
     raw = env.run_session(spec)
     wire = encode_result(raw)
+    if wire_transport == "shm":
+        _INLINE_SEQ[0] += 1
+        # threshold 0: every packable array takes the segment path, so
+        # the oracle genuinely covers the shm encode/decode pair.
+        wire = stage_result_shm(wire, uid=f"fz{os.getpid() % 100000}",
+                                worker=0, seq=_INLINE_SEQ[0], threshold=0)
     if wire_filter is not None:
         wire = wire_filter(wire)
     # Force the same byte-level round trip the process queue performs.
     wire = pickle.loads(pickle.dumps(wire))
+    wire = load_result_shm(wire)
     return decode_result(wire)
 
 
@@ -64,15 +84,18 @@ def check_serve_program(desc: ProgramDesc, *,
                         machines: Sequence[str] = (CORE_I7.name,),
                         backend: str = "compiled",
                         iterations: int = 2,
+                        wire_transport: str = "queue",
                         wire_filter: Optional[WireFilter] = None,
                         stop_on_first: bool = True) -> CheckReport:
     """Check one generated program through the serving runtime.
 
-    ``pool`` selects the real cross-process transport; otherwise an
-    inline :class:`WorkerEnv` (reused across calls when passed via
-    ``env``) runs the session with the full encode/pickle/decode round
-    trip.  ``wire_filter`` is inline-only by construction — a live pool's
-    serializer runs in another process.
+    ``pool`` selects the real cross-process transport (build the pool
+    with the ``wire_transport`` under test); otherwise an inline
+    :class:`WorkerEnv` (reused across calls when passed via ``env``)
+    runs the session with the full encode/pickle/decode round trip —
+    and, with ``wire_transport="shm"``, through a real shared-memory
+    segment per output array.  ``wire_filter`` is inline-only by
+    construction — a live pool's serializer runs in another process.
     """
     from ..serve.session import SessionSpec
     from ..serve.worker import WorkerEnv
@@ -80,6 +103,9 @@ def check_serve_program(desc: ProgramDesc, *,
     if pool is not None and wire_filter is not None:
         raise ValueError("wire_filter requires the inline transport "
                          "(the pool's serializer lives in another process)")
+    if wire_transport not in SERVE_TRANSPORTS:
+        raise ValueError(f"wire_transport must be one of "
+                         f"{SERVE_TRANSPORTS}, got {wire_transport!r}")
     report = CheckReport()
 
     def diverge(config: str, detail: str, kind: str = "serve") -> bool:
@@ -122,7 +148,8 @@ def check_serve_program(desc: ProgramDesc, *,
                 if pool is not None:
                     served = pool.run(spec, timeout=300.0)
                 else:
-                    served = _serve_one_inline(env, spec, wire_filter)
+                    served = _serve_one_inline(env, spec, wire_filter,
+                                               wire_transport)
                 report.executions += 1
             except Exception as exc:
                 if diverge(config, f"{type(exc).__name__}: {exc}"):

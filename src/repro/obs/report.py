@@ -109,8 +109,9 @@ def serve_table(stats: Sequence[Mapping[str, object]]) -> str:
 
     ``stats`` is the list of :meth:`repro.serve.pool.WorkerStats.snapshot`
     dicts (``ServePool.stats_snapshot()`` / ``shutdown()``) — requests,
-    rejections, errors, queue high-water, busy time, and kernel-/graph-
-    cache behaviour per worker lane, the gem5 stream-engine "per-lane
+    rejections, errors, supervision activity (lane restarts, requeued
+    sessions), queue high-water, busy time, and kernel-/graph-cache
+    behaviour per worker lane, the gem5 stream-engine "per-lane
     statistics" idiom rendered as text.
     """
     from ..experiments.tables import format_table
@@ -123,6 +124,8 @@ def serve_table(stats: Sequence[Mapping[str, object]]) -> str:
             entry.get("completed", 0),
             entry.get("rejected", 0),
             entry.get("errors", 0),
+            entry.get("restarts", 0),
+            entry.get("requeued", 0),
             entry.get("max_queue_depth", 0),
             f"{float(entry.get('busy_s', 0.0)) * 1e3:.1f}",
             f"{cache.get('hits', 0)}/{cache.get('lookups', 0)}",
@@ -130,7 +133,8 @@ def serve_table(stats: Sequence[Mapping[str, object]]) -> str:
         ))
     return format_table(
         ["worker", "submitted", "completed", "rejected", "errors",
-         "max depth", "busy ms", "kcache hit", "gcache hit"], rows)
+         "restarts", "requeued", "max depth", "busy ms", "kcache hit",
+         "gcache hit"], rows)
 
 
 def pass_trail(source) -> tuple:

@@ -31,20 +31,60 @@ from typing import Any, Dict, List, Optional, Sequence
 from .pool import ServePool, SessionTicket
 from .session import ServeError, ServeOverload, SessionSpec
 
-__all__ = ["LoadReport", "RequestRecord", "percentile", "run_closed_loop",
-           "run_open_loop"]
+__all__ = ["LoadReport", "RequestRecord", "kill_worker_after", "percentile",
+           "run_closed_loop", "run_open_loop"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``."""
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``.
+
+    Pinned semantics (property-tested in ``tests/serve/test_loadgen``):
+    the returned value is ``sorted(values)[rank - 1]`` with
+    ``rank = clamp(ceil(q * n / 100), 1, n)`` computed *exactly* — a
+    naive float ``ceil(q / 100 * n)`` overshoots whenever the product
+    lands epsilon above an integer (e.g. ``q=7, n=100`` gave rank 8),
+    so the rank is evaluated in rational arithmetic over the binary
+    value of ``q``.  A one-element sample returns that element for
+    every valid ``q``; an empty sample raises :class:`ServeError`
+    (there is no nearest rank to return).
+    """
     if not values:
         raise ServeError("percentile of an empty sample")
     if not 0.0 <= q <= 100.0:
         raise ServeError(f"percentile q must be in [0, 100], got {q}")
+    from fractions import Fraction
     ordered = sorted(values)
-    rank = math.ceil(q / 100.0 * len(ordered))  # nearest-rank definition
+    rank = math.ceil(Fraction(q) * len(ordered) / 100)  # exact nearest rank
     rank = min(len(ordered), max(1, rank))
     return ordered[rank - 1]
+
+
+def kill_worker_after(pool: ServePool, completed: int, *,
+                      poll_s: float = 0.005) -> threading.Thread:
+    """Arm fault injection: SIGKILL one live worker once the pool has
+    completed ``completed`` sessions (``macross loadgen
+    --kill-worker-after N``).  Returns the (daemon) trigger thread; join
+    it after the run to learn that the kill actually fired.  With
+    supervision on, throughput degrades gracefully — the lane restarts,
+    stranded sessions re-dispatch once — instead of hanging clients."""
+    if completed < 0:
+        raise ServeError(
+            f"kill_worker_after needs a count >= 0, got {completed}")
+
+    def trigger() -> None:
+        while True:
+            done = sum(s.completed for s in pool.stats)
+            if done >= completed:
+                pool.kill_worker()
+                return
+            if pool._stopped:  # pool gone before the threshold was hit
+                return
+            time.sleep(poll_s)
+
+    thread = threading.Thread(target=trigger, name="loadgen-fault",
+                              daemon=True)
+    thread.start()
+    return thread
 
 
 @dataclass

@@ -1,4 +1,5 @@
-"""Process-sharded worker pool with admission control and backpressure.
+"""Process-sharded worker pool with admission control, supervision, and
+zero-copy result transport.
 
 :class:`ServePool` owns ``workers`` long-lived processes (default start
 method ``spawn`` — the strictest, therefore portable one), one bounded
@@ -7,42 +8,69 @@ collector thread in the parent.  The flow of one session:
 
 1. :meth:`submit` asks the placement policy for a worker.  Admission
    control: a worker whose in-flight depth (queued + running) is at
-   ``max_queue_depth`` is not eligible; if no worker is eligible the
-   submit returns a typed :class:`~repro.serve.session.ServeOverload`
-   instead of queueing unboundedly — load-shedding at the front door is
-   the serving analogue of the multicore runtime's bounded channels.
+   ``max_queue_depth`` is not eligible (dead lanes awaiting restart are
+   never eligible); if no worker is eligible the submit returns a typed
+   :class:`~repro.serve.session.ServeOverload` instead of queueing
+   unboundedly — load-shedding at the front door is the serving
+   analogue of the multicore runtime's bounded channels.
 2. The spec crosses to the worker as plain builtins; the worker runs it
-   against its persistent caches and answers on the result queue.
+   against its persistent caches and answers on the result queue —
+   large output arrays via a named shared-memory segment when
+   ``wire_transport="shm"`` (see :mod:`.transport`), everything else
+   inline.
 3. The collector resolves the :class:`SessionTicket`, stamps the
    completion time, and charges the worker's
    :class:`WorkerStats` blame bag (requests, busy time, cache hits,
    queue-depth high-water — the gem5 stream-engine per-lane statistics
    idiom).
 
+A **supervisor thread** watches every worker's process *sentinel*: when
+a lane dies it scavenges the lane's shared-memory segments, re-dispatches
+the lane's in-flight sessions **at most once** (results carry a
+``retried`` flag; a twice-stranded session resolves to a typed
+:class:`~repro.serve.session.WorkerDied` result instead), and restarts
+the lane with bounded exponential backoff.  Restart/requeue counts land
+in the per-lane blame table, so churn is observable, not silent.
+
 ``drain()`` waits for in-flight work without accepting more;
 ``shutdown()`` drains (optionally), sends each worker its shutdown
-sentinel, merges the workers' lifetime stats, and joins the processes.
-The pool is a context manager; exiting shuts down gracefully.
+sentinel, merges the workers' lifetime stats, joins the processes, and
+destroys any shared-memory segment still registered.  The pool is a
+context manager; exiting shuts down gracefully.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection
+import os
+import queue as thread_queue
+import signal
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
 from ..obs.tracer import Tracer, ensure_tracer
 from .scheduler import PlacementPolicy, get_policy
 from .session import (ServeError, ServeOverload, SessionResult, SessionSpec,
-                      decode_result)
+                      decode_result, worker_died_result)
+from .store import default_store_dir
+from .transport import (WIRE_TRANSPORTS, SegmentRegistry, load_result_shm,
+                        segment_names, shm_threshold_default)
 from .worker import MSG_BYE, MSG_READY, MSG_RESULT, worker_main
 
 __all__ = ["ServePool", "ServeTimeout", "SessionTicket", "WorkerStats"]
 
 #: Collector poll interval; bounds shutdown latency, not throughput.
 _POLL_S = 0.05
+
+#: Supervisor sentinel-wait slice; bounds death-detection latency.
+_SENTINEL_WAIT_S = 0.1
+
+#: Restart backoff is capped here regardless of the attempt count.
+_BACKOFF_CAP_S = 2.0
 
 
 class ServeTimeout(ServeError):
@@ -66,6 +94,12 @@ class WorkerStats:
     #: kernel-cache counters accumulated over this lane's sessions.
     cache: Dict[str, int] = field(default_factory=dict)
     graph_cache_hits: int = 0
+    #: supervision: times this lane's process was restarted after dying.
+    restarts: int = 0
+    #: supervision: sessions this lane stranded that were re-dispatched.
+    requeued: int = 0
+    #: supervision: sessions terminally failed as ``WorkerDied``.
+    worker_died: int = 0
     #: worker-reported lifetime stats, filled at shutdown (MSG_BYE).
     env: Dict[str, Any] = field(default_factory=dict)
 
@@ -75,6 +109,8 @@ class WorkerStats:
         self.busy_s += result.busy_s
         if result.error is not None:
             self.errors += 1
+        if result.worker_died:
+            self.worker_died += 1
         if result.graph_cache_hit:
             self.graph_cache_hits += 1
         if result.kernel_cache:
@@ -91,6 +127,8 @@ class WorkerStats:
                 "max_queue_depth": self.max_queue_depth,
                 "busy_s": self.busy_s, "cache": dict(self.cache),
                 "graph_cache_hits": self.graph_cache_hits,
+                "restarts": self.restarts, "requeued": self.requeued,
+                "worker_died": self.worker_died,
                 "env": dict(self.env)}
 
 
@@ -98,7 +136,7 @@ class SessionTicket:
     """Handle for one admitted session; resolved by the collector."""
 
     __slots__ = ("seq", "worker", "spec", "submitted_at", "done_at",
-                 "_event", "_result")
+                 "retried", "_event", "_result")
 
     def __init__(self, seq: int, worker: int, spec: SessionSpec) -> None:
         self.seq = seq
@@ -106,6 +144,9 @@ class SessionTicket:
         self.spec = spec
         self.submitted_at = time.perf_counter()
         self.done_at: Optional[float] = None
+        #: set by the supervisor when the session is re-dispatched after
+        #: its original lane died (at most once).
+        self.retried = False
         self._event = threading.Event()
         self._result: Optional[SessionResult] = None
 
@@ -145,44 +186,142 @@ class ServePool:
                  max_graphs: Optional[int] = None,
                  start_method: str = "spawn",
                  start_timeout: float = 120.0,
+                 wire_transport: str = "shm",
+                 shm_threshold: Optional[int] = None,
+                 store_dir: Optional[str] = None,
+                 supervise: bool = True,
+                 max_restarts: int = 3,
+                 restart_backoff_s: float = 0.05,
                  tracer: Optional[Tracer] = None) -> None:
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
         if max_queue_depth < 1:
             raise ServeError(
                 f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if wire_transport not in WIRE_TRANSPORTS:
+            raise ServeError(
+                f"wire_transport must be one of {WIRE_TRANSPORTS}, "
+                f"got {wire_transport!r}")
+        if max_restarts < 0:
+            raise ServeError(
+                f"max_restarts must be >= 0, got {max_restarts}")
         self.workers = workers
         self.backend = backend
         self.max_queue_depth = max_queue_depth
         self.policy = get_policy(policy) if isinstance(policy, str) \
             else policy
         self.tracer = ensure_tracer(tracer)
+        self.wire_transport = wire_transport
+        self.shm_threshold = shm_threshold_default() \
+            if shm_threshold is None else shm_threshold
+        if store_dir is None:
+            env_dir = default_store_dir()
+            store_dir = str(env_dir) if env_dir is not None else None
+        self.store_dir = store_dir
+        self.supervise = supervise
+        self.max_restarts = max_restarts
+        self.restart_backoff_s = restart_backoff_s
+        self.uid = uuid.uuid4().hex[:8]
+        self.registry = SegmentRegistry()
+        self._max_kernels = max_kernels
+        self._max_graphs = max_graphs
         self._lock = threading.Lock()
         self._seq = 0
         self._closed = False
+        self._stopping = False   # teardown started: no more restarts
         self._stopped = False
         self._pending: Dict[int, SessionTicket] = {}
         self.stats: List[WorkerStats] = [WorkerStats(w)
                                          for w in range(workers)]
-        ctx = mp.get_context(start_method)
-        self._requests = [ctx.Queue() for _ in range(workers)]
-        self._results = ctx.Queue()
-        self._procs = [
-            ctx.Process(target=worker_main,
-                        args=(wid, self._requests[wid], self._results,
-                              backend, max_kernels, max_graphs),
-                        name=f"macross-serve-w{wid}", daemon=True)
-            for wid in range(workers)]
-        for proc in self._procs:
-            proc.start()
+        self._ctx = mp.get_context(start_method)
+        # One result queue per lane, pumped into an in-process inbox: a
+        # SIGKILLed worker can die holding its queue's shared write lock
+        # (or mid-write, tearing a frame), and a private channel confines
+        # that damage to a queue nobody will ever write to again.  A
+        # single shared result queue would be poisoned for every lane.
+        self._inbox: "thread_queue.Queue[Any]" = thread_queue.Queue()
+        self._result_queues: List[Any] = [None] * workers
+        self._pumps: List[Any] = [None] * workers
+        self._requests: List[Any] = [None] * workers
+        self._procs: List[Any] = [None] * workers
+        self._alive: List[bool] = [False] * workers
+        for wid in range(workers):
+            self._spawn_worker(wid)
         self._byes = 0
         self._await_ready(start_timeout)
         self._collector = threading.Thread(target=self._collect,
                                            name="macross-serve-collector",
                                            daemon=True)
         self._collector.start()
+        self._supervisor: Optional[threading.Thread] = None
+        if supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="macross-serve-supervisor",
+                daemon=True)
+            self._supervisor.start()
 
     # -- lifecycle -------------------------------------------------------------
+    def _spawn_worker(self, wid: int) -> None:
+        """(Re)create lane ``wid``: fresh request/result queues and a
+        process.  A dead lane's old queues are abandoned wholesale — the
+        request queue's undelivered messages correspond exactly to the
+        tickets the supervisor re-dispatches, and the result queue may
+        be unusable outright: a SIGKILL that lands inside the worker's
+        feeder thread leaves the queue's cross-process write lock
+        permanently held (or a frame half-written in the pipe), so a
+        restarted lane must never inherit it."""
+        old = self._requests[wid]
+        if old is not None:
+            old.cancel_join_thread()
+            old.close()
+        old_results = self._result_queues[wid]
+        if old_results is not None:
+            self._retire_results(old_results)
+        requests = self._ctx.Queue()
+        results = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(wid, requests, results, self.backend,
+                  self._max_kernels, self._max_graphs,
+                  self.wire_transport, self.shm_threshold, self.uid,
+                  self.store_dir),
+            name=f"macross-serve-w{wid}", daemon=True)
+        self._requests[wid] = requests
+        self._result_queues[wid] = results
+        self._procs[wid] = proc
+        proc.start()
+        pump = threading.Thread(target=self._pump, args=(wid, results),
+                                name=f"macross-serve-pump-w{wid}",
+                                daemon=True)
+        self._pumps[wid] = pump
+        pump.start()
+        self._alive[wid] = True
+
+    @staticmethod
+    def _retire_results(results: Any) -> None:
+        """Close the parent's copy of a lane result queue's write end.
+        With the worker process gone this leaves no writer at all, so
+        the lane's pump thread sees EOF (after draining anything the
+        worker did manage to send) and exits instead of blocking on a
+        channel that can never speak again."""
+        try:
+            results._writer.close()
+        except (OSError, ValueError):  # pragma: no cover - double close
+            pass
+
+    def _pump(self, wid: int, results: Any) -> None:
+        """Forward one lane's results into the in-process inbox until
+        the channel reaches EOF (worker exited and the parent's write
+        end retired) or dies mid-frame under a SIGKILL."""
+        while True:
+            try:
+                item = results.get()
+            except (EOFError, OSError):
+                return  # channel closed: lane is done for good
+            except Exception:  # noqa: BLE001 - frame torn by a dying
+                continue       # writer; EOF follows on the next read
+            self._inbox.put(item)
+
     def _await_ready(self, timeout: float) -> None:
         """Consume one MSG_READY per worker before serving (keeps process
         startup out of every latency measurement)."""
@@ -205,9 +344,9 @@ class ServePool:
                     f"'spawn' start method the entry script must be "
                     f"importable (guard it with __main__)")
             try:
-                kind, wid, payload = self._results.get(
+                kind, wid, payload = self._inbox.get(
                     timeout=min(remaining, 0.5))
-            except Exception:  # queue.Empty
+            except thread_queue.Empty:
                 continue
             if kind == MSG_READY:
                 ready += 1
@@ -225,20 +364,156 @@ class ServePool:
 
     def _kill(self) -> None:
         for proc in self._procs:
-            if proc.is_alive():
+            if proc is not None and proc.is_alive():
                 proc.terminate()
         for proc in self._procs:
-            proc.join(timeout=5.0)
+            if proc is not None:
+                proc.join(timeout=5.0)
+        for results in self._result_queues:
+            if results is not None:
+                self._retire_results(results)
+
+    # -- fault injection -------------------------------------------------------
+    def kill_worker(self, wid: Optional[int] = None) -> int:
+        """SIGKILL one live worker process (fault injection: tests and
+        ``macross loadgen --kill-worker-after``).  Returns the lane id,
+        or ``-1`` when no lane is alive to kill."""
+        with self._lock:
+            candidates = [w for w in range(self.workers)
+                          if self._alive[w] and self._procs[w].is_alive()]
+            if wid is not None:
+                candidates = [w for w in candidates if w == wid]
+            if not candidates:
+                return -1
+            victim = candidates[0]
+            pid = self._procs[victim].pid
+        os.kill(pid, signal.SIGKILL)
+        return victim
+
+    # -- supervision -----------------------------------------------------------
+    def _supervise(self) -> None:
+        """Watch worker sentinels; on death, requeue + restart."""
+        while not self._stopped:
+            with self._lock:
+                watched = [(wid, self._procs[wid])
+                           for wid in range(self.workers)
+                           if self._alive[wid]]
+            if not watched:
+                time.sleep(_SENTINEL_WAIT_S)
+                continue
+            try:
+                fired = mp.connection.wait(
+                    [proc.sentinel for _wid, proc in watched],
+                    timeout=_SENTINEL_WAIT_S)
+            except OSError:  # a sentinel closed under us mid-wait
+                fired = []
+            if not fired:
+                continue
+            for wid, proc in watched:
+                if proc.sentinel in fired and not proc.is_alive():
+                    if self._stopping:
+                        continue  # orderly shutdown, not a crash
+                    self._on_worker_death(wid, proc)
+
+    def _on_worker_death(self, wid: int, proc: Any) -> None:
+        """One lane died: scavenge its segments, re-dispatch its
+        in-flight sessions (at most once each), restart it with bounded
+        exponential backoff."""
+        with self._lock:
+            if self._procs[wid] is not proc or not self._alive[wid]:
+                return  # stale notification (lane already replaced)
+            self._alive[wid] = False
+            exitcode = proc.exitcode
+            stranded = sorted(
+                (t for t in self._pending.values() if t.worker == wid),
+                key=lambda t: t.seq)
+            stats = self.stats[wid]
+        if self.tracer.enabled:
+            self.tracer.event("serve.worker_died", cat="serve",
+                              worker=wid, exitcode=exitcode,
+                              stranded=len(stranded))
+        # The dead worker may have created segments for results it never
+        # (fully) announced: destroy them before any retry reuses the
+        # deterministic names.
+        for ticket in stranded:
+            self.registry.scavenge(ticket.seq)
+        restarted = False
+        with self._lock:
+            attempts = stats.restarts
+            can_restart = (not self._stopping
+                           and attempts < self.max_restarts)
+        if can_restart:
+            backoff = min(self.restart_backoff_s * (2 ** attempts),
+                          _BACKOFF_CAP_S)
+            time.sleep(backoff)
+            with self._lock:
+                if not self._stopping:
+                    self._spawn_worker(wid)
+                    stats.restarts += 1
+                    restarted = True
+            if restarted and self.tracer.enabled:
+                self.tracer.event("serve.worker_restarted", cat="serve",
+                                  worker=wid, attempt=attempts + 1,
+                                  backoff_s=backoff)
+        if not restarted:
+            # The lane stays dead: let its pump drain and exit on EOF.
+            self._retire_results(self._result_queues[wid])
+        for ticket in stranded:
+            self._redispatch_or_fail(ticket, wid, exitcode)
+
+    def _redispatch_or_fail(self, ticket: SessionTicket, dead_wid: int,
+                            exitcode: Optional[int]) -> None:
+        """At-most-once re-dispatch of one stranded session."""
+        with self._lock:
+            if ticket.seq not in self._pending:
+                return  # resolved concurrently (its result was in flight)
+            if ticket.retried:
+                target = -1  # the one retry is spent
+            else:
+                # Prefer the restarted home lane, else the shallowest
+                # other live lane.
+                live = [w for w in range(self.workers) if self._alive[w]]
+                if dead_wid in live:
+                    target = dead_wid
+                elif live:
+                    target = min(live,
+                                 key=lambda w: self.stats[w].queue_depth)
+                else:
+                    target = -1
+            if target < 0:
+                self._pending.pop(ticket.seq, None)
+                self.stats[ticket.worker].charge(
+                    result := worker_died_result(
+                        ticket.seq, dead_wid, exitcode=exitcode,
+                        retried=ticket.retried))
+            else:
+                self.stats[ticket.worker].queue_depth -= 1
+                self.stats[dead_wid].requeued += 1
+                ticket.retried = True
+                ticket.worker = target
+                stats = self.stats[target]
+                stats.queue_depth += 1
+                if stats.queue_depth > stats.max_queue_depth:
+                    stats.max_queue_depth = stats.queue_depth
+        if target < 0:
+            ticket._resolve(result)
+            return
+        self._dispatch(ticket)
+        if self.tracer.enabled:
+            self.tracer.event("serve.session_requeued", cat="serve",
+                              seq=ticket.seq, from_worker=dead_wid,
+                              to_worker=target)
 
     # -- collector -------------------------------------------------------------
     def _collect(self) -> None:
         while not self._stopped:
             try:
-                kind, wid, payload = self._results.get(timeout=_POLL_S)
-            except Exception:  # queue.Empty
+                kind, wid, payload = self._inbox.get(timeout=_POLL_S)
+            except thread_queue.Empty:
                 continue
             if kind == MSG_RESULT:
                 try:
+                    payload = load_result_shm(payload)
                     result = decode_result(payload)
                 except Exception as exc:  # noqa: BLE001 - corrupt wire
                     result = SessionResult(
@@ -247,39 +522,64 @@ class ServePool:
                         worker=wid,
                         error=f"decode failed: {type(exc).__name__}: {exc}")
                 self._finish(wid, result)
+                self.registry.resolve(result.seq)
             elif kind == MSG_BYE:
                 with self._lock:
                     self.stats[wid].env = dict(payload or {})
                     self._byes += 1
+            # MSG_READY from a supervisor-restarted lane needs no action:
+            # its requeued work is already sitting in the lane's queue.
 
     def _finish(self, wid: int, result: SessionResult) -> None:
         with self._lock:
             ticket = self._pending.pop(result.seq, None)
-            self.stats[wid].charge(result)
+            if ticket is not None:
+                # Charge the lane the ticket is *currently* placed on:
+                # re-dispatch may have moved it, and a result a dying
+                # lane managed to send must release the depth slot its
+                # ticket now occupies, not the dead lane's.
+                result.retried = ticket.retried
+                self.stats[ticket.worker].charge(result)
         if ticket is not None:
             ticket._resolve(result)
             if self.tracer.enabled:
                 self.tracer.event(
                     "serve.session", cat="serve", worker=wid,
                     seq=result.seq, graph=result.graph_name,
-                    ok=result.ok,
+                    ok=result.ok, retried=result.retried,
                     latency_ms=round(ticket.latency_s * 1e3, 3),
                     busy_ms=round(result.busy_s * 1e3, 3),
                     graph_cache_hit=result.graph_cache_hit)
 
     # -- submission ------------------------------------------------------------
+    def _dispatch(self, ticket: SessionTicket) -> None:
+        """Hand one admitted session to its lane (registering the
+        session's possible shm segments first, so even a lane that dies
+        mid-write cannot leak them)."""
+        if self.wire_transport == "shm":
+            self.registry.expect(
+                ticket.seq,
+                segment_names(self.uid, ticket.worker, ticket.seq))
+        self._requests[ticket.worker].put(
+            (ticket.seq, ticket.spec.to_wire()))
+
     def submit(self, spec: SessionSpec) -> Union[SessionTicket,
                                                  ServeOverload]:
         """Admit and place one session, or return :class:`ServeOverload`.
 
         Never blocks: backpressure is surfaced to the caller as data, so
         clients (and the load generator) decide whether to retry, shed,
-        or slow down.
+        or slow down.  A dead lane (awaiting supervised restart) is
+        simply ineligible — with every lane dead, submits shed rather
+        than hang.
         """
         with self._lock:
             if self._closed:
                 raise ServeError("pool is shut down (or draining)")
-            depths = [s.queue_depth for s in self.stats]
+            # A dead lane reports itself saturated so no policy picks it.
+            depths = [s.queue_depth if self._alive[s.worker]
+                      else self.max_queue_depth
+                      for s in self.stats]
             wid = self.policy.choose(depths, self.max_queue_depth)
             if wid < 0:
                 busiest = max(range(self.workers),
@@ -301,7 +601,7 @@ class ServePool:
             stats.queue_depth += 1
             if stats.queue_depth > stats.max_queue_depth:
                 stats.max_queue_depth = stats.queue_depth
-        self._requests[wid].put((ticket.seq, spec.to_wire()))
+        self._dispatch(ticket)
         return ticket
 
     def run(self, spec: SessionSpec, *,
@@ -321,22 +621,29 @@ class ServePool:
     def drain(self, timeout: Optional[float] = None) -> None:
         """Wait until every admitted session has completed.
 
-        Detects dead workers and fails their in-flight tickets instead
-        of hanging forever."""
+        Sentinel-aware: with supervision on, the supervisor thread
+        requeues or fails a dead lane's sessions, so this wait always
+        makes progress; without it, this loop itself converts a dead
+        lane's in-flight tickets into typed ``WorkerDied`` results
+        instead of blocking forever."""
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             with self._lock:
                 if not self._pending:
                     return
                 pending = list(self._pending.values())
-            for wid, proc in enumerate(self._procs):
-                if not proc.is_alive():
-                    for ticket in pending:
-                        if ticket.worker == wid:
-                            self._finish(wid, SessionResult(
-                                seq=ticket.seq, worker=wid,
-                                error=f"worker {wid} died (exit code "
-                                      f"{proc.exitcode})"))
+                lanes = [(wid, self._procs[wid], self._alive[wid])
+                         for wid in range(self.workers)]
+            if not self.supervise:
+                for wid, proc, alive in lanes:
+                    if alive and not proc.is_alive():
+                        for ticket in pending:
+                            if ticket.worker == wid \
+                                    and not ticket.done():
+                                self._finish(wid, worker_died_result(
+                                    ticket.seq, wid,
+                                    exitcode=proc.exitcode))
+                                self.registry.scavenge(ticket.seq)
             if deadline is not None and time.monotonic() > deadline:
                 raise ServeTimeout(
                     f"{self.in_flight()} session(s) still in flight after "
@@ -357,27 +664,54 @@ class ServePool:
                 self.drain(timeout=timeout)
             except ServeTimeout:
                 pass  # fall through to teardown; tickets fail below
-        for queue in self._requests:
-            queue.put(None)
+        with self._lock:
+            self._stopping = True  # supervisor: stop restarting lanes
+            expected_byes = self._byes + sum(
+                1 for wid in range(self.workers)
+                if self._alive[wid] and self._procs[wid].is_alive())
+        for wid in range(self.workers):
+            if self._alive[wid]:
+                try:
+                    self._requests[wid].put(None)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
         deadline = time.monotonic() + timeout
         for proc in self._procs:
             proc.join(timeout=max(0.0, deadline - time.monotonic()) + 1.0)
         # Give the collector a beat to drain the workers' MSG_BYE stats
         # (they may still sit in the result queue after the join).
         grace = time.monotonic() + 2.0
-        while self._byes < self.workers and time.monotonic() < grace:
+        while self._byes < expected_byes and time.monotonic() < grace:
             time.sleep(_POLL_S)
         self._stopped = True
         if self._collector.is_alive():
             self._collector.join(timeout=5.0)
+        if self._supervisor is not None and self._supervisor.is_alive():
+            self._supervisor.join(timeout=5.0)
         self._kill()
+        for pump in self._pumps:
+            if pump is not None and pump.is_alive():
+                pump.join(timeout=5.0)
         with self._lock:
             orphans = list(self._pending.values())
             self._pending.clear()
         for ticket in orphans:
+            self.registry.scavenge(ticket.seq)
             ticket._resolve(SessionResult(
                 seq=ticket.seq, worker=ticket.worker,
                 error="pool shut down before completion"))
+        # No segment may outlive the pool, whatever path got us here.
+        self.registry.scavenge_all()
+        for requests in self._requests:
+            if requests is not None:
+                requests.cancel_join_thread()
+                requests.close()
+        for results in self._result_queues:
+            if results is not None:
+                try:
+                    results._reader.close()
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
         if self.tracer.enabled:
             for stats in self.stats:
                 self.tracer.event(f"serve.worker{stats.worker}",

@@ -28,13 +28,20 @@ from ..runtime.errors import StreamRuntimeError
 from ..simd.machine import CORE_I7
 
 __all__ = [
-    "ServeError", "ServeOverload", "SessionSpec", "SessionResult",
-    "counter_bags", "decode_result", "encode_result",
+    "ERROR_KIND_WORKER_DIED", "ServeError", "ServeOverload", "SessionSpec",
+    "SessionResult", "WorkerDied", "counter_bags", "decode_result",
+    "encode_result", "worker_died_result",
 ]
 
 #: Wire-format version; bumped on incompatible changes so a mixed-version
-#: pool fails loudly instead of silently misdecoding.
-WIRE_VERSION = 1
+#: pool fails loudly instead of silently misdecoding.  v2: ``retried`` /
+#: ``error_kind`` supervision fields and the optional ``shm`` envelope of
+#: the shared-memory transport.
+WIRE_VERSION = 2
+
+#: ``SessionResult.error_kind`` of a session whose worker lane died and
+#: which could not be (or had already been) re-dispatched.
+ERROR_KIND_WORKER_DIED = "worker-died"
 
 
 class ServeError(StreamRuntimeError):
@@ -158,12 +165,55 @@ class SessionResult:
     graph_cache_hit: bool = False
     #: in-worker service time (compile + execute), seconds.
     busy_s: float = 0.0
+    #: True when the session was re-dispatched after its original lane
+    #: died (stamped by the pool's supervisor, at most once per session).
+    retried: bool = False
     #: ``"ExcType: message"`` when the session failed; outputs are empty.
     error: Optional[str] = None
+    #: machine-readable failure class (``""`` for ordinary in-session
+    #: exceptions; :data:`ERROR_KIND_WORKER_DIED` when the lane died).
+    error_kind: str = ""
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def worker_died(self) -> bool:
+        """True for the typed :class:`WorkerDied` outcome: the session
+        was accepted but its worker process died (and at-most-once
+        re-dispatch was exhausted or impossible)."""
+        return self.error_kind == ERROR_KIND_WORKER_DIED
+
+
+@dataclass
+class WorkerDied(SessionResult):
+    """Typed terminal outcome for a session stranded by a dead lane.
+
+    Produced parent-side by the pool's supervisor (it never crosses the
+    wire): the session was *accepted* but its worker process died before
+    answering, and at-most-once re-dispatch was either already spent
+    (``retried=True``) or impossible (no lane left to restart).  Checks
+    work both by type (``isinstance(result, WorkerDied)``) and — for
+    results that did cross a process boundary — by the
+    :attr:`SessionResult.worker_died` property.
+    """
+
+
+def worker_died_result(seq: int, worker: int, *,
+                       exitcode: Optional[int] = None,
+                       retried: bool = False,
+                       detail: str = "") -> WorkerDied:
+    """Build the canonical :class:`WorkerDied` result for one session."""
+    reason = f"worker {worker} died"
+    if exitcode is not None:
+        reason += f" (exit code {exitcode})"
+    if retried:
+        reason += " after one re-dispatch"
+    if detail:
+        reason += f": {detail}"
+    return WorkerDied(seq=seq, worker=worker, retried=retried,
+                      error=reason, error_kind=ERROR_KIND_WORKER_DIED)
 
 
 def counter_bags(per_actor: PerActorCounters) -> Dict[int, Dict[str, int]]:

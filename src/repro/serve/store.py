@@ -1,0 +1,171 @@
+"""Structhash-keyed on-disk store of compiled graph artifacts.
+
+A compiled session shape — the MacroSS-transformed graph plus its
+steady-state schedule — is a deterministic function of
+:meth:`~repro.serve.session.SessionSpec.graph_key` (program identity ×
+target × pipeline; the program half is the structhash-style content
+address of the description).  The paper's whole-program argument
+("compile once, amortize over steady state") therefore extends from one
+process to the whole machine: the first worker to compile a shape
+publishes it here, and every new or restarted worker warms instantly
+instead of re-running the pipeline.
+
+Layout and invalidation rules (DESIGN §6j):
+
+* one entry per key at ``<root>/<sha256(version|key)>.pkl`` — a pickle
+  of ``{"v": STORE_VERSION, "key": key, "graph": ..., "schedule": ...}``;
+* **atomic writes** — entries are written to a ``.tmp-<pid>-<n>``
+  sibling and ``os.replace``d into place, so concurrent workers can
+  race on the same key and readers can never observe a torn file;
+* **version stamps** — ``STORE_VERSION`` (and the key echoed inside the
+  payload) gate every load; a mismatch is a *miss* (the entry is
+  silently replaced on the next publish), never an error;
+* **quarantine, not crash** — an entry that fails to unpickle or fails
+  its stamp checks is renamed to ``*.quarantined`` (kept for autopsy)
+  and counted; a corrupt cache must never take a worker down.
+
+The store is deliberately dependency-free and fail-soft: every
+filesystem error degrades to "no store" for that operation and the
+worker compiles as if cold.  Counters (hits / misses / stores /
+quarantined / errors) surface through ``WorkerEnv.stats`` and the
+``macross serve`` summary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+__all__ = ["STORE_ENV_VAR", "STORE_VERSION", "KernelStore", "StoreStats",
+           "default_store_dir"]
+
+#: Bumped whenever the pickled artifact layout (or anything that feeds
+#: it: IR, schedule format) changes incompatibly.
+STORE_VERSION = 1
+
+#: Environment variable naming the per-machine store directory.
+STORE_ENV_VAR = "MACROSS_KERNEL_STORE"
+
+
+def default_store_dir() -> Optional[Path]:
+    """The per-machine store directory from :data:`STORE_ENV_VAR`, or
+    ``None`` when the store is disabled."""
+    raw = os.environ.get(STORE_ENV_VAR)
+    return Path(raw) if raw else None
+
+
+@dataclass
+class StoreStats:
+    """Observable store behaviour (mutated in place by the store)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    quarantined: int = 0
+    #: filesystem-level failures that degraded to cold compiles.
+    errors: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "quarantined": self.quarantined,
+                "errors": self.errors}
+
+
+class KernelStore:
+    """One per-machine directory of compiled (graph, schedule) entries."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    # -- paths -----------------------------------------------------------------
+    def entry_path(self, key: str) -> Path:
+        digest = hashlib.sha256(
+            f"{STORE_VERSION}|{key}".encode()).hexdigest()[:32]
+        return self.root / f"{digest}.pkl"
+
+    # -- load ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[Tuple[Any, Any]]:
+        """Return ``(graph, schedule)`` for ``key``, or ``None`` on miss.
+
+        A corrupt or mis-stamped entry is quarantined and reported as a
+        miss — the caller compiles cold and republishes."""
+        path = self.entry_path(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self.stats.errors += 1
+            return None
+        try:
+            payload = pickle.loads(blob)
+            if not isinstance(payload, dict):
+                raise ValueError("store entry is not a dict payload")
+            if payload.get("v") != STORE_VERSION \
+                    or payload.get("key") != key:
+                raise ValueError(
+                    f"store entry stamp mismatch: v={payload.get('v')!r} "
+                    f"key={payload.get('key')!r}")
+            graph, schedule = payload["graph"], payload["schedule"]
+        except Exception:  # noqa: BLE001 - quarantine, never crash
+            self._quarantine(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return graph, schedule
+
+    def _quarantine(self, path: Path) -> None:
+        self.stats.quarantined += 1
+        try:
+            os.replace(path, path.with_suffix(
+                f".quarantined-{os.getpid()}"))
+        except OSError:
+            # Last resort: try to remove it so the poison is not sticky.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                self.stats.errors += 1
+
+    # -- store -----------------------------------------------------------------
+    def store(self, key: str, graph: Any, schedule: Any) -> bool:
+        """Publish an artifact (atomic; last writer wins).  Returns
+        ``False`` (and counts an error) when anything fails — callers
+        keep serving from their in-process copy regardless."""
+        path = self.entry_path(key)
+        payload = {"v": STORE_VERSION, "key": key,
+                   "graph": graph, "schedule": schedule}
+        try:
+            blob = pickle.dumps(payload)
+            fd, tmp = tempfile.mkstemp(prefix=f".tmp-{os.getpid()}-",
+                                       dir=str(self.root))
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:  # pragma: no cover - cleanup best effort
+                    pass
+                raise
+        except Exception:  # noqa: BLE001 - fail-soft
+            self.stats.errors += 1
+            return False
+        self.stats.stores += 1
+        return True
+
+    # -- introspection ---------------------------------------------------------
+    def entries(self) -> int:
+        return sum(1 for p in self.root.glob("*.pkl"))
+
+    def quarantined_entries(self) -> int:
+        return sum(1 for p in self.root.iterdir()
+                   if ".quarantined" in p.name)

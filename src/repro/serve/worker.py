@@ -53,12 +53,16 @@ class WorkerEnvStats:
     busy_s: float = 0.0
     graph_cache_hits: int = 0
     graph_cache_misses: int = 0
+    #: on-disk kernel-store counters (hits/misses/stores/quarantined/
+    #: errors), zero when no store is configured.
+    store: Dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> Dict[str, Any]:
         return {"sessions": self.sessions, "errors": self.errors,
                 "busy_s": self.busy_s,
                 "graph_cache_hits": self.graph_cache_hits,
-                "graph_cache_misses": self.graph_cache_misses}
+                "graph_cache_misses": self.graph_cache_misses,
+                "store": dict(self.store)}
 
 
 class WorkerEnv:
@@ -73,11 +77,18 @@ class WorkerEnv:
     ``backend="interp"`` serves through the reference interpreter (no
     kernel cache, still graph-cached).  ``max_graphs`` bounds the graph
     cache the same FIFO way the kernel cache is bounded.
+
+    ``store`` (a :class:`~repro.serve.store.KernelStore`, a directory
+    path, or ``None``) plugs in the per-machine on-disk artifact store:
+    graph-cache misses consult it before compiling, and cold compiles
+    publish back, so a freshly (re)started worker warms from what its
+    siblings already paid for.
     """
 
     def __init__(self, backend: str = "compiled", *,
                  max_kernels: Optional[int] = None,
-                 max_graphs: Optional[int] = None) -> None:
+                 max_graphs: Optional[int] = None,
+                 store: Any = None) -> None:
         if max_graphs is not None and max_graphs < 1:
             raise ValueError("max_graphs must be >= 1 (or None)")
         self.backend_name = backend
@@ -93,6 +104,10 @@ class WorkerEnv:
             from ..runtime.backends import resolve_backend
             self.backend = resolve_backend(backend)
         self.max_graphs = max_graphs
+        if store is not None and not hasattr(store, "load"):
+            from .store import KernelStore
+            store = KernelStore(store)
+        self.store = store
         self._graphs: Dict[str, _CachedGraph] = {}
         self.stats = WorkerEnvStats()
 
@@ -123,7 +138,15 @@ class WorkerEnv:
             entry.hits += 1
             self.stats.graph_cache_hits += 1
             return entry, True
-        graph, schedule = self._build_graph(spec)
+        artifact = self.store.load(key) if self.store is not None else None
+        if artifact is not None:
+            graph, schedule = artifact
+        else:
+            graph, schedule = self._build_graph(spec)
+            if self.store is not None:
+                self.store.store(key, graph, schedule)
+        if self.store is not None:
+            self.stats.store = self.store.stats.snapshot()
         if self.max_graphs is not None and \
                 len(self._graphs) >= self.max_graphs:
             # FIFO eviction, mirroring the kernel cache's policy.
@@ -185,16 +208,25 @@ class WorkerEnv:
 
 def worker_main(worker_id: int, request_queue: Any, result_queue: Any,
                 backend: str, max_kernels: Optional[int],
-                max_graphs: Optional[int]) -> None:
+                max_graphs: Optional[int],
+                wire_transport: str = "queue",
+                shm_threshold: int = 0,
+                pool_uid: str = "",
+                store_dir: Optional[str] = None) -> None:
     """Process entry point: build the environment, announce readiness,
     then serve requests until the ``None`` shutdown sentinel arrives.
 
     Requests arrive as ``(seq, spec_wire)`` tuples; every response is a
     ``(kind, worker_id, payload)`` tuple on the shared result queue.
+    With ``wire_transport="shm"``, results whose output arrays reach
+    ``shm_threshold`` values travel as named shared-memory segments
+    (``pool_uid`` keys the deterministic segment names) and only the
+    envelope crosses the queue.  ``store_dir`` plugs in the per-machine
+    on-disk artifact store.
     """
     try:
         env = WorkerEnv(backend, max_kernels=max_kernels,
-                        max_graphs=max_graphs)
+                        max_graphs=max_graphs, store=store_dir)
     except Exception:  # pragma: no cover - only on broken installs
         result_queue.put((MSG_BYE, worker_id,
                           {"error": traceback.format_exc()}))
@@ -211,5 +243,10 @@ def worker_main(worker_id: int, request_queue: Any, result_queue: Any,
         except Exception as exc:  # noqa: BLE001 - malformed spec
             result = SessionResult(seq=seq, worker=worker_id,
                                    error=f"{type(exc).__name__}: {exc}")
-        result_queue.put((MSG_RESULT, worker_id, encode_result(result)))
+        out = encode_result(result)
+        if wire_transport == "shm":
+            from .transport import stage_result_shm
+            out = stage_result_shm(out, uid=pool_uid, worker=worker_id,
+                                   seq=seq, threshold=shm_threshold)
+        result_queue.put((MSG_RESULT, worker_id, out))
     result_queue.put((MSG_BYE, worker_id, env.stats.snapshot()))

@@ -8,7 +8,8 @@ import random
 
 import pytest
 
-from repro.fuzz import SERVE_PIPELINES, check_serve_program, generate_program
+from repro.fuzz import (SERVE_PIPELINES, SERVE_TRANSPORTS,
+                        check_serve_program, generate_program)
 from repro.serve import WorkerEnv
 
 #: Same smoke seeds as the parallel oracle; CI replays these exactly.
@@ -16,13 +17,22 @@ SMOKE_SEEDS = (0, 1, 2)
 
 
 @pytest.mark.fuzz
+@pytest.mark.parametrize("transport", SERVE_TRANSPORTS)
 @pytest.mark.parametrize("seed", SMOKE_SEEDS)
-def test_generated_programs_are_serve_clean(seed):
+def test_generated_programs_are_serve_clean(seed, transport):
     desc = generate_program(random.Random(seed))
-    report = check_serve_program(desc, stop_on_first=False)
+    report = check_serve_program(desc, stop_on_first=False,
+                                 wire_transport=transport)
     assert report.executions > 0
     assert report.ok, "\n".join(
         f"{d.kind} @ {d.config}: {d.detail}" for d in report.divergences)
+
+
+@pytest.mark.fuzz
+def test_oracle_rejects_unknown_transport():
+    desc = generate_program(random.Random(0))
+    with pytest.raises(ValueError, match="wire_transport"):
+        check_serve_program(desc, wire_transport="carrier-pigeon")
 
 
 @pytest.mark.fuzz
@@ -122,6 +132,70 @@ def test_oracle_catches_smuggled_error(monkeypatch):
                                  stop_on_first=False)
     assert not report.ok
     assert all(d.kind == "serve" for d in report.divergences)
+
+
+@pytest.mark.fuzz
+def test_oracle_catches_corrupted_shm_envelope():
+    """With the shm transport, the output arrays live in shared memory
+    and only the envelope crosses the wire — so the oracle must notice
+    an envelope whose claims don't match the segment."""
+    desc = generate_program(random.Random(0))
+    orphaned = []
+
+    def corrupt(wire):
+        if wire.get("shm"):
+            orphaned.extend(meta["name"] for meta in wire["shm"].values())
+            field = next(iter(wire["shm"]))
+            wire["shm"][field]["count"] = 10 ** 6  # overclaim the segment
+        return wire
+
+    report = check_serve_program(desc, wire_transport="shm",
+                                 wire_filter=corrupt, stop_on_first=False)
+    from multiprocessing import shared_memory
+    for name in orphaned:  # the load abort strands this result's segments
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        seg.close()
+        seg.unlink()
+    assert not report.ok
+    assert any("claims" in d.detail for d in report.divergences)
+
+
+@pytest.mark.fuzz
+def test_shm_transport_corruption_of_outputs_is_caught():
+    """The queue-path mutation test, replayed over shm: corrupting the
+    values *after* they come back from the segment must still diverge
+    (the oracle compares payloads, not transports)."""
+    desc = generate_program(random.Random(1))
+
+    orphaned = []
+
+    def corrupt(wire):
+        shm = wire.get("shm") or {}
+        if "outputs" in shm:
+            # Redirect the envelope at a forged segment name: the load
+            # must fail loudly, not silently return empty outputs.  The
+            # abort strands this result's real segments; note them all.
+            orphaned.extend(meta["name"] for meta in shm.values())
+            shm["outputs"]["name"] = "mxforged0s0o"
+        return wire
+
+    report = check_serve_program(desc, wire_transport="shm",
+                                 wire_filter=corrupt, stop_on_first=False)
+    # The redirect orphaned the real segments; scavenge them the way the
+    # pool's registry would.
+    from multiprocessing import shared_memory
+    for name in orphaned:
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        seg.close()
+        seg.unlink()
+    assert not report.ok
+    assert any("vanished" in d.detail for d in report.divergences)
 
 
 @pytest.mark.fuzz

@@ -41,6 +41,47 @@ class TestPercentile:
         with pytest.raises(ServeError):
             percentile([1.0], -1)
 
+    def test_float_rank_regression(self):
+        """Regression: ``ceil(q / 100 * n)`` overshoots whenever the
+        float product lands epsilon above the exact integer — q=7 over
+        100 samples picked rank 8 instead of 7.  The rank is computed in
+        rational arithmetic now."""
+        values = [float(i) for i in range(1, 101)]  # value == its rank
+        assert percentile(values, 7) == 7.0
+        assert percentile(values, 29) == 29.0
+        assert percentile([float(i) for i in range(1, 26)], 28) == 7.0
+
+    def test_exact_rank_against_rational_reference(self):
+        from fractions import Fraction
+        from math import ceil
+
+        for n in (1, 2, 3, 7, 25, 100, 997):
+            values = [float(v) for v in range(n)]
+            for q in (0, 1, 7, 28, 29, 50, 75, 90, 99, 99.9, 100):
+                rank = min(n, max(1, ceil(Fraction(q) * n / 100)))
+                assert percentile(values, q) == values[rank - 1], (n, q)
+
+    def test_properties_hold_on_random_samples(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        st = pytest.importorskip("hypothesis.strategies")
+
+        @hypothesis.given(
+            st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                     min_size=1, max_size=50),
+            st.floats(min_value=0.0, max_value=100.0))
+        @hypothesis.settings(max_examples=200, deadline=None)
+        def check(values, q):
+            result = percentile(values, q)
+            assert result in values          # nearest rank, never interp
+            assert min(values) <= result <= max(values)
+            assert percentile(values, 100) == max(values)
+            if len(values) == 1:
+                assert result == values[0]   # pinned 1-element semantics
+            # Monotone in q.
+            assert percentile(values, min(q + 1, 100.0)) >= result
+
+        check()
+
 
 class TestReport:
     def _report(self) -> LoadReport:

@@ -141,3 +141,74 @@ class TestShutdown:
         pool.shutdown()
         with pytest.raises(ServeError):
             pool.submit(SessionSpec(benchmark="DCT"))
+
+
+def _assert_fully_torn_down(pool: ServePool) -> None:
+    """No worker process, no registered segment, no on-disk segment may
+    outlive shutdown()."""
+    import glob
+    import multiprocessing as mp
+    import time
+
+    deadline = time.monotonic() + 10.0
+    while any(p.is_alive() for p in pool._procs if p is not None) \
+            and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert not any(p.is_alive() for p in pool._procs if p is not None)
+    # active_children() may see *other* pools' workers (module fixtures);
+    # only this pool's processes must be reaped.
+    ours = {p.pid for p in pool._procs if p is not None}
+    assert not [p for p in mp.active_children() if p.pid in ours]
+    assert len(pool.registry) == 0, pool.registry.outstanding()
+    assert glob.glob(f"/dev/shm/mx{pool.uid}*") == []
+
+
+class TestShutdownIdempotency:
+    """Satellite (d): double shutdown, shutdown-during-drain, and
+    shutdown with a full request queue all tear down completely."""
+
+    def test_double_shutdown_is_stable(self):
+        pool = ServePool(2, wire_transport="shm", shm_threshold=0)
+        pool.run(SessionSpec(benchmark="DCT", iterations=1),
+                 timeout=WAIT_S)
+        first = pool.shutdown(timeout=WAIT_S)
+        second = pool.shutdown(timeout=WAIT_S)
+        assert first == second
+        _assert_fully_torn_down(pool)
+
+    def test_shutdown_during_drain_from_another_thread(self):
+        import threading
+
+        pool = ServePool(2, max_queue_depth=8, wire_transport="shm",
+                         shm_threshold=0)
+        tickets = [pool.submit(SessionSpec(benchmark="FMRadio",
+                                           iterations=4))
+                   for _ in range(6)]
+        drainer = threading.Thread(
+            target=lambda: pool.shutdown(timeout=WAIT_S), daemon=True)
+        drainer.start()
+        # Racing second shutdown while the first is draining.
+        pool.shutdown(timeout=WAIT_S)
+        drainer.join(timeout=WAIT_S)
+        assert not drainer.is_alive()
+        for ticket in tickets:
+            result = ticket.result(timeout=WAIT_S)
+            assert result.ok or result.error is not None
+        _assert_fully_torn_down(pool)
+
+    def test_shutdown_with_full_request_queue(self):
+        """Undrained shutdown with every admission slot occupied: queued
+        specs must resolve (served or typed orphan), and teardown must
+        not deadlock on the queue feeder threads."""
+        pool = ServePool(1, max_queue_depth=8, wire_transport="shm",
+                         shm_threshold=0)
+        tickets = [pool.submit(SessionSpec(benchmark="FMRadio",
+                                           iterations=8, tag=f"s{i}"))
+                   for i in range(8)]
+        assert not any(isinstance(t, ServeOverload) for t in tickets)
+        pool.shutdown(drain=False, timeout=5.0)
+        for ticket in tickets:
+            result = ticket.result(timeout=WAIT_S)
+            if not result.ok:
+                assert result.error is not None
+        _assert_fully_torn_down(pool)

@@ -1,0 +1,154 @@
+"""The on-disk kernel store: hit/miss/publish round trips, atomicity
+conventions, version stamps, and corrupt-entry quarantine — plus the
+WorkerEnv integration (a second environment warms from the first's
+publishes).  All in-process."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.serve import (
+    STORE_ENV_VAR,
+    STORE_VERSION,
+    KernelStore,
+    SessionSpec,
+    WorkerEnv,
+    default_store_dir,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return KernelStore(tmp_path / "store")
+
+
+class TestStoreRoundTrip:
+    def test_miss_then_publish_then_hit(self, store):
+        assert store.load("k1") is None
+        assert store.stats.misses == 1
+        assert store.store("k1", {"graph": True}, [1, 2, 3])
+        assert store.stats.stores == 1
+        assert store.load("k1") == ({"graph": True}, [1, 2, 3])
+        assert store.stats.hits == 1
+        assert store.entries() == 1
+
+    def test_keys_are_isolated(self, store):
+        store.store("a", "ga", "sa")
+        store.store("b", "gb", "sb")
+        assert store.load("a") == ("ga", "sa")
+        assert store.load("b") == ("gb", "sb")
+        assert store.entries() == 2
+
+    def test_last_writer_wins(self, store):
+        store.store("k", "old-graph", "old-schedule")
+        store.store("k", "new-graph", "new-schedule")
+        assert store.load("k") == ("new-graph", "new-schedule")
+        assert store.entries() == 1
+
+    def test_no_temp_files_left_behind(self, store):
+        store.store("k", "g", "s")
+        leftovers = [p.name for p in store.root.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_default_dir_comes_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        assert default_store_dir() is None
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "s"))
+        assert default_store_dir() == tmp_path / "s"
+
+
+class TestQuarantine:
+    def test_truncated_entry_is_quarantined_not_fatal(self, store):
+        store.store("k", "g", "s")
+        path = store.entry_path("k")
+        path.write_bytes(path.read_bytes()[:10])  # torn write simulation
+        assert store.load("k") is None  # a miss, never an exception
+        assert store.stats.quarantined == 1
+        assert store.quarantined_entries() == 1
+        assert store.entries() == 0  # the poison is out of the way
+        # The slot is reusable immediately.
+        store.store("k", "g2", "s2")
+        assert store.load("k") == ("g2", "s2")
+
+    def test_garbage_bytes_are_quarantined(self, store):
+        store.entry_path("k").write_bytes(b"not a pickle at all")
+        assert store.load("k") is None
+        assert store.stats.quarantined == 1
+
+    def test_version_skew_is_a_miss(self, store):
+        payload = {"v": STORE_VERSION + 1, "key": "k",
+                   "graph": "g", "schedule": "s"}
+        store.entry_path("k").write_bytes(pickle.dumps(payload))
+        assert store.load("k") is None
+        assert store.stats.quarantined == 1
+
+    def test_key_mismatch_is_a_miss(self, store):
+        # A (vanishingly unlikely) digest collision or a tampered entry:
+        # the echoed key inside the payload catches it.
+        payload = {"v": STORE_VERSION, "key": "other",
+                   "graph": "g", "schedule": "s"}
+        store.entry_path("k").write_bytes(pickle.dumps(payload))
+        assert store.load("k") is None
+        assert store.stats.quarantined == 1
+
+    def test_unpicklable_artifact_fails_soft(self, store):
+        assert store.store("k", lambda: None, "s") is False  # closures
+        assert store.stats.errors == 1
+        assert store.entries() == 0
+
+
+class TestWorkerEnvIntegration:
+    SPEC = dict(benchmark="DCT", pipeline="full", machine="core-i7",
+                backend="compiled", iterations=1)
+
+    def test_cold_compile_publishes_and_sibling_warms(self, tmp_path):
+        store = KernelStore(tmp_path)
+        cold = WorkerEnv("compiled", store=store)
+        r1 = cold.run_session(SessionSpec(**self.SPEC))
+        assert r1.ok, r1.error
+        assert store.stats.misses == 1 and store.stats.stores == 1
+        assert store.entries() == 1
+
+        warm = WorkerEnv("compiled", store=KernelStore(tmp_path))
+        r2 = warm.run_session(SessionSpec(**self.SPEC))
+        assert r2.ok, r2.error
+        assert warm.store.stats.hits == 1
+        assert warm.store.stats.stores == 0  # hits are not republished
+        assert r2.outputs == r1.outputs
+        assert r2.init_outputs == r1.init_outputs
+
+    def test_store_counters_surface_in_env_stats(self, tmp_path):
+        env = WorkerEnv("compiled", store=KernelStore(tmp_path))
+        env.run_session(SessionSpec(**self.SPEC))
+        snapshot = env.stats.snapshot()
+        assert snapshot["store"]["misses"] == 1
+        assert snapshot["store"]["stores"] == 1
+
+    def test_env_accepts_a_plain_path(self, tmp_path):
+        env = WorkerEnv("compiled", store=str(tmp_path))
+        assert isinstance(env.store, KernelStore)
+        r = env.run_session(SessionSpec(**self.SPEC))
+        assert r.ok, r.error
+        assert env.store.entries() == 1
+
+    def test_quarantined_store_entry_degrades_to_cold_compile(self,
+                                                              tmp_path):
+        store = KernelStore(tmp_path)
+        cold = WorkerEnv("compiled", store=store)
+        ref = cold.run_session(SessionSpec(**self.SPEC))
+        key = SessionSpec(**self.SPEC).graph_key()
+        store.entry_path(key).write_bytes(b"poison")
+
+        env = WorkerEnv("compiled", store=KernelStore(tmp_path))
+        result = env.run_session(SessionSpec(**self.SPEC))
+        assert result.ok, result.error  # corruption never fails a session
+        assert env.store.stats.quarantined == 1
+        assert result.outputs == ref.outputs
+
+    def test_no_store_means_no_counters(self):
+        env = WorkerEnv("compiled")
+        env.run_session(SessionSpec(**self.SPEC))
+        assert env.stats.snapshot()["store"] == {}

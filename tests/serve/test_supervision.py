@@ -1,0 +1,148 @@
+"""Worker supervision: SIGKILL fault injection against live pools.
+
+The contract under test — killing a worker mid-campaign loses zero
+sessions: every admitted ticket resolves to either a successful result
+(``retried`` when its first lane died under it) or a typed
+:class:`WorkerDied`, never a hang — and the lane restarts with its
+churn recorded in the blame table.  Marked ``serve``."""
+
+from __future__ import annotations
+
+import glob
+import time
+
+import pytest
+
+from repro.serve import (
+    ERROR_KIND_WORKER_DIED,
+    ServePool,
+    SessionSpec,
+    WorkerDied,
+    kill_worker_after,
+    worker_died_result,
+)
+
+pytestmark = pytest.mark.serve
+
+WAIT_S = 120.0
+
+#: Heavy enough to still be in flight when the SIGKILL lands.
+SLOW = dict(benchmark="FMRadio", iterations=8)
+
+
+def _no_leaked_segments(pool: ServePool) -> bool:
+    return not glob.glob(f"/dev/shm/mx{pool.uid}*")
+
+
+class TestSupervisedRestart:
+    def test_kill_mid_campaign_loses_no_sessions(self):
+        with ServePool(2, max_queue_depth=8, wire_transport="shm",
+                       shm_threshold=0) as pool:
+            tickets = [pool.submit(SessionSpec(**SLOW, tag=f"s{i}"))
+                       for i in range(8)]
+            assert pool.kill_worker() >= 0
+            results = [t.result(timeout=WAIT_S) for t in tickets]
+            ok = [r for r in results if r.ok]
+            died = [r for r in results if r.worker_died]
+            assert len(ok) + len(died) == 8  # nothing lost, nothing hung
+            # The kill landed while work was in flight, so the stranded
+            # sessions either re-dispatched (retried results) or spent
+            # their one retry.
+            assert any(r.retried for r in results) or died
+            stats = pool.stats_snapshot()
+            assert sum(s["restarts"] for s in stats) >= 1
+            assert sum(s["requeued"] for s in stats) == \
+                sum(1 for r in ok if r.retried) + \
+                sum(1 for r in died if r.retried)
+            assert pool.drain(timeout=WAIT_S) is None
+        assert len(pool.registry) == 0
+        assert _no_leaked_segments(pool)
+
+    def test_restarted_lane_serves_again(self):
+        with ServePool(1, max_queue_depth=8) as pool:
+            first = pool.submit(SessionSpec(**SLOW))
+            pool.kill_worker()
+            first.result(timeout=WAIT_S)  # retried or died; don't care
+            deadline = time.monotonic() + WAIT_S
+            while not pool._alive[0] and time.monotonic() < deadline:
+                time.sleep(0.05)
+            after = pool.run(SessionSpec(benchmark="DCT", iterations=1),
+                             timeout=WAIT_S)
+            assert after.ok, after.error
+            assert pool.stats_snapshot()[0]["restarts"] == 1
+
+    def test_at_most_once_redispatch(self):
+        """With restarts disabled and a single lane, a stranded session
+        has nowhere to go: it must resolve as a typed WorkerDied rather
+        than retry forever (or hang)."""
+        with ServePool(1, max_queue_depth=8, max_restarts=0) as pool:
+            tickets = [pool.submit(SessionSpec(**SLOW)) for _ in range(3)]
+            pool.kill_worker()
+            results = [t.result(timeout=WAIT_S) for t in tickets]
+            assert all(r.worker_died for r in results)
+            assert all(isinstance(r, WorkerDied) for r in results)
+            assert all(r.error_kind == ERROR_KIND_WORKER_DIED
+                       for r in results)
+            assert not any(r.ok for r in results)
+            stats = pool.stats_snapshot()[0]
+            assert stats["restarts"] == 0
+            assert stats["worker_died"] == 3
+            assert stats["queue_depth"] == 0  # slots released
+            # All lanes dead: fault injection has nothing left to kill.
+            assert pool.kill_worker() == -1
+
+    def test_worker_died_results_name_the_failure(self):
+        result = worker_died_result(7, 1, exitcode=-9, retried=True)
+        assert result.worker_died and result.retried
+        assert "worker 1 died" in result.error
+        assert "-9" in result.error
+        assert "re-dispatch" in result.error
+
+
+class TestDrainUnderFailure:
+    def test_drain_returns_after_sigkill_mid_drain(self):
+        """Regression: drain() used to wait on the result queue alone, so
+        a worker SIGKILLed mid-drain stranded its sessions forever."""
+        with ServePool(2, max_queue_depth=8) as pool:
+            tickets = [pool.submit(SessionSpec(**SLOW)) for _ in range(6)]
+            killer = kill_worker_after(pool, 1)
+            start = time.monotonic()
+            pool.drain(timeout=WAIT_S)  # must return, not time out
+            assert time.monotonic() - start < WAIT_S
+            killer.join(timeout=5.0)
+            for ticket in tickets:
+                result = ticket.result(timeout=1.0)  # already resolved
+                assert result.ok or result.worker_died
+
+    def test_unsupervised_drain_converts_dead_lane_tickets(self):
+        """The supervision-off fallback: drain() itself must turn a dead
+        lane's in-flight tickets into WorkerDied instead of blocking."""
+        with ServePool(1, max_queue_depth=8, supervise=False,
+                       wire_transport="shm", shm_threshold=0) as pool:
+            tickets = [pool.submit(SessionSpec(**SLOW)) for _ in range(3)]
+            pool.kill_worker()
+            pool.drain(timeout=WAIT_S)
+            results = [t.result(timeout=1.0) for t in tickets]
+            assert all(r.worker_died for r in results)
+        assert len(pool.registry) == 0
+        assert _no_leaked_segments(pool)
+
+
+class TestFaultInjectionHelper:
+    def test_kill_worker_after_fires_at_threshold(self):
+        with ServePool(2, max_queue_depth=8) as pool:
+            trigger = kill_worker_after(pool, 2)
+            tickets = [pool.submit(SessionSpec(benchmark="DCT",
+                                               iterations=1))
+                       for _ in range(6)]
+            results = [t.result(timeout=WAIT_S) for t in tickets]
+            trigger.join(timeout=WAIT_S)
+            assert not trigger.is_alive()
+            assert all(r.ok or r.worker_died for r in results)
+            assert sum(s["restarts"]
+                       for s in pool.stats_snapshot()) >= 1
+
+    def test_kill_worker_after_validates_count(self):
+        from repro.serve import ServeError
+        with pytest.raises(ServeError):
+            kill_worker_after(object(), -1)

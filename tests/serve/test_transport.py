@@ -1,0 +1,187 @@
+"""Shared-memory result transport: staging/loading round trips, the
+threshold gate, degrade-to-queue behaviour, envelope validation, and the
+parent-side segment registry.  All in-process (no worker spawns)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.serve import (
+    SegmentRegistry,
+    ServeError,
+    load_result_shm,
+    segment_names,
+    shm_threshold_default,
+    stage_result_shm,
+)
+
+
+def _segment_exists(name: str) -> bool:
+    from multiprocessing import shared_memory
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+def _stage(wire, *, seq=1, threshold=0, uid="t", worker=0):
+    return stage_result_shm(wire, uid=uid, worker=worker, seq=seq,
+                            threshold=threshold)
+
+
+class TestRoundTrip:
+    def test_int_and_float_fields_round_trip(self):
+        outputs = list(range(100))
+        inits = [0.25 * i for i in range(64)]
+        wire = {"outputs": list(outputs), "init_outputs": list(inits)}
+        staged = _stage(wire)
+        assert set(staged["shm"]) == {"outputs", "init_outputs"}
+        assert staged["outputs"] == [] and staged["init_outputs"] == []
+        # The identical pickle hop the result queue performs.
+        back = load_result_shm(pickle.loads(pickle.dumps(staged)))
+        assert back["outputs"] == outputs
+        assert back["init_outputs"] == inits
+        assert "shm" not in back
+
+    def test_load_unlinks_the_segments(self):
+        staged = _stage({"outputs": [1, 2, 3]}, seq=7)
+        name = staged["shm"]["outputs"]["name"]
+        assert _segment_exists(name)
+        load_result_shm(staged)
+        assert not _segment_exists(name)
+
+    def test_deterministic_segment_names(self):
+        names = segment_names("abcd", 3, 41)
+        assert names == ("mxabcdw3s41o", "mxabcdw3s41i")
+        staged = _stage({"outputs": [1, 2]}, uid="abcd", worker=3, seq=41)
+        assert staged["shm"]["outputs"]["name"] == names[0]
+        load_result_shm(staged)
+
+    def test_queue_wire_passes_through_untouched(self):
+        wire = {"outputs": [1.0, 2.0], "error": None}
+        assert load_result_shm(dict(wire)) == wire
+
+
+class TestThresholdAndFallback:
+    def test_small_results_stay_on_the_queue(self):
+        staged = _stage({"outputs": [1, 2, 3]}, threshold=4)
+        assert "shm" not in staged
+        assert staged["outputs"] == [1, 2, 3]
+
+    def test_threshold_zero_forces_shm(self):
+        staged = _stage({"outputs": [1]}, threshold=0)
+        assert "shm" in staged
+        load_result_shm(staged)
+
+    def test_mixed_types_fall_back_to_queue(self):
+        # int/float mixes and bools are not representable as one typed
+        # array; the parity oracle needs exact types back, so they ride
+        # the queue.
+        for values in ([1, 2.0], [True, False], [1, True], ["a", "b"]):
+            staged = _stage({"outputs": list(values)})
+            assert "shm" not in staged
+            assert staged["outputs"] == values
+
+    def test_huge_ints_fall_back_to_queue(self):
+        values = [2 ** 80, 1]
+        staged = _stage({"outputs": list(values)})
+        assert "shm" not in staged
+        assert staged["outputs"] == values
+
+    def test_empty_fields_are_ignored(self):
+        staged = _stage({"outputs": [], "init_outputs": []})
+        assert "shm" not in staged
+
+    def test_stale_segment_is_taken_over(self):
+        """A killed predecessor's segment under the same deterministic
+        name must not poison the retry: staging destroys and recreates."""
+        first = _stage({"outputs": [1, 2, 3]}, seq=99)
+        name = first["shm"]["outputs"]["name"]
+        assert _segment_exists(name)  # deliberately left behind
+        second = _stage({"outputs": [7, 8, 9, 10]}, seq=99)
+        back = load_result_shm(second)
+        assert back["outputs"] == [7, 8, 9, 10]
+        assert not _segment_exists(name)
+
+    def test_env_var_overrides_default_threshold(self, monkeypatch):
+        monkeypatch.delenv("MACROSS_SHM_THRESHOLD", raising=False)
+        assert shm_threshold_default() == 256
+        monkeypatch.setenv("MACROSS_SHM_THRESHOLD", "17")
+        assert shm_threshold_default() == 17
+        monkeypatch.setenv("MACROSS_SHM_THRESHOLD", "lots")
+        with pytest.raises(ServeError):
+            shm_threshold_default()
+
+
+class TestEnvelopeValidation:
+    """The oracle's mutation tests corrupt exactly this surface."""
+
+    def _staged(self, seq=11):
+        return _stage({"outputs": [1, 2, 3, 4]}, seq=seq)
+
+    def test_unknown_field_is_rejected(self):
+        staged = self._staged()
+        staged["shm"]["bogus"] = dict(staged["shm"]["outputs"])
+        with pytest.raises(ServeError, match="unknown shm-borne field"):
+            load_result_shm(staged)
+
+    def test_bad_typecode_is_rejected(self):
+        staged = self._staged(seq=12)
+        staged["shm"]["outputs"]["typecode"] = "x"
+        with pytest.raises(ServeError, match="malformed shm envelope"):
+            load_result_shm(staged)
+        SegmentRegistry().expect(12, segment_names("t", 0, 12))
+
+    def test_overclaimed_count_is_rejected(self):
+        staged = self._staged(seq=13)
+        staged["shm"]["outputs"]["count"] = 10 ** 6
+        with pytest.raises(ServeError, match="claims"):
+            load_result_shm(staged)
+
+    def test_vanished_segment_is_reported(self):
+        staged = self._staged(seq=14)
+        load_result_shm(pickle.loads(pickle.dumps(staged)))  # unlinks
+        with pytest.raises(ServeError, match="vanished"):
+            load_result_shm(staged)
+
+    def teardown_method(self):
+        # None of the rejection paths may leak the segment forever: the
+        # pool-side registry scavenges by deterministic name.
+        registry = SegmentRegistry()
+        for seq in (11, 12, 13, 14):
+            registry.expect(seq, segment_names("t", 0, seq))
+        registry.scavenge_all()
+
+
+class TestSegmentRegistry:
+    def test_resolve_destroys_unconsumed_segments(self):
+        staged = _stage({"outputs": [5, 6, 7]}, seq=21)
+        name = staged["shm"]["outputs"]["name"]
+        registry = SegmentRegistry()
+        registry.expect(21, segment_names("t", 0, 21))
+        assert len(registry) == 1
+        registry.resolve(21)
+        assert len(registry) == 0
+        assert not _segment_exists(name)
+
+    def test_scavenge_counts_destroyed_segments(self):
+        staged = _stage({"outputs": [5, 6, 7]}, seq=22)
+        registry = SegmentRegistry()
+        registry.expect(22, segment_names("t", 0, 22))
+        registry.expect(23, segment_names("t", 0, 23))  # never created
+        assert registry.scavenge(22) == 1
+        assert registry.scavenge(23) == 0
+        assert len(registry) == 0
+        assert not _segment_exists(staged["shm"]["outputs"]["name"])
+
+    def test_scavenge_all_empties_the_ledger(self):
+        registry = SegmentRegistry()
+        for seq in range(5):
+            registry.expect(seq, segment_names("t", 0, seq))
+        registry.scavenge_all()
+        assert len(registry) == 0
+        assert registry.outstanding() == {}

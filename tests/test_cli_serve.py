@@ -43,6 +43,54 @@ class TestServeCommand:
         assert "unknown placement policy" in err
         assert "round-robin" in err  # did-you-mean
 
+    def test_serve_queue_transport_flag(self, capsys):
+        assert main(["serve", "DCT", "--workers", "1", "--sessions", "2",
+                     "--iterations", "1", "--transport", "queue"]) == 0
+        out = capsys.readouterr().out
+        assert "transport=queue" in out
+        assert "parity: all 2 served session(s) match" in out
+
+    def test_serve_store_counters_in_summary(self, capsys, tmp_path):
+        assert main(["serve", "DCT", "--workers", "1", "--sessions", "2",
+                     "--iterations", "1",
+                     "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "kernel store:" in out
+        assert "1 miss(es)" in out and "1 publish(es)" in out
+
+
+@pytest.mark.serve
+class TestServeExitCodes:
+    """Satellite (c): overload-only runs are a healthy outcome (exit 0
+    with a rejection summary); parity mismatches stay non-zero."""
+
+    def test_shed_only_run_exits_zero_with_summary(self, capsys):
+        # One lane of depth 1 and a zero admit budget: every session that
+        # arrives while the first compiles is shed at the door.
+        assert main(["serve", "FMRadio", "--workers", "1",
+                     "--sessions", "4", "--iterations", "4",
+                     "--max-queue-depth", "1",
+                     "--admit-timeout", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "session(s) shed after 0s admit timeout" in out
+        assert "PARITY MISMATCH" not in out
+
+    def test_parity_mismatch_exits_nonzero(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+
+        real = cli_mod._serve_references
+
+        def corrupt(names, machine, args):
+            refs = real(names, machine, args)
+            for ref in refs.values():
+                ref.outputs = list(ref.outputs) + [123456.0]
+            return refs
+
+        monkeypatch.setattr(cli_mod, "_serve_references", corrupt)
+        assert main(["serve", "DCT", "--workers", "1", "--sessions", "2",
+                     "--iterations", "1"]) == 1
+        assert "PARITY MISMATCH" in capsys.readouterr().out
+
 
 @pytest.mark.serve
 class TestLoadgenCommand:
@@ -65,3 +113,22 @@ class TestLoadgenCommand:
     def test_loadgen_rejects_unknown_app(self, capsys):
         assert main(["loadgen", "--apps", "NotABench"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_loadgen_fault_injection_restarts_and_exits_zero(
+            self, capsys, tmp_path):
+        """--kill-worker-after: the SIGKILL mid-run must cost zero
+        requests (supervision re-dispatches) and the restart shows up in
+        the report."""
+        report_path = tmp_path / "fault.json"
+        assert main(["loadgen", "--apps", "FMRadio", "--workers", "2",
+                     "--mode", "closed", "--concurrency", "2",
+                     "--requests", "12", "--iterations", "4",
+                     "--kill-worker-after", "3",
+                     "--json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "supervision:" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["completed"] == 12
+        assert payload["errors"] == 0
+        assert payload["restarts"] >= 1
+        assert payload["transport"] == "shm"
